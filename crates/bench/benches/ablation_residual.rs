@@ -1,0 +1,33 @@
+//! Ablation: the cost of the residual (error-feedback) buffer in the
+//! 2-bit quantizer — encode time with and without error feedback, and
+//! with cold vs warm residual state. (The *accuracy* side of this
+//! ablation lives in the `ablation_accuracy` binary.)
+
+use cdsgd_compress::{GradientCompressor, TwoBitQuantizer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_residual(c: &mut Criterion) {
+    let mut g = c.benchmark_group("twobit_residual");
+    let n = 1_048_576usize;
+    let grad: Vec<f32> = (0..n).map(|i| ((i as f32 * 0.31).sin()) * 0.4).collect();
+    g.throughput(Throughput::Bytes((4 * n) as u64));
+    g.bench_with_input(BenchmarkId::new("with_residual", n), &grad, |b, grad| {
+        let mut q = TwoBitQuantizer::new(0.5);
+        q.compress(0, grad); // warm the buffer
+        b.iter(|| q.compress(0, grad));
+    });
+    g.bench_with_input(BenchmarkId::new("without_residual", n), &grad, |b, grad| {
+        let mut q = TwoBitQuantizer::new(0.5).with_residual(false);
+        b.iter(|| q.compress(0, grad));
+    });
+    g.bench_with_input(BenchmarkId::new("cold_start", n), &grad, |b, grad| {
+        b.iter(|| {
+            let mut q = TwoBitQuantizer::new(0.5);
+            q.compress(0, grad)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_residual);
+criterion_main!(benches);

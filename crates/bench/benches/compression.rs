@@ -1,0 +1,66 @@
+//! Codec micro-benchmarks: encode/decode throughput of every gradient
+//! compressor. The encode cost is the paper's δ — the overhead CD-SGD
+//! hides; these numbers quantify it on this machine.
+
+use cdsgd_compress::{
+    decompress, GradientCompressor, NoCompression, OneBitQuantizer, QsgdQuantizer,
+    TernGradQuantizer, TopKSparsifier, TwoBitQuantizer,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const SIZES: [usize; 2] = [65_536, 1_048_576];
+
+fn gradient(n: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i as f32 * 0.37).sin()) * 0.8).collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode");
+    for &n in &SIZES {
+        let grad = gradient(n);
+        g.throughput(Throughput::Bytes((4 * n) as u64));
+        g.bench_with_input(BenchmarkId::new("2bit", n), &grad, |b, grad| {
+            let mut q = TwoBitQuantizer::new(0.5);
+            b.iter(|| q.compress(0, grad));
+        });
+        g.bench_with_input(BenchmarkId::new("1bit", n), &grad, |b, grad| {
+            let mut q = OneBitQuantizer::new();
+            b.iter(|| q.compress(0, grad));
+        });
+        g.bench_with_input(BenchmarkId::new("terngrad", n), &grad, |b, grad| {
+            let mut q = TernGradQuantizer::new(7);
+            b.iter(|| q.compress(0, grad));
+        });
+        g.bench_with_input(BenchmarkId::new("qsgd4", n), &grad, |b, grad| {
+            let mut q = QsgdQuantizer::new(4, 7);
+            b.iter(|| q.compress(0, grad));
+        });
+        g.bench_with_input(BenchmarkId::new("topk1pct", n), &grad, |b, grad| {
+            let mut q = TopKSparsifier::new(0.01);
+            b.iter(|| q.compress(0, grad));
+        });
+        g.bench_with_input(BenchmarkId::new("raw", n), &grad, |b, grad| {
+            let mut q = NoCompression;
+            b.iter(|| q.compress(0, grad));
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode");
+    for &n in &SIZES {
+        let grad = gradient(n);
+        let mut q = TwoBitQuantizer::new(0.5);
+        let payload = q.compress(0, &grad);
+        g.throughput(Throughput::Bytes((4 * n) as u64));
+        g.bench_with_input(BenchmarkId::new("2bit", n), &payload, |b, p| {
+            let mut out = vec![0.0f32; n];
+            b.iter(|| decompress(p, &mut out));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

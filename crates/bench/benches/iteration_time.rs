@@ -1,0 +1,35 @@
+//! End-to-end iteration time of each distributed algorithm on the real
+//! in-process stack (2 workers, small MLP): measures the actual cost of
+//! one synchronized round including compression and the PS round-trip.
+
+use cd_sgd::{Algorithm, TrainConfig, Trainer};
+use cdsgd_data::toy;
+use cdsgd_nn::models;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_iteration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("one_epoch_2workers");
+    g.sample_size(10);
+    let data = toy::gaussian_blobs(640, 16, 4, 0.5, 3);
+    for algo in [
+        Algorithm::SSgd,
+        Algorithm::OdSgd { local_lr: 0.05 },
+        Algorithm::BitSgd { threshold: 0.1 },
+        Algorithm::cd_sgd(0.05, 0.1, 5, 0),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, algo| {
+            b.iter(|| {
+                let cfg = TrainConfig::new(algo.clone(), 2)
+                    .with_lr(0.1)
+                    .with_batch_size(32)
+                    .with_epochs(1)
+                    .with_seed(9);
+                Trainer::new(cfg, |rng| models::mlp(&[16, 64, 4], rng), data.clone(), None).run()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_iteration);
+criterion_main!(benches);

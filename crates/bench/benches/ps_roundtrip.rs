@@ -1,0 +1,62 @@
+//! Parameter-server round-trip latency: one push+pull cycle per worker
+//! count and payload size, raw vs 2-bit compressed.
+
+use cdsgd_compress::{Compressed, GradientCompressor, TwoBitQuantizer};
+use cdsgd_ps::{ParamServer, ServerConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ps_roundtrip");
+    for &n in &[4_096usize, 262_144] {
+        g.throughput(Throughput::Bytes((4 * n) as u64));
+        g.bench_with_input(BenchmarkId::new("raw_1worker", n), &n, |b, &n| {
+            let ps = ParamServer::start(vec![vec![0.0; n]], ServerConfig::new(1, 0.1));
+            let client = ps.client();
+            let grad = vec![0.01f32; n];
+            let mut version = 0u64;
+            b.iter(|| {
+                client.push(0, 0, Compressed::Raw(grad.clone()));
+                version += 1;
+                client.pull(0, version)
+            });
+            ps.shutdown();
+        });
+        g.bench_with_input(BenchmarkId::new("2bit_1worker", n), &n, |b, &n| {
+            let ps = ParamServer::start(vec![vec![0.0; n]], ServerConfig::new(1, 0.1));
+            let client = ps.client();
+            let grad = vec![0.6f32; n];
+            let mut q = TwoBitQuantizer::new(0.5);
+            let mut version = 0u64;
+            b.iter(|| {
+                client.push(0, 0, q.compress(0, &grad));
+                version += 1;
+                client.pull(0, version)
+            });
+            ps.shutdown();
+        });
+    }
+
+    // 4 worker threads pushing concurrently each iteration.
+    g.bench_function("raw_4workers_64k", |b| {
+        let n = 65_536usize;
+        let ps = ParamServer::start(vec![vec![0.0; n]], ServerConfig::new(4, 0.1));
+        let clients: Vec<_> = (0..4).map(|_| ps.client()).collect();
+        let grad = vec![0.01f32; n];
+        let mut version = 0u64;
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for (w, cl) in clients.iter().enumerate() {
+                    let grad = &grad;
+                    s.spawn(move || cl.push(w, 0, Compressed::Raw(grad.clone())));
+                }
+            });
+            version += 1;
+            clients[0].pull(0, version)
+        });
+        ps.shutdown();
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Eqs. 2, 4–9 — cross-check of the paper's closed-form time-cost model
+//! against the discrete-event simulator, plus the eq. 8/9 case tables.
+//!
+//! Usage: `cargo run --release -p cdsgd-bench --bin cost_model_check`
+
+use cdsgd_simtime::pipeline::{AlgoKind, PipelineSim};
+use cdsgd_simtime::zoo::{LayerSpec, ModelSpec};
+use cdsgd_simtime::{ClusterSpec, CostInputs, CostModel};
+
+fn single_layer(params: u64, thr: f64) -> ModelSpec {
+    ModelSpec {
+        name: "single".into(),
+        layers: vec![LayerSpec { name: "all".into(), params, flops_fwd: 1e9 }],
+        throughput: (thr, thr),
+    }
+}
+
+fn main() {
+    println!("== Closed-form (eqs. 2,4-7) vs discrete-event simulator ==");
+    println!("single-layer models eliminate pipelining effects; deviations (CD-SGD only) come from\ncross-iteration encode/comm overlap that the per-iteration closed form charges serially.\n");
+    println!(
+        "{:<28} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "scenario (params, img/s)", "ssgd_cf", "ssgd_sim", "bit_cf", "bit_sim", "od_cf", "od_sim", "cd_cf", "cd_sim"
+    );
+    let cluster = ClusterSpec::k80_cluster();
+    let scenarios: Vec<(u64, f64)> = vec![
+        (50_000_000, 500.0), // comm-bound
+        (1_000_000, 50.0),   // compute-bound
+        (20_000_000, 120.0), // mixed
+    ];
+    let mut worst: f64 = 0.0;
+    for (p, thr) in scenarios {
+        let model = single_layer(p, thr);
+        let sim = PipelineSim::new(&model, &cluster, 32);
+        let cm = CostModel::new(CostInputs::derive(&model, &cluster, 32, 5));
+        let ssgd = sim.run(AlgoKind::Ssgd, 42).avg_iter_time;
+        let bit = sim.run(AlgoKind::BitSgd, 42).avg_iter_time;
+        let od = sim.run(AlgoKind::OdSgd, 42).avg_iter_time;
+        let cd = sim.run(AlgoKind::CdSgd { k: 5 }, 52).avg_iter_time;
+        println!(
+            "{:<28} {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.1}ms",
+            format!("({p}, {thr})"),
+            cm.t_ssgd() * 1e3,
+            ssgd * 1e3,
+            cm.t_bit() * 1e3,
+            bit * 1e3,
+            cm.t_loc() * 1e3,
+            od * 1e3,
+            cm.t_cd_avg() * 1e3,
+            cd * 1e3,
+        );
+        for (cf, s) in [(cm.t_ssgd(), ssgd), (cm.t_bit(), bit), (cm.t_loc(), od)] {
+            worst = worst.max((cf - s).abs() / cf);
+        }
+    }
+    println!("\nworst relative deviation on non-CD algorithms: {:.1}%", worst * 100.0);
+
+    println!("\n== Eq. 8 (saving vs local-update method) and eq. 9 (saving vs BIT-SGD) case table ==");
+    println!(
+        "{:<34} {:>10} {:>10} {:>12} {:>12}",
+        "regime (tau, phi, psi, delta)", "Ts_loc@cmp", "Ts_loc@cor", "Ts_bit@cmp", "Ts_bit@cor"
+    );
+    let regimes: Vec<(&str, CostInputs)> = vec![
+        ("compute-bound", CostInputs { tau: 1.0, phi: 0.5, psi: 0.05, delta: 0.1, k: 5 }),
+        ("comm-bound", CostInputs { tau: 0.1, phi: 1.0, psi: 0.2, delta: 0.05, k: 5 }),
+        ("middle", CostInputs { tau: 0.5, phi: 1.0, psi: 0.1, delta: 0.1, k: 5 }),
+    ];
+    for (name, inp) in regimes {
+        let cm = CostModel::new(inp);
+        println!(
+            "{:<34} {:>10.3} {:>10.3} {:>12.3} {:>12.3}",
+            format!("{name} ({}, {}, {}, {})", inp.tau, inp.phi, inp.psi, inp.delta),
+            cm.saving_vs_loc(1),
+            cm.saving_vs_loc(0),
+            cm.saving_vs_bit(1),
+            cm.saving_vs_bit(0),
+        );
+    }
+    println!("\n(paper §3.3: Ts_bit can be NEGATIVE in the correction iteration when phi is large — eq. 9 case 3)");
+}

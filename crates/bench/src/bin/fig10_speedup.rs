@@ -1,0 +1,53 @@
+//! Fig. 10 — speedup ratio of OD-SGD, BIT-SGD and CD-SGD over the S-SGD
+//! baseline on the paper's four models (ResNet-50, AlexNet, VGG-16,
+//! Inception-bn), 4×4-GPU nodes, k=5:
+//!
+//! * (a) batch 32 per GPU on the K80 cluster
+//! * (b) batch 32 per GPU on the V100 cluster
+//! * (c) batch 64 per GPU on the V100 cluster
+//! * (d) batch 128 per GPU on the V100 cluster
+//!
+//! Expected shape: comm-heavy models (AlexNet, VGG-16) gain most; the
+//! K80's slow compute shrinks every gap; larger batches shrink CD-SGD's
+//! advantage (computation becomes the bottleneck).
+//!
+//! Usage: `cargo run --release -p cdsgd-bench --bin fig10_speedup [--k 5]`
+
+use cdsgd_bench::arg_usize;
+use cdsgd_simtime::pipeline::{AlgoKind, PipelineSim};
+use cdsgd_simtime::{zoo, ClusterSpec};
+
+fn panel(title: &str, cluster: &ClusterSpec, batch: usize, k: usize) {
+    println!("-- {title} (k={k}) --");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>12}",
+        "model", "OD-SGD", "BIT-SGD", "CD-SGD", "ssgd_iter_ms"
+    );
+    for model in zoo::fig10_models() {
+        let sim = PipelineSim::new(&model, cluster, batch);
+        let ssgd = sim.run(AlgoKind::Ssgd, 42).avg_iter_time;
+        let speedup = |algo: AlgoKind, iters: usize| -> f64 {
+            ssgd / sim.run(algo, iters).avg_iter_time - 1.0
+        };
+        println!(
+            "{:<14} {:>9.0}% {:>9.0}% {:>9.0}% {:>12.2}",
+            model.name,
+            100.0 * speedup(AlgoKind::OdSgd, 42),
+            100.0 * speedup(AlgoKind::BitSgd, 42),
+            100.0 * speedup(AlgoKind::CdSgd { k }, 2 + 10 * k),
+            ssgd * 1e3,
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let k = arg_usize("k", 5);
+    println!("== Fig. 10: speedup over S-SGD, 4 nodes x 4 GPUs, 56 Gbps IB ==\n");
+    panel("(a) batch 32 per GPU, K80", &ClusterSpec::k80_cluster(), 32, k);
+    panel("(b) batch 32 per GPU, V100", &ClusterSpec::v100_cluster(), 32, k);
+    panel("(c) batch 64 per GPU, V100", &ClusterSpec::v100_cluster(), 64, k);
+    panel("(d) batch 128 per GPU, V100", &ClusterSpec::v100_cluster(), 128, k);
+    println!("paper CD-SGD speedups: (a) 0/43/33/32%  (b) 24/43/39/44%  (c) 28/35/71/89%  (d) 3/45/2/89%");
+    println!("(order: ResNet-50, AlexNet, VGG-16, Inception-bn; expected shape, not exact values)");
+}

@@ -1,0 +1,65 @@
+//! Fig. 5 (real execution) — the paper's profiler observation reproduced
+//! on the *actual* threaded implementation, not the timing simulator:
+//! BIT-SGD workers block on the pull every iteration, while CD-SGD
+//! workers' pull-wait collapses to ~zero because the deferred pull is
+//! already satisfied when requested.
+//!
+//! Prints per-op wall-clock totals and the blocked fraction, and writes
+//! Chrome traces of the real worker timelines.
+//!
+//! An emulated shared network (default 5 MiB/s, `--mibps`) puts the run
+//! in the paper's communication-visible regime; without it the in-process
+//! server is effectively infinitely fast and both algorithms block ~0%.
+//!
+//! Usage: `cargo run --release -p cdsgd-bench --bin fig5_real
+//!         [--epochs 2] [--samples 1200] [--mibps 5]`
+
+use cd_sgd::profile::{summarize, to_chrome_json};
+use cd_sgd::{Algorithm, TrainConfig, Trainer};
+use cdsgd_bench::arg_usize;
+use cdsgd_data::synth;
+use cdsgd_nn::models;
+
+fn main() {
+    let epochs = arg_usize("epochs", 2);
+    let samples = arg_usize("samples", 1_200);
+    let mibps = arg_usize("mibps", 5);
+    let workers = 2usize;
+    let data = synth::cifar_like(samples, 3);
+    let (train, _) = data.split(1.0);
+    // Short warm-up so the profiled window is dominated by the formal
+    // (overlapping) phase.
+    let warmup = 5usize;
+
+    println!("== Fig. 5 (real execution): ResNet-20-lite, {workers} workers, per-op wall-clock ==\n");
+    for algo in [
+        Algorithm::BitSgd { threshold: 0.5 },
+        Algorithm::cd_sgd(0.05, 0.5, 4, warmup),
+    ] {
+        let name = algo.name();
+        let cfg = TrainConfig::new(algo, workers)
+            .with_lr(0.4)
+            .with_batch_size(32)
+            .with_epochs(epochs)
+            .with_seed(3)
+            .with_profiling(true)
+            .with_emulated_network(mibps as f64 * 1024.0 * 1024.0);
+        let h = Trainer::new(cfg, |rng| models::resnet_cifar(8, 1, 10, rng), train.clone(), None)
+            .run();
+        let events = h.profile.expect("profiling enabled");
+        let summary = summarize(&events);
+        println!("-- {name} --");
+        for (op, total) in &summary.totals {
+            println!("  {op:<14} {total:>9.3} s");
+        }
+        println!(
+            "  blocked on pulls: {:.1}% of worker time",
+            summary.pull_wait_fraction * 100.0
+        );
+        let path = format!("fig5_real_{}.trace.json", name.to_lowercase().replace(['(', ')', '='], "_"));
+        std::fs::write(&path, to_chrome_json(&events, &name)).expect("write trace");
+        println!("  chrome trace: {path}\n");
+    }
+    println!("expected shape (paper Fig. 5): BIT-SGD's blocked fraction is substantial;");
+    println!("CD-SGD's is near zero — the next FP never waits for the current communication.");
+}

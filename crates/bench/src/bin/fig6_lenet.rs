@@ -1,0 +1,43 @@
+//! Fig. 6 — learning curves of LeNet-5 on the MNIST-like workload.
+//!
+//! Paper setting: global lr 0.1, local lr 0.4 (CD/OD), threshold 0.5,
+//! batch 32/GPU, k=2; train/test accuracy for M=2 and M=4 workers. The
+//! expected shape: BIT-SGD converges visibly worse; CD-SGD matches (or
+//! slightly beats) S-SGD and OD-SGD.
+//!
+//! Usage: `cargo run --release -p cdsgd-bench --bin fig6_lenet
+//!         [--workers 2] [--epochs 8] [--samples 4000]`
+
+use cdsgd_bench::{arg_f32, arg_usize, paper_algorithms, CurveSpec};
+use cdsgd_data::synth;
+use cdsgd_nn::models;
+
+fn main() {
+    let workers = arg_usize("workers", 2);
+    let epochs = arg_usize("epochs", 8);
+    // The paper uses local lr 0.4 on real MNIST; our synthetic stand-in
+    // has different gradient scales and needs 0.1 for the same shape.
+    let local_lr = arg_f32("local-lr", 0.1);
+    let samples = arg_usize("samples", 4_000);
+
+    let data = synth::mnist_like(samples, 42);
+    let (train, test) = data.split(0.85);
+
+    let spec = CurveSpec {
+        title: format!("Fig. 6: LeNet-5 on MNIST-like, M={workers}"),
+        workers,
+        epochs,
+        batch: 32,
+        global_lr: 0.1,
+        seed: 42,
+        augment: false,
+        lr_schedule: vec![],
+    };
+    // Paper: local lr 0.4, threshold 0.5, k=2; warm-up sized to ~one epoch
+    // of the smallest shard.
+    let warmup = (train.len() / workers / 32).max(1);
+    let algos = paper_algorithms(local_lr, 0.5, 2, warmup);
+    spec.run(&algos, |rng| models::lenet5(10, rng), &train, &test);
+
+    println!("paper reference (MNIST, M=2): S-SGD 99.15%, CD-SGD 99.14%, OD-SGD 99.12%, BIT-SGD <99%");
+}

@@ -1,0 +1,45 @@
+//! Future work (paper §6): "we plan to evaluate CD-SGD on larger
+//! computer clusters with low bandwidth environment" — done here with the
+//! timing substrate: cluster-size × bandwidth sweep of CD-SGD's speedup
+//! over S-SGD and BIT-SGD on ResNet-50.
+//!
+//! Usage: `cargo run --release -p cdsgd-bench --bin future_lowband [--k 5]`
+
+use cdsgd_bench::arg_usize;
+use cdsgd_simtime::pipeline::{AlgoKind, PipelineSim};
+use cdsgd_simtime::{zoo, ClusterSpec};
+
+fn main() {
+    let k = arg_usize("k", 5);
+    let model = zoo::resnet50();
+    println!("== Future work: ResNet-50, V100 nodes, cluster-size x bandwidth sweep (k={k}) ==\n");
+    println!(
+        "{:>7} {:>9} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "nodes", "gbps", "ssgd_ms", "bit_ms", "cd_ms", "cd_vs_ssgd", "cd_vs_bit"
+    );
+    for nodes in [4usize, 8, 16, 32] {
+        for gbps in [1.0f64, 10.0, 56.0] {
+            let cluster = ClusterSpec {
+                nodes,
+                ..ClusterSpec::v100_cluster()
+            }
+            .with_bandwidth_gbps(gbps);
+            let sim = PipelineSim::new(&model, &cluster, 32);
+            let ssgd = sim.run(AlgoKind::Ssgd, 42).avg_iter_time;
+            let bit = sim.run(AlgoKind::BitSgd, 42).avg_iter_time;
+            let cd = sim.run(AlgoKind::CdSgd { k }, 2 + 10 * k).avg_iter_time;
+            println!(
+                "{:>7} {:>9} {:>12.1} {:>12.1} {:>12.1} {:>13.0}% {:>13.0}%",
+                nodes,
+                gbps,
+                ssgd * 1e3,
+                bit * 1e3,
+                cd * 1e3,
+                (ssgd / cd - 1.0) * 100.0,
+                (bit / cd - 1.0) * 100.0,
+            );
+        }
+    }
+    println!("\n(expected: CD-SGD's advantage grows as bandwidth shrinks and the cluster grows;");
+    println!(" at 1 Gbps even the k-step correction round dominates — larger k pays off there)");
+}

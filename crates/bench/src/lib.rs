@@ -1,0 +1,137 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Each paper experiment has its own binary under `src/bin/`; this crate
+//! holds the argument parsing, the generic "run these algorithms on this
+//! workload and print learning curves" driver, and the row printers.
+
+use cd_sgd::{Algorithm, TrainConfig, Trainer, TrainingHistory};
+use cdsgd_data::Dataset;
+use cdsgd_nn::Sequential;
+use cdsgd_tensor::SmallRng64;
+
+/// Read `--name <value>` from the process arguments, else `default`.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    arg_string(name).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer, got {v}"))
+    })
+}
+
+/// Read `--name <value>` as f32.
+pub fn arg_f32(name: &str, default: f32) -> f32 {
+    arg_string(name).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| panic!("--{name} expects a number, got {v}"))
+    })
+}
+
+/// Read `--name <value>` as a string.
+pub fn arg_string(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == &format!("--{name}"))
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// True if `--name` is present (with or without a value).
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == format!("--{name}"))
+}
+
+/// Specification of one learning-curve experiment (Figs. 6–9 share it).
+#[derive(Clone)]
+pub struct CurveSpec {
+    /// Experiment title printed in the header.
+    pub title: String,
+    /// Worker count M.
+    pub workers: usize,
+    /// Epochs to run.
+    pub epochs: usize,
+    /// Per-worker batch size.
+    pub batch: usize,
+    /// Server learning rate.
+    pub global_lr: f32,
+    /// Seed shared across algorithms (same data order & init).
+    pub seed: u64,
+    /// Augment training batches.
+    pub augment: bool,
+    /// lr decay points.
+    pub lr_schedule: Vec<(usize, f32)>,
+}
+
+impl CurveSpec {
+    /// Run every algorithm on the same data/model and print per-epoch
+    /// learning curves plus a final-accuracy summary. Returns the
+    /// histories in input order.
+    pub fn run(
+        &self,
+        algos: &[Algorithm],
+        builder: impl Fn(&mut SmallRng64) -> Sequential + Send + Sync + Clone + 'static,
+        train: &Dataset,
+        test: &Dataset,
+    ) -> Vec<TrainingHistory> {
+        println!("== {} (M={} workers, {} epochs) ==", self.title, self.workers, self.epochs);
+        let mut out = Vec::new();
+        for algo in algos {
+            let mut cfg = TrainConfig::new(algo.clone(), self.workers)
+                .with_lr(self.global_lr)
+                .with_batch_size(self.batch)
+                .with_epochs(self.epochs)
+                .with_seed(self.seed)
+                .with_augment(self.augment);
+            for &(e, lr) in &self.lr_schedule {
+                cfg = cfg.with_lr_decay(e, lr);
+            }
+            let trainer = Trainer::new(cfg, builder.clone(), train.clone(), Some(test.clone()));
+            let history = trainer.run();
+            println!("-- {} --", history.algo);
+            print!("{}", history.to_tsv());
+            out.push(history);
+        }
+        println!("\n== summary: {} ==", self.title);
+        println!("{:<14} {:>10} {:>10} {:>12} {:>14}", "algorithm", "final_acc", "best_acc", "final_loss", "avg_epoch_s");
+        for h in &out {
+            println!(
+                "{:<14} {:>10} {:>10} {:>12.4} {:>14.3}",
+                h.algo,
+                h.final_test_acc().map_or("-".into(), |a| format!("{a:.4}")),
+                h.best_test_acc().map_or("-".into(), |a| format!("{a:.4}")),
+                h.final_train_loss().unwrap_or(f32::NAN),
+                h.avg_epoch_time(),
+            );
+        }
+        println!();
+        out
+    }
+}
+
+/// The four paper algorithms with its standard hyper-parameters:
+/// `(local_lr, threshold, k, warmup)` pulled from §4.2.
+pub fn paper_algorithms(local_lr: f32, threshold: f32, k: usize, warmup: usize) -> Vec<Algorithm> {
+    vec![
+        Algorithm::SSgd,
+        Algorithm::OdSgd { local_lr },
+        Algorithm::BitSgd { threshold },
+        Algorithm::cd_sgd(local_lr, threshold, k, warmup),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_algorithms_ordering() {
+        let a = paper_algorithms(0.1, 0.5, 2, 10);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0].name(), "S-SGD");
+        assert_eq!(a[3].name(), "CD-SGD(k=2)");
+    }
+
+    #[test]
+    fn arg_defaults_pass_through() {
+        // No such flags in the test process: defaults returned.
+        assert_eq!(arg_usize("definitely-not-set", 7), 7);
+        assert_eq!(arg_f32("also-not-set", 0.5), 0.5);
+        assert!(arg_string("missing").is_none());
+        assert!(!arg_flag("missing"));
+    }
+}

@@ -1,0 +1,204 @@
+//! The [`Compressed`] wire payload and its decoders.
+
+use crate::packing::{unpack_1bit, unpack_2bit};
+
+/// A compressed gradient as it would travel over the network.
+///
+/// Every variant carries enough information to decode without external
+/// state, and [`Compressed::wire_bytes`] reports the exact size a real
+/// implementation would transmit (payload + minimal header), which the
+/// timing substrate uses for communication-cost accounting.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Compressed {
+    /// Uncompressed f32 payload (S-SGD pushes and CD-SGD correction steps).
+    Raw(Vec<f32>),
+    /// MXNet-style 2-bit threshold quantization: symbols decode to
+    /// `{0, +threshold, -threshold}`.
+    TwoBit { threshold: f32, packed: Vec<u8>, len: usize },
+    /// 1-bit sign quantization with a shared magnitude (signSGD w/ scale).
+    OneBit { scale: f32, signs: Vec<u8>, len: usize },
+    /// TernGrad stochastic ternarization: symbols decode to
+    /// `{0, +scale, -scale}`.
+    Tern { scale: f32, packed: Vec<u8>, len: usize },
+    /// QSGD stochastic uniform quantization: per-element signed level in
+    /// `[-levels, +levels]`, decoded as `norm * level / levels`.
+    Qsgd { norm: f32, levels: u8, codes: Vec<i8>, len: usize },
+    /// Top-k sparsification: explicit (index, value) pairs.
+    TopK { indices: Vec<u32>, values: Vec<f32>, len: usize },
+}
+
+impl Compressed {
+    /// Number of f32 elements the payload decodes to.
+    pub fn len(&self) -> usize {
+        match self {
+            Compressed::Raw(v) => v.len(),
+            Compressed::TwoBit { len, .. }
+            | Compressed::OneBit { len, .. }
+            | Compressed::Tern { len, .. }
+            | Compressed::Qsgd { len, .. }
+            | Compressed::TopK { len, .. } => *len,
+        }
+    }
+
+    /// True if the payload decodes to zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exact bytes this payload occupies on the wire (payload plus the
+    /// scalar header fields a real serializer would send).
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Compressed::Raw(v) => 4 * v.len(),
+            // threshold (4) + packed bytes
+            Compressed::TwoBit { packed, .. } => 4 + packed.len(),
+            // scale (4) + sign bits
+            Compressed::OneBit { signs, .. } => 4 + signs.len(),
+            // scale (4) + packed 2-bit codes
+            Compressed::Tern { packed, .. } => 4 + packed.len(),
+            // norm (4) + levels (1) + fixed-width codes. Real QSGD uses
+            // Elias coding; fixed ceil(log2(2L+1))-bit codes are a
+            // conservative stand-in.
+            Compressed::Qsgd { levels, len, .. } => {
+                let bits = (2 * *levels as usize + 1).next_power_of_two().trailing_zeros() as usize;
+                4 + 1 + (len * bits).div_ceil(8)
+            }
+            // (u32 index + f32 value) per retained element
+            Compressed::TopK { indices, .. } => 8 * indices.len(),
+        }
+    }
+
+    /// True for payloads that carry per-element codes smaller than f32.
+    pub fn is_compressed(&self) -> bool {
+        !matches!(self, Compressed::Raw(_))
+    }
+}
+
+/// Decode a payload into `out`, overwriting it.
+///
+/// # Panics
+/// Panics if `out.len()` differs from the encoded length.
+pub fn decompress(c: &Compressed, out: &mut [f32]) {
+    assert_eq!(out.len(), c.len(), "decode buffer length mismatch");
+    out.fill(0.0);
+    decompress_add(c, out);
+}
+
+/// Decode a payload into `out`, *adding* to the existing contents.
+/// This is what the server's aggregation loop uses: it decodes each
+/// worker's payload straight into the accumulation buffer.
+pub fn decompress_add(c: &Compressed, out: &mut [f32]) {
+    assert_eq!(out.len(), c.len(), "decode buffer length mismatch");
+    match c {
+        Compressed::Raw(v) => {
+            for (o, &x) in out.iter_mut().zip(v) {
+                *o += x;
+            }
+        }
+        Compressed::TwoBit { threshold, packed, len } => {
+            for (o, s) in out.iter_mut().zip(unpack_2bit(packed, *len)) {
+                match s {
+                    1 => *o += threshold,
+                    2 => *o -= threshold,
+                    _ => {}
+                }
+            }
+        }
+        Compressed::OneBit { scale, signs, len } => {
+            for (o, b) in out.iter_mut().zip(unpack_1bit(signs, *len)) {
+                *o += if b { *scale } else { -*scale };
+            }
+        }
+        Compressed::Tern { scale, packed, len } => {
+            for (o, s) in out.iter_mut().zip(unpack_2bit(packed, *len)) {
+                match s {
+                    1 => *o += scale,
+                    2 => *o -= scale,
+                    _ => {}
+                }
+            }
+        }
+        Compressed::Qsgd { norm, levels, codes, .. } => {
+            let inv = norm / *levels as f32;
+            for (o, &c) in out.iter_mut().zip(codes) {
+                *o += c as f32 * inv;
+            }
+        }
+        Compressed::TopK { indices, values, .. } => {
+            for (&i, &v) in indices.iter().zip(values) {
+                out[i as usize] += v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packing::{pack_1bit, pack_2bit};
+
+    #[test]
+    fn raw_wire_bytes() {
+        assert_eq!(Compressed::Raw(vec![0.0; 10]).wire_bytes(), 40);
+    }
+
+    #[test]
+    fn two_bit_wire_bytes_are_sixteenth_plus_header() {
+        let c = Compressed::TwoBit { threshold: 0.5, packed: vec![0; 256], len: 1024 };
+        assert_eq!(c.wire_bytes(), 4 + 256);
+        // 1024 f32 = 4096 raw bytes -> 260 compressed, ~15.7x smaller.
+        assert!((c.wire_bytes() as f64) < 4096.0 / 15.0);
+    }
+
+    #[test]
+    fn decompress_two_bit_symbols() {
+        let packed = pack_2bit(&[1, 2, 0, 1]);
+        let c = Compressed::TwoBit { threshold: 0.25, packed, len: 4 };
+        let mut out = vec![9.0; 4];
+        decompress(&c, &mut out);
+        assert_eq!(out, vec![0.25, -0.25, 0.0, 0.25]);
+    }
+
+    #[test]
+    fn decompress_add_accumulates() {
+        let packed = pack_2bit(&[1, 1]);
+        let c = Compressed::TwoBit { threshold: 1.0, packed, len: 2 };
+        let mut out = vec![0.5, -0.5];
+        decompress_add(&c, &mut out);
+        assert_eq!(out, vec![1.5, 0.5]);
+    }
+
+    #[test]
+    fn decompress_one_bit() {
+        let signs = pack_1bit(&[true, false, true]);
+        let c = Compressed::OneBit { scale: 2.0, signs, len: 3 };
+        let mut out = vec![0.0; 3];
+        decompress(&c, &mut out);
+        assert_eq!(out, vec![2.0, -2.0, 2.0]);
+    }
+
+    #[test]
+    fn decompress_qsgd_codes() {
+        let c = Compressed::Qsgd { norm: 4.0, levels: 4, codes: vec![4, -2, 0], len: 3 };
+        let mut out = vec![0.0; 3];
+        decompress(&c, &mut out);
+        assert_eq!(out, vec![4.0, -2.0, 0.0]);
+    }
+
+    #[test]
+    fn decompress_topk_scatter() {
+        let c = Compressed::TopK { indices: vec![3, 0], values: vec![1.5, -2.5], len: 5 };
+        let mut out = vec![0.0; 5];
+        decompress(&c, &mut out);
+        assert_eq!(out, vec![-2.5, 0.0, 0.0, 1.5, 0.0]);
+        assert_eq!(c.wire_bytes(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_out_len_panics() {
+        let c = Compressed::Raw(vec![1.0]);
+        let mut out = vec![0.0; 2];
+        decompress(&c, &mut out);
+    }
+}

@@ -1,0 +1,110 @@
+//! 1-bit sign quantization with error feedback (Seide et al. 2014 /
+//! signSGD with EF) — the most aggressive quantization baseline the paper
+//! cites (§1, [26]).
+
+use crate::compressed::Compressed;
+use crate::packing::pack_1bit;
+use crate::residual::ResidualStore;
+use crate::GradientCompressor;
+
+/// 1-bit quantizer: each element of `grad + residual` is transmitted as its
+/// sign, scaled by the mean absolute value of the (residual-corrected)
+/// gradient so the decoded magnitude is unbiased in L1. Error feedback
+/// keeps the quantization error for the next round.
+#[derive(Debug, Clone, Default)]
+pub struct OneBitQuantizer {
+    residuals: ResidualStore,
+}
+
+impl OneBitQuantizer {
+    /// New quantizer with empty residual state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Access the residual store (diagnostics).
+    pub fn residuals(&self) -> &ResidualStore {
+        &self.residuals
+    }
+}
+
+impl GradientCompressor for OneBitQuantizer {
+    fn compress(&mut self, key: usize, grad: &[f32]) -> Compressed {
+        let res = self.residuals.get_mut(key, grad.len());
+        let corrected: Vec<f32> = grad.iter().zip(res.iter()).map(|(&g, &r)| g + r).collect();
+        let scale = if corrected.is_empty() {
+            0.0
+        } else {
+            corrected.iter().map(|x| x.abs()).sum::<f32>() / corrected.len() as f32
+        };
+        let bits: Vec<bool> = corrected.iter().map(|&x| x >= 0.0).collect();
+        for ((r, &x), &b) in res.iter_mut().zip(&corrected).zip(&bits) {
+            let q = if b { scale } else { -scale };
+            *r = x - q;
+        }
+        Compressed::OneBit { scale, signs: pack_1bit(&bits), len: grad.len() }
+    }
+
+    fn name(&self) -> &'static str {
+        "1bit"
+    }
+
+    fn wire_bytes(&self, n: usize) -> usize {
+        4 + n.div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressed::decompress;
+
+    fn decode(c: &Compressed) -> Vec<f32> {
+        let mut out = vec![0.0; c.len()];
+        decompress(c, &mut out);
+        out
+    }
+
+    #[test]
+    fn signs_and_scale() {
+        let mut q = OneBitQuantizer::new();
+        let c = q.compress(0, &[1.0, -3.0]);
+        // scale = mean(|1|, |3|) = 2
+        assert_eq!(decode(&c), vec![2.0, -2.0]);
+    }
+
+    #[test]
+    fn error_feedback_conserves_mass() {
+        let mut q = OneBitQuantizer::new();
+        let grads = [[0.9f32, -0.1], [0.2, 0.2], [-1.0, 0.4]];
+        let mut sent = [0.0f32; 2];
+        let mut total = [0.0f32; 2];
+        for g in &grads {
+            for (t, &x) in total.iter_mut().zip(g) {
+                *t += x;
+            }
+            for (s, d) in sent.iter_mut().zip(decode(&q.compress(0, g))) {
+                *s += d;
+            }
+        }
+        let res = q.residuals().get(0).unwrap();
+        for i in 0..2 {
+            assert!((sent[i] + res[i] - total[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn thirty_two_x_wire_reduction() {
+        let q = OneBitQuantizer::new();
+        assert_eq!(q.wire_bytes(800), 4 + 100);
+        assert!(q.compression_ratio(1 << 20) < 1.0 / 30.0);
+    }
+
+    #[test]
+    fn empty_gradient_ok() {
+        let mut q = OneBitQuantizer::new();
+        let c = q.compress(0, &[]);
+        assert_eq!(c.len(), 0);
+        assert!(decode(&c).is_empty());
+    }
+}

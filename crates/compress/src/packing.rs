@@ -1,0 +1,98 @@
+//! Bit-packing codecs: 2-bit and 1-bit symbol streams in `Vec<u8>`.
+//!
+//! MXNet's 2-bit compressor packs 16 quantized values per `u32`; packing
+//! four 2-bit symbols per byte is the same wire density with simpler
+//! endianness semantics.
+
+/// A 2-bit symbol: `0` = zero, `1` = +threshold, `2` = -threshold.
+/// Symbol `3` is reserved/unused (matches MXNet which also leaves one code
+/// point unused).
+pub type Sym2 = u8;
+
+/// Pack a slice of 2-bit symbols (values 0..=3) into bytes, 4 per byte,
+/// little-end first (symbol `i` occupies bits `2*(i%4) .. 2*(i%4)+2`).
+pub fn pack_2bit(symbols: &[Sym2]) -> Vec<u8> {
+    let mut out = vec![0u8; symbols.len().div_ceil(4)];
+    for (i, &s) in symbols.iter().enumerate() {
+        debug_assert!(s < 4, "2-bit symbol out of range");
+        out[i / 4] |= (s & 0b11) << (2 * (i % 4));
+    }
+    out
+}
+
+/// Unpack `n` 2-bit symbols from a byte stream produced by [`pack_2bit`].
+///
+/// # Panics
+/// Panics if `bytes` is too short for `n` symbols.
+pub fn unpack_2bit(bytes: &[u8], n: usize) -> Vec<Sym2> {
+    assert!(bytes.len() * 4 >= n, "byte stream too short: {} bytes for {n} symbols", bytes.len());
+    (0..n).map(|i| (bytes[i / 4] >> (2 * (i % 4))) & 0b11).collect()
+}
+
+/// Pack a slice of booleans into bytes, 8 per byte, little-end first.
+pub fn pack_1bit(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+/// Unpack `n` booleans from a byte stream produced by [`pack_1bit`].
+///
+/// # Panics
+/// Panics if `bytes` is too short for `n` bits.
+pub fn unpack_1bit(bytes: &[u8], n: usize) -> Vec<bool> {
+    assert!(bytes.len() * 8 >= n, "byte stream too short: {} bytes for {n} bits", bytes.len());
+    (0..n).map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_round_trip() {
+        let syms: Vec<u8> = vec![0, 1, 2, 0, 1, 1, 2, 2, 0];
+        let packed = pack_2bit(&syms);
+        assert_eq!(packed.len(), 3); // ceil(9/4)
+        assert_eq!(unpack_2bit(&packed, 9), syms);
+    }
+
+    #[test]
+    fn two_bit_all_codepoints() {
+        let syms: Vec<u8> = vec![0, 1, 2, 3];
+        assert_eq!(unpack_2bit(&pack_2bit(&syms), 4), syms);
+    }
+
+    #[test]
+    fn two_bit_empty() {
+        assert!(pack_2bit(&[]).is_empty());
+        assert!(unpack_2bit(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn two_bit_density() {
+        // Exactly 4 symbols per byte.
+        for n in [1, 4, 5, 16, 17, 1000] {
+            let syms = vec![1u8; n];
+            assert_eq!(pack_2bit(&syms).len(), n.div_ceil(4));
+        }
+    }
+
+    #[test]
+    fn one_bit_round_trip() {
+        let bits: Vec<bool> = (0..19).map(|i| i % 3 == 0).collect();
+        let packed = pack_1bit(&bits);
+        assert_eq!(packed.len(), 3);
+        assert_eq!(unpack_1bit(&packed, 19), bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn unpack_short_stream_panics() {
+        unpack_2bit(&[0u8], 5);
+    }
+}

@@ -1,0 +1,94 @@
+//! Per-key residual (error-feedback) storage shared by the quantizers.
+
+use std::collections::HashMap;
+
+/// Residual buffers, one `Vec<f32>` per parameter key, lazily created at
+//  first use and persisted across iterations.
+///
+/// This is the paper's "residual buffer" (§2.3): quantization error is
+/// accumulated here and re-enters the gradient stream on later iterations,
+/// which is both why 2-bit quantization loses no information in the limit
+/// and why its weight updates are *delayed* — the effect CD-SGD's k-step
+/// correction exists to repair.
+#[derive(Debug, Default, Clone)]
+pub struct ResidualStore {
+    buffers: HashMap<usize, Vec<f32>>,
+}
+
+impl ResidualStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mutable residual buffer for `key`, created zero-filled with length
+    /// `len` on first access.
+    ///
+    /// # Panics
+    /// Panics if `key` was previously used with a different length — a
+    /// parameter tensor cannot change size mid-training.
+    pub fn get_mut(&mut self, key: usize, len: usize) -> &mut [f32] {
+        let buf = self.buffers.entry(key).or_insert_with(|| vec![0.0; len]);
+        assert_eq!(buf.len(), len, "residual length changed for key {key}");
+        buf
+    }
+
+    /// Read-only residual for `key`, if it exists yet.
+    pub fn get(&self, key: usize) -> Option<&[f32]> {
+        self.buffers.get(&key).map(|v| v.as_slice())
+    }
+
+    /// Sum of squared residual magnitudes across all keys (diagnostic:
+    /// how much gradient signal is currently "in flight" in the buffers).
+    pub fn total_sq_norm(&self) -> f64 {
+        self.buffers
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|&x| (x as f64) * (x as f64))
+            .sum()
+    }
+
+    /// Drop all residual state (used between experiments).
+    pub fn clear(&mut self) {
+        self.buffers.clear();
+    }
+
+    /// Number of keys with residual state.
+    pub fn num_keys(&self) -> usize {
+        self.buffers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lazily_creates_zeroed_buffers() {
+        let mut s = ResidualStore::new();
+        assert!(s.get(3).is_none());
+        assert_eq!(s.get_mut(3, 4), &[0.0; 4]);
+        s.get_mut(3, 4)[2] = 1.5;
+        assert_eq!(s.get(3).unwrap(), &[0.0, 0.0, 1.5, 0.0]);
+        assert_eq!(s.num_keys(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "residual length changed")]
+    fn length_change_panics() {
+        let mut s = ResidualStore::new();
+        s.get_mut(0, 4);
+        s.get_mut(0, 5);
+    }
+
+    #[test]
+    fn sq_norm_tracks_contents() {
+        let mut s = ResidualStore::new();
+        s.get_mut(0, 2).copy_from_slice(&[3.0, 4.0]);
+        s.get_mut(1, 1)[0] = 2.0;
+        assert!((s.total_sq_norm() - 29.0).abs() < 1e-9);
+        s.clear();
+        assert_eq!(s.total_sq_norm(), 0.0);
+        assert_eq!(s.num_keys(), 0);
+    }
+}

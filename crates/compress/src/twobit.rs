@@ -1,0 +1,195 @@
+//! MXNet-style 2-bit threshold gradient quantization with residual
+//! accumulation — the compressor used by the paper's BIT-SGD and CD-SGD.
+
+use crate::compressed::Compressed;
+use crate::packing::pack_2bit;
+use crate::residual::ResidualStore;
+use crate::GradientCompressor;
+
+/// 2-bit threshold quantizer (MXNet 1.4 `gc_type="2bit"` semantics).
+///
+/// For each element, the value considered is `x = grad[i] + residual[i]`:
+///
+/// * `x >= threshold`  → transmit `+threshold` (code 1)
+/// * `x <= -threshold` → transmit `-threshold` (code 2)
+/// * otherwise         → transmit `0` (code 0)
+///
+/// The untransmitted remainder `x - q` is stored back into the residual
+/// buffer for the key, so no gradient mass is ever dropped — only delayed
+/// (paper §2.3 and §3.4.1 update rules).
+///
+/// `with_residual(false)` disables error feedback; this is the ablation
+/// mode the benchmark suite uses to show why residuals matter.
+#[derive(Debug, Clone)]
+pub struct TwoBitQuantizer {
+    threshold: f32,
+    residuals: ResidualStore,
+    use_residual: bool,
+}
+
+impl TwoBitQuantizer {
+    /// Quantizer with the given positive threshold α (the paper uses 0.5).
+    ///
+    /// # Panics
+    /// Panics if `threshold` is not strictly positive and finite.
+    pub fn new(threshold: f32) -> Self {
+        assert!(
+            threshold > 0.0 && threshold.is_finite(),
+            "threshold must be positive and finite, got {threshold}"
+        );
+        Self { threshold, residuals: ResidualStore::new(), use_residual: true }
+    }
+
+    /// Enable/disable the residual (error-feedback) buffer. Ablation knob.
+    pub fn with_residual(mut self, on: bool) -> Self {
+        self.use_residual = on;
+        self
+    }
+
+    /// The quantization threshold α.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Access the residual store (diagnostics).
+    pub fn residuals(&self) -> &ResidualStore {
+        &self.residuals
+    }
+}
+
+impl GradientCompressor for TwoBitQuantizer {
+    fn compress(&mut self, key: usize, grad: &[f32]) -> Compressed {
+        let thr = self.threshold;
+        let mut symbols = vec![0u8; grad.len()];
+        if self.use_residual {
+            let res = self.residuals.get_mut(key, grad.len());
+            for ((s, &g), r) in symbols.iter_mut().zip(grad).zip(res.iter_mut()) {
+                let x = g + *r;
+                let q = if x >= thr {
+                    *s = 1;
+                    thr
+                } else if x <= -thr {
+                    *s = 2;
+                    -thr
+                } else {
+                    0.0
+                };
+                *r = x - q;
+            }
+        } else {
+            for (s, &g) in symbols.iter_mut().zip(grad) {
+                if g >= thr {
+                    *s = 1;
+                } else if g <= -thr {
+                    *s = 2;
+                }
+            }
+        }
+        Compressed::TwoBit { threshold: thr, packed: pack_2bit(&symbols), len: grad.len() }
+    }
+
+    fn name(&self) -> &'static str {
+        "2bit"
+    }
+
+    fn wire_bytes(&self, n: usize) -> usize {
+        4 + n.div_ceil(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressed::decompress;
+
+    fn decode(c: &Compressed) -> Vec<f32> {
+        let mut out = vec![0.0; c.len()];
+        decompress(c, &mut out);
+        out
+    }
+
+    #[test]
+    fn saturating_values_transmit_threshold() {
+        let mut q = TwoBitQuantizer::new(0.5);
+        let c = q.compress(0, &[0.9, -0.7, 0.5, -0.5]);
+        assert_eq!(decode(&c), vec![0.5, -0.5, 0.5, -0.5]);
+    }
+
+    #[test]
+    fn small_values_transmit_zero_and_accumulate() {
+        let mut q = TwoBitQuantizer::new(0.5);
+        let c = q.compress(0, &[0.3, -0.2]);
+        assert_eq!(decode(&c), vec![0.0, 0.0]);
+        assert_eq!(q.residuals().get(0).unwrap(), &[0.3, -0.2]);
+    }
+
+    #[test]
+    fn residual_crosses_threshold_and_fires() {
+        let mut q = TwoBitQuantizer::new(0.5);
+        // Two sub-threshold gradients of 0.3 accumulate to 0.6 ≥ 0.5.
+        let c1 = q.compress(0, &[0.3]);
+        assert_eq!(decode(&c1), vec![0.0]);
+        let c2 = q.compress(0, &[0.3]);
+        assert_eq!(decode(&c2), vec![0.5]);
+        // Residual keeps the remainder 0.6 - 0.5.
+        let r = q.residuals().get(0).unwrap()[0];
+        assert!((r - 0.1).abs() < 1e-6, "residual {r}");
+    }
+
+    #[test]
+    fn no_information_loss_over_time() {
+        // Error-feedback invariant: sum(decoded) + residual == sum(grads).
+        let mut q = TwoBitQuantizer::new(0.5);
+        let grads = [[0.23f32], [0.31], [-0.8], [0.05], [0.62], [-0.11]];
+        let mut transmitted = 0.0f32;
+        let mut total = 0.0f32;
+        for g in &grads {
+            total += g[0];
+            transmitted += decode(&q.compress(0, g))[0];
+        }
+        let residual = q.residuals().get(0).unwrap()[0];
+        assert!((transmitted + residual - total).abs() < 1e-5);
+    }
+
+    #[test]
+    fn residual_disabled_drops_information() {
+        let mut q = TwoBitQuantizer::new(0.5).with_residual(false);
+        let c1 = q.compress(0, &[0.3]);
+        assert_eq!(decode(&c1), vec![0.0]);
+        let c2 = q.compress(0, &[0.3]);
+        // Without error feedback the second 0.3 still reads 0.
+        assert_eq!(decode(&c2), vec![0.0]);
+        assert!(q.residuals().get(0).is_none());
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut q = TwoBitQuantizer::new(0.5);
+        q.compress(0, &[0.4]);
+        q.compress(1, &[-0.4]);
+        assert_eq!(q.residuals().get(0).unwrap(), &[0.4]);
+        assert_eq!(q.residuals().get(1).unwrap(), &[-0.4]);
+    }
+
+    #[test]
+    fn wire_bytes_sixteen_x_reduction() {
+        let q = TwoBitQuantizer::new(0.5);
+        // 1M elements: 4 MB raw -> ~0.25 MB + header.
+        assert_eq!(q.wire_bytes(1_000_000), 4 + 250_000);
+        assert!(q.compression_ratio(1_000_000) < 1.0 / 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_rejected() {
+        TwoBitQuantizer::new(0.0);
+    }
+
+    #[test]
+    fn empty_gradient_ok() {
+        let mut q = TwoBitQuantizer::new(0.5);
+        let c = q.compress(0, &[]);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.wire_bytes(), 4);
+    }
+}

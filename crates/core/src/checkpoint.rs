@@ -1,0 +1,152 @@
+//! Checkpointing: persist global weights and run histories to disk.
+//!
+//! Weights round-trip through a compact JSON envelope with a format tag
+//! and per-key lengths, so a checkpoint can be validated against a model
+//! before import. Histories export as JSON for plotting.
+
+use crate::metrics::TrainingHistory;
+use cdsgd_nn::Sequential;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// On-disk weight envelope.
+#[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Format marker/version.
+    pub format: String,
+    /// Algorithm that produced the weights (informational).
+    pub algo: String,
+    /// One vector per parameter key, in model visitation order.
+    pub weights: Vec<Vec<f32>>,
+}
+
+/// Current checkpoint format tag.
+pub const FORMAT: &str = "cdsgd-checkpoint-v1";
+
+impl Checkpoint {
+    /// Wrap weights in an envelope.
+    pub fn new(algo: impl Into<String>, weights: Vec<Vec<f32>>) -> Self {
+        Self { format: FORMAT.into(), algo: algo.into(), weights }
+    }
+
+    /// Capture a model's current parameters.
+    pub fn from_model(algo: impl Into<String>, model: &mut Sequential) -> Self {
+        Self::new(algo, model.export_params())
+    }
+
+    /// Write as JSON.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).expect("checkpoint serializes");
+        std::fs::write(path, json)
+    }
+
+    /// Read and validate the format tag.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        let ckpt: Checkpoint = serde_json::from_slice(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        if ckpt.format != FORMAT {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unknown checkpoint format {:?}", ckpt.format),
+            ));
+        }
+        Ok(ckpt)
+    }
+
+    /// Import into a model, validating key counts and lengths.
+    ///
+    /// # Panics
+    /// Panics if the checkpoint does not match the model's parameters.
+    pub fn apply_to(&self, model: &mut Sequential) {
+        model.import_params(&self.weights);
+    }
+}
+
+/// Export a run history as JSON (for plotting scripts).
+pub fn save_history(history: &TrainingHistory, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(history).expect("history serializes");
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdsgd_nn::models;
+    use cdsgd_tensor::SmallRng64;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("cdsgd_ckpt_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn weight_round_trip() {
+        let mut rng = SmallRng64::new(1);
+        let mut model = models::mlp(&[4, 8, 2], &mut rng);
+        let ckpt = Checkpoint::from_model("S-SGD", &mut model);
+        let path = tmp("roundtrip.json");
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded, ckpt);
+
+        // Apply to a differently-initialized model: weights match after.
+        let mut rng2 = SmallRng64::new(99);
+        let mut other = models::mlp(&[4, 8, 2], &mut rng2);
+        assert_ne!(other.export_params(), model.export_params());
+        loaded.apply_to(&mut other);
+        assert_eq!(other.export_params(), model.export_params());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_unknown_format() {
+        let path = tmp("badformat.json");
+        std::fs::write(&path, r#"{"format":"bogus","algo":"x","weights":[]}"#).unwrap();
+        assert!(Checkpoint::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("garbage.json");
+        std::fs::write(&path, b"not json").unwrap();
+        assert!(Checkpoint::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_model_panics() {
+        let mut rng = SmallRng64::new(2);
+        let mut small = models::mlp(&[4, 8, 2], &mut rng);
+        let ckpt = Checkpoint::from_model("S-SGD", &mut small);
+        let mut big = models::mlp(&[4, 16, 2], &mut rng);
+        ckpt.apply_to(&mut big);
+    }
+
+    #[test]
+    fn history_exports_as_json() {
+        use crate::metrics::{EpochMetrics, TrainingHistory};
+        let h = TrainingHistory {
+            algo: "CD-SGD(k=2)".into(),
+            num_workers: 2,
+            epochs: vec![EpochMetrics {
+                epoch: 0,
+                train_loss: 1.0,
+                train_acc: 0.5,
+                test_acc: Some(0.6),
+                epoch_time_s: 2.0,
+                cumulative_push_bytes: 42,
+            }],
+            final_weights: vec![vec![1.0]],
+            profile: None,
+        };
+        let path = tmp("history.json");
+        save_history(&h, &path).unwrap();
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(v["algo"], "CD-SGD(k=2)");
+        assert_eq!(v["epochs"][0]["test_acc"], 0.6);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,161 @@
+//! Learning-rate schedules: the step decay the paper uses for ResNet-50
+//! (×0.1 at epochs 30/60/80) plus the schedules a downstream user would
+//! expect (multi-step, cosine, linear warm-up).
+
+/// An epoch-indexed learning-rate schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Multiply by `gamma` at each listed epoch (the paper's ResNet-50
+    /// recipe is `base=0.4, gamma=0.1, milestones=[30, 60, 80]`).
+    MultiStep {
+        /// Initial rate.
+        base: f32,
+        /// Multiplier applied at each milestone.
+        gamma: f32,
+        /// Epochs at which the multiplier applies (ascending).
+        milestones: Vec<usize>,
+    },
+    /// Cosine annealing from `base` to `min_lr` over `total_epochs`.
+    Cosine {
+        /// Initial rate.
+        base: f32,
+        /// Final rate.
+        min_lr: f32,
+        /// Annealing horizon.
+        total_epochs: usize,
+    },
+    /// Linear warm-up from `start` to `base` over `warmup_epochs`, then
+    /// constant (the large-batch recipe of Goyal et al., cited in §5).
+    Warmup {
+        /// Rate at epoch 0.
+        start: f32,
+        /// Rate after warm-up.
+        base: f32,
+        /// Warm-up length in epochs.
+        warmup_epochs: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate in effect at `epoch`.
+    pub fn at(&self, epoch: usize) -> f32 {
+        match self {
+            LrSchedule::Constant { lr } => *lr,
+            LrSchedule::MultiStep { base, gamma, milestones } => {
+                let hits = milestones.iter().filter(|&&m| epoch >= m).count() as i32;
+                base * gamma.powi(hits)
+            }
+            LrSchedule::Cosine { base, min_lr, total_epochs } => {
+                if *total_epochs == 0 || epoch >= *total_epochs {
+                    return *min_lr;
+                }
+                let t = epoch as f32 / *total_epochs as f32;
+                min_lr + 0.5 * (base - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+            LrSchedule::Warmup { start, base, warmup_epochs } => {
+                if *warmup_epochs == 0 || epoch >= *warmup_epochs {
+                    *base
+                } else {
+                    start + (base - start) * epoch as f32 / *warmup_epochs as f32
+                }
+            }
+        }
+    }
+
+    /// Materialize the schedule as the `(epoch, lr)` change-points the
+    /// [`crate::TrainConfig`] consumes (one entry per epoch where the
+    /// rate changes, plus epoch 0).
+    pub fn change_points(&self, total_epochs: usize) -> Vec<(usize, f32)> {
+        let mut points = Vec::new();
+        let mut last = f32::NAN;
+        for e in 0..total_epochs {
+            let lr = self.at(e);
+            if points.is_empty() || (lr - last).abs() > f32::EPSILON * lr.abs().max(1.0) {
+                points.push((e, lr));
+                last = lr;
+            }
+        }
+        points
+    }
+
+    /// The paper's ResNet-50 recipe: ×0.1 at 1/3, 2/3 and 8/9 of the
+    /// budget (epochs 30/60/80 of 90).
+    pub fn paper_resnet50(base: f32, total_epochs: usize) -> Self {
+        LrSchedule::MultiStep {
+            base,
+            gamma: 0.1,
+            milestones: vec![total_epochs / 3, 2 * total_epochs / 3, total_epochs * 8 / 9],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.1 };
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(100), 0.1);
+        assert_eq!(s.change_points(5), vec![(0, 0.1)]);
+    }
+
+    #[test]
+    fn multistep_matches_paper_recipe() {
+        let s = LrSchedule::paper_resnet50(0.4, 90);
+        assert!((s.at(0) - 0.4).abs() < 1e-7);
+        assert!((s.at(29) - 0.4).abs() < 1e-7);
+        assert!((s.at(30) - 0.04).abs() < 1e-7);
+        assert!((s.at(60) - 0.004).abs() < 1e-7);
+        assert!((s.at(80) - 0.0004).abs() < 1e-7);
+        let pts = s.change_points(90);
+        assert_eq!(pts.iter().map(|p| p.0).collect::<Vec<_>>(), vec![0, 30, 60, 80]);
+    }
+
+    #[test]
+    fn cosine_endpoints_and_midpoint() {
+        let s = LrSchedule::Cosine { base: 1.0, min_lr: 0.0, total_epochs: 100 };
+        assert!((s.at(0) - 1.0).abs() < 1e-6);
+        assert!((s.at(50) - 0.5).abs() < 1e-6);
+        assert!(s.at(99) < 0.01);
+        assert_eq!(s.at(100), 0.0);
+        assert_eq!(s.at(500), 0.0);
+        // Monotone decreasing.
+        for e in 0..99 {
+            assert!(s.at(e + 1) <= s.at(e) + 1e-7);
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_linearly_then_holds() {
+        let s = LrSchedule::Warmup { start: 0.01, base: 0.4, warmup_epochs: 5 };
+        assert!((s.at(0) - 0.01).abs() < 1e-7);
+        let mid = s.at(2);
+        assert!(mid > 0.01 && mid < 0.4);
+        assert!((s.at(5) - 0.4).abs() < 1e-7);
+        assert!((s.at(50) - 0.4).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_horizons_are_safe() {
+        assert_eq!(LrSchedule::Cosine { base: 1.0, min_lr: 0.1, total_epochs: 0 }.at(0), 0.1);
+        assert_eq!(LrSchedule::Warmup { start: 0.0, base: 0.3, warmup_epochs: 0 }.at(0), 0.3);
+    }
+
+    #[test]
+    fn change_points_reconstruct_the_schedule() {
+        let s = LrSchedule::MultiStep { base: 0.2, gamma: 0.5, milestones: vec![2, 4] };
+        let pts = s.change_points(6);
+        // Reconstruct and compare.
+        for e in 0..6 {
+            let lr = pts.iter().rev().find(|(at, _)| *at <= e).unwrap().1;
+            assert_eq!(lr, s.at(e), "epoch {e}");
+        }
+    }
+}

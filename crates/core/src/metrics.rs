@@ -1,0 +1,162 @@
+//! Per-epoch training metrics and run histories — the data behind every
+//! learning-curve figure.
+
+use crate::profile::OpEvent;
+use serde::Serialize;
+
+/// Metrics of one epoch, aggregated across workers.
+#[derive(Clone, Debug, Serialize)]
+pub struct EpochMetrics {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over all batches of all workers.
+    pub train_loss: f32,
+    /// Mean training accuracy over all batches of all workers.
+    pub train_acc: f32,
+    /// Test accuracy of the global model (worker 0 evaluates), if a test
+    /// set was provided.
+    pub test_acc: Option<f32>,
+    /// Wall-clock seconds this epoch took (all workers, real threads).
+    pub epoch_time_s: f64,
+    /// Cumulative bytes pushed worker→server since training started.
+    pub cumulative_push_bytes: u64,
+}
+
+/// The full record of one training run.
+#[derive(Clone, Debug, Serialize)]
+pub struct TrainingHistory {
+    /// Algorithm display name.
+    pub algo: String,
+    /// Number of workers.
+    pub num_workers: usize,
+    /// Per-epoch records in order.
+    pub epochs: Vec<EpochMetrics>,
+    /// The final global weights, one vector per parameter key (snapshot
+    /// of the server after the last round).
+    pub final_weights: Vec<Vec<f32>>,
+    /// Per-op wall-clock intervals, if profiling was enabled.
+    pub profile: Option<Vec<OpEvent>>,
+}
+
+impl TrainingHistory {
+    /// Test accuracy after the final epoch.
+    pub fn final_test_acc(&self) -> Option<f32> {
+        self.epochs.last().and_then(|e| e.test_acc)
+    }
+
+    /// Best test accuracy over the run (the paper reports "convergence
+    /// accuracy" as the best achieved top-1).
+    pub fn best_test_acc(&self) -> Option<f32> {
+        self.epochs.iter().filter_map(|e| e.test_acc).fold(None, |best, a| {
+            Some(best.map_or(a, |b: f32| b.max(a)))
+        })
+    }
+
+    /// Training loss after the final epoch.
+    pub fn final_train_loss(&self) -> Option<f32> {
+        self.epochs.last().map(|e| e.train_loss)
+    }
+
+    /// Mean wall-clock epoch time, excluding the first (warm-up/JIT)
+    /// epoch when there are at least two.
+    pub fn avg_epoch_time(&self) -> f64 {
+        let skip = usize::from(self.epochs.len() > 1);
+        let rest = &self.epochs[skip..];
+        if rest.is_empty() {
+            0.0
+        } else {
+            rest.iter().map(|e| e.epoch_time_s).sum::<f64>() / rest.len() as f64
+        }
+    }
+
+    /// Render as tab-separated rows (header + one row per epoch), the
+    /// format the figure harnesses print.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("epoch\ttrain_loss\ttrain_acc\ttest_acc\tepoch_s\tpush_bytes\n");
+        for e in &self.epochs {
+            out.push_str(&format!(
+                "{}\t{:.4}\t{:.4}\t{}\t{:.3}\t{}\n",
+                e.epoch,
+                e.train_loss,
+                e.train_acc,
+                e.test_acc.map_or("-".to_string(), |a| format!("{a:.4}")),
+                e.epoch_time_s,
+                e.cumulative_push_bytes,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history() -> TrainingHistory {
+        TrainingHistory {
+            algo: "S-SGD".into(),
+            num_workers: 2,
+            final_weights: vec![vec![0.0; 3]],
+            profile: None,
+            epochs: vec![
+                EpochMetrics {
+                    epoch: 0,
+                    train_loss: 2.0,
+                    train_acc: 0.3,
+                    test_acc: Some(0.4),
+                    epoch_time_s: 5.0,
+                    cumulative_push_bytes: 100,
+                },
+                EpochMetrics {
+                    epoch: 1,
+                    train_loss: 1.0,
+                    train_acc: 0.7,
+                    test_acc: Some(0.8),
+                    epoch_time_s: 3.0,
+                    cumulative_push_bytes: 200,
+                },
+                EpochMetrics {
+                    epoch: 2,
+                    train_loss: 0.9,
+                    train_acc: 0.75,
+                    test_acc: Some(0.75),
+                    epoch_time_s: 3.2,
+                    cumulative_push_bytes: 300,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let h = history();
+        assert_eq!(h.final_test_acc(), Some(0.75));
+        assert_eq!(h.best_test_acc(), Some(0.8));
+        assert_eq!(h.final_train_loss(), Some(0.9));
+        // First epoch excluded from the average.
+        assert!((h.avg_epoch_time() - 3.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tsv_has_header_and_rows() {
+        let tsv = history().to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("epoch\t"));
+        assert!(lines[1].contains("2.0000"));
+    }
+
+    #[test]
+    fn empty_history_is_safe() {
+        let h = TrainingHistory {
+            algo: "x".into(),
+            num_workers: 1,
+            epochs: vec![],
+            final_weights: vec![],
+            profile: None,
+        };
+        assert_eq!(h.final_test_acc(), None);
+        assert_eq!(h.best_test_acc(), None);
+        assert_eq!(h.avg_epoch_time(), 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Real-execution profiling: wall-clock op intervals recorded inside the
+//! worker loop — the in-process counterpart of the paper's MXNet-profiler
+//! methodology (Fig. 5), applied to *this* implementation rather than the
+//! timing simulator.
+//!
+//! Enable with [`crate::TrainConfig::with_profiling`]; events land in
+//! [`crate::TrainingHistory::profile`].
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The op categories the worker loop distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum OpKind {
+    /// Forward pass of one batch.
+    Forward,
+    /// Backward pass of one batch.
+    Backward,
+    /// Gradient compression (encode) of all keys.
+    Compress,
+    /// Local weight update (delayed algorithms).
+    LocalUpdate,
+    /// Time spent blocked waiting on pulls from the server.
+    PullWait,
+}
+
+impl OpKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Forward => "FP",
+            OpKind::Backward => "BP",
+            OpKind::Compress => "quant",
+            OpKind::LocalUpdate => "local_update",
+            OpKind::PullWait => "pull_wait",
+        }
+    }
+}
+
+/// One recorded interval.
+#[derive(Clone, Debug, Serialize)]
+pub struct OpEvent {
+    /// Worker id.
+    pub worker: usize,
+    /// Op category.
+    pub op: OpKind,
+    /// Training round the op belongs to.
+    pub round: u64,
+    /// Seconds since training start.
+    pub start_s: f64,
+    /// Seconds since training start.
+    pub end_s: f64,
+}
+
+impl OpEvent {
+    /// Interval length in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// Thread-safe event sink shared by all workers.
+#[derive(Clone)]
+pub struct Profiler {
+    t0: Instant,
+    events: Arc<Mutex<Vec<OpEvent>>>,
+}
+
+impl Profiler {
+    /// Start the clock.
+    pub fn new() -> Self {
+        Self { t0: Instant::now(), events: Arc::new(Mutex::new(Vec::new())) }
+    }
+
+    /// Current time on the profiler clock.
+    pub fn now(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64()
+    }
+
+    /// Record an interval.
+    pub fn record(&self, worker: usize, op: OpKind, round: u64, start_s: f64) {
+        let end_s = self.now();
+        self.events.lock().push(OpEvent { worker, op, round, start_s, end_s });
+    }
+
+    /// Drain all events (sorted by start time).
+    pub fn take(&self) -> Vec<OpEvent> {
+        let mut ev = std::mem::take(&mut *self.events.lock());
+        ev.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+        ev
+    }
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Summary statistics over a profile.
+#[derive(Clone, Debug, Serialize)]
+pub struct ProfileSummary {
+    /// Total seconds per op kind, summed across workers.
+    pub totals: Vec<(String, f64)>,
+    /// Fraction of total worker-time spent blocked on pulls.
+    pub pull_wait_fraction: f64,
+}
+
+/// Summarize a profile: per-op totals and the blocked fraction.
+pub fn summarize(events: &[OpEvent]) -> ProfileSummary {
+    use OpKind::*;
+    let mut totals = vec![
+        (Forward, 0.0f64),
+        (Backward, 0.0),
+        (Compress, 0.0),
+        (LocalUpdate, 0.0),
+        (PullWait, 0.0),
+    ];
+    for e in events {
+        for t in totals.iter_mut() {
+            if t.0 == e.op {
+                t.1 += e.duration();
+            }
+        }
+    }
+    let all: f64 = totals.iter().map(|t| t.1).sum();
+    let wait = totals.iter().find(|t| t.0 == PullWait).map_or(0.0, |t| t.1);
+    ProfileSummary {
+        totals: totals.into_iter().map(|(k, v)| (k.name().to_string(), v)).collect(),
+        pull_wait_fraction: if all > 0.0 { wait / all } else { 0.0 },
+    }
+}
+
+/// Export events as Chrome `trace_event` JSON (one tid per worker).
+pub fn to_chrome_json(events: &[OpEvent], process_name: &str) -> String {
+    let mut out: Vec<serde_json::Value> = vec![serde_json::json!({
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": process_name}
+    })];
+    for e in events {
+        out.push(serde_json::json!({
+            "name": format!("{}#{}", e.op.name(), e.round),
+            "cat": e.op.name(),
+            "ph": "X",
+            "ts": e.start_s * 1e6,
+            "dur": e.duration() * 1e6,
+            "pid": 0,
+            "tid": e.worker as u32,
+        }));
+    }
+    serde_json::to_string_pretty(&out).expect("serialize profile")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_sorts() {
+        let p = Profiler::new();
+        let s1 = p.now();
+        p.record(0, OpKind::Forward, 0, s1);
+        let s2 = p.now();
+        p.record(1, OpKind::PullWait, 0, s2);
+        let ev = p.take();
+        assert_eq!(ev.len(), 2);
+        assert!(ev[0].start_s <= ev[1].start_s);
+        assert!(ev.iter().all(|e| e.duration() >= 0.0));
+        // Drained.
+        assert!(p.take().is_empty());
+    }
+
+    #[test]
+    fn summary_fractions() {
+        let events = vec![
+            OpEvent { worker: 0, op: OpKind::Forward, round: 0, start_s: 0.0, end_s: 1.0 },
+            OpEvent { worker: 0, op: OpKind::PullWait, round: 0, start_s: 1.0, end_s: 2.0 },
+            OpEvent { worker: 1, op: OpKind::Backward, round: 0, start_s: 0.0, end_s: 2.0 },
+        ];
+        let s = summarize(&events);
+        assert!((s.pull_wait_fraction - 0.25).abs() < 1e-9);
+        let fwd = s.totals.iter().find(|t| t.0 == "FP").unwrap().1;
+        assert_eq!(fwd, 1.0);
+    }
+
+    #[test]
+    fn chrome_json_parses() {
+        let events = vec![OpEvent {
+            worker: 2,
+            op: OpKind::Compress,
+            round: 5,
+            start_s: 0.5,
+            end_s: 0.6,
+        }];
+        let json = to_chrome_json(&events, "test");
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,272 @@
+//! The trainer: spawns the parameter server and N worker threads, runs
+//! the full training, and aggregates metrics.
+
+use crate::config::TrainConfig;
+use crate::metrics::{EpochMetrics, TrainingHistory};
+use crate::profile::Profiler;
+use crate::worker::{run_worker, EpochReport, WorkerArgs};
+use cdsgd_data::Dataset;
+use cdsgd_nn::Sequential;
+use cdsgd_ps::{allreduce::ring_group, ParamServer, ServerConfig};
+use cdsgd_tensor::SmallRng64;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Builds a model from an RNG. Every worker calls this with the *same*
+/// seed so all replicas (and the server's initial weights) agree.
+pub type ModelBuilder = dyn Fn(&mut SmallRng64) -> Sequential + Send + Sync;
+
+/// Orchestrates one distributed training run.
+pub struct Trainer {
+    cfg: TrainConfig,
+    builder: Arc<ModelBuilder>,
+    train: Dataset,
+    test: Option<Dataset>,
+}
+
+impl Trainer {
+    /// Create a trainer. `builder` must be deterministic in the RNG.
+    pub fn new(
+        cfg: TrainConfig,
+        builder: impl Fn(&mut SmallRng64) -> Sequential + Send + Sync + 'static,
+        train: Dataset,
+        test: Option<Dataset>,
+    ) -> Self {
+        Self { cfg, builder: Arc::new(builder), train, test }
+    }
+
+    /// Iterations every worker runs per epoch (the smallest shard's full
+    /// batches; all workers must agree or the synchronous server stalls).
+    pub fn iters_per_epoch(&self) -> usize {
+        let n = self.cfg.num_workers;
+        (0..n)
+            .map(|w| self.train.shard(w, n).len() / self.cfg.batch_size)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Run to completion, returning the per-epoch history.
+    ///
+    /// # Panics
+    /// Panics if any shard is smaller than one batch.
+    pub fn run(&self) -> TrainingHistory {
+        let n = self.cfg.num_workers;
+        let ipe = self.iters_per_epoch();
+        assert!(ipe > 0, "dataset too small: every worker needs at least one full batch");
+
+        // Identical init on every replica and on the server.
+        let mut rng = SmallRng64::new(self.cfg.seed);
+        let mut proto = (self.builder)(&mut rng);
+        let init = proto.export_params();
+
+        let mut server_cfg = ServerConfig::new(n, self.cfg.global_lr);
+        if let Some(bps) = self.cfg.net_bytes_per_sec {
+            server_cfg = server_cfg.with_network_bandwidth(bps);
+        }
+        let ps = ParamServer::start(init, server_cfg);
+        let use_ring = matches!(self.cfg.algo, crate::config::Algorithm::ArSgd);
+        let (mut ring_members, ring_stats) = if use_ring {
+            let (members, stats) = ring_group(n);
+            (members.into_iter().map(Some).collect::<Vec<_>>(), Some(stats))
+        } else {
+            (Vec::new(), None)
+        };
+        let profiler = self.cfg.profile.then(Profiler::new);
+        let barrier = Arc::new(Barrier::new(n + 1));
+        let (report_tx, report_rx) = crossbeam::channel::unbounded::<EpochReport>();
+
+        let mut handles = Vec::with_capacity(n);
+        for w in 0..n {
+            let mut wrng = SmallRng64::new(self.cfg.seed);
+            let model = (self.builder)(&mut wrng);
+            let args = WorkerArgs {
+                id: w,
+                cfg: self.cfg.clone(),
+                model,
+                shard: self.train.shard(w, n),
+                test: if w == 0 { self.test.clone() } else { None },
+                client: ps.client(),
+                ring: if use_ring { ring_members[w].take() } else { None },
+                iters_per_epoch: ipe,
+                barrier: Arc::clone(&barrier),
+                report: report_tx.clone(),
+                profiler: profiler.clone(),
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("worker-{w}"))
+                    .spawn(move || run_worker(args))
+                    .expect("spawn worker"),
+            );
+        }
+        drop(report_tx);
+
+        let control = ps.client();
+        let mut history = TrainingHistory {
+            algo: self.cfg.algo.name(),
+            num_workers: n,
+            epochs: Vec::with_capacity(self.cfg.epochs),
+            final_weights: Vec::new(),
+            profile: None,
+        };
+
+        let mut epoch_start = Instant::now();
+        for epoch in 0..self.cfg.epochs {
+            // Apply lr decay scheduled for this epoch before it runs...
+            // (workers are still blocked on the previous barrier for
+            // epoch > 0; for epoch 0 they haven't pushed yet).
+            for &(at, lr) in &self.cfg.lr_schedule {
+                if at == epoch {
+                    control.set_lr(lr);
+                }
+            }
+            if epoch > 0 {
+                // Release workers into this epoch and restart the clock.
+                barrier.wait();
+                epoch_start = Instant::now();
+            }
+
+            let mut loss_sum = 0.0f64;
+            let mut acc_sum = 0.0f64;
+            let mut batches = 0usize;
+            let mut test_acc = None;
+            for _ in 0..n {
+                let r = report_rx.recv().expect("worker died before reporting");
+                assert_eq!(r.epoch, epoch, "epoch skew from worker {}", r.worker);
+                loss_sum += r.loss_sum;
+                acc_sum += r.acc_sum;
+                batches += r.batches;
+                if r.test_acc.is_some() {
+                    test_acc = r.test_acc;
+                }
+                if let Some(w) = r.final_weights {
+                    history.final_weights = w;
+                }
+            }
+            history.epochs.push(EpochMetrics {
+                epoch,
+                train_loss: (loss_sum / batches as f64) as f32,
+                train_acc: (acc_sum / batches as f64) as f32,
+                test_acc,
+                epoch_time_s: epoch_start.elapsed().as_secs_f64(),
+                cumulative_push_bytes: ring_stats
+                    .as_ref()
+                    .map_or_else(|| ps.stats().bytes_pushed(), |s| s.bytes_pushed()),
+            });
+        }
+        // Release workers from the final barrier so they can exit.
+        barrier.wait();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        if history.final_weights.is_empty() {
+            let (weights, _) = control.snapshot();
+            history.final_weights = weights;
+        }
+        history.profile = profiler.map(|p| p.take());
+        ps.shutdown();
+        history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algorithm;
+    use cdsgd_data::toy;
+    use cdsgd_nn::models;
+
+    fn blob_trainer(algo: Algorithm, workers: usize, epochs: usize) -> Trainer {
+        let data = toy::gaussian_blobs(480, 8, 4, 0.6, 9);
+        let (train, test) = data.split(0.8);
+        let cfg = TrainConfig::new(algo, workers)
+            .with_lr(0.2)
+            .with_batch_size(16)
+            .with_epochs(epochs)
+            .with_seed(5);
+        Trainer::new(cfg, |rng| models::mlp(&[8, 32, 4], rng), train, Some(test))
+    }
+
+    #[test]
+    fn ssgd_learns_blobs() {
+        let h = blob_trainer(Algorithm::SSgd, 2, 6).run();
+        assert_eq!(h.epochs.len(), 6);
+        let acc = h.final_test_acc().unwrap();
+        assert!(acc > 0.9, "test acc {acc}");
+        // Loss decreases overall.
+        assert!(h.epochs.last().unwrap().train_loss < h.epochs[0].train_loss);
+    }
+
+    #[test]
+    fn all_algorithms_learn_blobs() {
+        for algo in [
+            Algorithm::OdSgd { local_lr: 0.05 },
+            Algorithm::BitSgd { threshold: 0.05 },
+            Algorithm::cd_sgd(0.05, 0.05, 2, 10),
+        ] {
+            let name = algo.name();
+            let h = blob_trainer(algo, 2, 8).run();
+            let acc = h.final_test_acc().unwrap();
+            assert!(acc > 0.85, "{name} test acc {acc}");
+        }
+    }
+
+    #[test]
+    fn four_workers_match_two_workers_roughly() {
+        let h2 = blob_trainer(Algorithm::SSgd, 2, 5).run();
+        let h4 = blob_trainer(Algorithm::SSgd, 4, 5).run();
+        let a2 = h2.final_test_acc().unwrap();
+        let a4 = h4.final_test_acc().unwrap();
+        assert!((a2 - a4).abs() < 0.15, "2w {a2} vs 4w {a4}");
+    }
+
+    #[test]
+    fn compression_reduces_push_traffic() {
+        let ssgd = blob_trainer(Algorithm::SSgd, 2, 2).run();
+        let bit = blob_trainer(Algorithm::BitSgd { threshold: 0.05 }, 2, 2).run();
+        let raw = ssgd.epochs.last().unwrap().cumulative_push_bytes;
+        let cmp = bit.epochs.last().unwrap().cumulative_push_bytes;
+        assert!(
+            (cmp as f64) < (raw as f64) / 8.0,
+            "compressed {cmp} should be ≪ raw {raw}"
+        );
+    }
+
+    #[test]
+    fn cd_traffic_between_bit_and_ssgd() {
+        let ssgd = blob_trainer(Algorithm::SSgd, 2, 2).run();
+        let bit = blob_trainer(Algorithm::BitSgd { threshold: 0.05 }, 2, 2).run();
+        // warmup 0 so traffic is directly comparable.
+        let cd = blob_trainer(Algorithm::cd_sgd(0.05, 0.05, 4, 0), 2, 2).run();
+        let s = ssgd.epochs.last().unwrap().cumulative_push_bytes;
+        let b = bit.epochs.last().unwrap().cumulative_push_bytes;
+        let c = cd.epochs.last().unwrap().cumulative_push_bytes;
+        assert!(c > b, "CD {c} pushes more than BIT {b} (corrections are raw)");
+        assert!(c < s, "CD {c} pushes less than S-SGD {s}");
+    }
+
+    #[test]
+    fn lr_schedule_is_applied() {
+        // Decaying lr to 0 at epoch 1 freezes the weights: test accuracy
+        // stops changing.
+        let data = toy::gaussian_blobs(200, 4, 2, 0.4, 3);
+        let (train, test) = data.split(0.8);
+        let cfg = TrainConfig::new(Algorithm::SSgd, 2)
+            .with_lr(0.2)
+            .with_batch_size(10)
+            .with_epochs(3)
+            .with_lr_decay(1, 0.0);
+        let h = Trainer::new(cfg, |rng| models::mlp(&[4, 2], rng), train, Some(test)).run();
+        let a1 = h.epochs[1].test_acc.unwrap();
+        let a2 = h.epochs[2].test_acc.unwrap();
+        assert_eq!(a1, a2, "weights should be frozen after lr 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset too small")]
+    fn undersized_shard_panics() {
+        let data = toy::gaussian_blobs(8, 4, 2, 0.4, 3);
+        let cfg = TrainConfig::new(Algorithm::SSgd, 2).with_batch_size(16);
+        Trainer::new(cfg, |rng| models::mlp(&[4, 2], rng), data, None).run();
+    }
+}

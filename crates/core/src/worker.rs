@@ -1,0 +1,426 @@
+//! The worker loop: Algorithm 1 of the paper, one OS thread per worker.
+
+use crate::config::{Algorithm, TrainConfig};
+use crate::profile::{OpKind, Profiler};
+use cdsgd_compress::{Compressed, GradientCompressor, TwoBitQuantizer};
+
+use cdsgd_data::{augment, Batch, Dataset};
+use cdsgd_nn::{Layer, Mode, Sequential, SoftmaxCrossEntropy};
+use cdsgd_ps::{PsClient, RingMember};
+use cdsgd_tensor::SmallRng64;
+use crossbeam::channel::Sender;
+use std::sync::{Arc, Barrier};
+
+/// What a worker reports at the end of each epoch.
+#[derive(Debug)]
+pub(crate) struct EpochReport {
+    pub worker: usize,
+    pub epoch: usize,
+    pub loss_sum: f64,
+    pub acc_sum: f64,
+    pub batches: usize,
+    /// Test accuracy of the *global* weights; only worker 0 evaluates.
+    pub test_acc: Option<f32>,
+    /// Final global weights — sent by worker 0 on the last epoch of
+    /// server-less algorithms (AR-SGD), where the trainer cannot snapshot
+    /// a parameter server.
+    pub final_weights: Option<Vec<Vec<f32>>>,
+}
+
+/// Everything a worker thread needs.
+pub(crate) struct WorkerArgs {
+    pub id: usize,
+    pub cfg: TrainConfig,
+    pub model: Sequential,
+    pub shard: Dataset,
+    /// Test set; `Some` only for worker 0.
+    pub test: Option<Dataset>,
+    pub client: PsClient,
+    /// Ring handle for the all-reduce algorithm (AR-SGD); `None` for the
+    /// PS-based algorithms.
+    pub ring: Option<RingMember>,
+    pub iters_per_epoch: usize,
+    pub barrier: Arc<Barrier>,
+    pub report: Sender<EpochReport>,
+    /// When present, record wall-clock op intervals.
+    pub profiler: Option<Profiler>,
+}
+
+/// Per-algorithm knobs resolved once.
+struct AlgoState {
+    delayed: bool,
+    local_lr: f32,
+    warmup: u64,
+    dc_lambda: f32,
+    /// `Some(H)` for Local SGD: H local steps per synchronization.
+    sync_period: Option<usize>,
+    compressor: Option<Box<dyn GradientCompressor>>,
+}
+
+impl AlgoState {
+    fn new(algo: &Algorithm) -> Self {
+        match algo {
+            Algorithm::SSgd => Self {
+                delayed: false,
+                local_lr: 0.0,
+                warmup: 0,
+                dc_lambda: 0.0,
+                sync_period: None,
+                compressor: None,
+            },
+            Algorithm::OdSgd { local_lr } => Self {
+                delayed: true,
+                local_lr: *local_lr,
+                warmup: 0,
+                dc_lambda: 0.0,
+                sync_period: None,
+                compressor: None,
+            },
+            Algorithm::BitSgd { threshold } => Self {
+                delayed: false,
+                local_lr: 0.0,
+                warmup: 0,
+                dc_lambda: 0.0,
+                sync_period: None,
+                compressor: Some(Box::new(TwoBitQuantizer::new(*threshold))),
+            },
+            Algorithm::CdSgd { local_lr, codec, warmup, dc_lambda, .. } => Self {
+                delayed: true,
+                local_lr: *local_lr,
+                warmup: *warmup as u64,
+                dc_lambda: *dc_lambda,
+                sync_period: None,
+                compressor: Some(codec.build()),
+            },
+            Algorithm::ArSgd => Self {
+                delayed: false,
+                local_lr: 0.0,
+                warmup: 0,
+                dc_lambda: 0.0,
+                sync_period: None,
+                compressor: None,
+            },
+            Algorithm::LocalSgd { local_lr, sync_period } => {
+                assert!(*sync_period >= 1, "sync period must be at least 1");
+                Self {
+                    delayed: false,
+                    local_lr: *local_lr,
+                    warmup: 0,
+                    dc_lambda: 0.0,
+                    sync_period: Some(*sync_period),
+                    compressor: None,
+                }
+            }
+        }
+    }
+
+    /// Should round `r` (global, 0-based) push a compressed payload?
+    fn compresses(&self, algo: &Algorithm, r: u64) -> bool {
+        match algo {
+            Algorithm::SSgd
+            | Algorithm::OdSgd { .. }
+            | Algorithm::LocalSgd { .. }
+            | Algorithm::ArSgd => false,
+            Algorithm::BitSgd { .. } => true,
+            Algorithm::CdSgd { k, .. } => {
+                if r < self.warmup {
+                    false
+                } else {
+                    let count = r - self.warmup;
+                    count % *k as u64 != 0
+                }
+            }
+        }
+    }
+}
+
+/// Run one worker to completion. See the crate docs for the exact
+/// correspondence with the paper's Algorithm 1.
+pub(crate) fn run_worker(mut a: WorkerArgs) {
+    let loss_fn = SoftmaxCrossEntropy;
+    let mut st = AlgoState::new(&a.cfg.algo);
+    let num_keys = a.model.param_sizes().len();
+    let mut rng = SmallRng64::new(a.cfg.seed ^ (a.id as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F));
+
+    // `base` is the most recently pulled global weights (initially the
+    // shared init). For blocking algorithms the model always holds `base`;
+    // for delayed algorithms the model holds the local weights built on
+    // top of it.
+    let mut base: Vec<Vec<f32>> = a.model.export_params();
+    let mut round: u64 = 0;
+    // Outstanding async pulls (delayed algorithms): fired at the end of
+    // round r−1 for version r, collected when round r's local update
+    // needs them — so the transfer overlaps this round's FP/BP, exactly
+    // like MXNet's asynchronously-scheduled pull ops.
+    let mut pending_pulls: Option<Vec<crossbeam::channel::Receiver<Vec<f32>>>> = None;
+    // Local SGD state: accumulated gradients since the last sync, and the
+    // number of completed synchronizations (the server round counter).
+    let mut local_acc: Option<Vec<Vec<f32>>> = None;
+    let mut syncs: u64 = 0;
+
+    for epoch in 0..a.cfg.epochs {
+        let mut shard = a.shard.clone();
+        shard.shuffle(&mut rng);
+        let mut loss_sum = 0.0f64;
+        let mut acc_sum = 0.0f64;
+        let mut batches = 0usize;
+
+        for batch in shard.batches(a.cfg.batch_size).take(a.iters_per_epoch) {
+            let batch = if a.cfg.augment && batch.x.ndim() == 4 {
+                augment::standard_augment(&batch, &mut rng)
+            } else {
+                batch
+            };
+
+            // ---- FP/BP on the current (local or global) weights ----
+            let t_fp = a.profiler.as_ref().map(|p| p.now());
+            let logits = a.model.forward(&batch.x, Mode::Train);
+            if let (Some(p), Some(t)) = (&a.profiler, t_fp) {
+                p.record(a.id, OpKind::Forward, round, t);
+            }
+            let (loss, dlogits) = loss_fn.loss_and_grad(&logits, &batch.y);
+            loss_sum += loss as f64;
+            acc_sum += loss_fn.accuracy(&logits, &batch.y) as f64;
+            batches += 1;
+            let t_bp = a.profiler.as_ref().map(|p| p.now());
+            a.model.backward(&dlogits);
+            let grads = a.model.export_grads();
+            if let (Some(p), Some(t)) = (&a.profiler, t_bp) {
+                p.record(a.id, OpKind::Backward, round, t);
+            }
+
+            // DC-ASGD-style delay compensation (extension, λ > 0 only):
+            // the gradient was computed at W^loc but will be applied to a
+            // one-step-newer global weight; correct it with the diagonal
+            // Hessian approximation g̃ = g + λ·g⊙g⊙(W_base − W_loc).
+            let push_grads: Vec<Vec<f32>> = if st.dc_lambda > 0.0
+                && st.delayed
+                && round >= st.warmup
+            {
+                let w_loc = a.model.export_params();
+                grads
+                    .iter()
+                    .zip(base.iter().zip(&w_loc))
+                    .map(|(g, (b, wl))| {
+                        g.iter()
+                            .zip(b.iter().zip(wl))
+                            .map(|(&gi, (&bi, &wi))| gi + st.dc_lambda * gi * gi * (bi - wi))
+                            .collect()
+                    })
+                    .collect()
+            } else {
+                grads.clone()
+            };
+
+            // ---- AR-SGD: ring all-reduce, update applied locally ----
+            if let Some(ring) = &a.ring {
+                let t_w = a.profiler.as_ref().map(|p| p.now());
+                let mut mean = grads.clone();
+                for g in mean.iter_mut() {
+                    ring.allreduce_mean(g);
+                }
+                if let (Some(p), Some(t)) = (&a.profiler, t_w) {
+                    p.record(a.id, OpKind::PullWait, round, t);
+                }
+                // Eq. 1 applied locally: every worker holds the globals.
+                let lr = current_lr(&a.cfg, round, a.iters_per_epoch);
+                a.model.axpy_params(-lr, &mean);
+                base = a.model.export_params();
+                round += 1;
+                continue;
+            }
+
+            // ---- Local SGD: H local steps, then one averaged sync ----
+            if let Some(h) = st.sync_period {
+                // Local step on the worker's own model.
+                a.model.axpy_params(-st.local_lr, &grads);
+                let acc = local_acc.get_or_insert_with(|| {
+                    grads.iter().map(|g| vec![0.0f32; g.len()]).collect()
+                });
+                for (av, g) in acc.iter_mut().zip(&grads) {
+                    for (ai, gi) in av.iter_mut().zip(g) {
+                        *ai += gi;
+                    }
+                }
+                round += 1;
+                if round % h as u64 == 0 {
+                    for (key, av) in acc.iter().enumerate() {
+                        a.client.push(a.id, key, Compressed::Raw(av.clone()));
+                    }
+                    syncs += 1;
+                    let t_w = a.profiler.as_ref().map(|p| p.now());
+                    base = a.client.pull_all(num_keys, syncs);
+                    if let (Some(p), Some(t)) = (&a.profiler, t_w) {
+                        p.record(a.id, OpKind::PullWait, round, t);
+                    }
+                    a.model.import_params(&base);
+                    for av in acc.iter_mut() {
+                        av.fill(0.0);
+                    }
+                }
+                continue;
+            }
+
+            // ---- push (compressed in CD-SGD compression iterations) ----
+            let compress = st.compresses(&a.cfg.algo, round);
+            let t_q = a.profiler.as_ref().map(|p| p.now());
+            let payloads: Vec<Compressed> = push_grads
+                .iter()
+                .enumerate()
+                .map(|(key, g)| {
+                    if compress {
+                        st.compressor
+                            .as_mut()
+                            .expect("compressing algorithm has a quantizer")
+                            .compress(key, g)
+                    } else {
+                        Compressed::Raw(g.clone())
+                    }
+                })
+                .collect();
+            if let (Some(p), Some(t)) = (&a.profiler, t_q) {
+                if compress {
+                    p.record(a.id, OpKind::Compress, round, t);
+                }
+            }
+            for (key, payload) in payloads.into_iter().enumerate() {
+                a.client.push(a.id, key, payload);
+            }
+
+            let formal = st.delayed && round >= st.warmup;
+            if formal {
+                // Deferred pull: the local update for the next iteration
+                // needs W_round (the result of the previous round), which
+                // the warm-up's final pull or the previous formal
+                // iteration left outstanding.
+                if round > st.warmup {
+                    let t_w = a.profiler.as_ref().map(|p| p.now());
+                    let receivers = pending_pulls.take().expect("async pull fired last round");
+                    base = receivers
+                        .into_iter()
+                        .map(|r| r.recv().expect("parameter server dropped the reply"))
+                        .collect();
+                    if let (Some(p), Some(t)) = (&a.profiler, t_w) {
+                        p.record(a.id, OpKind::PullWait, round, t);
+                    }
+                }
+                // Request next round's base (version round+1) now; the
+                // transfer overlaps the next iteration's computation.
+                pending_pulls =
+                    Some((0..num_keys).map(|k| a.client.pull_async(k, round + 1)).collect());
+                // W^loc_{r+1} = W_r − lr_loc · grad_r (eq. 11).
+                let t_u = a.profiler.as_ref().map(|p| p.now());
+                a.model.import_params(&base);
+                a.model.axpy_params(-st.local_lr, &grads);
+                if let (Some(p), Some(t)) = (&a.profiler, t_u) {
+                    p.record(a.id, OpKind::LocalUpdate, round, t);
+                }
+            } else {
+                // Blocking (S-SGD / BIT-SGD / warm-up): wait for this
+                // round's aggregate and adopt the new global weights.
+                let t_w = a.profiler.as_ref().map(|p| p.now());
+                base = a.client.pull_all(num_keys, round + 1);
+                if let (Some(p), Some(t)) = (&a.profiler, t_w) {
+                    p.record(a.id, OpKind::PullWait, round, t);
+                }
+                a.model.import_params(&base);
+            }
+            round += 1;
+        }
+
+        // ---- epoch end: evaluate global weights (worker 0 only) ----
+        let test_acc = a.test.as_ref().map(|test| {
+            let saved = a.model.export_params();
+            a.model.import_params(&base);
+            let acc = evaluate(&mut a.model, test);
+            a.model.import_params(&saved);
+            acc
+        });
+
+        let final_weights = (a.id == 0 && epoch + 1 == a.cfg.epochs && a.ring.is_some())
+            .then(|| base.clone());
+        a.report
+            .send(EpochReport {
+                worker: a.id,
+                epoch,
+                loss_sum,
+                acc_sum,
+                batches,
+                test_acc,
+                final_weights,
+            })
+            .expect("trainer went away");
+        a.barrier.wait();
+    }
+}
+
+/// The learning rate in effect at `round`, honoring the epoch-indexed
+/// decay schedule (AR-SGD applies the schedule worker-side; the PS
+/// algorithms apply it on the server).
+fn current_lr(cfg: &TrainConfig, round: u64, iters_per_epoch: usize) -> f32 {
+    let epoch = (round / iters_per_epoch.max(1) as u64) as usize;
+    let mut lr = cfg.global_lr;
+    for &(at, new_lr) in &cfg.lr_schedule {
+        if epoch >= at {
+            lr = new_lr;
+        }
+    }
+    lr
+}
+
+/// Accuracy of `model` (eval mode) over a dataset, batched.
+pub(crate) fn evaluate(model: &mut Sequential, data: &Dataset) -> f32 {
+    let loss_fn = SoftmaxCrossEntropy;
+    let mut correct_weighted = 0.0f64;
+    let mut total = 0usize;
+    for Batch { x, y } in data.batches(64) {
+        let logits = model.forward(&x, Mode::Eval);
+        correct_weighted += loss_fn.accuracy(&logits, &y) as f64 * y.len() as f64;
+        total += y.len();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        (correct_weighted / total as f64) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algo_state_resolution() {
+        let s = AlgoState::new(&Algorithm::SSgd);
+        assert!(!s.delayed && s.compressor.is_none());
+        let s = AlgoState::new(&Algorithm::OdSgd { local_lr: 0.2 });
+        assert!(s.delayed && s.compressor.is_none() && s.local_lr == 0.2);
+        let s = AlgoState::new(&Algorithm::BitSgd { threshold: 0.5 });
+        assert!(!s.delayed && s.compressor.is_some());
+        let s = AlgoState::new(&Algorithm::cd_sgd(0.1, 0.5, 4, 3));
+        assert!(s.delayed && s.warmup == 3);
+    }
+
+    #[test]
+    fn cd_compression_schedule_matches_algorithm1() {
+        // Warm-up rounds push raw; then count % k == 0 is the correction.
+        let algo = Algorithm::cd_sgd(0.1, 0.5, 3, 2);
+        let st = AlgoState::new(&algo);
+        let schedule: Vec<bool> = (0..10).map(|r| st.compresses(&algo, r)).collect();
+        // rounds:    0      1      2(c0)  3(c1) 4(c2) 5(c3=0) 6 7 8(c6=0) 9
+        assert_eq!(
+            schedule,
+            vec![false, false, false, true, true, false, true, true, false, true]
+        );
+    }
+
+    #[test]
+    fn bit_always_compresses_ssgd_never() {
+        let bit = Algorithm::BitSgd { threshold: 0.5 };
+        let st = AlgoState::new(&bit);
+        assert!((0..5).all(|r| st.compresses(&bit, r)));
+        let ssgd = Algorithm::SSgd;
+        let st = AlgoState::new(&ssgd);
+        assert!((0..5).all(|r| !st.compresses(&ssgd, r)));
+    }
+}

@@ -1,0 +1,120 @@
+//! Training-time augmentation: random crop with zero padding and random
+//! horizontal flips (the standard CIFAR-10 recipe; Fig. 9 trains
+//! "ResNet-20 (CIFAR-10, with data augmentation)").
+
+use crate::dataset::Batch;
+use cdsgd_tensor::{SmallRng64, Tensor};
+
+/// Randomly crop each image in an NCHW batch after padding `pad` zeros on
+/// every side (output size equals input size).
+pub fn random_crop(batch: &Tensor, pad: usize, rng: &mut SmallRng64) -> Tensor {
+    assert_eq!(batch.ndim(), 4, "random_crop expects [N,C,H,W]");
+    if pad == 0 {
+        return batch.clone();
+    }
+    let (n, c, h, w) = (batch.shape()[0], batch.shape()[1], batch.shape()[2], batch.shape()[3]);
+    let mut out = Tensor::zeros(batch.shape());
+    for s in 0..n {
+        // One offset per image, shared by its channels.
+        let dy = rng.below(2 * pad + 1) as isize - pad as isize;
+        let dx = rng.below(2 * pad + 1) as isize - pad as isize;
+        for ch in 0..c {
+            let src = &batch.data()[(s * c + ch) * h * w..(s * c + ch + 1) * h * w];
+            let dst = &mut out.data_mut()[(s * c + ch) * h * w..(s * c + ch + 1) * h * w];
+            for i in 0..h {
+                let si = i as isize + dy;
+                if si < 0 || si >= h as isize {
+                    continue; // rows shifted in from the pad are zero
+                }
+                for j in 0..w {
+                    let sj = j as isize + dx;
+                    if sj >= 0 && sj < w as isize {
+                        dst[i * w + j] = src[si as usize * w + sj as usize];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Flip each image horizontally with probability 0.5.
+pub fn random_hflip(batch: &Tensor, rng: &mut SmallRng64) -> Tensor {
+    assert_eq!(batch.ndim(), 4, "random_hflip expects [N,C,H,W]");
+    let (n, c, h, w) = (batch.shape()[0], batch.shape()[1], batch.shape()[2], batch.shape()[3]);
+    let mut out = batch.clone();
+    for s in 0..n {
+        if rng.unit_f32() < 0.5 {
+            for ch in 0..c {
+                let plane = &mut out.data_mut()[(s * c + ch) * h * w..(s * c + ch + 1) * h * w];
+                for row in plane.chunks_exact_mut(w) {
+                    row.reverse();
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The standard recipe: random crop (pad 4) then random horizontal flip.
+pub fn standard_augment(batch: &Batch, rng: &mut SmallRng64) -> Batch {
+    let x = random_hflip(&random_crop(&batch.x, 4, rng), rng);
+    Batch { x, y: batch.y.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crop_zero_pad_is_identity() {
+        let mut rng = SmallRng64::new(0);
+        let x = Tensor::randn(&[2, 1, 4, 4], 1.0, &mut rng);
+        assert_eq!(random_crop(&x, 0, &mut rng), x);
+    }
+
+    #[test]
+    fn crop_preserves_shape_and_mass_mostly() {
+        let mut rng = SmallRng64::new(1);
+        let x = Tensor::ones(&[4, 3, 8, 8]);
+        let y = random_crop(&x, 2, &mut rng);
+        assert_eq!(y.shape(), x.shape());
+        // Shifted zeros reduce the sum but never increase it.
+        assert!(y.sum() <= x.sum());
+        assert!(y.sum() > 0.5 * x.sum());
+    }
+
+    #[test]
+    fn hflip_preserves_multiset_of_pixels() {
+        let mut rng = SmallRng64::new(2);
+        let x = Tensor::randn(&[8, 1, 3, 3], 1.0, &mut rng);
+        let y = random_hflip(&x, &mut rng);
+        let mut a = x.data().to_vec();
+        let mut b = y.data().to_vec();
+        a.sort_by(f32::total_cmp);
+        b.sort_by(f32::total_cmp);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hflip_flips_about_half_the_images() {
+        let mut rng = SmallRng64::new(3);
+        // Asymmetric image so flips are detectable.
+        let mut x = Tensor::zeros(&[100, 1, 1, 2]);
+        for s in 0..100 {
+            x.data_mut()[s * 2] = 1.0;
+        }
+        let y = random_hflip(&x, &mut rng);
+        let flipped = (0..100).filter(|&s| y.data()[s * 2] == 0.0).count();
+        assert!((20..80).contains(&flipped), "{flipped} flipped");
+    }
+
+    #[test]
+    fn standard_augment_keeps_labels() {
+        let mut rng = SmallRng64::new(4);
+        let b = Batch { x: Tensor::ones(&[2, 3, 8, 8]), y: vec![1, 2] };
+        let a = standard_augment(&b, &mut rng);
+        assert_eq!(a.y, b.y);
+        assert_eq!(a.x.shape(), b.x.shape());
+    }
+}

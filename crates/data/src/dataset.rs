@@ -1,0 +1,220 @@
+//! The [`Dataset`] container: samples + labels with sharding, shuffling,
+//! splitting and mini-batch iteration.
+
+use cdsgd_tensor::{SmallRng64, Tensor};
+
+/// One mini-batch: a tensor of samples and their labels.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    /// Samples, `[B, ...sample dims]`.
+    pub x: Tensor,
+    /// Labels, length `B`.
+    pub y: Vec<usize>,
+}
+
+/// A labelled dataset. `x` is `[N, ...sample dims]` (e.g. `[N,C,H,W]` for
+/// images or `[N,D]` for features); `y[i]` is the class of sample `i`.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// All samples.
+    pub x: Tensor,
+    /// All labels.
+    pub y: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// Build a dataset, checking the sample/label counts agree.
+    ///
+    /// # Panics
+    /// Panics on count mismatch or out-of-range labels.
+    pub fn new(x: Tensor, y: Vec<usize>, num_classes: usize) -> Self {
+        assert!(!x.shape().is_empty(), "samples need a batch dimension");
+        assert_eq!(x.shape()[0], y.len(), "sample/label count mismatch");
+        assert!(y.iter().all(|&l| l < num_classes), "label out of range");
+        Self { x, y, num_classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Flat length of one sample.
+    pub fn sample_len(&self) -> usize {
+        if self.len() == 0 {
+            0
+        } else {
+            self.x.len() / self.len()
+        }
+    }
+
+    /// Shape of one sample (without the batch dim).
+    pub fn sample_shape(&self) -> Vec<usize> {
+        self.x.shape()[1..].to_vec()
+    }
+
+    /// Copy the samples at `indices` into a new dataset (in that order).
+    pub fn take(&self, indices: &[usize]) -> Dataset {
+        let sl = self.sample_len();
+        let mut data = Vec::with_capacity(indices.len() * sl);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "index {i} out of range");
+            data.extend_from_slice(&self.x.data()[i * sl..(i + 1) * sl]);
+            labels.push(self.y[i]);
+        }
+        let mut shape = self.x.shape().to_vec();
+        shape[0] = indices.len();
+        Dataset::new(Tensor::from_vec(shape, data), labels, self.num_classes)
+    }
+
+    /// In-place random permutation of the samples.
+    pub fn shuffle(&mut self, rng: &mut SmallRng64) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut order);
+        *self = self.take(&order);
+    }
+
+    /// Split into `(first, second)` with `frac` of samples in the first.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= frac <= 1`.
+    pub fn split(&self, frac: f64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1]");
+        let cut = (self.len() as f64 * frac).round() as usize;
+        let first: Vec<usize> = (0..cut).collect();
+        let second: Vec<usize> = (cut..self.len()).collect();
+        (self.take(&first), self.take(&second))
+    }
+
+    /// The strided shard for `worker` out of `num_workers` (data-parallel
+    /// partitioning: worker w sees samples w, w+W, w+2W, …).
+    ///
+    /// # Panics
+    /// Panics if `worker >= num_workers` or `num_workers == 0`.
+    pub fn shard(&self, worker: usize, num_workers: usize) -> Dataset {
+        assert!(num_workers > 0 && worker < num_workers, "bad shard spec");
+        let idx: Vec<usize> = (worker..self.len()).step_by(num_workers).collect();
+        self.take(&idx)
+    }
+
+    /// Iterate mini-batches of `batch_size` in order; the final partial
+    /// batch is included.
+    pub fn batches(&self, batch_size: usize) -> impl Iterator<Item = Batch> + '_ {
+        assert!(batch_size > 0, "batch size must be positive");
+        let n = self.len();
+        let sl = self.sample_len();
+        let shape_tail = self.sample_shape();
+        (0..n).step_by(batch_size).map(move |start| {
+            let end = (start + batch_size).min(n);
+            let mut shape = vec![end - start];
+            shape.extend_from_slice(&shape_tail);
+            Batch {
+                x: Tensor::from_vec(shape, self.x.data()[start * sl..end * sl].to_vec()),
+                y: self.y[start..end].to_vec(),
+            }
+        })
+    }
+
+    /// Per-class sample counts (diagnostics / balance checks).
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.num_classes];
+        for &l in &self.y {
+            h[l] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let x = Tensor::from_vec(vec![n, 2], (0..2 * n).map(|i| i as f32).collect());
+        let y = (0..n).map(|i| i % 3).collect();
+        Dataset::new(x, y, 3)
+    }
+
+    #[test]
+    fn construction_and_len() {
+        let d = toy(7);
+        assert_eq!(d.len(), 7);
+        assert_eq!(d.sample_len(), 2);
+        assert_eq!(d.sample_shape(), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn mismatched_labels_panic() {
+        Dataset::new(Tensor::zeros(&[3, 2]), vec![0, 1], 2);
+    }
+
+    #[test]
+    fn take_copies_selected_rows() {
+        let d = toy(5);
+        let t = d.take(&[4, 0]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.x.data(), &[8., 9., 0., 1.]);
+        assert_eq!(t.y, vec![1, 0]);
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let d = toy(10);
+        let (a, b) = d.split(0.8);
+        assert_eq!(a.len(), 8);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.x.data(), &[16., 17., 18., 19.]);
+    }
+
+    #[test]
+    fn shards_are_disjoint_and_cover() {
+        let d = toy(11);
+        let shards: Vec<Dataset> = (0..3).map(|w| d.shard(w, 3)).collect();
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 11);
+        // First feature value identifies a sample; all must be distinct.
+        let mut firsts: Vec<f32> = shards
+            .iter()
+            .flat_map(|s| s.x.data().iter().step_by(2).copied().collect::<Vec<_>>())
+            .collect();
+        firsts.sort_by(f32::total_cmp);
+        firsts.dedup();
+        assert_eq!(firsts.len(), 11);
+    }
+
+    #[test]
+    fn batches_cover_all_samples_with_partial_tail() {
+        let d = toy(10);
+        let batches: Vec<Batch> = d.batches(4).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].y.len(), 4);
+        assert_eq!(batches[2].y.len(), 2);
+        let total: usize = batches.iter().map(|b| b.y.len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(batches[1].x.shape(), &[4, 2]);
+    }
+
+    #[test]
+    fn shuffle_preserves_pairing() {
+        let mut d = toy(30);
+        let mut rng = SmallRng64::new(0);
+        d.shuffle(&mut rng);
+        // After shuffling, each row's features must still match its label:
+        // in `toy`, sample i has features (2i, 2i+1) and label i % 3.
+        for i in 0..d.len() {
+            let f0 = d.x.data()[2 * i];
+            let orig = (f0 / 2.0) as usize;
+            assert_eq!(d.y[i], orig % 3, "pairing broken at row {i}");
+        }
+        assert_eq!(d.class_histogram(), vec![10, 10, 10]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Reader for the IDX binary format used by the real MNIST distribution
+//! (`train-images-idx3-ubyte` etc.), so the synthetic stand-ins can be
+//! swapped for the genuine datasets when they are available. Supports the
+//! unsigned-byte element type that MNIST uses.
+//!
+//! Format (big-endian): magic `[0, 0, dtype, ndims]`, then `ndims` u32
+//! dimension sizes, then the elements.
+
+use crate::dataset::Dataset;
+use cdsgd_tensor::Tensor;
+use std::io::Read;
+use std::path::Path;
+
+/// Errors from IDX parsing.
+#[derive(Debug)]
+pub enum IdxError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed header or unsupported dtype.
+    Format(String),
+}
+
+impl std::fmt::Display for IdxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IdxError::Io(e) => write!(f, "idx io error: {e}"),
+            IdxError::Format(m) => write!(f, "idx format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IdxError {}
+
+impl From<std::io::Error> for IdxError {
+    fn from(e: std::io::Error) -> Self {
+        IdxError::Io(e)
+    }
+}
+
+/// A parsed IDX array of unsigned bytes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IdxArray {
+    /// Dimension sizes, outermost first.
+    pub shape: Vec<usize>,
+    /// Row-major elements.
+    pub data: Vec<u8>,
+}
+
+/// Parse an IDX byte stream (u8 element type only — MNIST's).
+pub fn parse_idx(mut reader: impl Read) -> Result<IdxArray, IdxError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if magic[0] != 0 || magic[1] != 0 {
+        return Err(IdxError::Format("bad magic prefix".into()));
+    }
+    if magic[2] != 0x08 {
+        return Err(IdxError::Format(format!(
+            "unsupported dtype 0x{:02x} (only u8/0x08 supported)",
+            magic[2]
+        )));
+    }
+    let ndims = magic[3] as usize;
+    if ndims == 0 || ndims > 4 {
+        return Err(IdxError::Format(format!("unsupported rank {ndims}")));
+    }
+    let mut shape = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        let mut b = [0u8; 4];
+        reader.read_exact(&mut b)?;
+        shape.push(u32::from_be_bytes(b) as usize);
+    }
+    let total: usize = shape.iter().product();
+    let mut data = vec![0u8; total];
+    reader.read_exact(&mut data)?;
+    Ok(IdxArray { shape, data })
+}
+
+/// Serialize an [`IdxArray`] back to IDX bytes (round-trip/testing and
+/// writing fixtures).
+pub fn write_idx(arr: &IdxArray) -> Result<Vec<u8>, IdxError> {
+    if arr.shape.is_empty() || arr.shape.len() > 4 {
+        return Err(IdxError::Format(format!("unsupported rank {}", arr.shape.len())));
+    }
+    let total: usize = arr.shape.iter().product();
+    if total != arr.data.len() {
+        return Err(IdxError::Format("shape/data length mismatch".into()));
+    }
+    let mut out = vec![0u8, 0, 0x08, arr.shape.len() as u8];
+    for &d in &arr.shape {
+        out.extend_from_slice(&(d as u32).to_be_bytes());
+    }
+    out.extend_from_slice(&arr.data);
+    Ok(out)
+}
+
+/// Load an MNIST-style dataset from an images file (`[N, H, W]` u8) and a
+/// labels file (`[N]` u8). Pixels are scaled to `[0, 1]` and the images
+/// get a channel dimension: `[N, 1, H, W]`.
+pub fn load_mnist(
+    images_path: impl AsRef<Path>,
+    labels_path: impl AsRef<Path>,
+    num_classes: usize,
+) -> Result<Dataset, IdxError> {
+    let images = parse_idx(std::fs::File::open(images_path)?)?;
+    let labels = parse_idx(std::fs::File::open(labels_path)?)?;
+    dataset_from_idx(&images, &labels, num_classes)
+}
+
+/// Build a [`Dataset`] from parsed IDX arrays.
+pub fn dataset_from_idx(
+    images: &IdxArray,
+    labels: &IdxArray,
+    num_classes: usize,
+) -> Result<Dataset, IdxError> {
+    if images.shape.len() != 3 {
+        return Err(IdxError::Format(format!(
+            "images must be [N,H,W], got rank {}",
+            images.shape.len()
+        )));
+    }
+    if labels.shape.len() != 1 {
+        return Err(IdxError::Format("labels must be rank 1".into()));
+    }
+    let (n, h, w) = (images.shape[0], images.shape[1], images.shape[2]);
+    if labels.shape[0] != n {
+        return Err(IdxError::Format(format!(
+            "image count {n} != label count {}",
+            labels.shape[0]
+        )));
+    }
+    let data: Vec<f32> = images.data.iter().map(|&b| b as f32 / 255.0).collect();
+    let y: Vec<usize> = labels.data.iter().map(|&b| b as usize).collect();
+    if let Some(&bad) = labels.data.iter().find(|&&b| b as usize >= num_classes) {
+        return Err(IdxError::Format(format!("label {bad} >= num_classes {num_classes}")));
+    }
+    Ok(Dataset::new(Tensor::from_vec(vec![n, 1, h, w], data), y, num_classes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (IdxArray, IdxArray) {
+        // 3 tiny 2x2 "images" with labels 0,1,2.
+        let images = IdxArray {
+            shape: vec![3, 2, 2],
+            data: vec![0, 51, 102, 153, 204, 255, 0, 128, 10, 20, 30, 40],
+        };
+        let labels = IdxArray { shape: vec![3], data: vec![0, 1, 2] };
+        (images, labels)
+    }
+
+    #[test]
+    fn round_trip_bytes() {
+        let (images, _) = fixture();
+        let bytes = write_idx(&images).unwrap();
+        let parsed = parse_idx(bytes.as_slice()).unwrap();
+        assert_eq!(parsed, images);
+    }
+
+    #[test]
+    fn header_layout_is_big_endian() {
+        let arr = IdxArray { shape: vec![1, 2], data: vec![7, 8] };
+        let bytes = write_idx(&arr).unwrap();
+        assert_eq!(&bytes[..4], &[0, 0, 0x08, 2]);
+        assert_eq!(&bytes[4..8], &[0, 0, 0, 1]);
+        assert_eq!(&bytes[8..12], &[0, 0, 0, 2]);
+        assert_eq!(&bytes[12..], &[7, 8]);
+    }
+
+    #[test]
+    fn dataset_conversion_scales_pixels() {
+        let (images, labels) = fixture();
+        let ds = dataset_from_idx(&images, &labels, 10).unwrap();
+        assert_eq!(ds.x.shape(), &[3, 1, 2, 2]);
+        assert_eq!(ds.y, vec![0, 1, 2]);
+        assert!((ds.x.data()[1] - 0.2).abs() < 1e-6); // 51/255
+        assert!((ds.x.data()[5] - 1.0).abs() < 1e-6); // 255/255
+    }
+
+    #[test]
+    fn loads_from_files() {
+        let (images, labels) = fixture();
+        let dir = std::env::temp_dir().join(format!("cdsgd_idx_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ip = dir.join("imgs.idx");
+        let lp = dir.join("labels.idx");
+        std::fs::write(&ip, write_idx(&images).unwrap()).unwrap();
+        std::fs::write(&lp, write_idx(&labels).unwrap()).unwrap();
+        let ds = load_mnist(&ip, &lp, 10).unwrap();
+        assert_eq!(ds.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_dtype() {
+        assert!(parse_idx([1u8, 0, 8, 1, 0, 0, 0, 0].as_slice()).is_err());
+        assert!(parse_idx([0u8, 0, 0x0D, 1, 0, 0, 0, 0].as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_counts() {
+        let (images, _) = fixture();
+        let labels = IdxArray { shape: vec![2], data: vec![0, 1] };
+        assert!(dataset_from_idx(&images, &labels, 10).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_labels() {
+        let (images, _) = fixture();
+        let labels = IdxArray { shape: vec![3], data: vec![0, 1, 9] };
+        assert!(dataset_from_idx(&images, &labels, 3).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let (images, _) = fixture();
+        let mut bytes = write_idx(&images).unwrap();
+        bytes.truncate(bytes.len() - 2);
+        assert!(matches!(parse_idx(bytes.as_slice()), Err(IdxError::Io(_))));
+    }
+}

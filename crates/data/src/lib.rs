@@ -1,0 +1,32 @@
+//! # cdsgd-data
+//!
+//! Seeded synthetic datasets standing in for MNIST, CIFAR-10 and ImageNet
+//! (DESIGN.md §2): the convergence behaviour the paper compares across
+//! S-SGD / OD-SGD / BIT-SGD / CD-SGD depends on gradient statistics and
+//! quantization error, not on image provenance, so deterministic synthetic
+//! sets preserve the experiments while keeping the repo self-contained.
+//!
+//! * [`Dataset`] — images/labels container with sharding and batching.
+//! * [`synth`] — MNIST-like / CIFAR-like / ImageNet-like generators built
+//!   from class-specific low-frequency templates plus noise and jitter.
+//! * [`toy`] — low-dimensional tasks (Gaussian blobs, two moons) for fast
+//!   tests and the convergence-rate experiment.
+//! * [`augment`] — random crop + horizontal flip (Fig. 9 uses CIFAR-10
+//!   "with data augmentation").
+//!
+//! ```
+//! use cdsgd_data::synth;
+//!
+//! let ds = synth::mnist_like(128, 42);
+//! assert_eq!(ds.x.shape(), &[128, 1, 28, 28]);
+//! let (train, test) = ds.split(0.8);
+//! assert_eq!(train.len() + test.len(), 128);
+//! ```
+
+pub mod augment;
+mod dataset;
+pub mod idx;
+pub mod synth;
+pub mod toy;
+
+pub use dataset::{Batch, Dataset};

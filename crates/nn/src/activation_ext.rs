@@ -1,0 +1,226 @@
+//! Additional pointwise activations: LeakyReLU, ELU, GELU, Softplus.
+//! These extend the zoo beyond the paper's models (LeNet uses tanh, the
+//! conv nets use ReLU) for downstream users.
+
+use crate::layer::{Layer, Mode};
+use cdsgd_tensor::Tensor;
+
+/// Leaky rectified linear unit: `x` for `x > 0`, `αx` otherwise.
+#[derive(Debug)]
+pub struct LeakyRelu {
+    alpha: f32,
+    input: Vec<f32>,
+}
+
+impl LeakyRelu {
+    /// Leaky ReLU with negative-side slope `alpha` (e.g. 0.01).
+    pub fn new(alpha: f32) -> Self {
+        assert!(alpha.is_finite());
+        Self { alpha, input: Vec::new() }
+    }
+}
+
+impl Layer for LeakyRelu {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        self.input = x.data().to_vec();
+        let a = self.alpha;
+        x.map(|v| if v > 0.0 { v } else { a * v })
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        assert_eq!(dy.len(), self.input.len(), "backward without matching forward");
+        let a = self.alpha;
+        let data = dy
+            .data()
+            .iter()
+            .zip(&self.input)
+            .map(|(&g, &x)| if x > 0.0 { g } else { a * g })
+            .collect();
+        Tensor::from_vec(dy.shape().to_vec(), data)
+    }
+
+    fn name(&self) -> &'static str {
+        "leaky_relu"
+    }
+}
+
+/// Exponential linear unit: `x` for `x > 0`, `α(e^x − 1)` otherwise.
+#[derive(Debug)]
+pub struct Elu {
+    alpha: f32,
+    input: Vec<f32>,
+}
+
+impl Elu {
+    /// ELU with scale `alpha` (commonly 1.0).
+    pub fn new(alpha: f32) -> Self {
+        assert!(alpha.is_finite());
+        Self { alpha, input: Vec::new() }
+    }
+}
+
+impl Layer for Elu {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        self.input = x.data().to_vec();
+        let a = self.alpha;
+        x.map(|v| if v > 0.0 { v } else { a * (v.exp() - 1.0) })
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        assert_eq!(dy.len(), self.input.len(), "backward without matching forward");
+        let a = self.alpha;
+        let data = dy
+            .data()
+            .iter()
+            .zip(&self.input)
+            .map(|(&g, &x)| if x > 0.0 { g } else { g * a * x.exp() })
+            .collect();
+        Tensor::from_vec(dy.shape().to_vec(), data)
+    }
+
+    fn name(&self) -> &'static str {
+        "elu"
+    }
+}
+
+/// Gaussian error linear unit (tanh approximation, as used by most
+/// frameworks): `0.5x(1 + tanh(√(2/π)(x + 0.044715x³)))`.
+#[derive(Debug, Default)]
+pub struct Gelu {
+    input: Vec<f32>,
+}
+
+impl Gelu {
+    /// New GELU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn phi(x: f32) -> f32 {
+        const C: f32 = 0.797_884_6; // sqrt(2/pi)
+        0.5 * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+    }
+}
+
+impl Layer for Gelu {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        self.input = x.data().to_vec();
+        x.map(|v| v * Self::phi(v))
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        assert_eq!(dy.len(), self.input.len(), "backward without matching forward");
+        const C: f32 = 0.797_884_6;
+        let data = dy
+            .data()
+            .iter()
+            .zip(&self.input)
+            .map(|(&g, &x)| {
+                let t = (C * (x + 0.044715 * x * x * x)).tanh();
+                let dt = (1.0 - t * t) * C * (1.0 + 3.0 * 0.044715 * x * x);
+                g * (0.5 * (1.0 + t) + 0.5 * x * dt)
+            })
+            .collect();
+        Tensor::from_vec(dy.shape().to_vec(), data)
+    }
+
+    fn name(&self) -> &'static str {
+        "gelu"
+    }
+}
+
+/// Softplus: `ln(1 + e^x)`, the smooth ReLU.
+#[derive(Debug, Default)]
+pub struct Softplus {
+    input: Vec<f32>,
+}
+
+impl Softplus {
+    /// New softplus layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Softplus {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        self.input = x.data().to_vec();
+        // Numerically stable: max(x,0) + ln(1 + e^{−|x|}).
+        x.map(|v| v.max(0.0) + (-v.abs()).exp().ln_1p())
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        assert_eq!(dy.len(), self.input.len(), "backward without matching forward");
+        let data = dy
+            .data()
+            .iter()
+            .zip(&self.input)
+            .map(|(&g, &x)| g / (1.0 + (-x).exp()))
+            .collect();
+        Tensor::from_vec(dy.shape().to_vec(), data)
+    }
+
+    fn name(&self) -> &'static str {
+        "softplus"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_numeric(mk: &dyn Fn() -> Box<dyn Layer>, xs: &[f32], tol: f32) {
+        let eps = 1e-3f32;
+        for &x0 in xs {
+            let mut l = mk();
+            l.forward(&Tensor::from_vec(vec![1], vec![x0]), Mode::Train);
+            let analytic = l.backward(&Tensor::ones(&[1])).data()[0];
+            let fp = mk().forward(&Tensor::from_vec(vec![1], vec![x0 + eps]), Mode::Train).data()[0];
+            let fm = mk().forward(&Tensor::from_vec(vec![1], vec![x0 - eps]), Mode::Train).data()[0];
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < tol,
+                "at {x0}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    const PROBES: [f32; 6] = [-2.0, -0.7, -0.1, 0.2, 1.0, 2.5];
+
+    #[test]
+    fn leaky_relu_values_and_gradient() {
+        let mut l = LeakyRelu::new(0.1);
+        let y = l.forward(&Tensor::from_vec(vec![2], vec![2.0, -2.0]), Mode::Train);
+        assert_eq!(y.data(), &[2.0, -0.2]);
+        check_numeric(&|| Box::new(LeakyRelu::new(0.1)), &PROBES, 1e-2);
+    }
+
+    #[test]
+    fn elu_values_and_gradient() {
+        let mut l = Elu::new(1.0);
+        let y = l.forward(&Tensor::from_vec(vec![2], vec![1.0, -1.0]), Mode::Train);
+        assert!((y.data()[0] - 1.0).abs() < 1e-6);
+        assert!((y.data()[1] - ((-1.0f32).exp() - 1.0)).abs() < 1e-6);
+        check_numeric(&|| Box::new(Elu::new(1.0)), &PROBES, 1e-2);
+    }
+
+    #[test]
+    fn gelu_shape_and_gradient() {
+        let mut l = Gelu::new();
+        let y = l.forward(&Tensor::from_vec(vec![3], vec![-3.0, 0.0, 3.0]), Mode::Train);
+        // GELU(0) = 0; GELU(3) ≈ 3; GELU(−3) ≈ 0.
+        assert!(y.data()[1].abs() < 1e-6);
+        assert!((y.data()[2] - 3.0).abs() < 0.02);
+        assert!(y.data()[0].abs() < 0.02);
+        check_numeric(&|| Box::new(Gelu::new()), &PROBES, 2e-2);
+    }
+
+    #[test]
+    fn softplus_values_and_gradient() {
+        let mut l = Softplus::new();
+        let y = l.forward(&Tensor::from_vec(vec![2], vec![0.0, 100.0]), Mode::Train);
+        assert!((y.data()[0] - (2.0f32).ln()).abs() < 1e-6);
+        assert!((y.data()[1] - 100.0).abs() < 1e-4); // no overflow
+        check_numeric(&|| Box::new(Softplus::new()), &PROBES, 1e-2);
+    }
+}

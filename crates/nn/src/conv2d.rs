@@ -1,0 +1,207 @@
+//! 2-D convolution layer (im2col formulation).
+
+use crate::layer::{Layer, Mode, Param};
+use cdsgd_tensor::{col2im, he_std, im2col, Conv2dGeom, SmallRng64, Tensor};
+
+/// 2-D convolution over NCHW input.
+///
+/// Weight layout is `[out_c, in_c * kh * kw]` (the im2col GEMM shape);
+/// bias is `[out_c]`. The spatial geometry is fixed at construction only
+/// in `(in_c, k, stride, pad)`; input H/W are discovered per forward.
+#[derive(Debug)]
+pub struct Conv2d {
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    weight: Param,
+    bias: Param,
+    /// Cached per-forward state: geometry and the per-sample column
+    /// matrices (needed for dW), plus the batch size.
+    cache: Option<(Conv2dGeom, Vec<Tensor>)>,
+}
+
+impl Conv2d {
+    /// He-initialized convolution. `k` is the (square) kernel size.
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut SmallRng64,
+    ) -> Self {
+        let fan_in = in_c * k * k;
+        Self {
+            in_c,
+            out_c,
+            k,
+            stride,
+            pad,
+            weight: Param::new(Tensor::randn(&[out_c, fan_in], he_std(fan_in), rng)),
+            bias: Param::new(Tensor::zeros(&[out_c])),
+            cache: None,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+
+    fn geom(&self, h: usize, w: usize) -> Conv2dGeom {
+        Conv2dGeom { c: self.in_c, h, w, kh: self.k, kw: self.k, stride: self.stride, pad: self.pad }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(x.ndim(), 4, "Conv2d expects [N,C,H,W]");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        assert_eq!(c, self.in_c, "input channel mismatch");
+        let g = self.geom(h, w);
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let img_len = c * h * w;
+        let out_plane = oh * ow;
+
+        let mut out = Tensor::zeros(&[n, self.out_c, oh, ow]);
+        let mut cols = Vec::with_capacity(n);
+        for s in 0..n {
+            let col = im2col(&x.data()[s * img_len..(s + 1) * img_len], &g);
+            let y = self.weight.value.matmul(&col); // [out_c, oh*ow]
+            let dst = &mut out.data_mut()[s * self.out_c * out_plane..(s + 1) * self.out_c * out_plane];
+            dst.copy_from_slice(y.data());
+            // Add bias per output channel.
+            for oc in 0..self.out_c {
+                let b = self.bias.value.data()[oc];
+                for v in &mut dst[oc * out_plane..(oc + 1) * out_plane] {
+                    *v += b;
+                }
+            }
+            cols.push(col);
+        }
+        self.cache = Some((g, cols));
+        out
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (g, cols) = self.cache.take().expect("backward without forward");
+        let n = dy.shape()[0];
+        assert_eq!(dy.shape()[1], self.out_c);
+        let out_plane = g.out_h() * g.out_w();
+        let img_len = g.c * g.h * g.w;
+
+        self.weight.grad.fill_zero();
+        self.bias.grad.fill_zero();
+        let mut dx = Tensor::zeros(&[n, g.c, g.h, g.w]);
+        for (s, col) in cols.iter().enumerate() {
+            let dy_s = Tensor::from_vec(
+                vec![self.out_c, out_plane],
+                dy.data()[s * self.out_c * out_plane..(s + 1) * self.out_c * out_plane].to_vec(),
+            );
+            // dW += dy_s · colᵀ
+            self.weight.grad.add_assign(&dy_s.matmul_nt(col));
+            // db += Σ_spatial dy
+            for oc in 0..self.out_c {
+                self.bias.grad.data_mut()[oc] +=
+                    dy_s.data()[oc * out_plane..(oc + 1) * out_plane].iter().sum::<f32>();
+            }
+            // dcol = Wᵀ · dy_s, scattered back through col2im.
+            let dcol = self.weight.value.matmul_tn(&dy_s);
+            col2im(&dcol, &g, &mut dx.data_mut()[s * img_len..(s + 1) * img_len]);
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape_and_param_count() {
+        let mut rng = SmallRng64::new(0);
+        let mut c = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+        assert_eq!(c.num_params(), 8 * 27 + 8);
+        let x = Tensor::randn(&[2, 3, 8, 8], 1.0, &mut rng);
+        let y = c.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 8, 8, 8]);
+        let dx = c.backward(&Tensor::ones(y.shape()));
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn stride_halves_spatial_dims() {
+        let mut rng = SmallRng64::new(1);
+        let mut c = Conv2d::new(1, 2, 3, 2, 1, &mut rng);
+        let x = Tensor::randn(&[1, 1, 8, 8], 1.0, &mut rng);
+        assert_eq!(c.forward(&x, Mode::Train).shape(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn bias_shifts_all_outputs() {
+        let mut rng = SmallRng64::new(2);
+        let mut c = Conv2d::new(1, 1, 1, 1, 0, &mut rng);
+        c.weight.value = Tensor::from_vec(vec![1, 1], vec![1.0]);
+        c.bias.value = Tensor::from_vec(vec![1], vec![5.0]);
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let y = c.forward(&x, Mode::Train);
+        assert_eq!(y.data(), &[6., 7., 8., 9.]);
+    }
+
+    #[test]
+    fn numerical_gradient_check_weights_and_input() {
+        let mut rng = SmallRng64::new(3);
+        let mut c = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        let y = c.forward(&x, Mode::Train);
+        let dx = c.backward(&Tensor::ones(y.shape()));
+        let dw = c.weight.grad.clone();
+        let db = c.bias.grad.clone();
+
+        let eps = 1e-2f32;
+        // Spot-check a sample of weight coordinates.
+        for i in (0..dw.len()).step_by(7) {
+            let orig = c.weight.value.data()[i];
+            c.weight.value.data_mut()[i] = orig + eps;
+            let fp = c.forward(&x, Mode::Train).sum();
+            c.weight.value.data_mut()[i] = orig - eps;
+            let fm = c.forward(&x, Mode::Train).sum();
+            c.weight.value.data_mut()[i] = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((dw.data()[i] - numeric).abs() < 0.05, "dW[{i}] {} vs {numeric}", dw.data()[i]);
+        }
+        // All bias coordinates.
+        for i in 0..db.len() {
+            let orig = c.bias.value.data()[i];
+            c.bias.value.data_mut()[i] = orig + eps;
+            let fp = c.forward(&x, Mode::Train).sum();
+            c.bias.value.data_mut()[i] = orig - eps;
+            let fm = c.forward(&x, Mode::Train).sum();
+            c.bias.value.data_mut()[i] = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((db.data()[i] - numeric).abs() < 0.05, "db[{i}]");
+        }
+        // Sampled input coordinates.
+        for i in (0..x.len()).step_by(5) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fp = c.forward(&xp, Mode::Train).sum();
+            let fm = c.forward(&xm, Mode::Train).sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((dx.data()[i] - numeric).abs() < 0.05, "dx[{i}]");
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Inverted dropout.
+
+use crate::layer::{Layer, Mode};
+use cdsgd_tensor::{SmallRng64, Tensor};
+
+/// Inverted dropout: in training, zeroes each activation with probability
+/// `p` and scales survivors by `1/(1-p)`; identity in evaluation mode.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: SmallRng64,
+    mask: Vec<f32>,
+    train_pass: bool,
+}
+
+impl Dropout {
+    /// Dropout with drop probability `p` and a deterministic mask stream.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "p must be in [0,1), got {p}");
+        Self { p, rng: SmallRng64::new(seed), mask: Vec::new(), train_pass: false }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        match mode {
+            Mode::Eval => {
+                self.train_pass = false;
+                x.clone()
+            }
+            Mode::Train => {
+                let keep = 1.0 - self.p;
+                let inv = 1.0 / keep;
+                self.mask = (0..x.len())
+                    .map(|_| if self.rng.unit_f32() < keep { inv } else { 0.0 })
+                    .collect();
+                self.train_pass = true;
+                let data =
+                    x.data().iter().zip(&self.mask).map(|(&v, &m)| v * m).collect();
+                Tensor::from_vec(x.shape().to_vec(), data)
+            }
+        }
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        if !self.train_pass {
+            return dy.clone();
+        }
+        assert_eq!(dy.len(), self.mask.len(), "backward without matching forward");
+        let data = dy.data().iter().zip(&self.mask).map(|(&g, &m)| g * m).collect();
+        Tensor::from_vec(dy.shape().to_vec(), data)
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = Dropout::new(0.5, 0);
+        let x = Tensor::ones(&[100]);
+        assert_eq!(d.forward(&x, Mode::Eval), x);
+        assert_eq!(d.backward(&x), x);
+    }
+
+    #[test]
+    fn train_zeroes_about_p_fraction() {
+        let mut d = Dropout::new(0.3, 1);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, Mode::Train);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        assert!((zeros as f32 / 10_000.0 - 0.3).abs() < 0.03, "{zeros} zeros");
+        // Survivors are scaled by 1/0.7 so the expectation is preserved.
+        let m = y.mean();
+        assert!((m - 1.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Tensor::ones(&[64]);
+        let y = d.forward(&x, Mode::Train);
+        let dx = d.backward(&Tensor::ones(&[64]));
+        // dx is nonzero exactly where y is nonzero.
+        for (a, b) in y.data().iter().zip(dx.data()) {
+            assert_eq!(*a == 0.0, *b == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_p_is_identity_in_train() {
+        let mut d = Dropout::new(0.0, 3);
+        let x = Tensor::ones(&[32]);
+        assert_eq!(d.forward(&x, Mode::Train), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn p_one_rejected() {
+        Dropout::new(1.0, 0);
+    }
+}

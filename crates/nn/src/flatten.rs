@@ -1,0 +1,52 @@
+//! Flatten NCHW feature maps to [N, C·H·W] matrices.
+
+use crate::layer::{Layer, Mode};
+use cdsgd_tensor::Tensor;
+
+/// Flattens all but the leading (batch) dimension.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    in_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// New flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        assert!(x.ndim() >= 2, "Flatten needs a batch dimension");
+        self.in_shape = x.shape().to_vec();
+        let n = x.shape()[0];
+        x.clone().reshape(vec![n, 0])
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        assert!(!self.in_shape.is_empty(), "backward without forward");
+        dy.clone().reshape(self.in_shape.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec(vec![2, 3, 2, 2], (0..24).map(|i| i as f32).collect());
+        let y = f.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 12]);
+        assert_eq!(y.data(), x.data());
+        let dx = f.backward(&y);
+        assert_eq!(dx.shape(), x.shape());
+        assert_eq!(dx.data(), x.data());
+    }
+}

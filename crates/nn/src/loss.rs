@@ -1,0 +1,118 @@
+//! Softmax cross-entropy loss.
+
+use cdsgd_tensor::Tensor;
+
+/// Fused softmax + cross-entropy over integer class labels.
+///
+/// The fused form is numerically stable and has the famously simple
+/// gradient `(softmax(logits) − onehot) / N`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Mean cross-entropy loss and its gradient w.r.t. the logits.
+    ///
+    /// `logits` is `[N, C]`, `labels` has `N` entries in `0..C`.
+    ///
+    /// # Panics
+    /// Panics on shape/label mismatches.
+    pub fn loss_and_grad(&self, logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+        assert_eq!(logits.ndim(), 2, "logits must be [N, C]");
+        let (n, c) = (logits.shape()[0], logits.shape()[1]);
+        assert_eq!(labels.len(), n, "one label per sample");
+        assert!(labels.iter().all(|&l| l < c), "label out of range");
+
+        let probs = logits.softmax_rows();
+        let mut loss = 0.0f32;
+        let mut grad = probs.clone();
+        let inv_n = 1.0 / n as f32;
+        for (i, &label) in labels.iter().enumerate() {
+            let p = probs.at(&[i, label]).max(1e-12);
+            loss -= p.ln();
+            *grad.at_mut(&[i, label]) -= 1.0;
+        }
+        grad.scale_inplace(inv_n);
+        (loss * inv_n, grad)
+    }
+
+    /// Classification accuracy of `logits` against `labels` in `[0,1]`.
+    pub fn accuracy(&self, logits: &Tensor, labels: &[usize]) -> f32 {
+        let preds = logits.argmax_rows();
+        if preds.is_empty() {
+            return 0.0;
+        }
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+        correct as f32 / preds.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdsgd_tensor::SmallRng64;
+
+    #[test]
+    fn uniform_logits_give_ln_c() {
+        let loss_fn = SoftmaxCrossEntropy;
+        let logits = Tensor::zeros(&[4, 10]);
+        let (loss, _) = loss_fn.loss_and_grad(&logits, &[0, 3, 5, 9]);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn perfect_prediction_loss_near_zero() {
+        let loss_fn = SoftmaxCrossEntropy;
+        let mut logits = Tensor::zeros(&[2, 3]);
+        *logits.at_mut(&[0, 1]) = 50.0;
+        *logits.at_mut(&[1, 2]) = 50.0;
+        let (loss, _) = loss_fn.loss_and_grad(&logits, &[1, 2]);
+        assert!(loss < 1e-4, "loss {loss}");
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        // Σ_c (p_c - y_c) = 1 - 1 = 0 per row.
+        let loss_fn = SoftmaxCrossEntropy;
+        let mut rng = SmallRng64::new(0);
+        let logits = Tensor::randn(&[5, 7], 2.0, &mut rng);
+        let (_, grad) = loss_fn.loss_and_grad(&logits, &[0, 1, 2, 3, 4]);
+        for row in grad.data().chunks_exact(7) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-5, "row sum {s}");
+        }
+    }
+
+    #[test]
+    fn numerical_gradient_check() {
+        let loss_fn = SoftmaxCrossEntropy;
+        let mut rng = SmallRng64::new(1);
+        let logits = Tensor::randn(&[3, 4], 1.0, &mut rng);
+        let labels = [2usize, 0, 3];
+        let (_, grad) = loss_fn.loss_and_grad(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (fp, _) = loss_fn.loss_and_grad(&lp, &labels);
+            let (fm, _) = loss_fn.loss_and_grad(&lm, &labels);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((grad.data()[i] - numeric).abs() < 1e-3, "grad[{i}]");
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let loss_fn = SoftmaxCrossEntropy;
+        let logits = Tensor::from_vec(vec![3, 2], vec![1., 0., 0., 1., 1., 0.]);
+        let acc = loss_fn.accuracy(&logits, &[0, 1, 1]);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        SoftmaxCrossEntropy.loss_and_grad(&Tensor::zeros(&[1, 3]), &[3]);
+    }
+}

@@ -1,0 +1,297 @@
+//! Spatial pooling layers: max, average, and global average pooling.
+
+use crate::layer::{Layer, Mode};
+use cdsgd_tensor::Tensor;
+
+/// Non-overlapping (or strided) max pooling over NCHW input.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    k: usize,
+    stride: usize,
+    /// For each output element, the linear input index that won the max.
+    argmax: Vec<usize>,
+    in_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Max pooling with square window `k` and stride `stride`.
+    pub fn new(k: usize, stride: usize) -> Self {
+        assert!(k > 0 && stride > 0);
+        Self { k, stride, argmax: Vec::new(), in_shape: Vec::new() }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(x.ndim(), 4, "MaxPool2d expects [N,C,H,W]");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        assert!(h >= self.k && w >= self.k, "window larger than input");
+        let oh = (h - self.k) / self.stride + 1;
+        let ow = (w - self.k) / self.stride + 1;
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        self.argmax = vec![0; n * c * oh * ow];
+        self.in_shape = x.shape().to_vec();
+        let data = x.data();
+        let od = out.data_mut();
+        let mut oi = 0usize;
+        for s in 0..n {
+            for ch in 0..c {
+                let base = (s * c + ch) * h * w;
+                for py in 0..oh {
+                    for px in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for dy in 0..self.k {
+                            for dx in 0..self.k {
+                                let idx = base + (py * self.stride + dy) * w + px * self.stride + dx;
+                                if data[idx] > best {
+                                    best = data[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        od[oi] = best;
+                        self.argmax[oi] = best_idx;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        assert_eq!(dy.len(), self.argmax.len(), "backward without matching forward");
+        let mut dx = Tensor::zeros(&self.in_shape);
+        let dd = dx.data_mut();
+        for (&g, &idx) in dy.data().iter().zip(&self.argmax) {
+            dd[idx] += g;
+        }
+        dx
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+}
+
+/// Strided average pooling over NCHW input.
+#[derive(Debug)]
+pub struct AvgPool2d {
+    k: usize,
+    stride: usize,
+    in_shape: Vec<usize>,
+}
+
+impl AvgPool2d {
+    /// Average pooling with square window `k` and stride `stride`.
+    pub fn new(k: usize, stride: usize) -> Self {
+        assert!(k > 0 && stride > 0);
+        Self { k, stride, in_shape: Vec::new() }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(x.ndim(), 4, "AvgPool2d expects [N,C,H,W]");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        assert!(h >= self.k && w >= self.k, "window larger than input");
+        let oh = (h - self.k) / self.stride + 1;
+        let ow = (w - self.k) / self.stride + 1;
+        self.in_shape = x.shape().to_vec();
+        let inv = 1.0 / (self.k * self.k) as f32;
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let data = x.data();
+        let od = out.data_mut();
+        let mut oi = 0usize;
+        for s in 0..n {
+            for ch in 0..c {
+                let base = (s * c + ch) * h * w;
+                for py in 0..oh {
+                    for px in 0..ow {
+                        let mut acc = 0.0f32;
+                        for dy in 0..self.k {
+                            for dx in 0..self.k {
+                                acc += data[base + (py * self.stride + dy) * w + px * self.stride + dx];
+                            }
+                        }
+                        od[oi] = acc * inv;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        assert!(!self.in_shape.is_empty(), "backward without forward");
+        let (n, c, h, w) =
+            (self.in_shape[0], self.in_shape[1], self.in_shape[2], self.in_shape[3]);
+        let oh = (h - self.k) / self.stride + 1;
+        let ow = (w - self.k) / self.stride + 1;
+        assert_eq!(dy.shape(), &[n, c, oh, ow]);
+        let inv = 1.0 / (self.k * self.k) as f32;
+        let mut dx = Tensor::zeros(&self.in_shape);
+        let dd = dx.data_mut();
+        let gd = dy.data();
+        let mut oi = 0usize;
+        for s in 0..n {
+            for ch in 0..c {
+                let base = (s * c + ch) * h * w;
+                for py in 0..oh {
+                    for px in 0..ow {
+                        let g = gd[oi] * inv;
+                        oi += 1;
+                        for dyy in 0..self.k {
+                            for dxx in 0..self.k {
+                                dd[base + (py * self.stride + dyy) * w + px * self.stride + dxx] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn name(&self) -> &'static str {
+        "avgpool2d"
+    }
+}
+
+/// Global average pooling: `[N,C,H,W] -> [N,C]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    in_shape: Vec<usize>,
+}
+
+impl GlobalAvgPool {
+    /// New global average pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(x.ndim(), 4, "GlobalAvgPool expects [N,C,H,W]");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        self.in_shape = x.shape().to_vec();
+        let inv = 1.0 / (h * w) as f32;
+        let mut out = Tensor::zeros(&[n, c]);
+        for s in 0..n {
+            for ch in 0..c {
+                let plane = &x.data()[(s * c + ch) * h * w..(s * c + ch + 1) * h * w];
+                out.data_mut()[s * c + ch] = plane.iter().sum::<f32>() * inv;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        assert!(!self.in_shape.is_empty(), "backward without forward");
+        let (n, c, h, w) =
+            (self.in_shape[0], self.in_shape[1], self.in_shape[2], self.in_shape[3]);
+        assert_eq!(dy.shape(), &[n, c]);
+        let inv = 1.0 / (h * w) as f32;
+        let mut dx = Tensor::zeros(&self.in_shape);
+        for s in 0..n {
+            for ch in 0..c {
+                let g = dy.data()[s * c + ch] * inv;
+                for v in &mut dx.data_mut()[(s * c + ch) * h * w..(s * c + ch + 1) * h * w] {
+                    *v = g;
+                }
+            }
+        }
+        dx
+    }
+
+    fn name(&self) -> &'static str {
+        "globalavgpool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdsgd_tensor::SmallRng64;
+
+    #[test]
+    fn maxpool_known_values() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(vec![1, 1, 2, 4], vec![1., 2., 5., 6., 3., 4., 7., 8.]);
+        let y = p.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[1, 1, 1, 2]);
+        assert_eq!(y.data(), &[4., 8.]);
+        let dx = p.backward(&Tensor::from_vec(vec![1, 1, 1, 2], vec![10., 20.]));
+        assert_eq!(dx.data(), &[0., 0., 0., 0., 0., 10., 0., 20.]);
+    }
+
+    #[test]
+    fn avgpool_known_values() {
+        let mut p = AvgPool2d::new(2, 2);
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let y = p.forward(&x, Mode::Train);
+        assert_eq!(y.data(), &[2.5]);
+        let dx = p.backward(&Tensor::from_vec(vec![1, 1, 1, 1], vec![4.0]));
+        assert_eq!(dx.data(), &[1., 1., 1., 1.]);
+    }
+
+    #[test]
+    fn global_avg_pool_round_trip() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1, 2, 1, 2], vec![1., 3., 10., 20.]);
+        let y = p.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[2.0, 15.0]);
+        let dx = p.backward(&Tensor::from_vec(vec![1, 2], vec![2.0, 4.0]));
+        assert_eq!(dx.data(), &[1., 1., 2., 2.]);
+    }
+
+    #[test]
+    fn pooling_backward_conserves_gradient_mass() {
+        // Sum of dx equals sum of dy for avg/global pools; for max pooling
+        // every dy element lands on exactly one dx slot.
+        let mut rng = SmallRng64::new(4);
+        let x = Tensor::randn(&[2, 3, 6, 6], 1.0, &mut rng);
+
+        let mut mp = MaxPool2d::new(2, 2);
+        let y = mp.forward(&x, Mode::Train);
+        let dy = Tensor::randn(y.shape(), 1.0, &mut rng);
+        let dx = mp.backward(&dy);
+        assert!((dx.sum() - dy.sum()).abs() < 1e-4);
+
+        let mut ap = AvgPool2d::new(2, 2);
+        let y = ap.forward(&x, Mode::Train);
+        let dy = Tensor::randn(y.shape(), 1.0, &mut rng);
+        let dx = ap.backward(&dy);
+        assert!((dx.sum() - dy.sum()).abs() < 1e-4);
+
+        let mut gp = GlobalAvgPool::new();
+        let y = gp.forward(&x, Mode::Train);
+        let dy = Tensor::randn(y.shape(), 1.0, &mut rng);
+        let dx = gp.backward(&dy);
+        assert!((dx.sum() - dy.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn maxpool_numerical_gradient() {
+        let mut rng = SmallRng64::new(5);
+        let x = Tensor::randn(&[1, 1, 4, 4], 1.0, &mut rng);
+        let mut p = MaxPool2d::new(2, 2);
+        let y = p.forward(&x, Mode::Train);
+        let dx = p.backward(&Tensor::ones(y.shape()));
+        let eps = 1e-3f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fp = MaxPool2d::new(2, 2).forward(&xp, Mode::Train).sum();
+            let fm = MaxPool2d::new(2, 2).forward(&xm, Mode::Train).sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((dx.data()[i] - numeric).abs() < 1e-2, "dx[{i}]");
+        }
+    }
+}

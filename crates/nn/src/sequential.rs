@@ -1,0 +1,213 @@
+//! The [`Sequential`] container: an ordered stack of layers with stable
+//! per-parameter keys — the sharding unit the parameter server uses.
+
+use crate::layer::{Layer, Mode, Param};
+use cdsgd_tensor::Tensor;
+
+/// An ordered stack of layers applied one after another.
+///
+/// Parameter keys: the i-th parameter encountered by a depth-first
+/// [`Layer::visit_params`] walk has key `i`. The walk order is fixed by
+/// construction, so keys are stable across iterations and identical on
+/// every worker — the property the PS push/pull protocol relies on.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Empty container.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Append a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Append a boxed layer.
+    pub fn push_boxed(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the container has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Flattened parameter sizes in key order: `sizes()[key]` is the
+    /// element count of parameter `key`.
+    pub fn param_sizes(&mut self) -> Vec<usize> {
+        let mut sizes = Vec::new();
+        self.visit_params(&mut |p| sizes.push(p.len()));
+        sizes
+    }
+
+    /// Copy all parameter values out, one `Vec<f32>` per key.
+    pub fn export_params(&mut self) -> Vec<Vec<f32>> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |p| out.push(p.value.data().to_vec()));
+        out
+    }
+
+    /// Copy all gradients out, one `Vec<f32>` per key.
+    pub fn export_grads(&mut self) -> Vec<Vec<f32>> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |p| out.push(p.grad.data().to_vec()));
+        out
+    }
+
+    /// Overwrite parameter values from per-key slices.
+    ///
+    /// # Panics
+    /// Panics if the number of keys or any length mismatches.
+    pub fn import_params(&mut self, values: &[Vec<f32>]) {
+        let mut i = 0usize;
+        self.visit_params(&mut |p| {
+            assert!(i < values.len(), "too few parameter vectors");
+            assert_eq!(values[i].len(), p.len(), "param {i} length mismatch");
+            p.value.data_mut().copy_from_slice(&values[i]);
+            i += 1;
+        });
+        assert_eq!(i, values.len(), "too many parameter vectors");
+    }
+
+    /// Apply `value[key] += alpha * delta[key]` for all keys.
+    pub fn axpy_params(&mut self, alpha: f32, deltas: &[Vec<f32>]) {
+        let mut i = 0usize;
+        self.visit_params(&mut |p| {
+            assert_eq!(deltas[i].len(), p.len(), "param {i} length mismatch");
+            for (v, &d) in p.value.data_mut().iter_mut().zip(&deltas[i]) {
+                *v += alpha * d;
+            }
+            i += 1;
+        });
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, mode);
+        }
+        cur
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mut cur = dy.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+        cur
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::dense::Dense;
+    use cdsgd_tensor::SmallRng64;
+
+    fn tiny_model(rng: &mut SmallRng64) -> Sequential {
+        Sequential::new()
+            .push(Dense::new(3, 4, rng))
+            .push(Relu::new())
+            .push(Dense::new(4, 2, rng))
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut rng = SmallRng64::new(0);
+        let mut m = tiny_model(&mut rng);
+        let x = Tensor::randn(&[5, 3], 1.0, &mut rng);
+        let y = m.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[5, 2]);
+        let dx = m.backward(&Tensor::ones(&[5, 2]));
+        assert_eq!(dx.shape(), &[5, 3]);
+    }
+
+    #[test]
+    fn param_keys_are_stable_and_complete() {
+        let mut rng = SmallRng64::new(1);
+        let mut m = tiny_model(&mut rng);
+        let sizes = m.param_sizes();
+        // dense1 W (3*4) + b (4) + dense2 W (4*2) + b (2)
+        assert_eq!(sizes, vec![12, 4, 8, 2]);
+        assert_eq!(m.num_params(), 26);
+        // Stability: second call yields the same layout.
+        assert_eq!(m.param_sizes(), sizes);
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let mut rng = SmallRng64::new(2);
+        let mut m = tiny_model(&mut rng);
+        let snapshot = m.export_params();
+        // Perturb, then restore.
+        let zeros: Vec<Vec<f32>> = snapshot.iter().map(|v| vec![0.0; v.len()]).collect();
+        m.import_params(&zeros);
+        assert!(m.export_params().iter().all(|v| v.iter().all(|&x| x == 0.0)));
+        m.import_params(&snapshot);
+        assert_eq!(m.export_params(), snapshot);
+    }
+
+    #[test]
+    fn axpy_params_applies_update() {
+        let mut rng = SmallRng64::new(3);
+        let mut m = tiny_model(&mut rng);
+        let before = m.export_params();
+        let ones: Vec<Vec<f32>> = before.iter().map(|v| vec![1.0; v.len()]).collect();
+        m.axpy_params(-0.5, &ones);
+        let after = m.export_params();
+        for (b, a) in before.iter().zip(&after) {
+            for (x, y) in b.iter().zip(a) {
+                assert!((x - 0.5 - y).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_seeds_build_identical_models() {
+        // Workers rely on this: same seed => same initial global weights.
+        let mut r1 = SmallRng64::new(7);
+        let mut r2 = SmallRng64::new(7);
+        let mut m1 = tiny_model(&mut r1);
+        let mut m2 = tiny_model(&mut r2);
+        assert_eq!(m1.export_params(), m2.export_params());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn import_bad_lengths_panics() {
+        let mut rng = SmallRng64::new(4);
+        let mut m = tiny_model(&mut rng);
+        let mut p = m.export_params();
+        p[0].pop();
+        m.import_params(&p);
+    }
+}

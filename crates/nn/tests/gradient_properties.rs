@@ -1,0 +1,188 @@
+//! Property-based gradient checks: for random shapes and inputs, every
+//! layer's analytic backward pass must match central-difference numerics,
+//! and structural invariants (shape preservation, parameter stability)
+//! must hold.
+
+use cdsgd_nn::{
+    models, AvgPool2d, BatchNorm2d, Conv2d, Dense, Flatten, GlobalAvgPool, Layer, MaxPool2d,
+    Mode, Relu, Sequential, Sigmoid, SoftmaxCrossEntropy, Tanh,
+};
+use cdsgd_tensor::{SmallRng64, Tensor};
+use proptest::prelude::*;
+
+/// Weighted-sum loss (sum alone has zero gradient through normalizers).
+fn loss_of(y: &Tensor, w: &[f32]) -> f32 {
+    y.data().iter().zip(w).map(|(a, b)| a * b).sum()
+}
+
+/// Central-difference check of dL/dx against the layer's backward.
+fn check_input_gradient(
+    mk: &dyn Fn() -> Box<dyn Layer>,
+    x: &Tensor,
+    tol: f32,
+    stride: usize,
+) -> Result<(), String> {
+    let mut rng = SmallRng64::new(99);
+    let mut layer = mk();
+    let y = layer.forward(x, Mode::Train);
+    let w: Vec<f32> = (0..y.len()).map(|_| rng.gauss()).collect();
+    let dy = Tensor::from_vec(y.shape().to_vec(), w.clone());
+    let dx = layer.backward(&dy);
+
+    let eps = 1e-2f32;
+    for i in (0..x.len()).step_by(stride) {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        let fp = loss_of(&mk().forward(&xp, Mode::Train), &w);
+        let fm = loss_of(&mk().forward(&xm, Mode::Train), &w);
+        let numeric = (fp - fm) / (2.0 * eps);
+        let analytic = dx.data()[i];
+        if (analytic - numeric).abs() > tol * (1.0 + numeric.abs()) {
+            return Err(format!("dx[{i}]: analytic {analytic} vs numeric {numeric}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn dense_gradient_any_shape(inf in 1usize..6, outf in 1usize..6, batch in 1usize..4, seed in 0u64..500) {
+        let mut rng = SmallRng64::new(seed);
+        let x = Tensor::randn(&[batch, inf], 1.0, &mut rng);
+        let mk = move || -> Box<dyn Layer> {
+            let mut r = SmallRng64::new(seed ^ 1);
+            Box::new(Dense::new(inf, outf, &mut r))
+        };
+        prop_assert!(check_input_gradient(&mk, &x, 0.05, 1).is_ok());
+    }
+
+    #[test]
+    fn conv_gradient_any_geometry(
+        inc in 1usize..3,
+        outc in 1usize..3,
+        hw in 3usize..6,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u64..200,
+    ) {
+        let k = 3usize;
+        prop_assume!(hw + 2 * pad >= k);
+        let mut rng = SmallRng64::new(seed);
+        let x = Tensor::randn(&[1, inc, hw, hw], 1.0, &mut rng);
+        let mk = move || -> Box<dyn Layer> {
+            let mut r = SmallRng64::new(seed ^ 2);
+            Box::new(Conv2d::new(inc, outc, k, stride, pad, &mut r))
+        };
+        prop_assert!(check_input_gradient(&mk, &x, 0.08, 3).is_ok());
+    }
+
+    #[test]
+    fn pooling_gradients(hw in 4usize..8, seed in 0u64..200) {
+        let mut rng = SmallRng64::new(seed);
+        let x = Tensor::randn(&[1, 2, hw, hw], 1.0, &mut rng);
+        let mk_avg = || -> Box<dyn Layer> { Box::new(AvgPool2d::new(2, 2)) };
+        prop_assert!(check_input_gradient(&mk_avg, &x, 0.05, 2).is_ok());
+        let mk_gap = || -> Box<dyn Layer> { Box::new(GlobalAvgPool::new()) };
+        prop_assert!(check_input_gradient(&mk_gap, &x, 0.05, 2).is_ok());
+        // Max pooling is piecewise linear with kinks at ties; build an
+        // input whose values are all ≥0.1 apart (a scaled random
+        // permutation of ranks) so the central difference never crosses
+        // an argmax change.
+        let n = x.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng2 = SmallRng64::new(seed ^ 0xABCD);
+        rng2.shuffle(&mut order);
+        let mut sep = vec![0.0f32; n];
+        for (rank, &i) in order.iter().enumerate() {
+            sep[i] = rank as f32 * 0.1;
+        }
+        let x2 = Tensor::from_vec(x.shape().to_vec(), sep);
+        let mk_max = || -> Box<dyn Layer> { Box::new(MaxPool2d::new(2, 2)) };
+        prop_assert!(check_input_gradient(&mk_max, &x2, 0.1, 2).is_ok());
+    }
+
+    #[test]
+    fn activation_gradients(n in 1usize..32, seed in 0u64..500) {
+        let mut rng = SmallRng64::new(seed);
+        // Keep away from ReLU's kink at 0.
+        let x = Tensor::randn(&[1, n], 1.0, &mut rng).map(|v| if v.abs() < 0.05 { v + 0.1 } else { v });
+        for mk in [
+            (|| -> Box<dyn Layer> { Box::new(Relu::new()) }) as fn() -> Box<dyn Layer>,
+            || Box::new(Sigmoid::new()),
+            || Box::new(Tanh::new()),
+            || Box::new(Flatten::new()),
+        ] {
+            prop_assert!(check_input_gradient(&mk, &x, 0.05, 1).is_ok());
+        }
+    }
+
+    #[test]
+    fn batchnorm_gradient(c in 1usize..3, hw in 2usize..4, seed in 0u64..200) {
+        let mut rng = SmallRng64::new(seed);
+        let x = Tensor::randn(&[3, c, hw, hw], 1.0, &mut rng);
+        let mk = move || -> Box<dyn Layer> { Box::new(BatchNorm2d::new(c)) };
+        prop_assert!(check_input_gradient(&mk, &x, 0.1, 2).is_ok());
+    }
+
+    #[test]
+    fn softmax_ce_gradient(n in 1usize..5, c in 2usize..6, seed in 0u64..500) {
+        let mut rng = SmallRng64::new(seed);
+        let logits = Tensor::randn(&[n, c], 1.0, &mut rng);
+        let labels: Vec<usize> = (0..n).map(|i| i % c).collect();
+        let loss_fn = SoftmaxCrossEntropy;
+        let (_, grad) = loss_fn.loss_and_grad(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (fp, _) = loss_fn.loss_and_grad(&lp, &labels);
+            let (fm, _) = loss_fn.loss_and_grad(&lm, &labels);
+            let numeric = (fp - fm) / (2.0 * eps);
+            prop_assert!((grad.data()[i] - numeric).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn sequential_forward_is_pure(seed in 0u64..500) {
+        // Two forwards of the same input give the same output (no hidden
+        // state mutation in eval mode), and params are untouched.
+        let mut rng = SmallRng64::new(seed);
+        let mut m = models::mlp(&[4, 8, 3], &mut rng);
+        let x = Tensor::randn(&[2, 4], 1.0, &mut rng);
+        let before = m.export_params();
+        let y1 = m.forward(&x, Mode::Eval);
+        let y2 = m.forward(&x, Mode::Eval);
+        prop_assert_eq!(y1, y2);
+        prop_assert_eq!(m.export_params(), before);
+    }
+
+    #[test]
+    fn full_model_backward_produces_grads_for_every_param(seed in 0u64..100) {
+        let mut rng = SmallRng64::new(seed);
+        let mut m = Sequential::new();
+        let mut r2 = SmallRng64::new(seed ^ 3);
+        m = m
+            .push(Conv2d::new(1, 2, 3, 1, 1, &mut r2))
+            .push(BatchNorm2d::new(2))
+            .push(Relu::new())
+            .push(MaxPool2d::new(2, 2))
+            .push(Flatten::new())
+            .push(Dense::new(2 * 4 * 4, 3, &mut r2));
+        let x = Tensor::randn(&[2, 1, 8, 8], 1.0, &mut rng);
+        let y = m.forward(&x, Mode::Train);
+        let loss_fn = SoftmaxCrossEntropy;
+        let (_, grad) = loss_fn.loss_and_grad(&y, &[0, 1]);
+        m.backward(&grad);
+        // Every parameter received a (mostly) nonzero gradient.
+        let grads = m.export_grads();
+        let nonzero = grads.iter().flatten().filter(|&&g| g != 0.0).count();
+        let total: usize = grads.iter().map(|g| g.len()).sum();
+        prop_assert!(nonzero * 2 > total, "only {nonzero}/{total} grads nonzero");
+    }
+}

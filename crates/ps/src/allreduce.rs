@@ -1,0 +1,210 @@
+//! Ring all-reduce: the decentralized collective underlying the
+//! Horovod-style baselines in the paper's related work (PIPE-SGD,
+//! Poseidon, EFLOPS), provided as a substrate so PS-based and
+//! collective-based synchronization can be compared on the same stack.
+//!
+//! Implements the classic two-phase ring: `N−1` scatter-reduce steps
+//! (each rank ends up owning one fully-reduced chunk) followed by `N−1`
+//! all-gather steps. Every member sends `2·(N−1)/N` of the vector —
+//! the bandwidth-optimal collective.
+
+use crate::stats::TrafficStats;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+
+/// One participant's handle in a ring all-reduce group. All members of a
+/// group must call [`RingMember::allreduce_mean`] concurrently (from
+/// their own threads); the call blocks until the collective completes.
+pub struct RingMember {
+    rank: usize,
+    n: usize,
+    tx_next: Sender<Vec<f32>>,
+    rx_prev: Receiver<Vec<f32>>,
+    stats: Arc<TrafficStats>,
+}
+
+/// Create a ring of `n` members sharing a traffic counter.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn ring_group(n: usize) -> (Vec<RingMember>, Arc<TrafficStats>) {
+    assert!(n > 0, "a ring needs at least one member");
+    let stats = Arc::new(TrafficStats::new());
+    // Channel i carries messages from rank i to rank (i+1) % n.
+    let mut txs = Vec::with_capacity(n);
+    let mut rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    // Member `rank` sends on channel `rank` and receives on channel
+    // `(rank + n - 1) % n`.
+    let mut members: Vec<RingMember> = Vec::with_capacity(n);
+    let mut rxs: Vec<Option<Receiver<Vec<f32>>>> = rxs.into_iter().map(Some).collect();
+    for (rank, tx_next) in txs.into_iter().enumerate() {
+        let rx_prev = rxs[(rank + n - 1) % n].take().expect("each rx used once");
+        members.push(RingMember {
+            rank,
+            n,
+            tx_next,
+            rx_prev,
+            stats: Arc::clone(&stats),
+        });
+    }
+    (members, stats)
+}
+
+/// Chunk boundaries: `n` near-equal contiguous ranges over `len`.
+fn chunk_range(len: usize, n: usize, i: usize) -> std::ops::Range<usize> {
+    let start = i * len / n;
+    let end = (i + 1) * len / n;
+    start..end
+}
+
+impl RingMember {
+    /// This member's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Group size.
+    pub fn group_size(&self) -> usize {
+        self.n
+    }
+
+    /// In-place mean all-reduce over the group. Every member must call
+    /// this with a same-length buffer; on return each buffer holds the
+    /// elementwise mean.
+    ///
+    /// # Panics
+    /// Panics if members disagree on the vector length (detected as a
+    /// chunk-size mismatch) or a peer disconnected.
+    pub fn allreduce_mean(&self, data: &mut [f32]) {
+        if self.n == 1 {
+            return; // nothing to reduce
+        }
+        let len = data.len();
+        let n = self.n;
+
+        // Phase 1: scatter-reduce. In step s, send chunk (rank − s) and
+        // fold the received chunk (rank − s − 1) into our buffer.
+        for s in 0..n - 1 {
+            let send_idx = (self.rank + n - s) % n;
+            let recv_idx = (self.rank + n - s - 1) % n;
+            let chunk = data[chunk_range(len, n, send_idx)].to_vec();
+            self.stats.record_push(4 * chunk.len());
+            self.tx_next.send(chunk).expect("ring peer disconnected");
+            let incoming = self.rx_prev.recv().expect("ring peer disconnected");
+            let dst = &mut data[chunk_range(len, n, recv_idx)];
+            assert_eq!(incoming.len(), dst.len(), "ring members disagree on length");
+            for (d, x) in dst.iter_mut().zip(&incoming) {
+                *d += x;
+            }
+        }
+        // Phase 2: all-gather. In step s, send the fully-reduced chunk
+        // (rank + 1 − s) and overwrite with the received chunk (rank − s).
+        for s in 0..n - 1 {
+            let send_idx = (self.rank + 1 + n - s) % n;
+            let recv_idx = (self.rank + n - s) % n;
+            let chunk = data[chunk_range(len, n, send_idx)].to_vec();
+            self.stats.record_push(4 * chunk.len());
+            self.tx_next.send(chunk).expect("ring peer disconnected");
+            let incoming = self.rx_prev.recv().expect("ring peer disconnected");
+            let dst = &mut data[chunk_range(len, n, recv_idx)];
+            assert_eq!(incoming.len(), dst.len(), "ring members disagree on length");
+            dst.copy_from_slice(&incoming);
+        }
+        // Mean.
+        let inv = 1.0 / n as f32;
+        for d in data.iter_mut() {
+            *d *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Run a mean all-reduce across `n` threads and return the results.
+    fn run_ring(inputs: Vec<Vec<f32>>) -> (Vec<Vec<f32>>, u64) {
+        let n = inputs.len();
+        let (members, stats) = ring_group(n);
+        let outputs: Vec<Vec<f32>> = std::thread::scope(|s| {
+            let handles: Vec<_> = members
+                .into_iter()
+                .zip(inputs)
+                .map(|(m, mut v)| {
+                    s.spawn(move || {
+                        m.allreduce_mean(&mut v);
+                        v
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        (outputs, stats.bytes_pushed())
+    }
+
+    #[test]
+    fn two_members_compute_the_mean() {
+        let (out, _) = run_ring(vec![vec![1.0, 2.0, 3.0, 4.0], vec![3.0, 2.0, 1.0, 0.0]]);
+        for o in &out {
+            assert_eq!(o, &vec![2.0, 2.0, 2.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn arbitrary_group_sizes_and_lengths() {
+        for n in [1usize, 2, 3, 4, 7] {
+            for len in [1usize, 5, 16, 33] {
+                if len < n {
+                    continue; // degenerate chunks are allowed but boring
+                }
+                let inputs: Vec<Vec<f32>> = (0..n)
+                    .map(|r| (0..len).map(|i| (r * len + i) as f32).collect())
+                    .collect();
+                let mut expect = vec![0.0f32; len];
+                for input in &inputs {
+                    for (e, x) in expect.iter_mut().zip(input) {
+                        *e += x;
+                    }
+                }
+                for e in expect.iter_mut() {
+                    *e /= n as f32;
+                }
+                let (out, _) = run_ring(inputs);
+                for o in &out {
+                    for (a, b) in o.iter().zip(&expect) {
+                        assert!((a - b).abs() < 1e-4, "n={n} len={len}: {a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_is_bandwidth_optimal() {
+        // Each member sends 2(n−1)/n of the vector per all-reduce.
+        let n = 4usize;
+        let len = 1024usize;
+        let inputs: Vec<Vec<f32>> = (0..n).map(|_| vec![1.0; len]).collect();
+        let (_, bytes) = run_ring(inputs);
+        let expect = (n as u64) * 2 * ((n as u64 - 1)) * (4 * len as u64) / n as u64;
+        assert_eq!(bytes, expect, "total ring traffic");
+    }
+
+    #[test]
+    fn single_member_is_identity() {
+        let (out, bytes) = run_ring(vec![vec![5.0, -1.0]]);
+        assert_eq!(out[0], vec![5.0, -1.0]);
+        assert_eq!(bytes, 0);
+    }
+
+    #[test]
+    fn zero_length_vectors_are_fine() {
+        let (out, _) = run_ring(vec![vec![], vec![]]);
+        assert!(out[0].is_empty());
+    }
+}

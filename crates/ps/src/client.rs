@@ -1,0 +1,106 @@
+//! Worker-side client handle.
+
+use crate::server::Msg;
+use crate::stats::TrafficStats;
+use crate::Key;
+use cdsgd_compress::Compressed;
+use crossbeam_channel::{bounded, Sender};
+use std::sync::Arc;
+
+/// A cloneable, thread-safe handle for talking to a [`crate::ParamServer`].
+#[derive(Clone)]
+pub struct PsClient {
+    tx: Sender<Msg>,
+    stats: Arc<TrafficStats>,
+}
+
+impl PsClient {
+    pub(crate) fn new(tx: Sender<Msg>, stats: Arc<TrafficStats>) -> Self {
+        Self { tx, stats }
+    }
+
+    /// Push a gradient payload for `key` on behalf of `worker`.
+    /// Non-blocking: aggregation happens on the server thread.
+    pub fn push(&self, worker: usize, key: Key, payload: Compressed) {
+        self.tx
+            .send(Msg::Push { worker, key, payload })
+            .expect("parameter server is gone");
+    }
+
+    /// Pull the weights for `key`, blocking until exactly `min_version`
+    /// aggregate updates have been applied to it.
+    pub fn pull(&self, key: Key, min_version: u64) -> Vec<f32> {
+        self.pull_async(key, min_version)
+            .recv()
+            .expect("parameter server dropped the reply")
+    }
+
+    /// Fire-and-forget pull request: returns a receiver that yields the
+    /// weights once the server reaches `min_version`. This is how delayed
+    /// algorithms overlap the pull transfer with the next iteration's
+    /// computation (MXNet's engine issues pulls asynchronously too).
+    pub fn pull_async(&self, key: Key, min_version: u64) -> crossbeam_channel::Receiver<Vec<f32>> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Msg::Pull { key, min_version, reply: reply_tx })
+            .expect("parameter server is gone");
+        reply_rx
+    }
+
+    /// Pull every key at `min_version` (convenience for warm-up and eval).
+    pub fn pull_all(&self, num_keys: usize, min_version: u64) -> Vec<Vec<f32>> {
+        (0..num_keys).map(|k| self.pull(k, min_version)).collect()
+    }
+
+    /// Change the server's global learning rate (takes effect on the next
+    /// aggregate update).
+    pub fn set_lr(&self, lr: f32) {
+        self.tx.send(Msg::SetLr(lr)).expect("parameter server is gone");
+    }
+
+    /// Snapshot all weights and per-key versions (diagnostics).
+    pub fn snapshot(&self) -> (Vec<Vec<f32>>, Vec<u64>) {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx.send(Msg::Snapshot { reply: reply_tx }).expect("parameter server is gone");
+        reply_rx.recv().expect("parameter server dropped the reply")
+    }
+
+    /// Shared traffic counters.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ParamServer, ServerConfig};
+    use cdsgd_compress::Compressed;
+
+    #[test]
+    fn clients_are_cloneable_across_threads() {
+        let ps = ParamServer::start(vec![vec![0.0]], ServerConfig::new(4, 1.0));
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                let c = ps.client();
+                std::thread::spawn(move || {
+                    c.push(w, 0, Compressed::Raw(vec![1.0]));
+                    c.pull(0, 1)
+                })
+            })
+            .collect();
+        for h in handles {
+            // Each worker contributed 1.0; W = 0 - 1.0/4 * 4 = -1.
+            assert_eq!(h.join().unwrap(), vec![-1.0]);
+        }
+        ps.shutdown();
+    }
+
+    #[test]
+    fn pull_all_returns_every_key() {
+        let ps = ParamServer::start(vec![vec![1.0], vec![2.0, 3.0]], ServerConfig::new(1, 1.0));
+        let c = ps.client();
+        let all = c.pull_all(2, 0);
+        assert_eq!(all, vec![vec![1.0], vec![2.0, 3.0]]);
+        ps.shutdown();
+    }
+}

@@ -1,0 +1,49 @@
+//! # cdsgd-ps
+//!
+//! An in-process, multi-threaded parameter server with MXNet-kvstore-like
+//! semantics — the substrate standing in for the paper's PS architecture
+//! over InfiniBand (DESIGN.md §2).
+//!
+//! * One server thread owns the global weights, sharded by integer key
+//!   (one key per layer parameter).
+//! * Workers [`PsClient::push`] gradients — raw f32 or any
+//!   [`cdsgd_compress::Compressed`] payload; the server decodes before
+//!   aggregating (exactly as the paper notes: "server nodes must decode
+//!   the quantified gradients into 32 bits before updating global
+//!   weights").
+//! * Aggregation is synchronous per key and iteration: the global update
+//!   `W ← W − η/N · Σ_g decode(grad_g)` (paper eq. 10) fires once all `N`
+//!   workers' pushes for that round have arrived.
+//! * [`PsClient::pull`] blocks until the requested version (number of
+//!   completed updates) is available, which is precisely the dependency
+//!   the local-update mechanism removes from the critical path.
+//! * [`TrafficStats`] counts every byte that would cross the network, so
+//!   experiments can report communication volume per algorithm.
+//!
+//! ```
+//! use cdsgd_ps::{ParamServer, ServerConfig};
+//! use cdsgd_compress::Compressed;
+//!
+//! let ps = ParamServer::start(vec![vec![0.0; 4]], ServerConfig::new(1, 0.5));
+//! let client = ps.client();
+//! client.push(0, 0, Compressed::Raw(vec![1.0, 2.0, 3.0, 4.0]));
+//! let w = client.pull(0, 1);
+//! assert_eq!(w, vec![-0.5, -1.0, -1.5, -2.0]);
+//! ps.shutdown();
+//! ```
+
+pub mod allreduce;
+mod client;
+mod server;
+mod sharded;
+mod stats;
+
+pub use allreduce::{ring_group, RingMember};
+pub use client::PsClient;
+pub use server::{ParamServer, ServerConfig};
+pub use sharded::{ShardedClient, ShardedParamServer};
+pub use stats::TrafficStats;
+
+/// Parameter key: index of a parameter tensor (layer) in the model's
+/// stable visitation order.
+pub type Key = usize;

@@ -1,0 +1,371 @@
+//! The server thread: key-sharded weight store with synchronous
+//! aggregation.
+
+use crate::client::PsClient;
+use crate::sharded::ShardedParamServer;
+use crate::stats::TrafficStats;
+use crate::Key;
+use cdsgd_compress::{decompress_add, Compressed};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Number of workers whose pushes are aggregated per round.
+    pub num_workers: usize,
+    /// Global learning rate η in `W ← W − η/N · Σ grads`.
+    pub global_lr: f32,
+    /// Server-side momentum (0 disables; classic heavy-ball on the
+    /// aggregated gradient). The paper's update rule is plain SGD, so all
+    /// reproduction experiments use 0; momentum is provided for the
+    /// extension benchmarks.
+    pub momentum: f32,
+    /// Emulated network seconds charged per transferred byte (0 = the
+    /// in-process default, effectively infinite bandwidth). The server
+    /// thread sleeps `bytes × delay` while handling each push and each
+    /// pull reply, emulating a single shared full-duplex-less NIC; this
+    /// is what lets the *real* trainer exhibit the paper's communication
+    /// pressure (see the `fig5_real` harness).
+    pub delay_per_byte: f64,
+}
+
+impl ServerConfig {
+    /// Plain-SGD config (the paper's update rule).
+    pub fn new(num_workers: usize, global_lr: f32) -> Self {
+        assert!(num_workers > 0, "need at least one worker");
+        Self { num_workers, global_lr, momentum: 0.0, delay_per_byte: 0.0 }
+    }
+
+    /// Emulate a network with the given bandwidth (bytes/second) shared
+    /// through the server.
+    pub fn with_network_bandwidth(mut self, bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        self.delay_per_byte = 1.0 / bytes_per_sec;
+        self
+    }
+
+    /// Enable server-side momentum (extension).
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+}
+
+pub(crate) enum Msg {
+    Push { worker: usize, key: Key, payload: Compressed },
+    Pull { key: Key, min_version: u64, reply: Sender<Vec<f32>> },
+    SetLr(f32),
+    /// Read all weights and per-key versions (test/diagnostic support).
+    Snapshot { reply: Sender<(Vec<Vec<f32>>, Vec<u64>)> },
+    Shutdown,
+}
+
+struct KeyState {
+    weights: Vec<f32>,
+    /// Weights as of `version − 1`, kept so pulls can be served at an
+    /// *exact* version. A worker that pushes round r and then pulls
+    /// version r can race the server applying round r (its own push may
+    /// complete the round), so the served version may already have moved
+    /// one step ahead — never more, because the puller has not pushed
+    /// round r+1 yet. Exact-version pulls keep delayed algorithms
+    /// bit-deterministic and faithful to Algorithm 1.
+    prev_weights: Vec<f32>,
+    /// Pending pushes, one FIFO per worker. Delayed algorithms (OD-SGD /
+    /// CD-SGD) legitimately run ahead: a fast worker may push round r+1
+    /// before a slow worker has pushed round r, so rounds are matched by
+    /// queue position, not arrival time.
+    pending: Vec<std::collections::VecDeque<Compressed>>,
+    /// Number of completed aggregate updates.
+    version: u64,
+    /// Momentum buffer (allocated lazily when momentum > 0).
+    velocity: Option<Vec<f32>>,
+    /// Pulls waiting for a version that doesn't exist yet.
+    waiting: Vec<(u64, Sender<Vec<f32>>)>,
+}
+
+/// Handle to a running parameter server. Dropping without calling
+/// [`ParamServer::shutdown`] detaches the server thread (it exits when all
+/// clients disconnect).
+pub struct ParamServer {
+    tx: Sender<Msg>,
+    stats: Arc<TrafficStats>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ParamServer {
+    /// Start a server owning `init` as the initial weights (one vector per
+    /// key, keys are the indices).
+    pub fn start(init: Vec<Vec<f32>>, cfg: ServerConfig) -> Self {
+        let (tx, rx) = unbounded();
+        let stats = Arc::new(TrafficStats::new());
+        let stats2 = Arc::clone(&stats);
+        let handle = std::thread::Builder::new()
+            .name("param-server".into())
+            .spawn(move || server_loop(init, cfg, rx, stats2))
+            .expect("spawn server thread");
+        Self { tx, stats, handle: Some(handle) }
+    }
+
+    /// Start a key-sharded server group: `num_shards` independent server
+    /// threads, each owning the keys congruent to its index (the real PS
+    /// deployment shape, where shards live on different nodes and keys
+    /// are spread across them). Returns one handle whose clients route by
+    /// key.
+    ///
+    /// # Panics
+    /// Panics if `num_shards == 0`.
+    pub fn start_sharded(
+        init: Vec<Vec<f32>>,
+        cfg: ServerConfig,
+        num_shards: usize,
+    ) -> ShardedParamServer {
+        ShardedParamServer::start(init, cfg, num_shards)
+    }
+
+    /// A client handle usable from any thread.
+    pub fn client(&self) -> PsClient {
+        PsClient::new(self.tx.clone(), Arc::clone(&self.stats))
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Stop the server thread and wait for it to exit.
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ParamServer {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn server_loop(
+    init: Vec<Vec<f32>>,
+    mut cfg: ServerConfig,
+    rx: Receiver<Msg>,
+    stats: Arc<TrafficStats>,
+) {
+    let mut keys: Vec<KeyState> = init
+        .into_iter()
+        .map(|weights| KeyState {
+            prev_weights: weights.clone(),
+            weights,
+            pending: vec![std::collections::VecDeque::new(); cfg.num_workers],
+            version: 0,
+            velocity: None,
+            waiting: Vec::new(),
+        })
+        .collect();
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Push { worker, key, payload } => {
+                stats.record_push(payload.wire_bytes());
+                net_delay(cfg.delay_per_byte, payload.wire_bytes());
+                let ks = &mut keys[key];
+                assert!(worker < cfg.num_workers, "worker id out of range");
+                assert_eq!(payload.len(), ks.weights.len(), "gradient length mismatch");
+                ks.pending[worker].push_back(payload);
+                // Apply every round for which all workers have a push.
+                while ks.pending.iter().all(|q| !q.is_empty()) {
+                    let mut acc = vec![0.0f32; ks.weights.len()];
+                    for q in &mut ks.pending {
+                        let p = q.pop_front().expect("checked non-empty");
+                        decompress_add(&p, &mut acc);
+                    }
+                    ks.prev_weights.copy_from_slice(&ks.weights);
+                    apply_update(ks, &acc, &cfg);
+                    ks.version += 1;
+                    // Release any pulls now satisfied.
+                    let version = ks.version;
+                    let mut rest = Vec::new();
+                    let mut ready = Vec::new();
+                    for w in ks.waiting.drain(..) {
+                        if w.0 <= version {
+                            ready.push(w.1);
+                        } else {
+                            rest.push(w);
+                        }
+                    }
+                    ks.waiting = rest;
+                    for reply in ready {
+                        stats.record_pull(4 * ks.weights.len());
+                        net_delay(cfg.delay_per_byte, 4 * ks.weights.len());
+                        let _ = reply.send(ks.weights.clone());
+                    }
+                }
+            }
+            Msg::Pull { key, min_version, reply } => {
+                let ks = &mut keys[key];
+                if ks.version == min_version {
+                    stats.record_pull(4 * ks.weights.len());
+                    net_delay(cfg.delay_per_byte, 4 * ks.weights.len());
+                    let _ = reply.send(ks.weights.clone());
+                } else if ks.version == min_version + 1 {
+                    // The puller raced one aggregate behind; serve the
+                    // exact requested version from the history.
+                    stats.record_pull(4 * ks.prev_weights.len());
+                    net_delay(cfg.delay_per_byte, 4 * ks.prev_weights.len());
+                    let _ = reply.send(ks.prev_weights.clone());
+                } else if ks.version > min_version {
+                    panic!(
+                        "pull of version {min_version} for key {key} arrived after \
+                         version {} — workers may lag at most one round",
+                        ks.version
+                    );
+                } else {
+                    ks.waiting.push((min_version, reply));
+                }
+            }
+            Msg::SetLr(lr) => cfg.global_lr = lr,
+            Msg::Snapshot { reply } => {
+                let w = keys.iter().map(|k| k.weights.clone()).collect();
+                let v = keys.iter().map(|k| k.version).collect();
+                let _ = reply.send((w, v));
+            }
+            Msg::Shutdown => break,
+        }
+    }
+}
+
+/// Emulated transfer time for `bytes` at the configured delay.
+fn net_delay(delay_per_byte: f64, bytes: usize) {
+    if delay_per_byte > 0.0 {
+        std::thread::sleep(std::time::Duration::from_secs_f64(delay_per_byte * bytes as f64));
+    }
+}
+
+/// `W ← W − η/N · (acc [+ momentum])`, eq. 10.
+fn apply_update(ks: &mut KeyState, acc: &[f32], cfg: &ServerConfig) {
+    let step = cfg.global_lr / cfg.num_workers as f32;
+    if cfg.momentum > 0.0 {
+        let vel = ks.velocity.get_or_insert_with(|| vec![0.0; ks.weights.len()]);
+        for ((w, v), &g) in ks.weights.iter_mut().zip(vel.iter_mut()).zip(acc.iter()) {
+            *v = cfg.momentum * *v + g;
+            *w -= step * *v;
+        }
+    } else {
+        for (w, &g) in ks.weights.iter_mut().zip(acc.iter()) {
+            *w -= step * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_worker_update_rule() {
+        let ps = ParamServer::start(vec![vec![1.0, 2.0]], ServerConfig::new(1, 0.1));
+        let c = ps.client();
+        c.push(0, 0, Compressed::Raw(vec![10.0, -10.0]));
+        let w = c.pull(0, 1);
+        assert_eq!(w, vec![0.0, 3.0]);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn aggregation_waits_for_all_workers() {
+        let ps = ParamServer::start(vec![vec![0.0]], ServerConfig::new(2, 1.0));
+        let c = ps.client();
+        c.push(0, 0, Compressed::Raw(vec![2.0]));
+        // Version still 0: a pull at min_version 0 returns the original.
+        assert_eq!(c.pull(0, 0), vec![0.0]);
+        c.push(1, 0, Compressed::Raw(vec![4.0]));
+        // Both pushed: W = 0 - 1.0/2 * (2+4) = -3.
+        assert_eq!(c.pull(0, 1), vec![-3.0]);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn pull_blocks_until_version_available() {
+        let ps = ParamServer::start(vec![vec![0.0]], ServerConfig::new(1, 1.0));
+        let c = ps.client();
+        let c2 = ps.client();
+        let waiter = std::thread::spawn(move || c2.pull(0, 1));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        c.push(0, 0, Compressed::Raw(vec![1.0]));
+        assert_eq!(waiter.join().unwrap(), vec![-1.0]);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn multiple_keys_progress_independently() {
+        let ps = ParamServer::start(vec![vec![0.0], vec![0.0]], ServerConfig::new(1, 1.0));
+        let c = ps.client();
+        c.push(0, 1, Compressed::Raw(vec![5.0]));
+        assert_eq!(c.pull(1, 1), vec![-5.0]);
+        // Key 0 untouched.
+        assert_eq!(c.pull(0, 0), vec![0.0]);
+        let (_, versions) = c.snapshot();
+        assert_eq!(versions, vec![0, 1]);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn set_lr_takes_effect_next_round() {
+        let ps = ParamServer::start(vec![vec![0.0]], ServerConfig::new(1, 1.0));
+        let c = ps.client();
+        c.push(0, 0, Compressed::Raw(vec![1.0]));
+        c.pull(0, 1);
+        c.set_lr(0.1);
+        c.push(0, 0, Compressed::Raw(vec![1.0]));
+        let w = c.pull(0, 2);
+        assert!((w[0] - (-1.1)).abs() < 1e-6);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn momentum_accelerates_along_constant_gradient() {
+        let ps = ParamServer::start(
+            vec![vec![0.0]],
+            ServerConfig::new(1, 1.0).with_momentum(0.9),
+        );
+        let c = ps.client();
+        c.push(0, 0, Compressed::Raw(vec![1.0]));
+        let w1 = c.pull(0, 1)[0];
+        c.push(0, 0, Compressed::Raw(vec![1.0]));
+        let w2 = c.pull(0, 2)[0];
+        // Step 1: v=1, w=-1. Step 2: v=1.9, w=-2.9.
+        assert!((w1 + 1.0).abs() < 1e-6);
+        assert!((w2 + 2.9).abs() < 1e-6);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn traffic_stats_count_wire_bytes() {
+        let ps = ParamServer::start(vec![vec![0.0; 16]], ServerConfig::new(1, 1.0));
+        let c = ps.client();
+        c.push(0, 0, Compressed::Raw(vec![0.0; 16]));
+        c.pull(0, 1);
+        assert_eq!(ps.stats().bytes_pushed(), 64);
+        assert_eq!(ps.stats().bytes_pulled(), 64);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn compressed_push_is_decoded_before_update() {
+        use cdsgd_compress::{GradientCompressor, TwoBitQuantizer};
+        let ps = ParamServer::start(vec![vec![0.0; 3]], ServerConfig::new(1, 1.0));
+        let c = ps.client();
+        let mut q = TwoBitQuantizer::new(0.5);
+        let payload = q.compress(0, &[0.9, -0.9, 0.1]);
+        c.push(0, 0, payload);
+        assert_eq!(c.pull(0, 1), vec![-0.5, 0.5, 0.0]);
+        ps.shutdown();
+    }
+}

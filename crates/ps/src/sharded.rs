@@ -1,0 +1,189 @@
+//! Key-sharded parameter-server group: the deployment shape MXNet uses
+//! (one server process per node, keys spread across them), so the server
+//! is not a single-thread bottleneck for many-key models.
+//!
+//! Shard `s` owns the global keys `{k : k % num_shards == s}`; clients
+//! route each request to the owning shard and translate the key into the
+//! shard's local index space.
+
+use crate::client::PsClient;
+use crate::server::{ParamServer, ServerConfig};
+use crate::Key;
+use cdsgd_compress::Compressed;
+
+/// A group of independent single-thread servers with keys interleaved
+/// across them.
+pub struct ShardedParamServer {
+    shards: Vec<ParamServer>,
+    num_keys: usize,
+}
+
+/// A client that routes by key to the owning shard.
+#[derive(Clone)]
+pub struct ShardedClient {
+    clients: Vec<PsClient>,
+}
+
+impl ShardedParamServer {
+    pub(crate) fn start(init: Vec<Vec<f32>>, cfg: ServerConfig, num_shards: usize) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        let num_keys = init.len();
+        // Partition keys round-robin: shard s gets keys s, s+S, s+2S, …
+        let mut per_shard: Vec<Vec<Vec<f32>>> = vec![Vec::new(); num_shards];
+        for (key, weights) in init.into_iter().enumerate() {
+            per_shard[key % num_shards].push(weights);
+        }
+        let shards = per_shard
+            .into_iter()
+            .map(|shard_init| ParamServer::start(shard_init, cfg))
+            .collect();
+        Self { shards, num_keys }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of keys across shards.
+    pub fn num_keys(&self) -> usize {
+        self.num_keys
+    }
+
+    /// A routing client handle.
+    pub fn client(&self) -> ShardedClient {
+        ShardedClient { clients: self.shards.iter().map(|s| s.client()).collect() }
+    }
+
+    /// Aggregate traffic across all shards.
+    pub fn total_bytes_pushed(&self) -> u64 {
+        self.shards.iter().map(|s| s.stats().bytes_pushed()).sum()
+    }
+
+    /// Per-shard pushed bytes (load-balance diagnostics).
+    pub fn pushed_bytes_per_shard(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.stats().bytes_pushed()).collect()
+    }
+
+    /// Stop all shard threads.
+    pub fn shutdown(self) {
+        for s in self.shards {
+            s.shutdown();
+        }
+    }
+}
+
+impl ShardedClient {
+    fn route(&self, key: Key) -> (usize, Key) {
+        let s = key % self.clients.len();
+        (s, key / self.clients.len())
+    }
+
+    /// Push a gradient payload for global `key`.
+    pub fn push(&self, worker: usize, key: Key, payload: Compressed) {
+        let (shard, local) = self.route(key);
+        self.clients[shard].push(worker, local, payload);
+    }
+
+    /// Pull global `key` at exactly `version` aggregates.
+    pub fn pull(&self, key: Key, version: u64) -> Vec<f32> {
+        let (shard, local) = self.route(key);
+        self.clients[shard].pull(local, version)
+    }
+
+    /// Pull all `num_keys` keys at `version`.
+    pub fn pull_all(&self, num_keys: usize, version: u64) -> Vec<Vec<f32>> {
+        (0..num_keys).map(|k| self.pull(k, version)).collect()
+    }
+
+    /// Set the learning rate on every shard.
+    pub fn set_lr(&self, lr: f32) {
+        for c in &self.clients {
+            c.set_lr(lr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn init(keys: usize) -> Vec<Vec<f32>> {
+        (0..keys).map(|k| vec![k as f32; 2]).collect()
+    }
+
+    #[test]
+    fn routing_preserves_key_identity() {
+        let ps = ParamServer::start_sharded(init(7), ServerConfig::new(1, 1.0), 3);
+        let c = ps.client();
+        for k in 0..7 {
+            assert_eq!(c.pull(k, 0), vec![k as f32; 2], "key {k}");
+        }
+        ps.shutdown();
+    }
+
+    #[test]
+    fn updates_apply_to_the_right_key() {
+        let ps = ParamServer::start_sharded(init(5), ServerConfig::new(1, 0.5), 2);
+        let c = ps.client();
+        c.push(0, 3, Compressed::Raw(vec![2.0, 4.0]));
+        // key 3 updated: 3 − 0.5·2 = 2, 3 − 0.5·4 = 1.
+        assert_eq!(c.pull(3, 1), vec![2.0, 1.0]);
+        // Other keys untouched (still version 0).
+        assert_eq!(c.pull(0, 0), vec![0.0, 0.0]);
+        assert_eq!(c.pull(4, 0), vec![4.0, 4.0]);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn shards_progress_independently_and_concurrently() {
+        let ps = ParamServer::start_sharded(init(4), ServerConfig::new(2, 1.0), 2);
+        let clients: Vec<ShardedClient> = (0..2).map(|_| ps.client()).collect();
+        std::thread::scope(|s| {
+            for (w, c) in clients.iter().enumerate() {
+                s.spawn(move || {
+                    for k in 0..4 {
+                        c.push(w, k, Compressed::Raw(vec![1.0, 1.0]));
+                    }
+                    c.pull_all(4, 1)
+                });
+            }
+        });
+        // Every key advanced one version: k − 1.0/2·(1+1) = k − 1.
+        let c = ps.client();
+        for k in 0..4 {
+            assert_eq!(c.pull(k, 1), vec![k as f32 - 1.0; 2]);
+        }
+        ps.shutdown();
+    }
+
+    #[test]
+    fn load_spreads_across_shards() {
+        let ps = ParamServer::start_sharded(init(8), ServerConfig::new(1, 1.0), 4);
+        let c = ps.client();
+        for k in 0..8 {
+            c.push(0, k, Compressed::Raw(vec![1.0, 1.0]));
+            c.pull(k, 1);
+        }
+        let per = ps.pushed_bytes_per_shard();
+        assert_eq!(per.len(), 4);
+        assert!(per.iter().all(|&b| b == per[0]), "balanced: {per:?}");
+        assert_eq!(ps.total_bytes_pushed(), per.iter().sum::<u64>());
+        ps.shutdown();
+    }
+
+    #[test]
+    fn single_shard_equals_plain_server() {
+        let sharded = ParamServer::start_sharded(init(3), ServerConfig::new(1, 0.1), 1);
+        let plain = ParamServer::start(init(3), ServerConfig::new(1, 0.1));
+        let sc = sharded.client();
+        let pc = plain.client();
+        for k in 0..3 {
+            sc.push(0, k, Compressed::Raw(vec![1.0, 2.0]));
+            pc.push(0, k, Compressed::Raw(vec![1.0, 2.0]));
+            assert_eq!(sc.pull(k, 1), pc.pull(k, 1));
+        }
+        sharded.shutdown();
+        plain.shutdown();
+    }
+}

@@ -1,0 +1,74 @@
+//! Communication-traffic accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Byte and message counters for everything that crosses the (simulated)
+/// network. Shared between the server and all clients; all counters are
+/// monotonic and lock-free.
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    bytes_pushed: AtomicU64,
+    bytes_pulled: AtomicU64,
+    num_pushes: AtomicU64,
+    num_pulls: AtomicU64,
+}
+
+impl TrafficStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_push(&self, bytes: usize) {
+        self.bytes_pushed.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.num_pushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_pull(&self, bytes: usize) {
+        self.bytes_pulled.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.num_pulls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total bytes pushed worker→server (compressed size on the wire).
+    pub fn bytes_pushed(&self) -> u64 {
+        self.bytes_pushed.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes pulled server→worker (weights are always raw f32).
+    pub fn bytes_pulled(&self) -> u64 {
+        self.bytes_pulled.load(Ordering::Relaxed)
+    }
+
+    /// Total push messages.
+    pub fn num_pushes(&self) -> u64 {
+        self.num_pushes.load(Ordering::Relaxed)
+    }
+
+    /// Total pull messages.
+    pub fn num_pulls(&self) -> u64 {
+        self.num_pulls.load(Ordering::Relaxed)
+    }
+
+    /// Total traffic in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_pushed() + self.bytes_pulled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = TrafficStats::new();
+        s.record_push(100);
+        s.record_push(50);
+        s.record_pull(400);
+        assert_eq!(s.bytes_pushed(), 150);
+        assert_eq!(s.bytes_pulled(), 400);
+        assert_eq!(s.num_pushes(), 2);
+        assert_eq!(s.num_pulls(), 1);
+        assert_eq!(s.total_bytes(), 550);
+    }
+}

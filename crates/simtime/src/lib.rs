@@ -1,0 +1,34 @@
+//! # cdsgd-simtime
+//!
+//! The cluster-timing substrate (DESIGN.md §2): everything needed to
+//! reproduce the paper's *speed* results without the original 16-GPU
+//! K80/V100 clusters.
+//!
+//! * [`cluster`] — hardware specs: GPU kinds with per-model empirical
+//!   throughput, NIC bandwidth/latency, node topology.
+//! * [`zoo`] — per-layer parameter/FLOP breakdowns of the evaluated
+//!   models (AlexNet, VGG-16, Inception-bn, ResNet-50, ResNet-20,
+//!   LeNet-5).
+//! * [`cost`] — the paper's closed-form time-cost model (eqs. 2, 4–9)
+//!   implemented exactly as printed.
+//! * [`pipeline`] — a per-layer discrete-event simulator with three
+//!   resources (compute, quantization, network) that reproduces MXNet's
+//!   layer-wise WFBP scheduling, the quantization-delays-communication
+//!   effect, and the local-update overlap. This is the oracle behind
+//!   Fig. 5 and Fig. 10.
+//! * [`trace`] — op-interval traces and Chrome `trace_event` JSON export
+//!   (the paper's profiler + trace-viewer methodology).
+
+pub mod cluster;
+pub mod cost;
+pub mod pipeline;
+pub mod straggler;
+pub mod trace;
+pub mod zoo;
+
+pub use cluster::{ClusterSpec, GpuKind};
+pub use cost::{CostInputs, CostModel};
+pub use pipeline::{AlgoKind, PipelineSim, SimResult};
+pub use straggler::StragglerSim;
+pub use trace::{TraceEvent, TraceLog};
+pub use zoo::{LayerSpec, ModelSpec};

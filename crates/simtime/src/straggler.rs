@@ -1,0 +1,166 @@
+//! Straggler analysis: how synchronization cost scales with worker-speed
+//! variance, and how much of it the local-update mechanism's one-round
+//! slack absorbs.
+//!
+//! The paper motivates the local update with S-SGD's central weakness:
+//! "S-SGD requires the faster worker nodes to wait for the slower ones to
+//! communicate their information per iteration" (§2.1). This module
+//! quantifies that: a Monte-Carlo model of N workers with persistent
+//! speed ratios and transient (exponential) jitter, under
+//!
+//! * **blocking** synchronization (S-SGD/BIT-SGD): every round ends at
+//!   the *slowest* worker's finish plus communication; and
+//! * **delayed** synchronization (OD-SGD/CD-SGD): a worker may run one
+//!   round ahead of the global aggregate (the FP_{i+2} gate), so
+//!   transient jitter is absorbed by the one-round buffer — but a
+//!   *persistently* slow worker still bounds throughput.
+
+/// Tiny xorshift64* PRNG (keeps this crate dependency-free).
+#[derive(Clone, Debug)]
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Exponential(1) sample.
+    fn exp(&mut self) -> f64 {
+        -(1.0 - self.next_f64()).max(1e-300).ln()
+    }
+}
+
+/// The straggler scenario.
+#[derive(Clone, Debug)]
+pub struct StragglerSim {
+    /// Base computation time per iteration (seconds).
+    pub tau: f64,
+    /// Communication/aggregation time per round (seconds).
+    pub comm: f64,
+    /// Transient jitter strength: each worker-round costs
+    /// `tau · slowdown · (1 + jitter · Exp(1))`.
+    pub jitter: f64,
+    /// Persistent per-worker speed multipliers (1.0 = nominal).
+    pub slowdowns: Vec<f64>,
+}
+
+impl StragglerSim {
+    /// A homogeneous cluster of `n` workers.
+    pub fn homogeneous(n: usize, tau: f64, comm: f64, jitter: f64) -> Self {
+        assert!(n > 0);
+        Self { tau, comm, jitter, slowdowns: vec![1.0; n] }
+    }
+
+    /// Make worker 0 persistently `factor`× slower.
+    pub fn with_persistent_straggler(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0);
+        self.slowdowns[0] = factor;
+        self
+    }
+
+    fn compute_time(&self, worker: usize, rng: &mut Rng) -> f64 {
+        self.tau * self.slowdowns[worker] * (1.0 + self.jitter * rng.exp())
+    }
+
+    /// Average iteration time under blocking synchronization: every round
+    /// takes `max_i(compute_i) + comm`.
+    pub fn blocking_avg(&self, iters: usize, seed: u64) -> f64 {
+        assert!(iters > 0);
+        let mut rng = Rng::new(seed);
+        let mut total = 0.0;
+        for _ in 0..iters {
+            let slowest = (0..self.slowdowns.len())
+                .map(|w| self.compute_time(w, &mut rng))
+                .fold(0.0f64, f64::max);
+            total += slowest + self.comm;
+        }
+        total / iters as f64
+    }
+
+    /// Average iteration time with the local-update mechanism's one-round
+    /// slack: worker w starts round r once it finished round r−1 *and*
+    /// round r−2 has been aggregated; round r aggregates `comm` after the
+    /// last worker finishes it.
+    pub fn delayed_avg(&self, iters: usize, seed: u64) -> f64 {
+        assert!(iters > 2);
+        let mut rng = Rng::new(seed);
+        let n = self.slowdowns.len();
+        let mut finish = vec![0.0f64; n]; // worker's last round finish
+        let mut agg = vec![0.0f64; iters]; // aggregate completion per round
+        for r in 0..iters {
+            let gate = if r >= 2 { agg[r - 2] } else { 0.0 };
+            let mut last = 0.0f64;
+            for w in 0..n {
+                let start = finish[w].max(gate);
+                finish[w] = start + self.compute_time(w, &mut rng);
+                last = last.max(finish[w]);
+            }
+            agg[r] = last + self.comm;
+        }
+        // Steady-state average, skipping the fill phase.
+        (agg[iters - 1] - agg[1]) / (iters - 2) as f64
+    }
+
+    /// The sync overhead ratio: blocking over delayed (≥ ~1).
+    pub fn absorption_ratio(&self, iters: usize, seed: u64) -> f64 {
+        self.blocking_avg(iters, seed) / self.delayed_avg(iters, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_jitter_no_straggler_matches_closed_form() {
+        let s = StragglerSim::homogeneous(4, 0.1, 0.02, 0.0);
+        let b = s.blocking_avg(200, 1);
+        assert!((b - 0.12).abs() < 1e-9, "blocking {b}");
+        // Delayed overlaps comm with compute: steady state = max(τ, …) = τ
+        // when comm < τ.
+        let d = s.delayed_avg(400, 1);
+        assert!((d - 0.1).abs() < 1e-3, "delayed {d}");
+    }
+
+    #[test]
+    fn jitter_hurts_blocking_more_than_delayed() {
+        let s = StragglerSim::homogeneous(8, 0.1, 0.01, 0.5);
+        let ratio = s.absorption_ratio(2_000, 7);
+        assert!(ratio > 1.1, "one-round slack should absorb jitter, ratio {ratio}");
+    }
+
+    #[test]
+    fn blocking_cost_grows_with_worker_count() {
+        // E[max of n jittered workers] grows with n (the paper's
+        // "communication cost tends to worsen when workers increase").
+        let avg = |n: usize| StragglerSim::homogeneous(n, 0.1, 0.0, 0.5).blocking_avg(2_000, 3);
+        assert!(avg(16) > avg(4));
+        assert!(avg(4) > avg(1));
+    }
+
+    #[test]
+    fn persistent_straggler_bounds_both_modes() {
+        // A 3x-slow worker dominates regardless of the one-round slack.
+        let s = StragglerSim::homogeneous(4, 0.1, 0.0, 0.0).with_persistent_straggler(3.0);
+        let b = s.blocking_avg(500, 5);
+        let d = s.delayed_avg(500, 5);
+        assert!((b - 0.3).abs() < 1e-6);
+        assert!((d - 0.3).abs() < 5e-3, "delayed {d} still bounded by the straggler");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = StragglerSim::homogeneous(4, 0.1, 0.01, 0.3);
+        assert_eq!(s.blocking_avg(100, 9), s.blocking_avg(100, 9));
+        assert_eq!(s.delayed_avg(100, 9), s.delayed_avg(100, 9));
+    }
+}

@@ -1,0 +1,237 @@
+//! Op-interval traces and Chrome `trace_event` export — the stand-in for
+//! the paper's MXNet-profiler + chrome://tracing methodology (Fig. 5).
+
+use serde::Serialize;
+
+/// The execution resource an operation occupied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Resource {
+    /// GPU compute stream (FP, BP, local update).
+    Compute,
+    /// Quantization/encode stream.
+    Quant,
+    /// Network (push + aggregate + pull).
+    Net,
+}
+
+impl Resource {
+    /// Stable thread id used in the Chrome trace.
+    pub fn tid(self) -> u32 {
+        match self {
+            Resource::Compute => 0,
+            Resource::Quant => 1,
+            Resource::Net => 2,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Resource::Compute => "FP/BP",
+            Resource::Quant => "Quantization",
+            Resource::Net => "Communication",
+        }
+    }
+}
+
+/// One operation interval.
+#[derive(Clone, Debug, Serialize)]
+pub struct TraceEvent {
+    /// Resource the op ran on.
+    pub resource: Resource,
+    /// Op name, e.g. "FP", "BP", "quant", "comm", "local_update".
+    pub op: String,
+    /// Training iteration the op belongs to.
+    pub iter: usize,
+    /// Layer index (or `usize::MAX` for whole-model ops).
+    pub layer: usize,
+    /// Start time in seconds.
+    pub start: f64,
+    /// End time in seconds.
+    pub end: f64,
+}
+
+/// An ordered collection of [`TraceEvent`]s.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an interval.
+    pub fn record(
+        &mut self,
+        resource: Resource,
+        op: impl Into<String>,
+        iter: usize,
+        layer: usize,
+        start: f64,
+        end: f64,
+    ) {
+        debug_assert!(end >= start, "negative-duration event");
+        self.events.push(TraceEvent { resource, op: op.into(), iter, layer, start, end });
+    }
+
+    /// All events in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events on one resource, sorted by start time.
+    pub fn on(&self, resource: Resource) -> Vec<&TraceEvent> {
+        let mut v: Vec<&TraceEvent> =
+            self.events.iter().filter(|e| e.resource == resource).collect();
+        v.sort_by(|a, b| a.start.total_cmp(&b.start));
+        v
+    }
+
+    /// Verify no two events on the same resource overlap (each resource is
+    /// a serial queue). Returns the first violating pair if any.
+    pub fn find_overlap(&self) -> Option<(TraceEvent, TraceEvent)> {
+        for r in [Resource::Compute, Resource::Quant, Resource::Net] {
+            let evs = self.on(r);
+            for w in evs.windows(2) {
+                if w[1].start < w[0].end - 1e-12 {
+                    return Some(((*w[0]).clone(), (*w[1]).clone()));
+                }
+            }
+        }
+        None
+    }
+
+    /// Busy fraction of a resource over `[0, horizon]`.
+    pub fn utilization(&self, resource: Resource, horizon: f64) -> f64 {
+        if horizon <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .events
+            .iter()
+            .filter(|e| e.resource == resource)
+            .map(|e| e.end - e.start)
+            .sum();
+        busy / horizon
+    }
+
+    /// Export in Chrome `trace_event` JSON (load via chrome://tracing or
+    /// Perfetto), timestamps in microseconds.
+    pub fn to_chrome_json(&self, process_name: &str) -> String {
+        #[derive(Serialize)]
+        struct Ev<'a> {
+            name: &'a str,
+            cat: &'a str,
+            ph: &'a str,
+            ts: f64,
+            dur: f64,
+            pid: u32,
+            tid: u32,
+        }
+        #[derive(Serialize)]
+        struct Meta<'a> {
+            name: &'a str,
+            ph: &'a str,
+            pid: u32,
+            tid: u32,
+            args: serde_json::Value,
+        }
+        let mut out: Vec<serde_json::Value> = Vec::new();
+        out.push(
+            serde_json::to_value(Meta {
+                name: "process_name",
+                ph: "M",
+                pid: 0,
+                tid: 0,
+                args: serde_json::json!({ "name": process_name }),
+            })
+            .expect("serialize meta"),
+        );
+        for r in [Resource::Compute, Resource::Quant, Resource::Net] {
+            out.push(
+                serde_json::to_value(Meta {
+                    name: "thread_name",
+                    ph: "M",
+                    pid: 0,
+                    tid: r.tid(),
+                    args: serde_json::json!({ "name": r.name() }),
+                })
+                .expect("serialize meta"),
+            );
+        }
+        for e in &self.events {
+            let name = format!("{}#{} L{}", e.op, e.iter, e.layer);
+            out.push(
+                serde_json::to_value(Ev {
+                    name: &name,
+                    cat: e.resource.name(),
+                    ph: "X",
+                    ts: e.start * 1e6,
+                    dur: (e.end - e.start) * 1e6,
+                    pid: 0,
+                    tid: e.resource.tid(),
+                })
+                .expect("serialize event"),
+            );
+        }
+        serde_json::to_string_pretty(&out).expect("serialize trace")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_filters() {
+        let mut log = TraceLog::new();
+        log.record(Resource::Compute, "FP", 0, 0, 0.0, 1.0);
+        log.record(Resource::Net, "comm", 0, 0, 1.0, 3.0);
+        log.record(Resource::Compute, "BP", 0, 0, 1.0, 2.0);
+        assert_eq!(log.events().len(), 3);
+        assert_eq!(log.on(Resource::Compute).len(), 2);
+        assert!(log.find_overlap().is_none());
+    }
+
+    #[test]
+    fn detects_overlap_on_same_resource() {
+        let mut log = TraceLog::new();
+        log.record(Resource::Net, "a", 0, 0, 0.0, 2.0);
+        log.record(Resource::Net, "b", 0, 0, 1.0, 3.0);
+        assert!(log.find_overlap().is_some());
+    }
+
+    #[test]
+    fn cross_resource_overlap_is_fine() {
+        let mut log = TraceLog::new();
+        log.record(Resource::Compute, "a", 0, 0, 0.0, 2.0);
+        log.record(Resource::Net, "b", 0, 0, 0.0, 2.0);
+        assert!(log.find_overlap().is_none());
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut log = TraceLog::new();
+        log.record(Resource::Compute, "a", 0, 0, 0.0, 1.0);
+        log.record(Resource::Compute, "b", 0, 0, 2.0, 3.0);
+        assert!((log.utilization(Resource::Compute, 4.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chrome_json_is_valid_and_has_metadata() {
+        let mut log = TraceLog::new();
+        log.record(Resource::Quant, "quant", 3, 1, 0.5, 0.7);
+        let json = log.to_chrome_json("BIT-SGD");
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = parsed.as_array().unwrap();
+        // 1 process meta + 3 thread metas + 1 event.
+        assert_eq!(arr.len(), 5);
+        let ev = arr.last().unwrap();
+        assert_eq!(ev["ph"], "X");
+        assert!((ev["ts"].as_f64().unwrap() - 0.5e6).abs() < 1e-6);
+        assert!((ev["dur"].as_f64().unwrap() - 0.2e6).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,272 @@
+//! The model zoo: per-layer parameter and FLOP breakdowns of the models
+//! the paper evaluates, plus empirical per-GPU throughput.
+//!
+//! Parameter counts are the published architecture totals; per-layer
+//! splits are coarse (layer groups) but preserve the property that drives
+//! WFBP scheduling: *where* the bytes sit relative to the backward pass
+//! (e.g. AlexNet/VGG carry ~90% of their bytes in the last FC layers,
+//! whose gradients are ready first — maximally overlappable — while
+//! ResNet spreads bytes evenly).
+
+use crate::cluster::GpuKind;
+use serde::{Deserialize, Serialize};
+
+/// One layer (or layer group) of a model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Display name.
+    pub name: String,
+    /// Learnable parameter count.
+    pub params: u64,
+    /// Forward FLOPs per sample.
+    pub flops_fwd: f64,
+}
+
+/// A model as the timing simulator sees it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Model name as used in the paper's figures.
+    pub name: String,
+    /// Layers in forward order.
+    pub layers: Vec<LayerSpec>,
+    /// Empirical per-GPU training throughput (images/s, fp32, batch 32):
+    /// `(K80, V100)`.
+    pub throughput: (f64, f64),
+}
+
+impl ModelSpec {
+    /// Total parameter count.
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(|l| l.params).sum()
+    }
+
+    /// Total parameter bytes (f32).
+    pub fn param_bytes(&self) -> f64 {
+        self.total_params() as f64 * 4.0
+    }
+
+    /// Total forward FLOPs per sample.
+    pub fn total_flops_fwd(&self) -> f64 {
+        self.layers.iter().map(|l| l.flops_fwd).sum()
+    }
+
+    /// Per-GPU training throughput on `gpu` (images/s).
+    pub fn throughput_on(&self, gpu: GpuKind) -> f64 {
+        match gpu {
+            GpuKind::K80 => self.throughput.0,
+            GpuKind::V100 => self.throughput.1,
+        }
+    }
+
+    /// Computation time τ of one iteration (FP+BP) at `batch` per GPU.
+    pub fn tau(&self, gpu: GpuKind, batch: usize) -> f64 {
+        batch as f64 / self.throughput_on(gpu)
+    }
+
+    /// Split τ across layers: per-layer `(fp_time, bp_time)` proportional
+    /// to FLOP share, with BP costing twice FP (the standard 1:2 ratio).
+    pub fn layer_times(&self, gpu: GpuKind, batch: usize) -> Vec<(f64, f64)> {
+        let tau = self.tau(gpu, batch);
+        let total = self.total_flops_fwd();
+        self.layers
+            .iter()
+            .map(|l| {
+                let share = l.flops_fwd / total;
+                (tau * share / 3.0, tau * share * 2.0 / 3.0)
+            })
+            .collect()
+    }
+}
+
+fn layer(name: &str, params: u64, mflops_fwd: f64) -> LayerSpec {
+    LayerSpec { name: name.to_string(), params, flops_fwd: mflops_fwd * 1e6 }
+}
+
+/// LeNet-5 (the paper's MNIST workload): 61.7K params.
+pub fn lenet5() -> ModelSpec {
+    ModelSpec {
+        name: "LeNet-5".into(),
+        layers: vec![
+            layer("conv1", 156, 0.3),
+            layer("conv2", 2_416, 0.8),
+            layer("fc1", 48_120, 0.10),
+            layer("fc2", 10_164, 0.02),
+            layer("fc3", 850, 0.002),
+        ],
+        throughput: (9_000.0, 50_000.0),
+    }
+}
+
+/// ResNet-20 for CIFAR-10: ~0.27M params, ~41 MFLOPs forward.
+pub fn resnet20() -> ModelSpec {
+    let mut layers = vec![layer("stem", 448, 1.8)];
+    for b in 0..3 {
+        layers.push(layer(&format!("stage1.block{b}"), 4_672, 4.4));
+    }
+    layers.push(layer("stage2.block0", 13_952, 4.4));
+    for b in 1..3 {
+        layers.push(layer(&format!("stage2.block{b}"), 18_560, 4.4));
+    }
+    layers.push(layer("stage3.block0", 55_552, 4.4));
+    for b in 1..3 {
+        layers.push(layer(&format!("stage3.block{b}"), 73_984, 4.4));
+    }
+    layers.push(layer("fc", 650, 0.002));
+    ModelSpec { name: "ResNet-20".into(), layers, throughput: (1_000.0, 7_500.0) }
+}
+
+/// AlexNet: ~61M params (fc6/fc7 dominate), ~0.72 GFLOPs forward.
+pub fn alexnet() -> ModelSpec {
+    ModelSpec {
+        name: "AlexNet".into(),
+        layers: vec![
+            layer("conv1", 34_944, 105.0),
+            layer("conv2", 307_456, 224.0),
+            layer("conv3", 885_120, 150.0),
+            layer("conv4", 663_936, 112.0),
+            layer("conv5", 442_624, 75.0),
+            layer("fc6", 37_752_832, 37.8),
+            layer("fc7", 16_781_312, 16.8),
+            layer("fc8", 4_097_000, 4.1),
+        ],
+        throughput: (380.0, 2_900.0),
+    }
+}
+
+/// VGG-16: ~138M params (fc layers ≈ 124M), ~15.5 GFLOPs forward.
+pub fn vgg16() -> ModelSpec {
+    ModelSpec {
+        name: "VGG-16".into(),
+        layers: vec![
+            layer("conv1_1", 1_792, 87.0),
+            layer("conv1_2", 36_928, 1_850.0),
+            layer("conv2_1", 73_856, 925.0),
+            layer("conv2_2", 147_584, 1_850.0),
+            layer("conv3_1", 295_168, 925.0),
+            layer("conv3_2", 590_080, 1_850.0),
+            layer("conv3_3", 590_080, 1_850.0),
+            layer("conv4_1", 1_180_160, 925.0),
+            layer("conv4_2", 2_359_808, 1_850.0),
+            layer("conv4_3", 2_359_808, 1_850.0),
+            layer("conv5_1", 2_359_808, 462.0),
+            layer("conv5_2", 2_359_808, 462.0),
+            layer("conv5_3", 2_359_808, 462.0),
+            layer("fc6", 102_764_544, 102.8),
+            layer("fc7", 16_781_312, 16.8),
+            layer("fc8", 4_097_000, 4.1),
+        ],
+        throughput: (31.0, 218.0),
+    }
+}
+
+/// Inception-bn (BN-Inception): ~11.3M params, ~2.0 GFLOPs forward —
+/// "many computation layers which leads to huge computation cost".
+pub fn inception_bn() -> ModelSpec {
+    let mut layers = vec![layer("stem", 250_000, 430.0)];
+    // Nine inception blocks (3a..5b), params growing with depth.
+    let blocks: [(u64, f64); 9] = [
+        (260_000, 130.0),
+        (390_000, 160.0),
+        (560_000, 180.0),
+        (780_000, 190.0),
+        (900_000, 190.0),
+        (1_200_000, 180.0),
+        (1_500_000, 170.0),
+        (2_000_000, 180.0),
+        (2_400_000, 180.0),
+    ];
+    for (i, (p, f)) in blocks.iter().enumerate() {
+        layers.push(layer(&format!("inception{}", i + 1), *p, *f));
+    }
+    layers.push(layer("fc", 1_025_000, 1.0));
+    ModelSpec { name: "Inception-bn".into(), layers, throughput: (52.0, 400.0) }
+}
+
+/// ResNet-50: ~25.6M params, ~3.9 GFLOPs forward.
+pub fn resnet50() -> ModelSpec {
+    let mut layers = vec![layer("stem", 9_408, 120.0)];
+    // Stage param totals ≈ 0.75M / 3.1M / 10.4M / 9.25M over 3/4/6/3
+    // bottleneck blocks; FLOPs roughly even per stage.
+    let stages: [(usize, u64, f64); 4] = [
+        (3, 250_000, 250.0),
+        (4, 775_000, 230.0),
+        (6, 1_733_000, 195.0),
+        (3, 3_083_000, 290.0),
+    ];
+    for (s, (blocks, p, f)) in stages.iter().enumerate() {
+        for b in 0..*blocks {
+            layers.push(layer(&format!("stage{}.block{b}", s + 1), *p, *f));
+        }
+    }
+    layers.push(layer("fc", 2_049_000, 2.0));
+    ModelSpec { name: "ResNet-50".into(), layers, throughput: (48.0, 350.0) }
+}
+
+/// All Fig. 10 models in the paper's presentation order.
+pub fn fig10_models() -> Vec<ModelSpec> {
+    vec![resnet50(), alexnet(), vgg16(), inception_bn()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_parameter_totals() {
+        assert_eq!(lenet5().total_params(), 61_706);
+        let r20 = resnet20().total_params();
+        assert!((260_000..290_000).contains(&r20), "resnet20 {r20}");
+        let an = alexnet().total_params();
+        assert!((60_000_000..62_000_000).contains(&an), "alexnet {an}");
+        let vg = vgg16().total_params();
+        assert!((137_000_000..140_000_000).contains(&vg), "vgg {vg}");
+        let ic = inception_bn().total_params();
+        assert!((10_000_000..13_000_000).contains(&ic), "inception {ic}");
+        let r50 = resnet50().total_params();
+        assert!((24_000_000..27_000_000).contains(&r50), "resnet50 {r50}");
+    }
+
+    #[test]
+    fn flop_totals_roughly_published() {
+        assert!((alexnet().total_flops_fwd() - 0.72e9).abs() < 0.1e9);
+        assert!((vgg16().total_flops_fwd() - 15.5e9).abs() < 1.0e9);
+        assert!((resnet50().total_flops_fwd() - 3.9e9).abs() < 0.5e9);
+        assert!((inception_bn().total_flops_fwd() - 2.0e9).abs() < 0.3e9);
+    }
+
+    #[test]
+    fn tau_scales_linearly_with_batch() {
+        let m = resnet50();
+        let t32 = m.tau(GpuKind::K80, 32);
+        let t64 = m.tau(GpuKind::K80, 64);
+        assert!((t64 / t32 - 2.0).abs() < 1e-9);
+        assert!(m.tau(GpuKind::V100, 32) < t32);
+    }
+
+    #[test]
+    fn layer_times_sum_to_tau() {
+        let m = vgg16();
+        let times = m.layer_times(GpuKind::V100, 32);
+        let sum: f64 = times.iter().map(|(f, b)| f + b).sum();
+        assert!((sum - m.tau(GpuKind::V100, 32)).abs() < 1e-9);
+        // BP twice FP per layer.
+        for (f, b) in times {
+            assert!((b - 2.0 * f).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fc_heavy_models_have_late_byte_mass() {
+        // In AlexNet/VGG > 85% of bytes sit in the last three layers,
+        // whose gradients appear first in backward order.
+        for m in [alexnet(), vgg16()] {
+            let total = m.total_params() as f64;
+            let last3: u64 = m.layers.iter().rev().take(3).map(|l| l.params).sum();
+            assert!(last3 as f64 / total > 0.85, "{}", m.name);
+        }
+        // ResNet-50 spreads bytes: last three layers hold < 50%.
+        let m = resnet50();
+        let last3: u64 = m.layers.iter().rev().take(3).map(|l| l.params).sum();
+        assert!((last3 as f64 / m.total_params() as f64) < 0.5);
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration tests over the timing substrate: the monotone trends the
+//! harness binaries rely on must hold across the whole model zoo.
+
+use cdsgd_simtime::pipeline::{AlgoKind, PipelineSim};
+use cdsgd_simtime::{zoo, ClusterSpec, CostInputs, CostModel};
+
+#[test]
+fn lower_bandwidth_never_speeds_anything_up() {
+    let model = zoo::resnet50();
+    for algo in [AlgoKind::Ssgd, AlgoKind::BitSgd, AlgoKind::CdSgd { k: 5 }] {
+        let mut prev = 0.0f64;
+        for gbps in [100.0f64, 56.0, 10.0, 1.0] {
+            let cluster = ClusterSpec::v100_cluster().with_bandwidth_gbps(gbps);
+            let t = PipelineSim::new(&model, &cluster, 32).run(algo, 52).avg_iter_time;
+            assert!(t >= prev - 1e-12, "{}: {gbps} Gbps got faster", algo.name());
+            prev = t;
+        }
+    }
+}
+
+#[test]
+fn cd_speedup_over_ssgd_grows_as_bandwidth_shrinks() {
+    let model = zoo::resnet50();
+    let speedup = |gbps: f64| {
+        let cluster = ClusterSpec::v100_cluster().with_bandwidth_gbps(gbps);
+        let sim = PipelineSim::new(&model, &cluster, 32);
+        sim.run(AlgoKind::Ssgd, 42).avg_iter_time
+            / sim.run(AlgoKind::CdSgd { k: 5 }, 52).avg_iter_time
+    };
+    assert!(speedup(1.0) > speedup(10.0));
+    assert!(speedup(10.0) > speedup(100.0) - 1e-9);
+}
+
+#[test]
+fn every_zoo_model_simulates_cleanly_on_both_clusters() {
+    for model in [
+        zoo::lenet5(),
+        zoo::resnet20(),
+        zoo::alexnet(),
+        zoo::vgg16(),
+        zoo::inception_bn(),
+        zoo::resnet50(),
+    ] {
+        for cluster in [ClusterSpec::k80_cluster(), ClusterSpec::v100_cluster()] {
+            for algo in [
+                AlgoKind::Ssgd,
+                AlgoKind::OdSgd,
+                AlgoKind::BitSgd,
+                AlgoKind::CdSgd { k: 2 },
+            ] {
+                let r = PipelineSim::new(&model, &cluster, 32).run(algo, 12);
+                assert!(
+                    r.avg_iter_time.is_finite() && r.avg_iter_time > 0.0,
+                    "{} on {}: bad time",
+                    model.name,
+                    cluster.gpu.name()
+                );
+                assert!(r.trace.find_overlap().is_none(), "{}: overlap", model.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn closed_form_agrees_with_simulator_across_the_zoo() {
+    // For the blocking algorithms the single-scalar closed form and the
+    // layer-wise simulator must agree within the per-key overhead slack.
+    for model in [zoo::alexnet(), zoo::resnet50(), zoo::vgg16()] {
+        let cluster = ClusterSpec::v100_cluster();
+        let sim = PipelineSim::new(&model, &cluster, 32);
+        let cm = CostModel::new(CostInputs::derive(&model, &cluster, 32, 5));
+        let ssgd = sim.run(AlgoKind::Ssgd, 42).avg_iter_time;
+        let bit = sim.run(AlgoKind::BitSgd, 42).avg_iter_time;
+        // Layer-wise scheduling only adds per-message latency; 15% slack.
+        assert!(
+            (ssgd - cm.t_ssgd()).abs() / cm.t_ssgd() < 0.15,
+            "{}: ssgd {ssgd} vs {}",
+            model.name,
+            cm.t_ssgd()
+        );
+        assert!(
+            (bit - cm.t_bit()).abs() / cm.t_bit() < 0.15,
+            "{}: bit {bit} vs {}",
+            model.name,
+            cm.t_bit()
+        );
+    }
+}
+
+#[test]
+fn od_sgd_never_loses_to_ssgd() {
+    for model in [zoo::alexnet(), zoo::resnet50(), zoo::vgg16(), zoo::inception_bn()] {
+        for cluster in [ClusterSpec::k80_cluster(), ClusterSpec::v100_cluster()] {
+            let sim = PipelineSim::new(&model, &cluster, 32);
+            let ssgd = sim.run(AlgoKind::Ssgd, 42).avg_iter_time;
+            let od = sim.run(AlgoKind::OdSgd, 42).avg_iter_time;
+            assert!(
+                od <= ssgd * 1.02,
+                "{} on {}: OD {od} vs SSGD {ssgd}",
+                model.name,
+                cluster.gpu.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Reductions and row-wise helpers used by losses and metrics.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Argmax of each row of a 2-D tensor. Ties resolve to the lowest index.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.ndim(), 2, "argmax_rows requires a matrix");
+        let cols = self.shape()[1];
+        assert!(cols > 0, "argmax of empty rows");
+        self.data()
+            .chunks_exact(cols)
+            .map(|row| {
+                let mut best = 0usize;
+                let mut best_v = row[0];
+                for (j, &v) in row.iter().enumerate().skip(1) {
+                    if v > best_v {
+                        best = j;
+                        best_v = v;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Sum over rows of a 2-D tensor, producing a `[cols]` tensor.
+    /// (Used to reduce per-sample bias gradients.)
+    pub fn sum_rows(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "sum_rows requires a matrix");
+        let cols = self.shape()[1];
+        let mut out = vec![0.0f32; cols];
+        for row in self.data().chunks_exact(cols) {
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        Tensor::from_vec(vec![cols], out)
+    }
+
+    /// Row-wise softmax of a 2-D tensor (numerically stabilized).
+    pub fn softmax_rows(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "softmax_rows requires a matrix");
+        let cols = self.shape()[1];
+        let mut out = self.data().to_vec();
+        for row in out.chunks_exact_mut(cols) {
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            let inv = 1.0 / sum;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+        Tensor::from_vec(self.shape().to_vec(), out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_rows_with_ties() {
+        let t = Tensor::from_vec(vec![3, 3], vec![1., 3., 2., 5., 5., 1., 0., 0., 0.]);
+        assert_eq!(t.argmax_rows(), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn sum_rows_basic() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 10., 20., 30.]);
+        assert_eq!(t.sum_rows().data(), &[11., 22., 33.]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., -1., 0., 1000.]);
+        let s = t.softmax_rows();
+        for row in s.data().chunks_exact(3) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "sum {sum}");
+        }
+        // Large logits must not overflow to NaN.
+        assert!(s.data().iter().all(|v| v.is_finite()));
+        // The max logit keeps the max probability.
+        assert_eq!(s.argmax_rows(), vec![2, 2]);
+    }
+
+    #[test]
+    fn softmax_uniform_for_equal_logits() {
+        let t = Tensor::full(&[1, 4], 3.0).reshape(vec![1, 4]);
+        let s = t.softmax_rows();
+        for &v in s.data() {
+            assert!((v - 0.25).abs() < 1e-6);
+        }
+    }
+}

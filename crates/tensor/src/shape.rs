@@ -1,0 +1,89 @@
+//! Shape utilities: element counts, strides, and index arithmetic for
+//! contiguous row-major tensors.
+
+/// A tensor shape: dimension sizes in row-major (outermost-first) order.
+pub type Shape = Vec<usize>;
+
+/// Total number of elements for a shape. The empty shape denotes a scalar
+/// and has one element.
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major strides for a contiguous tensor of the given shape.
+///
+/// `strides[i]` is the linear-index distance between consecutive elements
+/// along dimension `i`.
+pub fn contiguous_strides(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![0; shape.len()];
+    let mut acc = 1usize;
+    for (s, &dim) in strides.iter_mut().zip(shape.iter()).rev() {
+        *s = acc;
+        acc *= dim;
+    }
+    strides
+}
+
+/// Convert a multi-dimensional index to a linear offset.
+///
+/// # Panics
+/// Panics (in debug builds) if `idx` has the wrong rank or is out of bounds.
+#[inline]
+pub fn linear_index(shape: &[usize], idx: &[usize]) -> usize {
+    debug_assert_eq!(shape.len(), idx.len(), "index rank mismatch");
+    let mut off = 0usize;
+    let mut stride = 1usize;
+    for i in (0..shape.len()).rev() {
+        debug_assert!(idx[i] < shape[i], "index {} out of bounds for dim {i}", idx[i]);
+        off += idx[i] * stride;
+        stride *= shape[i];
+    }
+    off
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_basic() {
+        assert_eq!(numel(&[2, 3, 4]), 24);
+        assert_eq!(numel(&[]), 1);
+        assert_eq!(numel(&[0, 5]), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(contiguous_strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(contiguous_strides(&[7]), vec![1]);
+        assert_eq!(contiguous_strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn linear_index_matches_strides() {
+        let shape = [2, 3, 4];
+        let strides = contiguous_strides(&shape);
+        for a in 0..2 {
+            for b in 0..3 {
+                for c in 0..4 {
+                    let expect = a * strides[0] + b * strides[1] + c * strides[2];
+                    assert_eq!(linear_index(&shape, &[a, b, c]), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_index_is_dense_and_unique() {
+        let shape = [3, 5];
+        let mut seen = vec![false; numel(&shape)];
+        for a in 0..3 {
+            for b in 0..5 {
+                let li = linear_index(&shape, &[a, b]);
+                assert!(!seen[li]);
+                seen[li] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the tensor substrate: algebraic identities that
+//! must hold for arbitrary shapes and data.
+
+use cdsgd_tensor::{col2im, contiguous_strides, im2col, numel, Conv2dGeom, SmallRng64, Tensor};
+use proptest::prelude::*;
+
+fn small_vec(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(v in small_vec(64)) {
+        let n = v.len();
+        let a = Tensor::from_vec(vec![n], v.clone());
+        let b = Tensor::from_vec(vec![n], v.iter().map(|x| x * 0.5 - 1.0).collect());
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn sub_then_add_round_trips(v in small_vec(64)) {
+        let n = v.len();
+        let a = Tensor::from_vec(vec![n], v.clone());
+        let b = Tensor::from_vec(vec![n], v.iter().map(|x| x * 0.25 + 2.0).collect());
+        let back = a.sub(&b).add(&b);
+        for (x, y) in back.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn axpy_equals_scale_add(v in small_vec(64), alpha in -4.0f32..4.0) {
+        let n = v.len();
+        let x = Tensor::from_vec(vec![n], v.clone());
+        let mut y = Tensor::from_vec(vec![n], v.iter().map(|a| a + 1.0).collect());
+        let expect = y.add(&x.scale(alpha));
+        y.axpy(alpha, &x);
+        for (a, b) in y.data().iter().zip(expect.data()) {
+            prop_assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn norm_is_scale_homogeneous(v in small_vec(64), s in -3.0f32..3.0) {
+        let n = v.len();
+        let a = Tensor::from_vec(vec![n], v);
+        let lhs = a.scale(s).norm();
+        let rhs = s.abs() * a.norm();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + rhs));
+    }
+
+    #[test]
+    fn reshape_preserves_data(r in 1usize..8, c in 1usize..8) {
+        let t = Tensor::from_vec(vec![r, c], (0..r * c).map(|x| x as f32).collect());
+        let flat = t.clone().reshape(vec![r * c]);
+        prop_assert_eq!(t.data(), flat.data());
+    }
+
+    #[test]
+    fn strides_dot_shape_contract(dims in prop::collection::vec(1usize..6, 1..4)) {
+        let strides = contiguous_strides(&dims);
+        // Last stride is 1; stride[i] == stride[i+1] * dim[i+1].
+        prop_assert_eq!(*strides.last().unwrap(), 1);
+        for i in 0..dims.len() - 1 {
+            prop_assert_eq!(strides[i], strides[i + 1] * dims[i + 1]);
+        }
+        prop_assert_eq!(strides[0] * dims[0], numel(&dims));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(seed in 0u64..1000) {
+        let mut rng = SmallRng64::new(seed);
+        let a = Tensor::randn(&[4, 6], 1.0, &mut rng);
+        let b = Tensor::randn(&[6, 5], 1.0, &mut rng);
+        let c = Tensor::randn(&[6, 5], 1.0, &mut rng);
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(seed in 0u64..1000) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ
+        let mut rng = SmallRng64::new(seed);
+        let a = Tensor::randn(&[3, 7], 1.0, &mut rng);
+        let b = Tensor::randn(&[7, 4], 1.0, &mut rng);
+        let lhs = a.matmul(&b).transpose2d();
+        let rhs = b.transpose2d().matmul(&a.transpose2d());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        seed in 0u64..500,
+        c in 1usize..3,
+        hw in 3usize..8,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        prop_assume!(hw + 2 * pad >= k);
+        let g = Conv2dGeom { c, h: hw, w: hw, kh: k, kw: k, stride, pad };
+        let mut rng = SmallRng64::new(seed);
+        let x = Tensor::randn(&[c * hw * hw], 1.0, &mut rng);
+        let y = Tensor::randn(&[g.col_rows(), g.col_cols()], 1.0, &mut rng);
+        let lhs: f32 = im2col(x.data(), &g).data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let mut back = vec![0.0f32; x.len()];
+        col2im(&y, &g, &mut back);
+        let rhs: f32 = x.data().iter().zip(&back).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn softmax_rows_is_probability_distribution(r in 1usize..6, c in 1usize..6, seed in 0u64..100) {
+        let mut rng = SmallRng64::new(seed);
+        let t = Tensor::randn(&[r, c], 5.0, &mut rng);
+        let s = t.softmax_rows();
+        for row in s.data().chunks_exact(c) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+}

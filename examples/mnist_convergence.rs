@@ -1,0 +1,49 @@
+//! Convergence comparison on the paper's Fig. 6 workload: LeNet-5 on an
+//! MNIST-like dataset, all four algorithms, 2 workers.
+//!
+//! This is the domain scenario the paper's introduction motivates:
+//! gradient compression (BIT-SGD) loses accuracy; CD-SGD's k-step
+//! correction restores it while keeping the compressed traffic.
+//!
+//! Run with: `cargo run --release --example mnist_convergence`
+//! (takes a couple of minutes; shrink with `--samples`/`--epochs` via the
+//! fig6_lenet harness in `cdsgd-bench` if you want knobs.)
+
+use cd_sgd::{Algorithm, TrainConfig, Trainer};
+use cdsgd_data::synth;
+use cdsgd_nn::models;
+
+fn main() {
+    let data = synth::mnist_like(3_000, 42);
+    let (train, test) = data.split(0.85);
+    let workers = 2;
+    let warmup = train.len() / workers / 32; // ≈ one epoch of warm-up
+
+    let algos = [
+        Algorithm::SSgd,
+        Algorithm::OdSgd { local_lr: 0.4 },
+        Algorithm::BitSgd { threshold: 0.5 },
+        Algorithm::cd_sgd(0.4, 0.5, 2, warmup),
+    ];
+
+    println!("LeNet-5 on MNIST-like, M={workers} workers, batch 32, global lr 0.1\n");
+    let mut rows = Vec::new();
+    for algo in algos {
+        let cfg = TrainConfig::new(algo, workers)
+            .with_lr(0.1)
+            .with_batch_size(32)
+            .with_epochs(6)
+            .with_seed(42);
+        let t = Trainer::new(cfg, |rng| models::lenet5(10, rng), train.clone(), Some(test.clone()));
+        let h = t.run();
+        println!("== {} ==", h.algo);
+        print!("{}", h.to_tsv());
+        rows.push((h.algo.clone(), h.best_test_acc().unwrap()));
+    }
+
+    println!("\nbest test accuracy:");
+    for (name, acc) in &rows {
+        println!("  {name:<14} {acc:.4}");
+    }
+    println!("\nexpected shape (paper Fig. 6): BIT-SGD below the rest; CD-SGD ≈ S-SGD.");
+}

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Plot training histories exported by `cd_sgd::checkpoint::save_history`
+(or the `cdsgd train --history out.json` CLI flag).
+
+Usage:
+    python3 scripts/plot_history.py run1.json [run2.json ...] \
+        [--metric test_acc|train_loss|train_acc] [--out curves.png]
+
+With matplotlib installed this writes a PNG; without it, it prints an
+ASCII table so the script is still useful on minimal machines.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        h = json.load(f)
+    label = f"{h['algo']} (M={h['num_workers']})"
+    epochs = [e["epoch"] for e in h["epochs"]]
+    return label, epochs, h["epochs"]
+
+
+def series(rows, metric):
+    out = []
+    for r in rows:
+        v = r.get(metric)
+        out.append(float("nan") if v is None else v)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("histories", nargs="+")
+    ap.add_argument("--metric", default="test_acc",
+                    choices=["test_acc", "train_loss", "train_acc"])
+    ap.add_argument("--out", default=None, help="PNG path (needs matplotlib)")
+    args = ap.parse_args()
+
+    runs = [load(p) for p in args.histories]
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        plt = None
+
+    if plt is not None and args.out:
+        fig, ax = plt.subplots(figsize=(7, 4.5))
+        for label, epochs, rows in runs:
+            ax.plot(epochs, series(rows, args.metric), marker="o", label=label)
+        ax.set_xlabel("epoch")
+        ax.set_ylabel(args.metric)
+        ax.grid(True, alpha=0.3)
+        ax.legend()
+        fig.tight_layout()
+        fig.savefig(args.out, dpi=150)
+        print(f"wrote {args.out}")
+        return
+
+    # ASCII fallback.
+    width = 12
+    header = "epoch".ljust(8) + "".join(label[:width].ljust(width + 2) for label, _, _ in runs)
+    print(header)
+    max_epochs = max(len(rows) for _, _, rows in runs)
+    for e in range(max_epochs):
+        line = str(e).ljust(8)
+        for _, _, rows in runs:
+            if e < len(rows):
+                v = rows[e].get(args.metric)
+                line += (f"{v:.4f}" if v is not None else "-").ljust(width + 2)
+            else:
+                line += "-".ljust(width + 2)
+        print(line)
+    if args.out and plt is None:
+        print("matplotlib not available; printed table instead", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

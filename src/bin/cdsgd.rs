@@ -1,0 +1,221 @@
+//! `cdsgd` — command-line front end for the CD-SGD reproduction.
+//!
+//! ```text
+//! cdsgd train    --algo cdsgd --dataset mnist --workers 4 --epochs 5 \
+//!                [--k 2] [--threshold 0.5] [--local-lr 0.1] [--lr 0.1] \
+//!                [--batch 32] [--samples 4000] [--seed 42] \
+//!                [--save ckpt.json] [--history hist.json] [--profile]
+//! cdsgd simulate --model resnet50 --gpu v100 --batch 32 [--k 5] [--gbps 56]
+//! cdsgd codecs   [--n 1000000]
+//! ```
+
+use cd_sgd::checkpoint::{save_history, Checkpoint};
+use cd_sgd::{Algorithm, TrainConfig, Trainer};
+use cd_sgd_repro::simtime::pipeline::{AlgoKind, PipelineSim};
+use cd_sgd_repro::simtime::{zoo, ClusterSpec, ModelSpec};
+use cdsgd_data::{synth, toy, Dataset};
+use cdsgd_nn::{models, Sequential};
+use cdsgd_tensor::SmallRng64;
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == &format!("--{name}")).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn arg_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    arg(name).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --{name}: {v}");
+            std::process::exit(2)
+        })
+    })
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == format!("--{name}"))
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cdsgd <train|simulate|codecs> [options]\n\
+         run `cdsgd train --help-options` style flags are documented in the binary's doc comment"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("train") => cmd_train(),
+        Some("simulate") => cmd_simulate(),
+        Some("codecs") => cmd_codecs(),
+        _ => usage(),
+    }
+}
+
+fn cmd_train() {
+    let workers: usize = arg_or("workers", 2);
+    let epochs: usize = arg_or("epochs", 5);
+    let batch: usize = arg_or("batch", 32);
+    let samples: usize = arg_or("samples", 4_000);
+    let seed: u64 = arg_or("seed", 42);
+    let lr: f32 = arg_or("lr", 0.1);
+    let local_lr: f32 = arg_or("local-lr", 0.1);
+    let threshold: f32 = arg_or("threshold", 0.5);
+    let k: usize = arg_or("k", 2);
+
+    let dataset_name = arg("dataset").unwrap_or_else(|| "mnist".into());
+    let (data, builder): (Dataset, Box<dyn Fn(&mut SmallRng64) -> Sequential + Send + Sync>) =
+        match dataset_name.as_str() {
+            "mnist" => (
+                synth::mnist_like(samples, seed),
+                Box::new(|rng: &mut SmallRng64| models::lenet5(10, rng)),
+            ),
+            "cifar" => (
+                synth::cifar_like(samples, seed),
+                Box::new(|rng: &mut SmallRng64| models::resnet_cifar(8, 1, 10, rng)),
+            ),
+            "blobs" => (
+                toy::gaussian_blobs(samples, 8, 4, 0.6, seed),
+                Box::new(|rng: &mut SmallRng64| models::mlp(&[8, 32, 4], rng)),
+            ),
+            other => {
+                eprintln!("unknown dataset {other} (mnist|cifar|blobs)");
+                std::process::exit(2)
+            }
+        };
+    let (train, test) = data.split(0.85);
+    let warmup = (train.len() / workers / batch).max(1);
+
+    let algo_name = arg("algo").unwrap_or_else(|| "cdsgd".into());
+    let algo = match algo_name.as_str() {
+        "ssgd" => Algorithm::SSgd,
+        "odsgd" => Algorithm::OdSgd { local_lr },
+        "bitsgd" => Algorithm::BitSgd { threshold },
+        "cdsgd" => Algorithm::cd_sgd(local_lr, threshold, k, warmup),
+        other => {
+            eprintln!("unknown algorithm {other} (ssgd|odsgd|bitsgd|cdsgd)");
+            std::process::exit(2)
+        }
+    };
+
+    let mut cfg = TrainConfig::new(algo, workers)
+        .with_lr(lr)
+        .with_batch_size(batch)
+        .with_epochs(epochs)
+        .with_seed(seed);
+    if flag("profile") {
+        cfg = cfg.with_profiling(true);
+    }
+    if let Some(mibps) = arg("net-mibps") {
+        let m: f64 = mibps.parse().expect("--net-mibps expects a number");
+        cfg = cfg.with_emulated_network(m * 1024.0 * 1024.0);
+    }
+
+    println!(
+        "training {} on {dataset_name} ({} train / {} test samples, M={workers})",
+        cfg.algo.name(),
+        train.len(),
+        test.len()
+    );
+    let history = Trainer::new(cfg, move |rng| builder(rng), train, Some(test)).run();
+    print!("{}", history.to_tsv());
+    println!(
+        "final test acc: {}",
+        history.final_test_acc().map_or("-".into(), |a| format!("{a:.4}"))
+    );
+
+    if let Some(path) = arg("save") {
+        Checkpoint::new(history.algo.clone(), history.final_weights.clone())
+            .save(&path)
+            .expect("write checkpoint");
+        println!("checkpoint written to {path}");
+    }
+    if let Some(path) = arg("history") {
+        save_history(&history, &path).expect("write history");
+        println!("history written to {path}");
+    }
+}
+
+fn cmd_simulate() {
+    let model: ModelSpec = match arg("model").unwrap_or_else(|| "resnet50".into()).as_str() {
+        "lenet5" => zoo::lenet5(),
+        "resnet20" => zoo::resnet20(),
+        "alexnet" => zoo::alexnet(),
+        "vgg16" => zoo::vgg16(),
+        "inception" => zoo::inception_bn(),
+        "resnet50" => zoo::resnet50(),
+        other => {
+            eprintln!("unknown model {other}");
+            std::process::exit(2)
+        }
+    };
+    let cluster = match arg("gpu").unwrap_or_else(|| "v100".into()).as_str() {
+        "k80" => ClusterSpec::k80_cluster(),
+        "v100" => ClusterSpec::v100_cluster(),
+        other => {
+            eprintln!("unknown gpu {other} (k80|v100)");
+            std::process::exit(2)
+        }
+    }
+    .with_bandwidth_gbps(arg_or("gbps", 56.0));
+    let batch: usize = arg_or("batch", 32);
+    let k: usize = arg_or("k", 5);
+
+    println!(
+        "simulating {} on {} x{} nodes ({} GPUs/node), batch {batch}",
+        model.name,
+        cluster.gpu.name(),
+        cluster.nodes,
+        cluster.gpus_per_node
+    );
+    let sim = PipelineSim::new(&model, &cluster, batch);
+    let ssgd = sim.run(AlgoKind::Ssgd, 42).avg_iter_time;
+    println!("{:<14} {:>12} {:>12}", "algorithm", "ms/iter", "vs S-SGD");
+    for (algo, iters) in [
+        (AlgoKind::Ssgd, 42),
+        (AlgoKind::OdSgd, 42),
+        (AlgoKind::BitSgd, 42),
+        (AlgoKind::CdSgd { k }, 2 + 10 * k),
+    ] {
+        let t = sim.run(algo, iters).avg_iter_time;
+        println!(
+            "{:<14} {:>12.2} {:>11.0}%",
+            algo.name(),
+            t * 1e3,
+            (ssgd / t - 1.0) * 100.0
+        );
+    }
+}
+
+fn cmd_codecs() {
+    use cdsgd_compress::{
+        decompress, AdaptiveTwoBit, GradientCompressor, OneBitQuantizer, QsgdQuantizer,
+        TernGradQuantizer, TopKSparsifier, TwoBitQuantizer,
+    };
+    let n: usize = arg_or("n", 1_000_000);
+    let mut rng = SmallRng64::new(7);
+    let grad: Vec<f32> = (0..n).map(|_| 0.3 * rng.gauss()).collect();
+    let mut codecs: Vec<Box<dyn GradientCompressor>> = vec![
+        Box::new(TwoBitQuantizer::new(0.5)),
+        Box::new(AdaptiveTwoBit::new(1.0)),
+        Box::new(OneBitQuantizer::new()),
+        Box::new(TernGradQuantizer::new(7)),
+        Box::new(QsgdQuantizer::new(4, 7)),
+        Box::new(TopKSparsifier::new(0.01)),
+    ];
+    println!("{:<14} {:>12} {:>10} {:>12}", "codec", "wire_KiB", "ratio", "encode_ms");
+    for c in codecs.iter_mut() {
+        let t0 = std::time::Instant::now();
+        let payload = c.compress(0, &grad);
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        let mut out = vec![0.0f32; n];
+        decompress(&payload, &mut out);
+        println!(
+            "{:<14} {:>12} {:>10.4} {:>12.2}",
+            c.name(),
+            payload.wire_bytes() / 1024,
+            c.compression_ratio(n),
+            dt
+        );
+    }
+}

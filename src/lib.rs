@@ -1,0 +1,13 @@
+//! Workspace root crate for the CD-SGD reproduction.
+//!
+//! This crate re-exports the member crates so that examples and integration
+//! tests can use a single import root. The actual implementation lives in
+//! `crates/*`; see `DESIGN.md` for the system inventory.
+
+pub use cd_sgd as algo;
+pub use cdsgd_compress as compress;
+pub use cdsgd_data as data;
+pub use cdsgd_nn as nn;
+pub use cdsgd_ps as ps;
+pub use cdsgd_simtime as simtime;
+pub use cdsgd_tensor as tensor;

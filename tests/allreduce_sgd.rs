@@ -1,0 +1,78 @@
+//! Integration tests for AR-SGD: synchronous SGD over ring all-reduce,
+//! the server-less collective baseline.
+
+use cd_sgd::{Algorithm, TrainConfig, Trainer, TrainingHistory};
+use cdsgd_data::toy;
+use cdsgd_nn::models;
+
+fn run(algo: Algorithm, workers: usize, epochs: usize) -> TrainingHistory {
+    let data = toy::gaussian_blobs(480, 8, 4, 0.6, 51);
+    let (train, test) = data.split(0.8);
+    let cfg = TrainConfig::new(algo, workers)
+        .with_lr(0.2)
+        .with_batch_size(16)
+        .with_epochs(epochs)
+        .with_seed(51);
+    Trainer::new(cfg, |rng| models::mlp(&[8, 32, 4], rng), train, Some(test)).run()
+}
+
+#[test]
+fn ar_sgd_matches_ssgd_math() {
+    // Same update rule (eq. 1), different reduction topology: results
+    // agree to float-accumulation-order tolerance.
+    let ssgd = run(Algorithm::SSgd, 2, 3);
+    let ar = run(Algorithm::ArSgd, 2, 3);
+    for (a, b) in ssgd.final_weights.iter().zip(&ar.final_weights) {
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+    let sa = ssgd.final_test_acc().unwrap();
+    let aa = ar.final_test_acc().unwrap();
+    assert!((sa - aa).abs() < 0.05, "S-SGD {sa} vs AR-SGD {aa}");
+}
+
+#[test]
+fn ar_sgd_learns_with_four_workers() {
+    let h = run(Algorithm::ArSgd, 4, 6);
+    let acc = h.final_test_acc().unwrap();
+    assert!(acc > 0.85, "AR-SGD acc {acc}");
+    // Final weights come from worker 0, not the idle server: nontrivial.
+    assert!(h.final_weights.iter().flatten().any(|&v| v.abs() > 1e-6));
+}
+
+#[test]
+fn ring_traffic_is_bandwidth_optimal_per_round() {
+    // Each of N workers sends 2(N−1)/N of the model per round; compare
+    // with the PS push traffic (N × model per round).
+    let n = 4usize;
+    let ar = run(Algorithm::ArSgd, n, 2);
+    let ps = run(Algorithm::SSgd, n, 2);
+    let ar_bytes = ar.epochs.last().unwrap().cumulative_push_bytes as f64;
+    let ps_bytes = ps.epochs.last().unwrap().cumulative_push_bytes as f64;
+    // Expected ratio: 2(N−1)/N ÷ 1 = 1.5 for N=4.
+    let ratio = ar_bytes / ps_bytes;
+    assert!((1.3..1.7).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn ar_sgd_is_deterministic() {
+    let a = run(Algorithm::ArSgd, 3, 2);
+    let b = run(Algorithm::ArSgd, 3, 2);
+    assert_eq!(a.final_weights, b.final_weights);
+}
+
+#[test]
+fn lr_schedule_applies_worker_side() {
+    let data = toy::gaussian_blobs(200, 4, 2, 0.4, 52);
+    let (train, test) = data.split(0.8);
+    let cfg = TrainConfig::new(Algorithm::ArSgd, 2)
+        .with_lr(0.2)
+        .with_batch_size(10)
+        .with_epochs(3)
+        .with_seed(52)
+        .with_lr_decay(1, 0.0);
+    let h = Trainer::new(cfg, |rng| models::mlp(&[4, 2], rng), train, Some(test)).run();
+    // lr 0 from epoch 1 freezes the weights.
+    assert_eq!(h.epochs[1].test_acc, h.epochs[2].test_acc);
+}

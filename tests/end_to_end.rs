@@ -1,0 +1,133 @@
+//! End-to-end integration tests across all crates: real CNNs on synthetic
+//! image data, trained by the threaded PS stack, checking the *relative*
+//! behaviours the paper reports (not absolute accuracies).
+
+use cd_sgd::{Algorithm, TrainConfig, Trainer, TrainingHistory};
+use cdsgd_data::synth;
+use cdsgd_nn::models;
+
+fn run_lenet(algo: Algorithm, epochs: usize, workers: usize) -> TrainingHistory {
+    let data = synth::mnist_like(600, 77);
+    let (train, test) = data.split(0.8);
+    let cfg = TrainConfig::new(algo, workers)
+        .with_lr(0.1)
+        .with_batch_size(16)
+        .with_epochs(epochs)
+        .with_seed(77);
+    Trainer::new(cfg, |rng| models::lenet5(10, rng), train, Some(test)).run()
+}
+
+#[test]
+fn lenet_on_images_learns_with_cd_sgd() {
+    // The hardened MNIST-like task (classes share 95% of their template
+    // structure) is deliberately difficult at this sample count; well
+    // above the 10% chance level is the learning criterion.
+    let warmup = 15;
+    let h = run_lenet(Algorithm::cd_sgd(0.4, 0.5, 2, warmup), 4, 2);
+    let acc = h.final_test_acc().unwrap();
+    assert!(acc > 0.25, "CD-SGD test acc {acc}");
+    assert!(
+        h.epochs.last().unwrap().train_loss < h.epochs[0].train_loss,
+        "loss should decrease"
+    );
+}
+
+#[test]
+fn quantization_with_large_threshold_hurts_and_correction_repairs() {
+    // A deliberately hostile threshold (5.0 ≫ typical gradient magnitude)
+    // makes BIT-SGD stall: almost everything lands in the residual and
+    // weight updates are badly delayed. The k-step correction pushes the
+    // true gradient every other step and rescues convergence — the
+    // paper's central accuracy claim. Compared on training loss, which
+    // does not saturate the way accuracy does.
+    use cdsgd_data::toy;
+    let data = toy::gaussian_blobs(400, 8, 4, 1.0, 31);
+    let run = |algo: Algorithm| {
+        let cfg = TrainConfig::new(algo, 2)
+            .with_lr(0.2)
+            .with_batch_size(16)
+            .with_epochs(3)
+            .with_seed(31);
+        Trainer::new(cfg, |rng| models::mlp(&[8, 16, 4], rng), data.clone(), None).run()
+    };
+    let bit = run(Algorithm::BitSgd { threshold: 5.0 });
+    let cd = run(Algorithm::cd_sgd(0.1, 5.0, 2, 10));
+    let ssgd = run(Algorithm::SSgd);
+    let (b, c, s) = (
+        bit.final_train_loss().unwrap(),
+        cd.final_train_loss().unwrap(),
+        ssgd.final_train_loss().unwrap(),
+    );
+    assert!(
+        c < b * 0.9,
+        "k-step correction should rescue convergence: CD loss {c} vs BIT loss {b}"
+    );
+    assert!(s < b, "S-SGD loss {s} should beat hostile-threshold BIT-SGD {b}");
+}
+
+#[test]
+fn resnet_lite_trains_distributed_with_augmentation() {
+    let data = synth::cifar_like(480, 11);
+    let (train, test) = data.split(0.8);
+    let cfg = TrainConfig::new(Algorithm::cd_sgd(0.05, 0.5, 2, 8), 2)
+        .with_lr(0.4)
+        .with_batch_size(16)
+        .with_epochs(3)
+        .with_seed(11)
+        .with_augment(true);
+    let h = Trainer::new(cfg, |rng| models::resnet_cifar(4, 1, 10, rng), train, Some(test)).run();
+    // Shape check only: the run is healthy (loss falls, weights finite);
+    // 3 epochs on 384 hardened samples is far from convergence.
+    assert!(
+        h.epochs.last().unwrap().train_loss < h.epochs[0].train_loss,
+        "training loss should decrease"
+    );
+    let acc = h.final_test_acc().unwrap();
+    assert!(acc > 0.1, "augmented ResNet-lite should beat chance, acc {acc}");
+}
+
+#[test]
+fn cd_sgd_pushes_fraction_of_ssgd_traffic() {
+    // With k = 4, three of four formal pushes are 2-bit: expected push
+    // bytes ≈ (1/4 + 3/4 · 1/16) ≈ 30% of raw after the warm-up.
+    let epochs = 3;
+    let ssgd = run_lenet(Algorithm::SSgd, epochs, 2);
+    let cd = run_lenet(Algorithm::cd_sgd(0.4, 0.5, 4, 0), epochs, 2);
+    let raw = ssgd.epochs.last().unwrap().cumulative_push_bytes as f64;
+    let cdb = cd.epochs.last().unwrap().cumulative_push_bytes as f64;
+    let ratio = cdb / raw;
+    assert!(
+        (0.2..0.45).contains(&ratio),
+        "CD-SGD push traffic should be ~30% of raw, got {ratio:.3}"
+    );
+}
+
+#[test]
+fn more_workers_same_data_converges_similarly() {
+    let h2 = run_lenet(Algorithm::cd_sgd(0.4, 0.5, 2, 10), 3, 2);
+    let h3 = run_lenet(Algorithm::cd_sgd(0.4, 0.5, 2, 10), 3, 3);
+    let a2 = h2.final_test_acc().unwrap();
+    let a3 = h3.final_test_acc().unwrap();
+    assert!((a2 - a3).abs() < 0.25, "2w {a2} vs 3w {a3}");
+}
+
+#[test]
+fn final_weights_are_finite_and_nontrivial() {
+    for algo in [
+        Algorithm::SSgd,
+        Algorithm::OdSgd { local_lr: 0.4 },
+        Algorithm::BitSgd { threshold: 0.5 },
+        Algorithm::cd_sgd(0.4, 0.5, 2, 5),
+    ] {
+        let h = run_lenet(algo, 1, 2);
+        assert!(!h.final_weights.is_empty());
+        let mut moved = false;
+        for w in &h.final_weights {
+            assert!(w.iter().all(|v| v.is_finite()), "{}: non-finite weights", h.algo);
+            if w.iter().any(|v| v.abs() > 1e-8) {
+                moved = true;
+            }
+        }
+        assert!(moved, "{}: weights never moved", h.algo);
+    }
+}

@@ -1,0 +1,126 @@
+//! Integration tests for the extension features layered on the paper's
+//! algorithm: pluggable codecs, adaptive thresholds, delay compensation
+//! and the emulated network.
+
+use cd_sgd::{Algorithm, Codec, TrainConfig, Trainer, TrainingHistory};
+use cdsgd_data::toy;
+use cdsgd_nn::models;
+
+fn run(algo: Algorithm, epochs: usize) -> TrainingHistory {
+    let data = toy::gaussian_blobs(480, 8, 4, 0.6, 13);
+    let (train, test) = data.split(0.8);
+    let cfg = TrainConfig::new(algo, 2)
+        .with_lr(0.2)
+        .with_batch_size(16)
+        .with_epochs(epochs)
+        .with_seed(13);
+    Trainer::new(cfg, |rng| models::mlp(&[8, 32, 4], rng), train, Some(test)).run()
+}
+
+#[test]
+fn cd_sgd_learns_with_every_codec() {
+    for codec in [
+        Codec::TwoBit { threshold: 0.05 },
+        Codec::OneBit,
+        Codec::TopK { ratio: 0.1 },
+        Codec::Qsgd { levels: 4, seed: 1 },
+        Codec::AdaptiveTwoBit { scale: 1.0 },
+    ] {
+        let name = codec.name();
+        let h = run(Algorithm::cd_sgd_with(0.05, codec, 2, 10), 8);
+        let acc = h.final_test_acc().unwrap();
+        assert!(acc > 0.8, "codec {name}: acc {acc}");
+    }
+}
+
+#[test]
+fn adaptive_threshold_needs_no_tuning() {
+    // Fixed threshold 5.0 is hostile on this problem (gradients ≪ 5);
+    // the adaptive codec self-scales and converges fine with the same
+    // "wrong" order of magnitude in its knob.
+    let fixed = run(Algorithm::cd_sgd(0.05, 5.0, 1000, 0), 6);
+    let adaptive =
+        run(Algorithm::cd_sgd_with(0.05, Codec::AdaptiveTwoBit { scale: 1.0 }, 1000, 0), 6);
+    let (f, a) = (
+        fixed.final_train_loss().unwrap(),
+        adaptive.final_train_loss().unwrap(),
+    );
+    // k=1000 means effectively no corrections, isolating the codec.
+    assert!(a < f * 0.7, "adaptive {a} should beat hostile fixed threshold {f}");
+}
+
+#[test]
+fn delay_compensation_does_not_break_convergence() {
+    let plain = run(Algorithm::cd_sgd(0.05, 0.05, 2, 10), 8);
+    let dc = run(
+        Algorithm::cd_sgd(0.05, 0.05, 2, 10).with_delay_compensation(0.04),
+        8,
+    );
+    let (p, d) = (plain.final_test_acc().unwrap(), dc.final_test_acc().unwrap());
+    assert!(d > 0.8, "DC variant acc {d}");
+    assert!((p - d).abs() < 0.15, "plain {p} vs DC {d}");
+}
+
+#[test]
+fn delay_compensation_changes_the_pushed_gradients() {
+    // λ > 0 must actually alter training (different final weights).
+    let plain = run(Algorithm::cd_sgd(0.05, 0.05, 2, 5), 2);
+    let dc = run(
+        Algorithm::cd_sgd(0.05, 0.05, 2, 5).with_delay_compensation(0.1),
+        2,
+    );
+    assert_ne!(plain.final_weights, dc.final_weights);
+}
+
+#[test]
+fn emulated_network_slows_training_but_preserves_results() {
+    let data = toy::gaussian_blobs(120, 6, 3, 0.5, 21);
+    let mk = |bps: Option<f64>| {
+        let mut cfg = TrainConfig::new(Algorithm::SSgd, 2)
+            .with_lr(0.2)
+            .with_batch_size(10)
+            .with_epochs(2)
+            .with_seed(21);
+        if let Some(b) = bps {
+            cfg = cfg.with_emulated_network(b);
+        }
+        Trainer::new(cfg, |rng| models::mlp(&[6, 8, 3], rng), data.clone(), None).run()
+    };
+    let fast = mk(None);
+    let slow = mk(Some(200_000.0)); // 200 KB/s — glacial
+    // Identical math...
+    assert_eq!(fast.final_weights, slow.final_weights);
+    // ...but measurably slower wall clock.
+    let tf: f64 = fast.epochs.iter().map(|e| e.epoch_time_s).sum();
+    let ts: f64 = slow.epochs.iter().map(|e| e.epoch_time_s).sum();
+    assert!(ts > tf * 2.0, "slow {ts} vs fast {tf}");
+}
+
+#[test]
+fn profiling_records_all_op_kinds_for_delayed_algorithms() {
+    use cd_sgd::profile::OpKind;
+    let data = toy::gaussian_blobs(120, 6, 3, 0.5, 22);
+    let cfg = TrainConfig::new(Algorithm::cd_sgd(0.05, 0.1, 2, 3), 2)
+        .with_lr(0.2)
+        .with_batch_size(10)
+        .with_epochs(2)
+        .with_seed(22)
+        .with_profiling(true);
+    let h = Trainer::new(cfg, |rng| models::mlp(&[6, 8, 3], rng), data, None).run();
+    let events = h.profile.expect("profiling on");
+    for kind in [
+        OpKind::Forward,
+        OpKind::Backward,
+        OpKind::Compress,
+        OpKind::LocalUpdate,
+        OpKind::PullWait,
+    ] {
+        assert!(
+            events.iter().any(|e| e.op == kind),
+            "missing {kind:?} events"
+        );
+    }
+    // Events from both workers.
+    assert!(events.iter().any(|e| e.worker == 0));
+    assert!(events.iter().any(|e| e.worker == 1));
+}

@@ -1,0 +1,230 @@
+//! Exact-semantics integration tests: the threaded Trainer + parameter
+//! server must produce *bit-identical* weights to a sequential reference
+//! implementation of the paper's update rules (eqs. 1, 10, 11 and
+//! Algorithm 1). These tests re-derive the math by hand, so any plumbing
+//! bug in the PS versioning, push/pull ordering, warm-up handoff or the
+//! deferred pull shows up as a weight mismatch.
+
+use cd_sgd::{Algorithm, TrainConfig, Trainer};
+use cdsgd_compress::{decompress, GradientCompressor, TwoBitQuantizer};
+use cdsgd_data::{Dataset, toy};
+use cdsgd_nn::{models, Layer, Mode, Sequential, SoftmaxCrossEntropy};
+use cdsgd_tensor::SmallRng64;
+
+const WORKER_RNG_MUL: u64 = 0xA076_1D64_78BD_642F;
+
+/// Replicate the worker's per-epoch batch stream (same shuffle RNG).
+fn worker_batches(
+    shard: &Dataset,
+    worker_id: usize,
+    seed: u64,
+    epochs: usize,
+    batch_size: usize,
+    ipe: usize,
+) -> Vec<(cdsgd_tensor::Tensor, Vec<usize>)> {
+    let mut rng = SmallRng64::new(seed ^ (worker_id as u64 + 1).wrapping_mul(WORKER_RNG_MUL));
+    let mut out = Vec::new();
+    for _ in 0..epochs {
+        let mut s = shard.clone();
+        s.shuffle(&mut rng);
+        for b in s.batches(batch_size).take(ipe) {
+            out.push((b.x, b.y));
+        }
+    }
+    out
+}
+
+fn build_model(seed: u64) -> Sequential {
+    let mut rng = SmallRng64::new(seed);
+    models::mlp(&[6, 10, 3], &mut rng)
+}
+
+fn setup() -> (Dataset, TrainConfig) {
+    let data = toy::gaussian_blobs(96, 6, 3, 0.5, 17);
+    let cfg = TrainConfig::new(Algorithm::SSgd, 1)
+        .with_lr(0.1)
+        .with_batch_size(8)
+        .with_epochs(2)
+        .with_seed(123);
+    (data, cfg)
+}
+
+#[test]
+fn ssgd_single_worker_matches_manual_sgd_exactly() {
+    let (data, cfg) = setup();
+    let history =
+        Trainer::new(cfg.clone(), |rng| models::mlp(&[6, 10, 3], rng), data.clone(), None).run();
+
+    // Manual reference: plain SGD over the identical batch stream.
+    let mut model = build_model(cfg.seed);
+    let mut weights = model.export_params();
+    let ipe = data.len() / cfg.batch_size;
+    let loss_fn = SoftmaxCrossEntropy;
+    for (x, y) in worker_batches(&data, 0, cfg.seed, cfg.epochs, cfg.batch_size, ipe) {
+        model.import_params(&weights);
+        let logits = model.forward(&x, Mode::Train);
+        let (_, dl) = loss_fn.loss_and_grad(&logits, &y);
+        model.backward(&dl);
+        let grads = model.export_grads();
+        for (w, g) in weights.iter_mut().zip(&grads) {
+            for (wi, gi) in w.iter_mut().zip(g) {
+                *wi -= cfg.global_lr * gi; // eq. 1 with N = 1
+            }
+        }
+    }
+    assert_eq!(history.final_weights, weights, "S-SGD deviates from eq. 1");
+}
+
+#[test]
+fn cd_sgd_single_worker_matches_algorithm1_exactly() {
+    let (data, base_cfg) = setup();
+    let warmup = 3usize;
+    let k = 2usize;
+    let local_lr = 0.05f32;
+    let threshold = 0.2f32;
+    let cfg = TrainConfig {
+        algo: Algorithm::cd_sgd(local_lr, threshold, k, warmup),
+        ..base_cfg
+    };
+    let history =
+        Trainer::new(cfg.clone(), |rng| models::mlp(&[6, 10, 3], rng), data.clone(), None).run();
+
+    // Manual reference implementing Algorithm 1 verbatim.
+    let mut model = build_model(cfg.seed);
+    let mut global = model.export_params(); // server weights W
+    let mut w_loc = global.clone(); // local weights (== W during warm-up)
+    let mut quantizer = TwoBitQuantizer::new(threshold);
+    let loss_fn = SoftmaxCrossEntropy;
+    let ipe = data.len() / cfg.batch_size;
+    let mut prev_global = global.clone(); // W_r pulled at round end
+
+    for (round, (x, y)) in worker_batches(&data, 0, cfg.seed, cfg.epochs, cfg.batch_size, ipe)
+        .into_iter()
+        .enumerate()
+    {
+        model.import_params(&w_loc);
+        let logits = model.forward(&x, Mode::Train);
+        let (_, dl) = loss_fn.loss_and_grad(&logits, &y);
+        model.backward(&dl);
+        let grads = model.export_grads();
+
+        // Server side (eq. 10, N = 1), with 2-bit compression in the
+        // compression iterations of the formal phase.
+        let compress = round >= warmup && (round - warmup) % k != 0;
+        for (key, (w, g)) in global.iter_mut().zip(&grads).enumerate() {
+            if compress {
+                let payload = quantizer.compress(key, g);
+                let mut decoded = vec![0.0f32; g.len()];
+                decompress(&payload, &mut decoded);
+                for (wi, di) in w.iter_mut().zip(&decoded) {
+                    *wi -= cfg.global_lr * di;
+                }
+            } else {
+                for (wi, gi) in w.iter_mut().zip(g) {
+                    *wi -= cfg.global_lr * gi;
+                }
+            }
+        }
+
+        // Worker side: warm-up adopts the new globals; the formal phase
+        // builds W^loc_{r+1} = W_r − lr_loc·grad_r (eq. 11) where W_r is
+        // the *previous* round's global weights.
+        if round + 1 <= warmup {
+            w_loc = global.clone();
+        } else {
+            w_loc = prev_global.clone();
+            for (w, g) in w_loc.iter_mut().zip(&grads) {
+                for (wi, gi) in w.iter_mut().zip(g) {
+                    *wi -= local_lr * gi;
+                }
+            }
+        }
+        prev_global = global.clone();
+    }
+    assert_eq!(
+        history.final_weights, global,
+        "CD-SGD deviates from Algorithm 1 / eqs. 10-11"
+    );
+}
+
+#[test]
+fn od_sgd_is_cd_sgd_with_k1_and_no_warmup() {
+    // With k = 1 every formal iteration is a correction (raw push), so
+    // CD-SGD degenerates to OD-SGD exactly.
+    let (data, base_cfg) = setup();
+    let od = TrainConfig {
+        algo: Algorithm::OdSgd { local_lr: 0.05 },
+        ..base_cfg.clone()
+    };
+    let cd = TrainConfig {
+        algo: Algorithm::cd_sgd(0.05, 0.5, 1, 0),
+        ..base_cfg
+    };
+    let h_od = Trainer::new(od, |rng| models::mlp(&[6, 10, 3], rng), data.clone(), None).run();
+    let h_cd = Trainer::new(cd, |rng| models::mlp(&[6, 10, 3], rng), data, None).run();
+    assert_eq!(h_od.final_weights, h_cd.final_weights);
+}
+
+#[test]
+fn training_is_deterministic_across_runs() {
+    let (data, base_cfg) = setup();
+    let cfg = TrainConfig {
+        algo: Algorithm::cd_sgd(0.05, 0.2, 2, 2),
+        num_workers: 2,
+        ..base_cfg
+    };
+    let run = || {
+        Trainer::new(cfg.clone(), |rng| models::mlp(&[6, 10, 3], rng), data.clone(), None).run()
+    };
+    let a = run();
+    let b = run();
+    // The server pops worker queues in fixed order, so even multi-worker
+    // training is bit-deterministic.
+    assert_eq!(a.final_weights, b.final_weights);
+    let la: Vec<f32> = a.epochs.iter().map(|e| e.train_loss).collect();
+    let lb: Vec<f32> = b.epochs.iter().map(|e| e.train_loss).collect();
+    assert_eq!(la, lb);
+}
+
+#[test]
+fn two_workers_average_gradients_per_eq10() {
+    // One round, two workers, no shuffle effects (one batch per shard):
+    // W_1 = W_0 − η/2 (g_a + g_b).
+    let data = toy::gaussian_blobs(16, 6, 3, 0.5, 23);
+    let cfg = TrainConfig::new(Algorithm::SSgd, 2)
+        .with_lr(0.1)
+        .with_batch_size(8)
+        .with_epochs(1)
+        .with_seed(55);
+    let history =
+        Trainer::new(cfg.clone(), |rng| models::mlp(&[6, 10, 3], rng), data.clone(), None).run();
+
+    let loss_fn = SoftmaxCrossEntropy;
+    let mut model = build_model(cfg.seed);
+    let w0 = model.export_params();
+    let mut sum_grads: Vec<Vec<f32>> = w0.iter().map(|w| vec![0.0; w.len()]).collect();
+    for worker in 0..2 {
+        let shard = data.shard(worker, 2);
+        let batches = worker_batches(&shard, worker, cfg.seed, 1, 8, 1);
+        let (x, y) = &batches[0];
+        model.import_params(&w0);
+        let logits = model.forward(x, Mode::Train);
+        let (_, dl) = loss_fn.loss_and_grad(&logits, y);
+        model.backward(&dl);
+        for (s, g) in sum_grads.iter_mut().zip(model.export_grads()) {
+            for (si, gi) in s.iter_mut().zip(g) {
+                *si += gi;
+            }
+        }
+    }
+    let expect: Vec<Vec<f32>> = w0
+        .iter()
+        .zip(&sum_grads)
+        .map(|(w, s)| w.iter().zip(s).map(|(wi, si)| wi - 0.1 / 2.0 * si).collect())
+        .collect();
+    for (got, want) in history.final_weights.iter().zip(&expect) {
+        for (a, b) in got.iter().zip(want) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+}
