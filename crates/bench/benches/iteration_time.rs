@@ -17,16 +17,26 @@ fn bench_iteration(c: &mut Criterion) {
         Algorithm::BitSgd { threshold: 0.1 },
         Algorithm::cd_sgd(0.05, 0.1, 5, 0),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, algo| {
-            b.iter(|| {
-                let cfg = TrainConfig::new(algo.clone(), 2)
-                    .with_lr(0.1)
-                    .with_batch_size(32)
-                    .with_epochs(1)
-                    .with_seed(9);
-                Trainer::new(cfg, |rng| models::mlp(&[16, 64, 4], rng), data.clone(), None).run()
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(algo.name()),
+            &algo,
+            |b, algo| {
+                b.iter(|| {
+                    let cfg = TrainConfig::new(algo.clone(), 2)
+                        .with_lr(0.1)
+                        .with_batch_size(32)
+                        .with_epochs(1)
+                        .with_seed(9);
+                    Trainer::new(
+                        cfg,
+                        |rng| models::mlp(&[16, 64, 4], rng),
+                        data.clone(),
+                        None,
+                    )
+                    .run()
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -15,7 +15,11 @@ fn bench_roundtrip(c: &mut Criterion) {
             let grad = vec![0.01f32; n];
             let mut version = 0u64;
             b.iter(|| {
-                client.push(0, 0, Compressed::Raw(grad.clone()));
+                // Pooled payload: reuses storage the server recycled
+                // after decoding the previous round's push.
+                let mut payload = client.pool().take_f32();
+                payload.extend_from_slice(&grad);
+                client.push(0, 0, Compressed::Raw(payload));
                 version += 1;
                 client.pull(0, version)
             });
@@ -28,7 +32,7 @@ fn bench_roundtrip(c: &mut Criterion) {
             let mut q = TwoBitQuantizer::new(0.5);
             let mut version = 0u64;
             b.iter(|| {
-                client.push(0, 0, q.compress(0, &grad));
+                client.push(0, 0, q.compress_into(0, &grad, client.pool()));
                 version += 1;
                 client.pull(0, version)
             });
@@ -47,7 +51,11 @@ fn bench_roundtrip(c: &mut Criterion) {
             std::thread::scope(|s| {
                 for (w, cl) in clients.iter().enumerate() {
                     let grad = &grad;
-                    s.spawn(move || cl.push(w, 0, Compressed::Raw(grad.clone())));
+                    s.spawn(move || {
+                        let mut payload = cl.pool().take_f32();
+                        payload.extend_from_slice(grad);
+                        cl.push(w, 0, Compressed::Raw(payload));
+                    });
                 }
             });
             version += 1;

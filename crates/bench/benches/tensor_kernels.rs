@@ -11,12 +11,20 @@ fn bench_matmul(c: &mut Criterion) {
         let a = Tensor::randn(&[n, n], 1.0, &mut rng);
         let b = Tensor::randn(&[n, n], 1.0, &mut rng);
         g.throughput(Throughput::Elements((2 * n * n * n) as u64));
-        g.bench_with_input(BenchmarkId::new("nn", n), &(a.clone(), b.clone()), |bench, (a, b)| {
-            bench.iter(|| a.matmul(b));
-        });
-        g.bench_with_input(BenchmarkId::new("nt", n), &(a.clone(), b.clone()), |bench, (a, b)| {
-            bench.iter(|| a.matmul_nt(b));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("nn", n),
+            &(a.clone(), b.clone()),
+            |bench, (a, b)| {
+                bench.iter(|| a.matmul(b));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("nt", n),
+            &(a.clone(), b.clone()),
+            |bench, (a, b)| {
+                bench.iter(|| a.matmul_nt(b));
+            },
+        );
         g.bench_with_input(BenchmarkId::new("tn", n), &(a, b), |bench, (a, b)| {
             bench.iter(|| a.matmul_tn(b));
         });
@@ -26,7 +34,15 @@ fn bench_matmul(c: &mut Criterion) {
 
 fn bench_im2col(c: &mut Criterion) {
     let mut g = c.benchmark_group("im2col");
-    let geom = Conv2dGeom { c: 16, h: 32, w: 32, kh: 3, kw: 3, stride: 1, pad: 1 };
+    let geom = Conv2dGeom {
+        c: 16,
+        h: 32,
+        w: 32,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad: 1,
+    };
     let mut rng = SmallRng64::new(2);
     let img = Tensor::randn(&[16 * 32 * 32], 1.0, &mut rng);
     g.throughput(Throughput::Bytes((4 * img.len()) as u64));

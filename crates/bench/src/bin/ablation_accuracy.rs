@@ -28,8 +28,13 @@ fn main() {
             .with_batch_size(32)
             .with_epochs(epochs)
             .with_seed(31);
-        let h = Trainer::new(cfg, |rng| models::lenet5(10, rng), train.clone(), Some(test.clone()))
-            .run();
+        let h = Trainer::new(
+            cfg,
+            |rng| models::lenet5(10, rng),
+            train.clone(),
+            Some(test.clone()),
+        )
+        .run();
         println!(
             "{:<44} final_acc {:>7} best_acc {:>7} final_loss {:>8.4}",
             label,
@@ -39,26 +44,43 @@ fn main() {
         );
     };
 
-    println!("== Ablation: accuracy impact of each CD-SGD design choice (LeNet-5, MNIST-like, M=2) ==\n");
+    println!(
+        "== Ablation: accuracy impact of each CD-SGD design choice (LeNet-5, MNIST-like, M=2) ==\n"
+    );
 
     println!("-- baselines --");
     run("S-SGD", Algorithm::SSgd);
-    run("OD-SGD (local update only)", Algorithm::OdSgd { local_lr: 0.1 });
-    run("BIT-SGD (quantization only)", Algorithm::BitSgd { threshold: 0.5 });
+    run(
+        "OD-SGD (local update only)",
+        Algorithm::OdSgd { local_lr: 0.1 },
+    );
+    run(
+        "BIT-SGD (quantization only)",
+        Algorithm::BitSgd { threshold: 0.5 },
+    );
 
     println!("\n-- k-step correction (CD-SGD, k sweep; k large => no correction) --");
     for k in [2usize, 5, 20, 1_000] {
-        run(&format!("CD-SGD k={k}"), Algorithm::cd_sgd(0.1, 0.5, k, warmup));
+        run(
+            &format!("CD-SGD k={k}"),
+            Algorithm::cd_sgd(0.1, 0.5, k, warmup),
+        );
     }
 
     println!("\n-- warm-up length (CD-SGD, k=2) --");
     for w in [0usize, warmup / 4, warmup, 2 * warmup] {
-        run(&format!("CD-SGD warmup={w}"), Algorithm::cd_sgd(0.1, 0.5, 2, w));
+        run(
+            &format!("CD-SGD warmup={w}"),
+            Algorithm::cd_sgd(0.1, 0.5, 2, w),
+        );
     }
 
     println!("\n-- quantization threshold (BIT-SGD) --");
     for thr in [0.1f32, 0.5, 2.0] {
-        run(&format!("BIT-SGD threshold={thr}"), Algorithm::BitSgd { threshold: thr });
+        run(
+            &format!("BIT-SGD threshold={thr}"),
+            Algorithm::BitSgd { threshold: thr },
+        );
     }
 
     println!("\nexpected shape: k-step correction recovers BIT-SGD's accuracy loss;");

@@ -10,7 +10,11 @@ use cdsgd_simtime::{ClusterSpec, CostInputs, CostModel};
 fn single_layer(params: u64, thr: f64) -> ModelSpec {
     ModelSpec {
         name: "single".into(),
-        layers: vec![LayerSpec { name: "all".into(), params, flops_fwd: 1e9 }],
+        layers: vec![LayerSpec {
+            name: "all".into(),
+            params,
+            flops_fwd: 1e9,
+        }],
         throughput: (thr, thr),
     }
 }
@@ -20,7 +24,15 @@ fn main() {
     println!("single-layer models eliminate pipelining effects; deviations (CD-SGD only) come from\ncross-iteration encode/comm overlap that the per-iteration closed form charges serially.\n");
     println!(
         "{:<28} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "scenario (params, img/s)", "ssgd_cf", "ssgd_sim", "bit_cf", "bit_sim", "od_cf", "od_sim", "cd_cf", "cd_sim"
+        "scenario (params, img/s)",
+        "ssgd_cf",
+        "ssgd_sim",
+        "bit_cf",
+        "bit_sim",
+        "od_cf",
+        "od_sim",
+        "cd_cf",
+        "cd_sim"
     );
     let cluster = ClusterSpec::k80_cluster();
     let scenarios: Vec<(u64, f64)> = vec![
@@ -53,23 +65,58 @@ fn main() {
             worst = worst.max((cf - s).abs() / cf);
         }
     }
-    println!("\nworst relative deviation on non-CD algorithms: {:.1}%", worst * 100.0);
+    println!(
+        "\nworst relative deviation on non-CD algorithms: {:.1}%",
+        worst * 100.0
+    );
 
-    println!("\n== Eq. 8 (saving vs local-update method) and eq. 9 (saving vs BIT-SGD) case table ==");
+    println!(
+        "\n== Eq. 8 (saving vs local-update method) and eq. 9 (saving vs BIT-SGD) case table =="
+    );
     println!(
         "{:<34} {:>10} {:>10} {:>12} {:>12}",
         "regime (tau, phi, psi, delta)", "Ts_loc@cmp", "Ts_loc@cor", "Ts_bit@cmp", "Ts_bit@cor"
     );
     let regimes: Vec<(&str, CostInputs)> = vec![
-        ("compute-bound", CostInputs { tau: 1.0, phi: 0.5, psi: 0.05, delta: 0.1, k: 5 }),
-        ("comm-bound", CostInputs { tau: 0.1, phi: 1.0, psi: 0.2, delta: 0.05, k: 5 }),
-        ("middle", CostInputs { tau: 0.5, phi: 1.0, psi: 0.1, delta: 0.1, k: 5 }),
+        (
+            "compute-bound",
+            CostInputs {
+                tau: 1.0,
+                phi: 0.5,
+                psi: 0.05,
+                delta: 0.1,
+                k: 5,
+            },
+        ),
+        (
+            "comm-bound",
+            CostInputs {
+                tau: 0.1,
+                phi: 1.0,
+                psi: 0.2,
+                delta: 0.05,
+                k: 5,
+            },
+        ),
+        (
+            "middle",
+            CostInputs {
+                tau: 0.5,
+                phi: 1.0,
+                psi: 0.1,
+                delta: 0.1,
+                k: 5,
+            },
+        ),
     ];
     for (name, inp) in regimes {
         let cm = CostModel::new(inp);
         println!(
             "{:<34} {:>10.3} {:>10.3} {:>12.3} {:>12.3}",
-            format!("{name} ({}, {}, {}, {})", inp.tau, inp.phi, inp.psi, inp.delta),
+            format!(
+                "{name} ({}, {}, {}, {})",
+                inp.tau, inp.phi, inp.psi, inp.delta
+            ),
             cm.saving_vs_loc(1),
             cm.saving_vs_loc(0),
             cm.saving_vs_bit(1),

@@ -46,7 +46,9 @@ fn main() {
         ),
     ];
 
-    println!("== Extension: CD-SGD with alternative codecs (LeNet-5, MNIST-like, M={workers}, k=2) ==\n");
+    println!(
+        "== Extension: CD-SGD with alternative codecs (LeNet-5, MNIST-like, M={workers}, k=2) ==\n"
+    );
     println!(
         "{:<24} {:>10} {:>10} {:>12} {:>14}",
         "variant", "final_acc", "best_acc", "final_loss", "push_MiB"
@@ -57,8 +59,13 @@ fn main() {
             .with_batch_size(32)
             .with_epochs(epochs)
             .with_seed(63);
-        let h = Trainer::new(cfg, |rng| models::lenet5(10, rng), train.clone(), Some(test.clone()))
-            .run();
+        let h = Trainer::new(
+            cfg,
+            |rng| models::lenet5(10, rng),
+            train.clone(),
+            Some(test.clone()),
+        )
+        .run();
         println!(
             "{:<24} {:>10} {:>10} {:>12.4} {:>14.2}",
             label,

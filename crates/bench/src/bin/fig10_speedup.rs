@@ -44,10 +44,30 @@ fn panel(title: &str, cluster: &ClusterSpec, batch: usize, k: usize) {
 fn main() {
     let k = arg_usize("k", 5);
     println!("== Fig. 10: speedup over S-SGD, 4 nodes x 4 GPUs, 56 Gbps IB ==\n");
-    panel("(a) batch 32 per GPU, K80", &ClusterSpec::k80_cluster(), 32, k);
-    panel("(b) batch 32 per GPU, V100", &ClusterSpec::v100_cluster(), 32, k);
-    panel("(c) batch 64 per GPU, V100", &ClusterSpec::v100_cluster(), 64, k);
-    panel("(d) batch 128 per GPU, V100", &ClusterSpec::v100_cluster(), 128, k);
+    panel(
+        "(a) batch 32 per GPU, K80",
+        &ClusterSpec::k80_cluster(),
+        32,
+        k,
+    );
+    panel(
+        "(b) batch 32 per GPU, V100",
+        &ClusterSpec::v100_cluster(),
+        32,
+        k,
+    );
+    panel(
+        "(c) batch 64 per GPU, V100",
+        &ClusterSpec::v100_cluster(),
+        64,
+        k,
+    );
+    panel(
+        "(d) batch 128 per GPU, V100",
+        &ClusterSpec::v100_cluster(),
+        128,
+        k,
+    );
     println!("paper CD-SGD speedups: (a) 0/43/33/32%  (b) 24/43/39/44%  (c) 28/35/71/89%  (d) 3/45/2/89%");
     println!("(order: ResNet-50, AlexNet, VGG-16, Inception-bn; expected shape, not exact values)");
 }

@@ -31,7 +31,9 @@ fn main() {
     // (overlapping) phase.
     let warmup = 5usize;
 
-    println!("== Fig. 5 (real execution): ResNet-20-lite, {workers} workers, per-op wall-clock ==\n");
+    println!(
+        "== Fig. 5 (real execution): ResNet-20-lite, {workers} workers, per-op wall-clock ==\n"
+    );
     for algo in [
         Algorithm::BitSgd { threshold: 0.5 },
         Algorithm::cd_sgd(0.05, 0.5, 4, warmup),
@@ -44,8 +46,13 @@ fn main() {
             .with_seed(3)
             .with_profiling(true)
             .with_emulated_network(mibps as f64 * 1024.0 * 1024.0);
-        let h = Trainer::new(cfg, |rng| models::resnet_cifar(8, 1, 10, rng), train.clone(), None)
-            .run();
+        let h = Trainer::new(
+            cfg,
+            |rng| models::resnet_cifar(8, 1, 10, rng),
+            train.clone(),
+            None,
+        )
+        .run();
         let events = h.profile.expect("profiling enabled");
         let summary = summarize(&events);
         println!("-- {name} --");
@@ -56,7 +63,10 @@ fn main() {
             "  blocked on pulls: {:.1}% of worker time",
             summary.pull_wait_fraction * 100.0
         );
-        let path = format!("fig5_real_{}.trace.json", name.to_lowercase().replace(['(', ')', '='], "_"));
+        let path = format!(
+            "fig5_real_{}.trace.json",
+            name.to_lowercase().replace(['(', ')', '='], "_")
+        );
         std::fs::write(&path, to_chrome_json(&events, &name)).expect("write trace");
         println!("  chrome trace: {path}\n");
     }

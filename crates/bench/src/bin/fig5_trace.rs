@@ -25,9 +25,21 @@ fn main() {
     for algo in [AlgoKind::BitSgd, AlgoKind::CdSgd { k: 4 }] {
         let res = sim.run(algo, iters);
         println!("-- {} --", algo.name());
-        println!("{:<6} {:>4} {:>5} {:>12} {:>12}", "op", "iter", "layer", "start_ms", "end_ms");
-        for e in res.trace.events().iter().filter(|e| e.iter >= 2 && e.iter <= 5) {
-            let layer = if e.layer == usize::MAX { "-".into() } else { e.layer.to_string() };
+        println!(
+            "{:<6} {:>4} {:>5} {:>12} {:>12}",
+            "op", "iter", "layer", "start_ms", "end_ms"
+        );
+        for e in res
+            .trace
+            .events()
+            .iter()
+            .filter(|e| e.iter >= 2 && e.iter <= 5)
+        {
+            let layer = if e.layer == usize::MAX {
+                "-".into()
+            } else {
+                e.layer.to_string()
+            };
             println!(
                 "{:<6} {:>4} {:>5} {:>12.3} {:>12.3}",
                 e.op,
@@ -51,8 +63,7 @@ fn main() {
             "fig5_{}.trace.json",
             algo.name().to_lowercase().replace(['(', ')', '='], "_")
         );
-        std::fs::write(&path, res.trace.to_chrome_json(&algo.name()))
-            .expect("write trace file");
+        std::fs::write(&path, res.trace.to_chrome_json(&algo.name())).expect("write trace file");
         println!("chrome trace written to {path}\n");
     }
 

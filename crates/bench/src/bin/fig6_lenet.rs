@@ -39,5 +39,7 @@ fn main() {
     let algos = paper_algorithms(local_lr, 0.5, 2, warmup);
     spec.run(&algos, |rng| models::lenet5(10, rng), &train, &test);
 
-    println!("paper reference (MNIST, M=2): S-SGD 99.15%, CD-SGD 99.14%, OD-SGD 99.12%, BIT-SGD <99%");
+    println!(
+        "paper reference (MNIST, M=2): S-SGD 99.15%, CD-SGD 99.14%, OD-SGD 99.12%, BIT-SGD <99%"
+    );
 }

@@ -52,12 +52,26 @@ fn main() {
     println!("== Fig. 9 shape checks ==");
     // On the synthetic task accuracy can saturate at 100%; final training
     // loss carries the same ordering information, so both are reported.
-    let acc: Vec<f32> = histories.iter().map(|h| h.best_test_acc().unwrap_or(0.0)).collect();
-    let loss: Vec<f32> = histories.iter().map(|h| h.final_train_loss().unwrap_or(f32::NAN)).collect();
-    println!("k2 vs S-SGD:      acc {:.4} vs {:.4} | loss {:.4} vs {:.4} (paper: k2 ≈/beats S-SGD)", acc[2], acc[0], loss[2], loss[0]);
-    println!("k20 vs BIT-SGD:   acc {:.4} vs {:.4} | loss {:.4} vs {:.4} (paper: large k -> BIT-SGD)", acc[5], acc[1], loss[5], loss[1]);
-    println!("by k (2,5,10,20): acc {:.4} {:.4} {:.4} {:.4} | loss {:.4} {:.4} {:.4} {:.4}",
-        acc[2], acc[3], acc[4], acc[5], loss[2], loss[3], loss[4], loss[5]);
+    let acc: Vec<f32> = histories
+        .iter()
+        .map(|h| h.best_test_acc().unwrap_or(0.0))
+        .collect();
+    let loss: Vec<f32> = histories
+        .iter()
+        .map(|h| h.final_train_loss().unwrap_or(f32::NAN))
+        .collect();
+    println!(
+        "k2 vs S-SGD:      acc {:.4} vs {:.4} | loss {:.4} vs {:.4} (paper: k2 ≈/beats S-SGD)",
+        acc[2], acc[0], loss[2], loss[0]
+    );
+    println!(
+        "k20 vs BIT-SGD:   acc {:.4} vs {:.4} | loss {:.4} vs {:.4} (paper: large k -> BIT-SGD)",
+        acc[5], acc[1], loss[5], loss[1]
+    );
+    println!(
+        "by k (2,5,10,20): acc {:.4} {:.4} {:.4} {:.4} | loss {:.4} {:.4} {:.4} {:.4}",
+        acc[2], acc[3], acc[4], acc[5], loss[2], loss[3], loss[4], loss[5]
+    );
     println!("(paper: quality decreases monotonically in k)");
     println!("\npaper reference (4 nodes): k20 89.68% vs BIT-SGD 88.81%");
 }

@@ -17,25 +17,51 @@ fn main() {
         let s = StragglerSim::homogeneous(n, 0.1, 0.01, 0.3);
         let b = s.blocking_avg(iters, 11);
         let d = s.delayed_avg(iters, 11);
-        println!("{:>8} {:>14.2} {:>14.2} {:>11.2}x", n, b * 1e3, d * 1e3, b / d);
+        println!(
+            "{:>8} {:>14.2} {:>14.2} {:>11.2}x",
+            n,
+            b * 1e3,
+            d * 1e3,
+            b / d
+        );
     }
 
     println!("\n== Transient jitter sweep (16 workers) ==");
-    println!("{:>8} {:>14} {:>14} {:>12}", "jitter", "blocking_ms", "delayed_ms", "absorption");
+    println!(
+        "{:>8} {:>14} {:>14} {:>12}",
+        "jitter", "blocking_ms", "delayed_ms", "absorption"
+    );
     for jitter in [0.0f64, 0.1, 0.3, 0.5, 1.0] {
         let s = StragglerSim::homogeneous(16, 0.1, 0.01, jitter);
         let b = s.blocking_avg(iters, 13);
         let d = s.delayed_avg(iters, 13);
-        println!("{:>8.1} {:>14.2} {:>14.2} {:>11.2}x", jitter, b * 1e3, d * 1e3, b / d);
+        println!(
+            "{:>8.1} {:>14.2} {:>14.2} {:>11.2}x",
+            jitter,
+            b * 1e3,
+            d * 1e3,
+            b / d
+        );
     }
 
     println!("\n== Persistent straggler (16 workers, jitter 0.2): one worker f× slower ==");
-    println!("{:>8} {:>14} {:>14} {:>12}", "factor", "blocking_ms", "delayed_ms", "absorption");
+    println!(
+        "{:>8} {:>14} {:>14} {:>12}",
+        "factor", "blocking_ms", "delayed_ms", "absorption"
+    );
     for f in [1.0f64, 1.5, 2.0, 4.0] {
         let s = StragglerSim::homogeneous(16, 0.1, 0.01, 0.2).with_persistent_straggler(f);
         let b = s.blocking_avg(iters, 17);
         let d = s.delayed_avg(iters, 17);
-        println!("{:>8.1} {:>14.2} {:>14.2} {:>11.2}x", f, b * 1e3, d * 1e3, b / d);
+        println!(
+            "{:>8.1} {:>14.2} {:>14.2} {:>11.2}x",
+            f,
+            b * 1e3,
+            d * 1e3,
+            b / d
+        );
     }
-    println!("\n(expected: the one-round slack absorbs transient jitter but not a persistent straggler)");
+    println!(
+        "\n(expected: the one-round slack absorbs transient jitter but not a persistent straggler)"
+    );
 }

@@ -93,8 +93,13 @@ fn main() {
                 .with_batch_size(32)
                 .with_epochs(epochs)
                 .with_seed(5);
-            let t = Trainer::new(cfg, |rng| models::resnet_cifar(8, 1, 10, rng), train.clone(), None)
-                .run();
+            let t = Trainer::new(
+                cfg,
+                |rng| models::resnet_cifar(8, 1, 10, rng),
+                train.clone(),
+                None,
+            )
+            .run();
             print!(" {:>8.2}", t.avg_epoch_time());
         }
         println!();

@@ -12,14 +12,16 @@ use cdsgd_tensor::SmallRng64;
 /// Read `--name <value>` from the process arguments, else `default`.
 pub fn arg_usize(name: &str, default: usize) -> usize {
     arg_string(name).map_or(default, |v| {
-        v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer, got {v}"))
+        v.parse()
+            .unwrap_or_else(|_| panic!("--{name} expects an integer, got {v}"))
     })
 }
 
 /// Read `--name <value>` as f32.
 pub fn arg_f32(name: &str, default: f32) -> f32 {
     arg_string(name).map_or(default, |v| {
-        v.parse().unwrap_or_else(|_| panic!("--{name} expects a number, got {v}"))
+        v.parse()
+            .unwrap_or_else(|_| panic!("--{name} expects a number, got {v}"))
     })
 }
 
@@ -68,7 +70,10 @@ impl CurveSpec {
         train: &Dataset,
         test: &Dataset,
     ) -> Vec<TrainingHistory> {
-        println!("== {} (M={} workers, {} epochs) ==", self.title, self.workers, self.epochs);
+        println!(
+            "== {} (M={} workers, {} epochs) ==",
+            self.title, self.workers, self.epochs
+        );
         let mut out = Vec::new();
         for algo in algos {
             let mut cfg = TrainConfig::new(algo.clone(), self.workers)
@@ -87,7 +92,10 @@ impl CurveSpec {
             out.push(history);
         }
         println!("\n== summary: {} ==", self.title);
-        println!("{:<14} {:>10} {:>10} {:>12} {:>14}", "algorithm", "final_acc", "best_acc", "final_loss", "avg_epoch_s");
+        println!(
+            "{:<14} {:>10} {:>10} {:>12} {:>14}",
+            "algorithm", "final_acc", "best_acc", "final_loss", "avg_epoch_s"
+        );
         for h in &out {
             println!(
                 "{:<14} {:>10} {:>10} {:>12.4} {:>14.3}",

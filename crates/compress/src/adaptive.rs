@@ -10,7 +10,8 @@
 //! header).
 
 use crate::compressed::Compressed;
-use crate::packing::pack_2bit;
+use crate::packing::{pack_2bit, pack_2bit_into};
+use crate::pool::BufferPool;
 use crate::residual::ResidualStore;
 use crate::GradientCompressor;
 
@@ -21,6 +22,9 @@ use crate::GradientCompressor;
 pub struct AdaptiveTwoBit {
     scale: f32,
     residuals: ResidualStore,
+    /// Reused encode scratch (corrected gradient and symbol stream).
+    corrected: Vec<f32>,
+    symbols: Vec<u8>,
 }
 
 impl AdaptiveTwoBit {
@@ -30,8 +34,16 @@ impl AdaptiveTwoBit {
     /// # Panics
     /// Panics unless `scale` is positive and finite.
     pub fn new(scale: f32) -> Self {
-        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive, got {scale}");
-        Self { scale, residuals: ResidualStore::new() }
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "scale must be positive, got {scale}"
+        );
+        Self {
+            scale,
+            residuals: ResidualStore::new(),
+            corrected: Vec::new(),
+            symbols: Vec::new(),
+        }
     }
 
     /// The scale multiplier.
@@ -49,19 +61,27 @@ impl AdaptiveTwoBit {
         if corrected.is_empty() {
             return 1e-8;
         }
-        let mean_abs =
-            corrected.iter().map(|x| x.abs()).sum::<f32>() / corrected.len() as f32;
+        let mean_abs = corrected.iter().map(|x| x.abs()).sum::<f32>() / corrected.len() as f32;
         (scale * mean_abs).max(1e-8)
     }
-}
 
-impl GradientCompressor for AdaptiveTwoBit {
-    fn compress(&mut self, key: usize, grad: &[f32]) -> Compressed {
+    /// Quantize `grad + residual` into `self.symbols`, updating the
+    /// residual state; returns the adaptive threshold. Shared by both
+    /// compress paths.
+    fn encode_symbols(&mut self, key: usize, grad: &[f32]) -> f32 {
         let res = self.residuals.get_mut(key, grad.len());
-        let corrected: Vec<f32> = grad.iter().zip(res.iter()).map(|(&g, &r)| g + r).collect();
-        let thr = Self::threshold_for(&corrected, self.scale);
-        let mut symbols = vec![0u8; grad.len()];
-        for ((s, &x), r) in symbols.iter_mut().zip(&corrected).zip(res.iter_mut()) {
+        self.corrected.clear();
+        self.corrected
+            .extend(grad.iter().zip(res.iter()).map(|(&g, &r)| g + r));
+        let thr = Self::threshold_for(&self.corrected, self.scale);
+        self.symbols.clear();
+        self.symbols.resize(grad.len(), 0);
+        for ((s, &x), r) in self
+            .symbols
+            .iter_mut()
+            .zip(&self.corrected)
+            .zip(res.iter_mut())
+        {
             let q = if x >= thr {
                 *s = 1;
                 thr
@@ -73,7 +93,29 @@ impl GradientCompressor for AdaptiveTwoBit {
             };
             *r = x - q;
         }
-        Compressed::TwoBit { threshold: thr, packed: pack_2bit(&symbols), len: grad.len() }
+        thr
+    }
+}
+
+impl GradientCompressor for AdaptiveTwoBit {
+    fn compress(&mut self, key: usize, grad: &[f32]) -> Compressed {
+        let thr = self.encode_symbols(key, grad);
+        Compressed::TwoBit {
+            threshold: thr,
+            packed: pack_2bit(&self.symbols),
+            len: grad.len(),
+        }
+    }
+
+    fn compress_into(&mut self, key: usize, grad: &[f32], pool: &BufferPool) -> Compressed {
+        let thr = self.encode_symbols(key, grad);
+        let mut packed = pool.take_bytes();
+        pack_2bit_into(&self.symbols, &mut packed);
+        Compressed::TwoBit {
+            threshold: thr,
+            packed,
+            len: grad.len(),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -81,7 +123,7 @@ impl GradientCompressor for AdaptiveTwoBit {
     }
 
     fn wire_bytes(&self, n: usize) -> usize {
-        4 + n.div_ceil(4)
+        4 + 4 + n.div_ceil(4)
     }
 }
 
@@ -148,7 +190,10 @@ mod tests {
         let grad: Vec<f32> = (0..128).map(|i| ((i as f32) * 0.37).sin()).collect();
         let count_fired = |scale: f32| -> usize {
             let mut q = AdaptiveTwoBit::new(scale);
-            decode(&q.compress(0, &grad)).iter().filter(|&&v| v != 0.0).count()
+            decode(&q.compress(0, &grad))
+                .iter()
+                .filter(|&&v| v != 0.0)
+                .count()
         };
         assert!(count_fired(0.5) > count_fired(2.0));
     }

@@ -1,6 +1,7 @@
 //! The [`Compressed`] wire payload and its decoders.
 
 use crate::packing::{unpack_1bit, unpack_2bit};
+use crate::pool::BufferPool;
 
 /// A compressed gradient as it would travel over the network.
 ///
@@ -14,17 +15,38 @@ pub enum Compressed {
     Raw(Vec<f32>),
     /// MXNet-style 2-bit threshold quantization: symbols decode to
     /// `{0, +threshold, -threshold}`.
-    TwoBit { threshold: f32, packed: Vec<u8>, len: usize },
+    TwoBit {
+        threshold: f32,
+        packed: Vec<u8>,
+        len: usize,
+    },
     /// 1-bit sign quantization with a shared magnitude (signSGD w/ scale).
-    OneBit { scale: f32, signs: Vec<u8>, len: usize },
+    OneBit {
+        scale: f32,
+        signs: Vec<u8>,
+        len: usize,
+    },
     /// TernGrad stochastic ternarization: symbols decode to
     /// `{0, +scale, -scale}`.
-    Tern { scale: f32, packed: Vec<u8>, len: usize },
+    Tern {
+        scale: f32,
+        packed: Vec<u8>,
+        len: usize,
+    },
     /// QSGD stochastic uniform quantization: per-element signed level in
     /// `[-levels, +levels]`, decoded as `norm * level / levels`.
-    Qsgd { norm: f32, levels: u8, codes: Vec<i8>, len: usize },
+    Qsgd {
+        norm: f32,
+        levels: u8,
+        codes: Vec<i8>,
+        len: usize,
+    },
     /// Top-k sparsification: explicit (index, value) pairs.
-    TopK { indices: Vec<u32>, values: Vec<f32>, len: usize },
+    TopK {
+        indices: Vec<u32>,
+        values: Vec<f32>,
+        len: usize,
+    },
 }
 
 impl Compressed {
@@ -45,10 +67,14 @@ impl Compressed {
         self.len() == 0
     }
 
-    /// Exact bytes this payload occupies on the wire (payload plus the
-    /// scalar header fields a real serializer would send).
+    /// Exact bytes this payload occupies on the wire: a uniform 4-byte
+    /// element-count header on every variant, plus the variant's scalar
+    /// fields and payload bytes. Keeping the header accounting identical
+    /// across variants makes cross-codec traffic numbers directly
+    /// comparable (previously `Raw` and `TopK` omitted it while the
+    /// quantizers implicitly folded it into their scalar field).
     pub fn wire_bytes(&self) -> usize {
-        match self {
+        4 + match self {
             Compressed::Raw(v) => 4 * v.len(),
             // threshold (4) + packed bytes
             Compressed::TwoBit { packed, .. } => 4 + packed.len(),
@@ -60,7 +86,9 @@ impl Compressed {
             // Elias coding; fixed ceil(log2(2L+1))-bit codes are a
             // conservative stand-in.
             Compressed::Qsgd { levels, len, .. } => {
-                let bits = (2 * *levels as usize + 1).next_power_of_two().trailing_zeros() as usize;
+                let bits = (2 * *levels as usize + 1)
+                    .next_power_of_two()
+                    .trailing_zeros() as usize;
                 4 + 1 + (len * bits).div_ceil(8)
             }
             // (u32 index + f32 value) per retained element
@@ -71,6 +99,27 @@ impl Compressed {
     /// True for payloads that carry per-element codes smaller than f32.
     pub fn is_compressed(&self) -> bool {
         !matches!(self, Compressed::Raw(_))
+    }
+
+    /// Return the payload's backing storage to `pool` for reuse by a
+    /// later [`crate::GradientCompressor::compress_into`] call. The
+    /// server calls this after aggregating a payload, closing the
+    /// worker→server→worker buffer loop.
+    pub fn recycle(self, pool: &BufferPool) {
+        match self {
+            Compressed::Raw(v) => pool.put_f32(v),
+            Compressed::TwoBit { packed, .. } | Compressed::Tern { packed, .. } => {
+                pool.put_bytes(packed)
+            }
+            Compressed::OneBit { signs, .. } => pool.put_bytes(signs),
+            Compressed::Qsgd { codes, .. } => pool.put_i8(codes),
+            Compressed::TopK {
+                indices, values, ..
+            } => {
+                pool.put_u32(indices);
+                pool.put_f32(values);
+            }
+        }
     }
 }
 
@@ -95,7 +144,11 @@ pub fn decompress_add(c: &Compressed, out: &mut [f32]) {
                 *o += x;
             }
         }
-        Compressed::TwoBit { threshold, packed, len } => {
+        Compressed::TwoBit {
+            threshold,
+            packed,
+            len,
+        } => {
             for (o, s) in out.iter_mut().zip(unpack_2bit(packed, *len)) {
                 match s {
                     1 => *o += threshold,
@@ -118,13 +171,20 @@ pub fn decompress_add(c: &Compressed, out: &mut [f32]) {
                 }
             }
         }
-        Compressed::Qsgd { norm, levels, codes, .. } => {
+        Compressed::Qsgd {
+            norm,
+            levels,
+            codes,
+            ..
+        } => {
             let inv = norm / *levels as f32;
             for (o, &c) in out.iter_mut().zip(codes) {
                 *o += c as f32 * inv;
             }
         }
-        Compressed::TopK { indices, values, .. } => {
+        Compressed::TopK {
+            indices, values, ..
+        } => {
             for (&i, &v) in indices.iter().zip(values) {
                 out[i as usize] += v;
             }
@@ -139,21 +199,117 @@ mod tests {
 
     #[test]
     fn raw_wire_bytes() {
-        assert_eq!(Compressed::Raw(vec![0.0; 10]).wire_bytes(), 40);
+        assert_eq!(Compressed::Raw(vec![0.0; 10]).wire_bytes(), 4 + 40);
     }
 
     #[test]
     fn two_bit_wire_bytes_are_sixteenth_plus_header() {
-        let c = Compressed::TwoBit { threshold: 0.5, packed: vec![0; 256], len: 1024 };
-        assert_eq!(c.wire_bytes(), 4 + 256);
-        // 1024 f32 = 4096 raw bytes -> 260 compressed, ~15.7x smaller.
+        let c = Compressed::TwoBit {
+            threshold: 0.5,
+            packed: vec![0; 256],
+            len: 1024,
+        };
+        assert_eq!(c.wire_bytes(), 4 + 4 + 256);
+        // 1024 f32 = 4096 raw bytes -> 264 compressed, ~15.5x smaller.
         assert!((c.wire_bytes() as f64) < 4096.0 / 15.0);
+    }
+
+    #[test]
+    fn wire_byte_accounting_is_uniform_across_variants() {
+        // Every variant pays the same 4-byte length header; the pinned
+        // totals below are the contract the traffic counters rely on.
+        let n = 64usize;
+        assert_eq!(Compressed::Raw(vec![0.0; n]).wire_bytes(), 4 + 4 * n); // 260
+        let packed = vec![0u8; n.div_ceil(4)];
+        assert_eq!(
+            Compressed::TwoBit {
+                threshold: 0.5,
+                packed: packed.clone(),
+                len: n
+            }
+            .wire_bytes(),
+            4 + 4 + 16 // 24
+        );
+        assert_eq!(
+            Compressed::Tern {
+                scale: 1.0,
+                packed,
+                len: n
+            }
+            .wire_bytes(),
+            4 + 4 + 16 // 24
+        );
+        assert_eq!(
+            Compressed::OneBit {
+                scale: 1.0,
+                signs: vec![0u8; n.div_ceil(8)],
+                len: n
+            }
+            .wire_bytes(),
+            4 + 4 + 8 // 16
+        );
+        // levels = 4 -> 9 symbols -> 4 bits/code.
+        assert_eq!(
+            Compressed::Qsgd {
+                norm: 1.0,
+                levels: 4,
+                codes: vec![0i8; n],
+                len: n
+            }
+            .wire_bytes(),
+            4 + 4 + 1 + 32 // 41
+        );
+        assert_eq!(
+            Compressed::TopK {
+                indices: vec![0, 1],
+                values: vec![1.0, 2.0],
+                len: n
+            }
+            .wire_bytes(),
+            4 + 16 // 20
+        );
+    }
+
+    #[test]
+    fn recycle_feeds_the_pool() {
+        let pool = BufferPool::new();
+        Compressed::Raw(vec![1.0; 8]).recycle(&pool);
+        Compressed::TwoBit {
+            threshold: 0.5,
+            packed: vec![0; 2],
+            len: 8,
+        }
+        .recycle(&pool);
+        Compressed::Qsgd {
+            norm: 1.0,
+            levels: 4,
+            codes: vec![0; 8],
+            len: 8,
+        }
+        .recycle(&pool);
+        Compressed::TopK {
+            indices: vec![0],
+            values: vec![1.0],
+            len: 8,
+        }
+        .recycle(&pool);
+        // Two f32 buffers were returned (Raw payload and TopK values).
+        let caps = [pool.take_f32().capacity(), pool.take_f32().capacity()];
+        assert!(caps.iter().any(|&c| c >= 8), "caps {caps:?}");
+        assert!(caps.iter().all(|&c| c >= 1), "caps {caps:?}");
+        assert!(pool.take_bytes().capacity() >= 2);
+        assert!(pool.take_i8().capacity() >= 8);
+        assert!(pool.take_u32().capacity() >= 1);
     }
 
     #[test]
     fn decompress_two_bit_symbols() {
         let packed = pack_2bit(&[1, 2, 0, 1]);
-        let c = Compressed::TwoBit { threshold: 0.25, packed, len: 4 };
+        let c = Compressed::TwoBit {
+            threshold: 0.25,
+            packed,
+            len: 4,
+        };
         let mut out = vec![9.0; 4];
         decompress(&c, &mut out);
         assert_eq!(out, vec![0.25, -0.25, 0.0, 0.25]);
@@ -162,7 +318,11 @@ mod tests {
     #[test]
     fn decompress_add_accumulates() {
         let packed = pack_2bit(&[1, 1]);
-        let c = Compressed::TwoBit { threshold: 1.0, packed, len: 2 };
+        let c = Compressed::TwoBit {
+            threshold: 1.0,
+            packed,
+            len: 2,
+        };
         let mut out = vec![0.5, -0.5];
         decompress_add(&c, &mut out);
         assert_eq!(out, vec![1.5, 0.5]);
@@ -171,7 +331,11 @@ mod tests {
     #[test]
     fn decompress_one_bit() {
         let signs = pack_1bit(&[true, false, true]);
-        let c = Compressed::OneBit { scale: 2.0, signs, len: 3 };
+        let c = Compressed::OneBit {
+            scale: 2.0,
+            signs,
+            len: 3,
+        };
         let mut out = vec![0.0; 3];
         decompress(&c, &mut out);
         assert_eq!(out, vec![2.0, -2.0, 2.0]);
@@ -179,7 +343,12 @@ mod tests {
 
     #[test]
     fn decompress_qsgd_codes() {
-        let c = Compressed::Qsgd { norm: 4.0, levels: 4, codes: vec![4, -2, 0], len: 3 };
+        let c = Compressed::Qsgd {
+            norm: 4.0,
+            levels: 4,
+            codes: vec![4, -2, 0],
+            len: 3,
+        };
         let mut out = vec![0.0; 3];
         decompress(&c, &mut out);
         assert_eq!(out, vec![4.0, -2.0, 0.0]);
@@ -187,11 +356,15 @@ mod tests {
 
     #[test]
     fn decompress_topk_scatter() {
-        let c = Compressed::TopK { indices: vec![3, 0], values: vec![1.5, -2.5], len: 5 };
+        let c = Compressed::TopK {
+            indices: vec![3, 0],
+            values: vec![1.5, -2.5],
+            len: 5,
+        };
         let mut out = vec![0.0; 5];
         decompress(&c, &mut out);
         assert_eq!(out, vec![-2.5, 0.0, 0.0, 1.5, 0.0]);
-        assert_eq!(c.wire_bytes(), 16);
+        assert_eq!(c.wire_bytes(), 4 + 16);
     }
 
     #[test]

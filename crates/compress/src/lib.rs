@@ -34,6 +34,7 @@ mod adaptive;
 mod compressed;
 mod onebit;
 mod packing;
+mod pool;
 mod qsgd;
 mod residual;
 mod terngrad;
@@ -43,7 +44,8 @@ mod twobit;
 pub use adaptive::AdaptiveTwoBit;
 pub use compressed::{decompress, decompress_add, Compressed};
 pub use onebit::OneBitQuantizer;
-pub use packing::{pack_1bit, pack_2bit, unpack_1bit, unpack_2bit};
+pub use packing::{pack_1bit, pack_1bit_into, pack_2bit, pack_2bit_into, unpack_1bit, unpack_2bit};
+pub use pool::BufferPool;
 pub use qsgd::QsgdQuantizer;
 pub use residual::ResidualStore;
 pub use terngrad::TernGradQuantizer;
@@ -59,6 +61,17 @@ pub trait GradientCompressor: Send {
     /// Compress one gradient tensor, updating any internal residual state
     /// for `key`.
     fn compress(&mut self, key: usize, grad: &[f32]) -> Compressed;
+
+    /// Like [`GradientCompressor::compress`], but drawing the payload's
+    /// backing storage from `pool` instead of allocating, so steady-state
+    /// iteration loops run allocation-free. Must produce a payload equal
+    /// to what `compress` would for the same state and input (the codecs'
+    /// encode math is shared between the two paths). The default
+    /// implementation ignores the pool and delegates to `compress`.
+    fn compress_into(&mut self, key: usize, grad: &[f32], pool: &BufferPool) -> Compressed {
+        let _ = pool;
+        self.compress(key, grad)
+    }
 
     /// Human-readable codec name (used in benchmark tables).
     fn name(&self) -> &'static str;
@@ -86,12 +99,18 @@ impl GradientCompressor for NoCompression {
         Compressed::Raw(grad.to_vec())
     }
 
+    fn compress_into(&mut self, _key: usize, grad: &[f32], pool: &BufferPool) -> Compressed {
+        let mut v = pool.take_f32();
+        v.extend_from_slice(grad);
+        Compressed::Raw(v)
+    }
+
     fn name(&self) -> &'static str {
         "raw"
     }
 
     fn wire_bytes(&self, n: usize) -> usize {
-        4 * n
+        4 + 4 * n
     }
 }
 
@@ -107,7 +126,9 @@ mod tests {
         let mut out = vec![0.0; 3];
         decompress(&comp, &mut out);
         assert_eq!(out, grad);
-        assert_eq!(c.wire_bytes(3), 12);
-        assert_eq!(c.compression_ratio(3), 1.0);
+        // 4-byte length header + 3 f32s; the header makes "raw" slightly
+        // larger than the bare tensor bytes.
+        assert_eq!(c.wire_bytes(3), 4 + 12);
+        assert_eq!(c.compression_ratio(3), 16.0 / 12.0);
     }
 }

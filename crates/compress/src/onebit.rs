@@ -3,7 +3,8 @@
 //! cites (§1, [26]).
 
 use crate::compressed::Compressed;
-use crate::packing::pack_1bit;
+use crate::packing::{pack_1bit, pack_1bit_into};
+use crate::pool::BufferPool;
 use crate::residual::ResidualStore;
 use crate::GradientCompressor;
 
@@ -14,6 +15,9 @@ use crate::GradientCompressor;
 #[derive(Debug, Clone, Default)]
 pub struct OneBitQuantizer {
     residuals: ResidualStore,
+    /// Reused encode scratch (corrected gradient and sign stream).
+    corrected: Vec<f32>,
+    bits: Vec<bool>,
 }
 
 impl OneBitQuantizer {
@@ -26,23 +30,48 @@ impl OneBitQuantizer {
     pub fn residuals(&self) -> &ResidualStore {
         &self.residuals
     }
+
+    /// Quantize `grad + residual` into `self.bits`, updating the residual
+    /// state; returns the scale. Shared by both compress paths.
+    fn encode_bits(&mut self, key: usize, grad: &[f32]) -> f32 {
+        let res = self.residuals.get_mut(key, grad.len());
+        self.corrected.clear();
+        self.corrected
+            .extend(grad.iter().zip(res.iter()).map(|(&g, &r)| g + r));
+        let scale = if self.corrected.is_empty() {
+            0.0
+        } else {
+            self.corrected.iter().map(|x| x.abs()).sum::<f32>() / self.corrected.len() as f32
+        };
+        self.bits.clear();
+        self.bits.extend(self.corrected.iter().map(|&x| x >= 0.0));
+        for ((r, &x), &b) in res.iter_mut().zip(&self.corrected).zip(&self.bits) {
+            let q = if b { scale } else { -scale };
+            *r = x - q;
+        }
+        scale
+    }
 }
 
 impl GradientCompressor for OneBitQuantizer {
     fn compress(&mut self, key: usize, grad: &[f32]) -> Compressed {
-        let res = self.residuals.get_mut(key, grad.len());
-        let corrected: Vec<f32> = grad.iter().zip(res.iter()).map(|(&g, &r)| g + r).collect();
-        let scale = if corrected.is_empty() {
-            0.0
-        } else {
-            corrected.iter().map(|x| x.abs()).sum::<f32>() / corrected.len() as f32
-        };
-        let bits: Vec<bool> = corrected.iter().map(|&x| x >= 0.0).collect();
-        for ((r, &x), &b) in res.iter_mut().zip(&corrected).zip(&bits) {
-            let q = if b { scale } else { -scale };
-            *r = x - q;
+        let scale = self.encode_bits(key, grad);
+        Compressed::OneBit {
+            scale,
+            signs: pack_1bit(&self.bits),
+            len: grad.len(),
         }
-        Compressed::OneBit { scale, signs: pack_1bit(&bits), len: grad.len() }
+    }
+
+    fn compress_into(&mut self, key: usize, grad: &[f32], pool: &BufferPool) -> Compressed {
+        let scale = self.encode_bits(key, grad);
+        let mut signs = pool.take_bytes();
+        pack_1bit_into(&self.bits, &mut signs);
+        Compressed::OneBit {
+            scale,
+            signs,
+            len: grad.len(),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -50,7 +79,7 @@ impl GradientCompressor for OneBitQuantizer {
     }
 
     fn wire_bytes(&self, n: usize) -> usize {
-        4 + n.div_ceil(8)
+        4 + 4 + n.div_ceil(8)
     }
 }
 
@@ -96,7 +125,7 @@ mod tests {
     #[test]
     fn thirty_two_x_wire_reduction() {
         let q = OneBitQuantizer::new();
-        assert_eq!(q.wire_bytes(800), 4 + 100);
+        assert_eq!(q.wire_bytes(800), 8 + 100);
         assert!(q.compression_ratio(1 << 20) < 1.0 / 30.0);
     }
 

@@ -12,12 +12,20 @@ pub type Sym2 = u8;
 /// Pack a slice of 2-bit symbols (values 0..=3) into bytes, 4 per byte,
 /// little-end first (symbol `i` occupies bits `2*(i%4) .. 2*(i%4)+2`).
 pub fn pack_2bit(symbols: &[Sym2]) -> Vec<u8> {
-    let mut out = vec![0u8; symbols.len().div_ceil(4)];
+    let mut out = Vec::new();
+    pack_2bit_into(symbols, &mut out);
+    out
+}
+
+/// [`pack_2bit`] into a caller-provided buffer (cleared first), so hot
+/// paths can recycle the output storage instead of allocating per call.
+pub fn pack_2bit_into(symbols: &[Sym2], out: &mut Vec<u8>) {
+    out.clear();
+    out.resize(symbols.len().div_ceil(4), 0);
     for (i, &s) in symbols.iter().enumerate() {
         debug_assert!(s < 4, "2-bit symbol out of range");
         out[i / 4] |= (s & 0b11) << (2 * (i % 4));
     }
-    out
 }
 
 /// Unpack `n` 2-bit symbols from a byte stream produced by [`pack_2bit`].
@@ -25,19 +33,32 @@ pub fn pack_2bit(symbols: &[Sym2]) -> Vec<u8> {
 /// # Panics
 /// Panics if `bytes` is too short for `n` symbols.
 pub fn unpack_2bit(bytes: &[u8], n: usize) -> Vec<Sym2> {
-    assert!(bytes.len() * 4 >= n, "byte stream too short: {} bytes for {n} symbols", bytes.len());
-    (0..n).map(|i| (bytes[i / 4] >> (2 * (i % 4))) & 0b11).collect()
+    assert!(
+        bytes.len() * 4 >= n,
+        "byte stream too short: {} bytes for {n} symbols",
+        bytes.len()
+    );
+    (0..n)
+        .map(|i| (bytes[i / 4] >> (2 * (i % 4))) & 0b11)
+        .collect()
 }
 
 /// Pack a slice of booleans into bytes, 8 per byte, little-end first.
 pub fn pack_1bit(bits: &[bool]) -> Vec<u8> {
-    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    let mut out = Vec::new();
+    pack_1bit_into(bits, &mut out);
+    out
+}
+
+/// [`pack_1bit`] into a caller-provided buffer (cleared first).
+pub fn pack_1bit_into(bits: &[bool], out: &mut Vec<u8>) {
+    out.clear();
+    out.resize(bits.len().div_ceil(8), 0);
     for (i, &b) in bits.iter().enumerate() {
         if b {
             out[i / 8] |= 1 << (i % 8);
         }
     }
-    out
 }
 
 /// Unpack `n` booleans from a byte stream produced by [`pack_1bit`].
@@ -45,7 +66,11 @@ pub fn pack_1bit(bits: &[bool]) -> Vec<u8> {
 /// # Panics
 /// Panics if `bytes` is too short for `n` bits.
 pub fn unpack_1bit(bytes: &[u8], n: usize) -> Vec<bool> {
-    assert!(bytes.len() * 8 >= n, "byte stream too short: {} bytes for {n} bits", bytes.len());
+    assert!(
+        bytes.len() * 8 >= n,
+        "byte stream too short: {} bytes for {n} bits",
+        bytes.len()
+    );
     (0..n).map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1).collect()
 }
 

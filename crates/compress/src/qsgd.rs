@@ -2,6 +2,7 @@
 //! the gradient's L2 norm.
 
 use crate::compressed::Compressed;
+use crate::pool::BufferPool;
 use crate::GradientCompressor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,20 +26,24 @@ impl QsgdQuantizer {
     /// Panics if `levels == 0`.
     pub fn new(levels: u8, seed: u64) -> Self {
         assert!(levels > 0, "need at least one quantization level");
-        Self { levels, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            levels,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The number of levels `s`.
     pub fn levels(&self) -> u8 {
         self.levels
     }
-}
 
-impl GradientCompressor for QsgdQuantizer {
-    fn compress(&mut self, _key: usize, grad: &[f32]) -> Compressed {
+    /// Quantize `grad` into `codes` (cleared and refilled); returns the
+    /// L2 norm. Shared by both compress paths (identical RNG draws).
+    fn encode_codes(&mut self, grad: &[f32], codes: &mut Vec<i8>) -> f32 {
         let norm = grad.iter().map(|x| x * x).sum::<f32>().sqrt();
         let l = self.levels as f32;
-        let mut codes = vec![0i8; grad.len()];
+        codes.clear();
+        codes.resize(grad.len(), 0);
         if norm > 0.0 {
             for (c, &g) in codes.iter_mut().zip(grad) {
                 let u = g.abs() / norm * l; // in [0, L]
@@ -49,7 +54,31 @@ impl GradientCompressor for QsgdQuantizer {
                 *c = signed.clamp(-127.0, 127.0) as i8;
             }
         }
-        Compressed::Qsgd { norm, levels: self.levels, codes, len: grad.len() }
+        norm
+    }
+}
+
+impl GradientCompressor for QsgdQuantizer {
+    fn compress(&mut self, _key: usize, grad: &[f32]) -> Compressed {
+        let mut codes = Vec::new();
+        let norm = self.encode_codes(grad, &mut codes);
+        Compressed::Qsgd {
+            norm,
+            levels: self.levels,
+            codes,
+            len: grad.len(),
+        }
+    }
+
+    fn compress_into(&mut self, _key: usize, grad: &[f32], pool: &BufferPool) -> Compressed {
+        let mut codes = pool.take_i8();
+        let norm = self.encode_codes(grad, &mut codes);
+        Compressed::Qsgd {
+            norm,
+            levels: self.levels,
+            codes,
+            len: grad.len(),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -57,8 +86,10 @@ impl GradientCompressor for QsgdQuantizer {
     }
 
     fn wire_bytes(&self, n: usize) -> usize {
-        let bits = (2 * self.levels as usize + 1).next_power_of_two().trailing_zeros() as usize;
-        4 + 1 + (n * bits).div_ceil(8)
+        let bits = (2 * self.levels as usize + 1)
+            .next_power_of_two()
+            .trailing_zeros() as usize;
+        4 + 4 + 1 + (n * bits).div_ceil(8)
     }
 }
 
@@ -112,7 +143,7 @@ mod tests {
         let q4 = QsgdQuantizer::new(4, 0); // 9 symbols -> 4 bits
         let q64 = QsgdQuantizer::new(64, 0); // 129 symbols -> 8 bits
         assert!(q4.wire_bytes(1024) < q64.wire_bytes(1024));
-        assert_eq!(q4.wire_bytes(1024), 4 + 1 + 512);
+        assert_eq!(q4.wire_bytes(1024), 8 + 1 + 512);
     }
 
     #[test]

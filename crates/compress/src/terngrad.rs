@@ -1,7 +1,8 @@
 //! TernGrad (Wen et al. 2017): unbiased stochastic ternarization.
 
 use crate::compressed::Compressed;
-use crate::packing::pack_2bit;
+use crate::packing::{pack_2bit, pack_2bit_into};
+use crate::pool::BufferPool;
 use crate::GradientCompressor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -16,28 +17,56 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct TernGradQuantizer {
     rng: StdRng,
+    /// Reused symbol scratch so the encode path stays allocation-free.
+    symbols: Vec<u8>,
 }
 
 impl TernGradQuantizer {
     /// New quantizer with a deterministic seed for its Bernoulli draws.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            symbols: Vec::new(),
+        }
     }
-}
 
-impl GradientCompressor for TernGradQuantizer {
-    fn compress(&mut self, _key: usize, grad: &[f32]) -> Compressed {
+    /// Ternarize `grad` into `self.symbols`; returns the scale `s_max`.
+    /// Shared by both compress paths (identical RNG draw sequence).
+    fn encode_symbols(&mut self, grad: &[f32]) -> f32 {
         let s_max = grad.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
-        let mut symbols = vec![0u8; grad.len()];
+        self.symbols.clear();
+        self.symbols.resize(grad.len(), 0);
         if s_max > 0.0 {
-            for (s, &g) in symbols.iter_mut().zip(grad) {
+            for (s, &g) in self.symbols.iter_mut().zip(grad) {
                 let p = g.abs() / s_max;
                 if self.rng.gen::<f32>() < p {
                     *s = if g >= 0.0 { 1 } else { 2 };
                 }
             }
         }
-        Compressed::Tern { scale: s_max, packed: pack_2bit(&symbols), len: grad.len() }
+        s_max
+    }
+}
+
+impl GradientCompressor for TernGradQuantizer {
+    fn compress(&mut self, _key: usize, grad: &[f32]) -> Compressed {
+        let s_max = self.encode_symbols(grad);
+        Compressed::Tern {
+            scale: s_max,
+            packed: pack_2bit(&self.symbols),
+            len: grad.len(),
+        }
+    }
+
+    fn compress_into(&mut self, _key: usize, grad: &[f32], pool: &BufferPool) -> Compressed {
+        let s_max = self.encode_symbols(grad);
+        let mut packed = pool.take_bytes();
+        pack_2bit_into(&self.symbols, &mut packed);
+        Compressed::Tern {
+            scale: s_max,
+            packed,
+            len: grad.len(),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -45,7 +74,7 @@ impl GradientCompressor for TernGradQuantizer {
     }
 
     fn wire_bytes(&self, n: usize) -> usize {
-        4 + n.div_ceil(4)
+        4 + 4 + n.div_ceil(4)
     }
 }
 
@@ -67,7 +96,10 @@ mod tests {
         let c = q.compress(0, &grad);
         let s_max = 0.9;
         for v in decode(&c) {
-            assert!(v == 0.0 || (v - s_max).abs() < 1e-6 || (v + s_max).abs() < 1e-6, "{v}");
+            assert!(
+                v == 0.0 || (v - s_max).abs() < 1e-6 || (v + s_max).abs() < 1e-6,
+                "{v}"
+            );
         }
     }
 
@@ -78,7 +110,10 @@ mod tests {
         for _ in 0..20 {
             let c = q.compress(0, &[0.1, -1.0, 0.2]);
             let d = decode(&c);
-            assert!((d[1] + 1.0).abs() < 1e-6, "max element must fire, got {d:?}");
+            assert!(
+                (d[1] + 1.0).abs() < 1e-6,
+                "max element must fire, got {d:?}"
+            );
         }
     }
 

@@ -3,6 +3,7 @@
 //! CD-SGD against (LAGS-SGD/OMGS-SGD baselines).
 
 use crate::compressed::Compressed;
+use crate::pool::BufferPool;
 use crate::residual::ResidualStore;
 use crate::GradientCompressor;
 
@@ -22,6 +23,9 @@ pub struct TopKSparsifier {
     residuals: ResidualStore,
     /// Momentum buffers `u` (only used when `momentum > 0`).
     momenta: ResidualStore,
+    /// Reused encode scratch (residual-corrected gradient; momentum copy).
+    corrected: Vec<f32>,
+    u_now: Vec<f32>,
 }
 
 impl TopKSparsifier {
@@ -31,8 +35,18 @@ impl TopKSparsifier {
     /// # Panics
     /// Panics unless `0 < ratio <= 1`.
     pub fn new(ratio: f64) -> Self {
-        assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1], got {ratio}");
-        Self { ratio, momentum: 0.0, residuals: ResidualStore::new(), momenta: ResidualStore::new() }
+        assert!(
+            ratio > 0.0 && ratio <= 1.0,
+            "ratio must be in (0, 1], got {ratio}"
+        );
+        Self {
+            ratio,
+            momentum: 0.0,
+            residuals: ResidualStore::new(),
+            momenta: ResidualStore::new(),
+            corrected: Vec::new(),
+            u_now: Vec::new(),
+        }
     }
 
     /// Enable DGC momentum correction with factor `m` (e.g. 0.9).
@@ -40,7 +54,10 @@ impl TopKSparsifier {
     /// # Panics
     /// Panics unless `0 <= m < 1`.
     pub fn with_momentum(mut self, m: f32) -> Self {
-        assert!((0.0..1.0).contains(&m), "momentum must be in [0, 1), got {m}");
+        assert!(
+            (0.0..1.0).contains(&m),
+            "momentum must be in [0, 1), got {m}"
+        );
         self.momentum = m;
         self
     }
@@ -58,57 +75,89 @@ impl TopKSparsifier {
     pub fn residuals(&self) -> &ResidualStore {
         &self.residuals
     }
-}
 
-impl GradientCompressor for TopKSparsifier {
-    fn compress(&mut self, key: usize, grad: &[f32]) -> Compressed {
+    /// Select the top-k of `grad + residual` into `indices`/`values`
+    /// (cleared and refilled), updating residual/momentum state — the
+    /// math shared by both compress paths.
+    fn encode(&mut self, key: usize, grad: &[f32], indices: &mut Vec<u32>, values: &mut Vec<f32>) {
         let k = self.k_for(grad.len());
         // With momentum correction, the "gradient" folded into the
         // velocity (residual) buffer is the momentum-updated u.
-        let corrected: Vec<f32> = if self.momentum > 0.0 {
+        if self.momentum > 0.0 {
             let u = self.momenta.get_mut(key, grad.len());
             let m = self.momentum;
             for (ui, &gi) in u.iter_mut().zip(grad) {
                 *ui = m * *ui + gi;
             }
-            let u_now: Vec<f32> = u.to_vec();
+            self.u_now.clear();
+            self.u_now.extend_from_slice(u);
             let v = self.residuals.get_mut(key, grad.len());
-            v.iter().zip(&u_now).map(|(&vi, &ui)| vi + ui).collect()
+            self.corrected.clear();
+            self.corrected
+                .extend(v.iter().zip(&self.u_now).map(|(&vi, &ui)| vi + ui));
         } else {
             let res = self.residuals.get_mut(key, grad.len());
-            grad.iter().zip(res.iter()).map(|(&g, &r)| g + r).collect()
-        };
-        let res = self.residuals.get_mut(key, grad.len());
+            self.corrected.clear();
+            self.corrected
+                .extend(grad.iter().zip(res.iter()).map(|(&g, &r)| g + r));
+        }
 
         // Select the k largest-magnitude indices. select_nth keeps this
         // O(n) rather than a full sort.
-        let mut order: Vec<u32> = (0..corrected.len() as u32).collect();
-        if k < order.len() {
-            order.select_nth_unstable_by(k, |&a, &b| {
+        let corrected = &self.corrected;
+        indices.clear();
+        indices.extend(0..corrected.len() as u32);
+        if k < indices.len() {
+            indices.select_nth_unstable_by(k, |&a, &b| {
                 corrected[b as usize]
                     .abs()
                     .partial_cmp(&corrected[a as usize].abs())
                     .unwrap_or(std::cmp::Ordering::Equal)
             });
-            order.truncate(k);
+            indices.truncate(k);
         }
-        order.sort_unstable(); // deterministic wire order
+        indices.sort_unstable(); // deterministic wire order
 
-        let values: Vec<f32> = order.iter().map(|&i| corrected[i as usize]).collect();
+        values.clear();
+        values.extend(indices.iter().map(|&i| corrected[i as usize]));
         // Residual/velocity: transmitted slots reset to zero, others keep x.
-        res.copy_from_slice(&corrected);
-        for &i in &order {
+        let res = self.residuals.get_mut(key, grad.len());
+        res.copy_from_slice(&self.corrected);
+        for &i in indices.iter() {
             res[i as usize] = 0.0;
         }
         // DGC momentum-factor masking: kill the momentum of transmitted
         // slots so it cannot re-fire stale directions.
         if self.momentum > 0.0 {
             let u = self.momenta.get_mut(key, grad.len());
-            for &i in &order {
+            for &i in indices.iter() {
                 u[i as usize] = 0.0;
             }
         }
-        Compressed::TopK { indices: order, values, len: grad.len() }
+    }
+}
+
+impl GradientCompressor for TopKSparsifier {
+    fn compress(&mut self, key: usize, grad: &[f32]) -> Compressed {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        self.encode(key, grad, &mut indices, &mut values);
+        Compressed::TopK {
+            indices,
+            values,
+            len: grad.len(),
+        }
+    }
+
+    fn compress_into(&mut self, key: usize, grad: &[f32], pool: &BufferPool) -> Compressed {
+        let mut indices = pool.take_u32();
+        let mut values = pool.take_f32();
+        self.encode(key, grad, &mut indices, &mut values);
+        Compressed::TopK {
+            indices,
+            values,
+            len: grad.len(),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -116,7 +165,7 @@ impl GradientCompressor for TopKSparsifier {
     }
 
     fn wire_bytes(&self, n: usize) -> usize {
-        8 * self.k_for(n)
+        4 + 8 * self.k_for(n)
     }
 }
 
@@ -182,7 +231,7 @@ mod tests {
     #[test]
     fn wire_bytes_proportional_to_k() {
         let s = TopKSparsifier::new(0.01);
-        assert_eq!(s.wire_bytes(10_000), 8 * 100);
+        assert_eq!(s.wire_bytes(10_000), 4 + 8 * 100);
         // 0.1% DGC ratio => ~500x reduction.
         let dgc = TopKSparsifier::new(0.001);
         assert!(dgc.compression_ratio(1_000_000) < 1.0 / 400.0);

@@ -2,7 +2,8 @@
 //! accumulation — the compressor used by the paper's BIT-SGD and CD-SGD.
 
 use crate::compressed::Compressed;
-use crate::packing::pack_2bit;
+use crate::packing::{pack_2bit, pack_2bit_into};
+use crate::pool::BufferPool;
 use crate::residual::ResidualStore;
 use crate::GradientCompressor;
 
@@ -25,6 +26,8 @@ pub struct TwoBitQuantizer {
     threshold: f32,
     residuals: ResidualStore,
     use_residual: bool,
+    /// Reused symbol scratch so the encode path stays allocation-free.
+    symbols: Vec<u8>,
 }
 
 impl TwoBitQuantizer {
@@ -37,7 +40,12 @@ impl TwoBitQuantizer {
             threshold > 0.0 && threshold.is_finite(),
             "threshold must be positive and finite, got {threshold}"
         );
-        Self { threshold, residuals: ResidualStore::new(), use_residual: true }
+        Self {
+            threshold,
+            residuals: ResidualStore::new(),
+            use_residual: true,
+            symbols: Vec::new(),
+        }
     }
 
     /// Enable/disable the residual (error-feedback) buffer. Ablation knob.
@@ -55,15 +63,16 @@ impl TwoBitQuantizer {
     pub fn residuals(&self) -> &ResidualStore {
         &self.residuals
     }
-}
 
-impl GradientCompressor for TwoBitQuantizer {
-    fn compress(&mut self, key: usize, grad: &[f32]) -> Compressed {
+    /// Quantize `grad + residual` into `self.symbols`, updating the
+    /// residual state — the math shared by both compress paths.
+    fn encode_symbols(&mut self, key: usize, grad: &[f32]) {
         let thr = self.threshold;
-        let mut symbols = vec![0u8; grad.len()];
+        self.symbols.clear();
+        self.symbols.resize(grad.len(), 0);
         if self.use_residual {
             let res = self.residuals.get_mut(key, grad.len());
-            for ((s, &g), r) in symbols.iter_mut().zip(grad).zip(res.iter_mut()) {
+            for ((s, &g), r) in self.symbols.iter_mut().zip(grad).zip(res.iter_mut()) {
                 let x = g + *r;
                 let q = if x >= thr {
                     *s = 1;
@@ -77,7 +86,7 @@ impl GradientCompressor for TwoBitQuantizer {
                 *r = x - q;
             }
         } else {
-            for (s, &g) in symbols.iter_mut().zip(grad) {
+            for (s, &g) in self.symbols.iter_mut().zip(grad) {
                 if g >= thr {
                     *s = 1;
                 } else if g <= -thr {
@@ -85,7 +94,28 @@ impl GradientCompressor for TwoBitQuantizer {
                 }
             }
         }
-        Compressed::TwoBit { threshold: thr, packed: pack_2bit(&symbols), len: grad.len() }
+    }
+}
+
+impl GradientCompressor for TwoBitQuantizer {
+    fn compress(&mut self, key: usize, grad: &[f32]) -> Compressed {
+        self.encode_symbols(key, grad);
+        Compressed::TwoBit {
+            threshold: self.threshold,
+            packed: pack_2bit(&self.symbols),
+            len: grad.len(),
+        }
+    }
+
+    fn compress_into(&mut self, key: usize, grad: &[f32], pool: &BufferPool) -> Compressed {
+        self.encode_symbols(key, grad);
+        let mut packed = pool.take_bytes();
+        pack_2bit_into(&self.symbols, &mut packed);
+        Compressed::TwoBit {
+            threshold: self.threshold,
+            packed,
+            len: grad.len(),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -93,7 +123,7 @@ impl GradientCompressor for TwoBitQuantizer {
     }
 
     fn wire_bytes(&self, n: usize) -> usize {
-        4 + n.div_ceil(4)
+        4 + 4 + n.div_ceil(4)
     }
 }
 
@@ -174,8 +204,8 @@ mod tests {
     #[test]
     fn wire_bytes_sixteen_x_reduction() {
         let q = TwoBitQuantizer::new(0.5);
-        // 1M elements: 4 MB raw -> ~0.25 MB + header.
-        assert_eq!(q.wire_bytes(1_000_000), 4 + 250_000);
+        // 1M elements: 4 MB raw -> ~0.25 MB + headers.
+        assert_eq!(q.wire_bytes(1_000_000), 8 + 250_000);
         assert!(q.compression_ratio(1_000_000) < 1.0 / 15.0);
     }
 
@@ -190,6 +220,6 @@ mod tests {
         let mut q = TwoBitQuantizer::new(0.5);
         let c = q.compress(0, &[]);
         assert_eq!(c.len(), 0);
-        assert_eq!(c.wire_bytes(), 4);
+        assert_eq!(c.wire_bytes(), 8);
     }
 }

@@ -3,8 +3,9 @@
 //! arbitrary gradient streams.
 
 use cdsgd_compress::{
-    decompress, pack_1bit, pack_2bit, unpack_1bit, unpack_2bit, Compressed, GradientCompressor,
-    OneBitQuantizer, QsgdQuantizer, TernGradQuantizer, TopKSparsifier, TwoBitQuantizer,
+    decompress, decompress_add, pack_1bit, pack_2bit, unpack_1bit, unpack_2bit, AdaptiveTwoBit,
+    BufferPool, Compressed, GradientCompressor, NoCompression, OneBitQuantizer, QsgdQuantizer,
+    TernGradQuantizer, TopKSparsifier, TwoBitQuantizer,
 };
 use proptest::prelude::*;
 
@@ -150,6 +151,53 @@ proptest! {
         let norm = g.iter().map(|x| x * x).sum::<f32>().sqrt();
         for v in decode(&q.compress(0, &g)) {
             prop_assert!(v.abs() <= norm * (1.0 + 1e-5) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn compress_into_is_bit_identical_and_recycle_safe(stream in grads(12, 8)) {
+        // For every codec: the pooled path (compress_into, payloads
+        // recycled between rounds through a pre-dirtied pool) produces
+        // payloads identical to the allocating path, and decompress_add
+        // over those recycled-buffer payloads matches decompress-then-add
+        // bit for bit. This is the "not one ULP" contract the server's
+        // buffer reuse relies on.
+        let pairs: Vec<(Box<dyn GradientCompressor>, Box<dyn GradientCompressor>)> = vec![
+            (Box::new(NoCompression), Box::new(NoCompression)),
+            (Box::new(TwoBitQuantizer::new(0.5)), Box::new(TwoBitQuantizer::new(0.5))),
+            (Box::new(AdaptiveTwoBit::new(1.0)), Box::new(AdaptiveTwoBit::new(1.0))),
+            (Box::new(OneBitQuantizer::new()), Box::new(OneBitQuantizer::new())),
+            (Box::new(TernGradQuantizer::new(7)), Box::new(TernGradQuantizer::new(7))),
+            (Box::new(QsgdQuantizer::new(4, 7)), Box::new(QsgdQuantizer::new(4, 7))),
+            (Box::new(TopKSparsifier::new(0.3)), Box::new(TopKSparsifier::new(0.3))),
+            (
+                Box::new(TopKSparsifier::new(0.3).with_momentum(0.9)),
+                Box::new(TopKSparsifier::new(0.3).with_momentum(0.9)),
+            ),
+        ];
+        for (mut plain, mut pooled) in pairs {
+            let pool = BufferPool::new();
+            // Dirty the free lists so compress_into must fully overwrite
+            // whatever storage it is handed.
+            pool.put_f32(vec![13.37; 5]);
+            pool.put_bytes(vec![0xAB; 37]);
+            pool.put_i8(vec![-77; 11]);
+            pool.put_u32(vec![u32::MAX; 3]);
+            let n = 12;
+            let mut acc_ref = vec![0.25f32; n];
+            let mut acc_pooled = acc_ref.clone();
+            for g in &stream {
+                let a = plain.compress(0, g);
+                let b = pooled.compress_into(0, g, &pool);
+                prop_assert_eq!(&a, &b, "codec {}", plain.name());
+                let mut tmp = vec![0.0f32; n];
+                decompress(&a, &mut tmp);
+                for (acc, t) in acc_ref.iter_mut().zip(&tmp) { *acc += t; }
+                decompress_add(&b, &mut acc_pooled);
+                b.recycle(&pool);
+            }
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(bits(&acc_ref), bits(&acc_pooled), "codec {}", plain.name());
         }
     }
 

@@ -26,7 +26,11 @@ pub const FORMAT: &str = "cdsgd-checkpoint-v1";
 impl Checkpoint {
     /// Wrap weights in an envelope.
     pub fn new(algo: impl Into<String>, weights: Vec<Vec<f32>>) -> Self {
-        Self { format: FORMAT.into(), algo: algo.into(), weights }
+        Self {
+            format: FORMAT.into(),
+            algo: algo.into(),
+            weights,
+        }
     }
 
     /// Capture a model's current parameters.

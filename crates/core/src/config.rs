@@ -133,7 +133,13 @@ impl Algorithm {
     /// CD-SGD with an arbitrary codec (the paper's future-work extension).
     pub fn cd_sgd_with(local_lr: f32, codec: Codec, k: usize, warmup: usize) -> Self {
         assert!(k >= 1, "k must be at least 1");
-        Algorithm::CdSgd { local_lr, codec, k, warmup, dc_lambda: 0.0 }
+        Algorithm::CdSgd {
+            local_lr,
+            codec,
+            k,
+            warmup,
+            dc_lambda: 0.0,
+        }
     }
 
     /// Add DC-ASGD-style delay compensation to a CD-SGD configuration

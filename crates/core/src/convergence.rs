@@ -38,7 +38,12 @@ impl LogisticProblem {
             ys.push(if rng.unit_f32() < p { 1.0 } else { 0.0 });
             xs.push(x);
         }
-        Self { xs, ys, dim, l2: 1e-3 }
+        Self {
+            xs,
+            ys,
+            dim,
+            l2: 1e-3,
+        }
     }
 
     /// Dataset size.
@@ -62,7 +67,11 @@ impl LogisticProblem {
         for (x, &y) in self.xs.iter().zip(&self.ys) {
             let z: f32 = x.iter().zip(w).map(|(a, b)| a * b).sum();
             // Numerically stable log(1 + e^z) − y·z.
-            let log1pe = if z > 0.0 { z + (-z).exp().ln_1p() } else { z.exp().ln_1p() };
+            let log1pe = if z > 0.0 {
+                z + (-z).exp().ln_1p()
+            } else {
+                z.exp().ln_1p()
+            };
             total += (log1pe - y * z) as f64;
         }
         total / self.len() as f64
@@ -134,8 +143,9 @@ pub fn cd_sgd_suboptimality(
     let mut w_global = vec![0.0f32; d];
     // Per-worker local weights and quantizers.
     let mut w_loc = vec![vec![0.0f32; d]; n_workers];
-    let mut quant: Vec<TwoBitQuantizer> =
-        (0..n_workers).map(|_| TwoBitQuantizer::new(threshold)).collect();
+    let mut quant: Vec<TwoBitQuantizer> = (0..n_workers)
+        .map(|_| TwoBitQuantizer::new(threshold))
+        .collect();
     let mut w_avg = vec![0.0f64; d];
 
     let mut grad = vec![0.0f32; d];
@@ -173,7 +183,10 @@ pub fn cd_sgd_suboptimality(
         }
     }
     let w_bar: Vec<f32> = w_avg.iter().map(|&v| (v / big_k as f64) as f32).collect();
-    RatePoint { k_iters: big_k, suboptimality: (problem.loss(&w_bar) - opt_loss).max(0.0) }
+    RatePoint {
+        k_iters: big_k,
+        suboptimality: (problem.loss(&w_bar) - opt_loss).max(0.0),
+    }
 }
 
 /// The full Theorem-2 experiment: suboptimality at several K.

@@ -46,18 +46,30 @@ impl LrSchedule {
     pub fn at(&self, epoch: usize) -> f32 {
         match self {
             LrSchedule::Constant { lr } => *lr,
-            LrSchedule::MultiStep { base, gamma, milestones } => {
+            LrSchedule::MultiStep {
+                base,
+                gamma,
+                milestones,
+            } => {
                 let hits = milestones.iter().filter(|&&m| epoch >= m).count() as i32;
                 base * gamma.powi(hits)
             }
-            LrSchedule::Cosine { base, min_lr, total_epochs } => {
+            LrSchedule::Cosine {
+                base,
+                min_lr,
+                total_epochs,
+            } => {
                 if *total_epochs == 0 || epoch >= *total_epochs {
                     return *min_lr;
                 }
                 let t = epoch as f32 / *total_epochs as f32;
                 min_lr + 0.5 * (base - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
             }
-            LrSchedule::Warmup { start, base, warmup_epochs } => {
+            LrSchedule::Warmup {
+                start,
+                base,
+                warmup_epochs,
+            } => {
                 if *warmup_epochs == 0 || epoch >= *warmup_epochs {
                     *base
                 } else {
@@ -115,12 +127,19 @@ mod tests {
         assert!((s.at(60) - 0.004).abs() < 1e-7);
         assert!((s.at(80) - 0.0004).abs() < 1e-7);
         let pts = s.change_points(90);
-        assert_eq!(pts.iter().map(|p| p.0).collect::<Vec<_>>(), vec![0, 30, 60, 80]);
+        assert_eq!(
+            pts.iter().map(|p| p.0).collect::<Vec<_>>(),
+            vec![0, 30, 60, 80]
+        );
     }
 
     #[test]
     fn cosine_endpoints_and_midpoint() {
-        let s = LrSchedule::Cosine { base: 1.0, min_lr: 0.0, total_epochs: 100 };
+        let s = LrSchedule::Cosine {
+            base: 1.0,
+            min_lr: 0.0,
+            total_epochs: 100,
+        };
         assert!((s.at(0) - 1.0).abs() < 1e-6);
         assert!((s.at(50) - 0.5).abs() < 1e-6);
         assert!(s.at(99) < 0.01);
@@ -134,7 +153,11 @@ mod tests {
 
     #[test]
     fn warmup_ramps_linearly_then_holds() {
-        let s = LrSchedule::Warmup { start: 0.01, base: 0.4, warmup_epochs: 5 };
+        let s = LrSchedule::Warmup {
+            start: 0.01,
+            base: 0.4,
+            warmup_epochs: 5,
+        };
         assert!((s.at(0) - 0.01).abs() < 1e-7);
         let mid = s.at(2);
         assert!(mid > 0.01 && mid < 0.4);
@@ -144,13 +167,33 @@ mod tests {
 
     #[test]
     fn degenerate_horizons_are_safe() {
-        assert_eq!(LrSchedule::Cosine { base: 1.0, min_lr: 0.1, total_epochs: 0 }.at(0), 0.1);
-        assert_eq!(LrSchedule::Warmup { start: 0.0, base: 0.3, warmup_epochs: 0 }.at(0), 0.3);
+        assert_eq!(
+            LrSchedule::Cosine {
+                base: 1.0,
+                min_lr: 0.1,
+                total_epochs: 0
+            }
+            .at(0),
+            0.1
+        );
+        assert_eq!(
+            LrSchedule::Warmup {
+                start: 0.0,
+                base: 0.3,
+                warmup_epochs: 0
+            }
+            .at(0),
+            0.3
+        );
     }
 
     #[test]
     fn change_points_reconstruct_the_schedule() {
-        let s = LrSchedule::MultiStep { base: 0.2, gamma: 0.5, milestones: vec![2, 4] };
+        let s = LrSchedule::MultiStep {
+            base: 0.2,
+            gamma: 0.5,
+            milestones: vec![2, 4],
+        };
         let pts = s.change_points(6);
         // Reconstruct and compare.
         for e in 0..6 {

@@ -47,9 +47,10 @@ impl TrainingHistory {
     /// Best test accuracy over the run (the paper reports "convergence
     /// accuracy" as the best achieved top-1).
     pub fn best_test_acc(&self) -> Option<f32> {
-        self.epochs.iter().filter_map(|e| e.test_acc).fold(None, |best, a| {
-            Some(best.map_or(a, |b: f32| b.max(a)))
-        })
+        self.epochs
+            .iter()
+            .filter_map(|e| e.test_acc)
+            .fold(None, |best, a| Some(best.map_or(a, |b: f32| b.max(a))))
     }
 
     /// Training loss after the final epoch.

@@ -71,7 +71,10 @@ pub struct Profiler {
 impl Profiler {
     /// Start the clock.
     pub fn new() -> Self {
-        Self { t0: Instant::now(), events: Arc::new(Mutex::new(Vec::new())) }
+        Self {
+            t0: Instant::now(),
+            events: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     /// Current time on the profiler clock.
@@ -82,7 +85,13 @@ impl Profiler {
     /// Record an interval.
     pub fn record(&self, worker: usize, op: OpKind, round: u64, start_s: f64) {
         let end_s = self.now();
-        self.events.lock().push(OpEvent { worker, op, round, start_s, end_s });
+        self.events.lock().push(OpEvent {
+            worker,
+            op,
+            round,
+            start_s,
+            end_s,
+        });
     }
 
     /// Drain all events (sorted by start time).
@@ -128,7 +137,10 @@ pub fn summarize(events: &[OpEvent]) -> ProfileSummary {
     let all: f64 = totals.iter().map(|t| t.1).sum();
     let wait = totals.iter().find(|t| t.0 == PullWait).map_or(0.0, |t| t.1);
     ProfileSummary {
-        totals: totals.into_iter().map(|(k, v)| (k.name().to_string(), v)).collect(),
+        totals: totals
+            .into_iter()
+            .map(|(k, v)| (k.name().to_string(), v))
+            .collect(),
         pull_wait_fraction: if all > 0.0 { wait / all } else { 0.0 },
     }
 }
@@ -175,9 +187,27 @@ mod tests {
     #[test]
     fn summary_fractions() {
         let events = vec![
-            OpEvent { worker: 0, op: OpKind::Forward, round: 0, start_s: 0.0, end_s: 1.0 },
-            OpEvent { worker: 0, op: OpKind::PullWait, round: 0, start_s: 1.0, end_s: 2.0 },
-            OpEvent { worker: 1, op: OpKind::Backward, round: 0, start_s: 0.0, end_s: 2.0 },
+            OpEvent {
+                worker: 0,
+                op: OpKind::Forward,
+                round: 0,
+                start_s: 0.0,
+                end_s: 1.0,
+            },
+            OpEvent {
+                worker: 0,
+                op: OpKind::PullWait,
+                round: 0,
+                start_s: 1.0,
+                end_s: 2.0,
+            },
+            OpEvent {
+                worker: 1,
+                op: OpKind::Backward,
+                round: 0,
+                start_s: 0.0,
+                end_s: 2.0,
+            },
         ];
         let s = summarize(&events);
         assert!((s.pull_wait_fraction - 0.25).abs() < 1e-9);

@@ -32,7 +32,12 @@ impl Trainer {
         train: Dataset,
         test: Option<Dataset>,
     ) -> Self {
-        Self { cfg, builder: Arc::new(builder), train, test }
+        Self {
+            cfg,
+            builder: Arc::new(builder),
+            train,
+            test,
+        }
     }
 
     /// Iterations every worker runs per epoch (the smallest shard's full
@@ -52,7 +57,10 @@ impl Trainer {
     pub fn run(&self) -> TrainingHistory {
         let n = self.cfg.num_workers;
         let ipe = self.iters_per_epoch();
-        assert!(ipe > 0, "dataset too small: every worker needs at least one full batch");
+        assert!(
+            ipe > 0,
+            "dataset too small: every worker needs at least one full batch"
+        );
 
         // Identical init on every replica and on the server.
         let mut rng = SmallRng64::new(self.cfg.seed);
@@ -67,7 +75,10 @@ impl Trainer {
         let use_ring = matches!(self.cfg.algo, crate::config::Algorithm::ArSgd);
         let (mut ring_members, ring_stats) = if use_ring {
             let (members, stats) = ring_group(n);
-            (members.into_iter().map(Some).collect::<Vec<_>>(), Some(stats))
+            (
+                members.into_iter().map(Some).collect::<Vec<_>>(),
+                Some(stats),
+            )
         } else {
             (Vec::new(), None)
         };
@@ -76,6 +87,7 @@ impl Trainer {
         let (report_tx, report_rx) = crossbeam::channel::unbounded::<EpochReport>();
 
         let mut handles = Vec::with_capacity(n);
+        #[allow(clippy::needless_range_loop)]
         for w in 0..n {
             let mut wrng = SmallRng64::new(self.cfg.seed);
             let model = (self.builder)(&mut wrng);
@@ -86,7 +98,11 @@ impl Trainer {
                 shard: self.train.shard(w, n),
                 test: if w == 0 { self.test.clone() } else { None },
                 client: ps.client(),
-                ring: if use_ring { ring_members[w].take() } else { None },
+                ring: if use_ring {
+                    ring_members[w].take()
+                } else {
+                    None
+                },
                 iters_per_epoch: ipe,
                 barrier: Arc::clone(&barrier),
                 report: report_tx.clone(),
@@ -241,7 +257,10 @@ mod tests {
         let s = ssgd.epochs.last().unwrap().cumulative_push_bytes;
         let b = bit.epochs.last().unwrap().cumulative_push_bytes;
         let c = cd.epochs.last().unwrap().cumulative_push_bytes;
-        assert!(c > b, "CD {c} pushes more than BIT {b} (corrections are raw)");
+        assert!(
+            c > b,
+            "CD {c} pushes more than BIT {b} (corrections are raw)"
+        );
         assert!(c < s, "CD {c} pushes less than S-SGD {s}");
     }
 

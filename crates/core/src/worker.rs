@@ -84,7 +84,13 @@ impl AlgoState {
                 sync_period: None,
                 compressor: Some(Box::new(TwoBitQuantizer::new(*threshold))),
             },
-            Algorithm::CdSgd { local_lr, codec, warmup, dc_lambda, .. } => Self {
+            Algorithm::CdSgd {
+                local_lr,
+                codec,
+                warmup,
+                dc_lambda,
+                ..
+            } => Self {
                 delayed: true,
                 local_lr: *local_lr,
                 warmup: *warmup as u64,
@@ -100,7 +106,10 @@ impl AlgoState {
                 sync_period: None,
                 compressor: None,
             },
-            Algorithm::LocalSgd { local_lr, sync_period } => {
+            Algorithm::LocalSgd {
+                local_lr,
+                sync_period,
+            } => {
                 assert!(*sync_period >= 1, "sync period must be at least 1");
                 Self {
                     delayed: false,
@@ -127,7 +136,7 @@ impl AlgoState {
                     false
                 } else {
                     let count = r - self.warmup;
-                    count % *k as u64 != 0
+                    !count.is_multiple_of(*k as u64)
                 }
             }
         }
@@ -140,23 +149,36 @@ pub(crate) fn run_worker(mut a: WorkerArgs) {
     let loss_fn = SoftmaxCrossEntropy;
     let mut st = AlgoState::new(&a.cfg.algo);
     let num_keys = a.model.param_sizes().len();
-    let mut rng = SmallRng64::new(a.cfg.seed ^ (a.id as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F));
+    let mut rng =
+        SmallRng64::new(a.cfg.seed ^ (a.id as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F));
+    // Payload storage shared with the server: buffers it recycles after
+    // decoding our pushes come back to us through this pool.
+    let pool = a.client.pool().clone();
 
     // `base` is the most recently pulled global weights (initially the
     // shared init). For blocking algorithms the model always holds `base`;
     // for delayed algorithms the model holds the local weights built on
-    // top of it.
-    let mut base: Vec<Vec<f32>> = a.model.export_params();
+    // top of it. Entries are `Arc` snapshots shared with the server and
+    // every same-version puller — adopting a pull is a pointer move.
+    // (AR-SGD has no server and keeps its globals in the model directly.)
+    let mut base: Vec<Arc<[f32]>> = a.model.export_params().into_iter().map(Arc::from).collect();
     let mut round: u64 = 0;
     // Outstanding async pulls (delayed algorithms): fired at the end of
     // round r−1 for version r, collected when round r's local update
     // needs them — so the transfer overlaps this round's FP/BP, exactly
     // like MXNet's asynchronously-scheduled pull ops.
-    let mut pending_pulls: Option<Vec<crossbeam::channel::Receiver<Vec<f32>>>> = None;
+    let mut pending_pulls: Option<Vec<crossbeam::channel::Receiver<Arc<[f32]>>>> = None;
     // Local SGD state: accumulated gradients since the last sync, and the
     // number of completed synchronizations (the server round counter).
     let mut local_acc: Option<Vec<Vec<f32>>> = None;
     let mut syncs: u64 = 0;
+    // Per-iteration scratch, allocated once and reused every round.
+    let mut grads: Vec<Vec<f32>> = Vec::new();
+    let mut dc_grads: Vec<Vec<f32>> = Vec::new();
+    let mut w_loc: Vec<Vec<f32>> = Vec::new();
+    let mut mean: Vec<Vec<f32>> = Vec::new();
+    let mut saved: Vec<Vec<f32>> = Vec::new();
+    let mut payloads: Vec<Compressed> = Vec::new();
 
     for epoch in 0..a.cfg.epochs {
         let mut shard = a.shard.clone();
@@ -184,7 +206,7 @@ pub(crate) fn run_worker(mut a: WorkerArgs) {
             batches += 1;
             let t_bp = a.profiler.as_ref().map(|p| p.now());
             a.model.backward(&dlogits);
-            let grads = a.model.export_grads();
+            a.model.export_grads_into(&mut grads);
             if let (Some(p), Some(t)) = (&a.profiler, t_bp) {
                 p.record(a.id, OpKind::Backward, round, t);
             }
@@ -193,39 +215,41 @@ pub(crate) fn run_worker(mut a: WorkerArgs) {
             // the gradient was computed at W^loc but will be applied to a
             // one-step-newer global weight; correct it with the diagonal
             // Hessian approximation g̃ = g + λ·g⊙g⊙(W_base − W_loc).
-            let push_grads: Vec<Vec<f32>> = if st.dc_lambda > 0.0
-                && st.delayed
-                && round >= st.warmup
-            {
-                let w_loc = a.model.export_params();
-                grads
-                    .iter()
-                    .zip(base.iter().zip(&w_loc))
-                    .map(|(g, (b, wl))| {
+            // Without DC the raw gradients are pushed as-is (no copy).
+            let use_dc = st.dc_lambda > 0.0 && st.delayed && round >= st.warmup;
+            if use_dc {
+                a.model.export_params_into(&mut w_loc);
+                dc_grads.resize_with(grads.len(), Vec::new);
+                for (d, (g, (b, wl))) in dc_grads
+                    .iter_mut()
+                    .zip(grads.iter().zip(base.iter().zip(&w_loc)))
+                {
+                    d.clear();
+                    d.extend(
                         g.iter()
                             .zip(b.iter().zip(wl))
-                            .map(|(&gi, (&bi, &wi))| gi + st.dc_lambda * gi * gi * (bi - wi))
-                            .collect()
-                    })
-                    .collect()
-            } else {
-                grads.clone()
-            };
+                            .map(|(&gi, (&bi, &wi))| gi + st.dc_lambda * gi * gi * (bi - wi)),
+                    );
+                }
+            }
+            let push_grads: &[Vec<f32>] = if use_dc { &dc_grads } else { &grads };
 
             // ---- AR-SGD: ring all-reduce, update applied locally ----
             if let Some(ring) = &a.ring {
                 let t_w = a.profiler.as_ref().map(|p| p.now());
-                let mut mean = grads.clone();
-                for g in mean.iter_mut() {
-                    ring.allreduce_mean(g);
+                mean.resize_with(grads.len(), Vec::new);
+                for (m, g) in mean.iter_mut().zip(&grads) {
+                    m.clear();
+                    m.extend_from_slice(g);
+                    ring.allreduce_mean(m);
                 }
                 if let (Some(p), Some(t)) = (&a.profiler, t_w) {
                     p.record(a.id, OpKind::PullWait, round, t);
                 }
-                // Eq. 1 applied locally: every worker holds the globals.
+                // Eq. 1 applied locally: every worker holds the globals —
+                // the model *is* the global state, no separate `base`.
                 let lr = current_lr(&a.cfg, round, a.iters_per_epoch);
                 a.model.axpy_params(-lr, &mean);
-                base = a.model.export_params();
                 round += 1;
                 continue;
             }
@@ -234,18 +258,19 @@ pub(crate) fn run_worker(mut a: WorkerArgs) {
             if let Some(h) = st.sync_period {
                 // Local step on the worker's own model.
                 a.model.axpy_params(-st.local_lr, &grads);
-                let acc = local_acc.get_or_insert_with(|| {
-                    grads.iter().map(|g| vec![0.0f32; g.len()]).collect()
-                });
+                let acc = local_acc
+                    .get_or_insert_with(|| grads.iter().map(|g| vec![0.0f32; g.len()]).collect());
                 for (av, g) in acc.iter_mut().zip(&grads) {
                     for (ai, gi) in av.iter_mut().zip(g) {
                         *ai += gi;
                     }
                 }
                 round += 1;
-                if round % h as u64 == 0 {
+                if round.is_multiple_of(h as u64) {
                     for (key, av) in acc.iter().enumerate() {
-                        a.client.push(a.id, key, Compressed::Raw(av.clone()));
+                        let mut payload = pool.take_f32();
+                        payload.extend_from_slice(av);
+                        a.client.push(a.id, key, Compressed::Raw(payload));
                     }
                     syncs += 1;
                     let t_w = a.profiler.as_ref().map(|p| p.now());
@@ -253,7 +278,7 @@ pub(crate) fn run_worker(mut a: WorkerArgs) {
                     if let (Some(p), Some(t)) = (&a.profiler, t_w) {
                         p.record(a.id, OpKind::PullWait, round, t);
                     }
-                    a.model.import_params(&base);
+                    a.model.import_params_from(&base);
                     for av in acc.iter_mut() {
                         av.fill(0.0);
                     }
@@ -262,28 +287,29 @@ pub(crate) fn run_worker(mut a: WorkerArgs) {
             }
 
             // ---- push (compressed in CD-SGD compression iterations) ----
+            // Payload storage is drawn from the shared pool either way, so
+            // steady-state rounds allocate nothing on the push path.
             let compress = st.compresses(&a.cfg.algo, round);
             let t_q = a.profiler.as_ref().map(|p| p.now());
-            let payloads: Vec<Compressed> = push_grads
-                .iter()
-                .enumerate()
-                .map(|(key, g)| {
-                    if compress {
-                        st.compressor
-                            .as_mut()
-                            .expect("compressing algorithm has a quantizer")
-                            .compress(key, g)
-                    } else {
-                        Compressed::Raw(g.clone())
-                    }
-                })
-                .collect();
+            payloads.clear();
+            payloads.extend(push_grads.iter().enumerate().map(|(key, g)| {
+                if compress {
+                    st.compressor
+                        .as_mut()
+                        .expect("compressing algorithm has a quantizer")
+                        .compress_into(key, g, &pool)
+                } else {
+                    let mut raw = pool.take_f32();
+                    raw.extend_from_slice(g);
+                    Compressed::Raw(raw)
+                }
+            }));
             if let (Some(p), Some(t)) = (&a.profiler, t_q) {
                 if compress {
                     p.record(a.id, OpKind::Compress, round, t);
                 }
             }
-            for (key, payload) in payloads.into_iter().enumerate() {
+            for (key, payload) in payloads.drain(..).enumerate() {
                 a.client.push(a.id, key, payload);
             }
 
@@ -306,11 +332,14 @@ pub(crate) fn run_worker(mut a: WorkerArgs) {
                 }
                 // Request next round's base (version round+1) now; the
                 // transfer overlaps the next iteration's computation.
-                pending_pulls =
-                    Some((0..num_keys).map(|k| a.client.pull_async(k, round + 1)).collect());
+                pending_pulls = Some(
+                    (0..num_keys)
+                        .map(|k| a.client.pull_async(k, round + 1))
+                        .collect(),
+                );
                 // W^loc_{r+1} = W_r − lr_loc · grad_r (eq. 11).
                 let t_u = a.profiler.as_ref().map(|p| p.now());
-                a.model.import_params(&base);
+                a.model.import_params_from(&base);
                 a.model.axpy_params(-st.local_lr, &grads);
                 if let (Some(p), Some(t)) = (&a.profiler, t_u) {
                     p.record(a.id, OpKind::LocalUpdate, round, t);
@@ -323,22 +352,30 @@ pub(crate) fn run_worker(mut a: WorkerArgs) {
                 if let (Some(p), Some(t)) = (&a.profiler, t_w) {
                     p.record(a.id, OpKind::PullWait, round, t);
                 }
-                a.model.import_params(&base);
+                a.model.import_params_from(&base);
             }
             round += 1;
         }
 
         // ---- epoch end: evaluate global weights (worker 0 only) ----
-        let test_acc = a.test.as_ref().map(|test| {
-            let saved = a.model.export_params();
-            a.model.import_params(&base);
-            let acc = evaluate(&mut a.model, test);
-            a.model.import_params(&saved);
-            acc
-        });
+        let ring_mode = a.ring.is_some();
+        let test_acc = match a.test.as_ref() {
+            Some(test) if ring_mode => {
+                // AR-SGD: the model holds the globals; evaluate directly.
+                Some(evaluate(&mut a.model, test))
+            }
+            Some(test) => {
+                a.model.export_params_into(&mut saved);
+                a.model.import_params_from(&base);
+                let acc = evaluate(&mut a.model, test);
+                a.model.import_params(&saved);
+                Some(acc)
+            }
+            None => None,
+        };
 
-        let final_weights = (a.id == 0 && epoch + 1 == a.cfg.epochs && a.ring.is_some())
-            .then(|| base.clone());
+        let final_weights =
+            (a.id == 0 && epoch + 1 == a.cfg.epochs && ring_mode).then(|| a.model.export_params());
         a.report
             .send(EpochReport {
                 worker: a.id,

@@ -12,7 +12,12 @@ pub fn random_crop(batch: &Tensor, pad: usize, rng: &mut SmallRng64) -> Tensor {
     if pad == 0 {
         return batch.clone();
     }
-    let (n, c, h, w) = (batch.shape()[0], batch.shape()[1], batch.shape()[2], batch.shape()[3]);
+    let (n, c, h, w) = (
+        batch.shape()[0],
+        batch.shape()[1],
+        batch.shape()[2],
+        batch.shape()[3],
+    );
     let mut out = Tensor::zeros(batch.shape());
     for s in 0..n {
         // One offset per image, shared by its channels.
@@ -41,7 +46,12 @@ pub fn random_crop(batch: &Tensor, pad: usize, rng: &mut SmallRng64) -> Tensor {
 /// Flip each image horizontally with probability 0.5.
 pub fn random_hflip(batch: &Tensor, rng: &mut SmallRng64) -> Tensor {
     assert_eq!(batch.ndim(), 4, "random_hflip expects [N,C,H,W]");
-    let (n, c, h, w) = (batch.shape()[0], batch.shape()[1], batch.shape()[2], batch.shape()[3]);
+    let (n, c, h, w) = (
+        batch.shape()[0],
+        batch.shape()[1],
+        batch.shape()[2],
+        batch.shape()[3],
+    );
     let mut out = batch.clone();
     for s in 0..n {
         if rng.unit_f32() < 0.5 {
@@ -59,7 +69,10 @@ pub fn random_hflip(batch: &Tensor, rng: &mut SmallRng64) -> Tensor {
 /// The standard recipe: random crop (pad 4) then random horizontal flip.
 pub fn standard_augment(batch: &Batch, rng: &mut SmallRng64) -> Batch {
     let x = random_hflip(&random_crop(&batch.x, 4, rng), rng);
-    Batch { x, y: batch.y.clone() }
+    Batch {
+        x,
+        y: batch.y.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -112,7 +125,10 @@ mod tests {
     #[test]
     fn standard_augment_keeps_labels() {
         let mut rng = SmallRng64::new(4);
-        let b = Batch { x: Tensor::ones(&[2, 3, 8, 8]), y: vec![1, 2] };
+        let b = Batch {
+            x: Tensor::ones(&[2, 3, 8, 8]),
+            y: vec![1, 2],
+        };
         let a = standard_augment(&b, &mut rng);
         assert_eq!(a.y, b.y);
         assert_eq!(a.x.shape(), b.x.shape());

@@ -48,7 +48,7 @@ impl Dataset {
 
     /// Flat length of one sample.
     pub fn sample_len(&self) -> usize {
-        if self.len() == 0 {
+        if self.is_empty() {
             0
         } else {
             self.x.len() / self.len()

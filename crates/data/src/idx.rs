@@ -79,7 +79,10 @@ pub fn parse_idx(mut reader: impl Read) -> Result<IdxArray, IdxError> {
 /// writing fixtures).
 pub fn write_idx(arr: &IdxArray) -> Result<Vec<u8>, IdxError> {
     if arr.shape.is_empty() || arr.shape.len() > 4 {
-        return Err(IdxError::Format(format!("unsupported rank {}", arr.shape.len())));
+        return Err(IdxError::Format(format!(
+            "unsupported rank {}",
+            arr.shape.len()
+        )));
     }
     let total: usize = arr.shape.iter().product();
     if total != arr.data.len() {
@@ -131,9 +134,15 @@ pub fn dataset_from_idx(
     let data: Vec<f32> = images.data.iter().map(|&b| b as f32 / 255.0).collect();
     let y: Vec<usize> = labels.data.iter().map(|&b| b as usize).collect();
     if let Some(&bad) = labels.data.iter().find(|&&b| b as usize >= num_classes) {
-        return Err(IdxError::Format(format!("label {bad} >= num_classes {num_classes}")));
+        return Err(IdxError::Format(format!(
+            "label {bad} >= num_classes {num_classes}"
+        )));
     }
-    Ok(Dataset::new(Tensor::from_vec(vec![n, 1, h, w], data), y, num_classes))
+    Ok(Dataset::new(
+        Tensor::from_vec(vec![n, 1, h, w], data),
+        y,
+        num_classes,
+    ))
 }
 
 #[cfg(test)]
@@ -146,7 +155,10 @@ mod tests {
             shape: vec![3, 2, 2],
             data: vec![0, 51, 102, 153, 204, 255, 0, 128, 10, 20, 30, 40],
         };
-        let labels = IdxArray { shape: vec![3], data: vec![0, 1, 2] };
+        let labels = IdxArray {
+            shape: vec![3],
+            data: vec![0, 1, 2],
+        };
         (images, labels)
     }
 
@@ -160,7 +172,10 @@ mod tests {
 
     #[test]
     fn header_layout_is_big_endian() {
-        let arr = IdxArray { shape: vec![1, 2], data: vec![7, 8] };
+        let arr = IdxArray {
+            shape: vec![1, 2],
+            data: vec![7, 8],
+        };
         let bytes = write_idx(&arr).unwrap();
         assert_eq!(&bytes[..4], &[0, 0, 0x08, 2]);
         assert_eq!(&bytes[4..8], &[0, 0, 0, 1]);
@@ -201,14 +216,20 @@ mod tests {
     #[test]
     fn rejects_mismatched_counts() {
         let (images, _) = fixture();
-        let labels = IdxArray { shape: vec![2], data: vec![0, 1] };
+        let labels = IdxArray {
+            shape: vec![2],
+            data: vec![0, 1],
+        };
         assert!(dataset_from_idx(&images, &labels, 10).is_err());
     }
 
     #[test]
     fn rejects_out_of_range_labels() {
         let (images, _) = fixture();
-        let labels = IdxArray { shape: vec![3], data: vec![0, 1, 9] };
+        let labels = IdxArray {
+            shape: vec![3],
+            data: vec![0, 1, 9],
+        };
         assert!(dataset_from_idx(&images, &labels, 3).is_err());
     }
 

@@ -36,17 +36,41 @@ pub struct SynthSpec {
 impl SynthSpec {
     /// MNIST-like: 28×28×1, 10 classes.
     pub fn mnist() -> Self {
-        Self { channels: 1, size: 28, num_classes: 10, noise: 0.5, jitter: 1, components: 3, shared: 0.95 }
+        Self {
+            channels: 1,
+            size: 28,
+            num_classes: 10,
+            noise: 0.5,
+            jitter: 1,
+            components: 3,
+            shared: 0.95,
+        }
     }
 
     /// CIFAR-like: 32×32×3, 10 classes.
     pub fn cifar() -> Self {
-        Self { channels: 3, size: 32, num_classes: 10, noise: 0.6, jitter: 2, components: 4, shared: 0.95 }
+        Self {
+            channels: 3,
+            size: 32,
+            num_classes: 10,
+            noise: 0.6,
+            jitter: 2,
+            components: 4,
+            shared: 0.95,
+        }
     }
 
     /// ImageNet-like (scaled): 32×32×3, 100 classes, noisier.
     pub fn imagenet() -> Self {
-        Self { channels: 3, size: 32, num_classes: 100, noise: 0.7, jitter: 2, components: 5, shared: 0.9 }
+        Self {
+            channels: 3,
+            size: 32,
+            num_classes: 100,
+            noise: 0.7,
+            jitter: 2,
+            components: 5,
+            shared: 0.9,
+        }
     }
 }
 
@@ -61,7 +85,10 @@ pub struct TemplateBank {
 impl TemplateBank {
     /// Deterministically build the class templates for a spec.
     pub fn new(spec: SynthSpec, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&spec.shared), "shared must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&spec.shared),
+            "shared must be in [0, 1)"
+        );
         let mut rng = SmallRng64::new(seed ^ 0x7E3A_11C0);
         let s = spec.size;
         // One raw template per class plus one shared background; the
@@ -151,8 +178,16 @@ impl TemplateBank {
         assert_eq!(out.len(), c * s * s);
         let t = &self.templates[class];
         let j = self.spec.jitter as isize;
-        let dx = if j > 0 { (rng.below((2 * j + 1) as usize)) as isize - j } else { 0 };
-        let dy = if j > 0 { (rng.below((2 * j + 1) as usize)) as isize - j } else { 0 };
+        let dx = if j > 0 {
+            (rng.below((2 * j + 1) as usize)) as isize - j
+        } else {
+            0
+        };
+        let dy = if j > 0 {
+            (rng.below((2 * j + 1) as usize)) as isize - j
+        } else {
+            0
+        };
         for ch in 0..c {
             for i in 0..s {
                 for jj in 0..s {

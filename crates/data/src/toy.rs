@@ -6,25 +6,23 @@ use cdsgd_tensor::{SmallRng64, Tensor};
 
 /// Gaussian blobs: `num_classes` isotropic clusters in `dim` dimensions,
 /// cluster centers on a scaled simplex-ish random layout.
-pub fn gaussian_blobs(
-    n: usize,
-    dim: usize,
-    num_classes: usize,
-    spread: f32,
-    seed: u64,
-) -> Dataset {
+pub fn gaussian_blobs(n: usize, dim: usize, num_classes: usize, spread: f32, seed: u64) -> Dataset {
     assert!(dim > 0 && num_classes > 0);
     let mut rng = SmallRng64::new(seed);
     // Well-separated random centers.
     let centers: Vec<Vec<f32>> = (0..num_classes)
-        .map(|_| (0..dim).map(|_| 4.0 * (rng.unit_f32() - 0.5) * 2.0).collect())
+        .map(|_| {
+            (0..dim)
+                .map(|_| 4.0 * (rng.unit_f32() - 0.5) * 2.0)
+                .collect()
+        })
         .collect();
     let mut data = Vec::with_capacity(n * dim);
     let mut labels = Vec::with_capacity(n);
     for i in 0..n {
         let c = i % num_classes;
-        for d in 0..dim {
-            data.push(centers[c][d] + spread * rng.gauss());
+        for &cd in &centers[c] {
+            data.push(cd + spread * rng.gauss());
         }
         labels.push(c);
     }
@@ -95,8 +93,16 @@ mod tests {
             let xi = &d.x.data()[i * dim..(i + 1) * dim];
             let best = (0..3)
                 .min_by(|&a, &b| {
-                    let da: f32 = xi.iter().zip(&centroids[a]).map(|(x, c)| (x - c).powi(2)).sum();
-                    let db: f32 = xi.iter().zip(&centroids[b]).map(|(x, c)| (x - c).powi(2)).sum();
+                    let da: f32 = xi
+                        .iter()
+                        .zip(&centroids[a])
+                        .map(|(x, c)| (x - c).powi(2))
+                        .sum();
+                    let db: f32 = xi
+                        .iter()
+                        .zip(&centroids[b])
+                        .map(|(x, c)| (x - c).powi(2))
+                        .sum();
                     da.total_cmp(&db)
                 })
                 .unwrap();

@@ -23,7 +23,11 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        assert_eq!(dy.len(), self.mask.len(), "backward without matching forward");
+        assert_eq!(
+            dy.len(),
+            self.mask.len(),
+            "backward without matching forward"
+        );
         let data = dy
             .data()
             .iter()
@@ -59,7 +63,11 @@ impl Layer for Sigmoid {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        assert_eq!(dy.len(), self.out.len(), "backward without matching forward");
+        assert_eq!(
+            dy.len(),
+            self.out.len(),
+            "backward without matching forward"
+        );
         let data = dy
             .data()
             .iter()
@@ -95,7 +103,11 @@ impl Layer for Tanh {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        assert_eq!(dy.len(), self.out.len(), "backward without matching forward");
+        assert_eq!(
+            dy.len(),
+            self.out.len(),
+            "backward without matching forward"
+        );
         let data = dy
             .data()
             .iter()
@@ -155,9 +167,13 @@ mod tests {
                 l.forward(&Tensor::from_vec(vec![1], vec![x0]), Mode::Train);
                 let analytic = l.backward(&Tensor::ones(&[1])).data()[0];
                 let mut lp = mk();
-                let fp = lp.forward(&Tensor::from_vec(vec![1], vec![x0 + eps]), Mode::Train).data()[0];
+                let fp = lp
+                    .forward(&Tensor::from_vec(vec![1], vec![x0 + eps]), Mode::Train)
+                    .data()[0];
                 let mut lm = mk();
-                let fm = lm.forward(&Tensor::from_vec(vec![1], vec![x0 - eps]), Mode::Train).data()[0];
+                let fm = lm
+                    .forward(&Tensor::from_vec(vec![1], vec![x0 - eps]), Mode::Train)
+                    .data()[0];
                 let numeric = (fp - fm) / (2.0 * eps);
                 assert!(
                     (analytic - numeric).abs() < 1e-2,

@@ -16,7 +16,10 @@ impl LeakyRelu {
     /// Leaky ReLU with negative-side slope `alpha` (e.g. 0.01).
     pub fn new(alpha: f32) -> Self {
         assert!(alpha.is_finite());
-        Self { alpha, input: Vec::new() }
+        Self {
+            alpha,
+            input: Vec::new(),
+        }
     }
 }
 
@@ -28,7 +31,11 @@ impl Layer for LeakyRelu {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        assert_eq!(dy.len(), self.input.len(), "backward without matching forward");
+        assert_eq!(
+            dy.len(),
+            self.input.len(),
+            "backward without matching forward"
+        );
         let a = self.alpha;
         let data = dy
             .data()
@@ -55,7 +62,10 @@ impl Elu {
     /// ELU with scale `alpha` (commonly 1.0).
     pub fn new(alpha: f32) -> Self {
         assert!(alpha.is_finite());
-        Self { alpha, input: Vec::new() }
+        Self {
+            alpha,
+            input: Vec::new(),
+        }
     }
 }
 
@@ -67,7 +77,11 @@ impl Layer for Elu {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        assert_eq!(dy.len(), self.input.len(), "backward without matching forward");
+        assert_eq!(
+            dy.len(),
+            self.input.len(),
+            "backward without matching forward"
+        );
         let a = self.alpha;
         let data = dy
             .data()
@@ -109,7 +123,11 @@ impl Layer for Gelu {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        assert_eq!(dy.len(), self.input.len(), "backward without matching forward");
+        assert_eq!(
+            dy.len(),
+            self.input.len(),
+            "backward without matching forward"
+        );
         const C: f32 = 0.797_884_6;
         let data = dy
             .data()
@@ -150,7 +168,11 @@ impl Layer for Softplus {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        assert_eq!(dy.len(), self.input.len(), "backward without matching forward");
+        assert_eq!(
+            dy.len(),
+            self.input.len(),
+            "backward without matching forward"
+        );
         let data = dy
             .data()
             .iter()
@@ -175,8 +197,12 @@ mod tests {
             let mut l = mk();
             l.forward(&Tensor::from_vec(vec![1], vec![x0]), Mode::Train);
             let analytic = l.backward(&Tensor::ones(&[1])).data()[0];
-            let fp = mk().forward(&Tensor::from_vec(vec![1], vec![x0 + eps]), Mode::Train).data()[0];
-            let fm = mk().forward(&Tensor::from_vec(vec![1], vec![x0 - eps]), Mode::Train).data()[0];
+            let fp = mk()
+                .forward(&Tensor::from_vec(vec![1], vec![x0 + eps]), Mode::Train)
+                .data()[0];
+            let fm = mk()
+                .forward(&Tensor::from_vec(vec![1], vec![x0 - eps]), Mode::Train)
+                .data()[0];
             let numeric = (fp - fm) / (2.0 * eps);
             assert!(
                 (analytic - numeric).abs() < tol,
@@ -207,7 +233,10 @@ mod tests {
     #[test]
     fn gelu_shape_and_gradient() {
         let mut l = Gelu::new();
-        let y = l.forward(&Tensor::from_vec(vec![3], vec![-3.0, 0.0, 3.0]), Mode::Train);
+        let y = l.forward(
+            &Tensor::from_vec(vec![3], vec![-3.0, 0.0, 3.0]),
+            Mode::Train,
+        );
         // GELU(0) = 0; GELU(3) ≈ 3; GELU(−3) ≈ 0.
         assert!(y.data()[1].abs() < 1e-6);
         assert!((y.data()[2] - 3.0).abs() < 0.02);

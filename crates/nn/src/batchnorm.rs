@@ -64,6 +64,7 @@ impl Layer for BatchNorm2d {
         let mut xhat = Tensor::zeros(&shape);
         let mut stds = vec![0.0f32; self.channels];
 
+        #[allow(clippy::needless_range_loop)]
         for c in 0..self.channels {
             let (mean, var) = match mode {
                 Mode::Train => {
@@ -108,6 +109,7 @@ impl Layer for BatchNorm2d {
         let m = Self::plane(&shape) as f32;
         let mut dx = Tensor::zeros(&shape);
 
+        #[allow(clippy::needless_range_loop)]
         for c in 0..self.channels {
             // Standard BN backward:
             // dβ = Σ dy ; dγ = Σ dy·x̂
@@ -125,8 +127,7 @@ impl Layer for BatchNorm2d {
             let mean_dy = sum_dy / m;
             let mean_dy_xhat = sum_dy_xhat / m;
             for i in Self::channel_indices(&shape, c) {
-                dx.data_mut()[i] =
-                    scale * (dy.data()[i] - mean_dy - xhat.data()[i] * mean_dy_xhat);
+                dx.data_mut()[i] = scale * (dy.data()[i] - mean_dy - xhat.data()[i] * mean_dy_xhat);
             }
         }
         dx
@@ -156,8 +157,9 @@ mod tests {
         // Each channel of y should have ~zero mean, ~unit variance.
         let shape = x.shape().to_vec();
         for c in 0..3 {
-            let vals: Vec<f32> =
-                BatchNorm2d::channel_indices(&shape, c).map(|i| y.data()[i]).collect();
+            let vals: Vec<f32> = BatchNorm2d::channel_indices(&shape, c)
+                .map(|i| y.data()[i])
+                .collect();
             let m = vals.iter().sum::<f32>() / vals.len() as f32;
             let v = vals.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / vals.len() as f32;
             assert!(m.abs() < 1e-4, "mean {m}");
@@ -230,7 +232,11 @@ mod tests {
             let mut b2 = BatchNorm2d::new(2);
             b2.gamma.value = bn.gamma.value.clone();
             let numeric = (loss(&mut b1, &xp) - loss(&mut b2, &xm)) / (2.0 * eps);
-            assert!((dx.data()[i] - numeric).abs() < 0.05, "dx[{i}] {} vs {numeric}", dx.data()[i]);
+            assert!(
+                (dx.data()[i] - numeric).abs() < 0.05,
+                "dx[{i}] {} vs {numeric}",
+                dx.data()[i]
+            );
         }
         for c in 0..2 {
             let orig = bn.gamma.value.data()[c];

@@ -31,7 +31,10 @@ impl ResidualBlock {
     /// `stride != 1 || in_c != out_c`.
     pub fn new(in_c: usize, out_c: usize, stride: usize, rng: &mut SmallRng64) -> Self {
         let projection = if stride != 1 || in_c != out_c {
-            Some((Conv2d::new(in_c, out_c, 1, stride, 0, rng), BatchNorm2d::new(out_c)))
+            Some((
+                Conv2d::new(in_c, out_c, 1, stride, 0, rng),
+                BatchNorm2d::new(out_c),
+            ))
         } else {
             None
         };
@@ -69,7 +72,11 @@ impl Layer for ResidualBlock {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        assert_eq!(dy.len(), self.out_mask.len(), "backward without matching forward");
+        assert_eq!(
+            dy.len(),
+            self.out_mask.len(),
+            "backward without matching forward"
+        );
         // Through the final ReLU.
         let dsum = Tensor::from_vec(
             dy.shape().to_vec(),
@@ -176,7 +183,14 @@ pub struct InceptionBlock {
 impl InceptionBlock {
     /// Build a block over `in_c` input channels with the given per-branch
     /// output widths.
-    pub fn new(in_c: usize, b1: usize, b3: usize, b5: usize, bp: usize, rng: &mut SmallRng64) -> Self {
+    pub fn new(
+        in_c: usize,
+        b1: usize,
+        b3: usize,
+        b5: usize,
+        bp: usize,
+        rng: &mut SmallRng64,
+    ) -> Self {
         let mk = |conv: Conv2d| {
             let c = conv.out_channels();
             (conv, BatchNorm2d::new(c), Relu::new())
@@ -216,7 +230,10 @@ impl InceptionBlock {
             },
         ];
         let branch_channels = branches.iter().map(|b| b.out_c).collect();
-        Self { branches, branch_channels }
+        Self {
+            branches,
+            branch_channels,
+        }
     }
 
     /// Total output channels (sum over branches).
@@ -227,8 +244,11 @@ impl InceptionBlock {
 
 impl Layer for InceptionBlock {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
-        let outs: Vec<Tensor> =
-            self.branches.iter_mut().map(|b| b.forward(x, mode)).collect();
+        let outs: Vec<Tensor> = self
+            .branches
+            .iter_mut()
+            .map(|b| b.forward(x, mode))
+            .collect();
         concat_channels(&outs)
     }
 
@@ -329,10 +349,20 @@ mod tests {
             xp.data_mut()[i] += eps;
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let fp: f32 =
-                b.forward(&xp, Mode::Train).data().iter().zip(w.data()).map(|(a, c)| a * c).sum();
-            let fm: f32 =
-                b.forward(&xm, Mode::Train).data().iter().zip(w.data()).map(|(a, c)| a * c).sum();
+            let fp: f32 = b
+                .forward(&xp, Mode::Train)
+                .data()
+                .iter()
+                .zip(w.data())
+                .map(|(a, c)| a * c)
+                .sum();
+            let fm: f32 = b
+                .forward(&xm, Mode::Train)
+                .data()
+                .iter()
+                .zip(w.data())
+                .map(|(a, c)| a * c)
+                .sum();
             let numeric = (fp - fm) / (2.0 * eps);
             // ReLU kinks and BN coupling make this a loose check.
             assert!(

@@ -51,7 +51,15 @@ impl Conv2d {
     }
 
     fn geom(&self, h: usize, w: usize) -> Conv2dGeom {
-        Conv2dGeom { c: self.in_c, h, w, kh: self.k, kw: self.k, stride: self.stride, pad: self.pad }
+        Conv2dGeom {
+            c: self.in_c,
+            h,
+            w,
+            kh: self.k,
+            kw: self.k,
+            stride: self.stride,
+            pad: self.pad,
+        }
     }
 }
 
@@ -70,7 +78,8 @@ impl Layer for Conv2d {
         for s in 0..n {
             let col = im2col(&x.data()[s * img_len..(s + 1) * img_len], &g);
             let y = self.weight.value.matmul(&col); // [out_c, oh*ow]
-            let dst = &mut out.data_mut()[s * self.out_c * out_plane..(s + 1) * self.out_c * out_plane];
+            let dst =
+                &mut out.data_mut()[s * self.out_c * out_plane..(s + 1) * self.out_c * out_plane];
             dst.copy_from_slice(y.data());
             // Add bias per output channel.
             for oc in 0..self.out_c {
@@ -104,12 +113,17 @@ impl Layer for Conv2d {
             self.weight.grad.add_assign(&dy_s.matmul_nt(col));
             // db += Σ_spatial dy
             for oc in 0..self.out_c {
-                self.bias.grad.data_mut()[oc] +=
-                    dy_s.data()[oc * out_plane..(oc + 1) * out_plane].iter().sum::<f32>();
+                self.bias.grad.data_mut()[oc] += dy_s.data()[oc * out_plane..(oc + 1) * out_plane]
+                    .iter()
+                    .sum::<f32>();
             }
             // dcol = Wᵀ · dy_s, scattered back through col2im.
             let dcol = self.weight.value.matmul_tn(&dy_s);
-            col2im(&dcol, &g, &mut dx.data_mut()[s * img_len..(s + 1) * img_len]);
+            col2im(
+                &dcol,
+                &g,
+                &mut dx.data_mut()[s * img_len..(s + 1) * img_len],
+            );
         }
         dx
     }
@@ -179,7 +193,11 @@ mod tests {
             let fm = c.forward(&x, Mode::Train).sum();
             c.weight.value.data_mut()[i] = orig;
             let numeric = (fp - fm) / (2.0 * eps);
-            assert!((dw.data()[i] - numeric).abs() < 0.05, "dW[{i}] {} vs {numeric}", dw.data()[i]);
+            assert!(
+                (dw.data()[i] - numeric).abs() < 0.05,
+                "dW[{i}] {} vs {numeric}",
+                dw.data()[i]
+            );
         }
         // All bias coordinates.
         for i in 0..db.len() {

@@ -20,7 +20,12 @@ impl Dropout {
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&p), "p must be in [0,1), got {p}");
-        Self { p, rng: SmallRng64::new(seed), mask: Vec::new(), train_pass: false }
+        Self {
+            p,
+            rng: SmallRng64::new(seed),
+            mask: Vec::new(),
+            train_pass: false,
+        }
     }
 }
 
@@ -38,8 +43,12 @@ impl Layer for Dropout {
                     .map(|_| if self.rng.unit_f32() < keep { inv } else { 0.0 })
                     .collect();
                 self.train_pass = true;
-                let data =
-                    x.data().iter().zip(&self.mask).map(|(&v, &m)| v * m).collect();
+                let data = x
+                    .data()
+                    .iter()
+                    .zip(&self.mask)
+                    .map(|(&v, &m)| v * m)
+                    .collect();
                 Tensor::from_vec(x.shape().to_vec(), data)
             }
         }
@@ -49,8 +58,17 @@ impl Layer for Dropout {
         if !self.train_pass {
             return dy.clone();
         }
-        assert_eq!(dy.len(), self.mask.len(), "backward without matching forward");
-        let data = dy.data().iter().zip(&self.mask).map(|(&g, &m)| g * m).collect();
+        assert_eq!(
+            dy.len(),
+            self.mask.len(),
+            "backward without matching forward"
+        );
+        let data = dy
+            .data()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| g * m)
+            .collect();
         Tensor::from_vec(dy.shape().to_vec(), data)
     }
 
@@ -77,7 +95,10 @@ mod tests {
         let x = Tensor::ones(&[10_000]);
         let y = d.forward(&x, Mode::Train);
         let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
-        assert!((zeros as f32 / 10_000.0 - 0.3).abs() < 0.03, "{zeros} zeros");
+        assert!(
+            (zeros as f32 / 10_000.0 - 0.3).abs() < 0.03,
+            "{zeros} zeros"
+        );
         // Survivors are scaled by 1/0.7 so the expectation is preserved.
         let m = y.mean();
         assert!((m - 1.0).abs() < 0.05, "mean {m}");

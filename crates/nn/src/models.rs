@@ -78,7 +78,8 @@ pub fn resnet_cifar(
             in_c = w;
         }
     }
-    m.push(GlobalAvgPool::new()).push(Dense::new(in_c, num_classes, rng))
+    m.push(GlobalAvgPool::new())
+        .push(Dense::new(in_c, num_classes, rng))
 }
 
 /// Inception-bn-style network for 32×32 RGB input (the paper's CIFAR-10
@@ -124,7 +125,8 @@ pub fn resnet_imagenet(width: usize, num_classes: usize, rng: &mut SmallRng64) -
         m = m.push(ResidualBlock::new(in_c, sw, stride, rng));
         in_c = sw;
     }
-    m.push(GlobalAvgPool::new()).push(Dense::new(in_c, num_classes, rng))
+    m.push(GlobalAvgPool::new())
+        .push(Dense::new(in_c, num_classes, rng))
 }
 
 #[cfg(test)]
@@ -201,7 +203,10 @@ mod tests {
         let x = Tensor::randn(&[8, 3, 32, 32], 1.0, &mut rng);
         let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
         let loss_fn = SoftmaxCrossEntropy;
-        for model in [resnet_cifar(4, 1, 10, &mut rng), inception_cifar(2, 10, &mut rng)] {
+        for model in [
+            resnet_cifar(4, 1, 10, &mut rng),
+            inception_cifar(2, 10, &mut rng),
+        ] {
             let mut m = model;
             let logits = m.forward(&x, Mode::Train);
             let (l0, grad) = loss_fn.loss_and_grad(&logits, &labels);

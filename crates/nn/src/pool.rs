@@ -17,7 +17,12 @@ impl MaxPool2d {
     /// Max pooling with square window `k` and stride `stride`.
     pub fn new(k: usize, stride: usize) -> Self {
         assert!(k > 0 && stride > 0);
-        Self { k, stride, argmax: Vec::new(), in_shape: Vec::new() }
+        Self {
+            k,
+            stride,
+            argmax: Vec::new(),
+            in_shape: Vec::new(),
+        }
     }
 }
 
@@ -43,7 +48,8 @@ impl Layer for MaxPool2d {
                         let mut best_idx = 0usize;
                         for dy in 0..self.k {
                             for dx in 0..self.k {
-                                let idx = base + (py * self.stride + dy) * w + px * self.stride + dx;
+                                let idx =
+                                    base + (py * self.stride + dy) * w + px * self.stride + dx;
                                 if data[idx] > best {
                                     best = data[idx];
                                     best_idx = idx;
@@ -61,7 +67,11 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        assert_eq!(dy.len(), self.argmax.len(), "backward without matching forward");
+        assert_eq!(
+            dy.len(),
+            self.argmax.len(),
+            "backward without matching forward"
+        );
         let mut dx = Tensor::zeros(&self.in_shape);
         let dd = dx.data_mut();
         for (&g, &idx) in dy.data().iter().zip(&self.argmax) {
@@ -87,7 +97,11 @@ impl AvgPool2d {
     /// Average pooling with square window `k` and stride `stride`.
     pub fn new(k: usize, stride: usize) -> Self {
         assert!(k > 0 && stride > 0);
-        Self { k, stride, in_shape: Vec::new() }
+        Self {
+            k,
+            stride,
+            in_shape: Vec::new(),
+        }
     }
 }
 
@@ -112,7 +126,8 @@ impl Layer for AvgPool2d {
                         let mut acc = 0.0f32;
                         for dy in 0..self.k {
                             for dx in 0..self.k {
-                                acc += data[base + (py * self.stride + dy) * w + px * self.stride + dx];
+                                acc += data
+                                    [base + (py * self.stride + dy) * w + px * self.stride + dx];
                             }
                         }
                         od[oi] = acc * inv;
@@ -126,8 +141,12 @@ impl Layer for AvgPool2d {
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         assert!(!self.in_shape.is_empty(), "backward without forward");
-        let (n, c, h, w) =
-            (self.in_shape[0], self.in_shape[1], self.in_shape[2], self.in_shape[3]);
+        let (n, c, h, w) = (
+            self.in_shape[0],
+            self.in_shape[1],
+            self.in_shape[2],
+            self.in_shape[3],
+        );
         let oh = (h - self.k) / self.stride + 1;
         let ow = (w - self.k) / self.stride + 1;
         assert_eq!(dy.shape(), &[n, c, oh, ow]);
@@ -145,7 +164,8 @@ impl Layer for AvgPool2d {
                         oi += 1;
                         for dyy in 0..self.k {
                             for dxx in 0..self.k {
-                                dd[base + (py * self.stride + dyy) * w + px * self.stride + dxx] += g;
+                                dd[base + (py * self.stride + dyy) * w + px * self.stride + dxx] +=
+                                    g;
                             }
                         }
                     }
@@ -191,8 +211,12 @@ impl Layer for GlobalAvgPool {
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         assert!(!self.in_shape.is_empty(), "backward without forward");
-        let (n, c, h, w) =
-            (self.in_shape[0], self.in_shape[1], self.in_shape[2], self.in_shape[3]);
+        let (n, c, h, w) = (
+            self.in_shape[0],
+            self.in_shape[1],
+            self.in_shape[2],
+            self.in_shape[3],
+        );
         assert_eq!(dy.shape(), &[n, c]);
         let inv = 1.0 / (h * w) as f32;
         let mut dx = Tensor::zeros(&self.in_shape);

@@ -53,15 +53,47 @@ impl Sequential {
     /// Copy all parameter values out, one `Vec<f32>` per key.
     pub fn export_params(&mut self) -> Vec<Vec<f32>> {
         let mut out = Vec::new();
-        self.visit_params(&mut |p| out.push(p.value.data().to_vec()));
+        self.export_params_into(&mut out);
         out
+    }
+
+    /// Copy parameter values into `out`, reusing its per-key buffers
+    /// across calls (the hot-loop variant of
+    /// [`Sequential::export_params`]). `out` is resized to exactly one
+    /// vector per key.
+    pub fn export_params_into(&mut self, out: &mut Vec<Vec<f32>>) {
+        let mut i = 0usize;
+        self.visit_params(&mut |p| {
+            if i == out.len() {
+                out.push(Vec::new());
+            }
+            out[i].clear();
+            out[i].extend_from_slice(p.value.data());
+            i += 1;
+        });
+        out.truncate(i);
     }
 
     /// Copy all gradients out, one `Vec<f32>` per key.
     pub fn export_grads(&mut self) -> Vec<Vec<f32>> {
         let mut out = Vec::new();
-        self.visit_params(&mut |p| out.push(p.grad.data().to_vec()));
+        self.export_grads_into(&mut out);
         out
+    }
+
+    /// Copy gradients into `out`, reusing its per-key buffers across
+    /// calls (the hot-loop variant of [`Sequential::export_grads`]).
+    pub fn export_grads_into(&mut self, out: &mut Vec<Vec<f32>>) {
+        let mut i = 0usize;
+        self.visit_params(&mut |p| {
+            if i == out.len() {
+                out.push(Vec::new());
+            }
+            out[i].clear();
+            out[i].extend_from_slice(p.grad.data());
+            i += 1;
+        });
+        out.truncate(i);
     }
 
     /// Overwrite parameter values from per-key slices.
@@ -69,11 +101,21 @@ impl Sequential {
     /// # Panics
     /// Panics if the number of keys or any length mismatches.
     pub fn import_params(&mut self, values: &[Vec<f32>]) {
+        self.import_params_from(values);
+    }
+
+    /// Overwrite parameter values from anything slice-like per key —
+    /// `Vec<f32>`, `Arc<[f32]>` (zero-copy PS snapshots), `&[f32]`, …
+    ///
+    /// # Panics
+    /// Panics if the number of keys or any length mismatches.
+    pub fn import_params_from<S: AsRef<[f32]>>(&mut self, values: &[S]) {
         let mut i = 0usize;
         self.visit_params(&mut |p| {
             assert!(i < values.len(), "too few parameter vectors");
-            assert_eq!(values[i].len(), p.len(), "param {i} length mismatch");
-            p.value.data_mut().copy_from_slice(&values[i]);
+            let v = values[i].as_ref();
+            assert_eq!(v.len(), p.len(), "param {i} length mismatch");
+            p.value.data_mut().copy_from_slice(v);
             i += 1;
         });
         assert_eq!(i, values.len(), "too many parameter vectors");
@@ -171,7 +213,10 @@ mod tests {
         // Perturb, then restore.
         let zeros: Vec<Vec<f32>> = snapshot.iter().map(|v| vec![0.0; v.len()]).collect();
         m.import_params(&zeros);
-        assert!(m.export_params().iter().all(|v| v.iter().all(|&x| x == 0.0)));
+        assert!(m
+            .export_params()
+            .iter()
+            .all(|v| v.iter().all(|&x| x == 0.0)));
         m.import_params(&snapshot);
         assert_eq!(m.export_params(), snapshot);
     }
@@ -199,6 +244,35 @@ mod tests {
         let mut m1 = tiny_model(&mut r1);
         let mut m2 = tiny_model(&mut r2);
         assert_eq!(m1.export_params(), m2.export_params());
+    }
+
+    #[test]
+    fn export_into_reuses_buffers_and_matches_export() {
+        let mut rng = SmallRng64::new(9);
+        let mut m = tiny_model(&mut rng);
+        let mut scratch: Vec<Vec<f32>> = vec![Vec::with_capacity(64); 7]; // extra slots shrink
+        m.export_params_into(&mut scratch);
+        assert_eq!(scratch, m.export_params());
+        let ptrs: Vec<*const f32> = scratch.iter().map(|v| v.as_ptr()).collect();
+        m.export_grads_into(&mut scratch);
+        assert_eq!(scratch, m.export_grads());
+        // Same allocations reused across calls (capacity was sufficient).
+        assert_eq!(ptrs, scratch.iter().map(|v| v.as_ptr()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn import_from_accepts_shared_slices() {
+        use std::sync::Arc;
+        let mut rng = SmallRng64::new(10);
+        let mut m = tiny_model(&mut rng);
+        let snapshot: Vec<Arc<[f32]>> = m.export_params().into_iter().map(Arc::from).collect();
+        let zeros: Vec<Vec<f32>> = snapshot.iter().map(|v| vec![0.0; v.len()]).collect();
+        m.import_params(&zeros);
+        m.import_params_from(&snapshot);
+        let restored = m.export_params();
+        for (r, s) in restored.iter().zip(&snapshot) {
+            assert_eq!(r.as_slice(), s.as_ref());
+        }
     }
 
     #[test]

@@ -45,9 +45,16 @@ pub fn concat_channels(parts: &[Tensor]) -> Tensor {
 pub fn split_channels(x: &Tensor, sizes: &[usize]) -> Vec<Tensor> {
     assert_eq!(x.ndim(), 4, "split_channels expects [N,C,H,W]");
     let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-    assert_eq!(sizes.iter().sum::<usize>(), c, "chunk sizes must cover all channels");
+    assert_eq!(
+        sizes.iter().sum::<usize>(),
+        c,
+        "chunk sizes must cover all channels"
+    );
     let plane = h * w;
-    let mut parts: Vec<Tensor> = sizes.iter().map(|&pc| Tensor::zeros(&[n, pc, h, w])).collect();
+    let mut parts: Vec<Tensor> = sizes
+        .iter()
+        .map(|&pc| Tensor::zeros(&[n, pc, h, w]))
+        .collect();
     for s in 0..n {
         let mut c_off = 0usize;
         for (part, &pc) in parts.iter_mut().zip(sizes) {

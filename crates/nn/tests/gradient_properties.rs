@@ -4,8 +4,8 @@
 //! must hold.
 
 use cdsgd_nn::{
-    models, AvgPool2d, BatchNorm2d, Conv2d, Dense, Flatten, GlobalAvgPool, Layer, MaxPool2d,
-    Mode, Relu, Sequential, Sigmoid, SoftmaxCrossEntropy, Tanh,
+    models, AvgPool2d, BatchNorm2d, Conv2d, Dense, Flatten, GlobalAvgPool, Layer, MaxPool2d, Mode,
+    Relu, Sequential, Sigmoid, SoftmaxCrossEntropy, Tanh,
 };
 use cdsgd_tensor::{SmallRng64, Tensor};
 use proptest::prelude::*;

@@ -191,7 +191,7 @@ mod tests {
         let len = 1024usize;
         let inputs: Vec<Vec<f32>> = (0..n).map(|_| vec![1.0; len]).collect();
         let (_, bytes) = run_ring(inputs);
-        let expect = (n as u64) * 2 * ((n as u64 - 1)) * (4 * len as u64) / n as u64;
+        let expect = (n as u64) * 2 * (n as u64 - 1) * (4 * len as u64) / n as u64;
         assert_eq!(bytes, expect, "total ring traffic");
     }
 

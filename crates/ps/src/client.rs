@@ -3,7 +3,7 @@
 use crate::server::Msg;
 use crate::stats::TrafficStats;
 use crate::Key;
-use cdsgd_compress::Compressed;
+use cdsgd_compress::{BufferPool, Compressed};
 use crossbeam_channel::{bounded, Sender};
 use std::sync::Arc;
 
@@ -12,24 +12,31 @@ use std::sync::Arc;
 pub struct PsClient {
     tx: Sender<Msg>,
     stats: Arc<TrafficStats>,
+    pool: BufferPool,
 }
 
 impl PsClient {
-    pub(crate) fn new(tx: Sender<Msg>, stats: Arc<TrafficStats>) -> Self {
-        Self { tx, stats }
+    pub(crate) fn new(tx: Sender<Msg>, stats: Arc<TrafficStats>, pool: BufferPool) -> Self {
+        Self { tx, stats, pool }
     }
 
     /// Push a gradient payload for `key` on behalf of `worker`.
     /// Non-blocking: aggregation happens on the server thread.
     pub fn push(&self, worker: usize, key: Key, payload: Compressed) {
         self.tx
-            .send(Msg::Push { worker, key, payload })
+            .send(Msg::Push {
+                worker,
+                key,
+                payload,
+            })
             .expect("parameter server is gone");
     }
 
     /// Pull the weights for `key`, blocking until exactly `min_version`
-    /// aggregate updates have been applied to it.
-    pub fn pull(&self, key: Key, min_version: u64) -> Vec<f32> {
+    /// aggregate updates have been applied to it. The returned snapshot is
+    /// shared (`Arc` bump) with every other worker pulling this version —
+    /// the server never copies weights to serve a pull.
+    pub fn pull(&self, key: Key, min_version: u64) -> Arc<[f32]> {
         self.pull_async(key, min_version)
             .recv()
             .expect("parameter server dropped the reply")
@@ -39,35 +46,54 @@ impl PsClient {
     /// weights once the server reaches `min_version`. This is how delayed
     /// algorithms overlap the pull transfer with the next iteration's
     /// computation (MXNet's engine issues pulls asynchronously too).
-    pub fn pull_async(&self, key: Key, min_version: u64) -> crossbeam_channel::Receiver<Vec<f32>> {
+    pub fn pull_async(
+        &self,
+        key: Key,
+        min_version: u64,
+    ) -> crossbeam_channel::Receiver<Arc<[f32]>> {
         let (reply_tx, reply_rx) = bounded(1);
         self.tx
-            .send(Msg::Pull { key, min_version, reply: reply_tx })
+            .send(Msg::Pull {
+                key,
+                min_version,
+                reply: reply_tx,
+            })
             .expect("parameter server is gone");
         reply_rx
     }
 
     /// Pull every key at `min_version` (convenience for warm-up and eval).
-    pub fn pull_all(&self, num_keys: usize, min_version: u64) -> Vec<Vec<f32>> {
+    pub fn pull_all(&self, num_keys: usize, min_version: u64) -> Vec<Arc<[f32]>> {
         (0..num_keys).map(|k| self.pull(k, min_version)).collect()
     }
 
     /// Change the server's global learning rate (takes effect on the next
     /// aggregate update).
     pub fn set_lr(&self, lr: f32) {
-        self.tx.send(Msg::SetLr(lr)).expect("parameter server is gone");
+        self.tx
+            .send(Msg::SetLr(lr))
+            .expect("parameter server is gone");
     }
 
     /// Snapshot all weights and per-key versions (diagnostics).
     pub fn snapshot(&self) -> (Vec<Vec<f32>>, Vec<u64>) {
         let (reply_tx, reply_rx) = bounded(1);
-        self.tx.send(Msg::Snapshot { reply: reply_tx }).expect("parameter server is gone");
+        self.tx
+            .send(Msg::Snapshot { reply: reply_tx })
+            .expect("parameter server is gone");
         reply_rx.recv().expect("parameter server dropped the reply")
     }
 
     /// Shared traffic counters.
     pub fn stats(&self) -> &TrafficStats {
         &self.stats
+    }
+
+    /// The payload buffer pool shared with the server: feed it to
+    /// [`cdsgd_compress::GradientCompressor::compress_into`] so each push
+    /// reuses storage the server recycled after decoding earlier rounds.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
     }
 }
 
@@ -90,7 +116,7 @@ mod tests {
             .collect();
         for h in handles {
             // Each worker contributed 1.0; W = 0 - 1.0/4 * 4 = -1.
-            assert_eq!(h.join().unwrap(), vec![-1.0]);
+            assert_eq!(*h.join().unwrap(), [-1.0]);
         }
         ps.shutdown();
     }
@@ -100,7 +126,9 @@ mod tests {
         let ps = ParamServer::start(vec![vec![1.0], vec![2.0, 3.0]], ServerConfig::new(1, 1.0));
         let c = ps.client();
         let all = c.pull_all(2, 0);
-        assert_eq!(all, vec![vec![1.0], vec![2.0, 3.0]]);
+        assert_eq!(all.len(), 2);
+        assert_eq!(*all[0], [1.0]);
+        assert_eq!(*all[1], [2.0, 3.0]);
         ps.shutdown();
     }
 }

@@ -27,8 +27,8 @@
 //! let ps = ParamServer::start(vec![vec![0.0; 4]], ServerConfig::new(1, 0.5));
 //! let client = ps.client();
 //! client.push(0, 0, Compressed::Raw(vec![1.0, 2.0, 3.0, 4.0]));
-//! let w = client.pull(0, 1);
-//! assert_eq!(w, vec![-0.5, -1.0, -1.5, -2.0]);
+//! let w = client.pull(0, 1); // Arc<[f32]>: shared with every other puller
+//! assert_eq!(*w, [-0.5, -1.0, -1.5, -2.0]);
 //! ps.shutdown();
 //! ```
 

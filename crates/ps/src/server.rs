@@ -5,7 +5,7 @@ use crate::client::PsClient;
 use crate::sharded::ShardedParamServer;
 use crate::stats::TrafficStats;
 use crate::Key;
-use cdsgd_compress::{decompress_add, Compressed};
+use cdsgd_compress::{decompress_add, BufferPool, Compressed};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -35,7 +35,12 @@ impl ServerConfig {
     /// Plain-SGD config (the paper's update rule).
     pub fn new(num_workers: usize, global_lr: f32) -> Self {
         assert!(num_workers > 0, "need at least one worker");
-        Self { num_workers, global_lr, momentum: 0.0, delay_per_byte: 0.0 }
+        Self {
+            num_workers,
+            global_lr,
+            momentum: 0.0,
+            delay_per_byte: 0.0,
+        }
     }
 
     /// Emulate a network with the given bandwidth (bytes/second) shared
@@ -54,16 +59,29 @@ impl ServerConfig {
 }
 
 pub(crate) enum Msg {
-    Push { worker: usize, key: Key, payload: Compressed },
-    Pull { key: Key, min_version: u64, reply: Sender<Vec<f32>> },
+    Push {
+        worker: usize,
+        key: Key,
+        payload: Compressed,
+    },
+    Pull {
+        key: Key,
+        min_version: u64,
+        reply: Sender<Arc<[f32]>>,
+    },
     SetLr(f32),
     /// Read all weights and per-key versions (test/diagnostic support).
-    Snapshot { reply: Sender<(Vec<Vec<f32>>, Vec<u64>)> },
+    Snapshot {
+        reply: Sender<(Vec<Vec<f32>>, Vec<u64>)>,
+    },
     Shutdown,
 }
 
 struct KeyState {
-    weights: Vec<f32>,
+    /// Current weight snapshot. Immutable once built: every pull of this
+    /// version shares the same allocation (`Arc` bump, zero copies), and
+    /// the aggregate update *replaces* the Arc rather than mutating it.
+    weights: Arc<[f32]>,
     /// Weights as of `version − 1`, kept so pulls can be served at an
     /// *exact* version. A worker that pushes round r and then pulls
     /// version r can race the server applying round r (its own push may
@@ -71,7 +89,10 @@ struct KeyState {
     /// one step ahead — never more, because the puller has not pushed
     /// round r+1 yet. Exact-version pulls keep delayed algorithms
     /// bit-deterministic and faithful to Algorithm 1.
-    prev_weights: Vec<f32>,
+    prev_weights: Arc<[f32]>,
+    /// Reusable aggregation buffer, zeroed at the start of each round
+    /// instead of reallocated.
+    acc: Vec<f32>,
     /// Pending pushes, one FIFO per worker. Delayed algorithms (OD-SGD /
     /// CD-SGD) legitimately run ahead: a fast worker may push round r+1
     /// before a slow worker has pushed round r, so rounds are matched by
@@ -82,7 +103,7 @@ struct KeyState {
     /// Momentum buffer (allocated lazily when momentum > 0).
     velocity: Option<Vec<f32>>,
     /// Pulls waiting for a version that doesn't exist yet.
-    waiting: Vec<(u64, Sender<Vec<f32>>)>,
+    waiting: Vec<(u64, Sender<Arc<[f32]>>)>,
 }
 
 /// Handle to a running parameter server. Dropping without calling
@@ -91,6 +112,7 @@ struct KeyState {
 pub struct ParamServer {
     tx: Sender<Msg>,
     stats: Arc<TrafficStats>,
+    pool: BufferPool,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -101,11 +123,18 @@ impl ParamServer {
         let (tx, rx) = unbounded();
         let stats = Arc::new(TrafficStats::new());
         let stats2 = Arc::clone(&stats);
+        let pool = BufferPool::new();
+        let pool2 = pool.clone();
         let handle = std::thread::Builder::new()
             .name("param-server".into())
-            .spawn(move || server_loop(init, cfg, rx, stats2))
+            .spawn(move || server_loop(init, cfg, rx, stats2, pool2))
             .expect("spawn server thread");
-        Self { tx, stats, handle: Some(handle) }
+        Self {
+            tx,
+            stats,
+            pool,
+            handle: Some(handle),
+        }
     }
 
     /// Start a key-sharded server group: `num_shards` independent server
@@ -126,12 +155,20 @@ impl ParamServer {
 
     /// A client handle usable from any thread.
     pub fn client(&self) -> PsClient {
-        PsClient::new(self.tx.clone(), Arc::clone(&self.stats))
+        PsClient::new(self.tx.clone(), Arc::clone(&self.stats), self.pool.clone())
     }
 
     /// Traffic counters.
     pub fn stats(&self) -> &TrafficStats {
         &self.stats
+    }
+
+    /// The payload buffer pool shared between this server and its
+    /// clients. Buffers recycled by the server after decoding a push are
+    /// handed back out through [`PsClient::pool`] /
+    /// [`cdsgd_compress::GradientCompressor::compress_into`].
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     /// Stop the server thread and wait for it to exit.
@@ -157,22 +194,32 @@ fn server_loop(
     mut cfg: ServerConfig,
     rx: Receiver<Msg>,
     stats: Arc<TrafficStats>,
+    pool: BufferPool,
 ) {
     let mut keys: Vec<KeyState> = init
         .into_iter()
-        .map(|weights| KeyState {
-            prev_weights: weights.clone(),
-            weights,
-            pending: vec![std::collections::VecDeque::new(); cfg.num_workers],
-            version: 0,
-            velocity: None,
-            waiting: Vec::new(),
+        .map(|weights| {
+            let len = weights.len();
+            let weights: Arc<[f32]> = weights.into();
+            KeyState {
+                prev_weights: Arc::clone(&weights),
+                weights,
+                acc: vec![0.0; len],
+                pending: vec![std::collections::VecDeque::new(); cfg.num_workers],
+                version: 0,
+                velocity: None,
+                waiting: Vec::new(),
+            }
         })
         .collect();
 
     while let Ok(msg) = rx.recv() {
         match msg {
-            Msg::Push { worker, key, payload } => {
+            Msg::Push {
+                worker,
+                key,
+                payload,
+            } => {
                 stats.record_push(payload.wire_bytes());
                 net_delay(cfg.delay_per_byte, payload.wire_bytes());
                 let ks = &mut keys[key];
@@ -181,13 +228,15 @@ fn server_loop(
                 ks.pending[worker].push_back(payload);
                 // Apply every round for which all workers have a push.
                 while ks.pending.iter().all(|q| !q.is_empty()) {
-                    let mut acc = vec![0.0f32; ks.weights.len()];
+                    ks.acc.fill(0.0);
                     for q in &mut ks.pending {
                         let p = q.pop_front().expect("checked non-empty");
-                        decompress_add(&p, &mut acc);
+                        decompress_add(&p, &mut ks.acc);
+                        // Payload storage goes back to the shared pool so
+                        // the next compress_into can reuse it.
+                        p.recycle(&pool);
                     }
-                    ks.prev_weights.copy_from_slice(&ks.weights);
-                    apply_update(ks, &acc, &cfg);
+                    apply_update(ks, &cfg, &stats);
                     ks.version += 1;
                     // Release any pulls now satisfied.
                     let version = ks.version;
@@ -204,22 +253,26 @@ fn server_loop(
                     for reply in ready {
                         stats.record_pull(4 * ks.weights.len());
                         net_delay(cfg.delay_per_byte, 4 * ks.weights.len());
-                        let _ = reply.send(ks.weights.clone());
+                        let _ = reply.send(Arc::clone(&ks.weights));
                     }
                 }
             }
-            Msg::Pull { key, min_version, reply } => {
+            Msg::Pull {
+                key,
+                min_version,
+                reply,
+            } => {
                 let ks = &mut keys[key];
                 if ks.version == min_version {
                     stats.record_pull(4 * ks.weights.len());
                     net_delay(cfg.delay_per_byte, 4 * ks.weights.len());
-                    let _ = reply.send(ks.weights.clone());
+                    let _ = reply.send(Arc::clone(&ks.weights));
                 } else if ks.version == min_version + 1 {
                     // The puller raced one aggregate behind; serve the
                     // exact requested version from the history.
                     stats.record_pull(4 * ks.prev_weights.len());
                     net_delay(cfg.delay_per_byte, 4 * ks.prev_weights.len());
-                    let _ = reply.send(ks.prev_weights.clone());
+                    let _ = reply.send(Arc::clone(&ks.prev_weights));
                 } else if ks.version > min_version {
                     panic!(
                         "pull of version {min_version} for key {key} arrived after \
@@ -232,7 +285,7 @@ fn server_loop(
             }
             Msg::SetLr(lr) => cfg.global_lr = lr,
             Msg::Snapshot { reply } => {
-                let w = keys.iter().map(|k| k.weights.clone()).collect();
+                let w = keys.iter().map(|k| k.weights.to_vec()).collect();
                 let v = keys.iter().map(|k| k.version).collect();
                 let _ = reply.send((w, v));
             }
@@ -244,24 +297,41 @@ fn server_loop(
 /// Emulated transfer time for `bytes` at the configured delay.
 fn net_delay(delay_per_byte: f64, bytes: usize) {
     if delay_per_byte > 0.0 {
-        std::thread::sleep(std::time::Duration::from_secs_f64(delay_per_byte * bytes as f64));
+        std::thread::sleep(std::time::Duration::from_secs_f64(
+            delay_per_byte * bytes as f64,
+        ));
     }
 }
 
 /// `W ← W − η/N · (acc [+ momentum])`, eq. 10.
-fn apply_update(ks: &mut KeyState, acc: &[f32], cfg: &ServerConfig) {
+///
+/// Builds the new version as a fresh `Arc<[f32]>` snapshot (the one copy
+/// per round, counted in [`TrafficStats::bytes_copied`]) and rotates the
+/// old snapshot into `prev_weights` — pulls of either version are then
+/// served by reference-count bumps alone.
+fn apply_update(ks: &mut KeyState, cfg: &ServerConfig, stats: &TrafficStats) {
     let step = cfg.global_lr / cfg.num_workers as f32;
-    if cfg.momentum > 0.0 {
-        let vel = ks.velocity.get_or_insert_with(|| vec![0.0; ks.weights.len()]);
-        for ((w, v), &g) in ks.weights.iter_mut().zip(vel.iter_mut()).zip(acc.iter()) {
+    let new: Arc<[f32]> = if cfg.momentum > 0.0 {
+        let vel = ks
+            .velocity
+            .get_or_insert_with(|| vec![0.0; ks.weights.len()]);
+        for (v, &g) in vel.iter_mut().zip(ks.acc.iter()) {
             *v = cfg.momentum * *v + g;
-            *w -= step * *v;
         }
+        ks.weights
+            .iter()
+            .zip(vel.iter())
+            .map(|(&w, &v)| w - step * v)
+            .collect()
     } else {
-        for (w, &g) in ks.weights.iter_mut().zip(acc.iter()) {
-            *w -= step * g;
-        }
-    }
+        ks.weights
+            .iter()
+            .zip(ks.acc.iter())
+            .map(|(&w, &g)| w - step * g)
+            .collect()
+    };
+    stats.record_copy(4 * new.len());
+    ks.prev_weights = std::mem::replace(&mut ks.weights, new);
 }
 
 #[cfg(test)]
@@ -274,7 +344,7 @@ mod tests {
         let c = ps.client();
         c.push(0, 0, Compressed::Raw(vec![10.0, -10.0]));
         let w = c.pull(0, 1);
-        assert_eq!(w, vec![0.0, 3.0]);
+        assert_eq!(*w, [0.0, 3.0]);
         ps.shutdown();
     }
 
@@ -284,10 +354,10 @@ mod tests {
         let c = ps.client();
         c.push(0, 0, Compressed::Raw(vec![2.0]));
         // Version still 0: a pull at min_version 0 returns the original.
-        assert_eq!(c.pull(0, 0), vec![0.0]);
+        assert_eq!(*c.pull(0, 0), [0.0]);
         c.push(1, 0, Compressed::Raw(vec![4.0]));
         // Both pushed: W = 0 - 1.0/2 * (2+4) = -3.
-        assert_eq!(c.pull(0, 1), vec![-3.0]);
+        assert_eq!(*c.pull(0, 1), [-3.0]);
         ps.shutdown();
     }
 
@@ -299,7 +369,7 @@ mod tests {
         let waiter = std::thread::spawn(move || c2.pull(0, 1));
         std::thread::sleep(std::time::Duration::from_millis(20));
         c.push(0, 0, Compressed::Raw(vec![1.0]));
-        assert_eq!(waiter.join().unwrap(), vec![-1.0]);
+        assert_eq!(*waiter.join().unwrap(), [-1.0]);
         ps.shutdown();
     }
 
@@ -308,9 +378,9 @@ mod tests {
         let ps = ParamServer::start(vec![vec![0.0], vec![0.0]], ServerConfig::new(1, 1.0));
         let c = ps.client();
         c.push(0, 1, Compressed::Raw(vec![5.0]));
-        assert_eq!(c.pull(1, 1), vec![-5.0]);
+        assert_eq!(*c.pull(1, 1), [-5.0]);
         // Key 0 untouched.
-        assert_eq!(c.pull(0, 0), vec![0.0]);
+        assert_eq!(*c.pull(0, 0), [0.0]);
         let (_, versions) = c.snapshot();
         assert_eq!(versions, vec![0, 1]);
         ps.shutdown();
@@ -352,8 +422,42 @@ mod tests {
         let c = ps.client();
         c.push(0, 0, Compressed::Raw(vec![0.0; 16]));
         c.pull(0, 1);
-        assert_eq!(ps.stats().bytes_pushed(), 64);
+        // Raw pushes carry a uniform 4-byte element-count header.
+        assert_eq!(ps.stats().bytes_pushed(), 68);
         assert_eq!(ps.stats().bytes_pulled(), 64);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn same_version_pulls_share_one_snapshot_allocation() {
+        // Two clients on two threads pulling the same version must get the
+        // *same* Arc — the server serves snapshots by reference, not copy.
+        let ps = ParamServer::start(vec![vec![0.0; 8]], ServerConfig::new(1, 1.0));
+        let c1 = ps.client();
+        let c2 = ps.client();
+        c1.push(0, 0, Compressed::Raw(vec![1.0; 8]));
+        let h1 = std::thread::spawn(move || c1.pull(0, 1));
+        let h2 = std::thread::spawn(move || c2.pull(0, 1));
+        let (w1, w2) = (h1.join().unwrap(), h2.join().unwrap());
+        assert!(
+            Arc::ptr_eq(&w1, &w2),
+            "same-version pulls must share storage"
+        );
+        assert_eq!(*w1, [-1.0; 8]);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn bytes_copied_counts_snapshots_not_pulls() {
+        // One push builds one 8-element snapshot; two pulls of that same
+        // version add nothing to the copy counter (only to pull traffic).
+        let ps = ParamServer::start(vec![vec![0.0; 8]], ServerConfig::new(1, 1.0));
+        let c = ps.client();
+        c.push(0, 0, Compressed::Raw(vec![1.0; 8]));
+        c.pull(0, 1);
+        c.pull(0, 1);
+        assert_eq!(ps.stats().bytes_copied(), 4 * 8);
+        assert_eq!(ps.stats().bytes_pulled(), 2 * 4 * 8);
         ps.shutdown();
     }
 
@@ -365,7 +469,7 @@ mod tests {
         let mut q = TwoBitQuantizer::new(0.5);
         let payload = q.compress(0, &[0.9, -0.9, 0.1]);
         c.push(0, 0, payload);
-        assert_eq!(c.pull(0, 1), vec![-0.5, 0.5, 0.0]);
+        assert_eq!(*c.pull(0, 1), [-0.5, 0.5, 0.0]);
         ps.shutdown();
     }
 }

@@ -10,6 +10,7 @@ use crate::client::PsClient;
 use crate::server::{ParamServer, ServerConfig};
 use crate::Key;
 use cdsgd_compress::Compressed;
+use std::sync::Arc;
 
 /// A group of independent single-thread servers with keys interleaved
 /// across them.
@@ -52,7 +53,9 @@ impl ShardedParamServer {
 
     /// A routing client handle.
     pub fn client(&self) -> ShardedClient {
-        ShardedClient { clients: self.shards.iter().map(|s| s.client()).collect() }
+        ShardedClient {
+            clients: self.shards.iter().map(|s| s.client()).collect(),
+        }
     }
 
     /// Aggregate traffic across all shards.
@@ -62,7 +65,10 @@ impl ShardedParamServer {
 
     /// Per-shard pushed bytes (load-balance diagnostics).
     pub fn pushed_bytes_per_shard(&self) -> Vec<u64> {
-        self.shards.iter().map(|s| s.stats().bytes_pushed()).collect()
+        self.shards
+            .iter()
+            .map(|s| s.stats().bytes_pushed())
+            .collect()
     }
 
     /// Stop all shard threads.
@@ -85,14 +91,15 @@ impl ShardedClient {
         self.clients[shard].push(worker, local, payload);
     }
 
-    /// Pull global `key` at exactly `version` aggregates.
-    pub fn pull(&self, key: Key, version: u64) -> Vec<f32> {
+    /// Pull global `key` at exactly `version` aggregates. Snapshots are
+    /// shared by reference, same as [`PsClient::pull`].
+    pub fn pull(&self, key: Key, version: u64) -> Arc<[f32]> {
         let (shard, local) = self.route(key);
         self.clients[shard].pull(local, version)
     }
 
     /// Pull all `num_keys` keys at `version`.
-    pub fn pull_all(&self, num_keys: usize, version: u64) -> Vec<Vec<f32>> {
+    pub fn pull_all(&self, num_keys: usize, version: u64) -> Vec<Arc<[f32]>> {
         (0..num_keys).map(|k| self.pull(k, version)).collect()
     }
 
@@ -117,7 +124,7 @@ mod tests {
         let ps = ParamServer::start_sharded(init(7), ServerConfig::new(1, 1.0), 3);
         let c = ps.client();
         for k in 0..7 {
-            assert_eq!(c.pull(k, 0), vec![k as f32; 2], "key {k}");
+            assert_eq!(*c.pull(k, 0), [k as f32; 2], "key {k}");
         }
         ps.shutdown();
     }
@@ -128,10 +135,10 @@ mod tests {
         let c = ps.client();
         c.push(0, 3, Compressed::Raw(vec![2.0, 4.0]));
         // key 3 updated: 3 − 0.5·2 = 2, 3 − 0.5·4 = 1.
-        assert_eq!(c.pull(3, 1), vec![2.0, 1.0]);
+        assert_eq!(*c.pull(3, 1), [2.0, 1.0]);
         // Other keys untouched (still version 0).
-        assert_eq!(c.pull(0, 0), vec![0.0, 0.0]);
-        assert_eq!(c.pull(4, 0), vec![4.0, 4.0]);
+        assert_eq!(*c.pull(0, 0), [0.0, 0.0]);
+        assert_eq!(*c.pull(4, 0), [4.0, 4.0]);
         ps.shutdown();
     }
 
@@ -152,7 +159,7 @@ mod tests {
         // Every key advanced one version: k − 1.0/2·(1+1) = k − 1.
         let c = ps.client();
         for k in 0..4 {
-            assert_eq!(c.pull(k, 1), vec![k as f32 - 1.0; 2]);
+            assert_eq!(*c.pull(k, 1), [k as f32 - 1.0; 2]);
         }
         ps.shutdown();
     }

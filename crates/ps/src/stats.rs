@@ -11,6 +11,7 @@ pub struct TrafficStats {
     bytes_pulled: AtomicU64,
     num_pushes: AtomicU64,
     num_pulls: AtomicU64,
+    bytes_copied: AtomicU64,
 }
 
 impl TrafficStats {
@@ -27,6 +28,10 @@ impl TrafficStats {
     pub(crate) fn record_pull(&self, bytes: usize) {
         self.bytes_pulled.fetch_add(bytes as u64, Ordering::Relaxed);
         self.num_pulls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_copy(&self, bytes: usize) {
+        self.bytes_copied.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Total bytes pushed worker→server (compressed size on the wire).
@@ -53,6 +58,14 @@ impl TrafficStats {
     pub fn total_bytes(&self) -> u64 {
         self.bytes_pushed() + self.bytes_pulled()
     }
+
+    /// Bytes the server *materialised* for weight snapshots — one
+    /// `Arc<[f32]>` build per new version, regardless of how many workers
+    /// pull it. The gap between this and [`TrafficStats::bytes_pulled`] is
+    /// the copying the zero-copy pull path avoids.
+    pub fn bytes_copied(&self) -> u64 {
+        self.bytes_copied.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -65,10 +78,13 @@ mod tests {
         s.record_push(100);
         s.record_push(50);
         s.record_pull(400);
+        s.record_copy(400);
+        s.record_copy(400);
         assert_eq!(s.bytes_pushed(), 150);
         assert_eq!(s.bytes_pulled(), 400);
         assert_eq!(s.num_pushes(), 2);
         assert_eq!(s.num_pulls(), 1);
         assert_eq!(s.total_bytes(), 550);
+        assert_eq!(s.bytes_copied(), 800);
     }
 }

@@ -138,7 +138,11 @@ impl ClusterSpec {
     /// time is set by the larger direction through the node's NIC, not
     /// the sum.
     pub fn comm_time(&self, wire_bytes: f64, pull_bytes: f64) -> f64 {
-        let frac = if self.nodes > 1 { (self.nodes as f64 - 1.0) / self.nodes as f64 } else { 0.0 };
+        let frac = if self.nodes > 1 {
+            (self.nodes as f64 - 1.0) / self.nodes as f64
+        } else {
+            0.0
+        };
         let node_bytes = self.gpus_per_node as f64 * frac * wire_bytes.max(pull_bytes);
         2.0 * self.latency_s + node_bytes / (self.link_bandwidth_bps / 8.0)
     }
@@ -179,7 +183,10 @@ mod tests {
         let c = ClusterSpec::v100_cluster();
         let symmetric = c.comm_time(1e8, 1e8);
         let push_only = c.comm_time(1e8, 0.0);
-        assert!((symmetric - push_only).abs() < 1e-9, "pull rides the other direction");
+        assert!(
+            (symmetric - push_only).abs() < 1e-9,
+            "pull rides the other direction"
+        );
         // Compressing the push below the pull size stops helping.
         let compressed = c.comm_time(1e8 / 16.0, 1e8);
         assert!((compressed - symmetric).abs() < 1e-9);

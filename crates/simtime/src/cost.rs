@@ -88,7 +88,7 @@ impl CostModel {
     /// Eq. 6: CD-SGD's communication time in iteration `i`
     /// (`δ + ψ` in compression iterations, `φ` in correction iterations).
     pub fn phi_cd(&self, i: usize) -> f64 {
-        if i % self.inputs.k != 0 {
+        if !i.is_multiple_of(self.inputs.k) {
             self.inputs.delta + self.inputs.psi
         } else {
             self.inputs.phi
@@ -143,7 +143,13 @@ mod tests {
     use super::*;
 
     fn model(tau: f64, phi: f64, psi: f64, delta: f64, k: usize) -> CostModel {
-        CostModel::new(CostInputs { tau, phi, psi, delta, k })
+        CostModel::new(CostInputs {
+            tau,
+            phi,
+            psi,
+            delta,
+            k,
+        })
     }
 
     #[test]
@@ -189,7 +195,10 @@ mod tests {
     fn correction_iterations_can_cost_more_than_bit() {
         // Eq. 9 case 3 can be negative: τ + δ + ψ − φ < 0 when φ is huge.
         let m = model(0.1, 10.0, 0.2, 0.05, 5);
-        assert!(m.saving_vs_bit(0) < 0.0, "correction step should be slower than BIT");
+        assert!(
+            m.saving_vs_bit(0) < 0.0,
+            "correction step should be slower than BIT"
+        );
         assert!(m.saving_vs_bit(1) > 0.0);
     }
 
@@ -235,8 +244,7 @@ mod tests {
     fn derive_produces_sane_scalars() {
         use crate::cluster::ClusterSpec;
         use crate::zoo;
-        let inputs =
-            CostInputs::derive(&zoo::vgg16(), &ClusterSpec::k80_cluster(), 32, 5);
+        let inputs = CostInputs::derive(&zoo::vgg16(), &ClusterSpec::k80_cluster(), 32, 5);
         assert!(inputs.tau > 0.0 && inputs.phi > 0.0);
         // ψ < φ (compression shrinks push traffic), δ > 0.
         assert!(inputs.psi < inputs.phi);

@@ -60,7 +60,7 @@ impl AlgoKind {
         match self {
             AlgoKind::Ssgd | AlgoKind::OdSgd => false,
             AlgoKind::BitSgd => true,
-            AlgoKind::CdSgd { k } => i % k != 0,
+            AlgoKind::CdSgd { k } => !i.is_multiple_of(*k),
         }
     }
 }
@@ -110,7 +110,14 @@ impl PipelineSim {
         // Local update reads the gradient and weights and writes weights.
         let total_bytes = model.param_bytes();
         let local_update = 3.0 * total_bytes / cluster.gpu.mem_bandwidth();
-        Self { fp, bp, comm_raw, comm_cmp, quant, local_update }
+        Self {
+            fp,
+            bp,
+            comm_raw,
+            comm_cmp,
+            quant,
+            local_update,
+        }
     }
 
     /// Number of layers.
@@ -121,7 +128,10 @@ impl PipelineSim {
     /// Run `iters` iterations of `algo`; steady-state average excludes the
     /// first `warmup` iterations (default 2 inside [`Self::run`]).
     pub fn run(&self, algo: AlgoKind, iters: usize) -> SimResult {
-        assert!(iters >= 4, "need a few iterations for a steady-state average");
+        assert!(
+            iters >= 4,
+            "need a few iterations for a steady-state average"
+        );
         let l_count = self.num_layers();
         let mut trace = TraceLog::new();
         let mut compute_free = 0.0f64;
@@ -134,6 +144,7 @@ impl PipelineSim {
         for i in 0..iters {
             // ---- FP ----
             let mut t = compute_free;
+            #[allow(clippy::needless_range_loop)]
             for l in 0..l_count {
                 let gate = if algo.is_delayed() {
                     if i >= 2 {
@@ -207,7 +218,11 @@ impl PipelineSim {
                     quant_free = qs + self.quant[l];
                     ready = quant_free;
                 }
-                let dur = if compress { self.comm_cmp[l] } else { self.comm_raw[l] };
+                let dur = if compress {
+                    self.comm_cmp[l]
+                } else {
+                    self.comm_raw[l]
+                };
                 let ns = net_free.max(ready);
                 trace.record(Resource::Net, "comm", i, l, ns, ns + dur);
                 net_free = ns + dur;
@@ -222,7 +237,11 @@ impl PipelineSim {
         let span_end = iters - 1;
         let avg = (iteration_done[span_end] - iteration_done[warmup - 1])
             / (span_end - (warmup - 1)) as f64;
-        SimResult { avg_iter_time: avg, iteration_done, trace }
+        SimResult {
+            avg_iter_time: avg,
+            iteration_done,
+            trace,
+        }
     }
 }
 
@@ -238,7 +257,11 @@ mod tests {
     fn single_layer_model(params: u64, thr: f64) -> ModelSpec {
         ModelSpec {
             name: "single".into(),
-            layers: vec![LayerSpec { name: "all".into(), params, flops_fwd: 1e9 }],
+            layers: vec![LayerSpec {
+                name: "all".into(),
+                params,
+                flops_fwd: 1e9,
+            }],
             throughput: (thr, thr),
         }
     }
@@ -260,14 +283,32 @@ mod tests {
         let cm = CostModel::new(inputs);
         let tol = 0.08;
 
-        let ssgd = sim.run(AlgoKind::Ssgd, iters_for(AlgoKind::Ssgd)).avg_iter_time;
-        assert!((ssgd - cm.t_ssgd()).abs() / cm.t_ssgd() < tol, "{ssgd} vs {}", cm.t_ssgd());
+        let ssgd = sim
+            .run(AlgoKind::Ssgd, iters_for(AlgoKind::Ssgd))
+            .avg_iter_time;
+        assert!(
+            (ssgd - cm.t_ssgd()).abs() / cm.t_ssgd() < tol,
+            "{ssgd} vs {}",
+            cm.t_ssgd()
+        );
 
-        let bit = sim.run(AlgoKind::BitSgd, iters_for(AlgoKind::BitSgd)).avg_iter_time;
-        assert!((bit - cm.t_bit()).abs() / cm.t_bit() < tol, "{bit} vs {}", cm.t_bit());
+        let bit = sim
+            .run(AlgoKind::BitSgd, iters_for(AlgoKind::BitSgd))
+            .avg_iter_time;
+        assert!(
+            (bit - cm.t_bit()).abs() / cm.t_bit() < tol,
+            "{bit} vs {}",
+            cm.t_bit()
+        );
 
-        let od = sim.run(AlgoKind::OdSgd, iters_for(AlgoKind::OdSgd)).avg_iter_time;
-        assert!((od - cm.t_loc()).abs() / cm.t_loc() < tol, "{od} vs {}", cm.t_loc());
+        let od = sim
+            .run(AlgoKind::OdSgd, iters_for(AlgoKind::OdSgd))
+            .avg_iter_time;
+        assert!(
+            (od - cm.t_loc()).abs() / cm.t_loc() < tol,
+            "{od} vs {}",
+            cm.t_loc()
+        );
 
         // For CD-SGD the event simulator is allowed to beat the closed
         // form: across iterations the encode of step i overlaps the
@@ -279,8 +320,16 @@ mod tests {
             .run(AlgoKind::CdSgd { k }, iters_for(AlgoKind::CdSgd { k }))
             .avg_iter_time;
         let hideable = inputs.delta * (k as f64 - 1.0) / k as f64;
-        assert!(cd <= cm.t_cd_avg() * (1.0 + tol), "{cd} vs {}", cm.t_cd_avg());
-        assert!(cd >= cm.t_cd_avg() - hideable - tol * cm.t_cd_avg(), "{cd} vs {}", cm.t_cd_avg());
+        assert!(
+            cd <= cm.t_cd_avg() * (1.0 + tol),
+            "{cd} vs {}",
+            cm.t_cd_avg()
+        );
+        assert!(
+            cd >= cm.t_cd_avg() - hideable - tol * cm.t_cd_avg(),
+            "{cd} vs {}",
+            cm.t_cd_avg()
+        );
     }
 
     #[test]
@@ -327,9 +376,18 @@ mod tests {
         // At k=5 AlexNet's enormous correction round (61M raw params)
         // makes this the paper's "3%" end of the 3–45% range — a
         // near-tie; we allow ±10% either way.
-        assert!(cd5 <= bit * 1.1, "CD(k=5) {cd5} should be within 10% of BIT {bit}");
-        assert!(ssgd / cd5 > 1.3, "CD {cd5} should clearly beat S-SGD {ssgd}");
-        assert!(cd20 < bit, "CD(k=20) {cd20} must clearly beat BIT {bit} (paper §3.3 ①)");
+        assert!(
+            cd5 <= bit * 1.1,
+            "CD(k=5) {cd5} should be within 10% of BIT {bit}"
+        );
+        assert!(
+            ssgd / cd5 > 1.3,
+            "CD {cd5} should clearly beat S-SGD {ssgd}"
+        );
+        assert!(
+            cd20 < bit,
+            "CD(k=20) {cd20} must clearly beat BIT {bit} (paper §3.3 ①)"
+        );
     }
 
     #[test]
@@ -355,9 +413,15 @@ mod tests {
         };
 
         let (fp, comm) = check(AlgoKind::CdSgd { k: 4 });
-        assert!(fp < comm, "CD-SGD FP {fp} should start before comm {comm} ends");
+        assert!(
+            fp < comm,
+            "CD-SGD FP {fp} should start before comm {comm} ends"
+        );
         let (fp, comm) = check(AlgoKind::BitSgd);
-        assert!(fp >= comm - 1e-9, "BIT-SGD FP {fp} must wait for comm {comm}");
+        assert!(
+            fp >= comm - 1e-9,
+            "BIT-SGD FP {fp} must wait for comm {comm}"
+        );
     }
 
     #[test]
@@ -365,9 +429,18 @@ mod tests {
         let cluster = ClusterSpec::k80_cluster();
         let model = zoo::resnet20();
         let sim = PipelineSim::new(&model, &cluster, 32);
-        for algo in [AlgoKind::Ssgd, AlgoKind::BitSgd, AlgoKind::OdSgd, AlgoKind::CdSgd { k: 2 }] {
+        for algo in [
+            AlgoKind::Ssgd,
+            AlgoKind::BitSgd,
+            AlgoKind::OdSgd,
+            AlgoKind::CdSgd { k: 2 },
+        ] {
             let res = sim.run(algo, 8);
-            assert!(res.trace.find_overlap().is_none(), "overlap in {}", algo.name());
+            assert!(
+                res.trace.find_overlap().is_none(),
+                "overlap in {}",
+                algo.name()
+            );
         }
     }
 

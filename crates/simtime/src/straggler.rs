@@ -57,7 +57,12 @@ impl StragglerSim {
     /// A homogeneous cluster of `n` workers.
     pub fn homogeneous(n: usize, tau: f64, comm: f64, jitter: f64) -> Self {
         assert!(n > 0);
-        Self { tau, comm, jitter, slowdowns: vec![1.0; n] }
+        Self {
+            tau,
+            comm,
+            jitter,
+            slowdowns: vec![1.0; n],
+        }
     }
 
     /// Make worker 0 persistently `factor`× slower.
@@ -99,6 +104,7 @@ impl StragglerSim {
         for r in 0..iters {
             let gate = if r >= 2 { agg[r - 2] } else { 0.0 };
             let mut last = 0.0f64;
+            #[allow(clippy::needless_range_loop)]
             for w in 0..n {
                 let start = finish[w].max(gate);
                 finish[w] = start + self.compute_time(w, &mut rng);
@@ -135,7 +141,10 @@ mod tests {
     fn jitter_hurts_blocking_more_than_delayed() {
         let s = StragglerSim::homogeneous(8, 0.1, 0.01, 0.5);
         let ratio = s.absorption_ratio(2_000, 7);
-        assert!(ratio > 1.1, "one-round slack should absorb jitter, ratio {ratio}");
+        assert!(
+            ratio > 1.1,
+            "one-round slack should absorb jitter, ratio {ratio}"
+        );
     }
 
     #[test]
@@ -154,7 +163,10 @@ mod tests {
         let b = s.blocking_avg(500, 5);
         let d = s.delayed_avg(500, 5);
         assert!((b - 0.3).abs() < 1e-6);
-        assert!((d - 0.3).abs() < 5e-3, "delayed {d} still bounded by the straggler");
+        assert!(
+            (d - 0.3).abs() < 5e-3,
+            "delayed {d} still bounded by the straggler"
+        );
     }
 
     #[test]

@@ -74,7 +74,14 @@ impl TraceLog {
         end: f64,
     ) {
         debug_assert!(end >= start, "negative-duration event");
-        self.events.push(TraceEvent { resource, op: op.into(), iter, layer, start, end });
+        self.events.push(TraceEvent {
+            resource,
+            op: op.into(),
+            iter,
+            layer,
+            start,
+            end,
+        });
     }
 
     /// All events in recording order.
@@ -84,8 +91,11 @@ impl TraceLog {
 
     /// Events on one resource, sorted by start time.
     pub fn on(&self, resource: Resource) -> Vec<&TraceEvent> {
-        let mut v: Vec<&TraceEvent> =
-            self.events.iter().filter(|e| e.resource == resource).collect();
+        let mut v: Vec<&TraceEvent> = self
+            .events
+            .iter()
+            .filter(|e| e.resource == resource)
+            .collect();
         v.sort_by(|a, b| a.start.total_cmp(&b.start));
         v
     }

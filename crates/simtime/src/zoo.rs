@@ -79,7 +79,11 @@ impl ModelSpec {
 }
 
 fn layer(name: &str, params: u64, mflops_fwd: f64) -> LayerSpec {
-    LayerSpec { name: name.to_string(), params, flops_fwd: mflops_fwd * 1e6 }
+    LayerSpec {
+        name: name.to_string(),
+        params,
+        flops_fwd: mflops_fwd * 1e6,
+    }
 }
 
 /// LeNet-5 (the paper's MNIST workload): 61.7K params.
@@ -112,7 +116,11 @@ pub fn resnet20() -> ModelSpec {
         layers.push(layer(&format!("stage3.block{b}"), 73_984, 4.4));
     }
     layers.push(layer("fc", 650, 0.002));
-    ModelSpec { name: "ResNet-20".into(), layers, throughput: (1_000.0, 7_500.0) }
+    ModelSpec {
+        name: "ResNet-20".into(),
+        layers,
+        throughput: (1_000.0, 7_500.0),
+    }
 }
 
 /// AlexNet: ~61M params (fc6/fc7 dominate), ~0.72 GFLOPs forward.
@@ -179,7 +187,11 @@ pub fn inception_bn() -> ModelSpec {
         layers.push(layer(&format!("inception{}", i + 1), *p, *f));
     }
     layers.push(layer("fc", 1_025_000, 1.0));
-    ModelSpec { name: "Inception-bn".into(), layers, throughput: (52.0, 400.0) }
+    ModelSpec {
+        name: "Inception-bn".into(),
+        layers,
+        throughput: (52.0, 400.0),
+    }
 }
 
 /// ResNet-50: ~25.6M params, ~3.9 GFLOPs forward.
@@ -199,7 +211,11 @@ pub fn resnet50() -> ModelSpec {
         }
     }
     layers.push(layer("fc", 2_049_000, 2.0));
-    ModelSpec { name: "ResNet-50".into(), layers, throughput: (48.0, 350.0) }
+    ModelSpec {
+        name: "ResNet-50".into(),
+        layers,
+        throughput: (48.0, 350.0),
+    }
 }
 
 /// All Fig. 10 models in the paper's presentation order.

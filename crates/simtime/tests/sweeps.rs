@@ -11,7 +11,9 @@ fn lower_bandwidth_never_speeds_anything_up() {
         let mut prev = 0.0f64;
         for gbps in [100.0f64, 56.0, 10.0, 1.0] {
             let cluster = ClusterSpec::v100_cluster().with_bandwidth_gbps(gbps);
-            let t = PipelineSim::new(&model, &cluster, 32).run(algo, 52).avg_iter_time;
+            let t = PipelineSim::new(&model, &cluster, 32)
+                .run(algo, 52)
+                .avg_iter_time;
             assert!(t >= prev - 1e-12, "{}: {gbps} Gbps got faster", algo.name());
             prev = t;
         }
@@ -89,7 +91,12 @@ fn closed_form_agrees_with_simulator_across_the_zoo() {
 
 #[test]
 fn od_sgd_never_loses_to_ssgd() {
-    for model in [zoo::alexnet(), zoo::resnet50(), zoo::vgg16(), zoo::inception_bn()] {
+    for model in [
+        zoo::alexnet(),
+        zoo::resnet50(),
+        zoo::vgg16(),
+        zoo::inception_bn(),
+    ] {
         for cluster in [ClusterSpec::k80_cluster(), ClusterSpec::v100_cluster()] {
             let sim = PipelineSim::new(&model, &cluster, 32);
             let ssgd = sim.run(AlgoKind::Ssgd, 42).avg_iter_time;

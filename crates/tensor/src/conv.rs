@@ -104,7 +104,11 @@ pub fn im2col(img: &[f32], g: &Conv2dGeom) -> Tensor {
 pub fn col2im(col: &Tensor, g: &Conv2dGeom, img: &mut [f32]) {
     g.validate();
     assert_eq!(img.len(), g.c * g.h * g.w, "image size mismatch");
-    assert_eq!(col.shape(), &[g.col_rows(), g.col_cols()], "column shape mismatch");
+    assert_eq!(
+        col.shape(),
+        &[g.col_rows(), g.col_cols()],
+        "column shape mismatch"
+    );
     let (oh, ow) = (g.out_h(), g.out_w());
     let data = col.data();
     let cols = oh * ow;
@@ -139,7 +143,15 @@ mod tests {
     use crate::rng::SmallRng64;
 
     fn geom(c: usize, h: usize, w: usize, k: usize, stride: usize, pad: usize) -> Conv2dGeom {
-        Conv2dGeom { c, h, w, kh: k, kw: k, stride, pad }
+        Conv2dGeom {
+            c,
+            h,
+            w,
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        }
     }
 
     #[test]
@@ -208,7 +220,8 @@ mod tests {
                                 if ii < 0 || jj < 0 || ii >= g.h as isize || jj >= g.w as isize {
                                     continue;
                                 }
-                                let iv = img.data()[c * g.h * g.w + ii as usize * g.w + jj as usize];
+                                let iv =
+                                    img.data()[c * g.h * g.w + ii as usize * g.w + jj as usize];
                                 let wv = weight.at(&[fo, (c * g.kh + ki) * g.kw + kj]);
                                 acc += iv * wv;
                             }
@@ -241,7 +254,10 @@ mod tests {
         col2im(&y, &g, &mut back);
         let rhs: f32 = x.data().iter().zip(&back).map(|(a, b)| a * b).sum();
 
-        assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]

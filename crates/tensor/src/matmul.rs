@@ -146,11 +146,13 @@ fn parallel_rows(
         body(0..m, c);
         return;
     }
-    c.par_chunks_mut(ROW_BLOCK * n).enumerate().for_each(|(blk, chunk)| {
-        let start = blk * ROW_BLOCK;
-        let rows = chunk.len() / n;
-        body(start..start + rows, chunk);
-    });
+    c.par_chunks_mut(ROW_BLOCK * n)
+        .enumerate()
+        .for_each(|(blk, chunk)| {
+            let start = blk * ROW_BLOCK;
+            let rows = chunk.len() / n;
+            body(start..start + rows, chunk);
+        });
 }
 
 #[cfg(test)]
@@ -177,7 +179,10 @@ mod tests {
     fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
         assert_eq!(a.shape(), b.shape());
         for (x, y) in a.data().iter().zip(b.data()) {
-            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "{x} vs {y}"
+            );
         }
     }
 
@@ -203,7 +208,13 @@ mod tests {
     #[test]
     fn matches_naive_on_random_sizes() {
         let mut rng = SmallRng64::new(2);
-        for &(m, k, n) in &[(1, 1, 1), (3, 7, 5), (17, 9, 13), (64, 64, 64), (70, 33, 41)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 7, 5),
+            (17, 9, 13),
+            (64, 64, 64),
+            (70, 33, 41),
+        ] {
             let a = Tensor::randn(&[m, k], 1.0, &mut rng);
             let b = Tensor::randn(&[k, n], 1.0, &mut rng);
             assert_close(&a.matmul(&b), &naive(&a, &b), 1e-4);

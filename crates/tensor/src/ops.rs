@@ -23,7 +23,10 @@ impl Tensor {
 
     /// Elementwise map (allocates).
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_vec(self.shape().to_vec(), self.data().iter().map(|&x| f(x)).collect())
+        Tensor::from_vec(
+            self.shape().to_vec(),
+            self.data().iter().map(|&x| f(x)).collect(),
+        )
     }
 
     /// In-place elementwise map.

@@ -34,7 +34,11 @@ pub fn linear_index(shape: &[usize], idx: &[usize]) -> usize {
     let mut off = 0usize;
     let mut stride = 1usize;
     for i in (0..shape.len()).rev() {
-        debug_assert!(idx[i] < shape[i], "index {} out of bounds for dim {i}", idx[i]);
+        debug_assert!(
+            idx[i] < shape[i],
+            "index {} out of bounds for dim {i}",
+            idx[i]
+        );
         off += idx[i] * stride;
         stride *= shape[i];
     }

@@ -34,7 +34,10 @@ impl Tensor {
 
     /// An all-zeros tensor of the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
-        Self { shape: shape.to_vec(), data: vec![0.0; numel(shape)] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; numel(shape)],
+        }
     }
 
     /// An all-ones tensor of the given shape.
@@ -44,7 +47,10 @@ impl Tensor {
 
     /// A tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        Self { shape: shape.to_vec(), data: vec![value; numel(shape)] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![value; numel(shape)],
+        }
     }
 
     /// A tensor of i.i.d. samples from `N(0, std^2)` drawn from `rng`.
@@ -54,7 +60,10 @@ impl Tensor {
         for _ in 0..n {
             data.push(rng.gauss() * std);
         }
-        Self { shape: shape.to_vec(), data }
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// A tensor of i.i.d. samples from `U(lo, hi)`.
@@ -64,7 +73,10 @@ impl Tensor {
         for _ in 0..n {
             data.push(lo + (hi - lo) * rng.unit_f32());
         }
-        Self { shape: shape.to_vec(), data }
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// The shape (dimension sizes, outermost first).
@@ -137,14 +149,21 @@ impl Tensor {
         assert!(holes <= 1, "at most one inferred (0) dimension allowed");
         if holes == 1 {
             let known: usize = new_shape.iter().filter(|&&d| d != 0).product();
-            assert!(known > 0 && self.data.len() % known == 0, "cannot infer dimension");
+            assert!(
+                known > 0 && self.data.len().is_multiple_of(known),
+                "cannot infer dimension"
+            );
             for d in new_shape.iter_mut() {
                 if *d == 0 {
                     *d = self.data.len() / known;
                 }
             }
         }
-        assert_eq!(numel(&new_shape), self.data.len(), "reshape must preserve element count");
+        assert_eq!(
+            numel(&new_shape),
+            self.data.len(),
+            "reshape must preserve element count"
+        );
         self.shape = new_shape;
         self
     }
@@ -162,14 +181,20 @@ impl Tensor {
                 out[j * r + i] = self.data[i * c + j];
             }
         }
-        Self { shape: vec![c, r], data: out }
+        Self {
+            shape: vec![c, r],
+            data: out,
+        }
     }
 
     /// Copy of row `i` of a 2-D tensor as a new 1-D tensor.
     pub fn row(&self, i: usize) -> Self {
         assert_eq!(self.ndim(), 2, "row() requires a matrix");
         let c = self.shape[1];
-        Self { shape: vec![c], data: self.data[i * c..(i + 1) * c].to_vec() }
+        Self {
+            shape: vec![c],
+            data: self.data[i * c..(i + 1) * c].to_vec(),
+        }
     }
 
     /// Stack 1-D/row tensors of identical length into a 2-D tensor.
@@ -181,7 +206,10 @@ impl Tensor {
             assert_eq!(r.len(), c, "all stacked rows must have equal length");
             data.extend_from_slice(r.data());
         }
-        Self { shape: vec![rows.len(), c], data }
+        Self {
+            shape: vec![rows.len(), c],
+            data,
+        }
     }
 }
 
@@ -247,8 +275,7 @@ mod tests {
 
     #[test]
     fn stack_rows_round_trip() {
-        let rows: Vec<Tensor> =
-            (0..3).map(|i| Tensor::full(&[4], i as f32)).collect();
+        let rows: Vec<Tensor> = (0..3).map(|i| Tensor::full(&[4], i as f32)).collect();
         let m = Tensor::stack_rows(&rows);
         assert_eq!(m.shape(), &[3, 4]);
         for i in 0..3 {

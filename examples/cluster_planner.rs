@@ -13,33 +13,60 @@ use cdsgd_simtime::{zoo, ClusterSpec, CostInputs, CostModel};
 
 fn main() {
     let model = zoo::resnet50();
-    println!("planning for {} ({} M params)\n", model.name, model.total_params() / 1_000_000);
+    println!(
+        "planning for {} ({} M params)\n",
+        model.name,
+        model.total_params() / 1_000_000
+    );
 
     println!("== k sweep on the V100 cluster (56 Gbps), batch 32 ==");
     let cluster = ClusterSpec::v100_cluster();
     let sim = PipelineSim::new(&model, &cluster, 32);
     let ssgd = sim.run(AlgoKind::Ssgd, 42).avg_iter_time;
     let bit = sim.run(AlgoKind::BitSgd, 42).avg_iter_time;
-    println!("S-SGD {:.1} ms/iter, BIT-SGD {:.1} ms/iter", ssgd * 1e3, bit * 1e3);
+    println!(
+        "S-SGD {:.1} ms/iter, BIT-SGD {:.1} ms/iter",
+        ssgd * 1e3,
+        bit * 1e3
+    );
     println!("{:>4} {:>12} {:>12}", "k", "cd_ms/iter", "vs BIT");
     for k in [2usize, 5, 10, 20, 50] {
         let cd = sim.run(AlgoKind::CdSgd { k }, 2 + 10 * k).avg_iter_time;
-        println!("{:>4} {:>12.1} {:>11.0}%", k, cd * 1e3, (bit / cd - 1.0) * 100.0);
+        println!(
+            "{:>4} {:>12.1} {:>11.0}%",
+            k,
+            cd * 1e3,
+            (bit / cd - 1.0) * 100.0
+        );
     }
 
     println!("\n== bandwidth sweep (CD-SGD k=5 vs S-SGD), batch 32 ==");
-    println!("{:>10} {:>12} {:>12} {:>10}", "gbps", "ssgd_ms", "cd_ms", "speedup");
+    println!(
+        "{:>10} {:>12} {:>12} {:>10}",
+        "gbps", "ssgd_ms", "cd_ms", "speedup"
+    );
     for gbps in [1.0f64, 10.0, 25.0, 56.0, 100.0, 200.0] {
         let c = ClusterSpec::v100_cluster().with_bandwidth_gbps(gbps);
         let sim = PipelineSim::new(&model, &c, 32);
         let s = sim.run(AlgoKind::Ssgd, 42).avg_iter_time;
         let cd = sim.run(AlgoKind::CdSgd { k: 5 }, 52).avg_iter_time;
-        println!("{:>10} {:>12.1} {:>12.1} {:>9.0}%", gbps, s * 1e3, cd * 1e3, (s / cd - 1.0) * 100.0);
+        println!(
+            "{:>10} {:>12.1} {:>12.1} {:>9.0}%",
+            gbps,
+            s * 1e3,
+            cd * 1e3,
+            (s / cd - 1.0) * 100.0
+        );
     }
     println!("(low bandwidth = the paper's future-work setting: CD-SGD's advantage grows)");
 
     println!("\n== closed-form sanity (paper eqs. 2,4-7) at 56 Gbps ==");
-    let cm = CostModel::new(CostInputs::derive(&model, &ClusterSpec::v100_cluster(), 32, 5));
+    let cm = CostModel::new(CostInputs::derive(
+        &model,
+        &ClusterSpec::v100_cluster(),
+        32,
+        5,
+    ));
     println!(
         "tau {:.1} ms, phi {:.1} ms, psi {:.1} ms, delta {:.1} ms",
         cm.inputs().tau * 1e3,

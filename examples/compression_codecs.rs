@@ -14,7 +14,10 @@ fn main() {
     let mut rng = SmallRng64::new(1);
     let grad = Tensor::randn(&[n], 0.3, &mut rng);
 
-    println!("compressing a {n}-element gradient (raw = {} KiB):\n", 4 * n / 1024);
+    println!(
+        "compressing a {n}-element gradient (raw = {} KiB):\n",
+        4 * n / 1024
+    );
     println!(
         "{:<10} {:>12} {:>10} {:>16} {:>16}",
         "codec", "wire_KiB", "ratio", "decoded_l2_err", "mass_in_residual"
@@ -39,8 +42,7 @@ fn main() {
             .map(|(a, b)| (a - b) * (a - b))
             .sum::<f32>()
             .sqrt();
-        let residual_mass: f32 = grad.data().iter().sum::<f32>()
-            - decoded.iter().sum::<f32>();
+        let residual_mass: f32 = grad.data().iter().sum::<f32>() - decoded.iter().sum::<f32>();
         println!(
             "{:<10} {:>12} {:>10.4} {:>16.2} {:>16.4}",
             codec.name(),

@@ -34,7 +34,12 @@ fn main() {
             .with_batch_size(32)
             .with_epochs(6)
             .with_seed(42);
-        let t = Trainer::new(cfg, |rng| models::lenet5(10, rng), train.clone(), Some(test.clone()));
+        let t = Trainer::new(
+            cfg,
+            |rng| models::lenet5(10, rng),
+            train.clone(),
+            Some(test.clone()),
+        );
         let h = t.run();
         println!("== {} ==", h.algo);
         print!("{}", h.to_tsv());

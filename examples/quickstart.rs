@@ -28,8 +28,12 @@ fn main() {
             .with_batch_size(32)
             .with_epochs(8)
             .with_seed(7);
-        let trainer =
-            Trainer::new(cfg, |rng| models::mlp(&[8, 32, 4], rng), train.clone(), Some(test.clone()));
+        let trainer = Trainer::new(
+            cfg,
+            |rng| models::mlp(&[8, 32, 4], rng),
+            train.clone(),
+            Some(test.clone()),
+        );
         let history = trainer.run();
         println!(
             "{:<12} final test acc {:.3}  (pushed {} KiB of gradients)",

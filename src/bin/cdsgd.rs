@@ -17,9 +17,14 @@ use cdsgd_data::{synth, toy, Dataset};
 use cdsgd_nn::{models, Sequential};
 use cdsgd_tensor::SmallRng64;
 
+/// A seeded model constructor, one per dataset choice.
+type ModelBuilder = Box<dyn Fn(&mut SmallRng64) -> Sequential + Send + Sync>;
+
 fn arg(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == &format!("--{name}")).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == &format!("--{name}"))
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn arg_or<T: std::str::FromStr>(name: &str, default: T) -> T {
@@ -64,25 +69,24 @@ fn cmd_train() {
     let k: usize = arg_or("k", 2);
 
     let dataset_name = arg("dataset").unwrap_or_else(|| "mnist".into());
-    let (data, builder): (Dataset, Box<dyn Fn(&mut SmallRng64) -> Sequential + Send + Sync>) =
-        match dataset_name.as_str() {
-            "mnist" => (
-                synth::mnist_like(samples, seed),
-                Box::new(|rng: &mut SmallRng64| models::lenet5(10, rng)),
-            ),
-            "cifar" => (
-                synth::cifar_like(samples, seed),
-                Box::new(|rng: &mut SmallRng64| models::resnet_cifar(8, 1, 10, rng)),
-            ),
-            "blobs" => (
-                toy::gaussian_blobs(samples, 8, 4, 0.6, seed),
-                Box::new(|rng: &mut SmallRng64| models::mlp(&[8, 32, 4], rng)),
-            ),
-            other => {
-                eprintln!("unknown dataset {other} (mnist|cifar|blobs)");
-                std::process::exit(2)
-            }
-        };
+    let (data, builder): (Dataset, ModelBuilder) = match dataset_name.as_str() {
+        "mnist" => (
+            synth::mnist_like(samples, seed),
+            Box::new(|rng: &mut SmallRng64| models::lenet5(10, rng)),
+        ),
+        "cifar" => (
+            synth::cifar_like(samples, seed),
+            Box::new(|rng: &mut SmallRng64| models::resnet_cifar(8, 1, 10, rng)),
+        ),
+        "blobs" => (
+            toy::gaussian_blobs(samples, 8, 4, 0.6, seed),
+            Box::new(|rng: &mut SmallRng64| models::mlp(&[8, 32, 4], rng)),
+        ),
+        other => {
+            eprintln!("unknown dataset {other} (mnist|cifar|blobs)");
+            std::process::exit(2)
+        }
+    };
     let (train, test) = data.split(0.85);
     let warmup = (train.len() / workers / batch).max(1);
 
@@ -121,7 +125,9 @@ fn cmd_train() {
     print!("{}", history.to_tsv());
     println!(
         "final test acc: {}",
-        history.final_test_acc().map_or("-".into(), |a| format!("{a:.4}"))
+        history
+            .final_test_acc()
+            .map_or("-".into(), |a| format!("{a:.4}"))
     );
 
     if let Some(path) = arg("save") {
@@ -203,7 +209,10 @@ fn cmd_codecs() {
         Box::new(QsgdQuantizer::new(4, 7)),
         Box::new(TopKSparsifier::new(0.01)),
     ];
-    println!("{:<14} {:>12} {:>10} {:>12}", "codec", "wire_KiB", "ratio", "encode_ms");
+    println!(
+        "{:<14} {:>12} {:>10} {:>12}",
+        "codec", "wire_KiB", "ratio", "encode_ms"
+    );
     for c in codecs.iter_mut() {
         let t0 = std::time::Instant::now();
         let payload = c.compress(0, &grad);

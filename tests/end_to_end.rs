@@ -62,7 +62,10 @@ fn quantization_with_large_threshold_hurts_and_correction_repairs() {
         c < b * 0.9,
         "k-step correction should rescue convergence: CD loss {c} vs BIT loss {b}"
     );
-    assert!(s < b, "S-SGD loss {s} should beat hostile-threshold BIT-SGD {b}");
+    assert!(
+        s < b,
+        "S-SGD loss {s} should beat hostile-threshold BIT-SGD {b}"
+    );
 }
 
 #[test]
@@ -75,7 +78,13 @@ fn resnet_lite_trains_distributed_with_augmentation() {
         .with_epochs(3)
         .with_seed(11)
         .with_augment(true);
-    let h = Trainer::new(cfg, |rng| models::resnet_cifar(4, 1, 10, rng), train, Some(test)).run();
+    let h = Trainer::new(
+        cfg,
+        |rng| models::resnet_cifar(4, 1, 10, rng),
+        train,
+        Some(test),
+    )
+    .run();
     // Shape check only: the run is healthy (loss falls, weights finite);
     // 3 epochs on 384 hardened samples is far from convergence.
     assert!(
@@ -83,7 +92,10 @@ fn resnet_lite_trains_distributed_with_augmentation() {
         "training loss should decrease"
     );
     let acc = h.final_test_acc().unwrap();
-    assert!(acc > 0.1, "augmented ResNet-lite should beat chance, acc {acc}");
+    assert!(
+        acc > 0.1,
+        "augmented ResNet-lite should beat chance, acc {acc}"
+    );
 }
 
 #[test]
@@ -123,7 +135,11 @@ fn final_weights_are_finite_and_nontrivial() {
         assert!(!h.final_weights.is_empty());
         let mut moved = false;
         for w in &h.final_weights {
-            assert!(w.iter().all(|v| v.is_finite()), "{}: non-finite weights", h.algo);
+            assert!(
+                w.iter().all(|v| v.is_finite()),
+                "{}: non-finite weights",
+                h.algo
+            );
             if w.iter().any(|v| v.abs() > 1e-8) {
                 moved = true;
             }

@@ -39,14 +39,19 @@ fn adaptive_threshold_needs_no_tuning() {
     // the adaptive codec self-scales and converges fine with the same
     // "wrong" order of magnitude in its knob.
     let fixed = run(Algorithm::cd_sgd(0.05, 5.0, 1000, 0), 6);
-    let adaptive =
-        run(Algorithm::cd_sgd_with(0.05, Codec::AdaptiveTwoBit { scale: 1.0 }, 1000, 0), 6);
+    let adaptive = run(
+        Algorithm::cd_sgd_with(0.05, Codec::AdaptiveTwoBit { scale: 1.0 }, 1000, 0),
+        6,
+    );
     let (f, a) = (
         fixed.final_train_loss().unwrap(),
         adaptive.final_train_loss().unwrap(),
     );
     // k=1000 means effectively no corrections, isolating the codec.
-    assert!(a < f * 0.7, "adaptive {a} should beat hostile fixed threshold {f}");
+    assert!(
+        a < f * 0.7,
+        "adaptive {a} should beat hostile fixed threshold {f}"
+    );
 }
 
 #[test]
@@ -56,7 +61,10 @@ fn delay_compensation_does_not_break_convergence() {
         Algorithm::cd_sgd(0.05, 0.05, 2, 10).with_delay_compensation(0.04),
         8,
     );
-    let (p, d) = (plain.final_test_acc().unwrap(), dc.final_test_acc().unwrap());
+    let (p, d) = (
+        plain.final_test_acc().unwrap(),
+        dc.final_test_acc().unwrap(),
+    );
     assert!(d > 0.8, "DC variant acc {d}");
     assert!((p - d).abs() < 0.15, "plain {p} vs DC {d}");
 }
@@ -88,7 +96,7 @@ fn emulated_network_slows_training_but_preserves_results() {
     };
     let fast = mk(None);
     let slow = mk(Some(200_000.0)); // 200 KB/s — glacial
-    // Identical math...
+                                    // Identical math...
     assert_eq!(fast.final_weights, slow.final_weights);
     // ...but measurably slower wall clock.
     let tf: f64 = fast.epochs.iter().map(|e| e.epoch_time_s).sum();

@@ -23,14 +23,26 @@ fn h1_with_matching_rates_equals_ssgd_exactly() {
     // H = 1 and local_lr == global_lr: every step syncs and the pushed
     // accumulator is the single gradient, so Local SGD is S-SGD.
     let ssgd = run(Algorithm::SSgd, 2);
-    let local = run(Algorithm::LocalSgd { local_lr: 0.2, sync_period: 1 }, 2);
+    let local = run(
+        Algorithm::LocalSgd {
+            local_lr: 0.2,
+            sync_period: 1,
+        },
+        2,
+    );
     assert_eq!(ssgd.final_weights, local.final_weights);
 }
 
 #[test]
 fn local_sgd_learns_blobs() {
     for h in [2usize, 4, 8] {
-        let hist = run(Algorithm::LocalSgd { local_lr: 0.2, sync_period: h }, 8);
+        let hist = run(
+            Algorithm::LocalSgd {
+                local_lr: 0.2,
+                sync_period: h,
+            },
+            8,
+        );
         let acc = hist.final_test_acc().unwrap();
         assert!(acc > 0.85, "H={h}: acc {acc}");
     }
@@ -38,20 +50,47 @@ fn local_sgd_learns_blobs() {
 
 #[test]
 fn sync_period_divides_push_traffic() {
-    let h1 = run(Algorithm::LocalSgd { local_lr: 0.2, sync_period: 1 }, 3);
-    let h4 = run(Algorithm::LocalSgd { local_lr: 0.2, sync_period: 4 }, 3);
+    let h1 = run(
+        Algorithm::LocalSgd {
+            local_lr: 0.2,
+            sync_period: 1,
+        },
+        3,
+    );
+    let h4 = run(
+        Algorithm::LocalSgd {
+            local_lr: 0.2,
+            sync_period: 4,
+        },
+        3,
+    );
     let b1 = h1.epochs.last().unwrap().cumulative_push_bytes as f64;
     let b4 = h4.epochs.last().unwrap().cumulative_push_bytes as f64;
     let ratio = b1 / b4;
-    assert!((3.0..=5.0).contains(&ratio), "H=4 should push ~4x less, ratio {ratio}");
+    assert!(
+        (3.0..=5.0).contains(&ratio),
+        "H=4 should push ~4x less, ratio {ratio}"
+    );
 }
 
 #[test]
 fn larger_h_trades_accuracy_for_communication() {
     // On equal epochs, very infrequent syncing must not *improve* the
     // final loss (workers drift apart) — monotone-ish trade-off shape.
-    let tight = run(Algorithm::LocalSgd { local_lr: 0.2, sync_period: 1 }, 6);
-    let loose = run(Algorithm::LocalSgd { local_lr: 0.2, sync_period: 12 }, 6);
+    let tight = run(
+        Algorithm::LocalSgd {
+            local_lr: 0.2,
+            sync_period: 1,
+        },
+        6,
+    );
+    let loose = run(
+        Algorithm::LocalSgd {
+            local_lr: 0.2,
+            sync_period: 12,
+        },
+        6,
+    );
     let (t, l) = (
         tight.final_train_loss().unwrap(),
         loose.final_train_loss().unwrap(),
@@ -64,7 +103,13 @@ fn accumulator_carries_across_epoch_boundaries() {
     // 24 iterations/epoch per worker with H=5 leaves a partial window at
     // each epoch end; the accumulator must carry over, and the total push
     // count must equal floor(total_rounds / H) per worker.
-    let hist = run(Algorithm::LocalSgd { local_lr: 0.2, sync_period: 5 }, 3);
+    let hist = run(
+        Algorithm::LocalSgd {
+            local_lr: 0.2,
+            sync_period: 5,
+        },
+        3,
+    );
     // 480*0.8 = 384 samples, 2 workers -> 192 each, batch 16 -> 12
     // iters/epoch, 36 rounds total, 7 syncs; 2 keys per sync... traffic
     // check instead: pushes happened (nonzero) and training progressed.

@@ -7,7 +7,7 @@
 
 use cd_sgd::{Algorithm, TrainConfig, Trainer};
 use cdsgd_compress::{decompress, GradientCompressor, TwoBitQuantizer};
-use cdsgd_data::{Dataset, toy};
+use cdsgd_data::{toy, Dataset};
 use cdsgd_nn::{models, Layer, Mode, Sequential, SoftmaxCrossEntropy};
 use cdsgd_tensor::SmallRng64;
 
@@ -52,8 +52,13 @@ fn setup() -> (Dataset, TrainConfig) {
 #[test]
 fn ssgd_single_worker_matches_manual_sgd_exactly() {
     let (data, cfg) = setup();
-    let history =
-        Trainer::new(cfg.clone(), |rng| models::mlp(&[6, 10, 3], rng), data.clone(), None).run();
+    let history = Trainer::new(
+        cfg.clone(),
+        |rng| models::mlp(&[6, 10, 3], rng),
+        data.clone(),
+        None,
+    )
+    .run();
 
     // Manual reference: plain SGD over the identical batch stream.
     let mut model = build_model(cfg.seed);
@@ -86,8 +91,13 @@ fn cd_sgd_single_worker_matches_algorithm1_exactly() {
         algo: Algorithm::cd_sgd(local_lr, threshold, k, warmup),
         ..base_cfg
     };
-    let history =
-        Trainer::new(cfg.clone(), |rng| models::mlp(&[6, 10, 3], rng), data.clone(), None).run();
+    let history = Trainer::new(
+        cfg.clone(),
+        |rng| models::mlp(&[6, 10, 3], rng),
+        data.clone(),
+        None,
+    )
+    .run();
 
     // Manual reference implementing Algorithm 1 verbatim.
     let mut model = build_model(cfg.seed);
@@ -174,7 +184,13 @@ fn training_is_deterministic_across_runs() {
         ..base_cfg
     };
     let run = || {
-        Trainer::new(cfg.clone(), |rng| models::mlp(&[6, 10, 3], rng), data.clone(), None).run()
+        Trainer::new(
+            cfg.clone(),
+            |rng| models::mlp(&[6, 10, 3], rng),
+            data.clone(),
+            None,
+        )
+        .run()
     };
     let a = run();
     let b = run();
@@ -196,8 +212,13 @@ fn two_workers_average_gradients_per_eq10() {
         .with_batch_size(8)
         .with_epochs(1)
         .with_seed(55);
-    let history =
-        Trainer::new(cfg.clone(), |rng| models::mlp(&[6, 10, 3], rng), data.clone(), None).run();
+    let history = Trainer::new(
+        cfg.clone(),
+        |rng| models::mlp(&[6, 10, 3], rng),
+        data.clone(),
+        None,
+    )
+    .run();
 
     let loss_fn = SoftmaxCrossEntropy;
     let mut model = build_model(cfg.seed);
@@ -220,7 +241,12 @@ fn two_workers_average_gradients_per_eq10() {
     let expect: Vec<Vec<f32>> = w0
         .iter()
         .zip(&sum_grads)
-        .map(|(w, s)| w.iter().zip(s).map(|(wi, si)| wi - 0.1 / 2.0 * si).collect())
+        .map(|(w, s)| {
+            w.iter()
+                .zip(s)
+                .map(|(wi, si)| wi - 0.1 / 2.0 * si)
+                .collect()
+        })
         .collect();
     for (got, want) in history.final_weights.iter().zip(&expect) {
         for (a, b) in got.iter().zip(want) {

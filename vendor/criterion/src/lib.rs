@@ -1,0 +1,318 @@
+//! Offline shim for `criterion`.
+//!
+//! A small wall-clock benchmark harness exposing the criterion API this
+//! workspace's benches use (`benchmark_group`, `bench_with_input`,
+//! `bench_function`, `Throughput`, `BenchmarkId`, `criterion_group!`,
+//! `criterion_main!`). Each benchmark reports min / median / mean
+//! per-iteration time and derived throughput on stdout. Fast closures are
+//! batched so timer overhead stays out of the numbers. The measurement
+//! budget per benchmark defaults to ~300 ms; set `CRITERION_MEASURE_MS`
+//! to change it. A positional CLI argument filters benchmarks by
+//! substring (as `cargo bench <filter>` does).
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Unit used to derive throughput numbers from the measured time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Benchmark label: `new("fn", param)` renders as `fn/param`,
+/// `from_parameter(p)` as just `p`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+pub struct Criterion {
+    measurement: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        // First positional argument (as passed by `cargo bench <filter>`)
+        // selects benchmarks by substring. Flags like `--bench` are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            measurement: Duration::from_millis(ms),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 100,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        run_benchmark(
+            &name,
+            self.measurement,
+            100,
+            None,
+            self.filter.as_deref(),
+            f,
+        );
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration work amount used to report throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Cap the number of measured samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(
+            &label,
+            self.criterion.measurement,
+            self.sample_size,
+            self.throughput,
+            self.criterion.filter.as_deref(),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(
+            &label,
+            self.criterion.measurement,
+            self.sample_size,
+            self.throughput,
+            self.criterion.filter.as_deref(),
+            f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(
+    label: &str,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    filter: Option<&str>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !label.contains(pat) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        measurement,
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    report(label, &bencher.samples, throughput);
+}
+
+pub struct Bencher {
+    measurement: Duration,
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly; each sample's per-iteration seconds
+    /// are recorded. Fast routines are batched so each timed span is at
+    /// least ~50 µs of work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + batch-size calibration.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(1));
+        let batch: u64 = (Duration::from_micros(50).as_nanos() / first.as_nanos())
+            .max(1)
+            .min(1_000_000) as u64;
+
+        let deadline = Instant::now() + self.measurement;
+        self.samples.clear();
+        self.samples.push(first.as_secs_f64());
+        while self.samples.len() < self.sample_size && Instant::now() < deadline {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+fn report(label: &str, samples: &[f64], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{label:<48} no samples");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let thr = match throughput {
+        Some(Throughput::Bytes(b)) if median > 0.0 => {
+            format!("  {:>10.1} MiB/s", b as f64 / median / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(e)) if median > 0.0 => {
+            format!("  {:>10.2} Melem/s", e as f64 / median / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{label:<48} median {}  min {}  mean {}  ({} samples){thr}",
+        fmt_time(median),
+        fmt_time(min),
+        fmt_time(mean),
+        sorted.len(),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:>9.3} s ")
+    } else if secs >= 1e-3 {
+        format!("{:>9.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:>9.3} µs", secs * 1e6)
+    } else {
+        format!("{:>9.1} ns", secs * 1e9)
+    }
+}
+
+/// Collect benchmark functions into a runner, criterion style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            measurement: Duration::from_millis(20),
+            sample_size: 10,
+            samples: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        assert!(!b.samples.is_empty());
+        assert!(b.samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("raw", 4096).label, "raw/4096");
+        assert_eq!(BenchmarkId::from_parameter("S-SGD").label, "S-SGD");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        c.filter = None;
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Bytes(1024));
+        g.sample_size(5);
+        g.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,132 @@
+//! Offline shim for `crossbeam-channel`, backed by `std::sync::mpsc`.
+//!
+//! Only the surface this workspace uses is provided: `unbounded`, `bounded`,
+//! cloneable `Sender`, `Receiver::recv`/`try_recv`. Semantics match for that
+//! subset (MPSC topology; the workspace never shares a `Receiver` across
+//! threads, so crossbeam's MPMC capability is not needed).
+#![allow(clippy::all)]
+
+use std::sync::mpsc;
+
+pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+enum SenderInner<T> {
+    Unbounded(mpsc::Sender<T>),
+    Bounded(mpsc::SyncSender<T>),
+}
+
+pub struct Sender<T> {
+    inner: SenderInner<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        let inner = match &self.inner {
+            SenderInner::Unbounded(s) => SenderInner::Unbounded(s.clone()),
+            SenderInner::Bounded(s) => SenderInner::Bounded(s.clone()),
+        };
+        Sender { inner }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send a value, blocking if the channel is bounded and full.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        match &self.inner {
+            SenderInner::Unbounded(s) => s.send(value),
+            SenderInner::Bounded(s) => s.send(value),
+        }
+    }
+}
+
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Block until a value arrives or all senders disconnect.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv()
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv()
+    }
+
+    pub fn iter(&self) -> mpsc::Iter<'_, T> {
+        self.inner.iter()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = mpsc::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+/// Channel with unlimited buffering.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (
+        Sender {
+            inner: SenderInner::Unbounded(tx),
+        },
+        Receiver { inner: rx },
+    )
+}
+
+/// Channel holding at most `cap` in-flight messages (`cap == 0` is a
+/// rendezvous channel, as in crossbeam).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (
+        Sender {
+            inner: SenderInner::Bounded(tx),
+        },
+        Receiver { inner: rx },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn bounded_one_slot() {
+        let (tx, rx) = bounded(1);
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn recv_fails_after_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn cross_thread() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = rx.into_iter().collect();
+        h.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,7 @@
+//! Offline shim for the `crossbeam` facade crate: only the `channel`
+//! module is used by this workspace, re-exported from the local
+//! `crossbeam-channel` shim.
+
+pub mod channel {
+    pub use crossbeam_channel::*;
+}

@@ -1,0 +1,65 @@
+//! Offline shim for `parking_lot`: a `Mutex` with parking_lot's
+//! non-poisoning `lock()` signature, backed by `std::sync::Mutex`.
+#![allow(clippy::all)]
+
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Lock, ignoring poisoning (parking_lot has no poison concept).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(*m.lock(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = std::sync::Arc::new(Mutex::new(0u64));
+        let hs: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 4000);
+    }
+}

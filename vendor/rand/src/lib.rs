@@ -1,0 +1,136 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! tiny API-compatible subset of `rand` 0.8: `rngs::StdRng`, `SeedableRng`,
+//! and `Rng::gen` for the primitive types the codecs draw. The generator is
+//! SplitMix64 — deterministic, seedable, and statistically good enough for
+//! the stochastic-rounding use in the quantizers (only distribution *shape*
+//! matters there, not the exact stream of the upstream StdRng).
+#![allow(clippy::all)]
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed (subset of rand's `SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from the "standard" distribution: floats uniform in
+/// [0, 1), integers uniform over their range, bools fair.
+pub trait Standard {
+    fn from_rng_u64(bits: u64) -> Self;
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn from_rng_u64(bits: u64) -> f32 {
+        // 24 high bits -> [0, 1) with full f32 mantissa resolution.
+        ((bits >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn from_rng_u64(bits: u64) -> f64 {
+        ((bits >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn from_rng_u64(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn from_rng_u64(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn from_rng_u64(bits: u64) -> u64 {
+        bits
+    }
+}
+
+/// High-level sampling interface (subset of rand's `Rng`).
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng_u64(self.next_u64())
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for rand's `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f32>().to_bits(), b.gen::<f32>().to_bits());
+        }
+    }
+
+    #[test]
+    fn f32_uniform_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        let mut sum = 0.0f64;
+        for _ in 0..10_000 {
+            let x = r.gen::<f32>();
+            assert!((0.0..1.0).contains(&x));
+            sum += x as f64;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+}

@@ -1,0 +1,117 @@
+//! Offline shim for `rayon`: implements `par_chunks_mut(..).enumerate()
+//! .for_each(..)` — the only rayon surface this workspace touches — with
+//! `std::thread::scope`, so the matmul row-block kernel stays genuinely
+//! parallel without the external dependency.
+#![allow(clippy::all)]
+
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> EnumerateParChunksMut<'a, T> {
+        EnumerateParChunksMut {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+        }
+    }
+
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| op(chunk));
+    }
+}
+
+pub struct EnumerateParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<T: Send> EnumerateParChunksMut<'_, T> {
+    /// Fan the chunks out over `available_parallelism` scoped threads.
+    /// Work is dealt round-robin, which is fine for the uniform chunk
+    /// costs seen in the matmul row blocks.
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunks: Vec<(usize, &mut [T])> =
+            self.slice.chunks_mut(self.chunk_size).enumerate().collect();
+        let n_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if n_threads <= 1 || chunks.len() <= 1 {
+            for item in chunks {
+                op(item);
+            }
+            return;
+        }
+        let op = &op;
+        let mut buckets: Vec<Vec<(usize, &mut [T])>> = (0..n_threads.min(chunks.len()))
+            .map(|_| Vec::new())
+            .collect();
+        let n_buckets = buckets.len();
+        for (i, item) in chunks.into_iter().enumerate() {
+            buckets[i % n_buckets].push(item);
+        }
+        std::thread::scope(|s| {
+            for bucket in buckets {
+                s.spawn(move || {
+                    for item in bucket {
+                        op(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_see_correct_indices() {
+        let mut data = vec![0usize; 1000];
+        data.par_chunks_mut(64)
+            .enumerate()
+            .for_each(|(blk, chunk)| {
+                for v in chunk.iter_mut() {
+                    *v = blk;
+                }
+            });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i / 64);
+        }
+    }
+
+    #[test]
+    fn handles_single_chunk() {
+        let mut data = vec![1.0f32; 8];
+        data.par_chunks_mut(64).enumerate().for_each(|(_, chunk)| {
+            for v in chunk.iter_mut() {
+                *v *= 2.0;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2.0));
+    }
+}

@@ -1,0 +1,210 @@
+//! Offline shim for `serde` (+`serde_derive`).
+//!
+//! Instead of serde's visitor architecture, this shim defines JSON-value
+//! based traits: `Serialize::to_json` produces a [`json::Value`] tree and
+//! `Deserialize::from_json` reads one back. The companion `serde_derive`
+//! shim emits impls of these traits for `#[derive(Serialize, Deserialize)]`,
+//! and the `serde_json` shim provides the familiar `to_string` /
+//! `from_str` / `json!` front end. The externally-tagged enum encoding and
+//! shortest-representation float formatting match real serde_json for the
+//! types this workspace serializes.
+#![allow(clippy::all)]
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{Error, Number, Value};
+
+/// Types renderable as a JSON value tree.
+pub trait Serialize {
+    fn to_json(&self) -> Value;
+}
+
+/// Types reconstructible from a JSON value tree.
+pub trait Deserialize: Sized {
+    fn from_json(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::Int(*self as i64))
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::UInt(*self as u64))
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Value {
+        // Kept as f32 so the writer can use the shortest f32 decimal
+        // representation (0.6f32 serializes as "0.6", not "0.6000000238...").
+        Value::Number(Number::F32(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl Serialize for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::msg("expected bool"))
+    }
+}
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| Error::msg("expected integer"))?;
+                <$t>::try_from(i).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                let u = v.as_u64().ok_or_else(|| Error::msg("expected unsigned integer"))?;
+                <$t>::try_from(u).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+impl Deserialize for f32 {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        // Narrowing an f64 parsed from a shortest-f32 decimal recovers the
+        // original f32 exactly (the decimal lies strictly inside the f32's
+        // rounding interval) — same contract as real serde.
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::msg("expected number"))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::msg("expected number"))
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::msg("expected string"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_json).collect(),
+            _ => Err(Error::msg("expected array")),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+            }
+            _ => Err(Error::msg("expected 2-element array")),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,329 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Emits impls of the shim `serde::Serialize` / `serde::Deserialize`
+//! traits (JSON-value based) for the item shapes this workspace derives
+//! on: named-field structs (optionally with lifetime generics), unit-only
+//! enums, and enums mixing unit and named-field (struct) variants —
+//! always using serde's externally-tagged representation. Tuple structs,
+//! tuple variants, type generics, and `#[serde(...)]` attributes are not
+//! supported and fail loudly at expansion time.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("derived Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("derived Deserialize impl parses")
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(field names)` for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+struct Item {
+    is_struct: bool,
+    name: String,
+    /// Raw generics text including the angle brackets (e.g. "<'a>"), or
+    /// empty. Only lifetime parameters are supported.
+    generics: String,
+    fields: Vec<String>,
+    variants: Vec<Variant>,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tts: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes and visibility ahead of the struct/enum keyword.
+    let is_struct = loop {
+        match tts.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tts.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break true,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break false,
+            Some(_) => i += 1,
+            None => panic!("serde shim derive: no struct or enum found"),
+        }
+    };
+    i += 1;
+    let name = match &tts[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other}"),
+    };
+    i += 1;
+
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = tts.get(i) {
+        if p.as_char() == '<' {
+            let start = i;
+            let mut depth = 0i32;
+            loop {
+                if let Some(TokenTree::Punct(p)) = tts.get(i) {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                i += 1;
+                if i >= tts.len() {
+                    panic!("serde shim derive: unbalanced generics");
+                }
+            }
+            generics = tts[start..i]
+                .iter()
+                .cloned()
+                .collect::<TokenStream>()
+                .to_string();
+            if generics.contains(|c: char| c.is_alphabetic()) && !generics.contains('\'') {
+                panic!("serde shim derive: type generics are not supported");
+            }
+        }
+    }
+
+    let body = loop {
+        match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break g.stream();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive: tuple structs are not supported");
+            }
+            Some(_) => i += 1,
+            None => panic!("serde shim derive: missing item body"),
+        }
+    };
+
+    if is_struct {
+        Item {
+            is_struct,
+            name,
+            generics,
+            fields: parse_fields(body),
+            variants: Vec::new(),
+        }
+    } else {
+        Item {
+            is_struct,
+            name,
+            generics,
+            fields: Vec::new(),
+            variants: parse_variants(body),
+        }
+    }
+}
+
+/// Parse `name: Type, ...` field lists, skipping attributes, visibility,
+/// and type tokens (commas inside `<...>` or any bracketed group do not
+/// split fields).
+fn parse_fields(ts: TokenStream) -> Vec<String> {
+    let tts: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tts.len() {
+        while matches!(tts.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if matches!(tts.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tts.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tts.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 2; // name and ':'
+        let mut angle_depth = 0i32;
+        while i < tts.len() {
+            if let TokenTree::Punct(p) = &tts[i] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let tts: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tts.len() {
+        while matches!(tts.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(id)) = tts.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let mut fields = None;
+        match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                fields = Some(parse_fields(g.stream()));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive: tuple enum variants are not supported");
+            }
+            _ => {}
+        }
+        while i < tts.len() && !matches!(&tts[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let g = &item.generics;
+    let body = if item.is_struct {
+        let mut entries = String::new();
+        for f in &item.fields {
+            entries.push_str(&format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_json(&self.{f})),"
+            ));
+        }
+        format!("::serde::json::Value::Object(vec![{entries}])")
+    } else {
+        let mut arms = String::new();
+        for v in &item.variants {
+            let vname = &v.name;
+            match &v.fields {
+                None => arms.push_str(&format!(
+                    "{name}::{vname} => ::serde::json::Value::String(\
+                     ::std::string::String::from(\"{vname}\")),"
+                )),
+                Some(fields) => {
+                    let bindings = fields.join(", ");
+                    let mut entries = String::new();
+                    for f in fields {
+                        entries.push_str(&format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_json({f})),"
+                        ));
+                    }
+                    arms.push_str(&format!(
+                        "{name}::{vname} {{ {bindings} }} => \
+                         ::serde::json::Value::Object(vec![(\
+                         ::std::string::String::from(\"{vname}\"), \
+                         ::serde::json::Value::Object(vec![{entries}]))]),"
+                    ));
+                }
+            }
+        }
+        format!("match self {{ {arms} }}")
+    };
+    format!(
+        "impl{g} ::serde::Serialize for {name}{g} {{\n\
+         fn to_json(&self) -> ::serde::json::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    assert!(
+        item.generics.is_empty(),
+        "serde shim derive: Deserialize with generics is not supported"
+    );
+    let body = if item.is_struct {
+        let mut inits = String::new();
+        for f in &item.fields {
+            inits.push_str(&format!(
+                "{f}: ::serde::Deserialize::from_json(::serde::json::field(v, \"{f}\"))?,"
+            ));
+        }
+        format!(
+            "if !matches!(v, ::serde::json::Value::Object(_)) {{\n\
+             return Err(::serde::json::Error::msg(\"expected object for {name}\"));\n\
+             }}\n\
+             Ok({name} {{ {inits} }})"
+        )
+    } else {
+        let mut unit_arms = String::new();
+        let mut tagged_arms = String::new();
+        for v in &item.variants {
+            let vname = &v.name;
+            match &v.fields {
+                None => unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),")),
+                Some(fields) => {
+                    let mut inits = String::new();
+                    for f in fields {
+                        inits.push_str(&format!(
+                            "{f}: ::serde::Deserialize::from_json(\
+                             ::serde::json::field(__inner, \"{f}\"))?,"
+                        ));
+                    }
+                    tagged_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname} {{ {inits} }}),"
+                    ));
+                }
+            }
+        }
+        format!(
+            "match v {{\n\
+             ::serde::json::Value::String(__s) => match __s.as_str() {{\n\
+             {unit_arms}\n\
+             __other => Err(::serde::json::Error::msg(\
+             format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+             }},\n\
+             ::serde::json::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+             let (__tag, __inner) = &__entries[0];\n\
+             match __tag.as_str() {{\n\
+             {tagged_arms}\n\
+             __other => Err(::serde::json::Error::msg(\
+             format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+             }}\n\
+             }},\n\
+             _ => Err(::serde::json::Error::msg(\"expected string or 1-key object for {name}\")),\n\
+             }}"
+        )
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json(v: &::serde::json::Value) -> \
+         ::std::result::Result<Self, ::serde::json::Error> {{ {body} }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,124 @@
+//! Offline shim for `serde_json`: `Value`, `to_value`, `to_string`,
+//! `to_string_pretty`, `from_str`, `from_slice`, and the `json!` macro,
+//! all built on the `serde` shim's JSON value tree.
+#![allow(clippy::all)]
+
+pub use serde::json::{Error, Number, Value};
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json())
+}
+
+/// Serialize compactly (no whitespace).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_compact_string())
+}
+
+/// Serialize with two-space indentation.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_pretty_string())
+}
+
+/// Parse a JSON document into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = Value::parse_str(s)?;
+    T::from_json(&v)
+}
+
+/// Parse a JSON document from bytes.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|_| Error::msg("invalid UTF-8"))?;
+    from_str(s)
+}
+
+/// Build a [`Value`] from JSON-ish syntax. Object keys must be string
+/// literals; values may be nested `{...}`/`[...]` literals or arbitrary
+/// serializable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
+    ({ $($body:tt)+ }) => {{
+        let mut __obj: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::__json_object!(@obj __obj $($body)+);
+        $crate::Value::Object(__obj)
+    }};
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($elem:expr),+ $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::to_value(&$elem).expect("json! value")),+ ])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serializes")
+    };
+}
+
+/// Internal: munch `"key": <value tokens>, ...` object entries. Value
+/// tokens accumulate until a top-level comma (commas inside any bracket
+/// group are part of the value expression).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    (@obj $obj:ident) => {};
+    (@obj $obj:ident $key:literal : $($rest:tt)*) => {
+        $crate::__json_value!(@val $obj $key () $($rest)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_value {
+    (@val $obj:ident $key:literal ($($val:tt)+) , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::json!($($val)+)));
+        $crate::__json_object!(@obj $obj $($rest)*)
+    };
+    (@val $obj:ident $key:literal ($($val:tt)+)) => {
+        $obj.push(($key.to_string(), $crate::json!($($val)+)));
+    };
+    (@val $obj:ident $key:literal ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::__json_value!(@val $obj $key ($($val)* $next) $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let name = "proc";
+        let v = json!({
+            "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+            "args": {"name": name}
+        });
+        assert_eq!(v["name"], "process_name");
+        assert_eq!(v["pid"], 0u64);
+        assert_eq!(v["args"]["name"], "proc");
+    }
+
+    #[test]
+    fn json_macro_exprs_and_arrays() {
+        let x = 2.0f64;
+        let v = json!({ "a": x * 1e6, "b": [1, 2, 3], "c": null, "d": format!("{}!", 5) });
+        assert_eq!(v["a"], 2e6);
+        assert_eq!(v["b"][2], 3.0);
+        assert!(v["c"].is_null());
+        assert_eq!(v["d"], "5!");
+    }
+
+    #[test]
+    fn to_string_and_back() {
+        let v = json!({ "k": 1.5 });
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back["k"], 1.5);
+    }
+
+    #[test]
+    fn from_slice_errors_on_garbage() {
+        assert!(from_slice::<Value>(b"not json").is_err());
+    }
+}
