@@ -19,7 +19,7 @@ fn bench_roundtrip(c: &mut Criterion) {
                 // after decoding the previous round's push.
                 let mut payload = client.pool().take_f32();
                 payload.extend_from_slice(&grad);
-                client.push(0, 0, Compressed::Raw(payload));
+                client.push(0, 0, Compressed::Raw(payload)).unwrap();
                 version += 1;
                 client.pull(0, version)
             });
@@ -32,7 +32,9 @@ fn bench_roundtrip(c: &mut Criterion) {
             let mut q = TwoBitQuantizer::new(0.5);
             let mut version = 0u64;
             b.iter(|| {
-                client.push(0, 0, q.compress_into(0, &grad, client.pool()));
+                client
+                    .push(0, 0, q.compress_into(0, &grad, client.pool()))
+                    .unwrap();
                 version += 1;
                 client.pull(0, version)
             });
@@ -54,7 +56,7 @@ fn bench_roundtrip(c: &mut Criterion) {
                     s.spawn(move || {
                         let mut payload = cl.pool().take_f32();
                         payload.extend_from_slice(grad);
-                        cl.push(w, 0, Compressed::Raw(payload));
+                        cl.push(w, 0, Compressed::Raw(payload)).unwrap();
                     });
                 }
             });

@@ -1,0 +1,61 @@
+//! Parameter-server round-trip over a real localhost TCP socket: one
+//! push+pull cycle per payload size, raw vs 2-bit compressed. The
+//! in-process twin is `ps_roundtrip`; the delta between the two is the
+//! full wire cost — encode, frame, kernel socket hop, decode.
+
+use cdsgd_compress::{Compressed, GradientCompressor, TwoBitQuantizer};
+use cdsgd_net::NetConfig;
+use cdsgd_ps::{NetCluster, PsBackend, ServerConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn tcp_cluster(n: usize) -> NetCluster {
+    NetCluster::start_tcp_local(
+        vec![vec![0.0; n]],
+        ServerConfig::new(1, 0.1),
+        1,
+        NetConfig::default(),
+    )
+    .expect("start TCP shard")
+}
+
+fn bench_tcp_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ps_tcp_roundtrip");
+    for &n in &[4_096usize, 262_144] {
+        g.throughput(Throughput::Bytes((4 * n) as u64));
+        g.bench_with_input(BenchmarkId::new("raw_1worker", n), &n, |b, &n| {
+            let cluster = tcp_cluster(n);
+            let client = cluster.client().expect("connect");
+            let grad = vec![0.01f32; n];
+            let mut version = 0u64;
+            b.iter(|| {
+                let mut payload = client.pool().take_f32();
+                payload.extend_from_slice(&grad);
+                client.push(0, 0, Compressed::Raw(payload)).unwrap();
+                version += 1;
+                client.pull(0, version).unwrap()
+            });
+            drop(client);
+            Box::new(cluster).shutdown();
+        });
+        g.bench_with_input(BenchmarkId::new("2bit_1worker", n), &n, |b, &n| {
+            let cluster = tcp_cluster(n);
+            let client = cluster.client().expect("connect");
+            let grad = vec![0.6f32; n];
+            let mut q = TwoBitQuantizer::new(0.5);
+            let mut version = 0u64;
+            b.iter(|| {
+                client
+                    .push(0, 0, q.compress_into(0, &grad, client.pool()))
+                    .unwrap();
+                version += 1;
+                client.pull(0, version).unwrap()
+            });
+            drop(client);
+            Box::new(cluster).shutdown();
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tcp_roundtrip);
+criterion_main!(benches);

@@ -45,4 +45,4 @@ mod worker;
 pub use config::{Algorithm, Codec, TrainConfig};
 pub use lr::LrSchedule;
 pub use metrics::{EpochMetrics, TrainingHistory};
-pub use trainer::Trainer;
+pub use trainer::{run_standalone_worker, Trainer};

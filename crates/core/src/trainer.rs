@@ -7,7 +7,10 @@ use crate::profile::Profiler;
 use crate::worker::{run_worker, EpochReport, WorkerArgs};
 use cdsgd_data::Dataset;
 use cdsgd_nn::Sequential;
-use cdsgd_ps::{allreduce::ring_group, ParamServer, ServerConfig};
+use cdsgd_ps::{
+    allreduce::ring_group, InProcessBackend, NetError, ParamClient, ParamServer, PsBackend,
+    ServerConfig,
+};
 use cdsgd_tensor::SmallRng64;
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
@@ -50,11 +53,32 @@ impl Trainer {
             .unwrap_or(0)
     }
 
-    /// Run to completion, returning the per-epoch history.
+    /// Run to completion on an in-process parameter server, returning
+    /// the per-epoch history.
     ///
     /// # Panics
     /// Panics if any shard is smaller than one batch.
     pub fn run(&self) -> TrainingHistory {
+        self.run_with(|init, cfg| {
+            Ok(Box::new(InProcessBackend::new(ParamServer::start(
+                init, cfg,
+            ))))
+        })
+        .expect("in-process backend cannot fail to connect")
+    }
+
+    /// Run to completion against a parameter-server deployment produced
+    /// by `backend` — in-process threads, loopback transports, local TCP
+    /// shards, or external `psd` processes ([`cdsgd_ps::NetCluster`]).
+    /// The wire protocol is bit-deterministic, so every backend yields
+    /// the same [`TrainingHistory`] for the same config and seed.
+    ///
+    /// # Panics
+    /// Panics if any shard is smaller than one batch.
+    pub fn run_with(
+        &self,
+        backend: impl FnOnce(Vec<Vec<f32>>, ServerConfig) -> Result<Box<dyn PsBackend>, NetError>,
+    ) -> Result<TrainingHistory, NetError> {
         let n = self.cfg.num_workers;
         let ipe = self.iters_per_epoch();
         assert!(
@@ -71,7 +95,7 @@ impl Trainer {
         if let Some(bps) = self.cfg.net_bytes_per_sec {
             server_cfg = server_cfg.with_network_bandwidth(bps);
         }
-        let ps = ParamServer::start(init, server_cfg);
+        let ps = backend(init, server_cfg)?;
         let use_ring = matches!(self.cfg.algo, crate::config::Algorithm::ArSgd);
         let (mut ring_members, ring_stats) = if use_ring {
             let (members, stats) = ring_group(n);
@@ -97,7 +121,7 @@ impl Trainer {
                 model,
                 shard: self.train.shard(w, n),
                 test: if w == 0 { self.test.clone() } else { None },
-                client: ps.client(),
+                client: ps.client()?,
                 ring: if use_ring {
                     ring_members[w].take()
                 } else {
@@ -117,7 +141,6 @@ impl Trainer {
         }
         drop(report_tx);
 
-        let control = ps.client();
         let mut history = TrainingHistory {
             algo: self.cfg.algo.name(),
             num_workers: n,
@@ -133,7 +156,7 @@ impl Trainer {
             // epoch > 0; for epoch 0 they haven't pushed yet).
             for &(at, lr) in &self.cfg.lr_schedule {
                 if at == epoch {
-                    control.set_lr(lr);
+                    ps.set_lr(lr)?;
                 }
             }
             if epoch > 0 {
@@ -147,7 +170,15 @@ impl Trainer {
             let mut batches = 0usize;
             let mut test_acc = None;
             for _ in 0..n {
-                let r = report_rx.recv().expect("worker died before reporting");
+                // A worker that hit a connection error exits without
+                // reporting; surface that as the worker's NetError below
+                // rather than a recv panic.
+                let Ok(r) = report_rx.recv() else {
+                    for h in handles {
+                        h.join().expect("worker panicked")?;
+                    }
+                    return Err(NetError::ServerGone);
+                };
                 assert_eq!(r.epoch, epoch, "epoch skew from worker {}", r.worker);
                 loss_sum += r.loss_sum;
                 acc_sum += r.acc_sum;
@@ -167,22 +198,79 @@ impl Trainer {
                 epoch_time_s: epoch_start.elapsed().as_secs_f64(),
                 cumulative_push_bytes: ring_stats
                     .as_ref()
-                    .map_or_else(|| ps.stats().bytes_pushed(), |s| s.bytes_pushed()),
+                    .map_or_else(|| ps.bytes_pushed(), |s| s.bytes_pushed()),
             });
         }
         // Release workers from the final barrier so they can exit.
         barrier.wait();
         for h in handles {
-            h.join().expect("worker panicked");
+            h.join().expect("worker panicked")?;
         }
         if history.final_weights.is_empty() {
-            let (weights, _) = control.snapshot();
+            let (weights, _) = ps.snapshot()?;
             history.final_weights = weights;
         }
         history.profile = profiler.map(|p| p.take());
         ps.shutdown();
-        history
+        Ok(history)
     }
+}
+
+/// Run one worker as its own OS process against remote parameter-server
+/// shards (the engine of the `worker` binary).
+///
+/// `client` is this worker's connection (typically from
+/// [`cdsgd_ps::NetCluster::connect`] via [`PsBackend::client`]). Data
+/// sharding, iteration counts, model init, and the update sequence are
+/// identical to the in-process [`Trainer::run`], so a multi-process
+/// deployment with the same seed reaches the same weights bit-for-bit.
+///
+/// Returns per-epoch `(mean train loss, test accuracy)` — the accuracy is
+/// `Some` only on worker 0, which owns the test set by convention.
+pub fn run_standalone_worker(
+    cfg: TrainConfig,
+    id: usize,
+    builder: impl Fn(&mut SmallRng64) -> Sequential,
+    train: &Dataset,
+    test: Option<Dataset>,
+    client: Box<dyn ParamClient>,
+) -> Result<Vec<(f32, Option<f32>)>, NetError> {
+    let n = cfg.num_workers;
+    assert!(id < n, "worker id {id} out of range for {n} workers");
+    let ipe = (0..n)
+        .map(|w| train.shard(w, n).len() / cfg.batch_size)
+        .min()
+        .unwrap_or(0);
+    assert!(
+        ipe > 0,
+        "dataset too small: every worker needs at least one full batch"
+    );
+    let mut wrng = SmallRng64::new(cfg.seed);
+    let model = (builder)(&mut wrng);
+    let epochs = cfg.epochs;
+    let (report_tx, report_rx) = crossbeam::channel::unbounded::<EpochReport>();
+    let args = WorkerArgs {
+        id,
+        shard: train.shard(id, n),
+        test: if id == 0 { test } else { None },
+        cfg,
+        model,
+        client,
+        ring: None,
+        iters_per_epoch: ipe,
+        // No trainer thread to rendezvous with: a 1-party barrier makes
+        // every `wait` a no-op, and the unbounded channel absorbs the
+        // per-epoch reports until we drain them below.
+        barrier: Arc::new(Barrier::new(1)),
+        report: report_tx,
+        profiler: None,
+    };
+    run_worker(args)?;
+    let mut out = vec![(0.0, None); epochs];
+    while let Ok(r) = report_rx.try_recv() {
+        out[r.epoch] = ((r.loss_sum / r.batches.max(1) as f64) as f32, r.test_acc);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@ use cdsgd_compress::{Compressed, GradientCompressor, TwoBitQuantizer};
 
 use cdsgd_data::{augment, Batch, Dataset};
 use cdsgd_nn::{Layer, Mode, Sequential, SoftmaxCrossEntropy};
-use cdsgd_ps::{PsClient, RingMember};
+use cdsgd_ps::{NetError, ParamClient, PendingPull, RingMember};
 use cdsgd_tensor::SmallRng64;
 use crossbeam::channel::Sender;
 use std::sync::{Arc, Barrier};
@@ -35,7 +35,9 @@ pub(crate) struct WorkerArgs {
     pub shard: Dataset,
     /// Test set; `Some` only for worker 0.
     pub test: Option<Dataset>,
-    pub client: PsClient,
+    /// Connection to the parameter server — in-process, loopback, or TCP;
+    /// the worker is agnostic.
+    pub client: Box<dyn ParamClient>,
     /// Ring handle for the all-reduce algorithm (AR-SGD); `None` for the
     /// PS-based algorithms.
     pub ring: Option<RingMember>,
@@ -144,8 +146,9 @@ impl AlgoState {
 }
 
 /// Run one worker to completion. See the crate docs for the exact
-/// correspondence with the paper's Algorithm 1.
-pub(crate) fn run_worker(mut a: WorkerArgs) {
+/// correspondence with the paper's Algorithm 1. A dead server or broken
+/// connection surfaces as `Err`, not a panic.
+pub(crate) fn run_worker(mut a: WorkerArgs) -> Result<(), NetError> {
     let loss_fn = SoftmaxCrossEntropy;
     let mut st = AlgoState::new(&a.cfg.algo);
     let num_keys = a.model.param_sizes().len();
@@ -167,7 +170,7 @@ pub(crate) fn run_worker(mut a: WorkerArgs) {
     // round r−1 for version r, collected when round r's local update
     // needs them — so the transfer overlaps this round's FP/BP, exactly
     // like MXNet's asynchronously-scheduled pull ops.
-    let mut pending_pulls: Option<Vec<crossbeam::channel::Receiver<Arc<[f32]>>>> = None;
+    let mut pending_pulls: Option<Vec<PendingPull>> = None;
     // Local SGD state: accumulated gradients since the last sync, and the
     // number of completed synchronizations (the server round counter).
     let mut local_acc: Option<Vec<Vec<f32>>> = None;
@@ -270,11 +273,11 @@ pub(crate) fn run_worker(mut a: WorkerArgs) {
                     for (key, av) in acc.iter().enumerate() {
                         let mut payload = pool.take_f32();
                         payload.extend_from_slice(av);
-                        a.client.push(a.id, key, Compressed::Raw(payload));
+                        a.client.push(a.id, key, Compressed::Raw(payload))?;
                     }
                     syncs += 1;
                     let t_w = a.profiler.as_ref().map(|p| p.now());
-                    base = a.client.pull_all(num_keys, syncs);
+                    base = a.client.pull_all(num_keys, syncs)?;
                     if let (Some(p), Some(t)) = (&a.profiler, t_w) {
                         p.record(a.id, OpKind::PullWait, round, t);
                     }
@@ -310,7 +313,7 @@ pub(crate) fn run_worker(mut a: WorkerArgs) {
                 }
             }
             for (key, payload) in payloads.drain(..).enumerate() {
-                a.client.push(a.id, key, payload);
+                a.client.push(a.id, key, payload)?;
             }
 
             let formal = st.delayed && round >= st.warmup;
@@ -324,8 +327,8 @@ pub(crate) fn run_worker(mut a: WorkerArgs) {
                     let receivers = pending_pulls.take().expect("async pull fired last round");
                     base = receivers
                         .into_iter()
-                        .map(|r| r.recv().expect("parameter server dropped the reply"))
-                        .collect();
+                        .map(|r| r.wait())
+                        .collect::<Result<_, _>>()?;
                     if let (Some(p), Some(t)) = (&a.profiler, t_w) {
                         p.record(a.id, OpKind::PullWait, round, t);
                     }
@@ -335,7 +338,7 @@ pub(crate) fn run_worker(mut a: WorkerArgs) {
                 pending_pulls = Some(
                     (0..num_keys)
                         .map(|k| a.client.pull_async(k, round + 1))
-                        .collect(),
+                        .collect::<Result<_, _>>()?,
                 );
                 // W^loc_{r+1} = W_r − lr_loc · grad_r (eq. 11).
                 let t_u = a.profiler.as_ref().map(|p| p.now());
@@ -348,7 +351,7 @@ pub(crate) fn run_worker(mut a: WorkerArgs) {
                 // Blocking (S-SGD / BIT-SGD / warm-up): wait for this
                 // round's aggregate and adopt the new global weights.
                 let t_w = a.profiler.as_ref().map(|p| p.now());
-                base = a.client.pull_all(num_keys, round + 1);
+                base = a.client.pull_all(num_keys, round + 1)?;
                 if let (Some(p), Some(t)) = (&a.profiler, t_w) {
                     p.record(a.id, OpKind::PullWait, round, t);
                 }
@@ -389,6 +392,19 @@ pub(crate) fn run_worker(mut a: WorkerArgs) {
             .expect("trainer went away");
         a.barrier.wait();
     }
+
+    // Drain the final round's outstanding pull (delayed algorithms fire
+    // one at the end of every iteration). The reply only arrives once
+    // every worker's last push is applied, so returning from here
+    // guarantees the server group holds the fully-aggregated final
+    // weights — a standalone worker process can exit and let an external
+    // controller snapshot without racing the last round.
+    if let Some(receivers) = pending_pulls.take() {
+        for r in receivers {
+            r.wait()?;
+        }
+    }
+    Ok(())
 }
 
 /// The learning rate in effect at `round`, honoring the epoch-indexed

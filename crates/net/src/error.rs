@@ -1,0 +1,100 @@
+//! The typed error surface for everything that crosses a transport.
+
+use std::fmt;
+
+/// Errors produced by the wire codec, the transports, and the networked
+/// parameter-server client/server built on top of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// An underlying I/O failure (socket write/read error other than the
+    /// cases mapped to the more specific variants below).
+    Io(String),
+    /// A receive deadline elapsed with no complete frame available. The
+    /// partial state (if any) is preserved; the same call may be retried.
+    Timeout,
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// Bytes arrived but did not parse as a valid frame or payload.
+    Decode(String),
+    /// Connecting failed after the configured retries.
+    Connect {
+        addr: String,
+        attempts: u32,
+        last: String,
+    },
+    /// The parameter server is no longer reachable (its thread exited or
+    /// the connection to it is gone). The in-process client maps dropped
+    /// channel endpoints here, so a dead server surfaces as a recoverable
+    /// error instead of a worker-thread panic.
+    ServerGone,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport I/O error: {e}"),
+            NetError::Timeout => write!(f, "transport deadline elapsed"),
+            NetError::Closed => write!(f, "connection closed by peer"),
+            NetError::Decode(e) => write!(f, "wire decode error: {e}"),
+            NetError::Connect {
+                addr,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "failed to connect to {addr} after {attempts} attempts: {last}"
+            ),
+            NetError::ServerGone => write!(f, "parameter server is gone"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => NetError::Timeout,
+            ErrorKind::UnexpectedEof => NetError::Closed,
+            _ => NetError::Io(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_error_kinds_map_to_variants() {
+        use std::io::{Error, ErrorKind};
+        assert_eq!(
+            NetError::from(Error::new(ErrorKind::TimedOut, "t")),
+            NetError::Timeout
+        );
+        assert_eq!(
+            NetError::from(Error::new(ErrorKind::WouldBlock, "w")),
+            NetError::Timeout
+        );
+        assert_eq!(
+            NetError::from(Error::new(ErrorKind::UnexpectedEof, "e")),
+            NetError::Closed
+        );
+        assert!(matches!(
+            NetError::from(Error::new(ErrorKind::BrokenPipe, "b")),
+            NetError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetError::Connect {
+            addr: "127.0.0.1:9".into(),
+            attempts: 3,
+            last: "refused".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("127.0.0.1:9") && s.contains("3") && s.contains("refused"));
+    }
+}

@@ -1,0 +1,30 @@
+//! `cdsgd-net`: the wire protocol and pluggable transports that let the
+//! CD-SGD parameter server move gradients over real byte streams.
+//!
+//! The crate has two layers:
+//!
+//! - [`wire`] — byte-exact codecs for [`cdsgd_compress::Compressed`]
+//!   payloads (invariant: `encode(c).len() == c.wire_bytes()`) and the
+//!   framed [`wire::WireMsg`] messages built from them.
+//! - [`transport`] — the [`transport::Transport`] trait with a TCP
+//!   backend ([`transport::TcpTransport`], length-prefixed frames,
+//!   `TCP_NODELAY`, bounded retry with exponential backoff) and an
+//!   in-memory loopback backend ([`transport::loopback_pair`]) that moves
+//!   the *same* frames through condvar-guarded queues.
+//!
+//! The parameter-server glue (server acceptor loop, remote client) lives
+//! in `cdsgd-ps::net`, keeping this crate dependent only on
+//! `cdsgd-compress` so anything can speak the protocol.
+
+pub mod error;
+pub mod transport;
+pub mod wire;
+
+pub use error::NetError;
+pub use transport::{
+    loopback_pair, LoopbackTransport, NetConfig, TcpAcceptor, TcpTransport, Transport,
+};
+pub use wire::{
+    decode_compressed, decode_msg, encode_compressed_into, encode_msg_into, pull_reply_frame_bytes,
+    push_frame_bytes, WireMsg, FRAME_PREFIX_BYTES, MAX_FRAME_BYTES,
+};

@@ -1,0 +1,739 @@
+//! The wire codec: byte-exact encodings for [`Compressed`] payloads and
+//! the framed parameter-server messages built from them.
+//!
+//! # Payload encoding
+//!
+//! Every [`Compressed`] variant already pays a uniform 4-byte element-count
+//! header in [`Compressed::wire_bytes`]; the codec realises that header as
+//! a little-endian `u32` whose top 3 bits carry the variant tag and whose
+//! low 29 bits carry the element count (2-bit-quantized ResNet-50 is ~25M
+//! elements per model, so 2^29 − 1 elements per *key* is far beyond any
+//! real tensor). The encoding is therefore self-describing **and** exactly
+//! `wire_bytes()` long — the invariant `encode(c).len() == c.wire_bytes()`
+//! is pinned by tests and keeps the traffic counters honest now that bytes
+//! really exist.
+//!
+//! # Message framing
+//!
+//! Messages ([`WireMsg`]) are one opcode byte plus fixed-width fields plus
+//! an optional payload, and travel as length-prefixed frames: a `u32`
+//! little-endian body length followed by the body. The frame prefix is
+//! accounted by [`FRAME_PREFIX_BYTES`]; [`push_frame_bytes`] /
+//! [`pull_reply_frame_bytes`] report the exact on-the-wire size of the two
+//! hot-path messages so the server's [`TrafficStats`]-style accounting can
+//! use real frame sizes instead of estimates.
+
+use crate::error::NetError;
+use cdsgd_compress::Compressed;
+
+/// Variant tags carried in the top 3 bits of the payload header.
+const TAG_RAW: u32 = 0;
+const TAG_TWO_BIT: u32 = 1;
+const TAG_ONE_BIT: u32 = 2;
+const TAG_TERN: u32 = 3;
+const TAG_QSGD: u32 = 4;
+const TAG_TOPK: u32 = 5;
+
+/// Low 29 bits of the payload header hold the element count.
+const LEN_BITS: u32 = 29;
+const LEN_MASK: u32 = (1 << LEN_BITS) - 1;
+
+/// Maximum element count a payload header can carry.
+pub const MAX_PAYLOAD_ELEMS: usize = LEN_MASK as usize;
+
+/// Bytes of the `u32` length prefix each frame carries on the wire.
+pub const FRAME_PREFIX_BYTES: usize = 4;
+
+/// Largest frame body a transport will accept (1 GiB): large enough for a
+/// raw f32 push of any real model key, small enough to reject a corrupted
+/// length prefix before allocating.
+pub const MAX_FRAME_BYTES: usize = 1 << 30;
+
+/// Message opcodes (first body byte of every frame).
+const OP_PUSH: u8 = 0;
+const OP_PULL: u8 = 1;
+const OP_PULL_REPLY: u8 = 2;
+const OP_SET_LR: u8 = 3;
+const OP_SNAPSHOT: u8 = 4;
+const OP_SNAPSHOT_REPLY: u8 = 5;
+const OP_SHUTDOWN: u8 = 6;
+
+/// A decoded parameter-server message.
+///
+/// `worker`/`key` are `u32` on the wire (4 billion workers or keys per
+/// shard is beyond any deployment this repo targets); versions are `u64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// Worker → server: one gradient payload for `key`.
+    Push {
+        worker: u32,
+        key: u32,
+        payload: Compressed,
+    },
+    /// Worker → server: request `key`'s weights at exactly `min_version`.
+    Pull { key: u32, min_version: u64 },
+    /// Server → worker: the weights answering a [`WireMsg::Pull`]; echoes
+    /// the *requested* version so the client can match outstanding pulls
+    /// even when the server raced one aggregate ahead.
+    PullReply {
+        key: u32,
+        min_version: u64,
+        weights: Vec<f32>,
+    },
+    /// Control → server: change the global learning rate.
+    SetLr { lr: f32 },
+    /// Control → server: request all weights and per-key versions.
+    Snapshot,
+    /// Server → control: answer to [`WireMsg::Snapshot`].
+    SnapshotReply {
+        weights: Vec<Vec<f32>>,
+        versions: Vec<u64>,
+    },
+    /// Control → server: stop serving (the deployment-level kill switch
+    /// for the `psd` process; distinct from a client disconnecting).
+    Shutdown,
+}
+
+/// Exact wire size of a push frame carrying a payload of
+/// `payload_wire_bytes` (= [`Compressed::wire_bytes`]): length prefix +
+/// opcode + worker + key + payload.
+pub fn push_frame_bytes(payload_wire_bytes: usize) -> usize {
+    FRAME_PREFIX_BYTES + 1 + 4 + 4 + payload_wire_bytes
+}
+
+/// Exact wire size of a pull-reply frame carrying `n` f32 weights:
+/// length prefix + opcode + key + version + payload. This is what the
+/// server's traffic accounting charges per served pull — header included,
+/// unlike the bare `4 * n` estimate it replaces.
+pub fn pull_reply_frame_bytes(n: usize) -> usize {
+    FRAME_PREFIX_BYTES + 1 + 4 + 8 + 4 * n
+}
+
+// ---------------------------------------------------------------------------
+// little-endian primitives
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+        if self.remaining() < n {
+            return Err(NetError::Decode(format!(
+                "truncated: need {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, NetError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, NetError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, NetError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, NetError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, NetError> {
+        let raw = self.take(4 * n)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compressed payload codec
+// ---------------------------------------------------------------------------
+
+/// Bits per QSGD code symbol for a given level count — mirrors the
+/// fixed-width accounting in [`Compressed::wire_bytes`].
+fn qsgd_bits(levels: u8) -> usize {
+    (2 * levels as usize + 1)
+        .next_power_of_two()
+        .trailing_zeros() as usize
+}
+
+fn header(tag: u32, len: usize) -> u32 {
+    assert!(
+        len <= MAX_PAYLOAD_ELEMS,
+        "payload of {len} elements exceeds the 29-bit wire header"
+    );
+    (tag << LEN_BITS) | len as u32
+}
+
+/// Append the exact wire encoding of `c` to `buf` (which is *not*
+/// cleared). Appends precisely [`Compressed::wire_bytes`] bytes.
+///
+/// # Panics
+/// Panics if the payload violates its own construction invariants
+/// (element count over 2^29 − 1, QSGD code outside `[-levels, levels]`,
+/// or a Top-k index/value length mismatch) — these cannot come from the
+/// codecs in `cdsgd-compress`, only from hand-built payloads.
+pub fn encode_compressed_into(c: &Compressed, buf: &mut Vec<u8>) {
+    match c {
+        Compressed::Raw(v) => {
+            put_u32(buf, header(TAG_RAW, v.len()));
+            for &x in v {
+                put_f32(buf, x);
+            }
+        }
+        Compressed::TwoBit {
+            threshold,
+            packed,
+            len,
+        } => {
+            put_u32(buf, header(TAG_TWO_BIT, *len));
+            put_f32(buf, *threshold);
+            buf.extend_from_slice(packed);
+        }
+        Compressed::OneBit { scale, signs, len } => {
+            put_u32(buf, header(TAG_ONE_BIT, *len));
+            put_f32(buf, *scale);
+            buf.extend_from_slice(signs);
+        }
+        Compressed::Tern { scale, packed, len } => {
+            put_u32(buf, header(TAG_TERN, *len));
+            put_f32(buf, *scale);
+            buf.extend_from_slice(packed);
+        }
+        Compressed::Qsgd {
+            norm,
+            levels,
+            codes,
+            len,
+        } => {
+            assert_eq!(codes.len(), *len, "QSGD code count must equal len");
+            put_u32(buf, header(TAG_QSGD, *len));
+            put_f32(buf, *norm);
+            buf.push(*levels);
+            let bits = qsgd_bits(*levels);
+            // LSB-first bit packing of the biased symbols code + levels,
+            // each in [0, 2·levels] and hence within `bits` bits.
+            let mut acc: u64 = 0;
+            let mut nbits: usize = 0;
+            for &code in codes {
+                let sym = code as i32 + *levels as i32;
+                assert!(
+                    (0..=2 * *levels as i32).contains(&sym),
+                    "QSGD code {code} outside [-levels, levels] for levels {levels}"
+                );
+                acc |= (sym as u64) << nbits;
+                nbits += bits;
+                while nbits >= 8 {
+                    buf.push(acc as u8);
+                    acc >>= 8;
+                    nbits -= 8;
+                }
+            }
+            if nbits > 0 {
+                buf.push(acc as u8);
+            }
+        }
+        Compressed::TopK {
+            indices,
+            values,
+            len,
+        } => {
+            assert_eq!(
+                indices.len(),
+                values.len(),
+                "Top-k index/value length mismatch"
+            );
+            put_u32(buf, header(TAG_TOPK, *len));
+            for (&i, &v) in indices.iter().zip(values) {
+                put_u32(buf, i);
+                put_f32(buf, v);
+            }
+        }
+    }
+}
+
+/// Decode a payload from `bytes`, consuming the entire slice.
+///
+/// The encoding is self-delimiting *given* the slice length (the frame
+/// layer always hands the payload as the tail of a frame), so any surplus
+/// or deficit of bytes is a [`NetError::Decode`]. Every structural
+/// invariant the in-memory decoders rely on (enough packed bytes for the
+/// element count, Top-k indices in range) is validated here so a hostile
+/// or corrupted frame cannot panic the server.
+pub fn decode_compressed(bytes: &[u8]) -> Result<Compressed, NetError> {
+    let mut cur = Cursor::new(bytes);
+    let head = cur.u32()?;
+    let tag = head >> LEN_BITS;
+    let len = (head & LEN_MASK) as usize;
+    match tag {
+        TAG_RAW => {
+            if cur.remaining() != 4 * len {
+                return Err(NetError::Decode(format!(
+                    "raw payload of {len} elems needs {} bytes, have {}",
+                    4 * len,
+                    cur.remaining()
+                )));
+            }
+            Ok(Compressed::Raw(cur.f32s(len)?))
+        }
+        TAG_TWO_BIT | TAG_TERN => {
+            let scalar = cur.f32()?;
+            let packed = cur.take(cur.remaining())?.to_vec();
+            if packed.len() * 4 < len {
+                return Err(NetError::Decode(format!(
+                    "{} packed bytes cannot hold {len} 2-bit symbols",
+                    packed.len()
+                )));
+            }
+            Ok(if tag == TAG_TWO_BIT {
+                Compressed::TwoBit {
+                    threshold: scalar,
+                    packed,
+                    len,
+                }
+            } else {
+                Compressed::Tern {
+                    scale: scalar,
+                    packed,
+                    len,
+                }
+            })
+        }
+        TAG_ONE_BIT => {
+            let scale = cur.f32()?;
+            let signs = cur.take(cur.remaining())?.to_vec();
+            if signs.len() * 8 < len {
+                return Err(NetError::Decode(format!(
+                    "{} sign bytes cannot hold {len} 1-bit symbols",
+                    signs.len()
+                )));
+            }
+            Ok(Compressed::OneBit { scale, signs, len })
+        }
+        TAG_QSGD => {
+            let norm = cur.f32()?;
+            let levels = cur.u8()?;
+            let bits = qsgd_bits(levels);
+            let expect = (len * bits).div_ceil(8);
+            if cur.remaining() != expect {
+                return Err(NetError::Decode(format!(
+                    "QSGD payload of {len} codes at {bits} bits needs {expect} bytes, have {}",
+                    cur.remaining()
+                )));
+            }
+            let packed = cur.take(expect)?;
+            let mut codes = Vec::with_capacity(len);
+            let mut acc: u64 = 0;
+            let mut nbits: usize = 0;
+            let mut next = 0usize;
+            let mask: u64 = if bits == 0 { 0 } else { (1 << bits) - 1 };
+            for _ in 0..len {
+                while nbits < bits {
+                    acc |= (packed[next] as u64) << nbits;
+                    next += 1;
+                    nbits += 8;
+                }
+                let sym = (acc & mask) as i32;
+                acc >>= bits;
+                nbits -= bits;
+                let code = sym - levels as i32;
+                if !(i8::MIN as i32..=i8::MAX as i32).contains(&code) {
+                    return Err(NetError::Decode(format!(
+                        "QSGD symbol {sym} out of i8 code range for levels {levels}"
+                    )));
+                }
+                codes.push(code as i8);
+            }
+            Ok(Compressed::Qsgd {
+                norm,
+                levels,
+                codes,
+                len,
+            })
+        }
+        TAG_TOPK => {
+            if !cur.remaining().is_multiple_of(8) {
+                return Err(NetError::Decode(format!(
+                    "Top-k payload of {} bytes is not a whole number of (u32, f32) pairs",
+                    cur.remaining()
+                )));
+            }
+            let k = cur.remaining() / 8;
+            let mut indices = Vec::with_capacity(k);
+            let mut values = Vec::with_capacity(k);
+            for _ in 0..k {
+                let i = cur.u32()?;
+                if i as usize >= len {
+                    return Err(NetError::Decode(format!(
+                        "Top-k index {i} out of range for {len} elements"
+                    )));
+                }
+                indices.push(i);
+                values.push(cur.f32()?);
+            }
+            Ok(Compressed::TopK {
+                indices,
+                values,
+                len,
+            })
+        }
+        t => Err(NetError::Decode(format!("unknown payload tag {t}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// message codec
+// ---------------------------------------------------------------------------
+
+/// Encode a push message body into `buf` (cleared first). Zero-copy over
+/// the payload reference — this is the worker hot path.
+pub fn encode_push_into(worker: u32, key: u32, payload: &Compressed, buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.push(OP_PUSH);
+    put_u32(buf, worker);
+    put_u32(buf, key);
+    encode_compressed_into(payload, buf);
+}
+
+/// Encode a pull request body into `buf` (cleared first).
+pub fn encode_pull_into(key: u32, min_version: u64, buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.push(OP_PULL);
+    put_u32(buf, key);
+    put_u64(buf, min_version);
+}
+
+/// Encode a pull-reply body into `buf` (cleared first). Takes the weight
+/// slice by reference so the server can frame an `Arc<[f32]>` snapshot
+/// without materialising a `Vec`.
+pub fn encode_pull_reply_into(key: u32, min_version: u64, weights: &[f32], buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.push(OP_PULL_REPLY);
+    put_u32(buf, key);
+    put_u64(buf, min_version);
+    for &w in weights {
+        put_f32(buf, w);
+    }
+}
+
+/// Encode a set-lr body into `buf` (cleared first).
+pub fn encode_set_lr_into(lr: f32, buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.push(OP_SET_LR);
+    put_f32(buf, lr);
+}
+
+/// Encode a snapshot request body into `buf` (cleared first).
+pub fn encode_snapshot_into(buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.push(OP_SNAPSHOT);
+}
+
+/// Encode a snapshot reply body into `buf` (cleared first). Layout: key
+/// count, then per key its version, length, and raw f32 weights.
+pub fn encode_snapshot_reply_into(weights: &[Vec<f32>], versions: &[u64], buf: &mut Vec<u8>) {
+    assert_eq!(weights.len(), versions.len(), "snapshot key count mismatch");
+    buf.clear();
+    buf.push(OP_SNAPSHOT_REPLY);
+    put_u32(buf, weights.len() as u32);
+    for (w, &v) in weights.iter().zip(versions) {
+        put_u64(buf, v);
+        put_u32(buf, w.len() as u32);
+        for &x in w {
+            put_f32(buf, x);
+        }
+    }
+}
+
+/// Encode a shutdown body into `buf` (cleared first).
+pub fn encode_shutdown_into(buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.push(OP_SHUTDOWN);
+}
+
+/// Encode any [`WireMsg`] into `buf` (cleared first). The per-message
+/// `encode_*_into` helpers are the zero-copy hot paths; this exists for
+/// symmetry with [`decode_msg`] and for tests.
+pub fn encode_msg_into(msg: &WireMsg, buf: &mut Vec<u8>) {
+    match msg {
+        WireMsg::Push {
+            worker,
+            key,
+            payload,
+        } => encode_push_into(*worker, *key, payload, buf),
+        WireMsg::Pull { key, min_version } => encode_pull_into(*key, *min_version, buf),
+        WireMsg::PullReply {
+            key,
+            min_version,
+            weights,
+        } => encode_pull_reply_into(*key, *min_version, weights, buf),
+        WireMsg::SetLr { lr } => encode_set_lr_into(*lr, buf),
+        WireMsg::Snapshot => encode_snapshot_into(buf),
+        WireMsg::SnapshotReply { weights, versions } => {
+            encode_snapshot_reply_into(weights, versions, buf)
+        }
+        WireMsg::Shutdown => encode_shutdown_into(buf),
+    }
+}
+
+/// Decode one frame body into a [`WireMsg`], consuming the entire slice.
+pub fn decode_msg(bytes: &[u8]) -> Result<WireMsg, NetError> {
+    let mut cur = Cursor::new(bytes);
+    let op = cur.u8()?;
+    let msg = match op {
+        OP_PUSH => {
+            let worker = cur.u32()?;
+            let key = cur.u32()?;
+            let payload = decode_compressed(cur.take(cur.remaining())?)?;
+            WireMsg::Push {
+                worker,
+                key,
+                payload,
+            }
+        }
+        OP_PULL => WireMsg::Pull {
+            key: cur.u32()?,
+            min_version: cur.u64()?,
+        },
+        OP_PULL_REPLY => {
+            let key = cur.u32()?;
+            let min_version = cur.u64()?;
+            if !cur.remaining().is_multiple_of(4) {
+                return Err(NetError::Decode(format!(
+                    "pull reply body of {} bytes is not whole f32s",
+                    cur.remaining()
+                )));
+            }
+            let n = cur.remaining() / 4;
+            WireMsg::PullReply {
+                key,
+                min_version,
+                weights: cur.f32s(n)?,
+            }
+        }
+        OP_SET_LR => WireMsg::SetLr { lr: cur.f32()? },
+        OP_SNAPSHOT => WireMsg::Snapshot,
+        OP_SNAPSHOT_REPLY => {
+            let keys = cur.u32()? as usize;
+            let mut weights = Vec::with_capacity(keys);
+            let mut versions = Vec::with_capacity(keys);
+            for _ in 0..keys {
+                versions.push(cur.u64()?);
+                let n = cur.u32()? as usize;
+                weights.push(cur.f32s(n)?);
+            }
+            WireMsg::SnapshotReply { weights, versions }
+        }
+        OP_SHUTDOWN => WireMsg::Shutdown,
+        o => return Err(NetError::Decode(format!("unknown opcode {o}"))),
+    };
+    if cur.remaining() != 0 {
+        return Err(NetError::Decode(format!(
+            "{} trailing bytes after message",
+            cur.remaining()
+        )));
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode(c: &Compressed) -> Vec<u8> {
+        let mut buf = Vec::new();
+        encode_compressed_into(c, &mut buf);
+        buf
+    }
+
+    #[test]
+    fn every_variant_round_trips_and_matches_wire_bytes() {
+        let variants = vec![
+            Compressed::Raw(vec![1.0, -2.5, 0.0]),
+            Compressed::Raw(vec![]),
+            Compressed::TwoBit {
+                threshold: 0.5,
+                packed: vec![0b0110_0001, 0b10],
+                len: 5,
+            },
+            Compressed::OneBit {
+                scale: 1.25,
+                signs: vec![0b1010_1010],
+                len: 8,
+            },
+            Compressed::Tern {
+                scale: 0.75,
+                packed: vec![0b01],
+                len: 1,
+            },
+            Compressed::Qsgd {
+                norm: 3.0,
+                levels: 4,
+                codes: vec![-4, -1, 0, 2, 4],
+                len: 5,
+            },
+            Compressed::TopK {
+                indices: vec![0, 7],
+                values: vec![1.5, -0.25],
+                len: 9,
+            },
+            Compressed::TopK {
+                indices: vec![],
+                values: vec![],
+                len: 0,
+            },
+        ];
+        for c in variants {
+            let bytes = encode(&c);
+            assert_eq!(bytes.len(), c.wire_bytes(), "wire size invariant: {c:?}");
+            assert_eq!(decode_compressed(&bytes).unwrap(), c, "round trip: {c:?}");
+        }
+    }
+
+    #[test]
+    fn qsgd_nine_bit_symbols_round_trip() {
+        // levels = 255 forces 9-bit symbols spanning byte boundaries.
+        let c = Compressed::Qsgd {
+            norm: 1.0,
+            levels: 255,
+            codes: vec![-128, 127, 0, -1, 55],
+            len: 5,
+        };
+        let bytes = encode(&c);
+        assert_eq!(bytes.len(), c.wire_bytes());
+        assert_eq!(decode_compressed(&bytes).unwrap(), c);
+    }
+
+    #[test]
+    fn corrupted_payloads_error_instead_of_panicking() {
+        // Truncated raw payload.
+        let mut bytes = encode(&Compressed::Raw(vec![1.0, 2.0]));
+        bytes.pop();
+        assert!(matches!(
+            decode_compressed(&bytes),
+            Err(NetError::Decode(_))
+        ));
+        // Unknown tag.
+        let bogus = ((7u32 << LEN_BITS) | 1).to_le_bytes().to_vec();
+        assert!(matches!(
+            decode_compressed(&bogus),
+            Err(NetError::Decode(_))
+        ));
+        // Top-k index out of range.
+        let evil = encode(&Compressed::TopK {
+            indices: vec![2],
+            values: vec![1.0],
+            len: 8,
+        });
+        let mut evil_oob = evil.clone();
+        evil_oob[4..8].copy_from_slice(&100u32.to_le_bytes());
+        assert!(matches!(
+            decode_compressed(&evil_oob),
+            Err(NetError::Decode(_))
+        ));
+        // 2-bit payload with too few packed bytes for its element count.
+        let mut short = encode(&Compressed::TwoBit {
+            threshold: 0.5,
+            packed: vec![0; 4],
+            len: 16,
+        });
+        short.truncate(short.len() - 2);
+        assert!(matches!(
+            decode_compressed(&short),
+            Err(NetError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn messages_round_trip() {
+        let msgs = vec![
+            WireMsg::Push {
+                worker: 3,
+                key: 11,
+                payload: Compressed::Raw(vec![0.5, -0.5]),
+            },
+            WireMsg::Pull {
+                key: 2,
+                min_version: 40,
+            },
+            WireMsg::PullReply {
+                key: 2,
+                min_version: 40,
+                weights: vec![1.0, 2.0, 3.0],
+            },
+            WireMsg::SetLr { lr: 0.05 },
+            WireMsg::Snapshot,
+            WireMsg::SnapshotReply {
+                weights: vec![vec![1.0], vec![], vec![2.0, 3.0]],
+                versions: vec![4, 0, 9],
+            },
+            WireMsg::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        for m in msgs {
+            encode_msg_into(&m, &mut buf);
+            assert_eq!(decode_msg(&buf).unwrap(), m, "round trip: {m:?}");
+        }
+    }
+
+    #[test]
+    fn frame_size_helpers_match_actual_encodings() {
+        let payload = Compressed::TwoBit {
+            threshold: 0.5,
+            packed: vec![0; 16],
+            len: 64,
+        };
+        let mut buf = Vec::new();
+        encode_push_into(1, 2, &payload, &mut buf);
+        assert_eq!(
+            buf.len() + FRAME_PREFIX_BYTES,
+            push_frame_bytes(payload.wire_bytes())
+        );
+
+        let weights = vec![0.0f32; 33];
+        encode_pull_reply_into(7, 12, &weights, &mut buf);
+        assert_eq!(
+            buf.len() + FRAME_PREFIX_BYTES,
+            pull_reply_frame_bytes(weights.len())
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        encode_pull_into(1, 2, &mut buf);
+        buf.push(0);
+        assert!(matches!(decode_msg(&buf), Err(NetError::Decode(_))));
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the wire codec: `decode(encode(c)) == c` for every
+//! [`Compressed`] variant (including empty and 1-element payloads), and
+//! `encode(c).len() == c.wire_bytes()` so the traffic counters account
+//! exactly the bytes that cross a transport.
+
+use cdsgd_compress::{pack_1bit, pack_2bit, Compressed};
+use cdsgd_net::wire::{
+    decode_compressed, decode_msg, encode_compressed_into, encode_msg_into, pull_reply_frame_bytes,
+    push_frame_bytes, WireMsg, FRAME_PREFIX_BYTES,
+};
+use proptest::prelude::*;
+
+/// Encode, check the size invariant, decode, check equality.
+fn assert_round_trip(c: &Compressed) {
+    let mut buf = Vec::new();
+    encode_compressed_into(c, &mut buf);
+    assert_eq!(
+        buf.len(),
+        c.wire_bytes(),
+        "encoded length must equal wire_bytes for {c:?}"
+    );
+    assert_eq!(&decode_compressed(&buf).unwrap(), c, "round trip of {c:?}");
+}
+
+proptest! {
+    #[test]
+    fn raw_round_trips(v in prop::collection::vec(-10.0f32..10.0, 0..48)) {
+        assert_round_trip(&Compressed::Raw(v));
+    }
+
+    #[test]
+    fn two_bit_round_trips(syms in prop::collection::vec(0u8..3, 0..130), thr in 0.01f32..4.0) {
+        let c = Compressed::TwoBit {
+            threshold: thr,
+            packed: pack_2bit(&syms),
+            len: syms.len(),
+        };
+        assert_round_trip(&c);
+    }
+
+    #[test]
+    fn one_bit_round_trips(bits in prop::collection::vec(any::<bool>(), 0..130), scale in 0.01f32..4.0) {
+        let c = Compressed::OneBit {
+            scale,
+            signs: pack_1bit(&bits),
+            len: bits.len(),
+        };
+        assert_round_trip(&c);
+    }
+
+    #[test]
+    fn tern_round_trips(syms in prop::collection::vec(0u8..3, 0..130), scale in 0.01f32..4.0) {
+        let c = Compressed::Tern {
+            scale,
+            packed: pack_2bit(&syms),
+            len: syms.len(),
+        };
+        assert_round_trip(&c);
+    }
+
+    #[test]
+    fn qsgd_round_trips(raw in prop::collection::vec(any::<u8>(), 0..90), levels in 1u8..120, norm in 0.01f32..8.0) {
+        // Derive codes in [-levels, levels] from arbitrary bytes.
+        let span = 2 * levels as i32 + 1;
+        let codes: Vec<i8> = raw
+            .iter()
+            .map(|&b| (b as i32 % span - levels as i32) as i8)
+            .collect();
+        let c = Compressed::Qsgd {
+            norm,
+            levels,
+            codes,
+            len: raw.len(),
+        };
+        assert_round_trip(&c);
+    }
+
+    #[test]
+    fn qsgd_wide_levels_round_trip(raw in prop::collection::vec(any::<i8>(), 0..64), levels in 128u8..=255) {
+        // For levels >= 128 every i8 is a legal code; symbols need 9 bits
+        // and straddle byte boundaries.
+        let c = Compressed::Qsgd {
+            norm: 1.0,
+            levels,
+            codes: raw.clone(),
+            len: raw.len(),
+        };
+        assert_round_trip(&c);
+    }
+
+    #[test]
+    fn topk_round_trips(values in prop::collection::vec(-4.0f32..4.0, 0..40), idx_raw in prop::collection::vec(any::<u32>(), 0..40), extra in 1usize..16) {
+        let k = values.len().min(idx_raw.len());
+        let len = k + extra;
+        let indices: Vec<u32> = idx_raw[..k].iter().map(|&r| r % len as u32).collect();
+        let c = Compressed::TopK {
+            indices,
+            values: values[..k].to_vec(),
+            len,
+        };
+        assert_round_trip(&c);
+    }
+
+    #[test]
+    fn push_frames_round_trip_with_exact_sizes(v in prop::collection::vec(-2.0f32..2.0, 0..32), worker in 0u32..64, key in 0u32..64) {
+        let payload = Compressed::Raw(v);
+        let msg = WireMsg::Push { worker, key, payload: payload.clone() };
+        let mut buf = Vec::new();
+        encode_msg_into(&msg, &mut buf);
+        prop_assert_eq!(
+            buf.len() + FRAME_PREFIX_BYTES,
+            push_frame_bytes(payload.wire_bytes())
+        );
+        prop_assert_eq!(decode_msg(&buf).unwrap(), msg);
+    }
+
+    #[test]
+    fn pull_reply_frames_round_trip_with_exact_sizes(w in prop::collection::vec(-2.0f32..2.0, 0..32), key in 0u32..64, version in 0u64..1000) {
+        let msg = WireMsg::PullReply { key, min_version: version, weights: w.clone() };
+        let mut buf = Vec::new();
+        encode_msg_into(&msg, &mut buf);
+        prop_assert_eq!(buf.len() + FRAME_PREFIX_BYTES, pull_reply_frame_bytes(w.len()));
+        prop_assert_eq!(decode_msg(&buf).unwrap(), msg);
+    }
+}
+
+#[test]
+fn one_element_payloads_round_trip() {
+    assert_round_trip(&Compressed::Raw(vec![3.25]));
+    assert_round_trip(&Compressed::TwoBit {
+        threshold: 0.5,
+        packed: pack_2bit(&[2]),
+        len: 1,
+    });
+    assert_round_trip(&Compressed::OneBit {
+        scale: 1.0,
+        signs: pack_1bit(&[true]),
+        len: 1,
+    });
+    assert_round_trip(&Compressed::Tern {
+        scale: 1.0,
+        packed: pack_2bit(&[1]),
+        len: 1,
+    });
+    assert_round_trip(&Compressed::Qsgd {
+        norm: 1.0,
+        levels: 4,
+        codes: vec![-4],
+        len: 1,
+    });
+    assert_round_trip(&Compressed::TopK {
+        indices: vec![0],
+        values: vec![-1.5],
+        len: 1,
+    });
+}

@@ -4,10 +4,30 @@ use crate::server::Msg;
 use crate::stats::TrafficStats;
 use crate::Key;
 use cdsgd_compress::{BufferPool, Compressed};
-use crossbeam_channel::{bounded, Sender};
+use cdsgd_net::NetError;
+use crossbeam_channel::{bounded, Receiver, Sender};
 use std::sync::Arc;
 
+/// An outstanding asynchronous pull: resolves to the requested weight
+/// snapshot once the server reaches the version. Uniform across the
+/// in-process client and the networked [`crate::net::RemoteClient`] —
+/// both deliver the decoded snapshot through this handle.
+pub struct PendingPull(pub(crate) Receiver<Arc<[f32]>>);
+
+impl PendingPull {
+    /// Block until the snapshot arrives. [`NetError::ServerGone`] if the
+    /// server (or the connection to it) died before replying.
+    pub fn wait(&self) -> Result<Arc<[f32]>, NetError> {
+        self.0.recv().map_err(|_| NetError::ServerGone)
+    }
+}
+
 /// A cloneable, thread-safe handle for talking to a [`crate::ParamServer`].
+///
+/// Every request returns `Result<_, NetError>`: a dead server surfaces as
+/// [`NetError::ServerGone`] instead of a worker-thread panic, so callers
+/// degrade gracefully (and the networked client slots in behind the same
+/// signatures via [`crate::ParamClient`]).
 #[derive(Clone)]
 pub struct PsClient {
     tx: Sender<Msg>,
@@ -22,35 +42,29 @@ impl PsClient {
 
     /// Push a gradient payload for `key` on behalf of `worker`.
     /// Non-blocking: aggregation happens on the server thread.
-    pub fn push(&self, worker: usize, key: Key, payload: Compressed) {
+    pub fn push(&self, worker: usize, key: Key, payload: Compressed) -> Result<(), NetError> {
         self.tx
             .send(Msg::Push {
                 worker,
                 key,
                 payload,
             })
-            .expect("parameter server is gone");
+            .map_err(|_| NetError::ServerGone)
     }
 
     /// Pull the weights for `key`, blocking until exactly `min_version`
     /// aggregate updates have been applied to it. The returned snapshot is
     /// shared (`Arc` bump) with every other worker pulling this version —
     /// the server never copies weights to serve a pull.
-    pub fn pull(&self, key: Key, min_version: u64) -> Arc<[f32]> {
-        self.pull_async(key, min_version)
-            .recv()
-            .expect("parameter server dropped the reply")
+    pub fn pull(&self, key: Key, min_version: u64) -> Result<Arc<[f32]>, NetError> {
+        self.pull_async(key, min_version)?.wait()
     }
 
-    /// Fire-and-forget pull request: returns a receiver that yields the
+    /// Fire-and-forget pull request: returns a handle that yields the
     /// weights once the server reaches `min_version`. This is how delayed
     /// algorithms overlap the pull transfer with the next iteration's
     /// computation (MXNet's engine issues pulls asynchronously too).
-    pub fn pull_async(
-        &self,
-        key: Key,
-        min_version: u64,
-    ) -> crossbeam_channel::Receiver<Arc<[f32]>> {
+    pub fn pull_async(&self, key: Key, min_version: u64) -> Result<PendingPull, NetError> {
         let (reply_tx, reply_rx) = bounded(1);
         self.tx
             .send(Msg::Pull {
@@ -58,30 +72,30 @@ impl PsClient {
                 min_version,
                 reply: reply_tx,
             })
-            .expect("parameter server is gone");
-        reply_rx
+            .map_err(|_| NetError::ServerGone)?;
+        Ok(PendingPull(reply_rx))
     }
 
     /// Pull every key at `min_version` (convenience for warm-up and eval).
-    pub fn pull_all(&self, num_keys: usize, min_version: u64) -> Vec<Arc<[f32]>> {
+    pub fn pull_all(&self, num_keys: usize, min_version: u64) -> Result<Vec<Arc<[f32]>>, NetError> {
         (0..num_keys).map(|k| self.pull(k, min_version)).collect()
     }
 
     /// Change the server's global learning rate (takes effect on the next
     /// aggregate update).
-    pub fn set_lr(&self, lr: f32) {
+    pub fn set_lr(&self, lr: f32) -> Result<(), NetError> {
         self.tx
             .send(Msg::SetLr(lr))
-            .expect("parameter server is gone");
+            .map_err(|_| NetError::ServerGone)
     }
 
     /// Snapshot all weights and per-key versions (diagnostics).
-    pub fn snapshot(&self) -> (Vec<Vec<f32>>, Vec<u64>) {
+    pub fn snapshot(&self) -> Result<(Vec<Vec<f32>>, Vec<u64>), NetError> {
         let (reply_tx, reply_rx) = bounded(1);
         self.tx
             .send(Msg::Snapshot { reply: reply_tx })
-            .expect("parameter server is gone");
-        reply_rx.recv().expect("parameter server dropped the reply")
+            .map_err(|_| NetError::ServerGone)?;
+        reply_rx.recv().map_err(|_| NetError::ServerGone)
     }
 
     /// Shared traffic counters.
@@ -101,6 +115,7 @@ impl PsClient {
 mod tests {
     use crate::{ParamServer, ServerConfig};
     use cdsgd_compress::Compressed;
+    use cdsgd_net::NetError;
 
     #[test]
     fn clients_are_cloneable_across_threads() {
@@ -109,8 +124,8 @@ mod tests {
             .map(|w| {
                 let c = ps.client();
                 std::thread::spawn(move || {
-                    c.push(w, 0, Compressed::Raw(vec![1.0]));
-                    c.pull(0, 1)
+                    c.push(w, 0, Compressed::Raw(vec![1.0])).unwrap();
+                    c.pull(0, 1).unwrap()
                 })
             })
             .collect();
@@ -125,10 +140,24 @@ mod tests {
     fn pull_all_returns_every_key() {
         let ps = ParamServer::start(vec![vec![1.0], vec![2.0, 3.0]], ServerConfig::new(1, 1.0));
         let c = ps.client();
-        let all = c.pull_all(2, 0);
+        let all = c.pull_all(2, 0).unwrap();
         assert_eq!(all.len(), 2);
         assert_eq!(*all[0], [1.0]);
         assert_eq!(*all[1], [2.0, 3.0]);
         ps.shutdown();
+    }
+
+    #[test]
+    fn dead_server_yields_server_gone_not_a_panic() {
+        let ps = ParamServer::start(vec![vec![0.0]], ServerConfig::new(1, 1.0));
+        let c = ps.client();
+        ps.shutdown();
+        assert_eq!(
+            c.push(0, 0, Compressed::Raw(vec![1.0])),
+            Err(NetError::ServerGone)
+        );
+        assert_eq!(c.pull(0, 0).unwrap_err(), NetError::ServerGone);
+        assert_eq!(c.set_lr(0.5), Err(NetError::ServerGone));
+        assert_eq!(c.snapshot().unwrap_err(), NetError::ServerGone);
     }
 }

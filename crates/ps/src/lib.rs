@@ -20,28 +20,39 @@
 //! * [`TrafficStats`] counts every byte that would cross the network, so
 //!   experiments can report communication volume per algorithm.
 //!
+//! * The [`net`] module serves the same server over real transports
+//!   (in-memory loopback or TCP): [`ParamClient`] / [`PsBackend`] keep
+//!   the trainer agnostic of the deployment shape, and the wire protocol
+//!   is bit-deterministic, so loopback, TCP, and in-process runs produce
+//!   identical weights.
+//!
 //! ```
 //! use cdsgd_ps::{ParamServer, ServerConfig};
 //! use cdsgd_compress::Compressed;
 //!
 //! let ps = ParamServer::start(vec![vec![0.0; 4]], ServerConfig::new(1, 0.5));
 //! let client = ps.client();
-//! client.push(0, 0, Compressed::Raw(vec![1.0, 2.0, 3.0, 4.0]));
-//! let w = client.pull(0, 1); // Arc<[f32]>: shared with every other puller
+//! client.push(0, 0, Compressed::Raw(vec![1.0, 2.0, 3.0, 4.0])).unwrap();
+//! let w = client.pull(0, 1).unwrap(); // Arc<[f32]>: shared with every puller
 //! assert_eq!(*w, [-0.5, -1.0, -1.5, -2.0]);
 //! ps.shutdown();
 //! ```
 
 pub mod allreduce;
+mod api;
 mod client;
+pub mod net;
 mod server;
 mod sharded;
 mod stats;
 
 pub use allreduce::{ring_group, RingMember};
-pub use client::PsClient;
+pub use api::{InProcessBackend, ParamClient, PsBackend};
+pub use cdsgd_net::NetError;
+pub use client::{PendingPull, PsClient};
+pub use net::{NetCluster, PsNetServer, RemoteClient};
 pub use server::{ParamServer, ServerConfig};
-pub use sharded::{ShardedClient, ShardedParamServer};
+pub use sharded::{partition_keys, reassemble_snapshots, ShardedClient, ShardedParamServer};
 pub use stats::TrafficStats;
 
 /// Parameter key: index of a parameter tensor (layer) in the model's

@@ -1,0 +1,803 @@
+//! Networked front-end: serve a [`ParamServer`] over any
+//! [`Transport`], talk to one through [`RemoteClient`], and deploy whole
+//! sharded groups with [`NetCluster`].
+//!
+//! The protocol is the frame vocabulary of [`cdsgd_net::wire`]; encoding
+//! is deterministic and f32 round-trips are bit-exact, so training over
+//! loopback or TCP follows *exactly* the same trajectory as the
+//! in-process channels — the transport changes wall-clock cost, never
+//! math. The per-worker FIFO the server's aggregation relies on is
+//! preserved because each worker's pushes travel one ordered connection.
+//!
+//! Threading per connection follows the classic reader/writer split: a
+//! reader thread decodes requests and dispatches them to the in-process
+//! [`PsClient`]; pull replies (which block until the requested version
+//! exists) are handed to a writer thread so a slow pull never stalls
+//! push processing on the same connection. Replies go out in request
+//! order (FIFO per connection): a pull for a not-yet-reached version
+//! delays later replies on that connection, which is harmless for the
+//! training workload — workers request versions in nondecreasing order
+//! and never gate a push on an outstanding reply.
+
+use crate::api::{ParamClient, PsBackend};
+use crate::client::{PendingPull, PsClient};
+use crate::server::{ParamServer, ServerConfig};
+use crate::sharded::{partition_keys, reassemble_snapshots, ShardedClient};
+use crate::stats::TrafficStats;
+use crate::Key;
+use cdsgd_compress::{BufferPool, Compressed};
+use cdsgd_net::wire::{self, WireMsg, FRAME_PREFIX_BYTES};
+use cdsgd_net::{loopback_pair, NetConfig, NetError, TcpAcceptor, TcpTransport, Transport};
+use crossbeam_channel::{bounded, unbounded, Sender};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Poll interval for stoppable blocking reads. Short enough that
+/// shutdown feels instant, long enough to stay off the scheduler.
+const POLL: Duration = Duration::from_millis(200);
+
+fn spawn_err(e: std::io::Error) -> NetError {
+    NetError::Io(format!("spawn connection thread: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// server side
+// ---------------------------------------------------------------------------
+
+/// Work queued from a connection's reader thread to its writer thread.
+enum Outgoing {
+    PullReply {
+        key: u32,
+        min_version: u64,
+        pending: PendingPull,
+    },
+    SnapshotReply {
+        weights: Vec<Vec<f32>>,
+        versions: Vec<u64>,
+    },
+}
+
+/// One parameter-server shard served over transports: wraps an ordinary
+/// in-process [`ParamServer`] and speaks the wire protocol to any number
+/// of attached connections ([`PsNetServer::attach`]) or a whole TCP
+/// listener ([`PsNetServer::listen`]). This is the engine of the `psd`
+/// server binary and of [`NetCluster`]'s local deployments.
+pub struct PsNetServer {
+    ps: Mutex<Option<ParamServer>>,
+    client: PsClient,
+    stats: Arc<TrafficStats>,
+    stop: Arc<AtomicBool>,
+    shutdown_signal: Arc<(Mutex<bool>, Condvar)>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl PsNetServer {
+    /// Start a server thread owning `init` and ready to accept
+    /// connections.
+    pub fn start(init: Vec<Vec<f32>>, cfg: ServerConfig) -> Arc<Self> {
+        let ps = ParamServer::start(init, cfg);
+        Arc::new(Self {
+            client: ps.client(),
+            stats: ps.stats_arc(),
+            ps: Mutex::new(Some(ps)),
+            stop: Arc::new(AtomicBool::new(false)),
+            shutdown_signal: Arc::new((Mutex::new(false), Condvar::new())),
+            threads: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Serve one established connection (reader + writer thread pair).
+    pub fn attach(&self, transport: Box<dyn Transport>) -> Result<(), NetError> {
+        let mut reader_t = transport;
+        reader_t.set_recv_timeout(Some(POLL))?;
+        let mut writer_t = reader_t.try_clone()?;
+        let peer = reader_t.peer();
+
+        let client = self.client.clone();
+        let stats = Arc::clone(&self.stats);
+        let stop = Arc::clone(&self.stop);
+        let signal = Arc::clone(&self.shutdown_signal);
+        let (out_tx, out_rx) = unbounded::<Outgoing>();
+
+        let reader = std::thread::Builder::new()
+            .name(format!("psd-read-{peer}"))
+            .spawn(move || {
+                let mut buf = Vec::new();
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match reader_t.recv_frame(&mut buf) {
+                        Ok(()) => {}
+                        Err(NetError::Timeout) => continue,
+                        Err(_) => break,
+                    }
+                    stats.record_received(FRAME_PREFIX_BYTES + buf.len());
+                    let msg = match wire::decode_msg(&buf) {
+                        Ok(m) => m,
+                        Err(_) => break,
+                    };
+                    match msg {
+                        WireMsg::Push {
+                            worker,
+                            key,
+                            payload,
+                        } => {
+                            if client.push(worker as usize, key as usize, payload).is_err() {
+                                break;
+                            }
+                        }
+                        WireMsg::Pull { key, min_version } => {
+                            let Ok(pending) = client.pull_async(key as usize, min_version) else {
+                                break;
+                            };
+                            if out_tx
+                                .send(Outgoing::PullReply {
+                                    key,
+                                    min_version,
+                                    pending,
+                                })
+                                .is_err()
+                            {
+                                break;
+                            }
+                        }
+                        WireMsg::SetLr { lr } => {
+                            if client.set_lr(lr).is_err() {
+                                break;
+                            }
+                        }
+                        WireMsg::Snapshot => {
+                            let Ok((weights, versions)) = client.snapshot() else {
+                                break;
+                            };
+                            if out_tx
+                                .send(Outgoing::SnapshotReply { weights, versions })
+                                .is_err()
+                            {
+                                break;
+                            }
+                        }
+                        WireMsg::Shutdown => {
+                            let (flag, cv) = &*signal;
+                            *flag.lock().unwrap() = true;
+                            cv.notify_all();
+                            break;
+                        }
+                        // Server-to-client messages arriving at the server
+                        // are a protocol violation; drop the connection.
+                        WireMsg::PullReply { .. } | WireMsg::SnapshotReply { .. } => break,
+                    }
+                }
+                // Dropping out_tx lets the writer drain its queue and exit.
+            })
+            .map_err(spawn_err)?;
+
+        let wstats = Arc::clone(&self.stats);
+        let writer = std::thread::Builder::new()
+            .name(format!("psd-write-{peer}"))
+            .spawn(move || {
+                let mut buf = Vec::new();
+                while let Ok(out) = out_rx.recv() {
+                    match out {
+                        Outgoing::PullReply {
+                            key,
+                            min_version,
+                            pending,
+                        } => {
+                            let Ok(w) = pending.wait() else { break };
+                            wire::encode_pull_reply_into(key, min_version, &w, &mut buf);
+                        }
+                        Outgoing::SnapshotReply { weights, versions } => {
+                            wire::encode_snapshot_reply_into(&weights, &versions, &mut buf);
+                        }
+                    }
+                    if writer_t.send_frame(&buf).is_err() {
+                        break;
+                    }
+                    wstats.record_sent(FRAME_PREFIX_BYTES + buf.len());
+                }
+            })
+            .map_err(spawn_err)?;
+
+        self.threads.lock().unwrap().extend([reader, writer]);
+        Ok(())
+    }
+
+    /// Accept connections from `acceptor` until shutdown.
+    pub fn listen(self: &Arc<Self>, acceptor: TcpAcceptor) {
+        let me = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name("psd-accept".into())
+            .spawn(move || loop {
+                if me.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                match acceptor.accept(POLL) {
+                    Ok(t) => {
+                        if me.attach(Box::new(t)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(NetError::Timeout) => continue,
+                    Err(_) => break,
+                }
+            })
+            .expect("spawn accept thread");
+        self.threads.lock().unwrap().push(handle);
+    }
+
+    /// Block until some client sends a [`WireMsg::Shutdown`] frame (the
+    /// `psd` binary parks its main thread here).
+    pub fn wait_for_shutdown(&self) {
+        let (flag, cv) = &*self.shutdown_signal;
+        let mut stopped = flag.lock().unwrap();
+        while !*stopped {
+            stopped = cv.wait(stopped).unwrap();
+        }
+    }
+
+    /// Traffic counters (shared with the inner server: protocol-level
+    /// push/pull plus transport-level sent/received).
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Stop serving: drop all connections, then stop the server thread.
+    /// Idempotent (connection threads may already be gone).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let (flag, cv) = &*self.shutdown_signal;
+        *flag.lock().unwrap() = true;
+        cv.notify_all();
+        // Stopping the inner server first unblocks writer threads parked
+        // in `PendingPull::wait` on versions that will never arrive.
+        if let Some(ps) = self.ps.lock().unwrap().take() {
+            ps.shutdown();
+        }
+        let threads = std::mem::take(&mut *self.threads.lock().unwrap());
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for PsNetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// client side
+// ---------------------------------------------------------------------------
+
+struct WriteHalf {
+    t: Box<dyn Transport>,
+    buf: Vec<u8>,
+}
+
+/// One outstanding pull: its `(key, version)` and the reply channel.
+type PendingPullEntry = ((u32, u64), Sender<Arc<[f32]>>);
+/// A full server snapshot: per-key weights and per-key versions.
+type SnapshotReply = (Vec<Vec<f32>>, Vec<u64>);
+
+#[derive(Default)]
+struct Pending {
+    /// Outstanding pulls in request order, matched by `(key, version)`.
+    pulls: VecDeque<PendingPullEntry>,
+    snapshot: Option<Sender<SnapshotReply>>,
+}
+
+/// A [`ParamClient`] talking to one remote shard over a transport.
+///
+/// Requests are encoded under a small writer lock; replies arrive on a
+/// dedicated reader thread that resolves the matching [`PendingPull`], so
+/// the blocking/overlap semantics are identical to the in-process
+/// [`PsClient`]. If the connection dies, outstanding and future requests
+/// surface [`NetError`]s instead of panicking.
+pub struct RemoteClient {
+    writer: Mutex<WriteHalf>,
+    pending: Arc<Mutex<Pending>>,
+    stats: Arc<TrafficStats>,
+    pool: BufferPool,
+    stop: Arc<AtomicBool>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl RemoteClient {
+    /// Wrap an established connection. `stats` aggregates client-side
+    /// traffic (shared across shards of a cluster); `pool` recycles push
+    /// payload storage after encoding.
+    pub fn new(
+        transport: Box<dyn Transport>,
+        stats: Arc<TrafficStats>,
+        pool: BufferPool,
+    ) -> Result<Self, NetError> {
+        let mut read_t = transport.try_clone()?;
+        read_t.set_recv_timeout(Some(POLL))?;
+        let pending = Arc::new(Mutex::new(Pending::default()));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let pending2 = Arc::clone(&pending);
+        let stop2 = Arc::clone(&stop);
+        let stats2 = Arc::clone(&stats);
+        let reader = std::thread::Builder::new()
+            .name("ps-client-read".into())
+            .spawn(move || {
+                let mut buf = Vec::new();
+                loop {
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match read_t.recv_frame(&mut buf) {
+                        Ok(()) => {}
+                        Err(NetError::Timeout) => continue,
+                        Err(_) => break,
+                    }
+                    stats2.record_received(FRAME_PREFIX_BYTES + buf.len());
+                    match wire::decode_msg(&buf) {
+                        Ok(WireMsg::PullReply {
+                            key,
+                            min_version,
+                            weights,
+                        }) => {
+                            stats2.record_pull(FRAME_PREFIX_BYTES + buf.len());
+                            let sender = {
+                                let mut p = pending2.lock().unwrap();
+                                p.pulls
+                                    .iter()
+                                    .position(|(id, _)| *id == (key, min_version))
+                                    .and_then(|i| p.pulls.remove(i))
+                                    .map(|(_, tx)| tx)
+                            };
+                            if let Some(tx) = sender {
+                                // The waiter may have been dropped; fine.
+                                let _ = tx.send(weights.into());
+                            }
+                        }
+                        Ok(WireMsg::SnapshotReply { weights, versions }) => {
+                            let tx = pending2.lock().unwrap().snapshot.take();
+                            if let Some(tx) = tx {
+                                let _ = tx.send((weights, versions));
+                            }
+                        }
+                        // Anything else from the server is a protocol
+                        // violation; treat as a dead connection.
+                        _ => break,
+                    }
+                }
+                // Dropping the registered senders makes every outstanding
+                // wait return `NetError::ServerGone`.
+                let mut p = pending2.lock().unwrap();
+                p.pulls.clear();
+                p.snapshot = None;
+            })
+            .map_err(spawn_err)?;
+
+        Ok(Self {
+            writer: Mutex::new(WriteHalf {
+                t: transport,
+                buf: Vec::new(),
+            }),
+            pending,
+            stats,
+            pool,
+            stop,
+            reader: Some(reader),
+        })
+    }
+
+    /// Encode and send one frame; returns the full frame size.
+    fn send(&self, msg: &WireMsg) -> Result<usize, NetError> {
+        let mut w = self.writer.lock().unwrap();
+        let WriteHalf { t, buf } = &mut *w;
+        wire::encode_msg_into(msg, buf);
+        t.send_frame(buf)?;
+        let n = FRAME_PREFIX_BYTES + buf.len();
+        drop(w);
+        self.stats.record_sent(n);
+        Ok(n)
+    }
+
+    /// Fetch all weights + versions from this shard.
+    pub fn snapshot(&self) -> Result<(Vec<Vec<f32>>, Vec<u64>), NetError> {
+        let (tx, rx) = bounded(1);
+        self.pending.lock().unwrap().snapshot = Some(tx);
+        self.send(&WireMsg::Snapshot)?;
+        rx.recv().map_err(|_| NetError::ServerGone)
+    }
+
+    /// Tell the remote server process to exit ([`WireMsg::Shutdown`]).
+    pub fn shutdown_server(&self) -> Result<(), NetError> {
+        self.send(&WireMsg::Shutdown).map(|_| ())
+    }
+}
+
+impl ParamClient for RemoteClient {
+    fn push(&self, worker: usize, key: Key, payload: Compressed) -> Result<(), NetError> {
+        let n = {
+            let mut w = self.writer.lock().unwrap();
+            let WriteHalf { t, buf } = &mut *w;
+            wire::encode_push_into(worker as u32, key as u32, &payload, buf);
+            t.send_frame(buf)?;
+            FRAME_PREFIX_BYTES + buf.len()
+        };
+        // Same formula the in-process server charges, so histories match
+        // across backends bit-for-bit.
+        self.stats.record_push(n);
+        self.stats.record_sent(n);
+        payload.recycle(&self.pool);
+        Ok(())
+    }
+
+    fn pull_async(&self, key: Key, min_version: u64) -> Result<PendingPull, NetError> {
+        let id = (key as u32, min_version);
+        let (tx, rx) = bounded(1);
+        // Register before sending: the reply may race back before we
+        // would re-acquire the pending lock.
+        self.pending.lock().unwrap().pulls.push_back((id, tx));
+        if let Err(e) = self.send(&WireMsg::Pull {
+            key: id.0,
+            min_version,
+        }) {
+            let mut p = self.pending.lock().unwrap();
+            if let Some(i) = p.pulls.iter().position(|(pid, _)| *pid == id) {
+                p.pulls.remove(i);
+            }
+            return Err(e);
+        }
+        Ok(PendingPull(rx))
+    }
+
+    fn set_lr(&self, lr: f32) -> Result<(), NetError> {
+        self.send(&WireMsg::SetLr { lr }).map(|_| ())
+    }
+
+    fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+}
+
+impl Drop for RemoteClient {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(r) = self.reader.take() {
+            let _ = r.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// deployment
+// ---------------------------------------------------------------------------
+
+/// How [`NetCluster`] reaches one shard.
+enum ShardConn {
+    /// In-memory loopback to a server in this process.
+    Loopback(Arc<PsNetServer>),
+    /// TCP to `addr` (same process, another process, another host).
+    Tcp(String),
+}
+
+/// A sharded parameter-server deployment behind real transports: the
+/// [`PsBackend`] the trainer uses to run *identical* training over
+/// loopback, local TCP, or external `psd` server processes.
+pub struct NetCluster {
+    conns: Vec<ShardConn>,
+    /// Locally-owned shard servers (empty when connecting to external
+    /// processes).
+    local: Vec<Arc<PsNetServer>>,
+    /// Send [`WireMsg::Shutdown`] on shutdown (external `psd` processes).
+    remote_shutdown: bool,
+    num_keys: usize,
+    net: NetConfig,
+    stats: Arc<TrafficStats>,
+    control: Vec<RemoteClient>,
+}
+
+impl NetCluster {
+    /// Shards in this process, reached over in-memory loopback
+    /// transports — full wire protocol, zero sockets.
+    pub fn start_loopback(
+        init: Vec<Vec<f32>>,
+        cfg: ServerConfig,
+        num_shards: usize,
+    ) -> Result<Self, NetError> {
+        let num_keys = init.len();
+        let local: Vec<_> = partition_keys(init, num_shards)
+            .into_iter()
+            .map(|shard_init| PsNetServer::start(shard_init, cfg))
+            .collect();
+        let conns = local
+            .iter()
+            .map(|s| ShardConn::Loopback(Arc::clone(s)))
+            .collect();
+        Self::assemble(conns, local, false, num_keys, NetConfig::default())
+    }
+
+    /// Shards in this process, each listening on an ephemeral localhost
+    /// TCP port — the full socket path without managing processes.
+    pub fn start_tcp_local(
+        init: Vec<Vec<f32>>,
+        cfg: ServerConfig,
+        num_shards: usize,
+        net: NetConfig,
+    ) -> Result<Self, NetError> {
+        let num_keys = init.len();
+        let mut local = Vec::new();
+        let mut conns = Vec::new();
+        for shard_init in partition_keys(init, num_shards) {
+            let server = PsNetServer::start(shard_init, cfg);
+            let (acceptor, addr) = TcpAcceptor::bind("127.0.0.1:0", net.clone())?;
+            server.listen(acceptor);
+            conns.push(ShardConn::Tcp(addr.to_string()));
+            local.push(server);
+        }
+        Self::assemble(conns, local, false, num_keys, net)
+    }
+
+    /// Connect to already-running `psd` shard processes, `addrs[i]`
+    /// serving global keys `{k : k % addrs.len() == i}`. Shutdown frames
+    /// are sent to every shard when this cluster shuts down.
+    pub fn connect(addrs: &[String], num_keys: usize, net: NetConfig) -> Result<Self, NetError> {
+        assert!(!addrs.is_empty(), "need at least one shard address");
+        let conns = addrs.iter().map(|a| ShardConn::Tcp(a.clone())).collect();
+        Self::assemble(conns, Vec::new(), true, num_keys, net)
+    }
+
+    fn assemble(
+        conns: Vec<ShardConn>,
+        local: Vec<Arc<PsNetServer>>,
+        remote_shutdown: bool,
+        num_keys: usize,
+        net: NetConfig,
+    ) -> Result<Self, NetError> {
+        let mut cluster = Self {
+            conns,
+            local,
+            remote_shutdown,
+            num_keys,
+            net,
+            stats: Arc::new(TrafficStats::new()),
+            control: Vec::new(),
+        };
+        let pool = BufferPool::new();
+        cluster.control = cluster
+            .conns
+            .iter()
+            .map(|c| cluster.open_client(c, pool.clone()))
+            .collect::<Result<_, _>>()?;
+        Ok(cluster)
+    }
+
+    fn open(&self, conn: &ShardConn) -> Result<Box<dyn Transport>, NetError> {
+        match conn {
+            ShardConn::Loopback(server) => {
+                let (client_end, server_end) = loopback_pair();
+                server.attach(Box::new(server_end))?;
+                Ok(Box::new(client_end))
+            }
+            ShardConn::Tcp(addr) => Ok(Box::new(TcpTransport::connect(addr.as_str(), &self.net)?)),
+        }
+    }
+
+    fn open_client(&self, conn: &ShardConn, pool: BufferPool) -> Result<RemoteClient, NetError> {
+        RemoteClient::new(self.open(conn)?, Arc::clone(&self.stats), pool)
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Client-side aggregate traffic counters (all shards, all clients
+    /// handed out by this cluster).
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+}
+
+impl PsBackend for NetCluster {
+    /// Fresh connections to every shard, routed behind one
+    /// [`ShardedClient`]. Each worker gets its own connections (its own
+    /// ordered push stream), mirroring a real deployment.
+    fn client(&self) -> Result<Box<dyn ParamClient>, NetError> {
+        let pool = BufferPool::new();
+        let clients = self
+            .conns
+            .iter()
+            .map(|c| self.open_client(c, pool.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Box::new(ShardedClient::from_clients(clients, pool)))
+    }
+
+    fn set_lr(&self, lr: f32) -> Result<(), NetError> {
+        for c in &self.control {
+            ParamClient::set_lr(c, lr)?;
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self) -> Result<(Vec<Vec<f32>>, Vec<u64>), NetError> {
+        let shards = self
+            .control
+            .iter()
+            .map(|c| c.snapshot())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(reassemble_snapshots(shards, self.num_keys))
+    }
+
+    fn bytes_pushed(&self) -> u64 {
+        self.stats.bytes_pushed()
+    }
+
+    fn shutdown(self: Box<Self>) {
+        if self.remote_shutdown {
+            for c in &self.control {
+                let _ = c.shutdown_server();
+            }
+        }
+        let Self { control, local, .. } = *self;
+        // Control clients first (joins their reader threads), then the
+        // locally-owned servers.
+        drop(control);
+        for server in local {
+            server.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdsgd_net::wire::{pull_reply_frame_bytes, push_frame_bytes};
+
+    fn init(keys: usize) -> Vec<Vec<f32>> {
+        (0..keys).map(|k| vec![k as f32; 3]).collect()
+    }
+
+    fn loopback_client(server: &Arc<PsNetServer>) -> RemoteClient {
+        let (a, b) = loopback_pair();
+        server.attach(Box::new(b)).unwrap();
+        RemoteClient::new(
+            Box::new(a),
+            Arc::new(TrafficStats::new()),
+            BufferPool::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn remote_client_round_trips_over_loopback() {
+        let server = PsNetServer::start(init(2), ServerConfig::new(1, 1.0));
+        let c = loopback_client(&server);
+        c.push(0, 1, Compressed::Raw(vec![1.0, 2.0, 3.0])).unwrap();
+        assert_eq!(*c.pull(1, 1).unwrap(), [0.0, -1.0, -2.0]);
+        assert_eq!(*c.pull(0, 0).unwrap(), [0.0; 3]);
+        c.set_lr(0.5).unwrap();
+        let (w, v) = c.snapshot().unwrap();
+        assert_eq!(v, vec![0, 1]);
+        assert_eq!(w[1], vec![0.0, -1.0, -2.0]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn outstanding_pulls_resolve_as_versions_arrive() {
+        let server = PsNetServer::start(init(1), ServerConfig::new(1, 1.0));
+        let c = loopback_client(&server);
+        // Two pulls outstanding at once; the second waits for a version
+        // that only exists after a later push on the same connection —
+        // the reader keeps processing while the writer blocks on it.
+        let now = c.pull_async(0, 0).unwrap();
+        let future = c.pull_async(0, 1).unwrap();
+        assert_eq!(*now.wait().unwrap(), [0.0; 3]);
+        c.push(0, 0, Compressed::Raw(vec![1.0; 3])).unwrap();
+        assert_eq!(*future.wait().unwrap(), [-1.0; 3]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_side_stats_use_frame_formulas() {
+        let server = PsNetServer::start(init(1), ServerConfig::new(1, 1.0));
+        let stats = Arc::new(TrafficStats::new());
+        let (a, b) = loopback_pair();
+        server.attach(Box::new(b)).unwrap();
+        let c = RemoteClient::new(Box::new(a), Arc::clone(&stats), BufferPool::new()).unwrap();
+        let payload = Compressed::Raw(vec![1.0; 3]);
+        let wire_bytes = payload.wire_bytes();
+        c.push(0, 0, payload).unwrap();
+        c.pull(0, 1).unwrap();
+        assert_eq!(stats.bytes_pushed() as usize, push_frame_bytes(wire_bytes));
+        assert_eq!(stats.bytes_pulled() as usize, pull_reply_frame_bytes(3));
+        // Transport counters additionally cover the pull request frame:
+        // 4 prefix + 1 opcode + 4 key + 8 version = 17 bytes.
+        assert_eq!(
+            stats.bytes_sent() as usize,
+            push_frame_bytes(wire_bytes) + 17
+        );
+        assert_eq!(stats.bytes_received() as usize, pull_reply_frame_bytes(3));
+        drop(c);
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_and_client_agree_on_traffic() {
+        let server = PsNetServer::start(init(1), ServerConfig::new(1, 1.0));
+        let c = loopback_client(&server);
+        c.push(0, 0, Compressed::Raw(vec![1.0; 3])).unwrap();
+        c.pull(0, 1).unwrap();
+        assert_eq!(server.stats().bytes_pushed(), push_frame_bytes(16) as u64);
+        assert_eq!(
+            server.stats().bytes_pulled(),
+            pull_reply_frame_bytes(3) as u64
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn loopback_cluster_trains_and_snapshots() {
+        let cluster: Box<dyn PsBackend> =
+            Box::new(NetCluster::start_loopback(init(5), ServerConfig::new(2, 1.0), 2).unwrap());
+        let workers: Vec<_> = (0..2).map(|_| cluster.client().unwrap()).collect();
+        std::thread::scope(|s| {
+            for (w, c) in workers.iter().enumerate() {
+                s.spawn(move || {
+                    for k in 0..5 {
+                        c.push(w, k, Compressed::Raw(vec![1.0; 3])).unwrap();
+                    }
+                    c.pull_all(5, 1).unwrap()
+                });
+            }
+        });
+        let (w, v) = cluster.snapshot().unwrap();
+        assert_eq!(v, vec![1; 5]);
+        for (k, wk) in w.iter().enumerate() {
+            assert_eq!(*wk, vec![k as f32 - 1.0; 3], "key {k}");
+        }
+        assert!(cluster.bytes_pushed() > 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn tcp_local_cluster_matches_loopback() {
+        let run = |cluster: Box<dyn PsBackend>| {
+            let c = cluster.client().unwrap();
+            for k in 0..3 {
+                c.push(0, k, Compressed::Raw(vec![0.5; 3])).unwrap();
+            }
+            let w = c.pull_all(3, 1).unwrap();
+            drop(c);
+            let snap = cluster.snapshot().unwrap();
+            cluster.shutdown();
+            (w.iter().map(|a| a.to_vec()).collect::<Vec<_>>(), snap)
+        };
+        let a = run(Box::new(
+            NetCluster::start_loopback(init(3), ServerConfig::new(1, 1.0), 2).unwrap(),
+        ));
+        let b = run(Box::new(
+            NetCluster::start_tcp_local(
+                init(3),
+                ServerConfig::new(1, 1.0),
+                2,
+                NetConfig::default(),
+            )
+            .unwrap(),
+        ));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shutdown_frame_wakes_wait_for_shutdown() {
+        let server = PsNetServer::start(init(1), ServerConfig::new(1, 1.0));
+        let c = loopback_client(&server);
+        let s2 = Arc::clone(&server);
+        let waiter = std::thread::spawn(move || s2.wait_for_shutdown());
+        c.shutdown_server().unwrap();
+        waiter.join().unwrap();
+        server.shutdown();
+    }
+}

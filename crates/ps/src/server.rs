@@ -6,6 +6,7 @@ use crate::sharded::ShardedParamServer;
 use crate::stats::TrafficStats;
 use crate::Key;
 use cdsgd_compress::{decompress_add, BufferPool, Compressed};
+use cdsgd_net::wire::{pull_reply_frame_bytes, push_frame_bytes};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -120,10 +121,20 @@ impl ParamServer {
     /// Start a server owning `init` as the initial weights (one vector per
     /// key, keys are the indices).
     pub fn start(init: Vec<Vec<f32>>, cfg: ServerConfig) -> Self {
+        Self::start_with_pool(init, cfg, BufferPool::new())
+    }
+
+    /// Like [`ParamServer::start`] but sharing `pool` with the caller —
+    /// a sharded group passes one pool to every shard so payload buffers
+    /// recycle across the whole group instead of fragmenting per shard.
+    pub(crate) fn start_with_pool(
+        init: Vec<Vec<f32>>,
+        cfg: ServerConfig,
+        pool: BufferPool,
+    ) -> Self {
         let (tx, rx) = unbounded();
         let stats = Arc::new(TrafficStats::new());
         let stats2 = Arc::clone(&stats);
-        let pool = BufferPool::new();
         let pool2 = pool.clone();
         let handle = std::thread::Builder::new()
             .name("param-server".into())
@@ -161,6 +172,12 @@ impl ParamServer {
     /// Traffic counters.
     pub fn stats(&self) -> &TrafficStats {
         &self.stats
+    }
+
+    /// Shared ownership of the traffic counters, for glue (like the
+    /// networked front-end) that outlives any one borrow of the server.
+    pub(crate) fn stats_arc(&self) -> Arc<TrafficStats> {
+        Arc::clone(&self.stats)
     }
 
     /// The payload buffer pool shared between this server and its
@@ -220,8 +237,13 @@ fn server_loop(
                 key,
                 payload,
             } => {
-                stats.record_push(payload.wire_bytes());
-                net_delay(cfg.delay_per_byte, payload.wire_bytes());
+                // Traffic is charged at the full encoded frame size (the
+                // same bytes `cdsgd-net` puts on a socket: length prefix +
+                // opcode + routing fields + payload), so in-process and
+                // TCP runs report identical communication volume.
+                let frame = push_frame_bytes(payload.wire_bytes());
+                stats.record_push(frame);
+                net_delay(cfg.delay_per_byte, frame);
                 let ks = &mut keys[key];
                 assert!(worker < cfg.num_workers, "worker id out of range");
                 assert_eq!(payload.len(), ks.weights.len(), "gradient length mismatch");
@@ -251,8 +273,9 @@ fn server_loop(
                     }
                     ks.waiting = rest;
                     for reply in ready {
-                        stats.record_pull(4 * ks.weights.len());
-                        net_delay(cfg.delay_per_byte, 4 * ks.weights.len());
+                        let frame = pull_reply_frame_bytes(ks.weights.len());
+                        stats.record_pull(frame);
+                        net_delay(cfg.delay_per_byte, frame);
                         let _ = reply.send(Arc::clone(&ks.weights));
                     }
                 }
@@ -264,14 +287,16 @@ fn server_loop(
             } => {
                 let ks = &mut keys[key];
                 if ks.version == min_version {
-                    stats.record_pull(4 * ks.weights.len());
-                    net_delay(cfg.delay_per_byte, 4 * ks.weights.len());
+                    let frame = pull_reply_frame_bytes(ks.weights.len());
+                    stats.record_pull(frame);
+                    net_delay(cfg.delay_per_byte, frame);
                     let _ = reply.send(Arc::clone(&ks.weights));
                 } else if ks.version == min_version + 1 {
                     // The puller raced one aggregate behind; serve the
                     // exact requested version from the history.
-                    stats.record_pull(4 * ks.prev_weights.len());
-                    net_delay(cfg.delay_per_byte, 4 * ks.prev_weights.len());
+                    let frame = pull_reply_frame_bytes(ks.prev_weights.len());
+                    stats.record_pull(frame);
+                    net_delay(cfg.delay_per_byte, frame);
                     let _ = reply.send(Arc::clone(&ks.prev_weights));
                 } else if ks.version > min_version {
                     panic!(
@@ -342,8 +367,8 @@ mod tests {
     fn single_worker_update_rule() {
         let ps = ParamServer::start(vec![vec![1.0, 2.0]], ServerConfig::new(1, 0.1));
         let c = ps.client();
-        c.push(0, 0, Compressed::Raw(vec![10.0, -10.0]));
-        let w = c.pull(0, 1);
+        c.push(0, 0, Compressed::Raw(vec![10.0, -10.0])).unwrap();
+        let w = c.pull(0, 1).unwrap();
         assert_eq!(*w, [0.0, 3.0]);
         ps.shutdown();
     }
@@ -352,12 +377,12 @@ mod tests {
     fn aggregation_waits_for_all_workers() {
         let ps = ParamServer::start(vec![vec![0.0]], ServerConfig::new(2, 1.0));
         let c = ps.client();
-        c.push(0, 0, Compressed::Raw(vec![2.0]));
+        c.push(0, 0, Compressed::Raw(vec![2.0])).unwrap();
         // Version still 0: a pull at min_version 0 returns the original.
-        assert_eq!(*c.pull(0, 0), [0.0]);
-        c.push(1, 0, Compressed::Raw(vec![4.0]));
+        assert_eq!(*c.pull(0, 0).unwrap(), [0.0]);
+        c.push(1, 0, Compressed::Raw(vec![4.0])).unwrap();
         // Both pushed: W = 0 - 1.0/2 * (2+4) = -3.
-        assert_eq!(*c.pull(0, 1), [-3.0]);
+        assert_eq!(*c.pull(0, 1).unwrap(), [-3.0]);
         ps.shutdown();
     }
 
@@ -366,9 +391,9 @@ mod tests {
         let ps = ParamServer::start(vec![vec![0.0]], ServerConfig::new(1, 1.0));
         let c = ps.client();
         let c2 = ps.client();
-        let waiter = std::thread::spawn(move || c2.pull(0, 1));
+        let waiter = std::thread::spawn(move || c2.pull(0, 1).unwrap());
         std::thread::sleep(std::time::Duration::from_millis(20));
-        c.push(0, 0, Compressed::Raw(vec![1.0]));
+        c.push(0, 0, Compressed::Raw(vec![1.0])).unwrap();
         assert_eq!(*waiter.join().unwrap(), [-1.0]);
         ps.shutdown();
     }
@@ -377,11 +402,11 @@ mod tests {
     fn multiple_keys_progress_independently() {
         let ps = ParamServer::start(vec![vec![0.0], vec![0.0]], ServerConfig::new(1, 1.0));
         let c = ps.client();
-        c.push(0, 1, Compressed::Raw(vec![5.0]));
-        assert_eq!(*c.pull(1, 1), [-5.0]);
+        c.push(0, 1, Compressed::Raw(vec![5.0])).unwrap();
+        assert_eq!(*c.pull(1, 1).unwrap(), [-5.0]);
         // Key 0 untouched.
-        assert_eq!(*c.pull(0, 0), [0.0]);
-        let (_, versions) = c.snapshot();
+        assert_eq!(*c.pull(0, 0).unwrap(), [0.0]);
+        let (_, versions) = c.snapshot().unwrap();
         assert_eq!(versions, vec![0, 1]);
         ps.shutdown();
     }
@@ -390,11 +415,11 @@ mod tests {
     fn set_lr_takes_effect_next_round() {
         let ps = ParamServer::start(vec![vec![0.0]], ServerConfig::new(1, 1.0));
         let c = ps.client();
-        c.push(0, 0, Compressed::Raw(vec![1.0]));
-        c.pull(0, 1);
-        c.set_lr(0.1);
-        c.push(0, 0, Compressed::Raw(vec![1.0]));
-        let w = c.pull(0, 2);
+        c.push(0, 0, Compressed::Raw(vec![1.0])).unwrap();
+        c.pull(0, 1).unwrap();
+        c.set_lr(0.1).unwrap();
+        c.push(0, 0, Compressed::Raw(vec![1.0])).unwrap();
+        let w = c.pull(0, 2).unwrap();
         assert!((w[0] - (-1.1)).abs() < 1e-6);
         ps.shutdown();
     }
@@ -406,10 +431,10 @@ mod tests {
             ServerConfig::new(1, 1.0).with_momentum(0.9),
         );
         let c = ps.client();
-        c.push(0, 0, Compressed::Raw(vec![1.0]));
-        let w1 = c.pull(0, 1)[0];
-        c.push(0, 0, Compressed::Raw(vec![1.0]));
-        let w2 = c.pull(0, 2)[0];
+        c.push(0, 0, Compressed::Raw(vec![1.0])).unwrap();
+        let w1 = c.pull(0, 1).unwrap()[0];
+        c.push(0, 0, Compressed::Raw(vec![1.0])).unwrap();
+        let w2 = c.pull(0, 2).unwrap()[0];
         // Step 1: v=1, w=-1. Step 2: v=1.9, w=-2.9.
         assert!((w1 + 1.0).abs() < 1e-6);
         assert!((w2 + 2.9).abs() < 1e-6);
@@ -420,11 +445,13 @@ mod tests {
     fn traffic_stats_count_wire_bytes() {
         let ps = ParamServer::start(vec![vec![0.0; 16]], ServerConfig::new(1, 1.0));
         let c = ps.client();
-        c.push(0, 0, Compressed::Raw(vec![0.0; 16]));
-        c.pull(0, 1);
-        // Raw pushes carry a uniform 4-byte element-count header.
-        assert_eq!(ps.stats().bytes_pushed(), 68);
-        assert_eq!(ps.stats().bytes_pulled(), 64);
+        c.push(0, 0, Compressed::Raw(vec![0.0; 16])).unwrap();
+        c.pull(0, 1).unwrap();
+        // Push frame: 4 prefix + 1 opcode + 4 worker + 4 key + (4 header
+        // + 64 payload) = 81. Pull reply: 4 + 1 + 4 key + 8 version + 64
+        // weights = 81. Both match the bytes `cdsgd-net` puts on a socket.
+        assert_eq!(ps.stats().bytes_pushed(), 81);
+        assert_eq!(ps.stats().bytes_pulled(), 81);
         ps.shutdown();
     }
 
@@ -435,9 +462,9 @@ mod tests {
         let ps = ParamServer::start(vec![vec![0.0; 8]], ServerConfig::new(1, 1.0));
         let c1 = ps.client();
         let c2 = ps.client();
-        c1.push(0, 0, Compressed::Raw(vec![1.0; 8]));
-        let h1 = std::thread::spawn(move || c1.pull(0, 1));
-        let h2 = std::thread::spawn(move || c2.pull(0, 1));
+        c1.push(0, 0, Compressed::Raw(vec![1.0; 8])).unwrap();
+        let h1 = std::thread::spawn(move || c1.pull(0, 1).unwrap());
+        let h2 = std::thread::spawn(move || c2.pull(0, 1).unwrap());
         let (w1, w2) = (h1.join().unwrap(), h2.join().unwrap());
         assert!(
             Arc::ptr_eq(&w1, &w2),
@@ -453,11 +480,14 @@ mod tests {
         // version add nothing to the copy counter (only to pull traffic).
         let ps = ParamServer::start(vec![vec![0.0; 8]], ServerConfig::new(1, 1.0));
         let c = ps.client();
-        c.push(0, 0, Compressed::Raw(vec![1.0; 8]));
-        c.pull(0, 1);
-        c.pull(0, 1);
+        c.push(0, 0, Compressed::Raw(vec![1.0; 8])).unwrap();
+        c.pull(0, 1).unwrap();
+        c.pull(0, 1).unwrap();
         assert_eq!(ps.stats().bytes_copied(), 4 * 8);
-        assert_eq!(ps.stats().bytes_pulled(), 2 * 4 * 8);
+        assert_eq!(
+            ps.stats().bytes_pulled() as usize,
+            2 * pull_reply_frame_bytes(8)
+        );
         ps.shutdown();
     }
 
@@ -468,8 +498,8 @@ mod tests {
         let c = ps.client();
         let mut q = TwoBitQuantizer::new(0.5);
         let payload = q.compress(0, &[0.9, -0.9, 0.1]);
-        c.push(0, 0, payload);
-        assert_eq!(*c.pull(0, 1), [-0.5, 0.5, 0.0]);
+        c.push(0, 0, payload).unwrap();
+        assert_eq!(*c.pull(0, 1).unwrap(), [-0.5, 0.5, 0.0]);
         ps.shutdown();
     }
 }

@@ -4,41 +4,79 @@
 //!
 //! Shard `s` owns the global keys `{k : k % num_shards == s}`; clients
 //! route each request to the owning shard and translate the key into the
-//! shard's local index space.
+//! shard's local index space. [`ShardedClient`] is generic over the
+//! per-shard client, so the same router drives in-process shards
+//! ([`PsClient`]) and remote shards over a transport
+//! ([`crate::net::RemoteClient`]).
 
-use crate::client::PsClient;
+use crate::api::ParamClient;
+use crate::client::{PendingPull, PsClient};
 use crate::server::{ParamServer, ServerConfig};
 use crate::Key;
-use cdsgd_compress::Compressed;
+use cdsgd_compress::{BufferPool, Compressed};
+use cdsgd_net::NetError;
 use std::sync::Arc;
 
 /// A group of independent single-thread servers with keys interleaved
-/// across them.
+/// across them. All shards share one payload [`BufferPool`], so buffers
+/// recycled by any shard are reusable for pushes to any other.
 pub struct ShardedParamServer {
     shards: Vec<ParamServer>,
     num_keys: usize,
+    pool: BufferPool,
 }
 
-/// A client that routes by key to the owning shard.
+/// A client that routes by key to the owning shard. Generic over the
+/// per-shard client type (defaults to the in-process [`PsClient`]).
 #[derive(Clone)]
-pub struct ShardedClient {
-    clients: Vec<PsClient>,
+pub struct ShardedClient<C = PsClient> {
+    clients: Vec<C>,
+    pool: BufferPool,
+}
+
+/// Split `init` round-robin: shard `s` gets global keys `s, s+S, s+2S, …`
+/// in local order. Shared by the in-process group and the `psd` server
+/// binary so every deployment partitions identically.
+pub fn partition_keys(init: Vec<Vec<f32>>, num_shards: usize) -> Vec<Vec<Vec<f32>>> {
+    assert!(num_shards > 0, "need at least one shard");
+    let mut per_shard: Vec<Vec<Vec<f32>>> = vec![Vec::new(); num_shards];
+    for (key, weights) in init.into_iter().enumerate() {
+        per_shard[key % num_shards].push(weights);
+    }
+    per_shard
+}
+
+/// Inverse of [`partition_keys`] for snapshots: interleave per-shard
+/// `(weights, versions)` back into global key order.
+pub fn reassemble_snapshots(
+    shards: Vec<(Vec<Vec<f32>>, Vec<u64>)>,
+    num_keys: usize,
+) -> (Vec<Vec<f32>>, Vec<u64>) {
+    let s = shards.len();
+    assert!(s > 0, "need at least one shard snapshot");
+    let mut weights = Vec::with_capacity(num_keys);
+    let mut versions = Vec::with_capacity(num_keys);
+    for k in 0..num_keys {
+        let (w, v) = &shards[k % s];
+        weights.push(w[k / s].clone());
+        versions.push(v[k / s]);
+    }
+    (weights, versions)
 }
 
 impl ShardedParamServer {
     pub(crate) fn start(init: Vec<Vec<f32>>, cfg: ServerConfig, num_shards: usize) -> Self {
-        assert!(num_shards > 0, "need at least one shard");
         let num_keys = init.len();
-        // Partition keys round-robin: shard s gets keys s, s+S, s+2S, …
-        let mut per_shard: Vec<Vec<Vec<f32>>> = vec![Vec::new(); num_shards];
-        for (key, weights) in init.into_iter().enumerate() {
-            per_shard[key % num_shards].push(weights);
-        }
-        let shards = per_shard
+        let pool = BufferPool::new();
+        let shards = partition_keys(init, num_shards)
             .into_iter()
-            .map(|shard_init| ParamServer::start(shard_init, cfg))
+            .map(|shard_init| ParamServer::start_with_pool(shard_init, cfg, pool.clone()))
             .collect();
-        Self { shards, num_keys }
+        Self {
+            shards,
+            num_keys,
+            pool,
+        }
     }
 
     /// Number of shards.
@@ -55,6 +93,7 @@ impl ShardedParamServer {
     pub fn client(&self) -> ShardedClient {
         ShardedClient {
             clients: self.shards.iter().map(|s| s.client()).collect(),
+            pool: self.pool.clone(),
         }
     }
 
@@ -71,6 +110,16 @@ impl ShardedParamServer {
             .collect()
     }
 
+    /// Globally-ordered snapshot reassembled from every shard.
+    pub fn snapshot(&self) -> Result<(Vec<Vec<f32>>, Vec<u64>), NetError> {
+        let shards = self
+            .shards
+            .iter()
+            .map(|s| s.client().snapshot())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(reassemble_snapshots(shards, self.num_keys))
+    }
+
     /// Stop all shard threads.
     pub fn shutdown(self) {
         for s in self.shards {
@@ -79,35 +128,49 @@ impl ShardedParamServer {
     }
 }
 
-impl ShardedClient {
+impl<C> ShardedClient<C> {
+    /// Assemble a router from per-shard clients (index = shard id) and
+    /// the payload pool compressors should draw from.
+    pub fn from_clients(clients: Vec<C>, pool: BufferPool) -> Self {
+        assert!(!clients.is_empty(), "need at least one shard client");
+        Self { clients, pool }
+    }
+
     fn route(&self, key: Key) -> (usize, Key) {
         let s = key % self.clients.len();
         (s, key / self.clients.len())
     }
+}
 
+impl<C: ParamClient> ParamClient for ShardedClient<C> {
     /// Push a gradient payload for global `key`.
-    pub fn push(&self, worker: usize, key: Key, payload: Compressed) {
+    fn push(&self, worker: usize, key: Key, payload: Compressed) -> Result<(), NetError> {
         let (shard, local) = self.route(key);
-        self.clients[shard].push(worker, local, payload);
+        self.clients[shard].push(worker, local, payload)
     }
 
-    /// Pull global `key` at exactly `version` aggregates. Snapshots are
-    /// shared by reference, same as [`PsClient::pull`].
-    pub fn pull(&self, key: Key, version: u64) -> Arc<[f32]> {
+    /// Pull global `key` at exactly `min_version` aggregates. Snapshots
+    /// are shared by reference, same as [`PsClient::pull`].
+    fn pull(&self, key: Key, min_version: u64) -> Result<Arc<[f32]>, NetError> {
         let (shard, local) = self.route(key);
-        self.clients[shard].pull(local, version)
+        self.clients[shard].pull(local, min_version)
     }
 
-    /// Pull all `num_keys` keys at `version`.
-    pub fn pull_all(&self, num_keys: usize, version: u64) -> Vec<Arc<[f32]>> {
-        (0..num_keys).map(|k| self.pull(k, version)).collect()
+    fn pull_async(&self, key: Key, min_version: u64) -> Result<PendingPull, NetError> {
+        let (shard, local) = self.route(key);
+        self.clients[shard].pull_async(local, min_version)
     }
 
     /// Set the learning rate on every shard.
-    pub fn set_lr(&self, lr: f32) {
+    fn set_lr(&self, lr: f32) -> Result<(), NetError> {
         for c in &self.clients {
-            c.set_lr(lr);
+            c.set_lr(lr)?;
         }
+        Ok(())
+    }
+
+    fn pool(&self) -> &BufferPool {
+        &self.pool
     }
 }
 
@@ -124,7 +187,7 @@ mod tests {
         let ps = ParamServer::start_sharded(init(7), ServerConfig::new(1, 1.0), 3);
         let c = ps.client();
         for k in 0..7 {
-            assert_eq!(*c.pull(k, 0), [k as f32; 2], "key {k}");
+            assert_eq!(*c.pull(k, 0).unwrap(), [k as f32; 2], "key {k}");
         }
         ps.shutdown();
     }
@@ -133,12 +196,12 @@ mod tests {
     fn updates_apply_to_the_right_key() {
         let ps = ParamServer::start_sharded(init(5), ServerConfig::new(1, 0.5), 2);
         let c = ps.client();
-        c.push(0, 3, Compressed::Raw(vec![2.0, 4.0]));
+        c.push(0, 3, Compressed::Raw(vec![2.0, 4.0])).unwrap();
         // key 3 updated: 3 − 0.5·2 = 2, 3 − 0.5·4 = 1.
-        assert_eq!(*c.pull(3, 1), [2.0, 1.0]);
+        assert_eq!(*c.pull(3, 1).unwrap(), [2.0, 1.0]);
         // Other keys untouched (still version 0).
-        assert_eq!(*c.pull(0, 0), [0.0, 0.0]);
-        assert_eq!(*c.pull(4, 0), [4.0, 4.0]);
+        assert_eq!(*c.pull(0, 0).unwrap(), [0.0, 0.0]);
+        assert_eq!(*c.pull(4, 0).unwrap(), [4.0, 4.0]);
         ps.shutdown();
     }
 
@@ -150,16 +213,16 @@ mod tests {
             for (w, c) in clients.iter().enumerate() {
                 s.spawn(move || {
                     for k in 0..4 {
-                        c.push(w, k, Compressed::Raw(vec![1.0, 1.0]));
+                        c.push(w, k, Compressed::Raw(vec![1.0, 1.0])).unwrap();
                     }
-                    c.pull_all(4, 1)
+                    c.pull_all(4, 1).unwrap()
                 });
             }
         });
         // Every key advanced one version: k − 1.0/2·(1+1) = k − 1.
         let c = ps.client();
         for k in 0..4 {
-            assert_eq!(*c.pull(k, 1), [k as f32 - 1.0; 2]);
+            assert_eq!(*c.pull(k, 1).unwrap(), [k as f32 - 1.0; 2]);
         }
         ps.shutdown();
     }
@@ -169,8 +232,8 @@ mod tests {
         let ps = ParamServer::start_sharded(init(8), ServerConfig::new(1, 1.0), 4);
         let c = ps.client();
         for k in 0..8 {
-            c.push(0, k, Compressed::Raw(vec![1.0, 1.0]));
-            c.pull(k, 1);
+            c.push(0, k, Compressed::Raw(vec![1.0, 1.0])).unwrap();
+            c.pull(k, 1).unwrap();
         }
         let per = ps.pushed_bytes_per_shard();
         assert_eq!(per.len(), 4);
@@ -186,11 +249,38 @@ mod tests {
         let sc = sharded.client();
         let pc = plain.client();
         for k in 0..3 {
-            sc.push(0, k, Compressed::Raw(vec![1.0, 2.0]));
-            pc.push(0, k, Compressed::Raw(vec![1.0, 2.0]));
-            assert_eq!(sc.pull(k, 1), pc.pull(k, 1));
+            sc.push(0, k, Compressed::Raw(vec![1.0, 2.0])).unwrap();
+            pc.push(0, k, Compressed::Raw(vec![1.0, 2.0])).unwrap();
+            assert_eq!(sc.pull(k, 1).unwrap(), pc.pull(k, 1).unwrap());
         }
         sharded.shutdown();
         plain.shutdown();
+    }
+
+    #[test]
+    fn snapshot_reassembles_global_key_order() {
+        let ps = ParamServer::start_sharded(init(5), ServerConfig::new(1, 1.0), 2);
+        let c = ps.client();
+        c.push(0, 2, Compressed::Raw(vec![1.0, 1.0])).unwrap();
+        c.pull(2, 1).unwrap();
+        let (w, v) = ps.snapshot().unwrap();
+        assert_eq!(w.len(), 5);
+        assert_eq!(v, vec![0, 0, 1, 0, 0]);
+        assert_eq!(w[2], vec![1.0, 1.0]);
+        assert_eq!(w[3], vec![3.0, 3.0]);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn shards_share_one_payload_pool() {
+        let ps = ParamServer::start_sharded(init(4), ServerConfig::new(1, 1.0), 2);
+        let c = ps.client();
+        // Push through shard 0; after decoding, its payload buffer lands
+        // in the group-wide pool and is reusable for a shard-1 push.
+        c.push(0, 0, Compressed::Raw(vec![1.0, 1.0])).unwrap();
+        c.pull(0, 1).unwrap();
+        let buf = c.pool().take_f32();
+        assert!(buf.capacity() >= 2, "recycled capacity {}", buf.capacity());
+        ps.shutdown();
     }
 }

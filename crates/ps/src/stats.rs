@@ -12,6 +12,8 @@ pub struct TrafficStats {
     num_pushes: AtomicU64,
     num_pulls: AtomicU64,
     bytes_copied: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
 }
 
 impl TrafficStats {
@@ -32,6 +34,15 @@ impl TrafficStats {
 
     pub(crate) fn record_copy(&self, bytes: usize) {
         self.bytes_copied.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_sent(&self, bytes: usize) {
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_received(&self, bytes: usize) {
+        self.bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Total bytes pushed worker→server (compressed size on the wire).
@@ -66,6 +77,21 @@ impl TrafficStats {
     pub fn bytes_copied(&self) -> u64 {
         self.bytes_copied.load(Ordering::Relaxed)
     }
+
+    /// Bytes actually written to a transport (frame prefix included),
+    /// counted by the networked server/client glue as frames go out.
+    /// Zero for the pure in-process path, where no bytes are
+    /// materialised — the gap between this and the protocol-level
+    /// [`TrafficStats::bytes_pulled`]/[`TrafficStats::bytes_pushed`]
+    /// estimates is exactly what moving to a real transport costs.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Bytes actually read from a transport (frame prefix included).
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -80,11 +106,15 @@ mod tests {
         s.record_pull(400);
         s.record_copy(400);
         s.record_copy(400);
+        s.record_sent(404);
+        s.record_received(104);
         assert_eq!(s.bytes_pushed(), 150);
         assert_eq!(s.bytes_pulled(), 400);
         assert_eq!(s.num_pushes(), 2);
         assert_eq!(s.num_pulls(), 1);
         assert_eq!(s.total_bytes(), 550);
         assert_eq!(s.bytes_copied(), 800);
+        assert_eq!(s.bytes_sent(), 404);
+        assert_eq!(s.bytes_received(), 104);
     }
 }

@@ -10,6 +10,13 @@ cargo build --release
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+# Explicit gate on the network subsystem: loopback/TCP equivalence and
+# the multi-process (psd + worker over localhost TCP) smoke test. Both
+# are part of the workspace run above; calling them out keeps a wire
+# regression from hiding in the aggregate output.
+echo "==> cargo test --test net_equivalence --test net_processes"
+cargo test -q --test net_equivalence --test net_processes
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

@@ -1,0 +1,59 @@
+//! `psd` — one parameter-server shard as a standalone OS process.
+//!
+//! Serves its shard of the global model over localhost TCP. Shard `s` of
+//! `S` owns global keys `{k : k mod S == s}`; every process derives the
+//! same initial weights from `--model`/`--seed`, so the shard can slice
+//! its own partition without any coordination.
+//!
+//! ```text
+//! psd --shard 0 --num-shards 2 --workers 2 --lr 0.2 \
+//!     --model mlp:8,32,4 --seed 5 --port 0
+//! ```
+//!
+//! Prints `LISTENING <addr>` on stdout once the socket is bound (with
+//! `--port 0` the kernel picks the port, so callers must parse this
+//! line), then serves until a client sends a shutdown frame.
+
+use std::io::Write;
+
+use cd_sgd_repro::deploy::{arg, arg_or, initial_weights};
+use cdsgd_net::{NetConfig, TcpAcceptor};
+use cdsgd_ps::{partition_keys, PsNetServer, ServerConfig};
+
+fn main() {
+    let shard: usize = arg_or("shard", 0);
+    let num_shards: usize = arg_or("num-shards", 1);
+    let workers: usize = arg_or("workers", 1);
+    let lr: f32 = arg_or("lr", 0.1);
+    let momentum: f32 = arg_or("momentum", 0.0);
+    let port: u16 = arg_or("port", 0);
+    let seed: u64 = arg_or("seed", 42);
+    let model = arg("model").unwrap_or_else(|| "mlp:8,32,4".to_string());
+    if shard >= num_shards {
+        eprintln!("--shard {shard} out of range for --num-shards {num_shards}");
+        std::process::exit(2);
+    }
+
+    let init = initial_weights(&model, seed);
+    let shard_init = partition_keys(init, num_shards).swap_remove(shard);
+    eprintln!(
+        "psd shard {shard}/{num_shards}: {} of the model's keys, {workers} workers, lr {lr}",
+        shard_init.len()
+    );
+
+    let cfg = ServerConfig::new(workers, lr).with_momentum(momentum);
+    let server = PsNetServer::start(shard_init, cfg);
+    let (acceptor, addr) =
+        TcpAcceptor::bind(("127.0.0.1", port), NetConfig::default()).expect("bind TCP listener");
+
+    // The contract with launchers: exactly one LISTENING line, flushed
+    // before any client could need it.
+    println!("LISTENING {addr}");
+    std::io::stdout().flush().expect("flush stdout");
+
+    server.listen(acceptor);
+    server.wait_for_shutdown();
+    let pushed = server.stats().bytes_pushed();
+    server.shutdown();
+    eprintln!("psd shard {shard}: shutdown after {pushed} pushed bytes");
+}

@@ -1,0 +1,102 @@
+//! `worker` — one CD-SGD training worker as a standalone OS process.
+//!
+//! Connects to a sharded parameter-server group served by `psd`
+//! processes and runs the full training loop for one worker replica.
+//! Every replica must be launched with identical `--model`, `--seed`,
+//! dataset and algorithm flags — the run is then bit-identical to the
+//! in-process `Trainer` with the same configuration.
+//!
+//! ```text
+//! worker --id 0 --workers 2 --servers 127.0.0.1:4100,127.0.0.1:4101 \
+//!        --algo cdsgd --dataset blobs --samples 480 --batch 16 \
+//!        --epochs 2 --lr 0.2 --local-lr 0.05 --threshold 0.05 \
+//!        --k 2 --warmup 3 --model mlp:8,32,4 --seed 5
+//! ```
+//!
+//! Workers never shut the servers down: a controller (or `--shutdown`
+//! on exactly one worker) sends the shutdown frames once all replicas
+//! have finished.
+
+use cd_sgd::{run_standalone_worker, Algorithm, TrainConfig};
+use cd_sgd_repro::deploy::{arg, arg_or, build_dataset, build_model, initial_weights};
+use cdsgd_net::NetConfig;
+use cdsgd_ps::{NetCluster, PsBackend};
+
+fn main() {
+    let id: usize = arg_or("id", 0);
+    let workers: usize = arg_or("workers", 1);
+    let servers: Vec<String> = arg("servers")
+        .unwrap_or_else(|| {
+            eprintln!("missing --servers addr[,addr...]");
+            std::process::exit(2)
+        })
+        .split(',')
+        .map(str::to_string)
+        .collect();
+
+    let dataset = arg("dataset").unwrap_or_else(|| "blobs".to_string());
+    let samples: usize = arg_or("samples", 480);
+    let batch: usize = arg_or("batch", 16);
+    let epochs: usize = arg_or("epochs", 2);
+    let seed: u64 = arg_or("seed", 42);
+    let lr: f32 = arg_or("lr", 0.1);
+    let local_lr: f32 = arg_or("local-lr", 0.05);
+    let threshold: f32 = arg_or("threshold", 0.05);
+    let k: usize = arg_or("k", 2);
+    let warmup: usize = arg_or("warmup", 3);
+    let model = arg("model").unwrap_or_else(|| "mlp:8,32,4".to_string());
+    let shutdown = std::env::args().any(|a| a == "--shutdown");
+
+    let algo_name = arg("algo").unwrap_or_else(|| "cdsgd".into());
+    let algo = match algo_name.as_str() {
+        "ssgd" => Algorithm::SSgd,
+        "odsgd" => Algorithm::OdSgd { local_lr },
+        "bitsgd" => Algorithm::BitSgd { threshold },
+        "cdsgd" => Algorithm::cd_sgd(local_lr, threshold, k, warmup),
+        other => {
+            eprintln!("unknown algorithm {other} (ssgd|odsgd|bitsgd|cdsgd)");
+            std::process::exit(2)
+        }
+    };
+
+    let (train, test) = build_dataset(&dataset, samples, seed);
+    let num_keys = initial_weights(&model, seed).len();
+    let cfg = TrainConfig::new(algo, workers)
+        .with_lr(lr)
+        .with_batch_size(batch)
+        .with_epochs(epochs)
+        .with_seed(seed);
+
+    eprintln!(
+        "worker {id}/{workers}: {} train samples, {num_keys} keys over {} shards",
+        train.len(),
+        servers.len()
+    );
+    let cluster =
+        NetCluster::connect(&servers, num_keys, NetConfig::default()).expect("connect to servers");
+    let client = cluster.client().expect("open shard connections");
+
+    let spec = model.clone();
+    let report = run_standalone_worker(
+        cfg,
+        id,
+        move |rng| build_model(&spec, rng),
+        &train,
+        Some(test),
+        client,
+    )
+    .expect("training failed");
+
+    for (epoch, (loss, acc)) in report.iter().enumerate() {
+        match acc {
+            Some(a) => println!("epoch {epoch} loss {loss:.6} test_acc {a:.4}"),
+            None => println!("epoch {epoch} loss {loss:.6}"),
+        }
+    }
+
+    if shutdown {
+        Box::new(cluster).shutdown();
+        eprintln!("worker {id}: sent shutdown to {} shards", servers.len());
+    }
+    println!("DONE worker {id}");
+}

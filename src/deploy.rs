@@ -1,0 +1,105 @@
+//! Shared construction for the multi-process deployment binaries.
+//!
+//! The `psd` (server shard) and `worker` binaries run in separate OS
+//! processes but must agree *exactly* on the model initialisation, the
+//! dataset, and the key partitioning — any divergence and the TCP run no
+//! longer reproduces the in-process one. Building all three from string
+//! specs in one place makes that agreement structural: every process
+//! (and the integration tests) calls these helpers with the same flags.
+
+use cdsgd_data::{synth, toy, Dataset};
+use cdsgd_nn::{models, Sequential};
+use cdsgd_tensor::SmallRng64;
+
+/// Value of `--name <value>` from the process arguments, if present.
+pub fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == &format!("--{name}"))
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parsed `--name <value>`, or `default` when the flag is absent.
+/// Exits with status 2 on an unparsable value.
+pub fn arg_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    arg(name).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --{name}: {v}");
+            std::process::exit(2)
+        })
+    })
+}
+
+/// Build a model from a spec string: `mlp:8,32,4` (layer sizes) or
+/// `lenet5[:classes]`. Deterministic in the RNG, so every process seeded
+/// identically constructs bit-identical weights.
+pub fn build_model(spec: &str, rng: &mut SmallRng64) -> Sequential {
+    let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
+    match kind {
+        "mlp" => {
+            let sizes: Vec<usize> = rest
+                .split(',')
+                .map(|s| s.trim().parse().expect("mlp layer size"))
+                .collect();
+            assert!(sizes.len() >= 2, "mlp spec needs at least in,out sizes");
+            models::mlp(&sizes, rng)
+        }
+        "lenet5" => {
+            let classes = if rest.is_empty() {
+                10
+            } else {
+                rest.parse().expect("lenet5 class count")
+            };
+            models::lenet5(classes, rng)
+        }
+        other => panic!("unknown model spec {other} (mlp:<sizes>|lenet5[:classes])"),
+    }
+}
+
+/// The initial global weights for `spec` at `seed` — what the server
+/// shards load and every worker replica starts from.
+pub fn initial_weights(spec: &str, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = SmallRng64::new(seed);
+    let mut model = build_model(spec, &mut rng);
+    model.export_params()
+}
+
+/// Build the `(train, test)` datasets every process agrees on.
+pub fn build_dataset(name: &str, samples: usize, seed: u64) -> (Dataset, Dataset) {
+    let data = match name {
+        "blobs" => toy::gaussian_blobs(samples, 8, 4, 0.6, seed),
+        "mnist" => synth::mnist_like(samples, seed),
+        "cifar" => synth::cifar_like(samples, seed),
+        other => panic!("unknown dataset {other} (blobs|mnist|cifar)"),
+    };
+    data.split(0.85)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_specs_are_deterministic() {
+        let a = initial_weights("mlp:8,32,4", 5);
+        let b = initial_weights("mlp:8,32,4", 5);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c = initial_weights("mlp:8,32,4", 6);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let (tr1, te1) = build_dataset("blobs", 100, 7);
+        let (tr2, te2) = build_dataset("blobs", 100, 7);
+        assert_eq!(tr1.len(), tr2.len());
+        assert_eq!(te1.len(), te2.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model spec")]
+    fn bad_model_spec_panics() {
+        initial_weights("transformer:96", 1);
+    }
+}

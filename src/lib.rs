@@ -4,6 +4,8 @@
 //! tests can use a single import root. The actual implementation lives in
 //! `crates/*`; see `DESIGN.md` for the system inventory.
 
+pub mod deploy;
+
 pub use cd_sgd as algo;
 pub use cdsgd_compress as compress;
 pub use cdsgd_data as data;

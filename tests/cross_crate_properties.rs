@@ -3,6 +3,7 @@
 //! invariants for arbitrary inputs.
 
 use cdsgd_compress::{Compressed, GradientCompressor, TwoBitQuantizer};
+use cdsgd_net::wire::{pull_reply_frame_bytes, push_frame_bytes};
 use cdsgd_ps::{ParamServer, ServerConfig};
 use proptest::prelude::*;
 
@@ -20,10 +21,10 @@ proptest! {
         let ps = ParamServer::start(vec![vec![0.0; 4]], ServerConfig::new(1, lr));
         let c = ps.client();
         for (r, g) in grads.iter().enumerate() {
-            c.push(0, 0, Compressed::Raw(g.clone()));
-            c.pull(0, r as u64 + 1);
+            c.push(0, 0, Compressed::Raw(g.clone())).unwrap();
+            c.pull(0, r as u64 + 1).unwrap();
         }
-        let (w, versions) = c.snapshot();
+        let (w, versions) = c.snapshot().unwrap();
         prop_assert_eq!(versions[0], grads.len() as u64);
         for i in 0..4 {
             let expect: f32 = -lr * grads.iter().map(|g| g[i]).sum::<f32>();
@@ -42,13 +43,13 @@ proptest! {
             let ps = ParamServer::start(vec![vec![0.0; 3]], ServerConfig::new(2, 0.5));
             let c = ps.client();
             if first_a {
-                c.push(0, 0, Compressed::Raw(ga.clone()));
-                c.push(1, 0, Compressed::Raw(gb.clone()));
+                c.push(0, 0, Compressed::Raw(ga.clone())).unwrap();
+                c.push(1, 0, Compressed::Raw(gb.clone())).unwrap();
             } else {
-                c.push(1, 0, Compressed::Raw(gb.clone()));
-                c.push(0, 0, Compressed::Raw(ga.clone()));
+                c.push(1, 0, Compressed::Raw(gb.clone())).unwrap();
+                c.push(0, 0, Compressed::Raw(ga.clone())).unwrap();
             }
-            let w = c.pull(0, 1);
+            let w = c.pull(0, 1).unwrap();
             ps.shutdown();
             w
         };
@@ -69,14 +70,14 @@ proptest! {
 
         let ps1 = ParamServer::start(vec![vec![0.0; 6]], ServerConfig::new(1, 0.3));
         let c1 = ps1.client();
-        c1.push(0, 0, payload);
-        let w_compressed = c1.pull(0, 1);
+        c1.push(0, 0, payload).unwrap();
+        let w_compressed = c1.pull(0, 1).unwrap();
         ps1.shutdown();
 
         let ps2 = ParamServer::start(vec![vec![0.0; 6]], ServerConfig::new(1, 0.3));
         let c2 = ps2.client();
-        c2.push(0, 0, Compressed::Raw(decoded));
-        let w_raw = c2.pull(0, 1);
+        c2.push(0, 0, Compressed::Raw(decoded)).unwrap();
+        let w_raw = c2.pull(0, 1).unwrap();
         ps2.shutdown();
 
         prop_assert_eq!(w_compressed, w_raw);
@@ -87,6 +88,8 @@ proptest! {
         n in 1usize..64,
         rounds in 1usize..4,
     ) {
+        // The server charges the exact encoded frame size (the bytes
+        // `cdsgd-net` would put on a socket), not the bare payload.
         let ps = ParamServer::start(vec![vec![0.0; n]], ServerConfig::new(1, 0.1));
         let c = ps.client();
         let mut q = TwoBitQuantizer::new(0.5);
@@ -94,12 +97,15 @@ proptest! {
         let mut expected = 0u64;
         for r in 0..rounds {
             let payload = q.compress(0, &grad);
-            expected += payload.wire_bytes() as u64;
-            c.push(0, 0, payload);
-            c.pull(0, r as u64 + 1);
+            expected += push_frame_bytes(payload.wire_bytes()) as u64;
+            c.push(0, 0, payload).unwrap();
+            c.pull(0, r as u64 + 1).unwrap();
         }
         prop_assert_eq!(ps.stats().bytes_pushed(), expected);
-        prop_assert_eq!(ps.stats().bytes_pulled(), (rounds * 4 * n) as u64);
+        prop_assert_eq!(
+            ps.stats().bytes_pulled(),
+            (rounds * pull_reply_frame_bytes(n)) as u64
+        );
         ps.shutdown();
     }
 }

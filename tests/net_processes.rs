@@ -1,0 +1,157 @@
+//! End-to-end smoke test of the multi-process deployment: two `psd`
+//! shard servers and two `worker` replicas run as real OS processes
+//! talking over localhost TCP, and the resulting global weights must
+//! be bit-identical to the same configuration trained in-process.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+use cd_sgd::{Algorithm, TrainConfig, Trainer};
+use cd_sgd_repro::deploy;
+use cdsgd_net::NetConfig;
+use cdsgd_ps::{NetCluster, PsBackend};
+
+const SEED: u64 = 5;
+const WORKERS: usize = 2;
+const SHARDS: usize = 2;
+const MODEL: &str = "mlp:8,32,4";
+
+/// Kills leftover children if an assertion fires before clean shutdown.
+struct Reap(Vec<Child>);
+
+impl Drop for Reap {
+    fn drop(&mut self) {
+        for c in &mut self.0 {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+fn spawn_psd(shard: usize) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_psd"))
+        .args([
+            "--shard",
+            &shard.to_string(),
+            "--num-shards",
+            &SHARDS.to_string(),
+            "--workers",
+            &WORKERS.to_string(),
+            "--lr",
+            "0.2",
+            "--port",
+            "0",
+            "--model",
+            MODEL,
+            "--seed",
+            &SEED.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn psd");
+    let stdout = child.stdout.take().expect("psd stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read LISTENING line");
+    let addr = line
+        .trim()
+        .strip_prefix("LISTENING ")
+        .unwrap_or_else(|| panic!("unexpected psd output: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+fn spawn_worker(id: usize, servers: &str) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_worker"))
+        .args([
+            "--id",
+            &id.to_string(),
+            "--workers",
+            &WORKERS.to_string(),
+            "--servers",
+            servers,
+            "--algo",
+            "cdsgd",
+            "--dataset",
+            "blobs",
+            "--samples",
+            "480",
+            "--batch",
+            "16",
+            "--epochs",
+            "2",
+            "--lr",
+            "0.2",
+            "--local-lr",
+            "0.05",
+            "--threshold",
+            "0.05",
+            "--k",
+            "2",
+            "--warmup",
+            "3",
+            "--model",
+            MODEL,
+            "--seed",
+            &SEED.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn worker")
+}
+
+#[test]
+fn two_psd_processes_and_two_workers_match_in_process_run() {
+    // Expected result: the identical configuration trained in-process.
+    let (train, test) = deploy::build_dataset("blobs", 480, SEED);
+    let cfg = TrainConfig::new(Algorithm::cd_sgd(0.05, 0.05, 2, 3), WORKERS)
+        .with_lr(0.2)
+        .with_batch_size(16)
+        .with_epochs(2)
+        .with_seed(SEED);
+    let expected = Trainer::new(
+        cfg,
+        |rng| deploy::build_model(MODEL, rng),
+        train,
+        Some(test),
+    )
+    .run();
+
+    let mut reap = Reap(Vec::new());
+    let mut addrs = Vec::new();
+    for shard in 0..SHARDS {
+        let (child, addr) = spawn_psd(shard);
+        reap.0.push(child);
+        addrs.push(addr);
+    }
+    let servers = addrs.join(",");
+
+    let workers: Vec<Child> = (0..WORKERS).map(|id| spawn_worker(id, &servers)).collect();
+    for (id, mut w) in workers.into_iter().enumerate() {
+        let status = w.wait().expect("wait worker");
+        assert!(status.success(), "worker {id} exited with {status}");
+    }
+
+    // Act as the controller: snapshot the live servers, then shut the
+    // whole group down over the wire.
+    let num_keys = deploy::initial_weights(MODEL, SEED).len();
+    let cluster =
+        NetCluster::connect(&addrs, num_keys, NetConfig::default()).expect("connect controller");
+    let (weights, versions) = cluster.snapshot().expect("snapshot");
+    Box::new(cluster).shutdown();
+
+    assert_eq!(
+        weights, expected.final_weights,
+        "TCP multi-process run diverged"
+    );
+    assert!(
+        versions.iter().all(|&v| v == versions[0]),
+        "shards ended at different versions: {versions:?}"
+    );
+
+    for (shard, mut child) in reap.0.drain(..).enumerate() {
+        let status = child.wait().expect("wait psd");
+        assert!(status.success(), "psd shard {shard} exited with {status}");
+    }
+}
