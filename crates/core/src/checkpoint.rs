@@ -144,6 +144,7 @@ mod tests {
             }],
             final_weights: vec![vec![1.0]],
             profile: None,
+            aborted: None,
         };
         let path = tmp("history.json");
         save_history(&h, &path).unwrap();

@@ -4,6 +4,8 @@ use cdsgd_compress::{
     AdaptiveTwoBit, GradientCompressor, OneBitQuantizer, QsgdQuantizer, TopKSparsifier,
     TwoBitQuantizer,
 };
+use cdsgd_ps::WorkerFault;
+use std::time::Duration;
 
 /// A gradient-compression codec choice for CD-SGD's compression
 /// iterations.
@@ -191,7 +193,10 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Learning-rate decay points: at the *start* of `epoch`, set the
     /// server lr to `lr` (the paper adjusts at epochs 30/60/80 for
-    /// ResNet-50).
+    /// ResNet-50). Kept sorted by epoch with one entry per epoch (the
+    /// builders normalize), because both the trainer's server-side
+    /// application and AR-SGD's worker-side `current_lr` scan it in
+    /// order.
     pub lr_schedule: Vec<(usize, f32)>,
     /// Apply random crop + flip augmentation to training batches
     /// (requires NCHW data).
@@ -203,6 +208,19 @@ pub struct TrainConfig {
     /// server thread (`None` = in-process speed). Lets the real trainer
     /// reproduce the paper's communication-bound regimes.
     pub net_bytes_per_sec: Option<f64>,
+    /// Scripted fault injection: `(worker, fault)` wraps that worker's
+    /// parameter-server client in a [`cdsgd_ps::FaultyClient`] executing
+    /// the fault. `None` (the default) trains fault-free.
+    pub fault: Option<(usize, WorkerFault)>,
+    /// How long the trainer waits for an epoch's worker reports before
+    /// declaring a silently-stalled worker lost. `None` (the default)
+    /// waits unboundedly, matching pre-supervision behaviour for
+    /// arbitrarily slow hardware.
+    pub epoch_deadline: Option<Duration>,
+    /// Server-side round deadline, forwarded to
+    /// [`cdsgd_ps::ServerConfig::round_deadline`]: a round left partial
+    /// this long fails with `WorkerLost` instead of stalling all pullers.
+    pub round_deadline: Option<Duration>,
 }
 
 impl TrainConfig {
@@ -221,6 +239,9 @@ impl TrainConfig {
             augment: false,
             profile: false,
             net_bytes_per_sec: None,
+            fault: None,
+            epoch_deadline: None,
+            round_deadline: None,
         }
     }
 
@@ -249,9 +270,12 @@ impl TrainConfig {
         self
     }
 
-    /// Add an lr-decay point.
+    /// Add an lr-decay point. The schedule is re-normalized (sorted by
+    /// epoch, one entry per epoch with the latest addition winning), so
+    /// callers may add points in any order.
     pub fn with_lr_decay(mut self, epoch: usize, lr: f32) -> Self {
         self.lr_schedule.push((epoch, lr));
+        self.lr_schedule = normalize_schedule(std::mem::take(&mut self.lr_schedule));
         self
     }
 
@@ -261,7 +285,29 @@ impl TrainConfig {
     pub fn with_schedule(mut self, schedule: &crate::lr::LrSchedule) -> Self {
         let points = schedule.change_points(self.epochs);
         self.global_lr = schedule.at(0);
-        self.lr_schedule = points.into_iter().filter(|&(e, _)| e > 0).collect();
+        self.lr_schedule = normalize_schedule(points.into_iter().filter(|&(e, _)| e > 0).collect());
+        self
+    }
+
+    /// Inject a scripted fault into one worker's parameter-server client
+    /// (chaos testing; see [`WorkerFault`]).
+    pub fn with_fault(mut self, worker: usize, fault: WorkerFault) -> Self {
+        assert!(worker < self.num_workers, "fault worker out of range");
+        self.fault = Some((worker, fault));
+        self
+    }
+
+    /// Bound how long the trainer waits for an epoch's reports before
+    /// declaring a silent worker lost.
+    pub fn with_epoch_deadline(mut self, deadline: Duration) -> Self {
+        self.epoch_deadline = Some(deadline);
+        self
+    }
+
+    /// Bound how long the server leaves a round partial before failing it
+    /// with `WorkerLost`.
+    pub fn with_round_deadline(mut self, deadline: Duration) -> Self {
+        self.round_deadline = Some(deadline);
         self
     }
 
@@ -282,6 +328,20 @@ impl TrainConfig {
         self.net_bytes_per_sec = Some(bytes_per_sec);
         self
     }
+}
+
+/// Sort decay points by epoch (stable, so insertion order breaks ties)
+/// and keep only the last entry per epoch.
+fn normalize_schedule(mut points: Vec<(usize, f32)>) -> Vec<(usize, f32)> {
+    points.sort_by_key(|&(epoch, _)| epoch);
+    let mut out: Vec<(usize, f32)> = Vec::with_capacity(points.len());
+    for p in points {
+        match out.last_mut() {
+            Some(last) if last.0 == p.0 => *last = p,
+            _ => out.push(p),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -357,5 +417,36 @@ mod tests {
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.lr_schedule, vec![(2, 0.04)]);
         assert!(cfg.augment);
+    }
+
+    #[test]
+    fn lr_schedule_is_normalized_sorted_and_deduped() {
+        // Regression: `current_lr` and the trainer's per-epoch scan both
+        // assume the schedule is sorted ascending; an unsorted input used
+        // to make AR-SGD's worker-side lr diverge from the server-side
+        // application. Points added out of order must come out sorted,
+        // and a repeated epoch keeps the latest value.
+        let cfg = TrainConfig::new(Algorithm::SSgd, 2)
+            .with_lr_decay(5, 0.01)
+            .with_lr_decay(2, 0.1)
+            .with_lr_decay(2, 0.2);
+        assert_eq!(cfg.lr_schedule, vec![(2, 0.2), (5, 0.01)]);
+    }
+
+    #[test]
+    fn fault_and_deadline_builders() {
+        let cfg = TrainConfig::new(Algorithm::SSgd, 2)
+            .with_fault(1, WorkerFault::KillAtRound { round: 3 })
+            .with_epoch_deadline(Duration::from_secs(5))
+            .with_round_deadline(Duration::from_secs(1));
+        assert_eq!(cfg.fault, Some((1, WorkerFault::KillAtRound { round: 3 })));
+        assert_eq!(cfg.epoch_deadline, Some(Duration::from_secs(5)));
+        assert_eq!(cfg.round_deadline, Some(Duration::from_secs(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault worker out of range")]
+    fn fault_worker_must_exist() {
+        TrainConfig::new(Algorithm::SSgd, 2).with_fault(2, WorkerFault::KillAtRound { round: 0 });
     }
 }

@@ -39,10 +39,13 @@ pub mod convergence;
 pub mod lr;
 pub mod metrics;
 pub mod profile;
+pub mod supervise;
 pub mod trainer;
 mod worker;
 
+pub use cdsgd_ps::WorkerFault;
 pub use config::{Algorithm, Codec, TrainConfig};
 pub use lr::LrSchedule;
-pub use metrics::{EpochMetrics, TrainingHistory};
-pub use trainer::{run_standalone_worker, Trainer};
+pub use metrics::{AbortRecord, EpochMetrics, TrainingHistory};
+pub use supervise::PoisonBarrier;
+pub use trainer::{run_standalone_worker, TrainFailure, Trainer};

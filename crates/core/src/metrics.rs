@@ -22,6 +22,18 @@ pub struct EpochMetrics {
     pub cumulative_push_bytes: u64,
 }
 
+/// Where and why a run stopped early (worker lost, server round failed).
+#[derive(Clone, Debug, Serialize)]
+pub struct AbortRecord {
+    /// Epoch being trained when the run aborted (its metrics are *not*
+    /// in [`TrainingHistory::epochs`] — only completed epochs are).
+    pub epoch: usize,
+    /// First aggregate round that could no longer complete.
+    pub round: u64,
+    /// Display form of the [`cdsgd_ps::NetError`] that ended the run.
+    pub error: String,
+}
+
 /// The full record of one training run.
 #[derive(Clone, Debug, Serialize)]
 pub struct TrainingHistory {
@@ -36,6 +48,9 @@ pub struct TrainingHistory {
     pub final_weights: Vec<Vec<f32>>,
     /// Per-op wall-clock intervals, if profiling was enabled.
     pub profile: Option<Vec<OpEvent>>,
+    /// `Some` if the run aborted early (a worker died, the server failed
+    /// a round); the epochs recorded above are the ones that completed.
+    pub aborted: Option<AbortRecord>,
 }
 
 impl TrainingHistory {
@@ -99,6 +114,7 @@ mod tests {
             num_workers: 2,
             final_weights: vec![vec![0.0; 3]],
             profile: None,
+            aborted: None,
             epochs: vec![
                 EpochMetrics {
                     epoch: 0,
@@ -155,6 +171,7 @@ mod tests {
             epochs: vec![],
             final_weights: vec![],
             profile: None,
+            aborted: None,
         };
         assert_eq!(h.final_test_acc(), None);
         assert_eq!(h.best_test_acc(), None);

@@ -1,0 +1,157 @@
+//! Failure-aware synchronization primitives for the trainer.
+
+use cdsgd_ps::NetError;
+use std::sync::{Condvar, Mutex};
+
+/// A reusable N-party barrier that can be *poisoned*: once any party
+/// calls [`PoisonBarrier::poison`], every waiter — current and future —
+/// returns `Err` with the poisoning error instead of blocking for
+/// parties that will never arrive.
+///
+/// This is the cancellation token threaded through `WorkerArgs`: the
+/// epoch rendezvous that used to be a naked [`std::sync::Barrier`] (and
+/// deadlocked the survivors when one worker died) becomes a fallible
+/// wait the supervisor can break with a typed [`NetError::WorkerLost`].
+pub struct PoisonBarrier {
+    n: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+struct State {
+    /// Parties currently waiting in this generation.
+    count: usize,
+    /// Completed generations; waiters key their wakeup on it changing.
+    generation: u64,
+    poison: Option<NetError>,
+}
+
+impl PoisonBarrier {
+    /// A barrier for `n` parties (like [`std::sync::Barrier::new`]).
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "barrier needs at least one party");
+        Self {
+            n,
+            state: Mutex::new(State {
+                count: 0,
+                generation: 0,
+                poison: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Rendezvous with the other parties. `Ok(())` once all `n` arrive;
+    /// `Err` immediately (without waiting) if the barrier is or becomes
+    /// poisoned.
+    pub fn wait(&self) -> Result<(), NetError> {
+        let mut s = self.state.lock().expect("barrier lock poisoned");
+        if let Some(e) = &s.poison {
+            return Err(e.clone());
+        }
+        s.count += 1;
+        if s.count == self.n {
+            s.count = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = s.generation;
+        while s.generation == gen && s.poison.is_none() {
+            s = self.cv.wait(s).expect("barrier lock poisoned");
+        }
+        match &s.poison {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Break the barrier: wake every waiter with `err` and make all
+    /// future waits fail with it. The first poison wins; later calls are
+    /// no-ops.
+    pub fn poison(&self, err: NetError) {
+        let mut s = self.state.lock().expect("barrier lock poisoned");
+        if s.poison.is_none() {
+            s.poison = Some(err);
+        }
+        self.cv.notify_all();
+    }
+
+    /// The poisoning error, if any.
+    pub fn poisoned(&self) -> Option<NetError> {
+        self.state
+            .lock()
+            .expect("barrier lock poisoned")
+            .poison
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn single_party_barrier_is_a_no_op() {
+        let b = PoisonBarrier::new(1);
+        for _ in 0..3 {
+            b.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn full_party_rendezvous_completes() {
+        let b = Arc::new(PoisonBarrier::new(3));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || b.wait())
+            })
+            .collect();
+        b.wait().unwrap();
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_generations() {
+        let b = Arc::new(PoisonBarrier::new(2));
+        let b2 = Arc::clone(&b);
+        let h = std::thread::spawn(move || {
+            for _ in 0..5 {
+                b2.wait()?;
+            }
+            Ok::<(), NetError>(())
+        });
+        for _ in 0..5 {
+            b.wait().unwrap();
+        }
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn poison_wakes_current_waiters_and_fails_future_ones() {
+        let err = NetError::WorkerLost { id: 1, round: 7 };
+        let b = Arc::new(PoisonBarrier::new(3));
+        let waiters: Vec<_> = (0..2)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || b.wait())
+            })
+            .collect();
+        // Let both park, then break the barrier instead of arriving.
+        std::thread::sleep(Duration::from_millis(20));
+        b.poison(err.clone());
+        for h in waiters {
+            assert_eq!(h.join().unwrap(), Err(err.clone()));
+        }
+        assert_eq!(b.wait(), Err(err.clone()));
+        assert_eq!(b.poisoned(), Some(err.clone()));
+        // First poison wins.
+        b.poison(NetError::ServerGone);
+        assert_eq!(b.poisoned(), Some(err));
+    }
+}

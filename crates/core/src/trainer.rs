@@ -2,18 +2,48 @@
 //! the full training, and aggregates metrics.
 
 use crate::config::TrainConfig;
-use crate::metrics::{EpochMetrics, TrainingHistory};
+use crate::metrics::{AbortRecord, EpochMetrics, TrainingHistory};
 use crate::profile::Profiler;
+use crate::supervise::PoisonBarrier;
 use crate::worker::{run_worker, EpochReport, WorkerArgs};
 use cdsgd_data::Dataset;
 use cdsgd_nn::Sequential;
 use cdsgd_ps::{
-    allreduce::ring_group, InProcessBackend, NetError, ParamClient, ParamServer, PsBackend,
-    ServerConfig,
+    allreduce::ring_group, FaultyClient, InProcessBackend, NetError, ParamClient, ParamServer,
+    PsBackend, ServerConfig,
 };
 use cdsgd_tensor::SmallRng64;
-use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often the supervisor wakes while waiting on worker reports to
+/// check for dead workers and server-side failure verdicts.
+const SUPERVISE_TICK: Duration = Duration::from_millis(50);
+
+/// A training run that stopped early: the typed error plus everything
+/// that completed before the failure ([`TrainingHistory::aborted`] says
+/// where it stopped).
+#[derive(Debug)]
+pub struct TrainFailure {
+    /// The failure that ended the run (typically
+    /// [`NetError::WorkerLost`]).
+    pub error: NetError,
+    /// Metrics of the epochs that completed before the abort.
+    pub history: TrainingHistory,
+}
+
+impl std::fmt::Display for TrainFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.history.aborted {
+            Some(a) => write!(f, "training aborted at epoch {}: {}", a.epoch, self.error),
+            None => write!(f, "training aborted: {}", self.error),
+        }
+    }
+}
+
+impl std::error::Error for TrainFailure {}
 
 /// Builds a model from an RNG. Every worker calls this with the *same*
 /// seed so all replicas (and the server's initial weights) agree.
@@ -73,12 +103,34 @@ impl Trainer {
     /// The wire protocol is bit-deterministic, so every backend yields
     /// the same [`TrainingHistory`] for the same config and seed.
     ///
+    /// On failure the partial history is discarded; use
+    /// [`Trainer::try_run_with`] to keep it.
+    ///
     /// # Panics
     /// Panics if any shard is smaller than one batch.
     pub fn run_with(
         &self,
         backend: impl FnOnce(Vec<Vec<f32>>, ServerConfig) -> Result<Box<dyn PsBackend>, NetError>,
     ) -> Result<TrainingHistory, NetError> {
+        self.try_run_with(backend).map_err(|f| f.error)
+    }
+
+    /// Like [`Trainer::run_with`], but a failed run returns the typed
+    /// error *and* the partial [`TrainingHistory`] (completed epochs plus
+    /// an [`AbortRecord`]) instead of discarding it.
+    ///
+    /// The run is supervised: a worker that exits with an error, panics,
+    /// or goes silent past [`TrainConfig::epoch_deadline`] cancels the
+    /// remaining workers (poisoned barrier + backend shutdown) and the
+    /// run returns [`NetError::WorkerLost`] within a bounded time instead
+    /// of deadlocking on the epoch barrier.
+    ///
+    /// # Panics
+    /// Panics if any shard is smaller than one batch.
+    pub fn try_run_with(
+        &self,
+        backend: impl FnOnce(Vec<Vec<f32>>, ServerConfig) -> Result<Box<dyn PsBackend>, NetError>,
+    ) -> Result<TrainingHistory, Box<TrainFailure>> {
         let n = self.cfg.num_workers;
         let ipe = self.iters_per_epoch();
         assert!(
@@ -90,12 +142,29 @@ impl Trainer {
         let mut rng = SmallRng64::new(self.cfg.seed);
         let mut proto = (self.builder)(&mut rng);
         let init = proto.export_params();
+        let num_keys = init.len();
 
         let mut server_cfg = ServerConfig::new(n, self.cfg.global_lr);
         if let Some(bps) = self.cfg.net_bytes_per_sec {
             server_cfg = server_cfg.with_network_bandwidth(bps);
         }
-        let ps = backend(init, server_cfg)?;
+        if let Some(d) = self.cfg.round_deadline {
+            server_cfg = server_cfg.with_round_deadline(d);
+        }
+
+        let mut history = TrainingHistory {
+            algo: self.cfg.algo.name(),
+            num_workers: n,
+            epochs: Vec::with_capacity(self.cfg.epochs),
+            final_weights: Vec::new(),
+            profile: None,
+            aborted: None,
+        };
+        // No workers are running yet: setup errors fail without cleanup.
+        let ps = match backend(init, server_cfg) {
+            Ok(ps) => ps,
+            Err(e) => return Err(fail(history, e, 0, 0)),
+        };
         let use_ring = matches!(self.cfg.algo, crate::config::Algorithm::ArSgd);
         let (mut ring_members, ring_stats) = if use_ring {
             let (members, stats) = ring_group(n);
@@ -107,21 +176,35 @@ impl Trainer {
             (Vec::new(), None)
         };
         let profiler = self.cfg.profile.then(Profiler::new);
-        let barrier = Arc::new(Barrier::new(n + 1));
+        let barrier = Arc::new(PoisonBarrier::new(n + 1));
         let (report_tx, report_rx) = crossbeam::channel::unbounded::<EpochReport>();
 
-        let mut handles = Vec::with_capacity(n);
+        let mut handles: Vec<Option<JoinHandle<Result<(), NetError>>>> = Vec::with_capacity(n);
         #[allow(clippy::needless_range_loop)]
         for w in 0..n {
             let mut wrng = SmallRng64::new(self.cfg.seed);
             let model = (self.builder)(&mut wrng);
+            let client = match ps.client() {
+                Ok(c) => c,
+                Err(e) => {
+                    return Err(abort(ps, &barrier, &mut handles, history, e, 0, ipe));
+                }
+            };
+            // Scripted chaos: the designated victim gets a client that
+            // executes the fault.
+            let client: Box<dyn ParamClient> = match self.cfg.fault {
+                Some((victim, fault)) if victim == w => {
+                    Box::new(FaultyClient::new(client, fault, num_keys))
+                }
+                _ => client,
+            };
             let args = WorkerArgs {
                 id: w,
                 cfg: self.cfg.clone(),
                 model,
                 shard: self.train.shard(w, n),
                 test: if w == 0 { self.test.clone() } else { None },
-                client: ps.client()?,
+                client,
                 ring: if use_ring {
                     ring_members[w].take()
                 } else {
@@ -132,22 +215,14 @@ impl Trainer {
                 report: report_tx.clone(),
                 profiler: profiler.clone(),
             };
-            handles.push(
+            handles.push(Some(
                 std::thread::Builder::new()
                     .name(format!("worker-{w}"))
                     .spawn(move || run_worker(args))
                     .expect("spawn worker"),
-            );
+            ));
         }
         drop(report_tx);
-
-        let mut history = TrainingHistory {
-            algo: self.cfg.algo.name(),
-            num_workers: n,
-            epochs: Vec::with_capacity(self.cfg.epochs),
-            final_weights: Vec::new(),
-            profile: None,
-        };
 
         let mut epoch_start = Instant::now();
         for epoch in 0..self.cfg.epochs {
@@ -156,12 +231,17 @@ impl Trainer {
             // epoch > 0; for epoch 0 they haven't pushed yet).
             for &(at, lr) in &self.cfg.lr_schedule {
                 if at == epoch {
-                    ps.set_lr(lr)?;
+                    if let Err(e) = ps.set_lr(lr) {
+                        return Err(abort(ps, &barrier, &mut handles, history, e, epoch, ipe));
+                    }
                 }
             }
             if epoch > 0 {
                 // Release workers into this epoch and restart the clock.
-                barrier.wait();
+                // Every worker already reported epoch-1 and reached the
+                // barrier (reporting and waiting are adjacent, infallible
+                // steps), so this wait cannot hang on a dead worker.
+                barrier.wait().expect("only the supervisor poisons");
                 epoch_start = Instant::now();
             }
 
@@ -169,17 +249,24 @@ impl Trainer {
             let mut acc_sum = 0.0f64;
             let mut batches = 0usize;
             let mut test_acc = None;
+            let mut reported = vec![false; n];
             for _ in 0..n {
-                // A worker that hit a connection error exits without
-                // reporting; surface that as the worker's NetError below
-                // rather than a recv panic.
-                let Ok(r) = report_rx.recv() else {
-                    for h in handles {
-                        h.join().expect("worker panicked")?;
+                let r = match self.await_report(
+                    &report_rx,
+                    ps.as_ref(),
+                    &mut handles,
+                    &reported,
+                    epoch_start,
+                    epoch,
+                    ipe,
+                ) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        return Err(abort(ps, &barrier, &mut handles, history, e, epoch, ipe));
                     }
-                    return Err(NetError::ServerGone);
                 };
                 assert_eq!(r.epoch, epoch, "epoch skew from worker {}", r.worker);
+                reported[r.worker] = true;
                 loss_sum += r.loss_sum;
                 acc_sum += r.acc_sum;
                 batches += r.batches;
@@ -201,19 +288,176 @@ impl Trainer {
                     .map_or_else(|| ps.bytes_pushed(), |s| s.bytes_pushed()),
             });
         }
-        // Release workers from the final barrier so they can exit.
-        barrier.wait();
-        for h in handles {
-            h.join().expect("worker panicked")?;
+        // Release workers from the final barrier so they can exit. They
+        // still drain their last outstanding pulls, which needs a live
+        // server — join before shutting the backend down.
+        barrier.wait().expect("only the supervisor poisons");
+        for w in 0..n {
+            let outcome = handles[w].take().expect("joined once").join();
+            if let Some(e) = join_error(outcome, w, self.cfg.epochs, ipe) {
+                return Err(abort(
+                    ps,
+                    &barrier,
+                    &mut handles,
+                    history,
+                    e,
+                    self.cfg.epochs,
+                    ipe,
+                ));
+            }
         }
         if history.final_weights.is_empty() {
-            let (weights, _) = ps.snapshot()?;
-            history.final_weights = weights;
+            match ps.snapshot() {
+                Ok((weights, _)) => history.final_weights = weights,
+                Err(e) => {
+                    return Err(abort(
+                        ps,
+                        &barrier,
+                        &mut handles,
+                        history,
+                        e,
+                        self.cfg.epochs,
+                        ipe,
+                    ));
+                }
+            }
         }
         history.profile = profiler.map(|p| p.take());
         ps.shutdown();
         Ok(history)
     }
+
+    /// Wait for the next epoch report, supervising the worker threads:
+    /// returns `Err` with a typed [`NetError`] if a worker has died
+    /// (error exit or panic), the backend reports a failed round, or the
+    /// epoch deadline passes with workers still silent.
+    #[allow(clippy::too_many_arguments)]
+    fn await_report(
+        &self,
+        report_rx: &Receiver<EpochReport>,
+        ps: &dyn PsBackend,
+        handles: &mut [Option<JoinHandle<Result<(), NetError>>>],
+        reported: &[bool],
+        epoch_start: Instant,
+        epoch: usize,
+        ipe: usize,
+    ) -> Result<EpochReport, NetError> {
+        loop {
+            match report_rx.recv_timeout(SUPERVISE_TICK) {
+                Ok(r) => return Ok(r),
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Every worker exited without the missing reports:
+                    // join them all and surface the first failure.
+                    for (w, slot) in handles.iter_mut().enumerate() {
+                        let Some(h) = slot.take() else { continue };
+                        if let Some(e) = join_error(h.join(), w, epoch, ipe) {
+                            return Err(e);
+                        }
+                    }
+                    // All exited cleanly yet reports are missing — the
+                    // abort machinery still needs an error to carry.
+                    return Err(NetError::ServerGone);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+            // A worker thread that finished before reporting this epoch
+            // died (clean early exit mid-training is also a loss).
+            for (w, slot) in handles.iter_mut().enumerate() {
+                if slot.as_ref().is_some_and(|h| h.is_finished()) {
+                    let h = slot.take().expect("checked above");
+                    let e = join_error(h.join(), w, epoch, ipe).unwrap_or(NetError::WorkerLost {
+                        id: w,
+                        round: first_round(epoch, ipe),
+                    });
+                    return Err(e);
+                }
+            }
+            // The server may have failed the round (its deadline names
+            // the victim even when every worker is silently blocked).
+            if let Some(e) = ps.failure() {
+                return Err(e);
+            }
+            // Last resort: silence past the epoch deadline. Blame the
+            // lowest-id worker that has not reported this epoch.
+            if let Some(deadline) = self.cfg.epoch_deadline {
+                if epoch_start.elapsed() > deadline {
+                    let id = reported.iter().position(|r| !r).unwrap_or(0);
+                    return Err(NetError::WorkerLost {
+                        id,
+                        round: first_round(epoch, ipe),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The first aggregate round of `epoch` — the abort records' best
+/// estimate of where a failure stopped the run when the error itself
+/// does not carry a round.
+fn first_round(epoch: usize, ipe: usize) -> u64 {
+    (epoch * ipe) as u64
+}
+
+/// Interpret a joined worker's outcome. `None` for a clean exit. An
+/// existing [`NetError::WorkerLost`] passes through unchanged (it names
+/// the true victim — this worker may merely have observed the failure);
+/// any other error or a panic becomes `WorkerLost` for worker `w`.
+fn join_error(
+    outcome: std::thread::Result<Result<(), NetError>>,
+    w: usize,
+    epoch: usize,
+    ipe: usize,
+) -> Option<NetError> {
+    match outcome {
+        Ok(Ok(())) => None,
+        Ok(Err(e @ NetError::WorkerLost { .. })) => Some(e),
+        Ok(Err(_)) | Err(_) => Some(NetError::WorkerLost {
+            id: w,
+            round: first_round(epoch, ipe),
+        }),
+    }
+}
+
+/// Attach the abort record and box the failure.
+fn fail(
+    mut history: TrainingHistory,
+    error: NetError,
+    epoch: usize,
+    ipe: usize,
+) -> Box<TrainFailure> {
+    let round = match &error {
+        NetError::WorkerLost { round, .. } => *round,
+        _ => first_round(epoch, ipe),
+    };
+    history.aborted = Some(AbortRecord {
+        epoch,
+        round,
+        error: error.to_string(),
+    });
+    Box::new(TrainFailure { error, history })
+}
+
+/// Cancel a failed run without hanging: poison the barrier (wakes every
+/// worker parked at an epoch rendezvous), shut the backend down (fails
+/// every blocked or future parameter-server call with a typed error —
+/// which also terminates workers still mid-computation at their next
+/// push/pull), then join what's left and attach the abort record.
+fn abort(
+    ps: Box<dyn PsBackend>,
+    barrier: &PoisonBarrier,
+    handles: &mut [Option<JoinHandle<Result<(), NetError>>>],
+    history: TrainingHistory,
+    error: NetError,
+    epoch: usize,
+    ipe: usize,
+) -> Box<TrainFailure> {
+    barrier.poison(error.clone());
+    ps.shutdown();
+    for h in handles.iter_mut().filter_map(Option::take) {
+        let _ = h.join();
+    }
+    fail(history, error, epoch, ipe)
 }
 
 /// Run one worker as its own OS process against remote parameter-server
@@ -261,7 +505,7 @@ pub fn run_standalone_worker(
         // No trainer thread to rendezvous with: a 1-party barrier makes
         // every `wait` a no-op, and the unbounded channel absorbs the
         // per-epoch reports until we drain them below.
-        barrier: Arc::new(Barrier::new(1)),
+        barrier: Arc::new(PoisonBarrier::new(1)),
         report: report_tx,
         profiler: None,
     };

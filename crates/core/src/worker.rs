@@ -4,12 +4,13 @@ use crate::config::{Algorithm, TrainConfig};
 use crate::profile::{OpKind, Profiler};
 use cdsgd_compress::{Compressed, GradientCompressor, TwoBitQuantizer};
 
+use crate::supervise::PoisonBarrier;
 use cdsgd_data::{augment, Batch, Dataset};
 use cdsgd_nn::{Layer, Mode, Sequential, SoftmaxCrossEntropy};
 use cdsgd_ps::{NetError, ParamClient, PendingPull, RingMember};
 use cdsgd_tensor::SmallRng64;
 use crossbeam::channel::Sender;
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 
 /// What a worker reports at the end of each epoch.
 #[derive(Debug)]
@@ -42,7 +43,9 @@ pub(crate) struct WorkerArgs {
     /// PS-based algorithms.
     pub ring: Option<RingMember>,
     pub iters_per_epoch: usize,
-    pub barrier: Arc<Barrier>,
+    /// Epoch rendezvous with the trainer; poisoned by the supervisor when
+    /// another worker is lost, so `wait` is fallible.
+    pub barrier: Arc<PoisonBarrier>,
     pub report: Sender<EpochReport>,
     /// When present, record wall-clock op intervals.
     pub profiler: Option<Profiler>,
@@ -379,18 +382,22 @@ pub(crate) fn run_worker(mut a: WorkerArgs) -> Result<(), NetError> {
 
         let final_weights =
             (a.id == 0 && epoch + 1 == a.cfg.epochs && ring_mode).then(|| a.model.export_params());
-        a.report
-            .send(EpochReport {
-                worker: a.id,
-                epoch,
-                loss_sum,
-                acc_sum,
-                batches,
-                test_acc,
-                final_weights,
-            })
-            .expect("trainer went away");
-        a.barrier.wait();
+        let report = EpochReport {
+            worker: a.id,
+            epoch,
+            loss_sum,
+            acc_sum,
+            batches,
+            test_acc,
+            final_weights,
+        };
+        // A dropped receiver means the trainer is gone (aborting or
+        // dropped by its caller): exit cleanly, it is not this worker's
+        // failure.
+        if a.report.send(report).is_err() {
+            return Ok(());
+        }
+        a.barrier.wait()?;
     }
 
     // Drain the final round's outstanding pull (delayed algorithms fire

@@ -27,6 +27,18 @@ pub enum NetError {
     /// channel endpoints here, so a dead server surfaces as a recoverable
     /// error instead of a worker-thread panic.
     ServerGone,
+    /// A worker replica died (exited with an error, panicked, or went
+    /// silent past a deadline) and the synchronous round it owed can never
+    /// complete. Produced by the trainer's supervisor when a worker thread
+    /// is lost, and by the server's round deadline when a push never
+    /// arrives; `round` is the first aggregate round the failure left
+    /// unfinishable.
+    WorkerLost {
+        /// Id of the lost worker.
+        id: usize,
+        /// First round that can no longer complete.
+        round: u64,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -45,6 +57,9 @@ impl fmt::Display for NetError {
                 "failed to connect to {addr} after {attempts} attempts: {last}"
             ),
             NetError::ServerGone => write!(f, "parameter server is gone"),
+            NetError::WorkerLost { id, round } => {
+                write!(f, "worker {id} lost; round {round} cannot complete")
+            }
         }
     }
 }
@@ -85,6 +100,13 @@ mod tests {
             NetError::from(Error::new(ErrorKind::BrokenPipe, "b")),
             NetError::Io(_)
         ));
+    }
+
+    #[test]
+    fn worker_lost_display_names_the_worker_and_round() {
+        let e = NetError::WorkerLost { id: 3, round: 17 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains("17"), "{s}");
     }
 
     #[test]

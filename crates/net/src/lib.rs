@@ -17,10 +17,12 @@
 //! `cdsgd-compress` so anything can speak the protocol.
 
 pub mod error;
+pub mod fault;
 pub mod transport;
 pub mod wire;
 
 pub use error::NetError;
+pub use fault::{FaultPlan, FaultyTransport};
 pub use transport::{
     loopback_pair, LoopbackTransport, NetConfig, TcpAcceptor, TcpTransport, Transport,
 };

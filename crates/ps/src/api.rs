@@ -89,6 +89,14 @@ pub trait PsBackend {
     /// Cumulative worker→server traffic (encoded frame bytes).
     fn bytes_pushed(&self) -> u64;
 
+    /// The failure that ended aggregation on some shard (its round
+    /// deadline fired), if any. `None` for backends that cannot observe
+    /// shard failures (e.g. external server processes, which exit nonzero
+    /// on their own instead).
+    fn failure(&self) -> Option<NetError> {
+        None
+    }
+
     /// Stop the deployment (threads joined; remote shards told to exit).
     fn shutdown(self: Box<Self>);
 }
@@ -127,6 +135,10 @@ impl PsBackend for InProcessBackend {
 
     fn bytes_pushed(&self) -> u64 {
         self.ps.stats().bytes_pushed()
+    }
+
+    fn failure(&self) -> Option<NetError> {
+        self.ps.failure()
     }
 
     fn shutdown(self: Box<Self>) {

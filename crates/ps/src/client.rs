@@ -12,13 +12,15 @@ use std::sync::Arc;
 /// snapshot once the server reaches the version. Uniform across the
 /// in-process client and the networked [`crate::net::RemoteClient`] —
 /// both deliver the decoded snapshot through this handle.
-pub struct PendingPull(pub(crate) Receiver<Arc<[f32]>>);
+pub struct PendingPull(pub(crate) Receiver<Result<Arc<[f32]>, NetError>>);
 
 impl PendingPull {
     /// Block until the snapshot arrives. [`NetError::ServerGone`] if the
-    /// server (or the connection to it) died before replying.
+    /// server (or the connection to it) died before replying; a typed
+    /// error (e.g. [`NetError::WorkerLost`] from the server's round
+    /// deadline) if the server answered but the round failed.
     pub fn wait(&self) -> Result<Arc<[f32]>, NetError> {
-        self.0.recv().map_err(|_| NetError::ServerGone)
+        self.0.recv().map_err(|_| NetError::ServerGone)?
     }
 }
 

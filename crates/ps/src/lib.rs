@@ -41,6 +41,7 @@
 pub mod allreduce;
 mod api;
 mod client;
+mod fault;
 pub mod net;
 mod server;
 mod sharded;
@@ -50,6 +51,7 @@ pub use allreduce::{ring_group, RingMember};
 pub use api::{InProcessBackend, ParamClient, PsBackend};
 pub use cdsgd_net::NetError;
 pub use client::{PendingPull, PsClient};
+pub use fault::{FaultyClient, WorkerFault};
 pub use net::{NetCluster, PsNetServer, RemoteClient};
 pub use server::{ParamServer, ServerConfig};
 pub use sharded::{partition_keys, reassemble_snapshots, ShardedClient, ShardedParamServer};

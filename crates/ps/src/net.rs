@@ -69,6 +69,7 @@ pub struct PsNetServer {
     ps: Mutex<Option<ParamServer>>,
     client: PsClient,
     stats: Arc<TrafficStats>,
+    failure: Arc<Mutex<Option<NetError>>>,
     stop: Arc<AtomicBool>,
     shutdown_signal: Arc<(Mutex<bool>, Condvar)>,
     threads: Mutex<Vec<JoinHandle<()>>>,
@@ -82,6 +83,7 @@ impl PsNetServer {
         Arc::new(Self {
             client: ps.client(),
             stats: ps.stats_arc(),
+            failure: ps.failure_arc(),
             ps: Mutex::new(Some(ps)),
             stop: Arc::new(AtomicBool::new(false)),
             shutdown_signal: Arc::new((Mutex::new(false), Condvar::new())),
@@ -230,13 +232,33 @@ impl PsNetServer {
         self.threads.lock().unwrap().push(handle);
     }
 
+    /// The failure that ended aggregation (the inner server's round
+    /// deadline fired), if any.
+    pub fn failure(&self) -> Option<NetError> {
+        self.failure.lock().unwrap().clone()
+    }
+
     /// Block until some client sends a [`WireMsg::Shutdown`] frame (the
-    /// `psd` binary parks its main thread here).
-    pub fn wait_for_shutdown(&self) {
+    /// `psd` binary parks its main thread here) — `Ok(())` — or the inner
+    /// server's round deadline declares a worker lost — `Err(WorkerLost)`,
+    /// so the hosting process can exit nonzero instead of serving a dead
+    /// round forever.
+    pub fn wait_for_shutdown(&self) -> Result<(), NetError> {
         let (flag, cv) = &*self.shutdown_signal;
         let mut stopped = flag.lock().unwrap();
-        while !*stopped {
-            stopped = cv.wait(stopped).unwrap();
+        loop {
+            if let Some(err) = self.failure() {
+                return Err(err);
+            }
+            if *stopped {
+                return Ok(());
+            }
+            // Timed wait: the failure cell is written by the server
+            // thread, which does not signal this condvar.
+            let (guard, _) = cv
+                .wait_timeout(stopped, Duration::from_millis(100))
+                .unwrap();
+            stopped = guard;
         }
     }
 
@@ -281,7 +303,7 @@ struct WriteHalf {
 }
 
 /// One outstanding pull: its `(key, version)` and the reply channel.
-type PendingPullEntry = ((u32, u64), Sender<Arc<[f32]>>);
+type PendingPullEntry = ((u32, u64), Sender<Result<Arc<[f32]>, NetError>>);
 /// A full server snapshot: per-key weights and per-key versions.
 type SnapshotReply = (Vec<Vec<f32>>, Vec<u64>);
 
@@ -356,7 +378,7 @@ impl RemoteClient {
                             };
                             if let Some(tx) = sender {
                                 // The waiter may have been dropped; fine.
-                                let _ = tx.send(weights.into());
+                                let _ = tx.send(Ok(weights.into()));
                             }
                         }
                         Ok(WireMsg::SnapshotReply { weights, versions }) => {
@@ -635,6 +657,10 @@ impl PsBackend for NetCluster {
         self.stats.bytes_pushed()
     }
 
+    fn failure(&self) -> Option<NetError> {
+        self.local.iter().find_map(|s| s.failure())
+    }
+
     fn shutdown(self: Box<Self>) {
         if self.remote_shutdown {
             for c in &self.control {
@@ -797,7 +823,25 @@ mod tests {
         let s2 = Arc::clone(&server);
         let waiter = std::thread::spawn(move || s2.wait_for_shutdown());
         c.shutdown_server().unwrap();
-        waiter.join().unwrap();
+        waiter.join().unwrap().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn round_deadline_failure_wakes_wait_for_shutdown() {
+        // Two workers expected; only worker 0 ever pushes. The inner
+        // server's round deadline fires and the hosting process's park
+        // point returns the typed verdict instead of blocking forever.
+        let server = PsNetServer::start(
+            init(1),
+            ServerConfig::new(2, 1.0).with_round_deadline(Duration::from_millis(50)),
+        );
+        let c = loopback_client(&server);
+        c.push(0, 0, Compressed::Raw(vec![1.0; 3])).unwrap();
+        let err = server.wait_for_shutdown().unwrap_err();
+        assert_eq!(err, NetError::WorkerLost { id: 1, round: 0 });
+        assert_eq!(server.failure(), Some(err));
+        drop(c);
         server.shutdown();
     }
 }

@@ -7,9 +7,11 @@ use crate::stats::TrafficStats;
 use crate::Key;
 use cdsgd_compress::{decompress_add, BufferPool, Compressed};
 use cdsgd_net::wire::{pull_reply_frame_bytes, push_frame_bytes};
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use std::sync::Arc;
+use cdsgd_net::NetError;
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Server configuration.
 #[derive(Clone, Copy, Debug)]
@@ -30,6 +32,17 @@ pub struct ServerConfig {
     /// is what lets the *real* trainer exhibit the paper's communication
     /// pressure (see the `fig5_real` harness).
     pub delay_per_byte: f64,
+    /// How long an aggregate round may stay *partial* (some workers'
+    /// pushes for the round arrived, others' have not) before the server
+    /// declares the missing worker lost and fails the round with
+    /// [`NetError::WorkerLost`] instead of stalling every puller forever.
+    /// `None` (the default) waits unboundedly — the pre-existing
+    /// behaviour, and the right one for bit-identical offline runs.
+    ///
+    /// Delayed algorithms (OD-SGD / CD-SGD) legitimately run one round
+    /// ahead, so a partial round is normal for up to one iteration time;
+    /// set the deadline comfortably above the slowest expected iteration.
+    pub round_deadline: Option<Duration>,
 }
 
 impl ServerConfig {
@@ -41,6 +54,7 @@ impl ServerConfig {
             global_lr,
             momentum: 0.0,
             delay_per_byte: 0.0,
+            round_deadline: None,
         }
     }
 
@@ -57,6 +71,13 @@ impl ServerConfig {
         self.momentum = momentum;
         self
     }
+
+    /// Fail any aggregate round that stays partial longer than `deadline`
+    /// with [`NetError::WorkerLost`] (see [`ServerConfig::round_deadline`]).
+    pub fn with_round_deadline(mut self, deadline: Duration) -> Self {
+        self.round_deadline = Some(deadline);
+        self
+    }
 }
 
 pub(crate) enum Msg {
@@ -68,7 +89,7 @@ pub(crate) enum Msg {
     Pull {
         key: Key,
         min_version: u64,
-        reply: Sender<Arc<[f32]>>,
+        reply: Sender<Result<Arc<[f32]>, NetError>>,
     },
     SetLr(f32),
     /// Read all weights and per-key versions (test/diagnostic support).
@@ -77,6 +98,9 @@ pub(crate) enum Msg {
     },
     Shutdown,
 }
+
+/// A parked pull: the version it waits for and where to send the reply.
+type WaitingPull = (u64, Sender<Result<Arc<[f32]>, NetError>>);
 
 struct KeyState {
     /// Current weight snapshot. Immutable once built: every pull of this
@@ -104,7 +128,11 @@ struct KeyState {
     /// Momentum buffer (allocated lazily when momentum > 0).
     velocity: Option<Vec<f32>>,
     /// Pulls waiting for a version that doesn't exist yet.
-    waiting: Vec<(u64, Sender<Arc<[f32]>>)>,
+    waiting: Vec<WaitingPull>,
+    /// When the current round first became partial (some workers' pushes
+    /// arrived, others' missing). `None` while no round is in flight.
+    /// Drives [`ServerConfig::round_deadline`].
+    partial_since: Option<Instant>,
 }
 
 /// Handle to a running parameter server. Dropping without calling
@@ -114,6 +142,7 @@ pub struct ParamServer {
     tx: Sender<Msg>,
     stats: Arc<TrafficStats>,
     pool: BufferPool,
+    failure: Arc<Mutex<Option<NetError>>>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -134,16 +163,19 @@ impl ParamServer {
     ) -> Self {
         let (tx, rx) = unbounded();
         let stats = Arc::new(TrafficStats::new());
+        let failure = Arc::new(Mutex::new(None));
         let stats2 = Arc::clone(&stats);
+        let failure2 = Arc::clone(&failure);
         let pool2 = pool.clone();
         let handle = std::thread::Builder::new()
             .name("param-server".into())
-            .spawn(move || server_loop(init, cfg, rx, stats2, pool2))
+            .spawn(move || server_loop(init, cfg, rx, stats2, pool2, failure2))
             .expect("spawn server thread");
         Self {
             tx,
             stats,
             pool,
+            failure,
             handle: Some(handle),
         }
     }
@@ -188,6 +220,19 @@ impl ParamServer {
         &self.pool
     }
 
+    /// The failure that ended aggregation, if the
+    /// [`ServerConfig::round_deadline`] fired. `None` while healthy.
+    pub fn failure(&self) -> Option<NetError> {
+        self.failure.lock().expect("failure cell poisoned").clone()
+    }
+
+    /// Shared ownership of the failure cell, for front-ends (like the
+    /// networked server) that surface the verdict after this handle is
+    /// consumed.
+    pub(crate) fn failure_arc(&self) -> Arc<Mutex<Option<NetError>>> {
+        Arc::clone(&self.failure)
+    }
+
     /// Stop the server thread and wait for it to exit.
     pub fn shutdown(mut self) {
         let _ = self.tx.send(Msg::Shutdown);
@@ -212,6 +257,7 @@ fn server_loop(
     rx: Receiver<Msg>,
     stats: Arc<TrafficStats>,
     pool: BufferPool,
+    failure: Arc<Mutex<Option<NetError>>>,
 ) {
     let mut keys: Vec<KeyState> = init
         .into_iter()
@@ -226,17 +272,40 @@ fn server_loop(
                 version: 0,
                 velocity: None,
                 waiting: Vec::new(),
+                partial_since: None,
             }
         })
         .collect();
+    // Once a round deadline fires, aggregation is over: `failed` holds the
+    // verdict, every queued or future pull is answered with it, and pushes
+    // are discarded. The loop keeps draining messages (so clients get
+    // errors, not hangs) until shutdown.
+    let mut failed: Option<NetError> = None;
 
-    while let Ok(msg) = rx.recv() {
+    loop {
+        // With a round deadline armed, wake periodically so a missing push
+        // is noticed even when no message ever arrives again.
+        let msg = match cfg.round_deadline {
+            Some(deadline) if failed.is_none() => {
+                let tick =
+                    (deadline / 4).clamp(Duration::from_millis(5), Duration::from_millis(100));
+                match rx.recv_timeout(tick) {
+                    Ok(m) => Some(m),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            _ => match rx.recv() {
+                Ok(m) => Some(m),
+                Err(_) => break,
+            },
+        };
         match msg {
-            Msg::Push {
+            Some(Msg::Push {
                 worker,
                 key,
                 payload,
-            } => {
+            }) => {
                 // Traffic is charged at the full encoded frame size (the
                 // same bytes `cdsgd-net` puts on a socket: length prefix +
                 // opcode + routing fields + payload), so in-process and
@@ -244,6 +313,10 @@ fn server_loop(
                 let frame = push_frame_bytes(payload.wire_bytes());
                 stats.record_push(frame);
                 net_delay(cfg.delay_per_byte, frame);
+                if failed.is_some() {
+                    payload.recycle(&pool);
+                    continue;
+                }
                 let ks = &mut keys[key];
                 assert!(worker < cfg.num_workers, "worker id out of range");
                 assert_eq!(payload.len(), ks.weights.len(), "gradient length mismatch");
@@ -276,28 +349,39 @@ fn server_loop(
                         let frame = pull_reply_frame_bytes(ks.weights.len());
                         stats.record_pull(frame);
                         net_delay(cfg.delay_per_byte, frame);
-                        let _ = reply.send(Arc::clone(&ks.weights));
+                        let _ = reply.send(Ok(Arc::clone(&ks.weights)));
                     }
                 }
+                // Start (or clear) the partial-round clock for this key.
+                let partial = ks.pending.iter().any(|q| !q.is_empty());
+                ks.partial_since = if partial {
+                    ks.partial_since.or_else(|| Some(Instant::now()))
+                } else {
+                    None
+                };
             }
-            Msg::Pull {
+            Some(Msg::Pull {
                 key,
                 min_version,
                 reply,
-            } => {
+            }) => {
+                if let Some(err) = &failed {
+                    let _ = reply.send(Err(err.clone()));
+                    continue;
+                }
                 let ks = &mut keys[key];
                 if ks.version == min_version {
                     let frame = pull_reply_frame_bytes(ks.weights.len());
                     stats.record_pull(frame);
                     net_delay(cfg.delay_per_byte, frame);
-                    let _ = reply.send(Arc::clone(&ks.weights));
+                    let _ = reply.send(Ok(Arc::clone(&ks.weights)));
                 } else if ks.version == min_version + 1 {
                     // The puller raced one aggregate behind; serve the
                     // exact requested version from the history.
                     let frame = pull_reply_frame_bytes(ks.prev_weights.len());
                     stats.record_pull(frame);
                     net_delay(cfg.delay_per_byte, frame);
-                    let _ = reply.send(Arc::clone(&ks.prev_weights));
+                    let _ = reply.send(Ok(Arc::clone(&ks.prev_weights)));
                 } else if ks.version > min_version {
                     panic!(
                         "pull of version {min_version} for key {key} arrived after \
@@ -308,15 +392,57 @@ fn server_loop(
                     ks.waiting.push((min_version, reply));
                 }
             }
-            Msg::SetLr(lr) => cfg.global_lr = lr,
-            Msg::Snapshot { reply } => {
+            Some(Msg::SetLr(lr)) => cfg.global_lr = lr,
+            Some(Msg::Snapshot { reply }) => {
                 let w = keys.iter().map(|k| k.weights.to_vec()).collect();
                 let v = keys.iter().map(|k| k.version).collect();
                 let _ = reply.send((w, v));
             }
-            Msg::Shutdown => break,
+            Some(Msg::Shutdown) => break,
+            None => {}
+        }
+        if failed.is_none() {
+            if let Some(deadline) = cfg.round_deadline {
+                if let Some(err) = check_round_deadline(&keys, deadline) {
+                    *failure.lock().expect("failure cell poisoned") = Some(err.clone());
+                    // Waiting pulls would otherwise block forever on a
+                    // round that can no longer complete.
+                    for ks in &mut keys {
+                        for (_, reply) in ks.waiting.drain(..) {
+                            let _ = reply.send(Err(err.clone()));
+                        }
+                    }
+                    failed = Some(err);
+                }
+            }
         }
     }
+}
+
+/// If any key's round has been partial past `deadline`, name the victim:
+/// the lowest-id worker whose push for that round never arrived. The
+/// unfinishable round is `version` (rounds are 0-indexed; `version`
+/// counts completed ones).
+fn check_round_deadline(keys: &[KeyState], deadline: Duration) -> Option<NetError> {
+    for ks in keys {
+        let since = match ks.partial_since {
+            Some(t) => t,
+            None => continue,
+        };
+        if since.elapsed() < deadline {
+            continue;
+        }
+        let id = ks
+            .pending
+            .iter()
+            .position(|q| q.is_empty())
+            .expect("partial round implies a missing push");
+        return Some(NetError::WorkerLost {
+            id,
+            round: ks.version,
+        });
+    }
+    None
 }
 
 /// Emulated transfer time for `bytes` at the configured delay.
@@ -488,6 +614,39 @@ mod tests {
             ps.stats().bytes_pulled() as usize,
             2 * pull_reply_frame_bytes(8)
         );
+        ps.shutdown();
+    }
+
+    #[test]
+    fn round_deadline_names_the_missing_worker() {
+        // Two workers; only worker 0 pushes. The round stays partial past
+        // the deadline, so pulls fail with WorkerLost { id: 1 } instead of
+        // blocking forever — and the verdict is queryable on the handle.
+        let ps = ParamServer::start(
+            vec![vec![0.0]],
+            ServerConfig::new(2, 1.0).with_round_deadline(Duration::from_millis(50)),
+        );
+        let c = ps.client();
+        c.push(0, 0, Compressed::Raw(vec![1.0])).unwrap();
+        let err = c.pull(0, 1).unwrap_err();
+        assert_eq!(err, NetError::WorkerLost { id: 1, round: 0 });
+        assert_eq!(ps.failure(), Some(NetError::WorkerLost { id: 1, round: 0 }));
+        // Later pulls fail fast with the same verdict.
+        assert_eq!(
+            c.pull(0, 0).unwrap_err(),
+            NetError::WorkerLost { id: 1, round: 0 }
+        );
+        ps.shutdown();
+    }
+
+    #[test]
+    fn no_deadline_means_no_failure_mode() {
+        let ps = ParamServer::start(vec![vec![0.0]], ServerConfig::new(2, 1.0));
+        let c = ps.client();
+        c.push(0, 0, Compressed::Raw(vec![1.0])).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(ps.failure(), None);
+        assert_eq!(*c.pull(0, 0).unwrap(), [0.0]);
         ps.shutdown();
     }
 

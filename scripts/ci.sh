@@ -4,18 +4,34 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# A hung test (the exact failure class tests/chaos.rs exists to prevent)
+# must fail CI, not wedge it: every test invocation gets a hard wall-clock
+# cap. `--foreground` lets cargo's own output through and signals the
+# whole process group on expiry.
+TEST_TIMEOUT=600
+run_tests() {
+    timeout --foreground "$TEST_TIMEOUT" "$@" || {
+        status=$?
+        if [ "$status" -eq 124 ]; then
+            echo "ERROR: '$*' exceeded ${TEST_TIMEOUT}s — deadlocked test?" >&2
+        fi
+        exit "$status"
+    }
+}
+
 echo "==> cargo build --release"
 cargo build --release
 
 echo "==> cargo test -q --workspace"
-cargo test -q --workspace
+run_tests cargo test -q --workspace
 
-# Explicit gate on the network subsystem: loopback/TCP equivalence and
-# the multi-process (psd + worker over localhost TCP) smoke test. Both
-# are part of the workspace run above; calling them out keeps a wire
-# regression from hiding in the aggregate output.
-echo "==> cargo test --test net_equivalence --test net_processes"
-cargo test -q --test net_equivalence --test net_processes
+# Explicit gate on the network subsystem: loopback/TCP equivalence, the
+# multi-process (psd + worker over localhost TCP) smoke test, and the
+# worker-failure chaos suite. All are part of the workspace run above;
+# calling them out keeps a wire or supervision regression from hiding in
+# the aggregate output.
+echo "==> cargo test --test net_equivalence --test net_processes --test chaos"
+run_tests cargo test -q --test net_equivalence --test net_processes --test chaos
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

@@ -13,8 +13,16 @@
 //! Prints `LISTENING <addr>` on stdout once the socket is bound (with
 //! `--port 0` the kernel picks the port, so callers must parse this
 //! line), then serves until a client sends a shutdown frame.
+//!
+//! With `--round-deadline-ms N` the shard refuses to wait forever on a
+//! worker that stopped pushing: once an aggregation round stays partial
+//! for N milliseconds the shard names the missing worker, fails the
+//! round, and the process exits nonzero instead of hanging. Pick N well
+//! above the slowest expected iteration — delayed algorithms (OD-SGD,
+//! CD-SGD) legitimately leave rounds partial while a round is in flight.
 
 use std::io::Write;
+use std::time::Duration;
 
 use cd_sgd_repro::deploy::{arg, arg_or, initial_weights};
 use cdsgd_net::{NetConfig, TcpAcceptor};
@@ -28,6 +36,7 @@ fn main() {
     let momentum: f32 = arg_or("momentum", 0.0);
     let port: u16 = arg_or("port", 0);
     let seed: u64 = arg_or("seed", 42);
+    let round_deadline_ms: u64 = arg_or("round-deadline-ms", 0);
     let model = arg("model").unwrap_or_else(|| "mlp:8,32,4".to_string());
     if shard >= num_shards {
         eprintln!("--shard {shard} out of range for --num-shards {num_shards}");
@@ -41,7 +50,10 @@ fn main() {
         shard_init.len()
     );
 
-    let cfg = ServerConfig::new(workers, lr).with_momentum(momentum);
+    let mut cfg = ServerConfig::new(workers, lr).with_momentum(momentum);
+    if round_deadline_ms > 0 {
+        cfg = cfg.with_round_deadline(Duration::from_millis(round_deadline_ms));
+    }
     let server = PsNetServer::start(shard_init, cfg);
     let (acceptor, addr) =
         TcpAcceptor::bind(("127.0.0.1", port), NetConfig::default()).expect("bind TCP listener");
@@ -52,7 +64,11 @@ fn main() {
     std::io::stdout().flush().expect("flush stdout");
 
     server.listen(acceptor);
-    server.wait_for_shutdown();
+    if let Err(e) = server.wait_for_shutdown() {
+        eprintln!("psd shard {shard}: round failed: {e}");
+        server.shutdown();
+        std::process::exit(1);
+    }
     let pushed = server.stats().bytes_pushed();
     server.shutdown();
     eprintln!("psd shard {shard}: shutdown after {pushed} pushed bytes");

@@ -16,11 +16,17 @@
 //! Workers never shut the servers down: a controller (or `--shutdown`
 //! on exactly one worker) sends the shutdown frames once all replicas
 //! have finished.
+//!
+//! A dead server, broken connection, or failed round exits nonzero with
+//! the typed error on stderr. `--chaos-kill-round N` makes *this*
+//! replica die silently at aggregate round N (its connections stay open
+//! but it stops pushing) — fault injection for exercising the servers'
+//! `--round-deadline-ms` supervision.
 
-use cd_sgd::{run_standalone_worker, Algorithm, TrainConfig};
+use cd_sgd::{run_standalone_worker, Algorithm, TrainConfig, WorkerFault};
 use cd_sgd_repro::deploy::{arg, arg_or, build_dataset, build_model, initial_weights};
 use cdsgd_net::NetConfig;
-use cdsgd_ps::{NetCluster, PsBackend};
+use cdsgd_ps::{FaultyClient, NetCluster, ParamClient, PsBackend};
 
 fn main() {
     let id: usize = arg_or("id", 0);
@@ -46,6 +52,12 @@ fn main() {
     let warmup: usize = arg_or("warmup", 3);
     let model = arg("model").unwrap_or_else(|| "mlp:8,32,4".to_string());
     let shutdown = std::env::args().any(|a| a == "--shutdown");
+    let chaos_kill_round: Option<u64> = arg("chaos-kill-round").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--chaos-kill-round must be a round number, got {v:?}");
+            std::process::exit(2)
+        })
+    });
 
     let algo_name = arg("algo").unwrap_or_else(|| "cdsgd".into());
     let algo = match algo_name.as_str() {
@@ -75,17 +87,33 @@ fn main() {
     let cluster =
         NetCluster::connect(&servers, num_keys, NetConfig::default()).expect("connect to servers");
     let client = cluster.client().expect("open shard connections");
+    let client: Box<dyn ParamClient> = match chaos_kill_round {
+        Some(round) => {
+            eprintln!("worker {id}: chaos — will die silently at round {round}");
+            Box::new(FaultyClient::new(
+                client,
+                WorkerFault::KillAtRound { round },
+                num_keys,
+            ))
+        }
+        None => client,
+    };
 
     let spec = model.clone();
-    let report = run_standalone_worker(
+    let report = match run_standalone_worker(
         cfg,
         id,
         move |rng| build_model(&spec, rng),
         &train,
         Some(test),
         client,
-    )
-    .expect("training failed");
+    ) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("worker {id}: training failed: {e}");
+            std::process::exit(1);
+        }
+    };
 
     for (epoch, (loss, acc)) in report.iter().enumerate() {
         match acc {

@@ -1,0 +1,247 @@
+//! Chaos tests for the failure-supervision layer: kill or stall one
+//! worker mid-training and assert the run fails *fast* with a typed
+//! [`NetError::WorkerLost`] — on every backend — instead of deadlocking
+//! the surviving workers on the epoch barrier and the server on a
+//! forever-partial round. Faults are scripted ([`WorkerFault`],
+//! [`FaultPlan`]) so every failure path is deterministic; no real
+//! packet loss or process kills required.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cd_sgd::{Algorithm, TrainConfig, Trainer, WorkerFault};
+use cd_sgd_repro::deploy;
+use cdsgd_compress::{BufferPool, Compressed};
+use cdsgd_net::{FaultPlan, FaultyTransport, NetConfig, NetError, TcpAcceptor, TcpTransport};
+use cdsgd_ps::{
+    partition_keys, InProcessBackend, NetCluster, ParamClient, ParamServer, PsBackend, PsNetServer,
+    RemoteClient, ServerConfig, TrafficStats,
+};
+
+/// The acceptance bound: a killed worker must surface as a typed error
+/// well within this budget (the whole point is *not* hanging).
+const BUDGET: Duration = Duration::from_secs(30);
+
+fn chaos_trainer(
+    algo: Algorithm,
+    epochs: usize,
+    customize: impl FnOnce(TrainConfig) -> TrainConfig,
+) -> Trainer {
+    let (train, test) = deploy::build_dataset("blobs", 480, 5);
+    let cfg = customize(
+        TrainConfig::new(algo, 2)
+            .with_lr(0.2)
+            .with_batch_size(16)
+            .with_epochs(epochs)
+            .with_seed(5),
+    );
+    Trainer::new(
+        cfg,
+        |rng| deploy::build_model("mlp:8,32,4", rng),
+        train,
+        Some(test),
+    )
+}
+
+fn in_process(init: Vec<Vec<f32>>, cfg: ServerConfig) -> Result<Box<dyn PsBackend>, NetError> {
+    Ok(Box::new(InProcessBackend::new(ParamServer::start(
+        init, cfg,
+    ))))
+}
+
+/// Run `trainer` against `backend` expecting the designated victim to be
+/// lost, and assert the typed error arrives within the budget.
+fn assert_worker_lost(
+    trainer: &Trainer,
+    backend: impl FnOnce(Vec<Vec<f32>>, ServerConfig) -> Result<Box<dyn PsBackend>, NetError>,
+    victim: usize,
+) {
+    let start = Instant::now();
+    let failure = trainer.try_run_with(backend).expect_err("run must fail");
+    assert!(
+        start.elapsed() < BUDGET,
+        "failure took {:?}, budget is {BUDGET:?}",
+        start.elapsed()
+    );
+    match failure.error {
+        NetError::WorkerLost { id, .. } => assert_eq!(id, victim, "wrong victim named"),
+        ref other => panic!("expected WorkerLost, got {other:?}"),
+    }
+    let aborted = failure
+        .history
+        .aborted
+        .as_ref()
+        .expect("history records the abort");
+    assert!(
+        aborted.error.contains("worker"),
+        "abort record should carry the display error, got {:?}",
+        aborted.error
+    );
+}
+
+#[test]
+fn killed_worker_fails_in_process_run_with_typed_error() {
+    let trainer = chaos_trainer(Algorithm::SSgd, 3, |cfg| {
+        cfg.with_fault(1, WorkerFault::KillAtRound { round: 2 })
+    });
+    assert_worker_lost(&trainer, in_process, 1);
+}
+
+#[test]
+fn killed_worker_fails_loopback_run_with_typed_error() {
+    let trainer = chaos_trainer(Algorithm::SSgd, 3, |cfg| {
+        cfg.with_fault(1, WorkerFault::KillAtRound { round: 2 })
+    });
+    assert_worker_lost(
+        &trainer,
+        |init, cfg| Ok(Box::new(NetCluster::start_loopback(init, cfg, 2)?)),
+        1,
+    );
+}
+
+#[test]
+fn killed_worker_fails_tcp_run_with_typed_error() {
+    let trainer = chaos_trainer(Algorithm::SSgd, 3, |cfg| {
+        cfg.with_fault(1, WorkerFault::KillAtRound { round: 2 })
+    });
+    assert_worker_lost(
+        &trainer,
+        |init, cfg| {
+            Ok(Box::new(NetCluster::start_tcp_local(
+                init,
+                cfg,
+                2,
+                NetConfig::default(),
+            )?))
+        },
+        1,
+    );
+}
+
+#[test]
+fn killed_worker_fails_delayed_algorithm_run() {
+    // CD-SGD runs one round ahead of the server (deferred pulls), the
+    // hardest case for supervision: kill after the warm-up so the victim
+    // dies mid-pipeline.
+    let trainer = chaos_trainer(Algorithm::cd_sgd(0.05, 0.05, 2, 3), 3, |cfg| {
+        cfg.with_fault(1, WorkerFault::KillAtRound { round: 6 })
+    });
+    assert_worker_lost(&trainer, in_process, 1);
+}
+
+#[test]
+fn killed_worker_preserves_completed_epochs_in_history() {
+    // Die in the second epoch: the first epoch's metrics must survive.
+    let ipe = chaos_trainer(Algorithm::SSgd, 3, |cfg| cfg).iters_per_epoch() as u64;
+    let trainer = chaos_trainer(Algorithm::SSgd, 3, |cfg| {
+        cfg.with_fault(1, WorkerFault::KillAtRound { round: ipe + 1 })
+    });
+    let failure = trainer.try_run_with(in_process).expect_err("run must fail");
+    assert_eq!(failure.history.epochs.len(), 1, "epoch 0 completed");
+    let aborted = failure.history.aborted.expect("abort recorded");
+    assert_eq!(aborted.epoch, 1, "died during epoch 1");
+}
+
+#[test]
+fn stalled_worker_trips_the_epoch_deadline() {
+    let trainer = chaos_trainer(Algorithm::SSgd, 2, |cfg| {
+        cfg.with_fault(
+            1,
+            WorkerFault::StallAtRound {
+                round: 1,
+                stall: Duration::from_secs(5),
+            },
+        )
+        .with_epoch_deadline(Duration::from_secs(1))
+    });
+    let start = Instant::now();
+    let failure = trainer
+        .try_run_with(in_process)
+        .expect_err("stall must trip the epoch deadline");
+    assert!(start.elapsed() < BUDGET);
+    assert!(
+        matches!(failure.error, NetError::WorkerLost { .. }),
+        "expected WorkerLost, got {:?}",
+        failure.error
+    );
+}
+
+#[test]
+fn fault_free_run_with_deadlines_is_bit_identical() {
+    // Arming the supervision machinery must not perturb training: same
+    // weights as a plain run, no abort record.
+    let plain = chaos_trainer(Algorithm::cd_sgd(0.05, 0.05, 2, 3), 2, |cfg| cfg).run();
+    let guarded = chaos_trainer(Algorithm::cd_sgd(0.05, 0.05, 2, 3), 2, |cfg| {
+        cfg.with_round_deadline(BUDGET).with_epoch_deadline(BUDGET)
+    });
+    let h = guarded
+        .try_run_with(in_process)
+        .expect("fault-free guarded run succeeds");
+    assert!(h.aborted.is_none());
+    assert_eq!(
+        h.final_weights, plain.final_weights,
+        "deadlines perturbed training"
+    );
+}
+
+#[test]
+fn tcp_connection_drop_trips_the_server_round_deadline() {
+    // The rawest failure mode: a worker's TCP connection goes silent
+    // (FaultyTransport kills sends without notifying the peer). The
+    // server's round deadline must name the worker whose pushes stopped.
+    let init = partition_keys(deploy::initial_weights("mlp:8,32,4", 5), 1).swap_remove(0);
+    let sizes: Vec<usize> = init.iter().map(Vec::len).collect();
+    let cfg = ServerConfig::new(2, 0.2).with_round_deadline(Duration::from_millis(200));
+    let server = PsNetServer::start(init, cfg);
+    let (acceptor, addr) = TcpAcceptor::bind(("127.0.0.1", 0), NetConfig::default()).unwrap();
+    server.listen(acceptor);
+
+    let stats = Arc::new(TrafficStats::new());
+    let net = NetConfig::default();
+    let healthy = RemoteClient::new(
+        Box::new(TcpTransport::connect(addr, &net).unwrap()),
+        Arc::clone(&stats),
+        BufferPool::new(),
+    )
+    .unwrap();
+    // Worker 1's link dies before its first frame leaves the machine —
+    // the server is never notified.
+    let silent = RemoteClient::new(
+        Box::new(FaultyTransport::new(
+            Box::new(TcpTransport::connect(addr, &net).unwrap()),
+            FaultPlan::new().kill_after_sends(0),
+        )),
+        Arc::clone(&stats),
+        BufferPool::new(),
+    )
+    .unwrap();
+
+    let start = Instant::now();
+    for (key, &len) in sizes.iter().enumerate() {
+        healthy
+            .push(0, key, Compressed::Raw(vec![0.1; len]))
+            .unwrap();
+        assert_eq!(
+            silent.push(1, key, Compressed::Raw(vec![0.1; len])),
+            Err(NetError::Closed),
+            "the faulty link must drop worker 1's pushes"
+        );
+    }
+
+    // The server sees a forever-partial round and must blame worker 1.
+    let failure = loop {
+        if let Some(e) = server.failure() {
+            break e;
+        }
+        assert!(start.elapsed() < BUDGET, "round deadline never fired");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(
+        matches!(failure, NetError::WorkerLost { id: 1, .. }),
+        "expected WorkerLost for worker 1, got {failure:?}"
+    );
+    assert_eq!(server.wait_for_shutdown().unwrap_err(), failure);
+    drop(healthy);
+    drop(silent);
+    server.shutdown();
+}

@@ -1,14 +1,15 @@
 //! Offline shim for `crossbeam-channel`, backed by `std::sync::mpsc`.
 //!
 //! Only the surface this workspace uses is provided: `unbounded`, `bounded`,
-//! cloneable `Sender`, `Receiver::recv`/`try_recv`. Semantics match for that
-//! subset (MPSC topology; the workspace never shares a `Receiver` across
-//! threads, so crossbeam's MPMC capability is not needed).
+//! cloneable `Sender`, `Receiver::recv`/`try_recv`/`recv_timeout`. Semantics
+//! match for that subset (MPSC topology; the workspace never shares a
+//! `Receiver` across threads, so crossbeam's MPMC capability is not needed).
 #![allow(clippy::all)]
 
 use std::sync::mpsc;
+use std::time::Duration;
 
-pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
 enum SenderInner<T> {
     Unbounded(mpsc::Sender<T>),
@@ -51,6 +52,12 @@ impl<T> Receiver<T> {
 
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         self.inner.try_recv()
+    }
+
+    /// Block until a value arrives, all senders disconnect, or `timeout`
+    /// elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.inner.recv_timeout(timeout)
     }
 
     pub fn iter(&self) -> mpsc::Iter<'_, T> {
@@ -115,6 +122,22 @@ mod tests {
         let (tx, rx) = unbounded::<u8>();
         drop(tx);
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(10)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
