@@ -4,8 +4,38 @@ use cdsgd_compress::{
     AdaptiveTwoBit, GradientCompressor, OneBitQuantizer, QsgdQuantizer, TopKSparsifier,
     TwoBitQuantizer,
 };
-use cdsgd_ps::WorkerFault;
+use cdsgd_ps::{ServerOptKind, WorkerFault};
 use std::time::Duration;
+
+/// A structurally invalid algorithm or training configuration, detected
+/// at construction time — before any worker thread or server spawns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `LocalSgd` with `sync_period == 0`: the worker would never sync.
+    ZeroSyncPeriod,
+    /// `CdSgd` with `k == 0`: the compression schedule `count % k` is
+    /// undefined.
+    ZeroCorrectionPeriod,
+    /// `EfSgd` momentum outside `[0, 1)`: the velocity would diverge.
+    InvalidMomentum(f32),
+    /// A training run needs at least one worker.
+    NoWorkers,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroSyncPeriod => write!(f, "sync period must be at least 1"),
+            ConfigError::ZeroCorrectionPeriod => write!(f, "k must be at least 1"),
+            ConfigError::InvalidMomentum(m) => {
+                write!(f, "momentum must be in [0, 1), got {m}")
+            }
+            ConfigError::NoWorkers => write!(f, "need at least one worker"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// A gradient-compression codec choice for CD-SGD's compression
 /// iterations.
@@ -124,6 +154,18 @@ pub enum Algorithm {
     /// no parameter server; every round the workers mean-reduce their raw
     /// gradients through the ring and apply the update locally.
     ArSgd,
+    /// Blockwise momentum SGD with error feedback, after Zheng et al.,
+    /// "Communication-Efficient Distributed Blockwise Momentum SGD with
+    /// Error-Feedback" (dist-EF-blockSGD) — the first extension variant
+    /// the strategy layer exists to host. Each worker keeps a per-key
+    /// momentum buffer `m ← μm + g` and pushes a 1-bit sign quantization
+    /// of `m + e` with a per-key (blockwise) L1 scale; the quantization
+    /// error `e` is fed back next round. The server applies plain SGD to
+    /// the decoded aggregate.
+    EfSgd {
+        /// Momentum factor μ (Zheng et al. use 0.9). Must be in `[0, 1)`.
+        momentum: f32,
+    },
 }
 
 impl Algorithm {
@@ -153,6 +195,18 @@ impl Algorithm {
         self
     }
 
+    /// Convenience constructor for blockwise error-feedback momentum SGD
+    /// (extension).
+    ///
+    /// # Panics
+    /// Panics if `momentum` is outside `[0, 1)`; use
+    /// [`Algorithm::validate`] for a typed error.
+    pub fn ef_sgd(momentum: f32) -> Self {
+        let algo = Algorithm::EfSgd { momentum };
+        algo.validate().unwrap_or_else(|e| panic!("{e}"));
+        algo
+    }
+
     /// Display name as used in the paper's figures.
     pub fn name(&self) -> String {
         match self {
@@ -162,6 +216,7 @@ impl Algorithm {
             Algorithm::CdSgd { k, .. } => format!("CD-SGD(k={k})"),
             Algorithm::LocalSgd { sync_period, .. } => format!("LocalSGD(H={sync_period})"),
             Algorithm::ArSgd => "AR-SGD".into(),
+            Algorithm::EfSgd { momentum } => format!("EF-blockSGD(m={momentum})"),
         }
     }
 
@@ -172,7 +227,30 @@ impl Algorithm {
 
     /// True for algorithms that ever push compressed gradients.
     pub fn uses_compression(&self) -> bool {
-        matches!(self, Algorithm::BitSgd { .. } | Algorithm::CdSgd { .. })
+        matches!(
+            self,
+            Algorithm::BitSgd { .. } | Algorithm::CdSgd { .. } | Algorithm::EfSgd { .. }
+        )
+    }
+
+    /// True for the server-less ring all-reduce family: the trainer must
+    /// build a ring group instead of parameter-server clients.
+    pub fn uses_ring(&self) -> bool {
+        matches!(self, Algorithm::ArSgd)
+    }
+
+    /// Structural validation, run by [`TrainConfig`] and the trainer
+    /// before any thread spawns. A `Ok(())` here guarantees the strategy
+    /// layer can be built for this algorithm.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match self {
+            Algorithm::LocalSgd { sync_period: 0, .. } => Err(ConfigError::ZeroSyncPeriod),
+            Algorithm::CdSgd { k: 0, .. } => Err(ConfigError::ZeroCorrectionPeriod),
+            Algorithm::EfSgd { momentum } if !(0.0..1.0).contains(momentum) => {
+                Err(ConfigError::InvalidMomentum(*momentum))
+            }
+            _ => Ok(()),
+        }
     }
 }
 
@@ -221,14 +299,31 @@ pub struct TrainConfig {
     /// [`cdsgd_ps::ServerConfig::round_deadline`]: a round left partial
     /// this long fails with `WorkerLost` instead of stalling all pullers.
     pub round_deadline: Option<Duration>,
+    /// Server-side optimizer applied to each aggregated round (extension;
+    /// the paper's eq. 10 is [`ServerOptKind::PlainSgd`], the default).
+    pub server_opt: ServerOptKind,
 }
 
 impl TrainConfig {
     /// A config with the defaults used throughout the paper's
     /// experiments: lr 0.1, batch 32, 10 epochs.
+    ///
+    /// # Panics
+    /// Panics on a structurally invalid configuration; use
+    /// [`TrainConfig::try_new`] for a typed [`ConfigError`].
     pub fn new(algo: Algorithm, num_workers: usize) -> Self {
-        assert!(num_workers > 0, "need at least one worker");
-        Self {
+        Self::try_new(algo, num_workers).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`TrainConfig::new`] but returns a [`ConfigError`] instead of
+    /// panicking on an invalid algorithm (zero sync period / zero k /
+    /// out-of-range momentum) or zero workers.
+    pub fn try_new(algo: Algorithm, num_workers: usize) -> Result<Self, ConfigError> {
+        if num_workers == 0 {
+            return Err(ConfigError::NoWorkers);
+        }
+        algo.validate()?;
+        Ok(Self {
             algo,
             num_workers,
             global_lr: 0.1,
@@ -242,7 +337,8 @@ impl TrainConfig {
             fault: None,
             epoch_deadline: None,
             round_deadline: None,
-        }
+            server_opt: ServerOptKind::PlainSgd,
+        })
     }
 
     /// Set the global learning rate.
@@ -326,6 +422,12 @@ impl TrainConfig {
     /// Emulate a shared network of the given bandwidth (bytes/second).
     pub fn with_emulated_network(mut self, bytes_per_sec: f64) -> Self {
         self.net_bytes_per_sec = Some(bytes_per_sec);
+        self
+    }
+
+    /// Choose the server-side optimizer (extension; default plain SGD).
+    pub fn with_server_opt(mut self, opt: ServerOptKind) -> Self {
+        self.server_opt = opt;
         self
     }
 }
@@ -448,5 +550,110 @@ mod tests {
     #[should_panic(expected = "fault worker out of range")]
     fn fault_worker_must_exist() {
         TrainConfig::new(Algorithm::SSgd, 2).with_fault(2, WorkerFault::KillAtRound { round: 0 });
+    }
+
+    #[test]
+    fn validate_catches_structural_errors() {
+        assert_eq!(
+            Algorithm::LocalSgd {
+                local_lr: 0.1,
+                sync_period: 0,
+            }
+            .validate(),
+            Err(ConfigError::ZeroSyncPeriod)
+        );
+        assert_eq!(
+            Algorithm::CdSgd {
+                local_lr: 0.1,
+                codec: Codec::OneBit,
+                k: 0,
+                warmup: 0,
+                dc_lambda: 0.0,
+            }
+            .validate(),
+            Err(ConfigError::ZeroCorrectionPeriod)
+        );
+        assert_eq!(
+            Algorithm::EfSgd { momentum: 1.0 }.validate(),
+            Err(ConfigError::InvalidMomentum(1.0))
+        );
+        assert_eq!(
+            Algorithm::EfSgd { momentum: -0.1 }.validate(),
+            Err(ConfigError::InvalidMomentum(-0.1))
+        );
+        for ok in [
+            Algorithm::SSgd,
+            Algorithm::ArSgd,
+            Algorithm::cd_sgd(0.1, 0.5, 2, 3),
+            Algorithm::ef_sgd(0.9),
+            Algorithm::LocalSgd {
+                local_lr: 0.1,
+                sync_period: 4,
+            },
+        ] {
+            assert_eq!(ok.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn try_new_surfaces_typed_errors() {
+        assert_eq!(
+            TrainConfig::try_new(Algorithm::SSgd, 0).unwrap_err(),
+            ConfigError::NoWorkers
+        );
+        let err = TrainConfig::try_new(
+            Algorithm::LocalSgd {
+                local_lr: 0.1,
+                sync_period: 0,
+            },
+            2,
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroSyncPeriod);
+        assert_eq!(err.to_string(), "sync period must be at least 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "sync period must be at least 1")]
+    fn zero_sync_period_rejected_at_construction() {
+        TrainConfig::new(
+            Algorithm::LocalSgd {
+                local_lr: 0.1,
+                sync_period: 0,
+            },
+            2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one worker")]
+    fn zero_workers_rejected() {
+        TrainConfig::new(Algorithm::SSgd, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must be in [0, 1)")]
+    fn ef_momentum_out_of_range_rejected() {
+        Algorithm::ef_sgd(1.5);
+    }
+
+    #[test]
+    fn server_opt_defaults_to_plain_sgd_and_chains() {
+        let cfg = TrainConfig::new(Algorithm::SSgd, 2);
+        assert_eq!(cfg.server_opt, ServerOptKind::PlainSgd);
+        let cfg = cfg.with_server_opt(ServerOptKind::Nesterov { momentum: 0.9 });
+        assert_eq!(cfg.server_opt, ServerOptKind::Nesterov { momentum: 0.9 });
+    }
+
+    #[test]
+    fn ring_flag_only_for_arsgd() {
+        assert!(Algorithm::ArSgd.uses_ring());
+        for a in [
+            Algorithm::SSgd,
+            Algorithm::cd_sgd(0.1, 0.5, 2, 3),
+            Algorithm::ef_sgd(0.9),
+        ] {
+            assert!(!a.uses_ring());
+        }
     }
 }

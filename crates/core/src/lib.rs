@@ -39,12 +39,13 @@ pub mod convergence;
 pub mod lr;
 pub mod metrics;
 pub mod profile;
+mod strategy;
 pub mod supervise;
 pub mod trainer;
 mod worker;
 
-pub use cdsgd_ps::WorkerFault;
-pub use config::{Algorithm, Codec, TrainConfig};
+pub use cdsgd_ps::{ServerOptKind, WorkerFault};
+pub use config::{Algorithm, Codec, ConfigError, TrainConfig};
 pub use lr::LrSchedule;
 pub use metrics::{AbortRecord, EpochMetrics, TrainingHistory};
 pub use supervise::PoisonBarrier;

@@ -1,0 +1,795 @@
+//! The worker-side update-strategy layer: how one training iteration's
+//! gradients become the next iteration's weights.
+//!
+//! Every [`crate::Algorithm`] variant resolves (once, before the first
+//! batch) to one [`UpdateStrategy`] implementation; the worker loop in
+//! `worker.rs` is then a pure FP/BP → strategy-step pipeline with no
+//! per-algorithm branching. Each iteration drives the same three-phase
+//! protocol:
+//!
+//! 1. [`UpdateStrategy::prepare_push`] — turn the raw gradients into the
+//!    outbound payloads (delay compensation, compression, momentum,
+//!    local-step accumulation — whatever the algorithm prescribes).
+//! 2. [`UpdateStrategy::communicate`] — move bytes: push the staged
+//!    payloads and perform whatever pull/reduce the algorithm's
+//!    synchronization model requires (blocking pull, deferred async pull,
+//!    ring all-reduce, or nothing).
+//! 3. [`UpdateStrategy::adopt`] — install the resulting weights into the
+//!    model (adopt the pulled globals, apply the local update of eq. 11,
+//!    or apply the reduced gradient locally).
+//!
+//! The split is *bit-exact* with the pre-refactor monolithic loop:
+//! `tests/strategy_equivalence.rs` pins the final-weight hashes captured
+//! from the old code for every variant on two backends.
+
+use crate::config::{Algorithm, TrainConfig};
+use crate::profile::{OpKind, Profiler};
+use cdsgd_compress::{
+    BufferPool, Compressed, GradientCompressor, OneBitQuantizer, TwoBitQuantizer,
+};
+use cdsgd_nn::Sequential;
+use cdsgd_ps::{NetError, ParamClient, PendingPull, RingMember};
+use std::sync::Arc;
+
+/// Per-iteration context handed to every strategy phase: identity,
+/// position in training, config, and the optional profiler.
+pub(crate) struct StepCtx<'a> {
+    /// Worker id.
+    pub id: usize,
+    /// Global round counter, *before* this iteration increments it.
+    pub round: u64,
+    /// The run configuration (lr schedule, algorithm parameters).
+    pub cfg: &'a TrainConfig,
+    /// Iterations per epoch (AR-SGD's worker-side lr schedule needs it).
+    pub iters_per_epoch: usize,
+    /// Present when op-interval profiling is enabled.
+    pub profiler: Option<&'a Profiler>,
+}
+
+impl StepCtx<'_> {
+    /// Start an op interval (`None` when profiling is off).
+    fn now(&self) -> Option<f64> {
+        self.profiler.map(|p| p.now())
+    }
+
+    /// Close an op interval opened by [`StepCtx::now`], attributing it to
+    /// `round` (which some strategies report post-increment).
+    fn record(&self, op: OpKind, round: u64, start: Option<f64>) {
+        if let (Some(p), Some(t)) = (self.profiler, start) {
+            p.record(self.id, op, round, t);
+        }
+    }
+}
+
+/// One algorithm's worker-side step protocol. Implementations own all the
+/// algorithm-specific state the old monolithic loop kept in locals
+/// (pending pulls, residual compressors, momentum/accumulator buffers,
+/// the adopted global snapshot).
+pub(crate) trait UpdateStrategy: Send {
+    /// Short name for logs and tests.
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn name(&self) -> &'static str;
+
+    /// Phase 1: stage this iteration's outbound payloads from the fresh
+    /// gradients (and, for delay compensation, the model's local weights).
+    fn prepare_push(
+        &mut self,
+        model: &mut Sequential,
+        grads: &[Vec<f32>],
+        ctx: &StepCtx,
+    ) -> Result<(), NetError>;
+
+    /// Phase 2: push the staged payloads and run the algorithm's
+    /// synchronization (blocking pull, deferred pull, ring reduce).
+    fn communicate(&mut self, ctx: &StepCtx) -> Result<(), NetError>;
+
+    /// Phase 3: install the iteration's resulting weights into `model`.
+    fn adopt(
+        &mut self,
+        model: &mut Sequential,
+        grads: &[Vec<f32>],
+        ctx: &StepCtx,
+    ) -> Result<(), NetError>;
+
+    /// The global-weight snapshot a worker should evaluate at epoch end,
+    /// or `None` when the model itself holds the globals (ring mode).
+    fn eval_base(&self) -> Option<&[Arc<[f32]>]>;
+
+    /// Final global weights to report from worker 0 on the last epoch.
+    /// `None` (the default) means the trainer snapshots the parameter
+    /// server instead; server-less strategies export the model.
+    fn final_weights(&self, _model: &mut Sequential) -> Option<Vec<Vec<f32>>> {
+        None
+    }
+
+    /// Drain any outstanding asynchronous communication before the worker
+    /// exits, so the server group is fully aggregated when it returns.
+    fn finish(&mut self) -> Result<(), NetError> {
+        Ok(())
+    }
+}
+
+/// The parameter-server attachment shared by every PS-based strategy:
+/// the connection, the payload pool, the adopted global snapshot, and the
+/// staged outbound payloads.
+struct PsLink {
+    client: Box<dyn ParamClient>,
+    pool: BufferPool,
+    num_keys: usize,
+    /// Most recently adopted global weights (initially the shared init).
+    /// `Arc` snapshots shared with the server and every same-version
+    /// puller — adopting a pull is a pointer move.
+    base: Vec<Arc<[f32]>>,
+    /// Payloads staged by `prepare_push`, consumed by `push_staged`.
+    staged: Vec<Compressed>,
+}
+
+impl PsLink {
+    fn new(client: Box<dyn ParamClient>, init: Vec<Arc<[f32]>>) -> Self {
+        let pool = client.pool().clone();
+        Self {
+            client,
+            pool,
+            num_keys: init.len(),
+            base: init,
+            staged: Vec::new(),
+        }
+    }
+
+    /// Stage one raw payload per key. Storage is drawn from the shared
+    /// pool, so steady-state rounds allocate nothing on the push path.
+    fn stage_raw(&mut self, grads: &[Vec<f32>]) {
+        self.staged.clear();
+        self.staged.extend(grads.iter().map(|g| {
+            let mut raw = self.pool.take_f32();
+            raw.extend_from_slice(g);
+            Compressed::Raw(raw)
+        }));
+    }
+
+    /// Stage one compressed payload per key, recording the encode as one
+    /// [`OpKind::Compress`] interval.
+    fn stage_compressed(
+        &mut self,
+        compressor: &mut dyn GradientCompressor,
+        grads: &[Vec<f32>],
+        ctx: &StepCtx,
+    ) {
+        let t = ctx.now();
+        self.staged.clear();
+        self.staged.extend(
+            grads
+                .iter()
+                .enumerate()
+                .map(|(key, g)| compressor.compress_into(key, g, &self.pool)),
+        );
+        ctx.record(OpKind::Compress, ctx.round, t);
+    }
+
+    /// Push the staged payloads, key by key.
+    fn push_staged(&mut self, worker: usize) -> Result<(), NetError> {
+        for (key, payload) in self.staged.drain(..).enumerate() {
+            self.client.push(worker, key, payload)?;
+        }
+        Ok(())
+    }
+
+    /// Blocking pull of every key at `version` into `base`, recorded as
+    /// one [`OpKind::PullWait`] interval attributed to `record_round`.
+    fn pull_blocking(
+        &mut self,
+        version: u64,
+        ctx: &StepCtx,
+        record_round: u64,
+    ) -> Result<(), NetError> {
+        let t = ctx.now();
+        self.base = self.client.pull_all(self.num_keys, version)?;
+        ctx.record(OpKind::PullWait, record_round, t);
+        Ok(())
+    }
+
+    /// Fire one async pull per key at `version`; the transfers overlap
+    /// the next iteration's computation.
+    fn fire_pulls(&self, version: u64) -> Result<Vec<PendingPull>, NetError> {
+        (0..self.num_keys)
+            .map(|k| self.client.pull_async(k, version))
+            .collect()
+    }
+}
+
+/// S-SGD: raw gradients, blocking push/pull every iteration.
+struct SSgdStrategy {
+    link: PsLink,
+}
+
+impl UpdateStrategy for SSgdStrategy {
+    fn name(&self) -> &'static str {
+        "ssgd"
+    }
+
+    fn prepare_push(
+        &mut self,
+        _model: &mut Sequential,
+        grads: &[Vec<f32>],
+        _ctx: &StepCtx,
+    ) -> Result<(), NetError> {
+        self.link.stage_raw(grads);
+        Ok(())
+    }
+
+    fn communicate(&mut self, ctx: &StepCtx) -> Result<(), NetError> {
+        self.link.push_staged(ctx.id)?;
+        self.link.pull_blocking(ctx.round + 1, ctx, ctx.round)
+    }
+
+    fn adopt(
+        &mut self,
+        model: &mut Sequential,
+        _grads: &[Vec<f32>],
+        _ctx: &StepCtx,
+    ) -> Result<(), NetError> {
+        model.import_params_from(&self.link.base);
+        Ok(())
+    }
+
+    fn eval_base(&self) -> Option<&[Arc<[f32]>]> {
+        Some(&self.link.base)
+    }
+}
+
+/// BIT-SGD: 2-bit quantized gradients, otherwise the blocking S-SGD
+/// protocol.
+struct BitSgdStrategy {
+    link: PsLink,
+    quantizer: TwoBitQuantizer,
+}
+
+impl UpdateStrategy for BitSgdStrategy {
+    fn name(&self) -> &'static str {
+        "bitsgd"
+    }
+
+    fn prepare_push(
+        &mut self,
+        _model: &mut Sequential,
+        grads: &[Vec<f32>],
+        ctx: &StepCtx,
+    ) -> Result<(), NetError> {
+        self.link.stage_compressed(&mut self.quantizer, grads, ctx);
+        Ok(())
+    }
+
+    fn communicate(&mut self, ctx: &StepCtx) -> Result<(), NetError> {
+        self.link.push_staged(ctx.id)?;
+        self.link.pull_blocking(ctx.round + 1, ctx, ctx.round)
+    }
+
+    fn adopt(
+        &mut self,
+        model: &mut Sequential,
+        _grads: &[Vec<f32>],
+        _ctx: &StepCtx,
+    ) -> Result<(), NetError> {
+        model.import_params_from(&self.link.base);
+        Ok(())
+    }
+
+    fn eval_base(&self) -> Option<&[Arc<[f32]>]> {
+        Some(&self.link.base)
+    }
+}
+
+/// Does CD-SGD compress at round `r`? Warm-up rounds push raw; in the
+/// formal phase, every k-th push (`count % k == 0`) is the raw k-step
+/// correction, the rest are compressed (Algorithm 1).
+fn cd_compresses(warmup: u64, k: u64, r: u64) -> bool {
+    r >= warmup && !(r - warmup).is_multiple_of(k)
+}
+
+/// The delayed (local-update) engine shared by OD-SGD and CD-SGD:
+/// warm-up of plain blocking S-SGD, then the formal phase where the pull
+/// of round r's globals is deferred to round r+1 (overlapping this
+/// round's computation) and the model runs one step ahead on local
+/// weights `W^loc_{r+1} = W_r − lr_loc · grad_r` (eq. 11).
+struct DelayedStrategy {
+    link: PsLink,
+    local_lr: f32,
+    warmup: u64,
+    /// `Some((k, codec))` enables CD-SGD's compression schedule; `None`
+    /// (OD-SGD) always pushes raw.
+    compressor: Option<(u64, Box<dyn GradientCompressor>)>,
+    /// DC-ASGD delay-compensation strength λ (0 disables).
+    dc_lambda: f32,
+    /// Async pulls fired last round for this round's base.
+    pending: Option<Vec<PendingPull>>,
+    // Scratch reused every round.
+    dc_grads: Vec<Vec<f32>>,
+    w_loc: Vec<Vec<f32>>,
+}
+
+impl DelayedStrategy {
+    fn formal(&self, round: u64) -> bool {
+        round >= self.warmup
+    }
+}
+
+impl UpdateStrategy for DelayedStrategy {
+    fn name(&self) -> &'static str {
+        if self.compressor.is_some() {
+            "cdsgd"
+        } else {
+            "odsgd"
+        }
+    }
+
+    fn prepare_push(
+        &mut self,
+        model: &mut Sequential,
+        grads: &[Vec<f32>],
+        ctx: &StepCtx,
+    ) -> Result<(), NetError> {
+        // DC-ASGD-style delay compensation (extension, λ > 0 only): the
+        // gradient was computed at W^loc but will be applied to a
+        // one-step-newer global weight; correct it with the diagonal
+        // Hessian approximation g̃ = g + λ·g⊙g⊙(W_base − W_loc). Without
+        // DC the raw gradients are staged as-is (no copy).
+        let use_dc = self.dc_lambda > 0.0 && self.formal(ctx.round);
+        if use_dc {
+            model.export_params_into(&mut self.w_loc);
+            self.dc_grads.resize_with(grads.len(), Vec::new);
+            for (d, (g, (b, wl))) in self
+                .dc_grads
+                .iter_mut()
+                .zip(grads.iter().zip(self.link.base.iter().zip(&self.w_loc)))
+            {
+                d.clear();
+                d.extend(
+                    g.iter()
+                        .zip(b.iter().zip(wl))
+                        .map(|(&gi, (&bi, &wi))| gi + self.dc_lambda * gi * gi * (bi - wi)),
+                );
+            }
+        }
+        let push_grads: &[Vec<f32>] = if use_dc { &self.dc_grads } else { grads };
+
+        let compress = match &self.compressor {
+            Some((k, _)) => cd_compresses(self.warmup, *k, ctx.round),
+            None => false,
+        };
+        if compress {
+            let (_, codec) = self
+                .compressor
+                .as_mut()
+                .expect("compress is only true with a codec");
+            self.link.stage_compressed(codec.as_mut(), push_grads, ctx);
+        } else {
+            self.link.stage_raw(push_grads);
+        }
+        Ok(())
+    }
+
+    fn communicate(&mut self, ctx: &StepCtx) -> Result<(), NetError> {
+        self.link.push_staged(ctx.id)?;
+        let round = ctx.round;
+        if self.formal(round) {
+            // Deferred pull: the local update for this iteration needs
+            // W_round (the result of the previous round), which the
+            // warm-up's final pull or the previous formal iteration left
+            // outstanding.
+            if round > self.warmup {
+                let t = ctx.now();
+                let receivers = self.pending.take().expect("async pull fired last round");
+                self.link.base = receivers
+                    .into_iter()
+                    .map(|r| r.wait())
+                    .collect::<Result<_, _>>()?;
+                ctx.record(OpKind::PullWait, round, t);
+            }
+            // Request next round's base (version round+1) now; the
+            // transfer overlaps the next iteration's computation.
+            self.pending = Some(self.link.fire_pulls(round + 1)?);
+        } else {
+            // Warm-up: plain blocking S-SGD synchronization.
+            self.link.pull_blocking(round + 1, ctx, round)?;
+        }
+        Ok(())
+    }
+
+    fn adopt(
+        &mut self,
+        model: &mut Sequential,
+        grads: &[Vec<f32>],
+        ctx: &StepCtx,
+    ) -> Result<(), NetError> {
+        if self.formal(ctx.round) {
+            // W^loc_{r+1} = W_r − lr_loc · grad_r (eq. 11).
+            let t = ctx.now();
+            model.import_params_from(&self.link.base);
+            model.axpy_params(-self.local_lr, grads);
+            ctx.record(OpKind::LocalUpdate, ctx.round, t);
+        } else {
+            model.import_params_from(&self.link.base);
+        }
+        Ok(())
+    }
+
+    fn eval_base(&self) -> Option<&[Arc<[f32]>]> {
+        Some(&self.link.base)
+    }
+
+    fn finish(&mut self) -> Result<(), NetError> {
+        // Drain the final round's outstanding pull. The reply only
+        // arrives once every worker's last push is applied, so returning
+        // from here guarantees the server group holds the
+        // fully-aggregated final weights.
+        if let Some(receivers) = self.pending.take() {
+            for r in receivers {
+                r.wait()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Local SGD: H purely local steps, then the accumulated gradients are
+/// averaged through the server and every worker adopts the aggregate.
+struct LocalSgdStrategy {
+    link: PsLink,
+    local_lr: f32,
+    sync_period: u64,
+    /// Gradients accumulated since the last synchronization.
+    acc: Vec<Vec<f32>>,
+    /// Completed synchronizations (the server round counter).
+    syncs: u64,
+}
+
+impl LocalSgdStrategy {
+    /// Does the step at (pre-increment) round `r` end a sync period?
+    fn syncs_now(&self, r: u64) -> bool {
+        (r + 1).is_multiple_of(self.sync_period)
+    }
+}
+
+impl UpdateStrategy for LocalSgdStrategy {
+    fn name(&self) -> &'static str {
+        "localsgd"
+    }
+
+    fn prepare_push(
+        &mut self,
+        _model: &mut Sequential,
+        grads: &[Vec<f32>],
+        ctx: &StepCtx,
+    ) -> Result<(), NetError> {
+        if self.acc.is_empty() {
+            self.acc = grads.iter().map(|g| vec![0.0f32; g.len()]).collect();
+        }
+        for (av, g) in self.acc.iter_mut().zip(grads) {
+            for (ai, gi) in av.iter_mut().zip(g) {
+                *ai += gi;
+            }
+        }
+        if self.syncs_now(ctx.round) {
+            self.link.stage_raw(&self.acc);
+        }
+        Ok(())
+    }
+
+    fn communicate(&mut self, ctx: &StepCtx) -> Result<(), NetError> {
+        if self.syncs_now(ctx.round) {
+            self.link.push_staged(ctx.id)?;
+            self.syncs += 1;
+            self.link.pull_blocking(self.syncs, ctx, ctx.round + 1)?;
+        }
+        Ok(())
+    }
+
+    fn adopt(
+        &mut self,
+        model: &mut Sequential,
+        grads: &[Vec<f32>],
+        ctx: &StepCtx,
+    ) -> Result<(), NetError> {
+        if self.syncs_now(ctx.round) {
+            // Adopt the averaged aggregate; it replaces every local step,
+            // so the local update for this round is skipped (the old loop
+            // applied then immediately overwrote it — same bits).
+            model.import_params_from(&self.link.base);
+            for av in self.acc.iter_mut() {
+                av.fill(0.0);
+            }
+        } else {
+            // Purely local step on the worker's own model.
+            model.axpy_params(-self.local_lr, grads);
+        }
+        Ok(())
+    }
+
+    fn eval_base(&self) -> Option<&[Arc<[f32]>]> {
+        Some(&self.link.base)
+    }
+}
+
+/// AR-SGD: no parameter server; every round the workers mean-reduce raw
+/// gradients through the ring and apply the update locally. The model
+/// *is* the global state.
+struct ArSgdStrategy {
+    ring: RingMember,
+    /// Reduce buffers (allreduce is in-place), reused every round.
+    mean: Vec<Vec<f32>>,
+}
+
+impl UpdateStrategy for ArSgdStrategy {
+    fn name(&self) -> &'static str {
+        "arsgd"
+    }
+
+    fn prepare_push(
+        &mut self,
+        _model: &mut Sequential,
+        grads: &[Vec<f32>],
+        _ctx: &StepCtx,
+    ) -> Result<(), NetError> {
+        self.mean.resize_with(grads.len(), Vec::new);
+        for (m, g) in self.mean.iter_mut().zip(grads) {
+            m.clear();
+            m.extend_from_slice(g);
+        }
+        Ok(())
+    }
+
+    fn communicate(&mut self, ctx: &StepCtx) -> Result<(), NetError> {
+        let t = ctx.now();
+        for m in self.mean.iter_mut() {
+            self.ring.allreduce_mean(m);
+        }
+        ctx.record(OpKind::PullWait, ctx.round, t);
+        Ok(())
+    }
+
+    fn adopt(
+        &mut self,
+        model: &mut Sequential,
+        _grads: &[Vec<f32>],
+        ctx: &StepCtx,
+    ) -> Result<(), NetError> {
+        // Eq. 1 applied locally; the lr schedule is applied worker-side
+        // because there is no server to own it.
+        let lr = current_lr(ctx.cfg, ctx.round, ctx.iters_per_epoch);
+        model.axpy_params(-lr, &self.mean);
+        Ok(())
+    }
+
+    fn eval_base(&self) -> Option<&[Arc<[f32]>]> {
+        None
+    }
+
+    fn final_weights(&self, model: &mut Sequential) -> Option<Vec<Vec<f32>>> {
+        Some(model.export_params())
+    }
+}
+
+/// Blockwise momentum SGD with error feedback (dist-EF-blockSGD, Zheng
+/// et al.): worker momentum `m ← μm + g`, then a 1-bit sign quantization
+/// of `m + e` with a per-key (blockwise) L1 scale is pushed; the
+/// quantization error `e` feeds back next round (the
+/// [`OneBitQuantizer`]'s residual store). The server applies its
+/// configured optimizer to the decoded aggregate — plain SGD in Zheng et
+/// al.'s single-momentum variant.
+struct EfSgdStrategy {
+    link: PsLink,
+    momentum: f32,
+    /// Per-key momentum buffers, lazily sized from the first gradients.
+    velocity: Vec<Vec<f32>>,
+    quantizer: OneBitQuantizer,
+}
+
+impl UpdateStrategy for EfSgdStrategy {
+    fn name(&self) -> &'static str {
+        "efsgd"
+    }
+
+    fn prepare_push(
+        &mut self,
+        _model: &mut Sequential,
+        grads: &[Vec<f32>],
+        ctx: &StepCtx,
+    ) -> Result<(), NetError> {
+        if self.velocity.is_empty() {
+            self.velocity = grads.iter().map(|g| vec![0.0f32; g.len()]).collect();
+        }
+        for (v, g) in self.velocity.iter_mut().zip(grads) {
+            for (vi, gi) in v.iter_mut().zip(g) {
+                *vi = self.momentum * *vi + gi;
+            }
+        }
+        self.link
+            .stage_compressed(&mut self.quantizer, &self.velocity, ctx);
+        Ok(())
+    }
+
+    fn communicate(&mut self, ctx: &StepCtx) -> Result<(), NetError> {
+        self.link.push_staged(ctx.id)?;
+        self.link.pull_blocking(ctx.round + 1, ctx, ctx.round)
+    }
+
+    fn adopt(
+        &mut self,
+        model: &mut Sequential,
+        _grads: &[Vec<f32>],
+        _ctx: &StepCtx,
+    ) -> Result<(), NetError> {
+        model.import_params_from(&self.link.base);
+        Ok(())
+    }
+
+    fn eval_base(&self) -> Option<&[Arc<[f32]>]> {
+        Some(&self.link.base)
+    }
+}
+
+/// Resolve the algorithm to its strategy — the single construction-time
+/// dispatch on [`Algorithm`]. `ring` must be `Some` exactly when
+/// [`Algorithm::uses_ring`] says so (the trainer guarantees it); `init`
+/// is the shared initial weights every replica starts from.
+pub(crate) fn build_strategy(
+    algo: &Algorithm,
+    client: Box<dyn ParamClient>,
+    ring: Option<RingMember>,
+    init: Vec<Arc<[f32]>>,
+) -> Box<dyn UpdateStrategy> {
+    if let Some(ring) = ring {
+        return Box::new(ArSgdStrategy {
+            ring,
+            mean: Vec::new(),
+        });
+    }
+    let link = PsLink::new(client, init);
+    match algo {
+        Algorithm::ArSgd => unreachable!("AR-SGD requires a ring member"),
+        Algorithm::SSgd => Box::new(SSgdStrategy { link }),
+        Algorithm::BitSgd { threshold } => Box::new(BitSgdStrategy {
+            link,
+            quantizer: TwoBitQuantizer::new(*threshold),
+        }),
+        Algorithm::OdSgd { local_lr } => Box::new(DelayedStrategy {
+            link,
+            local_lr: *local_lr,
+            warmup: 0,
+            compressor: None,
+            dc_lambda: 0.0,
+            pending: None,
+            dc_grads: Vec::new(),
+            w_loc: Vec::new(),
+        }),
+        Algorithm::CdSgd {
+            local_lr,
+            codec,
+            k,
+            warmup,
+            dc_lambda,
+        } => Box::new(DelayedStrategy {
+            link,
+            local_lr: *local_lr,
+            warmup: *warmup as u64,
+            compressor: Some((*k as u64, codec.build())),
+            dc_lambda: *dc_lambda,
+            pending: None,
+            dc_grads: Vec::new(),
+            w_loc: Vec::new(),
+        }),
+        Algorithm::LocalSgd {
+            local_lr,
+            sync_period,
+        } => Box::new(LocalSgdStrategy {
+            link,
+            local_lr: *local_lr,
+            sync_period: *sync_period as u64,
+            acc: Vec::new(),
+            syncs: 0,
+        }),
+        Algorithm::EfSgd { momentum } => Box::new(EfSgdStrategy {
+            link,
+            momentum: *momentum,
+            velocity: Vec::new(),
+            quantizer: OneBitQuantizer::new(),
+        }),
+    }
+}
+
+/// The learning rate in effect at `round`, honoring the epoch-indexed
+/// decay schedule (AR-SGD applies the schedule worker-side; the PS
+/// algorithms apply it on the server).
+fn current_lr(cfg: &TrainConfig, round: u64, iters_per_epoch: usize) -> f32 {
+    let epoch = (round / iters_per_epoch.max(1) as u64) as usize;
+    let mut lr = cfg.global_lr;
+    for &(at, new_lr) in &cfg.lr_schedule {
+        if epoch >= at {
+            lr = new_lr;
+        }
+    }
+    lr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdsgd_ps::{ParamServer, ServerConfig};
+
+    #[test]
+    fn cd_compression_schedule_matches_algorithm1() {
+        // Warm-up rounds push raw; then count % k == 0 is the correction.
+        // rounds: 0      1      2(c0)  3(c1) 4(c2) 5(c3=0) 6 7 8(c6=0) 9
+        let schedule: Vec<bool> = (0..10).map(|r| cd_compresses(2, 3, r)).collect();
+        assert_eq!(
+            schedule,
+            vec![false, false, false, true, true, false, true, true, false, true]
+        );
+    }
+
+    #[test]
+    fn bit_always_raw_never_for_cd_k1() {
+        // k = 1 means every formal push is the raw correction.
+        assert!((0..8).all(|r| !cd_compresses(0, 1, r)));
+    }
+
+    fn with_client(f: impl FnOnce(Box<dyn ParamClient>)) {
+        let ps = ParamServer::start(vec![vec![0.0; 4]], ServerConfig::new(1, 0.1));
+        f(Box::new(ps.client()));
+        ps.shutdown();
+    }
+
+    #[test]
+    fn build_resolves_every_variant() {
+        let init: Vec<Arc<[f32]>> = vec![Arc::from(vec![0.0f32; 4])];
+        for (algo, name) in [
+            (Algorithm::SSgd, "ssgd"),
+            (Algorithm::OdSgd { local_lr: 0.1 }, "odsgd"),
+            (Algorithm::BitSgd { threshold: 0.5 }, "bitsgd"),
+            (Algorithm::cd_sgd(0.1, 0.5, 2, 3), "cdsgd"),
+            (
+                Algorithm::LocalSgd {
+                    local_lr: 0.1,
+                    sync_period: 2,
+                },
+                "localsgd",
+            ),
+            (Algorithm::ef_sgd(0.9), "efsgd"),
+        ] {
+            with_client(|client| {
+                let s = build_strategy(&algo, client, None, init.clone());
+                assert_eq!(s.name(), name);
+                assert!(s.eval_base().is_some(), "{name} adopts a server base");
+            });
+        }
+    }
+
+    #[test]
+    fn ring_member_wins_resolution() {
+        let (members, _stats) = cdsgd_ps::allreduce::ring_group(1);
+        with_client(|client| {
+            let s = build_strategy(
+                &Algorithm::ArSgd,
+                client,
+                members.into_iter().next(),
+                vec![Arc::from(vec![0.0f32; 4])],
+            );
+            assert_eq!(s.name(), "arsgd");
+            assert!(s.eval_base().is_none(), "ring mode evaluates the model");
+        });
+    }
+
+    #[test]
+    fn current_lr_follows_schedule() {
+        let cfg = TrainConfig::new(Algorithm::ArSgd, 1)
+            .with_lr(0.4)
+            .with_lr_decay(1, 0.04)
+            .with_lr_decay(3, 0.004);
+        // 5 iters/epoch: rounds 0..5 epoch 0, 5..10 epoch 1, 15.. epoch 3.
+        assert_eq!(current_lr(&cfg, 0, 5), 0.4);
+        assert_eq!(current_lr(&cfg, 4, 5), 0.4);
+        assert_eq!(current_lr(&cfg, 5, 5), 0.04);
+        assert_eq!(current_lr(&cfg, 14, 5), 0.04);
+        assert_eq!(current_lr(&cfg, 15, 5), 0.004);
+    }
+}

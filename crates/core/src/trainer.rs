@@ -59,12 +59,19 @@ pub struct Trainer {
 
 impl Trainer {
     /// Create a trainer. `builder` must be deterministic in the RNG.
+    ///
+    /// # Panics
+    /// Panics on a structurally invalid algorithm (see
+    /// [`crate::config::ConfigError`]) — configs built through
+    /// [`TrainConfig::new`]/[`TrainConfig::try_new`] are already valid,
+    /// but struct-literal updates can bypass that check.
     pub fn new(
         cfg: TrainConfig,
         builder: impl Fn(&mut SmallRng64) -> Sequential + Send + Sync + 'static,
         train: Dataset,
         test: Option<Dataset>,
     ) -> Self {
+        cfg.algo.validate().unwrap_or_else(|e| panic!("{e}"));
         Self {
             cfg,
             builder: Arc::new(builder),
@@ -144,7 +151,8 @@ impl Trainer {
         let init = proto.export_params();
         let num_keys = init.len();
 
-        let mut server_cfg = ServerConfig::new(n, self.cfg.global_lr);
+        let mut server_cfg =
+            ServerConfig::new(n, self.cfg.global_lr).with_optimizer(self.cfg.server_opt);
         if let Some(bps) = self.cfg.net_bytes_per_sec {
             server_cfg = server_cfg.with_network_bandwidth(bps);
         }
@@ -165,7 +173,7 @@ impl Trainer {
             Ok(ps) => ps,
             Err(e) => return Err(fail(history, e, 0, 0)),
         };
-        let use_ring = matches!(self.cfg.algo, crate::config::Algorithm::ArSgd);
+        let use_ring = self.cfg.algo.uses_ring();
         let (mut ring_members, ring_stats) = if use_ring {
             let (members, stats) = ring_group(n);
             (
@@ -481,6 +489,7 @@ pub fn run_standalone_worker(
 ) -> Result<Vec<(f32, Option<f32>)>, NetError> {
     let n = cfg.num_workers;
     assert!(id < n, "worker id {id} out of range for {n} workers");
+    cfg.algo.validate().unwrap_or_else(|e| panic!("{e}"));
     let ipe = (0..n)
         .map(|w| train.shard(w, n).len() / cfg.batch_size)
         .min()

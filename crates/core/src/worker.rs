@@ -1,13 +1,19 @@
 //! The worker loop: Algorithm 1 of the paper, one OS thread per worker.
+//!
+//! All per-algorithm behaviour lives behind
+//! [`crate::strategy::UpdateStrategy`]; this loop is the algorithm-
+//! agnostic pipeline — batch, forward, backward, then the strategy's
+//! three-phase step (prepare → communicate → adopt) — plus epoch-end
+//! evaluation and reporting.
 
-use crate::config::{Algorithm, TrainConfig};
+use crate::config::TrainConfig;
 use crate::profile::{OpKind, Profiler};
-use cdsgd_compress::{Compressed, GradientCompressor, TwoBitQuantizer};
+use crate::strategy::{build_strategy, StepCtx};
 
 use crate::supervise::PoisonBarrier;
 use cdsgd_data::{augment, Batch, Dataset};
 use cdsgd_nn::{Layer, Mode, Sequential, SoftmaxCrossEntropy};
-use cdsgd_ps::{NetError, ParamClient, PendingPull, RingMember};
+use cdsgd_ps::{NetError, ParamClient, RingMember};
 use cdsgd_tensor::SmallRng64;
 use crossbeam::channel::Sender;
 use std::sync::Arc;
@@ -51,140 +57,22 @@ pub(crate) struct WorkerArgs {
     pub profiler: Option<Profiler>,
 }
 
-/// Per-algorithm knobs resolved once.
-struct AlgoState {
-    delayed: bool,
-    local_lr: f32,
-    warmup: u64,
-    dc_lambda: f32,
-    /// `Some(H)` for Local SGD: H local steps per synchronization.
-    sync_period: Option<usize>,
-    compressor: Option<Box<dyn GradientCompressor>>,
-}
-
-impl AlgoState {
-    fn new(algo: &Algorithm) -> Self {
-        match algo {
-            Algorithm::SSgd => Self {
-                delayed: false,
-                local_lr: 0.0,
-                warmup: 0,
-                dc_lambda: 0.0,
-                sync_period: None,
-                compressor: None,
-            },
-            Algorithm::OdSgd { local_lr } => Self {
-                delayed: true,
-                local_lr: *local_lr,
-                warmup: 0,
-                dc_lambda: 0.0,
-                sync_period: None,
-                compressor: None,
-            },
-            Algorithm::BitSgd { threshold } => Self {
-                delayed: false,
-                local_lr: 0.0,
-                warmup: 0,
-                dc_lambda: 0.0,
-                sync_period: None,
-                compressor: Some(Box::new(TwoBitQuantizer::new(*threshold))),
-            },
-            Algorithm::CdSgd {
-                local_lr,
-                codec,
-                warmup,
-                dc_lambda,
-                ..
-            } => Self {
-                delayed: true,
-                local_lr: *local_lr,
-                warmup: *warmup as u64,
-                dc_lambda: *dc_lambda,
-                sync_period: None,
-                compressor: Some(codec.build()),
-            },
-            Algorithm::ArSgd => Self {
-                delayed: false,
-                local_lr: 0.0,
-                warmup: 0,
-                dc_lambda: 0.0,
-                sync_period: None,
-                compressor: None,
-            },
-            Algorithm::LocalSgd {
-                local_lr,
-                sync_period,
-            } => {
-                assert!(*sync_period >= 1, "sync period must be at least 1");
-                Self {
-                    delayed: false,
-                    local_lr: *local_lr,
-                    warmup: 0,
-                    dc_lambda: 0.0,
-                    sync_period: Some(*sync_period),
-                    compressor: None,
-                }
-            }
-        }
-    }
-
-    /// Should round `r` (global, 0-based) push a compressed payload?
-    fn compresses(&self, algo: &Algorithm, r: u64) -> bool {
-        match algo {
-            Algorithm::SSgd
-            | Algorithm::OdSgd { .. }
-            | Algorithm::LocalSgd { .. }
-            | Algorithm::ArSgd => false,
-            Algorithm::BitSgd { .. } => true,
-            Algorithm::CdSgd { k, .. } => {
-                if r < self.warmup {
-                    false
-                } else {
-                    let count = r - self.warmup;
-                    !count.is_multiple_of(*k as u64)
-                }
-            }
-        }
-    }
-}
-
 /// Run one worker to completion. See the crate docs for the exact
 /// correspondence with the paper's Algorithm 1. A dead server or broken
 /// connection surfaces as `Err`, not a panic.
 pub(crate) fn run_worker(mut a: WorkerArgs) -> Result<(), NetError> {
     let loss_fn = SoftmaxCrossEntropy;
-    let mut st = AlgoState::new(&a.cfg.algo);
-    let num_keys = a.model.param_sizes().len();
     let mut rng =
         SmallRng64::new(a.cfg.seed ^ (a.id as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F));
-    // Payload storage shared with the server: buffers it recycles after
-    // decoding our pushes come back to us through this pool.
-    let pool = a.client.pool().clone();
 
-    // `base` is the most recently pulled global weights (initially the
-    // shared init). For blocking algorithms the model always holds `base`;
-    // for delayed algorithms the model holds the local weights built on
-    // top of it. Entries are `Arc` snapshots shared with the server and
-    // every same-version puller — adopting a pull is a pointer move.
-    // (AR-SGD has no server and keeps its globals in the model directly.)
-    let mut base: Vec<Arc<[f32]>> = a.model.export_params().into_iter().map(Arc::from).collect();
+    // The shared init every replica starts from; `Arc` snapshots shared
+    // with the server and every same-version puller.
+    let init: Vec<Arc<[f32]>> = a.model.export_params().into_iter().map(Arc::from).collect();
+    let mut strategy = build_strategy(&a.cfg.algo, a.client, a.ring, init);
     let mut round: u64 = 0;
-    // Outstanding async pulls (delayed algorithms): fired at the end of
-    // round r−1 for version r, collected when round r's local update
-    // needs them — so the transfer overlaps this round's FP/BP, exactly
-    // like MXNet's asynchronously-scheduled pull ops.
-    let mut pending_pulls: Option<Vec<PendingPull>> = None;
-    // Local SGD state: accumulated gradients since the last sync, and the
-    // number of completed synchronizations (the server round counter).
-    let mut local_acc: Option<Vec<Vec<f32>>> = None;
-    let mut syncs: u64 = 0;
-    // Per-iteration scratch, allocated once and reused every round.
+    // Per-iteration gradient scratch, allocated once and reused.
     let mut grads: Vec<Vec<f32>> = Vec::new();
-    let mut dc_grads: Vec<Vec<f32>> = Vec::new();
-    let mut w_loc: Vec<Vec<f32>> = Vec::new();
-    let mut mean: Vec<Vec<f32>> = Vec::new();
     let mut saved: Vec<Vec<f32>> = Vec::new();
-    let mut payloads: Vec<Compressed> = Vec::new();
 
     for epoch in 0..a.cfg.epochs {
         let mut shard = a.shard.clone();
@@ -217,171 +105,39 @@ pub(crate) fn run_worker(mut a: WorkerArgs) -> Result<(), NetError> {
                 p.record(a.id, OpKind::Backward, round, t);
             }
 
-            // DC-ASGD-style delay compensation (extension, λ > 0 only):
-            // the gradient was computed at W^loc but will be applied to a
-            // one-step-newer global weight; correct it with the diagonal
-            // Hessian approximation g̃ = g + λ·g⊙g⊙(W_base − W_loc).
-            // Without DC the raw gradients are pushed as-is (no copy).
-            let use_dc = st.dc_lambda > 0.0 && st.delayed && round >= st.warmup;
-            if use_dc {
-                a.model.export_params_into(&mut w_loc);
-                dc_grads.resize_with(grads.len(), Vec::new);
-                for (d, (g, (b, wl))) in dc_grads
-                    .iter_mut()
-                    .zip(grads.iter().zip(base.iter().zip(&w_loc)))
-                {
-                    d.clear();
-                    d.extend(
-                        g.iter()
-                            .zip(b.iter().zip(wl))
-                            .map(|(&gi, (&bi, &wi))| gi + st.dc_lambda * gi * gi * (bi - wi)),
-                    );
-                }
-            }
-            let push_grads: &[Vec<f32>] = if use_dc { &dc_grads } else { &grads };
-
-            // ---- AR-SGD: ring all-reduce, update applied locally ----
-            if let Some(ring) = &a.ring {
-                let t_w = a.profiler.as_ref().map(|p| p.now());
-                mean.resize_with(grads.len(), Vec::new);
-                for (m, g) in mean.iter_mut().zip(&grads) {
-                    m.clear();
-                    m.extend_from_slice(g);
-                    ring.allreduce_mean(m);
-                }
-                if let (Some(p), Some(t)) = (&a.profiler, t_w) {
-                    p.record(a.id, OpKind::PullWait, round, t);
-                }
-                // Eq. 1 applied locally: every worker holds the globals —
-                // the model *is* the global state, no separate `base`.
-                let lr = current_lr(&a.cfg, round, a.iters_per_epoch);
-                a.model.axpy_params(-lr, &mean);
-                round += 1;
-                continue;
-            }
-
-            // ---- Local SGD: H local steps, then one averaged sync ----
-            if let Some(h) = st.sync_period {
-                // Local step on the worker's own model.
-                a.model.axpy_params(-st.local_lr, &grads);
-                let acc = local_acc
-                    .get_or_insert_with(|| grads.iter().map(|g| vec![0.0f32; g.len()]).collect());
-                for (av, g) in acc.iter_mut().zip(&grads) {
-                    for (ai, gi) in av.iter_mut().zip(g) {
-                        *ai += gi;
-                    }
-                }
-                round += 1;
-                if round.is_multiple_of(h as u64) {
-                    for (key, av) in acc.iter().enumerate() {
-                        let mut payload = pool.take_f32();
-                        payload.extend_from_slice(av);
-                        a.client.push(a.id, key, Compressed::Raw(payload))?;
-                    }
-                    syncs += 1;
-                    let t_w = a.profiler.as_ref().map(|p| p.now());
-                    base = a.client.pull_all(num_keys, syncs)?;
-                    if let (Some(p), Some(t)) = (&a.profiler, t_w) {
-                        p.record(a.id, OpKind::PullWait, round, t);
-                    }
-                    a.model.import_params_from(&base);
-                    for av in acc.iter_mut() {
-                        av.fill(0.0);
-                    }
-                }
-                continue;
-            }
-
-            // ---- push (compressed in CD-SGD compression iterations) ----
-            // Payload storage is drawn from the shared pool either way, so
-            // steady-state rounds allocate nothing on the push path.
-            let compress = st.compresses(&a.cfg.algo, round);
-            let t_q = a.profiler.as_ref().map(|p| p.now());
-            payloads.clear();
-            payloads.extend(push_grads.iter().enumerate().map(|(key, g)| {
-                if compress {
-                    st.compressor
-                        .as_mut()
-                        .expect("compressing algorithm has a quantizer")
-                        .compress_into(key, g, &pool)
-                } else {
-                    let mut raw = pool.take_f32();
-                    raw.extend_from_slice(g);
-                    Compressed::Raw(raw)
-                }
-            }));
-            if let (Some(p), Some(t)) = (&a.profiler, t_q) {
-                if compress {
-                    p.record(a.id, OpKind::Compress, round, t);
-                }
-            }
-            for (key, payload) in payloads.drain(..).enumerate() {
-                a.client.push(a.id, key, payload)?;
-            }
-
-            let formal = st.delayed && round >= st.warmup;
-            if formal {
-                // Deferred pull: the local update for the next iteration
-                // needs W_round (the result of the previous round), which
-                // the warm-up's final pull or the previous formal
-                // iteration left outstanding.
-                if round > st.warmup {
-                    let t_w = a.profiler.as_ref().map(|p| p.now());
-                    let receivers = pending_pulls.take().expect("async pull fired last round");
-                    base = receivers
-                        .into_iter()
-                        .map(|r| r.wait())
-                        .collect::<Result<_, _>>()?;
-                    if let (Some(p), Some(t)) = (&a.profiler, t_w) {
-                        p.record(a.id, OpKind::PullWait, round, t);
-                    }
-                }
-                // Request next round's base (version round+1) now; the
-                // transfer overlaps the next iteration's computation.
-                pending_pulls = Some(
-                    (0..num_keys)
-                        .map(|k| a.client.pull_async(k, round + 1))
-                        .collect::<Result<_, _>>()?,
-                );
-                // W^loc_{r+1} = W_r − lr_loc · grad_r (eq. 11).
-                let t_u = a.profiler.as_ref().map(|p| p.now());
-                a.model.import_params_from(&base);
-                a.model.axpy_params(-st.local_lr, &grads);
-                if let (Some(p), Some(t)) = (&a.profiler, t_u) {
-                    p.record(a.id, OpKind::LocalUpdate, round, t);
-                }
-            } else {
-                // Blocking (S-SGD / BIT-SGD / warm-up): wait for this
-                // round's aggregate and adopt the new global weights.
-                let t_w = a.profiler.as_ref().map(|p| p.now());
-                base = a.client.pull_all(num_keys, round + 1)?;
-                if let (Some(p), Some(t)) = (&a.profiler, t_w) {
-                    p.record(a.id, OpKind::PullWait, round, t);
-                }
-                a.model.import_params_from(&base);
-            }
+            // ---- the algorithm's step: stage, synchronize, adopt ----
+            let ctx = StepCtx {
+                id: a.id,
+                round,
+                cfg: &a.cfg,
+                iters_per_epoch: a.iters_per_epoch,
+                profiler: a.profiler.as_ref(),
+            };
+            strategy.prepare_push(&mut a.model, &grads, &ctx)?;
+            strategy.communicate(&ctx)?;
+            strategy.adopt(&mut a.model, &grads, &ctx)?;
             round += 1;
         }
 
         // ---- epoch end: evaluate global weights (worker 0 only) ----
-        let ring_mode = a.ring.is_some();
-        let test_acc = match a.test.as_ref() {
-            Some(test) if ring_mode => {
-                // AR-SGD: the model holds the globals; evaluate directly.
-                Some(evaluate(&mut a.model, test))
-            }
-            Some(test) => {
+        let test_acc = match (a.test.as_ref(), strategy.eval_base()) {
+            // Server-less: the model holds the globals; evaluate directly.
+            (Some(test), None) => Some(evaluate(&mut a.model, test)),
+            // PS-based: evaluate the adopted global snapshot, then
+            // restore whatever (possibly local) weights the model held.
+            (Some(test), Some(base)) => {
                 a.model.export_params_into(&mut saved);
-                a.model.import_params_from(&base);
+                a.model.import_params_from(base);
                 let acc = evaluate(&mut a.model, test);
                 a.model.import_params(&saved);
                 Some(acc)
             }
-            None => None,
+            (None, _) => None,
         };
 
-        let final_weights =
-            (a.id == 0 && epoch + 1 == a.cfg.epochs && ring_mode).then(|| a.model.export_params());
+        let final_weights = (a.id == 0 && epoch + 1 == a.cfg.epochs)
+            .then(|| strategy.final_weights(&mut a.model))
+            .flatten();
         let report = EpochReport {
             worker: a.id,
             epoch,
@@ -400,32 +156,11 @@ pub(crate) fn run_worker(mut a: WorkerArgs) -> Result<(), NetError> {
         a.barrier.wait()?;
     }
 
-    // Drain the final round's outstanding pull (delayed algorithms fire
-    // one at the end of every iteration). The reply only arrives once
-    // every worker's last push is applied, so returning from here
-    // guarantees the server group holds the fully-aggregated final
-    // weights — a standalone worker process can exit and let an external
-    // controller snapshot without racing the last round.
-    if let Some(receivers) = pending_pulls.take() {
-        for r in receivers {
-            r.wait()?;
-        }
-    }
-    Ok(())
-}
-
-/// The learning rate in effect at `round`, honoring the epoch-indexed
-/// decay schedule (AR-SGD applies the schedule worker-side; the PS
-/// algorithms apply it on the server).
-fn current_lr(cfg: &TrainConfig, round: u64, iters_per_epoch: usize) -> f32 {
-    let epoch = (round / iters_per_epoch.max(1) as u64) as usize;
-    let mut lr = cfg.global_lr;
-    for &(at, new_lr) in &cfg.lr_schedule {
-        if epoch >= at {
-            lr = new_lr;
-        }
-    }
-    lr
+    // Drain any outstanding asynchronous pulls so the server group holds
+    // the fully-aggregated final weights when this worker returns — a
+    // standalone worker process can exit and let an external controller
+    // snapshot without racing the last round.
+    strategy.finish()
 }
 
 /// Accuracy of `model` (eval mode) over a dataset, batched.
@@ -442,45 +177,5 @@ pub(crate) fn evaluate(model: &mut Sequential, data: &Dataset) -> f32 {
         0.0
     } else {
         (correct_weighted / total as f64) as f32
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn algo_state_resolution() {
-        let s = AlgoState::new(&Algorithm::SSgd);
-        assert!(!s.delayed && s.compressor.is_none());
-        let s = AlgoState::new(&Algorithm::OdSgd { local_lr: 0.2 });
-        assert!(s.delayed && s.compressor.is_none() && s.local_lr == 0.2);
-        let s = AlgoState::new(&Algorithm::BitSgd { threshold: 0.5 });
-        assert!(!s.delayed && s.compressor.is_some());
-        let s = AlgoState::new(&Algorithm::cd_sgd(0.1, 0.5, 4, 3));
-        assert!(s.delayed && s.warmup == 3);
-    }
-
-    #[test]
-    fn cd_compression_schedule_matches_algorithm1() {
-        // Warm-up rounds push raw; then count % k == 0 is the correction.
-        let algo = Algorithm::cd_sgd(0.1, 0.5, 3, 2);
-        let st = AlgoState::new(&algo);
-        let schedule: Vec<bool> = (0..10).map(|r| st.compresses(&algo, r)).collect();
-        // rounds:    0      1      2(c0)  3(c1) 4(c2) 5(c3=0) 6 7 8(c6=0) 9
-        assert_eq!(
-            schedule,
-            vec![false, false, false, true, true, false, true, true, false, true]
-        );
-    }
-
-    #[test]
-    fn bit_always_compresses_ssgd_never() {
-        let bit = Algorithm::BitSgd { threshold: 0.5 };
-        let st = AlgoState::new(&bit);
-        assert!((0..5).all(|r| st.compresses(&bit, r)));
-        let ssgd = Algorithm::SSgd;
-        let st = AlgoState::new(&ssgd);
-        assert!((0..5).all(|r| !st.compresses(&ssgd, r)));
     }
 }

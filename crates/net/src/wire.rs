@@ -20,7 +20,7 @@
 //! little-endian body length followed by the body. The frame prefix is
 //! accounted by [`FRAME_PREFIX_BYTES`]; [`push_frame_bytes`] /
 //! [`pull_reply_frame_bytes`] report the exact on-the-wire size of the two
-//! hot-path messages so the server's [`TrafficStats`]-style accounting can
+//! hot-path messages so the server's `TrafficStats`-style accounting can
 //! use real frame sizes instead of estimates.
 
 use crate::error::NetError;

@@ -43,6 +43,7 @@ mod api;
 mod client;
 mod fault;
 pub mod net;
+pub mod opt;
 mod server;
 mod sharded;
 mod stats;
@@ -53,6 +54,7 @@ pub use cdsgd_net::NetError;
 pub use client::{PendingPull, PsClient};
 pub use fault::{FaultyClient, WorkerFault};
 pub use net::{NetCluster, PsNetServer, RemoteClient};
+pub use opt::{HeavyBall, Nesterov, PlainSgd, ServerOpt, ServerOptKind};
 pub use server::{ParamServer, ServerConfig};
 pub use sharded::{partition_keys, reassemble_snapshots, ShardedClient, ShardedParamServer};
 pub use stats::TrafficStats;

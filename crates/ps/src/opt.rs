@@ -1,0 +1,217 @@
+//! Server-side optimizer layer: how one aggregate round turns the summed
+//! gradient into the next weight snapshot.
+//!
+//! The paper's update rule (eq. 10) is plain SGD — `W ← W − η/N · Σg` —
+//! and every reproduction experiment uses [`PlainSgd`]. [`HeavyBall`] and
+//! [`Nesterov`] are extension optimizers for the benchmark harness; they
+//! plug in behind the same trait so adding another server-side rule never
+//! touches the aggregation loop.
+
+use std::sync::Arc;
+
+/// The per-key server update rule. One instance per key (state such as a
+/// momentum buffer is key-local), driven once per completed aggregate
+/// round by the server loop.
+pub trait ServerOpt: Send {
+    /// Build the next weight snapshot from the current `weights` and the
+    /// aggregated (summed, not averaged) gradient `acc`. `step` is the
+    /// effective rate `η / N`, so plain SGD is `w − step · g`.
+    ///
+    /// Returns a fresh shared snapshot: the server replaces the key's
+    /// `Arc` wholesale so outstanding pulls keep their old version.
+    fn apply(&mut self, weights: &[f32], acc: &[f32], step: f32) -> Arc<[f32]>;
+
+    /// Human-readable optimizer name (run labels / logs).
+    fn name(&self) -> &'static str;
+}
+
+/// Plain SGD — the paper's eq. 10, stateless.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PlainSgd;
+
+impl ServerOpt for PlainSgd {
+    fn apply(&mut self, weights: &[f32], acc: &[f32], step: f32) -> Arc<[f32]> {
+        weights
+            .iter()
+            .zip(acc.iter())
+            .map(|(&w, &g)| w - step * g)
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd"
+    }
+}
+
+/// Classic heavy-ball (Polyak) momentum on the aggregated gradient:
+/// `v ← μv + g`, `w ← w − step · v`.
+#[derive(Debug, Default, Clone)]
+pub struct HeavyBall {
+    momentum: f32,
+    velocity: Vec<f32>,
+}
+
+impl HeavyBall {
+    /// Heavy-ball with momentum factor `momentum` (typically 0.9).
+    pub fn new(momentum: f32) -> Self {
+        Self {
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl ServerOpt for HeavyBall {
+    fn apply(&mut self, weights: &[f32], acc: &[f32], step: f32) -> Arc<[f32]> {
+        if self.velocity.len() != weights.len() {
+            self.velocity = vec![0.0; weights.len()];
+        }
+        for (v, &g) in self.velocity.iter_mut().zip(acc.iter()) {
+            *v = self.momentum * *v + g;
+        }
+        weights
+            .iter()
+            .zip(self.velocity.iter())
+            .map(|(&w, &v)| w - step * v)
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "heavy-ball"
+    }
+}
+
+/// Nesterov accelerated gradient in the standard deep-learning form
+/// (as in PyTorch's `SGD(nesterov=True)`): `v ← μv + g`, then the applied
+/// direction is the *look-ahead* `g + μv`, so the step anticipates where
+/// the velocity is taking the weights.
+#[derive(Debug, Default, Clone)]
+pub struct Nesterov {
+    momentum: f32,
+    velocity: Vec<f32>,
+}
+
+impl Nesterov {
+    /// Nesterov momentum with factor `momentum` (typically 0.9).
+    pub fn new(momentum: f32) -> Self {
+        Self {
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl ServerOpt for Nesterov {
+    fn apply(&mut self, weights: &[f32], acc: &[f32], step: f32) -> Arc<[f32]> {
+        if self.velocity.len() != weights.len() {
+            self.velocity = vec![0.0; weights.len()];
+        }
+        for (v, &g) in self.velocity.iter_mut().zip(acc.iter()) {
+            *v = self.momentum * *v + g;
+        }
+        weights
+            .iter()
+            .zip(acc.iter().zip(self.velocity.iter()))
+            .map(|(&w, (&g, &v))| w - step * (g + self.momentum * v))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "nesterov"
+    }
+}
+
+/// A copyable optimizer *choice*, carried in [`crate::ServerConfig`]
+/// (which stays `Copy`) and instantiated per key when the server starts —
+/// the same spec-vs-instance split as `cd_sgd::Codec`.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum ServerOptKind {
+    /// Plain SGD (the paper's rule, and the default).
+    #[default]
+    PlainSgd,
+    /// Heavy-ball momentum.
+    HeavyBall {
+        /// Momentum factor μ.
+        momentum: f32,
+    },
+    /// Nesterov momentum.
+    Nesterov {
+        /// Momentum factor μ.
+        momentum: f32,
+    },
+}
+
+impl ServerOptKind {
+    /// Instantiate the optimizer for one key.
+    pub fn build(&self) -> Box<dyn ServerOpt> {
+        match self {
+            ServerOptKind::PlainSgd => Box::new(PlainSgd),
+            ServerOptKind::HeavyBall { momentum } => Box::new(HeavyBall::new(*momentum)),
+            ServerOptKind::Nesterov { momentum } => Box::new(Nesterov::new(*momentum)),
+        }
+    }
+
+    /// Short name for run labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServerOptKind::PlainSgd => "sgd",
+            ServerOptKind::HeavyBall { .. } => "heavy-ball",
+            ServerOptKind::Nesterov { .. } => "nesterov",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_sgd_matches_eq10() {
+        let mut opt = PlainSgd;
+        let w = opt.apply(&[1.0, 2.0], &[10.0, -10.0], 0.1);
+        assert_eq!(*w, [0.0, 3.0]);
+    }
+
+    #[test]
+    fn heavy_ball_accumulates_velocity() {
+        let mut opt = HeavyBall::new(0.9);
+        // v=1, w=-1; then v=1.9, w=-2.9 (the server.rs momentum test).
+        let w1 = opt.apply(&[0.0], &[1.0], 1.0);
+        assert!((w1[0] + 1.0).abs() < 1e-6);
+        let w2 = opt.apply(&w1, &[1.0], 1.0);
+        assert!((w2[0] + 2.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nesterov_takes_the_lookahead_step() {
+        let mut opt = Nesterov::new(0.9);
+        // v=1, d = 1 + 0.9·1 = 1.9, w = -1.9;
+        // then v=1.9, d = 1 + 0.9·1.9 = 2.71, w = -4.61.
+        let w1 = opt.apply(&[0.0], &[1.0], 1.0);
+        assert!((w1[0] + 1.9).abs() < 1e-6);
+        let w2 = opt.apply(&w1, &[1.0], 1.0);
+        assert!((w2[0] + 4.61).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_momentum_heavy_ball_degenerates_to_sgd() {
+        let mut hb = HeavyBall::new(0.0);
+        let mut sgd = PlainSgd;
+        let w = [0.5f32, -0.25, 3.0];
+        let g = [1.0f32, 2.0, -4.0];
+        assert_eq!(hb.apply(&w, &g, 0.1), sgd.apply(&w, &g, 0.1));
+    }
+
+    #[test]
+    fn kind_builds_and_names() {
+        assert_eq!(ServerOptKind::default(), ServerOptKind::PlainSgd);
+        for (kind, name) in [
+            (ServerOptKind::PlainSgd, "sgd"),
+            (ServerOptKind::HeavyBall { momentum: 0.9 }, "heavy-ball"),
+            (ServerOptKind::Nesterov { momentum: 0.9 }, "nesterov"),
+        ] {
+            assert_eq!(kind.name(), name);
+            assert_eq!(kind.build().name(), name);
+        }
+    }
+}

@@ -2,6 +2,7 @@
 //! aggregation.
 
 use crate::client::PsClient;
+use crate::opt::{ServerOpt, ServerOptKind};
 use crate::sharded::ShardedParamServer;
 use crate::stats::TrafficStats;
 use crate::Key;
@@ -20,11 +21,12 @@ pub struct ServerConfig {
     pub num_workers: usize,
     /// Global learning rate η in `W ← W − η/N · Σ grads`.
     pub global_lr: f32,
-    /// Server-side momentum (0 disables; classic heavy-ball on the
-    /// aggregated gradient). The paper's update rule is plain SGD, so all
-    /// reproduction experiments use 0; momentum is provided for the
-    /// extension benchmarks.
-    pub momentum: f32,
+    /// Server-side update rule applied once per aggregate round. The
+    /// paper's rule is plain SGD ([`ServerOptKind::PlainSgd`], the
+    /// default); heavy-ball and Nesterov momentum are provided for the
+    /// extension benchmarks. Instantiated per key at server start via
+    /// [`ServerOptKind::build`].
+    pub opt: ServerOptKind,
     /// Emulated network seconds charged per transferred byte (0 = the
     /// in-process default, effectively infinite bandwidth). The server
     /// thread sleeps `bytes × delay` while handling each push and each
@@ -52,7 +54,7 @@ impl ServerConfig {
         Self {
             num_workers,
             global_lr,
-            momentum: 0.0,
+            opt: ServerOptKind::PlainSgd,
             delay_per_byte: 0.0,
             round_deadline: None,
         }
@@ -66,9 +68,21 @@ impl ServerConfig {
         self
     }
 
-    /// Enable server-side momentum (extension).
+    /// Enable server-side heavy-ball momentum (extension). Sugar for
+    /// [`ServerConfig::with_optimizer`] with [`ServerOptKind::HeavyBall`];
+    /// 0 keeps plain SGD.
     pub fn with_momentum(mut self, momentum: f32) -> Self {
-        self.momentum = momentum;
+        self.opt = if momentum > 0.0 {
+            ServerOptKind::HeavyBall { momentum }
+        } else {
+            ServerOptKind::PlainSgd
+        };
+        self
+    }
+
+    /// Choose the server-side update rule (see [`ServerOptKind`]).
+    pub fn with_optimizer(mut self, opt: ServerOptKind) -> Self {
+        self.opt = opt;
         self
     }
 
@@ -125,8 +139,9 @@ struct KeyState {
     pending: Vec<std::collections::VecDeque<Compressed>>,
     /// Number of completed aggregate updates.
     version: u64,
-    /// Momentum buffer (allocated lazily when momentum > 0).
-    velocity: Option<Vec<f32>>,
+    /// This key's optimizer instance (owns any momentum state), built
+    /// from [`ServerConfig::opt`] at server start.
+    opt: Box<dyn ServerOpt>,
     /// Pulls waiting for a version that doesn't exist yet.
     waiting: Vec<WaitingPull>,
     /// When the current round first became partial (some workers' pushes
@@ -270,7 +285,7 @@ fn server_loop(
                 acc: vec![0.0; len],
                 pending: vec![std::collections::VecDeque::new(); cfg.num_workers],
                 version: 0,
-                velocity: None,
+                opt: cfg.opt.build(),
                 waiting: Vec::new(),
                 partial_since: None,
             }
@@ -454,33 +469,16 @@ fn net_delay(delay_per_byte: f64, bytes: usize) {
     }
 }
 
-/// `W ← W − η/N · (acc [+ momentum])`, eq. 10.
+/// `W ← W − η/N · opt(acc)`, eq. 10 generalized over the key's
+/// [`ServerOpt`] (plain SGD for the paper's rule).
 ///
-/// Builds the new version as a fresh `Arc<[f32]>` snapshot (the one copy
-/// per round, counted in [`TrafficStats::bytes_copied`]) and rotates the
-/// old snapshot into `prev_weights` — pulls of either version are then
-/// served by reference-count bumps alone.
+/// The optimizer builds the new version as a fresh `Arc<[f32]>` snapshot
+/// (the one copy per round, counted in [`TrafficStats::bytes_copied`])
+/// which rotates the old snapshot into `prev_weights` — pulls of either
+/// version are then served by reference-count bumps alone.
 fn apply_update(ks: &mut KeyState, cfg: &ServerConfig, stats: &TrafficStats) {
     let step = cfg.global_lr / cfg.num_workers as f32;
-    let new: Arc<[f32]> = if cfg.momentum > 0.0 {
-        let vel = ks
-            .velocity
-            .get_or_insert_with(|| vec![0.0; ks.weights.len()]);
-        for (v, &g) in vel.iter_mut().zip(ks.acc.iter()) {
-            *v = cfg.momentum * *v + g;
-        }
-        ks.weights
-            .iter()
-            .zip(vel.iter())
-            .map(|(&w, &v)| w - step * v)
-            .collect()
-    } else {
-        ks.weights
-            .iter()
-            .zip(ks.acc.iter())
-            .map(|(&w, &g)| w - step * g)
-            .collect()
-    };
+    let new = ks.opt.apply(&ks.weights, &ks.acc, step);
     stats.record_copy(4 * new.len());
     ks.prev_weights = std::mem::replace(&mut ks.weights, new);
 }
@@ -564,6 +562,23 @@ mod tests {
         // Step 1: v=1, w=-1. Step 2: v=1.9, w=-2.9.
         assert!((w1 + 1.0).abs() < 1e-6);
         assert!((w2 + 2.9).abs() < 1e-6);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn nesterov_optimizer_applies_lookahead_through_the_server() {
+        let ps = ParamServer::start(
+            vec![vec![0.0]],
+            ServerConfig::new(1, 1.0).with_optimizer(ServerOptKind::Nesterov { momentum: 0.9 }),
+        );
+        let c = ps.client();
+        c.push(0, 0, Compressed::Raw(vec![1.0])).unwrap();
+        let w1 = c.pull(0, 1).unwrap()[0];
+        c.push(0, 0, Compressed::Raw(vec![1.0])).unwrap();
+        let w2 = c.pull(0, 2).unwrap()[0];
+        // Step 1: v=1, d=1.9, w=-1.9. Step 2: v=1.9, d=2.71, w=-4.61.
+        assert!((w1 + 1.9).abs() < 1e-6);
+        assert!((w2 + 4.61).abs() < 1e-5);
         ps.shutdown();
     }
 

@@ -33,6 +33,17 @@ run_tests cargo test -q --workspace
 echo "==> cargo test --test net_equivalence --test net_processes --test chaos"
 run_tests cargo test -q --test net_equivalence --test net_processes --test chaos
 
+# Explicit gate on the update-strategy layer: every algorithm variant must
+# reproduce the final-weight hashes captured before the UpdateStrategy
+# refactor, on both the in-process and loopback backends. A hash change
+# means training semantics moved, which is never an accident to wave
+# through.
+echo "==> cargo test --test strategy_equivalence"
+run_tests cargo test -q --test strategy_equivalence
+
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

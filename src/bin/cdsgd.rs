@@ -1,8 +1,11 @@
 //! `cdsgd` — command-line front end for the CD-SGD reproduction.
 //!
 //! ```text
-//! cdsgd train    --algo cdsgd --dataset mnist --workers 4 --epochs 5 \
-//!                [--k 2] [--threshold 0.5] [--local-lr 0.1] [--lr 0.1] \
+//! cdsgd train    --algo <ssgd|odsgd|bitsgd|cdsgd|localsgd|arsgd|efsgd> \
+//!                --dataset mnist --workers 4 --epochs 5 \
+//!                [--k 2] [--threshold 0.5] [--local-lr 0.1] [--warmup N] \
+//!                [--dc-lambda 0] [--sync-period 4] [--ef-momentum 0.9] \
+//!                [--lr 0.1] [--momentum 0 [--nesterov]] \
 //!                [--batch 32] [--samples 4000] [--seed 42] \
 //!                [--save ckpt.json] [--history hist.json] [--profile]
 //! cdsgd simulate --model resnet50 --gpu v100 --batch 32 [--k 5] [--gbps 56]
@@ -10,7 +13,8 @@
 //! ```
 
 use cd_sgd::checkpoint::{save_history, Checkpoint};
-use cd_sgd::{Algorithm, TrainConfig, Trainer};
+use cd_sgd::{TrainConfig, Trainer};
+use cd_sgd_repro::deploy::{arg, arg_or, flag, parse_algorithm, parse_server_opt, AlgoDefaults};
 use cd_sgd_repro::simtime::pipeline::{AlgoKind, PipelineSim};
 use cd_sgd_repro::simtime::{zoo, ClusterSpec, ModelSpec};
 use cdsgd_data::{synth, toy, Dataset};
@@ -19,26 +23,6 @@ use cdsgd_tensor::SmallRng64;
 
 /// A seeded model constructor, one per dataset choice.
 type ModelBuilder = Box<dyn Fn(&mut SmallRng64) -> Sequential + Send + Sync>;
-
-fn arg(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == &format!("--{name}"))
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-fn arg_or<T: std::str::FromStr>(name: &str, default: T) -> T {
-    arg(name).map_or(default, |v| {
-        v.parse().unwrap_or_else(|_| {
-            eprintln!("invalid value for --{name}: {v}");
-            std::process::exit(2)
-        })
-    })
-}
-
-fn flag(name: &str) -> bool {
-    std::env::args().any(|a| a == format!("--{name}"))
-}
 
 fn usage() -> ! {
     eprintln!(
@@ -64,9 +48,6 @@ fn cmd_train() {
     let samples: usize = arg_or("samples", 4_000);
     let seed: u64 = arg_or("seed", 42);
     let lr: f32 = arg_or("lr", 0.1);
-    let local_lr: f32 = arg_or("local-lr", 0.1);
-    let threshold: f32 = arg_or("threshold", 0.5);
-    let k: usize = arg_or("k", 2);
 
     let dataset_name = arg("dataset").unwrap_or_else(|| "mnist".into());
     let (data, builder): (Dataset, ModelBuilder) = match dataset_name.as_str() {
@@ -88,30 +69,40 @@ fn cmd_train() {
         }
     };
     let (train, test) = data.split(0.85);
+    // Default warm-up: one epoch of iterations (the paper warms up for
+    // "the first several epochs"); override with --warmup.
     let warmup = (train.len() / workers / batch).max(1);
 
-    let algo_name = arg("algo").unwrap_or_else(|| "cdsgd".into());
-    let algo = match algo_name.as_str() {
-        "ssgd" => Algorithm::SSgd,
-        "odsgd" => Algorithm::OdSgd { local_lr },
-        "bitsgd" => Algorithm::BitSgd { threshold },
-        "cdsgd" => Algorithm::cd_sgd(local_lr, threshold, k, warmup),
-        other => {
-            eprintln!("unknown algorithm {other} (ssgd|odsgd|bitsgd|cdsgd)");
-            std::process::exit(2)
-        }
+    let argv: Vec<String> = std::env::args().collect();
+    let defaults = AlgoDefaults {
+        local_lr: 0.1,
+        threshold: 0.5,
+        k: 2,
+        warmup,
     };
+    let algo = parse_algorithm(&argv, &defaults).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2)
+    });
+    let server_opt = parse_server_opt(&argv).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2)
+    });
 
     let mut cfg = TrainConfig::new(algo, workers)
         .with_lr(lr)
         .with_batch_size(batch)
         .with_epochs(epochs)
-        .with_seed(seed);
+        .with_seed(seed)
+        .with_server_opt(server_opt);
     if flag("profile") {
         cfg = cfg.with_profiling(true);
     }
     if let Some(mibps) = arg("net-mibps") {
-        let m: f64 = mibps.parse().expect("--net-mibps expects a number");
+        let m: f64 = mibps.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --net-mibps: {mibps} (MiB/s as a number)");
+            std::process::exit(2)
+        });
         cfg = cfg.with_emulated_network(m * 1024.0 * 1024.0);
     }
 

@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! psd --shard 0 --num-shards 2 --workers 2 --lr 0.2 \
+//!     [--momentum 0.9 [--nesterov]] \
 //!     --model mlp:8,32,4 --seed 5 --port 0
 //! ```
 //!
@@ -24,7 +25,7 @@
 use std::io::Write;
 use std::time::Duration;
 
-use cd_sgd_repro::deploy::{arg, arg_or, initial_weights};
+use cd_sgd_repro::deploy::{arg, arg_or, initial_weights, parse_server_opt};
 use cdsgd_net::{NetConfig, TcpAcceptor};
 use cdsgd_ps::{partition_keys, PsNetServer, ServerConfig};
 
@@ -33,7 +34,6 @@ fn main() {
     let num_shards: usize = arg_or("num-shards", 1);
     let workers: usize = arg_or("workers", 1);
     let lr: f32 = arg_or("lr", 0.1);
-    let momentum: f32 = arg_or("momentum", 0.0);
     let port: u16 = arg_or("port", 0);
     let seed: u64 = arg_or("seed", 42);
     let round_deadline_ms: u64 = arg_or("round-deadline-ms", 0);
@@ -50,7 +50,12 @@ fn main() {
         shard_init.len()
     );
 
-    let mut cfg = ServerConfig::new(workers, lr).with_momentum(momentum);
+    let argv: Vec<String> = std::env::args().collect();
+    let opt = parse_server_opt(&argv).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2)
+    });
+    let mut cfg = ServerConfig::new(workers, lr).with_optimizer(opt);
     if round_deadline_ms > 0 {
         cfg = cfg.with_round_deadline(Duration::from_millis(round_deadline_ms));
     }

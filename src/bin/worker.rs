@@ -23,8 +23,10 @@
 //! but it stops pushing) — fault injection for exercising the servers'
 //! `--round-deadline-ms` supervision.
 
-use cd_sgd::{run_standalone_worker, Algorithm, TrainConfig, WorkerFault};
-use cd_sgd_repro::deploy::{arg, arg_or, build_dataset, build_model, initial_weights};
+use cd_sgd::{run_standalone_worker, TrainConfig, WorkerFault};
+use cd_sgd_repro::deploy::{
+    arg, arg_or, build_dataset, build_model, flag, initial_weights, parse_algorithm, AlgoDefaults,
+};
 use cdsgd_net::NetConfig;
 use cdsgd_ps::{FaultyClient, NetCluster, ParamClient, PsBackend};
 
@@ -46,12 +48,8 @@ fn main() {
     let epochs: usize = arg_or("epochs", 2);
     let seed: u64 = arg_or("seed", 42);
     let lr: f32 = arg_or("lr", 0.1);
-    let local_lr: f32 = arg_or("local-lr", 0.05);
-    let threshold: f32 = arg_or("threshold", 0.05);
-    let k: usize = arg_or("k", 2);
-    let warmup: usize = arg_or("warmup", 3);
     let model = arg("model").unwrap_or_else(|| "mlp:8,32,4".to_string());
-    let shutdown = std::env::args().any(|a| a == "--shutdown");
+    let shutdown = flag("shutdown");
     let chaos_kill_round: Option<u64> = arg("chaos-kill-round").map(|v| {
         v.parse().unwrap_or_else(|_| {
             eprintln!("--chaos-kill-round must be a round number, got {v:?}");
@@ -59,17 +57,21 @@ fn main() {
         })
     });
 
-    let algo_name = arg("algo").unwrap_or_else(|| "cdsgd".into());
-    let algo = match algo_name.as_str() {
-        "ssgd" => Algorithm::SSgd,
-        "odsgd" => Algorithm::OdSgd { local_lr },
-        "bitsgd" => Algorithm::BitSgd { threshold },
-        "cdsgd" => Algorithm::cd_sgd(local_lr, threshold, k, warmup),
-        other => {
-            eprintln!("unknown algorithm {other} (ssgd|odsgd|bitsgd|cdsgd)");
-            std::process::exit(2)
-        }
+    let argv: Vec<String> = std::env::args().collect();
+    let defaults = AlgoDefaults {
+        local_lr: 0.05,
+        threshold: 0.05,
+        k: 2,
+        warmup: 3,
     };
+    let algo = parse_algorithm(&argv, &defaults).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2)
+    });
+    if algo.uses_ring() {
+        eprintln!("arsgd needs a worker ring, which the multi-process deployment does not build; use `cdsgd train --algo arsgd`");
+        std::process::exit(2);
+    }
 
     let (train, test) = build_dataset(&dataset, samples, seed);
     let num_keys = initial_weights(&model, seed).len();

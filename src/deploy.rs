@@ -7,6 +7,7 @@
 //! specs in one place makes that agreement structural: every process
 //! (and the integration tests) calls these helpers with the same flags.
 
+use cd_sgd::{Algorithm, ServerOptKind};
 use cdsgd_data::{synth, toy, Dataset};
 use cdsgd_nn::{models, Sequential};
 use cdsgd_tensor::SmallRng64;
@@ -28,6 +29,110 @@ pub fn arg_or<T: std::str::FromStr>(name: &str, default: T) -> T {
             std::process::exit(2)
         })
     })
+}
+
+/// Is the boolean switch `--name` present?
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == format!("--{name}"))
+}
+
+/// Per-binary defaults for the algorithm knobs consumed by
+/// [`parse_algorithm`] — the front ends historically default differently
+/// (`cdsgd` uses the paper's MNIST settings, `worker` the integration
+/// tests' toy settings), so the shared parser takes them as input.
+#[derive(Clone, Copy, Debug)]
+pub struct AlgoDefaults {
+    /// Default `--local-lr` (eq. 11's lr_loc).
+    pub local_lr: f32,
+    /// Default `--threshold` (2-bit quantization α).
+    pub threshold: f32,
+    /// Default `--k` (CD-SGD correction period).
+    pub k: usize,
+    /// Default `--warmup` (CD-SGD warm-up iterations).
+    pub warmup: usize,
+}
+
+/// `--name <value>` within an explicit argument slice (the testable
+/// counterpart of [`arg`]).
+fn lookup<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == &format!("--{name}"))
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parsed `--name <value>` from an argument slice, or `default` when
+/// absent; a malformed value is a usage `Err`, never a panic.
+fn lookup_or<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match lookup(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for --{name}: {v}")),
+    }
+}
+
+/// Parse `--algo` plus its knob flags (`--local-lr`, `--threshold`,
+/// `--k`, `--warmup`, `--dc-lambda`, `--sync-period`, `--ef-momentum`)
+/// from `args` into a validated [`Algorithm`]. `Err` carries a usage
+/// message for stderr; callers exit 2 on it. The accepted names cover
+/// every variant the strategy layer implements.
+pub fn parse_algorithm(args: &[String], defaults: &AlgoDefaults) -> Result<Algorithm, String> {
+    let local_lr: f32 = lookup_or(args, "local-lr", defaults.local_lr)?;
+    let threshold: f32 = lookup_or(args, "threshold", defaults.threshold)?;
+    let k: usize = lookup_or(args, "k", defaults.k)?;
+    let warmup: usize = lookup_or(args, "warmup", defaults.warmup)?;
+    let name = lookup(args, "algo").unwrap_or("cdsgd");
+    let algo = match name {
+        "ssgd" => Algorithm::SSgd,
+        "odsgd" => Algorithm::OdSgd { local_lr },
+        "bitsgd" => Algorithm::BitSgd { threshold },
+        "cdsgd" => Algorithm::CdSgd {
+            local_lr,
+            codec: cd_sgd::Codec::TwoBit { threshold },
+            k,
+            warmup,
+            dc_lambda: lookup_or(args, "dc-lambda", 0.0)?,
+        },
+        "localsgd" => Algorithm::LocalSgd {
+            local_lr,
+            sync_period: lookup_or(args, "sync-period", 4)?,
+        },
+        "arsgd" => Algorithm::ArSgd,
+        "efsgd" => Algorithm::EfSgd {
+            momentum: lookup_or(args, "ef-momentum", 0.9)?,
+        },
+        other => {
+            return Err(format!(
+                "unknown algorithm {other} (ssgd|odsgd|bitsgd|cdsgd|localsgd|arsgd|efsgd)"
+            ))
+        }
+    };
+    algo.validate()
+        .map_err(|e| format!("invalid --algo {name}: {e}"))?;
+    Ok(algo)
+}
+
+/// Parse the server-side optimizer from `--momentum <μ>` and the
+/// `--nesterov` switch in `args`: no momentum means plain SGD (the
+/// paper's eq. 10), a positive momentum selects heavy-ball, and
+/// `--nesterov` upgrades it to the look-ahead form.
+pub fn parse_server_opt(args: &[String]) -> Result<ServerOptKind, String> {
+    let momentum: f32 = lookup_or(args, "momentum", 0.0)?;
+    if !(0.0..1.0).contains(&momentum) {
+        return Err(format!("--momentum must be in [0, 1), got {momentum}"));
+    }
+    let nesterov = args.iter().any(|a| a == "--nesterov");
+    if nesterov {
+        if momentum == 0.0 {
+            return Err("--nesterov requires --momentum > 0".into());
+        }
+        Ok(ServerOptKind::Nesterov { momentum })
+    } else if momentum > 0.0 {
+        Ok(ServerOptKind::HeavyBall { momentum })
+    } else {
+        Ok(ServerOptKind::PlainSgd)
+    }
 }
 
 /// Build a model from a spec string: `mlp:8,32,4` (layer sizes) or
@@ -101,5 +206,95 @@ mod tests {
     #[should_panic(expected = "unknown model spec")]
     fn bad_model_spec_panics() {
         initial_weights("transformer:96", 1);
+    }
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    const DEFAULTS: AlgoDefaults = AlgoDefaults {
+        local_lr: 0.05,
+        threshold: 0.05,
+        k: 2,
+        warmup: 3,
+    };
+
+    #[test]
+    fn parse_algorithm_covers_every_variant() {
+        for (args, expected) in [
+            ("--algo ssgd", Algorithm::SSgd),
+            (
+                "--algo odsgd --local-lr 0.2",
+                Algorithm::OdSgd { local_lr: 0.2 },
+            ),
+            (
+                "--algo bitsgd --threshold 0.5",
+                Algorithm::BitSgd { threshold: 0.5 },
+            ),
+            (
+                "--algo cdsgd --k 4 --warmup 7",
+                Algorithm::cd_sgd(0.05, 0.05, 4, 7),
+            ),
+            (
+                "--algo cdsgd --dc-lambda 0.5",
+                Algorithm::cd_sgd(0.05, 0.05, 2, 3).with_delay_compensation(0.5),
+            ),
+            (
+                "--algo localsgd --sync-period 8",
+                Algorithm::LocalSgd {
+                    local_lr: 0.05,
+                    sync_period: 8,
+                },
+            ),
+            ("--algo arsgd", Algorithm::ArSgd),
+            ("--algo efsgd", Algorithm::ef_sgd(0.9)),
+            ("--algo efsgd --ef-momentum 0.5", Algorithm::ef_sgd(0.5)),
+        ] {
+            assert_eq!(
+                parse_algorithm(&argv(args), &DEFAULTS).unwrap(),
+                expected,
+                "args: {args}"
+            );
+        }
+        // No --algo falls back to the paper's algorithm.
+        assert_eq!(
+            parse_algorithm(&argv(""), &DEFAULTS).unwrap(),
+            Algorithm::cd_sgd(0.05, 0.05, 2, 3)
+        );
+    }
+
+    #[test]
+    fn parse_algorithm_rejects_bad_input_without_panicking() {
+        for args in [
+            "--algo adamw",
+            "--algo cdsgd --k zero",
+            "--algo cdsgd --k 0",
+            "--algo localsgd --sync-period 0",
+            "--algo efsgd --ef-momentum 1.5",
+            "--algo ssgd --local-lr fast",
+        ] {
+            let err = parse_algorithm(&argv(args), &DEFAULTS)
+                .expect_err(&format!("args should fail: {args}"));
+            assert!(!err.is_empty());
+        }
+    }
+
+    #[test]
+    fn parse_server_opt_maps_flags() {
+        assert_eq!(
+            parse_server_opt(&argv("")).unwrap(),
+            ServerOptKind::PlainSgd
+        );
+        assert_eq!(
+            parse_server_opt(&argv("--momentum 0.9")).unwrap(),
+            ServerOptKind::HeavyBall { momentum: 0.9 }
+        );
+        assert_eq!(
+            parse_server_opt(&argv("--momentum 0.9 --nesterov")).unwrap(),
+            ServerOptKind::Nesterov { momentum: 0.9 }
+        );
+        assert!(parse_server_opt(&argv("--nesterov")).is_err());
+        assert!(parse_server_opt(&argv("--momentum 1.5")).is_err());
+        assert!(parse_server_opt(&argv("--momentum big")).is_err());
     }
 }

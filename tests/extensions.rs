@@ -1,10 +1,12 @@
 //! Integration tests for the extension features layered on the paper's
-//! algorithm: pluggable codecs, adaptive thresholds, delay compensation
-//! and the emulated network.
+//! algorithm: pluggable codecs, adaptive thresholds, delay compensation,
+//! the emulated network, and the two strategy/server-opt extension leaves
+//! (EF-blockSGD and Nesterov).
 
-use cd_sgd::{Algorithm, Codec, TrainConfig, Trainer, TrainingHistory};
+use cd_sgd::{Algorithm, Codec, ServerOptKind, TrainConfig, Trainer, TrainingHistory};
 use cdsgd_data::toy;
 use cdsgd_nn::models;
+use cdsgd_ps::{InProcessBackend, ParamServer};
 
 fn run(algo: Algorithm, epochs: usize) -> TrainingHistory {
     let data = toy::gaussian_blobs(480, 8, 4, 0.6, 13);
@@ -102,6 +104,74 @@ fn emulated_network_slows_training_but_preserves_results() {
     let tf: f64 = fast.epochs.iter().map(|e| e.epoch_time_s).sum();
     let ts: f64 = slow.epochs.iter().map(|e| e.epoch_time_s).sum();
     assert!(ts > tf * 2.0, "slow {ts} vs fast {tf}");
+}
+
+/// Build a trainer and run it explicitly through `Trainer::run_with` on
+/// the in-process backend — the entry point the strategy/server-opt
+/// extension leaves are required to work end-to-end through.
+fn run_in_process(cfg: TrainConfig) -> TrainingHistory {
+    let data = toy::gaussian_blobs(480, 8, 4, 0.6, 13);
+    let (train, test) = data.split(0.8);
+    Trainer::new(cfg, |rng| models::mlp(&[8, 32, 4], rng), train, Some(test))
+        .run_with(|init, server_cfg| {
+            Ok(Box::new(InProcessBackend::new(ParamServer::start(
+                init, server_cfg,
+            ))))
+        })
+        .expect("in-process run")
+}
+
+fn base_cfg(algo: Algorithm) -> TrainConfig {
+    TrainConfig::new(algo, 2)
+        .with_lr(0.2)
+        .with_batch_size(16)
+        .with_epochs(8)
+        .with_seed(13)
+}
+
+#[test]
+fn ef_blocksgd_strategy_trains_end_to_end() {
+    // The first new UpdateStrategy leaf: blockwise momentum with error
+    // feedback, pushing 1-bit payloads every iteration.
+    let h = run_in_process(base_cfg(Algorithm::ef_sgd(0.9)).with_lr(0.05));
+    assert!(
+        h.epochs.last().unwrap().train_loss < h.epochs[0].train_loss,
+        "EF-blockSGD loss should decrease: {:?}",
+        h.epochs.iter().map(|e| e.train_loss).collect::<Vec<_>>()
+    );
+    let acc = h.final_test_acc().unwrap();
+    assert!(acc > 0.8, "EF-blockSGD acc {acc}");
+
+    // Its pushes are 1-bit sign payloads: traffic must be far below the
+    // raw-f32 algorithm's.
+    let raw = run_in_process(base_cfg(Algorithm::SSgd));
+    let ef_bytes = h.epochs.last().unwrap().cumulative_push_bytes;
+    let raw_bytes = raw.epochs.last().unwrap().cumulative_push_bytes;
+    assert!(
+        (ef_bytes as f64) < (raw_bytes as f64) / 8.0,
+        "EF {ef_bytes} bytes should be ≪ raw {raw_bytes}"
+    );
+}
+
+#[test]
+fn nesterov_server_opt_trains_end_to_end() {
+    // The new ServerOpt leaf: Nesterov momentum applied to the decoded
+    // aggregate on the server. Momentum at lr 0.2 overshoots on this toy
+    // problem; a lower lr is the standard pairing.
+    let cfg = base_cfg(Algorithm::SSgd)
+        .with_lr(0.05)
+        .with_server_opt(ServerOptKind::Nesterov { momentum: 0.9 });
+    let h = run_in_process(cfg);
+    assert!(
+        h.epochs.last().unwrap().train_loss < h.epochs[0].train_loss,
+        "Nesterov loss should decrease"
+    );
+    let acc = h.final_test_acc().unwrap();
+    assert!(acc > 0.8, "Nesterov acc {acc}");
+
+    // And it must actually change the trajectory vs plain SGD.
+    let plain = run_in_process(base_cfg(Algorithm::SSgd).with_lr(0.05));
+    assert_ne!(h.final_weights, plain.final_weights);
 }
 
 #[test]
