@@ -141,6 +141,9 @@ mod tests {
                 test_acc: Some(0.6),
                 epoch_time_s: 2.0,
                 cumulative_push_bytes: 42,
+                cumulative_pull_bytes: 84,
+                epoch_push_bytes: 42,
+                epoch_pull_bytes: 84,
             }],
             final_weights: vec![vec![1.0]],
             profile: None,

@@ -5,6 +5,7 @@ use cdsgd_compress::{
     TwoBitQuantizer,
 };
 use cdsgd_ps::{ServerOptKind, WorkerFault};
+use cdsgd_telemetry::Telemetry;
 use std::time::Duration;
 
 /// A structurally invalid algorithm or training configuration, detected
@@ -302,6 +303,11 @@ pub struct TrainConfig {
     /// Server-side optimizer applied to each aggregated round (extension;
     /// the paper's eq. 10 is [`ServerOptKind::PlainSgd`], the default).
     pub server_opt: ServerOptKind,
+    /// Cross-layer telemetry sink: every layer of the run (server rounds,
+    /// traffic, epoch rollups, aborts — and op spans when
+    /// [`TrainConfig::profile`] is on) emits typed events into it.
+    /// Disabled by default, in which case no event is even constructed.
+    pub telemetry: Telemetry,
 }
 
 impl TrainConfig {
@@ -338,6 +344,7 @@ impl TrainConfig {
             epoch_deadline: None,
             round_deadline: None,
             server_opt: ServerOptKind::PlainSgd,
+            telemetry: Telemetry::disabled(),
         })
     }
 
@@ -428,6 +435,13 @@ impl TrainConfig {
     /// Choose the server-side optimizer (extension; default plain SGD).
     pub fn with_server_opt(mut self, opt: ServerOptKind) -> Self {
         self.server_opt = opt;
+        self
+    }
+
+    /// Attach a telemetry sink observing the whole run (see
+    /// [`TrainConfig::telemetry`]).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }

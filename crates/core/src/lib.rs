@@ -45,6 +45,10 @@ pub mod trainer;
 mod worker;
 
 pub use cdsgd_ps::{ServerOptKind, WorkerFault};
+pub use cdsgd_telemetry as telemetry;
+pub use cdsgd_telemetry::{
+    AggregateSink, Console, Event, JsonlSink, MemorySink, NullSink, Sink, Telemetry,
+};
 pub use config::{Algorithm, Codec, ConfigError, TrainConfig};
 pub use lr::LrSchedule;
 pub use metrics::{AbortRecord, EpochMetrics, TrainingHistory};

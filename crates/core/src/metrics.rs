@@ -20,6 +20,16 @@ pub struct EpochMetrics {
     pub epoch_time_s: f64,
     /// Cumulative bytes pushed worker→server since training started.
     pub cumulative_push_bytes: u64,
+    /// Cumulative pull-reply bytes server→worker since training started
+    /// (the downlink the paper's eq. 4–9 accounting pairs with the
+    /// uplink above).
+    pub cumulative_pull_bytes: u64,
+    /// Bytes pushed during this epoch alone (delta of
+    /// [`EpochMetrics::cumulative_push_bytes`]).
+    pub epoch_push_bytes: u64,
+    /// Bytes pulled during this epoch alone (delta of
+    /// [`EpochMetrics::cumulative_pull_bytes`]).
+    pub epoch_pull_bytes: u64,
 }
 
 /// Where and why a run stopped early (worker lost, server round failed).
@@ -88,16 +98,19 @@ impl TrainingHistory {
     /// Render as tab-separated rows (header + one row per epoch), the
     /// format the figure harnesses print.
     pub fn to_tsv(&self) -> String {
-        let mut out = String::from("epoch\ttrain_loss\ttrain_acc\ttest_acc\tepoch_s\tpush_bytes\n");
+        let mut out = String::from(
+            "epoch\ttrain_loss\ttrain_acc\ttest_acc\tepoch_s\tpush_bytes\tpull_bytes\n",
+        );
         for e in &self.epochs {
             out.push_str(&format!(
-                "{}\t{:.4}\t{:.4}\t{}\t{:.3}\t{}\n",
+                "{}\t{:.4}\t{:.4}\t{}\t{:.3}\t{}\t{}\n",
                 e.epoch,
                 e.train_loss,
                 e.train_acc,
                 e.test_acc.map_or("-".to_string(), |a| format!("{a:.4}")),
                 e.epoch_time_s,
                 e.cumulative_push_bytes,
+                e.cumulative_pull_bytes,
             ));
         }
         out
@@ -123,6 +136,9 @@ mod tests {
                     test_acc: Some(0.4),
                     epoch_time_s: 5.0,
                     cumulative_push_bytes: 100,
+                    cumulative_pull_bytes: 400,
+                    epoch_push_bytes: 100,
+                    epoch_pull_bytes: 400,
                 },
                 EpochMetrics {
                     epoch: 1,
@@ -131,6 +147,9 @@ mod tests {
                     test_acc: Some(0.8),
                     epoch_time_s: 3.0,
                     cumulative_push_bytes: 200,
+                    cumulative_pull_bytes: 800,
+                    epoch_push_bytes: 100,
+                    epoch_pull_bytes: 400,
                 },
                 EpochMetrics {
                     epoch: 2,
@@ -139,6 +158,9 @@ mod tests {
                     test_acc: Some(0.75),
                     epoch_time_s: 3.2,
                     cumulative_push_bytes: 300,
+                    cumulative_pull_bytes: 1200,
+                    epoch_push_bytes: 100,
+                    epoch_pull_bytes: 400,
                 },
             ],
         }
@@ -160,7 +182,9 @@ mod tests {
         let lines: Vec<&str> = tsv.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].starts_with("epoch\t"));
+        assert!(lines[0].ends_with("push_bytes\tpull_bytes"));
         assert!(lines[1].contains("2.0000"));
+        assert!(lines[1].ends_with("100\t400"));
     }
 
     #[test]

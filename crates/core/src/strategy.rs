@@ -23,7 +23,7 @@
 //! from the old code for every variant on two backends.
 
 use crate::config::{Algorithm, TrainConfig};
-use crate::profile::{OpKind, Profiler};
+use crate::profile::{OpKind, WorkerProfile};
 use cdsgd_compress::{
     BufferPool, Compressed, GradientCompressor, OneBitQuantizer, TwoBitQuantizer,
 };
@@ -42,8 +42,9 @@ pub(crate) struct StepCtx<'a> {
     pub cfg: &'a TrainConfig,
     /// Iterations per epoch (AR-SGD's worker-side lr schedule needs it).
     pub iters_per_epoch: usize,
-    /// Present when op-interval profiling is enabled.
-    pub profiler: Option<&'a Profiler>,
+    /// This worker's recording handle, present when op-interval
+    /// profiling is enabled. Recording is a local buffer push — no lock.
+    pub profiler: Option<&'a WorkerProfile>,
 }
 
 impl StepCtx<'_> {
@@ -56,7 +57,7 @@ impl StepCtx<'_> {
     /// `round` (which some strategies report post-increment).
     fn record(&self, op: OpKind, round: u64, start: Option<f64>) {
         if let (Some(p), Some(t)) = (self.profiler, start) {
-            p.record(self.id, op, round, t);
+            p.record(op, round, t);
         }
     }
 }
@@ -100,6 +101,18 @@ pub(crate) trait UpdateStrategy: Send {
     /// server instead; server-less strategies export the model.
     fn final_weights(&self, _model: &mut Sequential) -> Option<Vec<Vec<f32>>> {
         None
+    }
+
+    /// Wait for any in-flight asynchronous replies *without* adopting
+    /// them (they are cached for the next [`UpdateStrategy::adopt`]).
+    /// Called at every epoch end before the worker reports, so the
+    /// trainer's epoch-boundary byte counters are final — a reply still
+    /// on the wire would otherwise race the sample and make the
+    /// `push_bytes`/`pull_bytes` history columns non-deterministic.
+    /// Values are unaffected: the reply holds the same version-`r+1`
+    /// snapshot whenever the worker waits for it.
+    fn settle(&mut self, _ctx: &StepCtx) -> Result<(), NetError> {
+        Ok(())
     }
 
     /// Drain any outstanding asynchronous communication before the worker
@@ -302,6 +315,9 @@ struct DelayedStrategy {
     dc_lambda: f32,
     /// Async pulls fired last round for this round's base.
     pending: Option<Vec<PendingPull>>,
+    /// Replies already received by an epoch-end [`DelayedStrategy::settle`],
+    /// held for the next round's adoption.
+    settled: Option<Vec<Arc<[f32]>>>,
     // Scratch reused every round.
     dc_grads: Vec<Vec<f32>>,
     w_loc: Vec<Vec<f32>>,
@@ -378,11 +394,17 @@ impl UpdateStrategy for DelayedStrategy {
             // outstanding.
             if round > self.warmup {
                 let t = ctx.now();
-                let receivers = self.pending.take().expect("async pull fired last round");
-                self.link.base = receivers
-                    .into_iter()
-                    .map(|r| r.wait())
-                    .collect::<Result<_, _>>()?;
+                self.link.base = match self.settled.take() {
+                    // An epoch-end settle already received the replies.
+                    Some(base) => base,
+                    None => {
+                        let receivers = self.pending.take().expect("async pull fired last round");
+                        receivers
+                            .into_iter()
+                            .map(|r| r.wait())
+                            .collect::<Result<_, _>>()?
+                    }
+                };
                 ctx.record(OpKind::PullWait, round, t);
             }
             // Request next round's base (version round+1) now; the
@@ -417,11 +439,32 @@ impl UpdateStrategy for DelayedStrategy {
         Some(&self.link.base)
     }
 
+    fn settle(&mut self, ctx: &StepCtx) -> Result<(), NetError> {
+        // Receive (but do not adopt) the deferred pull fired by the
+        // epoch's last iteration. The reply only comes back once every
+        // worker's push for that round is applied, so after all workers
+        // settle, every push/pull of the epoch has been counted on both
+        // the server and the client side. The wait is real pull-wait
+        // time, charged to the round that would have adopted the reply.
+        if let Some(receivers) = self.pending.take() {
+            let t = ctx.now();
+            self.settled = Some(
+                receivers
+                    .into_iter()
+                    .map(|r| r.wait())
+                    .collect::<Result<_, _>>()?,
+            );
+            ctx.record(OpKind::PullWait, ctx.round, t);
+        }
+        Ok(())
+    }
+
     fn finish(&mut self) -> Result<(), NetError> {
-        // Drain the final round's outstanding pull. The reply only
-        // arrives once every worker's last push is applied, so returning
-        // from here guarantees the server group holds the
-        // fully-aggregated final weights.
+        // Drain the final round's outstanding pull (a no-op after the
+        // last epoch's settle). The reply only arrives once every
+        // worker's last push is applied, so returning from here
+        // guarantees the server group holds the fully-aggregated final
+        // weights.
         if let Some(receivers) = self.pending.take() {
             for r in receivers {
                 r.wait()?;
@@ -659,6 +702,7 @@ pub(crate) fn build_strategy(
             compressor: None,
             dc_lambda: 0.0,
             pending: None,
+            settled: None,
             dc_grads: Vec::new(),
             w_loc: Vec::new(),
         }),
@@ -675,6 +719,7 @@ pub(crate) fn build_strategy(
             compressor: Some((*k as u64, codec.build())),
             dc_lambda: *dc_lambda,
             pending: None,
+            settled: None,
             dc_grads: Vec::new(),
             w_loc: Vec::new(),
         }),

@@ -12,6 +12,7 @@ use cdsgd_ps::{
     allreduce::ring_group, FaultyClient, InProcessBackend, NetError, ParamClient, ParamServer,
     PsBackend, ServerConfig,
 };
+use cdsgd_telemetry::{Event, Telemetry};
 use cdsgd_tensor::SmallRng64;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
@@ -96,9 +97,10 @@ impl Trainer {
     /// # Panics
     /// Panics if any shard is smaller than one batch.
     pub fn run(&self) -> TrainingHistory {
-        self.run_with(|init, cfg| {
-            Ok(Box::new(InProcessBackend::new(ParamServer::start(
-                init, cfg,
+        let telemetry = self.cfg.telemetry.clone();
+        self.run_with(move |init, cfg| {
+            Ok(Box::new(InProcessBackend::new(ParamServer::start_traced(
+                init, cfg, telemetry,
             ))))
         })
         .expect("in-process backend cannot fail to connect")
@@ -171,7 +173,7 @@ impl Trainer {
         // No workers are running yet: setup errors fail without cleanup.
         let ps = match backend(init, server_cfg) {
             Ok(ps) => ps,
-            Err(e) => return Err(fail(history, e, 0, 0)),
+            Err(e) => return Err(fail(history, e, 0, 0, &self.cfg.telemetry)),
         };
         let use_ring = self.cfg.algo.uses_ring();
         let (mut ring_members, ring_stats) = if use_ring {
@@ -183,7 +185,10 @@ impl Trainer {
         } else {
             (Vec::new(), None)
         };
-        let profiler = self.cfg.profile.then(Profiler::new);
+        let profiler = self
+            .cfg
+            .profile
+            .then(|| Profiler::with_telemetry(self.cfg.telemetry.clone()));
         let barrier = Arc::new(PoisonBarrier::new(n + 1));
         let (report_tx, report_rx) = crossbeam::channel::unbounded::<EpochReport>();
 
@@ -195,7 +200,16 @@ impl Trainer {
             let client = match ps.client() {
                 Ok(c) => c,
                 Err(e) => {
-                    return Err(abort(ps, &barrier, &mut handles, history, e, 0, ipe));
+                    return Err(abort(
+                        ps,
+                        &barrier,
+                        &mut handles,
+                        history,
+                        e,
+                        0,
+                        ipe,
+                        &self.cfg.telemetry,
+                    ));
                 }
             };
             // Scripted chaos: the designated victim gets a client that
@@ -221,7 +235,7 @@ impl Trainer {
                 iters_per_epoch: ipe,
                 barrier: Arc::clone(&barrier),
                 report: report_tx.clone(),
-                profiler: profiler.clone(),
+                profiler: profiler.as_ref().map(|p| p.worker(w)),
             };
             handles.push(Some(
                 std::thread::Builder::new()
@@ -233,6 +247,7 @@ impl Trainer {
         drop(report_tx);
 
         let mut epoch_start = Instant::now();
+        let (mut prev_push, mut prev_pull) = (0u64, 0u64);
         for epoch in 0..self.cfg.epochs {
             // Apply lr decay scheduled for this epoch before it runs...
             // (workers are still blocked on the previous barrier for
@@ -240,7 +255,16 @@ impl Trainer {
             for &(at, lr) in &self.cfg.lr_schedule {
                 if at == epoch {
                     if let Err(e) = ps.set_lr(lr) {
-                        return Err(abort(ps, &barrier, &mut handles, history, e, epoch, ipe));
+                        return Err(abort(
+                            ps,
+                            &barrier,
+                            &mut handles,
+                            history,
+                            e,
+                            epoch,
+                            ipe,
+                            &self.cfg.telemetry,
+                        ));
                     }
                 }
             }
@@ -270,7 +294,16 @@ impl Trainer {
                 ) {
                     Ok(r) => r,
                     Err(e) => {
-                        return Err(abort(ps, &barrier, &mut handles, history, e, epoch, ipe));
+                        return Err(abort(
+                            ps,
+                            &barrier,
+                            &mut handles,
+                            history,
+                            e,
+                            epoch,
+                            ipe,
+                            &self.cfg.telemetry,
+                        ));
                     }
                 };
                 assert_eq!(r.epoch, epoch, "epoch skew from worker {}", r.worker);
@@ -285,16 +318,34 @@ impl Trainer {
                     history.final_weights = w;
                 }
             }
-            history.epochs.push(EpochMetrics {
+            let cum_push = ring_stats
+                .as_ref()
+                .map_or_else(|| ps.bytes_pushed(), |s| s.bytes_pushed());
+            let cum_pull = ring_stats
+                .as_ref()
+                .map_or_else(|| ps.bytes_pulled(), |s| s.bytes_pulled());
+            let m = EpochMetrics {
                 epoch,
                 train_loss: (loss_sum / batches as f64) as f32,
                 train_acc: (acc_sum / batches as f64) as f32,
                 test_acc,
                 epoch_time_s: epoch_start.elapsed().as_secs_f64(),
-                cumulative_push_bytes: ring_stats
-                    .as_ref()
-                    .map_or_else(|| ps.bytes_pushed(), |s| s.bytes_pushed()),
+                cumulative_push_bytes: cum_push,
+                cumulative_pull_bytes: cum_pull,
+                epoch_push_bytes: cum_push - prev_push,
+                epoch_pull_bytes: cum_pull - prev_pull,
+            };
+            (prev_push, prev_pull) = (cum_push, cum_pull);
+            self.cfg.telemetry.emit(|| Event::Epoch {
+                epoch,
+                train_loss: m.train_loss,
+                train_acc: m.train_acc,
+                test_acc: m.test_acc,
+                seconds: m.epoch_time_s,
+                push_bytes: m.cumulative_push_bytes,
+                pull_bytes: m.cumulative_pull_bytes,
             });
+            history.epochs.push(m);
         }
         // Release workers from the final barrier so they can exit. They
         // still drain their last outstanding pulls, which needs a live
@@ -311,6 +362,7 @@ impl Trainer {
                     e,
                     self.cfg.epochs,
                     ipe,
+                    &self.cfg.telemetry,
                 ));
             }
         }
@@ -326,12 +378,14 @@ impl Trainer {
                         e,
                         self.cfg.epochs,
                         ipe,
+                        &self.cfg.telemetry,
                     ));
                 }
             }
         }
         history.profile = profiler.map(|p| p.take());
         ps.shutdown();
+        self.cfg.telemetry.flush();
         Ok(history)
     }
 
@@ -427,17 +481,29 @@ fn join_error(
     }
 }
 
-/// Attach the abort record and box the failure.
+/// Attach the abort record, emit the supervision events, and box the
+/// failure.
 fn fail(
     mut history: TrainingHistory,
     error: NetError,
     epoch: usize,
     ipe: usize,
+    tel: &Telemetry,
 ) -> Box<TrainFailure> {
     let round = match &error {
         NetError::WorkerLost { round, .. } => *round,
         _ => first_round(epoch, ipe),
     };
+    if let NetError::WorkerLost { id, round } = &error {
+        let (id, round) = (*id, *round);
+        tel.emit(|| Event::WorkerLost { id, round });
+    }
+    tel.emit(|| Event::Abort {
+        epoch,
+        round,
+        error: error.to_string(),
+    });
+    tel.flush();
     history.aborted = Some(AbortRecord {
         epoch,
         round,
@@ -451,6 +517,7 @@ fn fail(
 /// every blocked or future parameter-server call with a typed error —
 /// which also terminates workers still mid-computation at their next
 /// push/pull), then join what's left and attach the abort record.
+#[allow(clippy::too_many_arguments)]
 fn abort(
     ps: Box<dyn PsBackend>,
     barrier: &PoisonBarrier,
@@ -459,13 +526,14 @@ fn abort(
     error: NetError,
     epoch: usize,
     ipe: usize,
+    tel: &Telemetry,
 ) -> Box<TrainFailure> {
     barrier.poison(error.clone());
     ps.shutdown();
     for h in handles.iter_mut().filter_map(Option::take) {
         let _ = h.join();
     }
-    fail(history, error, epoch, ipe)
+    fail(history, error, epoch, ipe, tel)
 }
 
 /// Run one worker as its own OS process against remote parameter-server
@@ -501,7 +569,37 @@ pub fn run_standalone_worker(
     let mut wrng = SmallRng64::new(cfg.seed);
     let model = (builder)(&mut wrng);
     let epochs = cfg.epochs;
+    let telemetry = cfg.telemetry.clone();
     let (report_tx, report_rx) = crossbeam::channel::unbounded::<EpochReport>();
+    // Drain reports as they arrive, so epoch rollup events stream out
+    // live (with real per-epoch wall-clock) instead of all at exit. Push
+    // and pull byte totals are zero here: a standalone worker's traffic
+    // lives in its client-side frame events, not in this rollup.
+    let drainer = std::thread::Builder::new()
+        .name("worker-report-drain".into())
+        .spawn(move || {
+            let mut epoch_start = Instant::now();
+            let mut out = vec![(0.0, None); epochs];
+            for r in report_rx.iter() {
+                let batches = r.batches.max(1) as f64;
+                let loss = (r.loss_sum / batches) as f32;
+                let acc = (r.acc_sum / batches) as f32;
+                telemetry.emit(|| Event::Epoch {
+                    epoch: r.epoch,
+                    train_loss: loss,
+                    train_acc: acc,
+                    test_acc: r.test_acc,
+                    seconds: epoch_start.elapsed().as_secs_f64(),
+                    push_bytes: 0,
+                    pull_bytes: 0,
+                });
+                epoch_start = Instant::now();
+                out[r.epoch] = (loss, r.test_acc);
+            }
+            telemetry.flush();
+            out
+        })
+        .expect("spawn report drain thread");
     let args = WorkerArgs {
         id,
         shard: train.shard(id, n),
@@ -512,17 +610,17 @@ pub fn run_standalone_worker(
         ring: None,
         iters_per_epoch: ipe,
         // No trainer thread to rendezvous with: a 1-party barrier makes
-        // every `wait` a no-op, and the unbounded channel absorbs the
-        // per-epoch reports until we drain them below.
+        // every `wait` a no-op.
         barrier: Arc::new(PoisonBarrier::new(1)),
         report: report_tx,
         profiler: None,
     };
-    run_worker(args)?;
-    let mut out = vec![(0.0, None); epochs];
-    while let Ok(r) = report_rx.try_recv() {
-        out[r.epoch] = ((r.loss_sum / r.batches.max(1) as f64) as f32, r.test_acc);
-    }
+    // `args` (and with it the report sender) drops when the worker
+    // returns, ending the drainer's loop — join it even on error so the
+    // rollup events are flushed before the caller sees the failure.
+    let result = run_worker(args);
+    let out = drainer.join().expect("report drain thread");
+    result?;
     Ok(out)
 }
 

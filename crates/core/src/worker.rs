@@ -7,7 +7,7 @@
 //! evaluation and reporting.
 
 use crate::config::TrainConfig;
-use crate::profile::{OpKind, Profiler};
+use crate::profile::{OpKind, WorkerProfile};
 use crate::strategy::{build_strategy, StepCtx};
 
 use crate::supervise::PoisonBarrier;
@@ -53,8 +53,10 @@ pub(crate) struct WorkerArgs {
     /// another worker is lost, so `wait` is fallible.
     pub barrier: Arc<PoisonBarrier>,
     pub report: Sender<EpochReport>,
-    /// When present, record wall-clock op intervals.
-    pub profiler: Option<Profiler>,
+    /// When present, record wall-clock op intervals into this worker's
+    /// local buffer (merged into the shared profiler at the epoch
+    /// barrier, so recording never contends with other workers).
+    pub profiler: Option<WorkerProfile>,
 }
 
 /// Run one worker to completion. See the crate docs for the exact
@@ -92,7 +94,7 @@ pub(crate) fn run_worker(mut a: WorkerArgs) -> Result<(), NetError> {
             let t_fp = a.profiler.as_ref().map(|p| p.now());
             let logits = a.model.forward(&batch.x, Mode::Train);
             if let (Some(p), Some(t)) = (&a.profiler, t_fp) {
-                p.record(a.id, OpKind::Forward, round, t);
+                p.record(OpKind::Forward, round, t);
             }
             let (loss, dlogits) = loss_fn.loss_and_grad(&logits, &batch.y);
             loss_sum += loss as f64;
@@ -102,7 +104,7 @@ pub(crate) fn run_worker(mut a: WorkerArgs) -> Result<(), NetError> {
             a.model.backward(&dlogits);
             a.model.export_grads_into(&mut grads);
             if let (Some(p), Some(t)) = (&a.profiler, t_bp) {
-                p.record(a.id, OpKind::Backward, round, t);
+                p.record(OpKind::Backward, round, t);
             }
 
             // ---- the algorithm's step: stage, synchronize, adopt ----
@@ -118,6 +120,19 @@ pub(crate) fn run_worker(mut a: WorkerArgs) -> Result<(), NetError> {
             strategy.adopt(&mut a.model, &grads, &ctx)?;
             round += 1;
         }
+
+        // Receive (without adopting) any reply still in flight before
+        // reporting, so the byte counters the trainer samples at the
+        // epoch boundary are final — deterministic run to run and
+        // bit-identical across backends.
+        let ctx = StepCtx {
+            id: a.id,
+            round,
+            cfg: &a.cfg,
+            iters_per_epoch: a.iters_per_epoch,
+            profiler: a.profiler.as_ref(),
+        };
+        strategy.settle(&ctx)?;
 
         // ---- epoch end: evaluate global weights (worker 0 only) ----
         let test_acc = match (a.test.as_ref(), strategy.eval_base()) {
@@ -152,6 +167,12 @@ pub(crate) fn run_worker(mut a: WorkerArgs) -> Result<(), NetError> {
         // failure.
         if a.report.send(report).is_err() {
             return Ok(());
+        }
+        // Merge this epoch's locally-buffered profile intervals while the
+        // other workers are also at the barrier — the one shared-lock
+        // acquisition per epoch the profiler allows.
+        if let Some(p) = &a.profiler {
+            p.flush();
         }
         a.barrier.wait()?;
     }

@@ -143,6 +143,10 @@ impl Transport for FaultyTransport {
         }))
     }
 
+    fn conn_id(&self) -> u64 {
+        self.inner.conn_id()
+    }
+
     fn peer(&self) -> String {
         format!("faulty({})", self.inner.peer())
     }

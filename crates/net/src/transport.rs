@@ -17,8 +17,18 @@ use crate::wire::{FRAME_PREFIX_BYTES, MAX_FRAME_BYTES};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Process-wide [`Transport::conn_id`] allocator: each connection
+/// endpoint constructed in this process gets a distinct id; clones of an
+/// endpoint share it.
+static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_conn_id() -> u64 {
+    NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Connection and I/O policy for the TCP backend.
 #[derive(Debug, Clone)]
@@ -61,6 +71,11 @@ impl Default for NetConfig {
 /// separate threads (the standard reader-thread / writer-thread split).
 /// Receive buffers are per-handle: exactly one handle should receive.
 pub trait Transport: Send {
+    /// A process-unique identifier for the underlying connection, stable
+    /// across [`Transport::try_clone`] — so telemetry can attribute
+    /// frame traffic per connection even under a reader/writer split.
+    fn conn_id(&self) -> u64;
+
     /// Send one frame (`body` must be at most [`MAX_FRAME_BYTES`]).
     /// Blocks until the frame is fully written.
     fn send_frame(&mut self, body: &[u8]) -> Result<(), NetError>;
@@ -91,6 +106,7 @@ pub struct TcpTransport {
     stream: TcpStream,
     peer: String,
     timeout: Option<Duration>,
+    conn: u64,
     /// Bytes read off the socket but not yet returned as a frame.
     /// Survives timeouts so polling cannot desync the frame stream.
     rbuf: Vec<u8>,
@@ -145,6 +161,7 @@ impl TcpTransport {
             stream,
             peer,
             timeout: cfg.io_timeout,
+            conn: next_conn_id(),
             rbuf: Vec::new(),
         })
     }
@@ -230,8 +247,13 @@ impl Transport for TcpTransport {
             stream: self.stream.try_clone()?,
             peer: self.peer.clone(),
             timeout: self.timeout,
+            conn: self.conn,
             rbuf: Vec::new(),
         }))
+    }
+
+    fn conn_id(&self) -> u64 {
+        self.conn
     }
 
     fn peer(&self) -> String {
@@ -378,6 +400,7 @@ pub struct LoopbackTransport {
     send: Arc<FrameQueue>,
     recv: Arc<FrameQueue>,
     timeout: Option<Duration>,
+    conn: u64,
     _close: Arc<CloseOnDrop>,
     peer: &'static str,
 }
@@ -392,6 +415,7 @@ pub fn loopback_pair() -> (LoopbackTransport, LoopbackTransport) {
         send: Arc::clone(&a_to_b),
         recv: Arc::clone(&b_to_a),
         timeout: None,
+        conn: next_conn_id(),
         _close: Arc::new(CloseOnDrop {
             send: Arc::clone(&a_to_b),
             recv: Arc::clone(&b_to_a),
@@ -402,6 +426,7 @@ pub fn loopback_pair() -> (LoopbackTransport, LoopbackTransport) {
         send: Arc::clone(&b_to_a),
         recv: Arc::clone(&a_to_b),
         timeout: None,
+        conn: next_conn_id(),
         _close: Arc::new(CloseOnDrop {
             send: b_to_a,
             recv: a_to_b,
@@ -439,9 +464,14 @@ impl Transport for LoopbackTransport {
             send: Arc::clone(&self.send),
             recv: Arc::clone(&self.recv),
             timeout: self.timeout,
+            conn: self.conn,
             _close: Arc::clone(&self._close),
             peer: self.peer,
         }))
+    }
+
+    fn conn_id(&self) -> u64 {
+        self.conn
     }
 
     fn peer(&self) -> String {
@@ -461,6 +491,21 @@ mod tests {
             io_timeout: Some(Duration::from_millis(500)),
             nodelay: true,
         }
+    }
+
+    #[test]
+    fn conn_ids_are_distinct_per_endpoint_and_stable_across_clone() {
+        let (a, b) = loopback_pair();
+        assert_ne!(a.conn_id(), b.conn_id());
+        assert_eq!(a.conn_id(), a.try_clone().unwrap().conn_id());
+
+        let cfg = fast_cfg();
+        let (acceptor, addr) = TcpAcceptor::bind("127.0.0.1:0", cfg.clone()).unwrap();
+        let handle = std::thread::spawn(move || acceptor.accept(Duration::from_secs(5)).unwrap());
+        let client = TcpTransport::connect(addr, &cfg).unwrap();
+        let server = handle.join().unwrap();
+        assert_ne!(client.conn_id(), server.conn_id());
+        assert_eq!(client.conn_id(), client.try_clone().unwrap().conn_id());
     }
 
     #[test]

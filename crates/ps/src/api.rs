@@ -89,6 +89,11 @@ pub trait PsBackend {
     /// Cumulative worker→server traffic (encoded frame bytes).
     fn bytes_pushed(&self) -> u64;
 
+    /// Cumulative server→worker pull-reply traffic (encoded frame
+    /// bytes). Same accounting surface as [`PsBackend::bytes_pushed`],
+    /// mirrored for the downlink.
+    fn bytes_pulled(&self) -> u64;
+
     /// The failure that ended aggregation on some shard (its round
     /// deadline fired), if any. `None` for backends that cannot observe
     /// shard failures (e.g. external server processes, which exit nonzero
@@ -135,6 +140,10 @@ impl PsBackend for InProcessBackend {
 
     fn bytes_pushed(&self) -> u64 {
         self.ps.stats().bytes_pushed()
+    }
+
+    fn bytes_pulled(&self) -> u64 {
+        self.ps.stats().bytes_pulled()
     }
 
     fn failure(&self) -> Option<NetError> {

@@ -79,7 +79,18 @@ impl PsNetServer {
     /// Start a server thread owning `init` and ready to accept
     /// connections.
     pub fn start(init: Vec<Vec<f32>>, cfg: ServerConfig) -> Arc<Self> {
-        let ps = ParamServer::start(init, cfg);
+        Self::start_traced(init, cfg, cdsgd_telemetry::Telemetry::disabled())
+    }
+
+    /// [`PsNetServer::start`] with a telemetry sink attached: every
+    /// protocol-, transport- and round-lifecycle event this shard
+    /// produces is forwarded to `telemetry` in addition to the counters.
+    pub fn start_traced(
+        init: Vec<Vec<f32>>,
+        cfg: ServerConfig,
+        telemetry: cdsgd_telemetry::Telemetry,
+    ) -> Arc<Self> {
+        let ps = ParamServer::start_traced(init, cfg, telemetry);
         Arc::new(Self {
             client: ps.client(),
             stats: ps.stats_arc(),
@@ -97,6 +108,7 @@ impl PsNetServer {
         reader_t.set_recv_timeout(Some(POLL))?;
         let mut writer_t = reader_t.try_clone()?;
         let peer = reader_t.peer();
+        let conn = reader_t.conn_id();
 
         let client = self.client.clone();
         let stats = Arc::clone(&self.stats);
@@ -117,7 +129,7 @@ impl PsNetServer {
                         Err(NetError::Timeout) => continue,
                         Err(_) => break,
                     }
-                    stats.record_received(FRAME_PREFIX_BYTES + buf.len());
+                    stats.record_received(conn, FRAME_PREFIX_BYTES + buf.len());
                     let msg = match wire::decode_msg(&buf) {
                         Ok(m) => m,
                         Err(_) => break,
@@ -200,7 +212,7 @@ impl PsNetServer {
                     if writer_t.send_frame(&buf).is_err() {
                         break;
                     }
-                    wstats.record_sent(FRAME_PREFIX_BYTES + buf.len());
+                    wstats.record_sent(conn, FRAME_PREFIX_BYTES + buf.len());
                 }
             })
             .map_err(spawn_err)?;
@@ -328,6 +340,8 @@ pub struct RemoteClient {
     pool: BufferPool,
     stop: Arc<AtomicBool>,
     reader: Option<JoinHandle<()>>,
+    /// Transport connection id, tagged onto frame events.
+    conn: u64,
 }
 
 impl RemoteClient {
@@ -341,6 +355,7 @@ impl RemoteClient {
     ) -> Result<Self, NetError> {
         let mut read_t = transport.try_clone()?;
         read_t.set_recv_timeout(Some(POLL))?;
+        let conn = transport.conn_id();
         let pending = Arc::new(Mutex::new(Pending::default()));
         let stop = Arc::new(AtomicBool::new(false));
 
@@ -360,7 +375,7 @@ impl RemoteClient {
                         Err(NetError::Timeout) => continue,
                         Err(_) => break,
                     }
-                    stats2.record_received(FRAME_PREFIX_BYTES + buf.len());
+                    stats2.record_received(conn, FRAME_PREFIX_BYTES + buf.len());
                     match wire::decode_msg(&buf) {
                         Ok(WireMsg::PullReply {
                             key,
@@ -410,6 +425,7 @@ impl RemoteClient {
             pool,
             stop,
             reader: Some(reader),
+            conn,
         })
     }
 
@@ -421,7 +437,7 @@ impl RemoteClient {
         t.send_frame(buf)?;
         let n = FRAME_PREFIX_BYTES + buf.len();
         drop(w);
-        self.stats.record_sent(n);
+        self.stats.record_sent(self.conn, n);
         Ok(n)
     }
 
@@ -451,7 +467,7 @@ impl ParamClient for RemoteClient {
         // Same formula the in-process server charges, so histories match
         // across backends bit-for-bit.
         self.stats.record_push(n);
-        self.stats.record_sent(n);
+        self.stats.record_sent(self.conn, n);
         payload.recycle(&self.pool);
         Ok(())
     }
@@ -529,6 +545,22 @@ impl NetCluster {
         cfg: ServerConfig,
         num_shards: usize,
     ) -> Result<Self, NetError> {
+        Self::start_loopback_traced(
+            init,
+            cfg,
+            num_shards,
+            cdsgd_telemetry::Telemetry::disabled(),
+        )
+    }
+
+    /// [`NetCluster::start_loopback`] with a telemetry sink attached to
+    /// the cluster's client-side traffic accounting.
+    pub fn start_loopback_traced(
+        init: Vec<Vec<f32>>,
+        cfg: ServerConfig,
+        num_shards: usize,
+        telemetry: cdsgd_telemetry::Telemetry,
+    ) -> Result<Self, NetError> {
         let num_keys = init.len();
         let local: Vec<_> = partition_keys(init, num_shards)
             .into_iter()
@@ -538,7 +570,14 @@ impl NetCluster {
             .iter()
             .map(|s| ShardConn::Loopback(Arc::clone(s)))
             .collect();
-        Self::assemble(conns, local, false, num_keys, NetConfig::default())
+        Self::assemble(
+            conns,
+            local,
+            false,
+            num_keys,
+            NetConfig::default(),
+            telemetry,
+        )
     }
 
     /// Shards in this process, each listening on an ephemeral localhost
@@ -548,6 +587,24 @@ impl NetCluster {
         cfg: ServerConfig,
         num_shards: usize,
         net: NetConfig,
+    ) -> Result<Self, NetError> {
+        Self::start_tcp_local_traced(
+            init,
+            cfg,
+            num_shards,
+            net,
+            cdsgd_telemetry::Telemetry::disabled(),
+        )
+    }
+
+    /// [`NetCluster::start_tcp_local`] with a telemetry sink attached to
+    /// the cluster's client-side traffic accounting.
+    pub fn start_tcp_local_traced(
+        init: Vec<Vec<f32>>,
+        cfg: ServerConfig,
+        num_shards: usize,
+        net: NetConfig,
+        telemetry: cdsgd_telemetry::Telemetry,
     ) -> Result<Self, NetError> {
         let num_keys = init.len();
         let mut local = Vec::new();
@@ -559,16 +616,28 @@ impl NetCluster {
             conns.push(ShardConn::Tcp(addr.to_string()));
             local.push(server);
         }
-        Self::assemble(conns, local, false, num_keys, net)
+        Self::assemble(conns, local, false, num_keys, net, telemetry)
     }
 
     /// Connect to already-running `psd` shard processes, `addrs[i]`
     /// serving global keys `{k : k % addrs.len() == i}`. Shutdown frames
     /// are sent to every shard when this cluster shuts down.
     pub fn connect(addrs: &[String], num_keys: usize, net: NetConfig) -> Result<Self, NetError> {
+        Self::connect_traced(addrs, num_keys, net, cdsgd_telemetry::Telemetry::disabled())
+    }
+
+    /// [`NetCluster::connect`] with a telemetry sink attached to the
+    /// client-side traffic accounting: every push/pull/frame event any
+    /// client of this cluster records is forwarded to `telemetry`.
+    pub fn connect_traced(
+        addrs: &[String],
+        num_keys: usize,
+        net: NetConfig,
+        telemetry: cdsgd_telemetry::Telemetry,
+    ) -> Result<Self, NetError> {
         assert!(!addrs.is_empty(), "need at least one shard address");
         let conns = addrs.iter().map(|a| ShardConn::Tcp(a.clone())).collect();
-        Self::assemble(conns, Vec::new(), true, num_keys, net)
+        Self::assemble(conns, Vec::new(), true, num_keys, net, telemetry)
     }
 
     fn assemble(
@@ -577,6 +646,7 @@ impl NetCluster {
         remote_shutdown: bool,
         num_keys: usize,
         net: NetConfig,
+        telemetry: cdsgd_telemetry::Telemetry,
     ) -> Result<Self, NetError> {
         let mut cluster = Self {
             conns,
@@ -584,7 +654,7 @@ impl NetCluster {
             remote_shutdown,
             num_keys,
             net,
-            stats: Arc::new(TrafficStats::new()),
+            stats: Arc::new(TrafficStats::with_telemetry(telemetry)),
             control: Vec::new(),
         };
         let pool = BufferPool::new();
@@ -621,6 +691,13 @@ impl NetCluster {
     pub fn stats(&self) -> &TrafficStats {
         &self.stats
     }
+
+    /// Shared ownership of the client-side counters, so a caller can
+    /// keep reading them after the cluster has been consumed (e.g. to
+    /// check final accounting once a training run shuts it down).
+    pub fn shared_stats(&self) -> Arc<TrafficStats> {
+        Arc::clone(&self.stats)
+    }
 }
 
 impl PsBackend for NetCluster {
@@ -655,6 +732,10 @@ impl PsBackend for NetCluster {
 
     fn bytes_pushed(&self) -> u64 {
         self.stats.bytes_pushed()
+    }
+
+    fn bytes_pulled(&self) -> u64 {
+        self.stats.bytes_pulled()
     }
 
     fn failure(&self) -> Option<NetError> {

@@ -9,6 +9,7 @@ use crate::Key;
 use cdsgd_compress::{decompress_add, BufferPool, Compressed};
 use cdsgd_net::wire::{pull_reply_frame_bytes, push_frame_bytes};
 use cdsgd_net::NetError;
+use cdsgd_telemetry::{Event, Telemetry};
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -165,19 +166,29 @@ impl ParamServer {
     /// Start a server owning `init` as the initial weights (one vector per
     /// key, keys are the indices).
     pub fn start(init: Vec<Vec<f32>>, cfg: ServerConfig) -> Self {
-        Self::start_with_pool(init, cfg, BufferPool::new())
+        Self::start_traced(init, cfg, Telemetry::disabled())
     }
 
-    /// Like [`ParamServer::start`] but sharing `pool` with the caller —
-    /// a sharded group passes one pool to every shard so payload buffers
-    /// recycle across the whole group instead of fragmenting per shard.
+    /// Like [`ParamServer::start`], additionally forwarding every traffic
+    /// and round-lifecycle event this server observes to `telemetry`
+    /// (e.g. a `JsonlSink` trace). [`ServerConfig`] stays `Copy`, so the
+    /// handle rides in explicitly rather than in the config.
+    pub fn start_traced(init: Vec<Vec<f32>>, cfg: ServerConfig, telemetry: Telemetry) -> Self {
+        Self::start_with_pool(init, cfg, BufferPool::new(), telemetry)
+    }
+
+    /// Like [`ParamServer::start_traced`] but sharing `pool` with the
+    /// caller — a sharded group passes one pool to every shard so payload
+    /// buffers recycle across the whole group instead of fragmenting per
+    /// shard.
     pub(crate) fn start_with_pool(
         init: Vec<Vec<f32>>,
         cfg: ServerConfig,
         pool: BufferPool,
+        telemetry: Telemetry,
     ) -> Self {
         let (tx, rx) = unbounded();
-        let stats = Arc::new(TrafficStats::new());
+        let stats = Arc::new(TrafficStats::with_telemetry(telemetry));
         let failure = Arc::new(Mutex::new(None));
         let stats2 = Arc::clone(&stats);
         let failure2 = Arc::clone(&failure);
@@ -208,7 +219,22 @@ impl ParamServer {
         cfg: ServerConfig,
         num_shards: usize,
     ) -> ShardedParamServer {
-        ShardedParamServer::start(init, cfg, num_shards)
+        ShardedParamServer::start(init, cfg, num_shards, Telemetry::disabled())
+    }
+
+    /// Like [`ParamServer::start_sharded`], with every shard forwarding
+    /// its events to `telemetry` (shards share the one handle, so a
+    /// single trace sees the whole group).
+    ///
+    /// # Panics
+    /// Panics if `num_shards == 0`.
+    pub fn start_sharded_traced(
+        init: Vec<Vec<f32>>,
+        cfg: ServerConfig,
+        num_shards: usize,
+        telemetry: Telemetry,
+    ) -> ShardedParamServer {
+        ShardedParamServer::start(init, cfg, num_shards, telemetry)
     }
 
     /// A client handle usable from any thread.
@@ -225,6 +251,13 @@ impl ParamServer {
     /// networked front-end) that outlives any one borrow of the server.
     pub(crate) fn stats_arc(&self) -> Arc<TrafficStats> {
         Arc::clone(&self.stats)
+    }
+
+    /// Shared ownership of the traffic counters, so a caller can keep
+    /// reading them after the server itself has been consumed (e.g. to
+    /// check final accounting once a training run shuts it down).
+    pub fn shared_stats(&self) -> Arc<TrafficStats> {
+        self.stats_arc()
     }
 
     /// The payload buffer pool shared between this server and its
@@ -348,8 +381,11 @@ fn server_loop(
                     }
                     apply_update(ks, &cfg, &stats);
                     ks.version += 1;
-                    // Release any pulls now satisfied.
                     let version = ks.version;
+                    stats
+                        .telemetry()
+                        .emit(|| Event::RoundComplete { key, version });
+                    // Release any pulls now satisfied.
                     let mut rest = Vec::new();
                     let mut ready = Vec::new();
                     for w in ks.waiting.drain(..) {
@@ -368,12 +404,20 @@ fn server_loop(
                     }
                 }
                 // Start (or clear) the partial-round clock for this key.
+                // The lifecycle event fires only on the empty→partial
+                // transition, once per round, not per straggling push.
                 let partial = ks.pending.iter().any(|q| !q.is_empty());
-                ks.partial_since = if partial {
-                    ks.partial_since.or_else(|| Some(Instant::now()))
+                if partial {
+                    if ks.partial_since.is_none() {
+                        ks.partial_since = Some(Instant::now());
+                        let round = ks.version;
+                        stats
+                            .telemetry()
+                            .emit(|| Event::RoundPartial { key, round });
+                    }
                 } else {
-                    None
-                };
+                    ks.partial_since = None;
+                }
             }
             Some(Msg::Pull {
                 key,
@@ -418,7 +462,14 @@ fn server_loop(
         }
         if failed.is_none() {
             if let Some(deadline) = cfg.round_deadline {
-                if let Some(err) = check_round_deadline(&keys, deadline) {
+                if let Some((key, err)) = check_round_deadline(&keys, deadline) {
+                    if let NetError::WorkerLost { id, round } = err {
+                        stats.telemetry().emit(|| Event::RoundExpired {
+                            key,
+                            round,
+                            victim: id,
+                        });
+                    }
                     *failure.lock().expect("failure cell poisoned") = Some(err.clone());
                     // Waiting pulls would otherwise block forever on a
                     // round that can no longer complete.
@@ -437,9 +488,10 @@ fn server_loop(
 /// If any key's round has been partial past `deadline`, name the victim:
 /// the lowest-id worker whose push for that round never arrived. The
 /// unfinishable round is `version` (rounds are 0-indexed; `version`
-/// counts completed ones).
-fn check_round_deadline(keys: &[KeyState], deadline: Duration) -> Option<NetError> {
-    for ks in keys {
+/// counts completed ones). Returns the offending key alongside the error
+/// so the caller can attribute the expiry in telemetry.
+fn check_round_deadline(keys: &[KeyState], deadline: Duration) -> Option<(Key, NetError)> {
+    for (key, ks) in keys.iter().enumerate() {
         let since = match ks.partial_since {
             Some(t) => t,
             None => continue,
@@ -452,10 +504,13 @@ fn check_round_deadline(keys: &[KeyState], deadline: Duration) -> Option<NetErro
             .iter()
             .position(|q| q.is_empty())
             .expect("partial round implies a missing push");
-        return Some(NetError::WorkerLost {
-            id,
-            round: ks.version,
-        });
+        return Some((
+            key,
+            NetError::WorkerLost {
+                id,
+                round: ks.version,
+            },
+        ));
     }
     None
 }
@@ -662,6 +717,54 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         assert_eq!(ps.failure(), None);
         assert_eq!(*c.pull(0, 0).unwrap(), [0.0]);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn round_lifecycle_events_reach_an_attached_sink() {
+        use cdsgd_telemetry::MemorySink;
+        let mem = Arc::new(MemorySink::new());
+        let ps = ParamServer::start_traced(
+            vec![vec![0.0]],
+            ServerConfig::new(2, 1.0),
+            Telemetry::new(mem.clone()),
+        );
+        let c = ps.client();
+        c.push(0, 0, Compressed::Raw(vec![1.0])).unwrap();
+        c.push(1, 0, Compressed::Raw(vec![1.0])).unwrap();
+        c.pull(0, 1).unwrap();
+        let events = mem.events();
+        assert!(
+            events.contains(&Event::RoundPartial { key: 0, round: 0 }),
+            "first push opens the round: {events:?}"
+        );
+        assert!(
+            events.contains(&Event::RoundComplete { key: 0, version: 1 }),
+            "second push completes it: {events:?}"
+        );
+        // Byte accounting flows through the very same stream.
+        assert!(events.iter().any(|e| matches!(e, Event::Push { .. })));
+        assert!(events.iter().any(|e| matches!(e, Event::Pull { .. })));
+        ps.shutdown();
+    }
+
+    #[test]
+    fn expired_round_emits_round_expired() {
+        use cdsgd_telemetry::MemorySink;
+        let mem = Arc::new(MemorySink::new());
+        let ps = ParamServer::start_traced(
+            vec![vec![0.0]],
+            ServerConfig::new(2, 1.0).with_round_deadline(Duration::from_millis(50)),
+            Telemetry::new(mem.clone()),
+        );
+        let c = ps.client();
+        c.push(0, 0, Compressed::Raw(vec![1.0])).unwrap();
+        c.pull(0, 1).unwrap_err();
+        assert!(mem.events().contains(&Event::RoundExpired {
+            key: 0,
+            round: 0,
+            victim: 1,
+        }));
         ps.shutdown();
     }
 

@@ -65,12 +65,19 @@ pub fn reassemble_snapshots(
 }
 
 impl ShardedParamServer {
-    pub(crate) fn start(init: Vec<Vec<f32>>, cfg: ServerConfig, num_shards: usize) -> Self {
+    pub(crate) fn start(
+        init: Vec<Vec<f32>>,
+        cfg: ServerConfig,
+        num_shards: usize,
+        telemetry: cdsgd_telemetry::Telemetry,
+    ) -> Self {
         let num_keys = init.len();
         let pool = BufferPool::new();
         let shards = partition_keys(init, num_shards)
             .into_iter()
-            .map(|shard_init| ParamServer::start_with_pool(shard_init, cfg, pool.clone()))
+            .map(|shard_init| {
+                ParamServer::start_with_pool(shard_init, cfg, pool.clone(), telemetry.clone())
+            })
             .collect();
         Self {
             shards,
@@ -100,6 +107,11 @@ impl ShardedParamServer {
     /// Aggregate traffic across all shards.
     pub fn total_bytes_pushed(&self) -> u64 {
         self.shards.iter().map(|s| s.stats().bytes_pushed()).sum()
+    }
+
+    /// Aggregate pull-reply traffic across all shards.
+    pub fn total_bytes_pulled(&self) -> u64 {
+        self.shards.iter().map(|s| s.stats().bytes_pulled()).sum()
     }
 
     /// Per-shard pushed bytes (load-balance diagnostics).

@@ -1,68 +1,104 @@
 //! Communication-traffic accounting.
+//!
+//! Since the telemetry refactor, [`TrafficStats`] is a *view* over a
+//! [`cdsgd_telemetry::AggregateSink`]: every `record_*` call emits a
+//! typed [`Event`] through a [`Telemetry`] handle whose first sink is
+//! the internal aggregate, so the counters the accessors report are
+//! derived from the exact same event stream an attached trace sees.
+//! With no extra sink attached the behaviour (and every counter value)
+//! is bit-for-bit what the plain atomic counters used to produce.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use cdsgd_telemetry::{AggregateSink, Event, Sink, Telemetry};
+use std::sync::Arc;
 
 /// Byte and message counters for everything that crosses the (simulated)
 /// network. Shared between the server and all clients; all counters are
 /// monotonic and lock-free.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TrafficStats {
-    bytes_pushed: AtomicU64,
-    bytes_pulled: AtomicU64,
-    num_pushes: AtomicU64,
-    num_pulls: AtomicU64,
-    bytes_copied: AtomicU64,
-    bytes_sent: AtomicU64,
-    bytes_received: AtomicU64,
+    agg: Arc<AggregateSink>,
+    tel: Telemetry,
+}
+
+impl Default for TrafficStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TrafficStats {
-    /// Fresh zeroed counters.
+    /// Fresh zeroed counters, observed by no extra sink.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_telemetry(Telemetry::disabled())
+    }
+
+    /// Fresh counters that additionally forward every traffic event to
+    /// `extra` (e.g. a trace file): the internal aggregate and the extra
+    /// sink observe the same events, so their totals agree exactly.
+    pub fn with_telemetry(extra: Telemetry) -> Self {
+        let agg = Arc::new(AggregateSink::new());
+        let tel = Telemetry::new(Arc::clone(&agg) as Arc<dyn Sink>).and(&extra);
+        Self { agg, tel }
+    }
+
+    /// The event stream these counters are folded from. Layers that own
+    /// a `TrafficStats` (the server loop, the net glue) emit their
+    /// non-traffic lifecycle events through this same handle so one
+    /// attached trace sees everything.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     pub(crate) fn record_push(&self, bytes: usize) {
-        self.bytes_pushed.fetch_add(bytes as u64, Ordering::Relaxed);
-        self.num_pushes.fetch_add(1, Ordering::Relaxed);
+        self.tel.emit(|| Event::Push {
+            bytes: bytes as u64,
+        });
     }
 
     pub(crate) fn record_pull(&self, bytes: usize) {
-        self.bytes_pulled.fetch_add(bytes as u64, Ordering::Relaxed);
-        self.num_pulls.fetch_add(1, Ordering::Relaxed);
+        self.tel.emit(|| Event::Pull {
+            bytes: bytes as u64,
+        });
     }
 
     pub(crate) fn record_copy(&self, bytes: usize) {
-        self.bytes_copied.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.tel.emit(|| Event::SnapshotCopy {
+            bytes: bytes as u64,
+        });
     }
 
-    pub(crate) fn record_sent(&self, bytes: usize) {
-        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    pub(crate) fn record_sent(&self, conn: u64, bytes: usize) {
+        self.tel.emit(|| Event::FrameSent {
+            conn,
+            bytes: bytes as u64,
+        });
     }
 
-    pub(crate) fn record_received(&self, bytes: usize) {
-        self.bytes_received
-            .fetch_add(bytes as u64, Ordering::Relaxed);
+    pub(crate) fn record_received(&self, conn: u64, bytes: usize) {
+        self.tel.emit(|| Event::FrameReceived {
+            conn,
+            bytes: bytes as u64,
+        });
     }
 
     /// Total bytes pushed worker→server (compressed size on the wire).
     pub fn bytes_pushed(&self) -> u64 {
-        self.bytes_pushed.load(Ordering::Relaxed)
+        self.agg.bytes_pushed()
     }
 
     /// Total bytes pulled server→worker (weights are always raw f32).
     pub fn bytes_pulled(&self) -> u64 {
-        self.bytes_pulled.load(Ordering::Relaxed)
+        self.agg.bytes_pulled()
     }
 
     /// Total push messages.
     pub fn num_pushes(&self) -> u64 {
-        self.num_pushes.load(Ordering::Relaxed)
+        self.agg.num_pushes()
     }
 
     /// Total pull messages.
     pub fn num_pulls(&self) -> u64 {
-        self.num_pulls.load(Ordering::Relaxed)
+        self.agg.num_pulls()
     }
 
     /// Total traffic in both directions.
@@ -75,7 +111,7 @@ impl TrafficStats {
     /// pull it. The gap between this and [`TrafficStats::bytes_pulled`] is
     /// the copying the zero-copy pull path avoids.
     pub fn bytes_copied(&self) -> u64 {
-        self.bytes_copied.load(Ordering::Relaxed)
+        self.agg.bytes_copied()
     }
 
     /// Bytes actually written to a transport (frame prefix included),
@@ -85,18 +121,19 @@ impl TrafficStats {
     /// [`TrafficStats::bytes_pulled`]/[`TrafficStats::bytes_pushed`]
     /// estimates is exactly what moving to a real transport costs.
     pub fn bytes_sent(&self) -> u64 {
-        self.bytes_sent.load(Ordering::Relaxed)
+        self.agg.bytes_sent()
     }
 
     /// Bytes actually read from a transport (frame prefix included).
     pub fn bytes_received(&self) -> u64 {
-        self.bytes_received.load(Ordering::Relaxed)
+        self.agg.bytes_received()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cdsgd_telemetry::MemorySink;
 
     #[test]
     fn counters_accumulate() {
@@ -106,8 +143,8 @@ mod tests {
         s.record_pull(400);
         s.record_copy(400);
         s.record_copy(400);
-        s.record_sent(404);
-        s.record_received(104);
+        s.record_sent(1, 404);
+        s.record_received(1, 104);
         assert_eq!(s.bytes_pushed(), 150);
         assert_eq!(s.bytes_pulled(), 400);
         assert_eq!(s.num_pushes(), 2);
@@ -116,5 +153,25 @@ mod tests {
         assert_eq!(s.bytes_copied(), 800);
         assert_eq!(s.bytes_sent(), 404);
         assert_eq!(s.bytes_received(), 104);
+    }
+
+    #[test]
+    fn attached_sink_sees_the_same_events_the_counters_fold() {
+        let mem = Arc::new(MemorySink::new());
+        let s = TrafficStats::with_telemetry(Telemetry::new(mem.clone()));
+        s.record_push(81);
+        s.record_pull(33);
+        s.record_sent(9, 21);
+        assert_eq!(
+            mem.events(),
+            vec![
+                Event::Push { bytes: 81 },
+                Event::Pull { bytes: 33 },
+                Event::FrameSent { conn: 9, bytes: 21 },
+            ]
+        );
+        assert_eq!(s.bytes_pushed(), 81);
+        assert_eq!(s.bytes_pulled(), 33);
+        assert_eq!(s.bytes_sent(), 21);
     }
 }

@@ -41,6 +41,14 @@ run_tests cargo test -q --test net_equivalence --test net_processes --test chaos
 echo "==> cargo test --test strategy_equivalence"
 run_tests cargo test -q --test strategy_equivalence
 
+# Explicit gate on the telemetry subsystem: the AggregateSink view must
+# stay bit-for-bit equal to the legacy TrafficStats counters on every
+# backend, profiled runs must stream the Fig. 5 op spans, JSONL traces
+# must round-trip, and the multi-process byte books must balance.
+echo "==> cargo test --test telemetry"
+run_tests cargo test -q --test telemetry
+run_tests cargo test -q -p cdsgd-telemetry
+
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 

@@ -7,14 +7,17 @@
 //!                [--dc-lambda 0] [--sync-period 4] [--ef-momentum 0.9] \
 //!                [--lr 0.1] [--momentum 0 [--nesterov]] \
 //!                [--batch 32] [--samples 4000] [--seed 42] \
-//!                [--save ckpt.json] [--history hist.json] [--profile]
+//!                [--save ckpt.json] [--history hist.json] [--profile] \
+//!                [--trace trace.jsonl]
 //! cdsgd simulate --model resnet50 --gpu v100 --batch 32 [--k 5] [--gbps 56]
 //! cdsgd codecs   [--n 1000000]
 //! ```
 
 use cd_sgd::checkpoint::{save_history, Checkpoint};
 use cd_sgd::{TrainConfig, Trainer};
-use cd_sgd_repro::deploy::{arg, arg_or, flag, parse_algorithm, parse_server_opt, AlgoDefaults};
+use cd_sgd_repro::deploy::{
+    arg, arg_or, flag, parse_algorithm, parse_server_opt, trace_telemetry, AlgoDefaults,
+};
 use cd_sgd_repro::simtime::pipeline::{AlgoKind, PipelineSim};
 use cd_sgd_repro::simtime::{zoo, ClusterSpec, ModelSpec};
 use cdsgd_data::{synth, toy, Dataset};
@@ -98,6 +101,10 @@ fn cmd_train() {
     if flag("profile") {
         cfg = cfg.with_profiling(true);
     }
+    // `--trace <path>` streams the whole telemetry event model — op
+    // spans (with --profile), epoch rollups, server round lifecycle —
+    // as JSONL. Disabled (zero-cost) without the flag.
+    cfg = cfg.with_telemetry(trace_telemetry());
     if let Some(mibps) = arg("net-mibps") {
         let m: f64 = mibps.parse().unwrap_or_else(|_| {
             eprintln!("invalid value for --net-mibps: {mibps} (MiB/s as a number)");

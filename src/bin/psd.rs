@@ -8,12 +8,20 @@
 //! ```text
 //! psd --shard 0 --num-shards 2 --workers 2 --lr 0.2 \
 //!     [--momentum 0.9 [--nesterov]] \
-//!     --model mlp:8,32,4 --seed 5 --port 0
+//!     --model mlp:8,32,4 --seed 5 --port 0 \
+//!     [--trace trace.jsonl] [--stats]
 //! ```
 //!
 //! Prints `LISTENING <addr>` on stdout once the socket is bound (with
 //! `--port 0` the kernel picks the port, so callers must parse this
-//! line), then serves until a client sends a shutdown frame.
+//! line), then serves until a client sends a shutdown frame. With
+//! `--stats` a second stdout contract line
+//! `STATS sent <n> received <n> pushed <n> pulled <n>` follows a clean
+//! shutdown, reporting the shard's cumulative wire traffic (encoded
+//! frame bytes on both directions, plus the push/pull payload
+//! accounting the paper's eq. 4–9 compare). `--trace <path>` streams
+//! every telemetry event — per-frame wire bytes tagged by connection,
+//! round lifecycle, supervision verdicts — to a JSONL file.
 //!
 //! With `--round-deadline-ms N` the shard refuses to wait forever on a
 //! worker that stopped pushing: once an aggregation round stays partial
@@ -22,14 +30,16 @@
 //! above the slowest expected iteration — delayed algorithms (OD-SGD,
 //! CD-SGD) legitimately leave rounds partial while a round is in flight.
 
-use std::io::Write;
+use std::sync::Arc;
 use std::time::Duration;
 
-use cd_sgd_repro::deploy::{arg, arg_or, initial_weights, parse_server_opt};
+use cd_sgd::{Console, Telemetry};
+use cd_sgd_repro::deploy::{arg, arg_or, flag, initial_weights, parse_server_opt, trace_telemetry};
 use cdsgd_net::{NetConfig, TcpAcceptor};
 use cdsgd_ps::{partition_keys, PsNetServer, ServerConfig};
 
 fn main() {
+    let console = Console::new();
     let shard: usize = arg_or("shard", 0);
     let num_shards: usize = arg_or("num-shards", 1);
     let workers: usize = arg_or("workers", 1);
@@ -38,43 +48,66 @@ fn main() {
     let seed: u64 = arg_or("seed", 42);
     let round_deadline_ms: u64 = arg_or("round-deadline-ms", 0);
     let model = arg("model").unwrap_or_else(|| "mlp:8,32,4".to_string());
+    let stats_line = flag("stats");
     if shard >= num_shards {
-        eprintln!("--shard {shard} out of range for --num-shards {num_shards}");
+        console.error(format_args!(
+            "--shard {shard} out of range for --num-shards {num_shards}"
+        ));
         std::process::exit(2);
     }
 
     let init = initial_weights(&model, seed);
     let shard_init = partition_keys(init, num_shards).swap_remove(shard);
-    eprintln!(
+    console.status(format_args!(
         "psd shard {shard}/{num_shards}: {} of the model's keys, {workers} workers, lr {lr}",
         shard_init.len()
-    );
+    ));
 
     let argv: Vec<String> = std::env::args().collect();
     let opt = parse_server_opt(&argv).unwrap_or_else(|e| {
-        eprintln!("{e}");
+        console.error(e);
         std::process::exit(2)
     });
     let mut cfg = ServerConfig::new(workers, lr).with_optimizer(opt);
     if round_deadline_ms > 0 {
         cfg = cfg.with_round_deadline(Duration::from_millis(round_deadline_ms));
     }
-    let server = PsNetServer::start(shard_init, cfg);
+
+    // Supervision verdicts (expired rounds) render on stderr through
+    // the console sink; `--trace` adds the full JSONL event stream.
+    // The trace handle stays separate so it can be flushed before the
+    // final contract line.
+    let trace = trace_telemetry();
+    let telemetry = Telemetry::new(Arc::new(Console::new())).and(&trace);
+    let server = PsNetServer::start_traced(shard_init, cfg, telemetry);
     let (acceptor, addr) =
         TcpAcceptor::bind(("127.0.0.1", port), NetConfig::default()).expect("bind TCP listener");
 
     // The contract with launchers: exactly one LISTENING line, flushed
     // before any client could need it.
-    println!("LISTENING {addr}");
-    std::io::stdout().flush().expect("flush stdout");
+    console.contract(format_args!("LISTENING {addr}"));
 
     server.listen(acceptor);
     if let Err(e) = server.wait_for_shutdown() {
-        eprintln!("psd shard {shard}: round failed: {e}");
+        console.error(format_args!("psd shard {shard}: round failed: {e}"));
         server.shutdown();
+        trace.flush();
         std::process::exit(1);
     }
-    let pushed = server.stats().bytes_pushed();
+    // Shutdown joins every connection's reader/writer thread, so the
+    // counters read below are final — no in-flight frame can bump them
+    // after the STATS line prints.
     server.shutdown();
-    eprintln!("psd shard {shard}: shutdown after {pushed} pushed bytes");
+    trace.flush();
+    let stats = server.stats();
+    let (sent, received) = (stats.bytes_sent(), stats.bytes_received());
+    let (pushed, pulled) = (stats.bytes_pushed(), stats.bytes_pulled());
+    if stats_line {
+        console.contract(format_args!(
+            "STATS sent {sent} received {received} pushed {pushed} pulled {pulled}"
+        ));
+    }
+    console.status(format_args!(
+        "psd shard {shard}: shutdown after {pushed} pushed bytes"
+    ));
 }

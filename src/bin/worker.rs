@@ -10,8 +10,16 @@
 //! worker --id 0 --workers 2 --servers 127.0.0.1:4100,127.0.0.1:4101 \
 //!        --algo cdsgd --dataset blobs --samples 480 --batch 16 \
 //!        --epochs 2 --lr 0.2 --local-lr 0.05 --threshold 0.05 \
-//!        --k 2 --warmup 3 --model mlp:8,32,4 --seed 5
+//!        --k 2 --warmup 3 --model mlp:8,32,4 --seed 5 \
+//!        [--trace trace.jsonl]
 //! ```
+//!
+//! Output contract: **stdout** carries only the machine-parseable
+//! `DONE worker <id>` line that process harnesses wait on; everything
+//! human-facing (epoch progress, lifecycle status, errors) goes to
+//! **stderr** through the telemetry [`Console`] sink. `--trace <path>`
+//! additionally streams every telemetry event — op spans, per-frame
+//! wire bytes, epoch rollups — to a JSONL file.
 //!
 //! Workers never shut the servers down: a controller (or `--shutdown`
 //! on exactly one worker) sends the shutdown frames once all replicas
@@ -23,19 +31,23 @@
 //! but it stops pushing) — fault injection for exercising the servers'
 //! `--round-deadline-ms` supervision.
 
-use cd_sgd::{run_standalone_worker, TrainConfig, WorkerFault};
+use std::sync::Arc;
+
+use cd_sgd::{run_standalone_worker, Console, Telemetry, TrainConfig, WorkerFault};
 use cd_sgd_repro::deploy::{
-    arg, arg_or, build_dataset, build_model, flag, initial_weights, parse_algorithm, AlgoDefaults,
+    arg, arg_or, build_dataset, build_model, flag, initial_weights, parse_algorithm,
+    trace_telemetry, AlgoDefaults,
 };
 use cdsgd_net::NetConfig;
 use cdsgd_ps::{FaultyClient, NetCluster, ParamClient, PsBackend};
 
 fn main() {
+    let console = Console::new();
     let id: usize = arg_or("id", 0);
     let workers: usize = arg_or("workers", 1);
     let servers: Vec<String> = arg("servers")
         .unwrap_or_else(|| {
-            eprintln!("missing --servers addr[,addr...]");
+            console.error("missing --servers addr[,addr...]");
             std::process::exit(2)
         })
         .split(',')
@@ -52,7 +64,9 @@ fn main() {
     let shutdown = flag("shutdown");
     let chaos_kill_round: Option<u64> = arg("chaos-kill-round").map(|v| {
         v.parse().unwrap_or_else(|_| {
-            eprintln!("--chaos-kill-round must be a round number, got {v:?}");
+            console.error(format_args!(
+                "--chaos-kill-round must be a round number, got {v:?}"
+            ));
             std::process::exit(2)
         })
     });
@@ -65,13 +79,24 @@ fn main() {
         warmup: 3,
     };
     let algo = parse_algorithm(&argv, &defaults).unwrap_or_else(|e| {
-        eprintln!("{e}");
+        console.error(e);
         std::process::exit(2)
     });
     if algo.uses_ring() {
-        eprintln!("arsgd needs a worker ring, which the multi-process deployment does not build; use `cdsgd train --algo arsgd`");
+        console.error(
+            "arsgd needs a worker ring, which the multi-process deployment does not build; \
+             use `cdsgd train --algo arsgd`",
+        );
         std::process::exit(2);
     }
+
+    // Status and epoch rollups render on stderr through the console
+    // sink; `--trace` adds the JSONL event stream alongside it. The
+    // trace handle is kept separate so it can be flushed before the
+    // DONE contract line — a harness that sees DONE may read the file
+    // immediately.
+    let trace = trace_telemetry();
+    let telemetry = Telemetry::new(Arc::new(Console::new())).and(&trace);
 
     let (train, test) = build_dataset(&dataset, samples, seed);
     let num_keys = initial_weights(&model, seed).len();
@@ -79,19 +104,22 @@ fn main() {
         .with_lr(lr)
         .with_batch_size(batch)
         .with_epochs(epochs)
-        .with_seed(seed);
+        .with_seed(seed)
+        .with_telemetry(telemetry.clone());
 
-    eprintln!(
+    console.status(format_args!(
         "worker {id}/{workers}: {} train samples, {num_keys} keys over {} shards",
         train.len(),
         servers.len()
-    );
-    let cluster =
-        NetCluster::connect(&servers, num_keys, NetConfig::default()).expect("connect to servers");
+    ));
+    let cluster = NetCluster::connect_traced(&servers, num_keys, NetConfig::default(), telemetry)
+        .expect("connect to servers");
     let client = cluster.client().expect("open shard connections");
     let client: Box<dyn ParamClient> = match chaos_kill_round {
         Some(round) => {
-            eprintln!("worker {id}: chaos — will die silently at round {round}");
+            console.status(format_args!(
+                "worker {id}: chaos — will die silently at round {round}"
+            ));
             Box::new(FaultyClient::new(
                 client,
                 WorkerFault::KillAtRound { round },
@@ -112,21 +140,22 @@ fn main() {
     ) {
         Ok(report) => report,
         Err(e) => {
-            eprintln!("worker {id}: training failed: {e}");
+            console.error(format_args!("worker {id}: training failed: {e}"));
             std::process::exit(1);
         }
     };
-
-    for (epoch, (loss, acc)) in report.iter().enumerate() {
-        match acc {
-            Some(a) => println!("epoch {epoch} loss {loss:.6} test_acc {a:.4}"),
-            None => println!("epoch {epoch} loss {loss:.6}"),
-        }
-    }
+    console.status(format_args!(
+        "worker {id}: finished {} epochs",
+        report.len()
+    ));
 
     if shutdown {
         Box::new(cluster).shutdown();
-        eprintln!("worker {id}: sent shutdown to {} shards", servers.len());
+        console.status(format_args!(
+            "worker {id}: sent shutdown to {} shards",
+            servers.len()
+        ));
     }
-    println!("DONE worker {id}");
+    trace.flush();
+    console.contract(format_args!("DONE worker {id}"));
 }

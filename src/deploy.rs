@@ -7,7 +7,7 @@
 //! specs in one place makes that agreement structural: every process
 //! (and the integration tests) calls these helpers with the same flags.
 
-use cd_sgd::{Algorithm, ServerOptKind};
+use cd_sgd::{Algorithm, JsonlSink, ServerOptKind, Telemetry};
 use cdsgd_data::{synth, toy, Dataset};
 use cdsgd_nn::{models, Sequential};
 use cdsgd_tensor::SmallRng64;
@@ -34,6 +34,26 @@ pub fn arg_or<T: std::str::FromStr>(name: &str, default: T) -> T {
 /// Is the boolean switch `--name` present?
 pub fn flag(name: &str) -> bool {
     std::env::args().any(|a| a == format!("--{name}"))
+}
+
+/// Telemetry from the shared `--trace <path>` flag: a [`JsonlSink`]
+/// writing one event per line when the flag is present, disabled (and
+/// therefore zero-cost) when it is absent. All three deployment
+/// binaries accept the flag through this one helper, so a trace from
+/// any process parses with the same [`cd_sgd::telemetry`] event model.
+/// Exits with status 2 when the file cannot be created — a requested
+/// trace that silently vanishes is worse than no trace.
+pub fn trace_telemetry() -> Telemetry {
+    match arg("trace") {
+        None => Telemetry::disabled(),
+        Some(path) => match JsonlSink::create(&path) {
+            Ok(sink) => Telemetry::new(std::sync::Arc::new(sink)),
+            Err(e) => {
+                eprintln!("cannot create --trace file {path}: {e}");
+                std::process::exit(2)
+            }
+        },
+    }
 }
 
 /// Per-binary defaults for the algorithm knobs consumed by

@@ -4,9 +4,12 @@
 //! be bit-identical to the same configuration trained in-process.
 
 use std::io::{BufRead, BufReader};
-use std::process::{Child, Command, Stdio};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::sync::Arc;
 
-use cd_sgd::{Algorithm, TrainConfig, Trainer};
+use cd_sgd::{
+    telemetry::parse_jsonl_line, AggregateSink, Algorithm, Event, Telemetry, TrainConfig, Trainer,
+};
 use cd_sgd_repro::deploy;
 use cdsgd_net::NetConfig;
 use cdsgd_ps::{NetCluster, PsBackend};
@@ -28,7 +31,10 @@ impl Drop for Reap {
     }
 }
 
-fn spawn_psd(shard: usize) -> (Child, String) {
+/// Spawn one shard server with `extra` flags appended, returning its
+/// stdout reader (positioned after the LISTENING line) so callers can
+/// keep the pipe open for later contract lines like `STATS`.
+fn spawn_psd_with(shard: usize, extra: &[&str]) -> (Child, BufReader<ChildStdout>, String) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_psd"))
         .args([
             "--shard",
@@ -46,23 +52,28 @@ fn spawn_psd(shard: usize) -> (Child, String) {
             "--seed",
             &SEED.to_string(),
         ])
+        .args(extra)
         .stdout(Stdio::piped())
         .spawn()
         .expect("spawn psd");
     let stdout = child.stdout.take().expect("psd stdout");
+    let mut reader = BufReader::new(stdout);
     let mut line = String::new();
-    BufReader::new(stdout)
-        .read_line(&mut line)
-        .expect("read LISTENING line");
+    reader.read_line(&mut line).expect("read LISTENING line");
     let addr = line
         .trim()
         .strip_prefix("LISTENING ")
         .unwrap_or_else(|| panic!("unexpected psd output: {line:?}"))
         .to_string();
+    (child, reader, addr)
+}
+
+fn spawn_psd(shard: usize) -> (Child, String) {
+    let (child, _reader, addr) = spawn_psd_with(shard, &[]);
     (child, addr)
 }
 
-fn spawn_worker(id: usize, servers: &str) -> Child {
+fn spawn_worker_with(id: usize, servers: &str, extra: &[&str]) -> Child {
     Command::new(env!("CARGO_BIN_EXE_worker"))
         .args([
             "--id",
@@ -96,9 +107,14 @@ fn spawn_worker(id: usize, servers: &str) -> Child {
             "--seed",
             &SEED.to_string(),
         ])
+        .args(extra)
         .stdout(Stdio::piped())
         .spawn()
         .expect("spawn worker")
+}
+
+fn spawn_worker(id: usize, servers: &str) -> Child {
+    spawn_worker_with(id, servers, &[])
 }
 
 #[test]
@@ -154,4 +170,106 @@ fn two_psd_processes_and_two_workers_match_in_process_run() {
         let status = child.wait().expect("wait psd");
         assert!(status.success(), "psd shard {shard} exited with {status}");
     }
+}
+
+/// The multi-process telemetry contract: every frame byte the workers'
+/// `--trace` JSONL files record as sent must show up in the shard
+/// servers' `STATS` accounting as received, and vice versa — with the
+/// controller (this test) as the only other traffic source, the books
+/// must balance exactly.
+#[test]
+fn worker_traces_account_for_every_server_byte() {
+    let trace_path = |id: usize| {
+        std::env::temp_dir().join(format!(
+            "cdsgd_{}_worker{id}_trace.jsonl",
+            std::process::id()
+        ))
+    };
+
+    let mut reap = Reap(Vec::new());
+    let mut readers = Vec::new();
+    let mut addrs = Vec::new();
+    for shard in 0..SHARDS {
+        let (child, reader, addr) = spawn_psd_with(shard, &["--stats"]);
+        reap.0.push(child);
+        readers.push(reader);
+        addrs.push(addr);
+    }
+    let servers = addrs.join(",");
+
+    let workers: Vec<Child> = (0..WORKERS)
+        .map(|id| {
+            let path = trace_path(id);
+            let _ = std::fs::remove_file(&path);
+            spawn_worker_with(id, &servers, &["--trace", path.to_str().unwrap()])
+        })
+        .collect();
+    for (id, mut w) in workers.into_iter().enumerate() {
+        let status = w.wait().expect("wait worker");
+        assert!(status.success(), "worker {id} exited with {status}");
+    }
+
+    // Sum the workers' client-side frame accounting from their traces.
+    let (mut traced_sent, mut traced_received) = (0u64, 0u64);
+    for id in 0..WORKERS {
+        let path = trace_path(id);
+        let text = std::fs::read_to_string(&path).expect("read worker trace");
+        for line in text.lines() {
+            match parse_jsonl_line(line).expect("worker trace line parses") {
+                Event::FrameSent { bytes, .. } => traced_sent += bytes,
+                Event::FrameReceived { bytes, .. } => traced_received += bytes,
+                _ => {}
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+    assert!(
+        traced_sent > 0 && traced_received > 0,
+        "worker traces carry no frame events"
+    );
+
+    // Act as the controller, counting our own traffic the same way the
+    // workers did, then shut the group down.
+    let controller = Arc::new(AggregateSink::new());
+    let num_keys = deploy::initial_weights(MODEL, SEED).len();
+    let cluster = NetCluster::connect_traced(
+        &addrs,
+        num_keys,
+        NetConfig::default(),
+        Telemetry::new(Arc::clone(&controller) as _),
+    )
+    .expect("connect controller");
+    cluster.snapshot().expect("snapshot");
+    Box::new(cluster).shutdown();
+
+    // Each shard prints its STATS contract line after joining every
+    // connection thread, so the counters below are final.
+    let (mut server_sent, mut server_received) = (0u64, 0u64);
+    for (shard, reader) in readers.iter_mut().enumerate() {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read STATS line");
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(
+            (fields.first(), fields.len()),
+            (Some(&"STATS"), 9),
+            "shard {shard}: unexpected stats line {line:?}"
+        );
+        server_sent += fields[2].parse::<u64>().expect("sent bytes");
+        server_received += fields[4].parse::<u64>().expect("received bytes");
+    }
+    for (shard, mut child) in reap.0.drain(..).enumerate() {
+        let status = child.wait().expect("wait psd");
+        assert!(status.success(), "psd shard {shard} exited with {status}");
+    }
+
+    assert_eq!(
+        traced_sent + controller.bytes_sent(),
+        server_received,
+        "uplink: bytes the clients sent vs bytes the servers received"
+    );
+    assert_eq!(
+        traced_received + controller.bytes_received(),
+        server_sent,
+        "downlink: bytes the servers sent vs bytes the clients received"
+    );
 }

@@ -1,0 +1,266 @@
+//! Cross-layer telemetry acceptance tests: the typed event stream must
+//! agree *exactly* with the legacy counters it replaced, on every
+//! backend. An attached [`AggregateSink`] folds the same events the
+//! internal `TrafficStats` counters fold, so the two views must be
+//! bit-for-bit equal — in-process, over loopback transports, and over
+//! real TCP sockets. Profiled runs must stream the paper's Fig. 5 op
+//! spans, and a JSONL trace must round-trip through the parser without
+//! losing an event.
+
+use std::sync::{Arc, Mutex};
+
+use cd_sgd::{
+    telemetry::parse_jsonl_line, AggregateSink, Algorithm, Event, JsonlSink, MemorySink, Telemetry,
+    TrainConfig, Trainer,
+};
+use cd_sgd_repro::deploy;
+use cdsgd_net::NetConfig;
+use cdsgd_ps::{InProcessBackend, NetCluster, ParamServer, TrafficStats};
+use cdsgd_telemetry::Op;
+
+fn blob_config() -> TrainConfig {
+    TrainConfig::new(Algorithm::cd_sgd(0.05, 0.05, 2, 3), 2)
+        .with_lr(0.2)
+        .with_batch_size(16)
+        .with_epochs(2)
+        .with_seed(5)
+}
+
+fn blob_trainer(cfg: TrainConfig) -> Trainer {
+    let (train, test) = deploy::build_dataset("blobs", 480, 5);
+    Trainer::new(
+        cfg,
+        |rng| deploy::build_model("mlp:8,32,4", rng),
+        train,
+        Some(test),
+    )
+}
+
+/// A slot the `run_with` closure fills with the backend's shared
+/// counters, so they stay readable after the run consumes the backend.
+type StatsSlot = Arc<Mutex<Option<Arc<TrafficStats>>>>;
+
+/// All seven counters of the sink view vs the legacy accessor view,
+/// bit for bit. Runs after the backend shut down (threads joined), so
+/// both views are final.
+fn assert_views_equal(name: &str, sink: &AggregateSink, stats: &TrafficStats) {
+    assert_eq!(
+        sink.bytes_pushed(),
+        stats.bytes_pushed(),
+        "{name}: bytes_pushed"
+    );
+    assert_eq!(
+        sink.bytes_pulled(),
+        stats.bytes_pulled(),
+        "{name}: bytes_pulled"
+    );
+    assert_eq!(sink.num_pushes(), stats.num_pushes(), "{name}: num_pushes");
+    assert_eq!(sink.num_pulls(), stats.num_pulls(), "{name}: num_pulls");
+    assert_eq!(
+        sink.bytes_copied(),
+        stats.bytes_copied(),
+        "{name}: bytes_copied"
+    );
+    assert_eq!(sink.bytes_sent(), stats.bytes_sent(), "{name}: bytes_sent");
+    assert_eq!(
+        sink.bytes_received(),
+        stats.bytes_received(),
+        "{name}: bytes_received"
+    );
+    assert!(sink.bytes_pushed() > 0, "{name}: counters are not wired up");
+}
+
+#[test]
+fn aggregate_sink_matches_traffic_stats_on_every_backend() {
+    // In-process: the sink attaches to the server's TrafficStats, so it
+    // sees the same Push/Pull/SnapshotCopy events the internal counters
+    // fold.
+    let in_proc_sink = Arc::new(AggregateSink::new());
+    let in_proc_tel = Telemetry::new(Arc::clone(&in_proc_sink) as _);
+    let in_proc_slot: StatsSlot = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&in_proc_slot);
+    let in_proc = blob_trainer(blob_config())
+        .run_with(move |init, cfg| {
+            let ps = ParamServer::start_traced(init, cfg, in_proc_tel.clone());
+            *slot.lock().unwrap() = Some(ps.shared_stats());
+            Ok(Box::new(InProcessBackend::new(ps)))
+        })
+        .expect("in-process run");
+
+    // Loopback and TCP: the sink attaches to the cluster's client-side
+    // TrafficStats, which charges the identical frame formulas.
+    let loop_sink = Arc::new(AggregateSink::new());
+    let loop_tel = Telemetry::new(Arc::clone(&loop_sink) as _);
+    let loop_slot: StatsSlot = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&loop_slot);
+    let loopback = blob_trainer(blob_config())
+        .run_with(move |init, cfg| {
+            let cluster = NetCluster::start_loopback_traced(init, cfg, 2, loop_tel.clone())?;
+            *slot.lock().unwrap() = Some(cluster.shared_stats());
+            Ok(Box::new(cluster))
+        })
+        .expect("loopback run");
+
+    let tcp_sink = Arc::new(AggregateSink::new());
+    let tcp_tel = Telemetry::new(Arc::clone(&tcp_sink) as _);
+    let tcp_slot: StatsSlot = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&tcp_slot);
+    let tcp = blob_trainer(blob_config())
+        .run_with(move |init, cfg| {
+            let cluster = NetCluster::start_tcp_local_traced(
+                init,
+                cfg,
+                2,
+                NetConfig::default(),
+                tcp_tel.clone(),
+            )?;
+            *slot.lock().unwrap() = Some(cluster.shared_stats());
+            Ok(Box::new(cluster))
+        })
+        .expect("tcp run");
+
+    // The three runs are bit-identical (the repo's standing invariant),
+    // so the telemetry comparison below compares like with like.
+    assert_eq!(in_proc.final_weights, loopback.final_weights);
+    assert_eq!(in_proc.final_weights, tcp.final_weights);
+
+    for (name, sink, slot) in [
+        ("in-process", &in_proc_sink, &in_proc_slot),
+        ("loopback", &loop_sink, &loop_slot),
+        ("tcp", &tcp_sink, &tcp_slot),
+    ] {
+        let stats = slot.lock().unwrap().take().expect("backend was built");
+        assert_views_equal(name, sink, &stats);
+    }
+
+    // The message-level accounting is identical across all three
+    // backends (the bit-determinism invariant extended to telemetry).
+    for sink in [&loop_sink, &tcp_sink] {
+        assert_eq!(sink.bytes_pushed(), in_proc_sink.bytes_pushed());
+        assert_eq!(sink.bytes_pulled(), in_proc_sink.bytes_pulled());
+        assert_eq!(sink.num_pushes(), in_proc_sink.num_pushes());
+        assert_eq!(sink.num_pulls(), in_proc_sink.num_pulls());
+    }
+
+    // Frame events exist only where frames exist: never in-process,
+    // identically on the two wire backends (same codec, same frames).
+    assert_eq!(in_proc_sink.bytes_sent(), 0);
+    assert_eq!(in_proc_sink.bytes_received(), 0);
+    assert!(loop_sink.bytes_sent() > 0);
+    assert_eq!(loop_sink.bytes_sent(), tcp_sink.bytes_sent());
+    assert_eq!(loop_sink.bytes_received(), tcp_sink.bytes_received());
+}
+
+#[test]
+fn profiled_run_streams_op_spans_with_monotonic_timestamps() {
+    let mem = Arc::new(MemorySink::new());
+    let cfg = blob_config()
+        .with_profiling(true)
+        .with_telemetry(Telemetry::new(Arc::clone(&mem) as _));
+    let history = blob_trainer(cfg).run();
+    assert!(history.profile.is_some(), "profiling was enabled");
+
+    let spans: Vec<(usize, Op, f64, f64)> = mem
+        .events()
+        .into_iter()
+        .filter_map(|e| match e {
+            Event::OpSpan {
+                worker,
+                op,
+                start_s,
+                end_s,
+                ..
+            } => Some((worker, op, start_s, end_s)),
+            _ => None,
+        })
+        .collect();
+
+    // The paper's Fig. 5 categories all appear for CD-SGD: forward,
+    // backward, quantization, and the pull wait it tries to hide.
+    for op in [Op::Forward, Op::Backward, Op::Compress, Op::PullWait] {
+        assert!(
+            spans.iter().any(|(_, o, _, _)| *o == op),
+            "no {op:?} ({}) span in a profiled CD-SGD run",
+            op.name()
+        );
+    }
+
+    // Per worker, spans arrive in recording order: timestamps are
+    // monotonic and every interval is well-formed.
+    for w in 0..2 {
+        let mut last = f64::NEG_INFINITY;
+        let mut count = 0;
+        for (worker, _, start_s, end_s) in &spans {
+            if *worker != w {
+                continue;
+            }
+            assert!(*end_s >= *start_s, "inverted span interval");
+            assert!(
+                *start_s >= last,
+                "worker {w} spans out of order: {start_s} after {last}"
+            );
+            last = *start_s;
+            count += 1;
+        }
+        assert!(count > 0, "worker {w} recorded no spans");
+    }
+}
+
+#[test]
+fn jsonl_trace_round_trips_every_event() {
+    let path = std::env::temp_dir().join(format!("cdsgd_{}_trace.jsonl", std::process::id()));
+    let mem = Arc::new(MemorySink::new());
+    let jsonl = Telemetry::new(Arc::new(JsonlSink::create(&path).expect("create trace")) as _);
+    let tel = Telemetry::new(Arc::clone(&mem) as _).and(&jsonl);
+
+    let history = blob_trainer(blob_config().with_profiling(true).with_telemetry(tel)).run();
+    jsonl.flush();
+
+    let text = std::fs::read_to_string(&path).expect("read trace");
+    let parsed: Vec<Event> = text
+        .lines()
+        .map(|l| parse_jsonl_line(l).unwrap_or_else(|e| panic!("unparsable line {l:?}: {e:?}")))
+        .collect();
+
+    // The file holds exactly the event stream the memory sink saw,
+    // value for value (f32/f64 survive the JSON round trip exactly).
+    // Compared as sorted multisets: the two sinks receive every event,
+    // but concurrent worker flushes may interleave differently.
+    let canon = |events: &[Event]| -> Vec<String> {
+        let mut v: Vec<String> = events
+            .iter()
+            .map(|e| serde_json::to_string(e).expect("event serializes"))
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(
+        canon(&parsed),
+        canon(&mem.events()),
+        "JSONL trace diverged from the event stream"
+    );
+
+    // And the epoch rollups in the trace match the history rows.
+    let epochs: Vec<&Event> = parsed
+        .iter()
+        .filter(|e| matches!(e, Event::Epoch { .. }))
+        .collect();
+    assert_eq!(epochs.len(), history.epochs.len());
+    for (ev, row) in epochs.iter().zip(&history.epochs) {
+        let Event::Epoch {
+            epoch,
+            train_loss,
+            push_bytes,
+            pull_bytes,
+            ..
+        } = ev
+        else {
+            unreachable!()
+        };
+        assert_eq!(*epoch, row.epoch);
+        assert_eq!(*train_loss, row.train_loss);
+        assert_eq!(*push_bytes, row.cumulative_push_bytes);
+        assert_eq!(*pull_bytes, row.cumulative_pull_bytes);
+    }
+    std::fs::remove_file(&path).ok();
+}
