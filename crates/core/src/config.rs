@@ -303,6 +303,14 @@ pub struct TrainConfig {
     /// Server-side optimizer applied to each aggregated round (extension;
     /// the paper's eq. 10 is [`ServerOptKind::PlainSgd`], the default).
     pub server_opt: ServerOptKind,
+    /// Scripted graceful departures: `(worker, epoch)` makes that worker
+    /// announce `Leave` to the server and exit cleanly at the *start* of
+    /// `epoch` (≥ 1). Non-empty departures switch the server into elastic
+    /// membership so the remaining workers' rounds re-size their quorum
+    /// instead of deadlocking or tripping `WorkerLost`. Empty (the
+    /// default) trains with fixed membership, bit-identical to a run
+    /// without this field.
+    pub departures: Vec<(usize, usize)>,
     /// Cross-layer telemetry sink: every layer of the run (server rounds,
     /// traffic, epoch rollups, aborts — and op spans when
     /// [`TrainConfig::profile`] is on) emits typed events into it.
@@ -344,6 +352,7 @@ impl TrainConfig {
             epoch_deadline: None,
             round_deadline: None,
             server_opt: ServerOptKind::PlainSgd,
+            departures: Vec::new(),
             telemetry: Telemetry::disabled(),
         })
     }
@@ -389,6 +398,27 @@ impl TrainConfig {
         let points = schedule.change_points(self.epochs);
         self.global_lr = schedule.at(0);
         self.lr_schedule = normalize_schedule(points.into_iter().filter(|&(e, _)| e > 0).collect());
+        self
+    }
+
+    /// Script a graceful departure: `worker` leaves the run at the start
+    /// of `epoch` (elastic membership; see [`TrainConfig::departures`]).
+    pub fn with_departure(mut self, worker: usize, epoch: usize) -> Self {
+        assert!(worker < self.num_workers, "departing worker out of range");
+        assert!(
+            worker != 0,
+            "worker 0 evaluates the global model each epoch; it cannot depart"
+        );
+        assert!(epoch >= 1, "a worker cannot depart before epoch 1");
+        assert!(
+            !self.departures.iter().any(|&(w, _)| w == worker),
+            "worker {worker} already departs"
+        );
+        self.departures.push((worker, epoch));
+        assert!(
+            self.departures.len() < self.num_workers,
+            "at least one worker must stay for the whole run"
+        );
         self
     }
 

@@ -13,12 +13,14 @@ use std::sync::{Condvar, Mutex};
 /// deadlocked the survivors when one worker died) becomes a fallible
 /// wait the supervisor can break with a typed [`NetError::WorkerLost`].
 pub struct PoisonBarrier {
-    n: usize,
     state: Mutex<State>,
     cv: Condvar,
 }
 
 struct State {
+    /// Parties the current generation waits for. Shrinks when a party
+    /// [`PoisonBarrier::leave`]s (elastic membership).
+    parties: usize,
     /// Parties currently waiting in this generation.
     count: usize,
     /// Completed generations; waiters key their wakeup on it changing.
@@ -31,8 +33,8 @@ impl PoisonBarrier {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "barrier needs at least one party");
         Self {
-            n,
             state: Mutex::new(State {
+                parties: n,
                 count: 0,
                 generation: 0,
                 poison: None,
@@ -41,16 +43,16 @@ impl PoisonBarrier {
         }
     }
 
-    /// Rendezvous with the other parties. `Ok(())` once all `n` arrive;
-    /// `Err` immediately (without waiting) if the barrier is or becomes
-    /// poisoned.
+    /// Rendezvous with the other parties. `Ok(())` once all current
+    /// parties arrive; `Err` immediately (without waiting) if the barrier
+    /// is or becomes poisoned.
     pub fn wait(&self) -> Result<(), NetError> {
         let mut s = self.state.lock().expect("barrier lock poisoned");
         if let Some(e) = &s.poison {
             return Err(e.clone());
         }
         s.count += 1;
-        if s.count == self.n {
+        if s.count == s.parties {
             s.count = 0;
             s.generation += 1;
             self.cv.notify_all();
@@ -63,6 +65,24 @@ impl PoisonBarrier {
         match &s.poison {
             Some(e) => Err(e.clone()),
             None => Ok(()),
+        }
+    }
+
+    /// Permanently withdraw one party (elastic membership: a worker that
+    /// departed mid-run will never rendezvous again). If everyone else is
+    /// already waiting, the generation completes immediately. Leaving a
+    /// 1-party barrier is a no-op — the sole party (a standalone worker
+    /// process) has nobody to release.
+    pub fn leave(&self) {
+        let mut s = self.state.lock().expect("barrier lock poisoned");
+        if s.parties == 1 {
+            return;
+        }
+        s.parties -= 1;
+        if s.count >= s.parties {
+            s.count = 0;
+            s.generation += 1;
+            self.cv.notify_all();
         }
     }
 
@@ -129,6 +149,29 @@ mod tests {
         for _ in 0..5 {
             b.wait().unwrap();
         }
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn leave_releases_parked_waiters() {
+        let b = Arc::new(PoisonBarrier::new(3));
+        let waiters: Vec<_> = (0..2)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || b.wait())
+            })
+            .collect();
+        // Let both park, then withdraw the third party instead of
+        // arriving: the generation completes with two.
+        std::thread::sleep(Duration::from_millis(20));
+        b.leave();
+        for h in waiters {
+            h.join().unwrap().unwrap();
+        }
+        // Subsequent generations need only the remaining two parties.
+        let b2 = Arc::clone(&b);
+        let h = std::thread::spawn(move || b2.wait());
+        b.wait().unwrap();
         h.join().unwrap().unwrap();
     }
 

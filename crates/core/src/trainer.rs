@@ -9,8 +9,8 @@ use crate::worker::{run_worker, EpochReport, WorkerArgs};
 use cdsgd_data::Dataset;
 use cdsgd_nn::Sequential;
 use cdsgd_ps::{
-    allreduce::ring_group, FaultyClient, InProcessBackend, NetError, ParamClient, ParamServer,
-    PsBackend, ServerConfig,
+    allreduce::ring_group, ElasticConfig, FaultyClient, InProcessBackend, NetError, ParamClient,
+    ParamServer, PsBackend, ServerConfig,
 };
 use cdsgd_telemetry::{Event, Telemetry};
 use cdsgd_tensor::SmallRng64;
@@ -161,6 +161,26 @@ impl Trainer {
         if let Some(d) = self.cfg.round_deadline {
             server_cfg = server_cfg.with_round_deadline(d);
         }
+        // Scripted departures switch the server into elastic membership:
+        // a worker's `Leave` shrinks the round quorum instead of tripping
+        // the fixed-membership failure paths. Empty departures keep the
+        // server byte-for-byte on the fixed path.
+        let depart_epoch: Vec<Option<usize>> = (0..n)
+            .map(|w| {
+                self.cfg
+                    .departures
+                    .iter()
+                    .find(|&&(dw, _)| dw == w)
+                    .map(|&(_, e)| e)
+            })
+            .collect();
+        if !self.cfg.departures.is_empty() {
+            assert!(
+                !self.cfg.algo.uses_ring(),
+                "scripted departures need a parameter server; the all-reduce ring is fixed-membership"
+            );
+            server_cfg = server_cfg.with_elastic(ElasticConfig::new(1));
+        }
 
         let mut history = TrainingHistory {
             algo: self.cfg.algo.name(),
@@ -282,12 +302,20 @@ impl Trainer {
             let mut batches = 0usize;
             let mut test_acc = None;
             let mut reported = vec![false; n];
-            for _ in 0..n {
+            // A worker departing at epoch `d` reports epochs `0..d` and
+            // then exits cleanly: expect one fewer report from `d` on.
+            let departed: Vec<bool> = depart_epoch
+                .iter()
+                .map(|d| d.is_some_and(|e| e <= epoch))
+                .collect();
+            let expected = departed.iter().filter(|&&d| !d).count();
+            for _ in 0..expected {
                 let r = match self.await_report(
                     &report_rx,
                     ps.as_ref(),
                     &mut handles,
                     &reported,
+                    &departed,
                     epoch_start,
                     epoch,
                     ipe,
@@ -352,8 +380,10 @@ impl Trainer {
         // server — join before shutting the backend down.
         barrier.wait().expect("only the supervisor poisons");
         for w in 0..n {
-            let outcome = handles[w].take().expect("joined once").join();
-            if let Some(e) = join_error(outcome, w, self.cfg.epochs, ipe) {
+            // Departed workers may already have been reaped by the
+            // supervisor when their thread finished mid-run.
+            let Some(h) = handles[w].take() else { continue };
+            if let Some(e) = join_error(h.join(), w, self.cfg.epochs, ipe) {
                 return Err(abort(
                     ps,
                     &barrier,
@@ -400,6 +430,7 @@ impl Trainer {
         ps: &dyn PsBackend,
         handles: &mut [Option<JoinHandle<Result<(), NetError>>>],
         reported: &[bool],
+        departed: &[bool],
         epoch_start: Instant,
         epoch: usize,
         ipe: usize,
@@ -423,10 +454,18 @@ impl Trainer {
                 Err(RecvTimeoutError::Timeout) => {}
             }
             // A worker thread that finished before reporting this epoch
-            // died (clean early exit mid-training is also a loss).
+            // died (clean early exit mid-training is also a loss) —
+            // unless it departed by script, in which case a clean exit is
+            // the expected outcome and only a failed goodbye is an error.
             for (w, slot) in handles.iter_mut().enumerate() {
                 if slot.as_ref().is_some_and(|h| h.is_finished()) {
                     let h = slot.take().expect("checked above");
+                    if departed[w] {
+                        if let Some(e) = join_error(h.join(), w, epoch, ipe) {
+                            return Err(e);
+                        }
+                        continue;
+                    }
                     let e = join_error(h.join(), w, epoch, ipe).unwrap_or(NetError::WorkerLost {
                         id: w,
                         round: first_round(epoch, ipe),
@@ -443,7 +482,11 @@ impl Trainer {
             // lowest-id worker that has not reported this epoch.
             if let Some(deadline) = self.cfg.epoch_deadline {
                 if epoch_start.elapsed() > deadline {
-                    let id = reported.iter().position(|r| !r).unwrap_or(0);
+                    // Blame the lowest-id worker still expected to report
+                    // (departed workers never will, by design).
+                    let id = (0..reported.len())
+                        .find(|&w| !reported[w] && !departed[w])
+                        .unwrap_or(0);
                     return Err(NetError::WorkerLost {
                         id,
                         round: first_round(epoch, ipe),
@@ -718,6 +761,46 @@ mod tests {
         let a1 = h.epochs[1].test_acc.unwrap();
         let a2 = h.epochs[2].test_acc.unwrap();
         assert_eq!(a1, a2, "weights should be frozen after lr 0");
+    }
+
+    #[test]
+    fn scripted_departure_completes_training() {
+        let data = toy::gaussian_blobs(480, 8, 4, 0.6, 9);
+        let (train, test) = data.split(0.8);
+        let cfg = TrainConfig::new(Algorithm::SSgd, 3)
+            .with_lr(0.2)
+            .with_batch_size(16)
+            .with_epochs(6)
+            .with_seed(5)
+            .with_departure(2, 2);
+        let h = Trainer::new(cfg, |rng| models::mlp(&[8, 32, 4], rng), train, Some(test)).run();
+        assert_eq!(h.epochs.len(), 6, "all epochs complete after the leave");
+        assert!(h.aborted.is_none());
+        let acc = h.final_test_acc().unwrap();
+        assert!(acc > 0.85, "survivors keep learning: test acc {acc}");
+    }
+
+    #[test]
+    fn two_departures_leave_a_solo_survivor() {
+        let data = toy::gaussian_blobs(480, 8, 4, 0.6, 9);
+        let (train, test) = data.split(0.8);
+        let cfg = TrainConfig::new(Algorithm::cd_sgd(0.05, 0.05, 2, 10), 3)
+            .with_lr(0.2)
+            .with_batch_size(16)
+            .with_epochs(5)
+            .with_seed(5)
+            .with_departure(1, 1)
+            .with_departure(2, 3);
+        let h = Trainer::new(cfg, |rng| models::mlp(&[8, 32, 4], rng), train, Some(test)).run();
+        assert_eq!(h.epochs.len(), 5);
+        assert!(h.aborted.is_none());
+        assert!(!h.final_weights.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot depart")]
+    fn worker_zero_cannot_depart() {
+        TrainConfig::new(Algorithm::SSgd, 2).with_departure(0, 1);
     }
 
     #[test]

@@ -70,13 +70,43 @@ pub(crate) fn run_worker(mut a: WorkerArgs) -> Result<(), NetError> {
     // The shared init every replica starts from; `Arc` snapshots shared
     // with the server and every same-version puller.
     let init: Vec<Arc<[f32]>> = a.model.export_params().into_iter().map(Arc::from).collect();
-    let mut strategy = build_strategy(&a.cfg.algo, a.client, a.ring, init);
+
+    // A scripted departure needs the client twice: the strategy owns one
+    // handle for the training rounds, and this loop keeps another to
+    // announce `Leave` on the *same ordered stream* the pushes rode (so
+    // the server sees every push of the final round before the goodbye).
+    let depart = a
+        .cfg
+        .departures
+        .iter()
+        .find(|&&(w, _)| w == a.id)
+        .map(|&(_, e)| e);
+    let (client, shared): (Box<dyn ParamClient>, Option<Arc<dyn ParamClient>>) = match depart {
+        Some(_) => {
+            let arc: Arc<dyn ParamClient> = Arc::from(a.client);
+            (Box::new(Arc::clone(&arc)), Some(arc))
+        }
+        None => (a.client, None),
+    };
+    let mut strategy = build_strategy(&a.cfg.algo, client, a.ring, init);
     let mut round: u64 = 0;
     // Per-iteration gradient scratch, allocated once and reused.
     let mut grads: Vec<Vec<f32>> = Vec::new();
     let mut saved: Vec<Vec<f32>> = Vec::new();
 
     for epoch in 0..a.cfg.epochs {
+        if Some(epoch) == depart {
+            // Graceful departure at the start of this epoch: drain any
+            // in-flight pulls, say goodbye (the server moves us to
+            // Draining and re-sizes the quorum), and withdraw from the
+            // epoch rendezvous so the survivors stop waiting for us.
+            strategy.finish()?;
+            if let Some(c) = &shared {
+                c.leave(a.id)?;
+            }
+            a.barrier.leave();
+            return Ok(());
+        }
         let mut shard = a.shard.clone();
         shard.shuffle(&mut rng);
         let mut loss_sum = 0.0f64;

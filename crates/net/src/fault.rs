@@ -150,6 +150,43 @@ impl Transport for FaultyTransport {
     fn peer(&self) -> String {
         format!("faulty({})", self.inner.peer())
     }
+
+    fn set_nonblocking(&mut self, nonblocking: bool) -> Result<(), NetError> {
+        self.inner.set_nonblocking(nonblocking)
+    }
+
+    fn poll_recv_frame(&mut self, out: &mut Vec<u8>) -> Result<bool, NetError> {
+        self.check_dead()?;
+        // Only a frame that actually arrives counts against the plan —
+        // empty polls are free, matching the blocking API where every
+        // call returns one frame.
+        if !self.inner.poll_recv_frame(out)? {
+            return Ok(false);
+        }
+        if let Some(d) = self.plan.recv_delay {
+            std::thread::sleep(d);
+        }
+        self.count(&self.state.recvs, self.plan.kill_after_recvs)?;
+        Ok(true)
+    }
+
+    fn poll_send_frame(&mut self, body: &[u8]) -> Result<(), NetError> {
+        self.check_dead()?;
+        if let Some(d) = self.plan.send_delay {
+            std::thread::sleep(d);
+        }
+        self.count(&self.state.sends, self.plan.kill_after_sends)?;
+        self.inner.poll_send_frame(body)
+    }
+
+    fn poll_flush(&mut self) -> Result<bool, NetError> {
+        self.check_dead()?;
+        self.inner.poll_flush()
+    }
+
+    fn pending_out_bytes(&self) -> usize {
+        self.inner.pending_out_bytes()
+    }
 }
 
 #[cfg(test)]

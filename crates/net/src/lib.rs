@@ -30,3 +30,7 @@ pub use wire::{
     decode_compressed, decode_msg, encode_compressed_into, encode_msg_into, pull_reply_frame_bytes,
     push_frame_bytes, WireMsg, FRAME_PREFIX_BYTES, MAX_FRAME_BYTES,
 };
+
+pub use wire::{
+    encode_heartbeat_into, encode_leave_into, encode_register_ack_into, encode_register_into,
+};

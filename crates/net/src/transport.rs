@@ -95,6 +95,65 @@ pub trait Transport: Send {
 
     /// Human-readable peer description for error messages.
     fn peer(&self) -> String;
+
+    // --- readiness-polling extension ------------------------------------
+    //
+    // The methods below let one thread multiplex many connections: none
+    // of them ever parks the caller. A transport that supports them is
+    // driven by an event loop as a pair of state machines — a read side
+    // (`poll_recv_frame`) accumulating bytes until a frame completes,
+    // and a write side (`poll_send_frame`/`poll_flush`) draining a
+    // bounded internal queue as the peer accepts bytes.
+
+    /// Switch the connection into (or out of) non-blocking mode. In
+    /// non-blocking mode only the `poll_*` methods below may be used;
+    /// the blocking [`Transport::send_frame`]/[`Transport::recv_frame`]
+    /// calls would spuriously fail with [`NetError::Timeout`].
+    ///
+    /// The default is a no-op: queue-backed transports (loopback) never
+    /// block on the poll path anyway.
+    fn set_nonblocking(&mut self, nonblocking: bool) -> Result<(), NetError> {
+        let _ = nonblocking;
+        Ok(())
+    }
+
+    /// Non-blocking receive: if a complete frame is available it is
+    /// copied into `out` (cleared first) and `Ok(true)` returned;
+    /// `Ok(false)` means no complete frame yet — partial progress is
+    /// buffered internally, exactly like a [`NetError::Timeout`] from
+    /// [`Transport::recv_frame`]. Clean EOF at a frame boundary is
+    /// [`NetError::Closed`].
+    fn poll_recv_frame(&mut self, out: &mut Vec<u8>) -> Result<bool, NetError> {
+        let _ = out;
+        Err(NetError::Io(
+            "transport does not support non-blocking receive".into(),
+        ))
+    }
+
+    /// Non-blocking send: queue `body` as one frame and opportunistically
+    /// push queued bytes to the peer. Never blocks; bytes the peer cannot
+    /// yet accept stay in the internal write buffer (visible through
+    /// [`Transport::pending_out_bytes`] for backpressure decisions) until
+    /// a later [`Transport::poll_flush`] drains them.
+    ///
+    /// The default delegates to the blocking [`Transport::send_frame`],
+    /// which is correct for transports whose sends never block.
+    fn poll_send_frame(&mut self, body: &[u8]) -> Result<(), NetError> {
+        self.send_frame(body)
+    }
+
+    /// Drive previously queued output toward the peer without blocking.
+    /// `Ok(true)` when the write buffer is fully drained.
+    fn poll_flush(&mut self) -> Result<bool, NetError> {
+        Ok(true)
+    }
+
+    /// Bytes accepted by [`Transport::poll_send_frame`] but not yet on
+    /// the wire. Event loops use this as the per-connection backpressure
+    /// signal.
+    fn pending_out_bytes(&self) -> usize {
+        0
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -110,6 +169,11 @@ pub struct TcpTransport {
     /// Bytes read off the socket but not yet returned as a frame.
     /// Survives timeouts so polling cannot desync the frame stream.
     rbuf: Vec<u8>,
+    /// Bytes queued by `poll_send_frame` but not yet written; `wpos` is
+    /// the drained prefix (compacted once the buffer empties, so the
+    /// frame stream never re-sends).
+    wbuf: Vec<u8>,
+    wpos: usize,
 }
 
 impl TcpTransport {
@@ -163,6 +227,8 @@ impl TcpTransport {
             timeout: cfg.io_timeout,
             conn: next_conn_id(),
             rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
         })
     }
 
@@ -243,12 +309,16 @@ impl Transport for TcpTransport {
     }
 
     fn try_clone(&self) -> Result<Box<dyn Transport>, NetError> {
+        // Like the receive buffer, the poll write queue is per-handle:
+        // exactly one handle should poll-send on a connection.
         Ok(Box::new(Self {
             stream: self.stream.try_clone()?,
             peer: self.peer.clone(),
             timeout: self.timeout,
             conn: self.conn,
             rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
         }))
     }
 
@@ -258,6 +328,82 @@ impl Transport for TcpTransport {
 
     fn peer(&self) -> String {
         self.peer.clone()
+    }
+
+    fn set_nonblocking(&mut self, nonblocking: bool) -> Result<(), NetError> {
+        self.stream.set_nonblocking(nonblocking)?;
+        Ok(())
+    }
+
+    fn poll_recv_frame(&mut self, out: &mut Vec<u8>) -> Result<bool, NetError> {
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            if self.take_buffered_frame(out)? {
+                return Ok(true);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.rbuf.is_empty() {
+                        Err(NetError::Closed)
+                    } else {
+                        Err(NetError::Io(format!(
+                            "peer {} closed mid-frame with {} bytes pending",
+                            self.peer,
+                            self.rbuf.len()
+                        )))
+                    };
+                }
+                Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(false)
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn poll_send_frame(&mut self, body: &[u8]) -> Result<(), NetError> {
+        if body.len() > MAX_FRAME_BYTES {
+            return Err(NetError::Io(format!(
+                "refusing to send {}-byte frame over the {MAX_FRAME_BYTES}-byte limit",
+                body.len()
+            )));
+        }
+        self.wbuf
+            .extend_from_slice(&(body.len() as u32).to_le_bytes());
+        self.wbuf.extend_from_slice(body);
+        self.poll_flush().map(|_| ())
+    }
+
+    fn poll_flush(&mut self) -> Result<bool, NetError> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    return Err(NetError::Io(format!(
+                        "peer {} accepted zero bytes on write",
+                        self.peer
+                    )))
+                }
+                Ok(n) => self.wpos += n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(false)
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.wbuf.clear();
+        self.wpos = 0;
+        Ok(true)
+    }
+
+    fn pending_out_bytes(&self) -> usize {
+        self.wbuf.len() - self.wpos
     }
 }
 
@@ -370,6 +516,20 @@ impl FrameQueue {
         }
     }
 
+    /// Non-blocking pop: `Ok(Some)` if a frame was waiting, `Ok(None)`
+    /// if the queue is empty but open, `Err(Closed)` once drained *and*
+    /// closed.
+    fn try_pop(&self) -> Result<Option<Vec<u8>>, NetError> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(f) = inner.frames.pop_front() {
+            return Ok(Some(f));
+        }
+        if inner.closed {
+            return Err(NetError::Closed);
+        }
+        Ok(None)
+    }
+
     fn close(&self) {
         self.inner.lock().unwrap().closed = true;
         self.ready.notify_all();
@@ -476,6 +636,20 @@ impl Transport for LoopbackTransport {
 
     fn peer(&self) -> String {
         self.peer.to_string()
+    }
+
+    // Queue pushes never block, so the default `poll_send_frame`
+    // (delegating to `send_frame`) and `poll_flush` (always drained) are
+    // already correct; only the receive side needs a true poll.
+    fn poll_recv_frame(&mut self, out: &mut Vec<u8>) -> Result<bool, NetError> {
+        match self.recv.try_pop()? {
+            Some(frame) => {
+                out.clear();
+                out.extend_from_slice(&frame);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 }
 
@@ -598,6 +772,115 @@ mod tests {
         client.recv_frame(&mut buf).unwrap();
         assert_eq!(buf, b"split-frame-body");
         drop(handle.join().unwrap());
+    }
+
+    #[test]
+    fn loopback_poll_recv_returns_false_when_empty_then_the_frame() {
+        let (mut a, mut b) = loopback_pair();
+        let mut buf = Vec::new();
+        assert!(!b.poll_recv_frame(&mut buf).unwrap());
+        a.poll_send_frame(b"polled").unwrap();
+        assert_eq!(a.pending_out_bytes(), 0, "loopback sends never queue");
+        assert!(b.poll_recv_frame(&mut buf).unwrap());
+        assert_eq!(buf, b"polled");
+        assert!(!b.poll_recv_frame(&mut buf).unwrap());
+        drop(a);
+        assert_eq!(b.poll_recv_frame(&mut buf), Err(NetError::Closed));
+    }
+
+    #[test]
+    fn tcp_poll_round_trip_without_blocking() {
+        let cfg = fast_cfg();
+        let (acceptor, addr) = TcpAcceptor::bind("127.0.0.1:0", cfg.clone()).unwrap();
+        let handle = std::thread::spawn(move || acceptor.accept(Duration::from_secs(5)).unwrap());
+        let mut client = TcpTransport::connect(addr, &cfg).unwrap();
+        let mut server = handle.join().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut buf = Vec::new();
+        assert!(
+            !server.poll_recv_frame(&mut buf).unwrap(),
+            "nothing sent yet"
+        );
+        client.send_frame(b"ping").unwrap();
+        // Poll until the kernel delivers the bytes (bounded spin).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !server.poll_recv_frame(&mut buf).unwrap() {
+            assert!(Instant::now() < deadline, "frame never arrived");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(buf, b"ping");
+
+        server.poll_send_frame(b"pong").unwrap();
+        while !server.poll_flush().unwrap() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(server.pending_out_bytes(), 0);
+        client.recv_frame(&mut buf).unwrap();
+        assert_eq!(buf, b"pong");
+    }
+
+    #[test]
+    fn tcp_poll_send_buffers_under_backpressure_without_losing_bytes() {
+        // A peer that never reads: the kernel socket buffer fills and
+        // poll_send_frame must queue (not block, not error) until the
+        // peer drains. Frames must arrive intact and in order.
+        let cfg = fast_cfg();
+        let (acceptor, addr) = TcpAcceptor::bind("127.0.0.1:0", cfg.clone()).unwrap();
+        let handle = std::thread::spawn(move || acceptor.accept(Duration::from_secs(5)).unwrap());
+        let mut client = TcpTransport::connect(addr, &cfg).unwrap();
+        let mut server = handle.join().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        // Big enough to overwhelm loopback socket buffers.
+        let frame = vec![0xabu8; 256 * 1024];
+        let frames = 16;
+        for _ in 0..frames {
+            server.poll_send_frame(&frame).unwrap();
+        }
+        assert!(
+            server.pending_out_bytes() > 0,
+            "expected some bytes to queue under backpressure"
+        );
+
+        let reader = std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            for _ in 0..frames {
+                client.recv_frame(&mut buf).unwrap();
+                assert_eq!(buf.len(), 256 * 1024);
+                assert!(buf.iter().all(|&b| b == 0xab));
+            }
+        });
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !server.poll_flush().unwrap() {
+            assert!(Instant::now() < deadline, "flush never drained");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(server.pending_out_bytes(), 0);
+        reader.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_poll_recv_sees_clean_eof_as_closed() {
+        let cfg = fast_cfg();
+        let (acceptor, addr) = TcpAcceptor::bind("127.0.0.1:0", cfg.clone()).unwrap();
+        let handle = std::thread::spawn(move || acceptor.accept(Duration::from_secs(5)).unwrap());
+        let client = TcpTransport::connect(addr, &cfg).unwrap();
+        let mut server = handle.join().unwrap();
+        server.set_nonblocking(true).unwrap();
+        drop(client);
+        let mut buf = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match server.poll_recv_frame(&mut buf) {
+                Ok(false) => {
+                    assert!(Instant::now() < deadline, "EOF never surfaced");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(NetError::Closed) => break,
+                other => panic!("expected Closed, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -57,6 +57,10 @@ const OP_SET_LR: u8 = 3;
 const OP_SNAPSHOT: u8 = 4;
 const OP_SNAPSHOT_REPLY: u8 = 5;
 const OP_SHUTDOWN: u8 = 6;
+const OP_REGISTER: u8 = 7;
+const OP_REGISTER_ACK: u8 = 8;
+const OP_HEARTBEAT: u8 = 9;
+const OP_LEAVE: u8 = 10;
 
 /// A decoded parameter-server message.
 ///
@@ -92,6 +96,23 @@ pub enum WireMsg {
     /// Control → server: stop serving (the deployment-level kill switch
     /// for the `psd` process; distinct from a client disconnecting).
     Shutdown,
+    /// Worker → server: join the membership as `worker`. The server
+    /// admits the worker into the quorum and answers with
+    /// [`WireMsg::RegisterAck`]; until the ack arrives the worker must
+    /// not push (its rounds are not yet counted).
+    Register { worker: u32 },
+    /// Server → worker: admission granted. Carries the per-key versions
+    /// at the instant of admission — the joiner's first pull targets
+    /// exactly these, so it can never trip the server's one-round lag
+    /// limit.
+    RegisterAck { versions: Vec<u64> },
+    /// Worker → server: liveness signal for `worker`, for membership
+    /// timeout supervision between pushes (pushes also count).
+    Heartbeat { worker: u32 },
+    /// Worker → server: graceful departure of `worker`. The server
+    /// drains any queued pushes from it and shrinks the quorum instead
+    /// of declaring the worker lost.
+    Leave { worker: u32 },
 }
 
 /// Exact wire size of a push frame carrying a payload of
@@ -482,6 +503,38 @@ pub fn encode_shutdown_into(buf: &mut Vec<u8>) {
     buf.push(OP_SHUTDOWN);
 }
 
+/// Encode a register body into `buf` (cleared first).
+pub fn encode_register_into(worker: u32, buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.push(OP_REGISTER);
+    put_u32(buf, worker);
+}
+
+/// Encode a register-ack body into `buf` (cleared first). Layout: key
+/// count, then one `u64` version per key.
+pub fn encode_register_ack_into(versions: &[u64], buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.push(OP_REGISTER_ACK);
+    put_u32(buf, versions.len() as u32);
+    for &v in versions {
+        put_u64(buf, v);
+    }
+}
+
+/// Encode a heartbeat body into `buf` (cleared first).
+pub fn encode_heartbeat_into(worker: u32, buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.push(OP_HEARTBEAT);
+    put_u32(buf, worker);
+}
+
+/// Encode a leave body into `buf` (cleared first).
+pub fn encode_leave_into(worker: u32, buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.push(OP_LEAVE);
+    put_u32(buf, worker);
+}
+
 /// Encode any [`WireMsg`] into `buf` (cleared first). The per-message
 /// `encode_*_into` helpers are the zero-copy hot paths; this exists for
 /// symmetry with [`decode_msg`] and for tests.
@@ -504,6 +557,10 @@ pub fn encode_msg_into(msg: &WireMsg, buf: &mut Vec<u8>) {
             encode_snapshot_reply_into(weights, versions, buf)
         }
         WireMsg::Shutdown => encode_shutdown_into(buf),
+        WireMsg::Register { worker } => encode_register_into(*worker, buf),
+        WireMsg::RegisterAck { versions } => encode_register_ack_into(versions, buf),
+        WireMsg::Heartbeat { worker } => encode_heartbeat_into(*worker, buf),
+        WireMsg::Leave { worker } => encode_leave_into(*worker, buf),
     }
 }
 
@@ -556,6 +613,17 @@ pub fn decode_msg(bytes: &[u8]) -> Result<WireMsg, NetError> {
             WireMsg::SnapshotReply { weights, versions }
         }
         OP_SHUTDOWN => WireMsg::Shutdown,
+        OP_REGISTER => WireMsg::Register { worker: cur.u32()? },
+        OP_REGISTER_ACK => {
+            let keys = cur.u32()? as usize;
+            let mut versions = Vec::with_capacity(keys);
+            for _ in 0..keys {
+                versions.push(cur.u64()?);
+            }
+            WireMsg::RegisterAck { versions }
+        }
+        OP_HEARTBEAT => WireMsg::Heartbeat { worker: cur.u32()? },
+        OP_LEAVE => WireMsg::Leave { worker: cur.u32()? },
         o => return Err(NetError::Decode(format!("unknown opcode {o}"))),
     };
     if cur.remaining() != 0 {
@@ -699,6 +767,13 @@ mod tests {
                 versions: vec![4, 0, 9],
             },
             WireMsg::Shutdown,
+            WireMsg::Register { worker: 5 },
+            WireMsg::RegisterAck {
+                versions: vec![0, 7, 12],
+            },
+            WireMsg::RegisterAck { versions: vec![] },
+            WireMsg::Heartbeat { worker: 5 },
+            WireMsg::Leave { worker: 2 },
         ];
         let mut buf = Vec::new();
         for m in msgs {

@@ -44,6 +44,29 @@ pub trait ParamClient: Send + Sync {
     /// Change the server-side learning rate.
     fn set_lr(&self, lr: f32) -> Result<(), NetError>;
 
+    /// Elastic membership: register `worker` with the server's membership
+    /// table and block for the per-key version ack — the versions the
+    /// joiner's first pulls must target (see [`crate::ElasticConfig`]).
+    /// Backends without a membership control plane reject the call.
+    fn register(&self, _worker: usize) -> Result<Vec<u64>, NetError> {
+        Err(NetError::Io(
+            "membership is not supported by this backend".into(),
+        ))
+    }
+
+    /// Elastic membership: `worker` departs gracefully — its queued
+    /// pushes still feed their rounds, then the quorum shrinks. Default
+    /// no-op: on fixed membership there is no table to leave.
+    fn leave(&self, _worker: usize) -> Result<(), NetError> {
+        Ok(())
+    }
+
+    /// Elastic membership: liveness signal (pushes also count). Default
+    /// no-op.
+    fn heartbeat(&self, _worker: usize) -> Result<(), NetError> {
+        Ok(())
+    }
+
     /// The payload buffer pool compressors should draw from, so push
     /// payload storage recycles round over round.
     fn pool(&self) -> &BufferPool;
@@ -66,8 +89,119 @@ impl ParamClient for PsClient {
         PsClient::set_lr(self, lr)
     }
 
+    fn register(&self, worker: usize) -> Result<Vec<u64>, NetError> {
+        PsClient::register(self, worker)
+    }
+
+    fn leave(&self, worker: usize) -> Result<(), NetError> {
+        PsClient::leave(self, worker)
+    }
+
+    fn heartbeat(&self, worker: usize) -> Result<(), NetError> {
+        PsClient::heartbeat(self, worker)
+    }
+
     fn pool(&self) -> &BufferPool {
         PsClient::pool(self)
+    }
+}
+
+/// Shared ownership of a client (`Arc` delegation): a worker that must
+/// announce its own departure needs the connection in two places — inside
+/// its update strategy (which consumed a `Box<dyn ParamClient>`) and in
+/// the departure path that sends `leave` *after* the strategy's final
+/// pushes. Routing both through one `Arc` keeps every message on a single
+/// ordered stream, so a `leave` can never overtake an in-flight push on a
+/// second connection.
+impl ParamClient for Arc<dyn ParamClient> {
+    fn push(&self, worker: usize, key: Key, payload: Compressed) -> Result<(), NetError> {
+        (**self).push(worker, key, payload)
+    }
+
+    fn pull(&self, key: Key, min_version: u64) -> Result<Arc<[f32]>, NetError> {
+        (**self).pull(key, min_version)
+    }
+
+    fn pull_async(&self, key: Key, min_version: u64) -> Result<PendingPull, NetError> {
+        (**self).pull_async(key, min_version)
+    }
+
+    fn pull_all(&self, num_keys: usize, min_version: u64) -> Result<Vec<Arc<[f32]>>, NetError> {
+        (**self).pull_all(num_keys, min_version)
+    }
+
+    fn set_lr(&self, lr: f32) -> Result<(), NetError> {
+        (**self).set_lr(lr)
+    }
+
+    fn register(&self, worker: usize) -> Result<Vec<u64>, NetError> {
+        (**self).register(worker)
+    }
+
+    fn leave(&self, worker: usize) -> Result<(), NetError> {
+        (**self).leave(worker)
+    }
+
+    fn heartbeat(&self, worker: usize) -> Result<(), NetError> {
+        (**self).heartbeat(worker)
+    }
+
+    fn pool(&self) -> &BufferPool {
+        (**self).pool()
+    }
+}
+
+/// A mid-run joiner's view of the server: every pull's `min_version` is
+/// rebased by the per-key versions the server acked at registration.
+///
+/// Update strategies count rounds locally from zero, but a worker that
+/// joins an elastic run at global round `V` participates in rounds
+/// `V+1, V+2, …` — and the server serves only the latest two versions,
+/// panicking on pulls further behind. Registration's ack is *exact* (no
+/// round completes after the join without the joiner), so local round
+/// `r` maps to global version `base[key] + r` with no race window.
+pub struct RebasedClient {
+    inner: Box<dyn ParamClient>,
+    /// Per-key global version at admission (the `RegisterAck` payload).
+    base: Vec<u64>,
+}
+
+impl RebasedClient {
+    /// Wrap `inner` for a worker admitted when each key was at
+    /// `base[key]` aggregates (the vector [`ParamClient::register`]
+    /// returned).
+    pub fn new(inner: Box<dyn ParamClient>, base: Vec<u64>) -> Self {
+        Self { inner, base }
+    }
+}
+
+impl ParamClient for RebasedClient {
+    fn push(&self, worker: usize, key: Key, payload: Compressed) -> Result<(), NetError> {
+        self.inner.push(worker, key, payload)
+    }
+
+    fn pull_async(&self, key: Key, min_version: u64) -> Result<PendingPull, NetError> {
+        self.inner.pull_async(key, min_version + self.base[key])
+    }
+
+    fn set_lr(&self, lr: f32) -> Result<(), NetError> {
+        self.inner.set_lr(lr)
+    }
+
+    fn register(&self, worker: usize) -> Result<Vec<u64>, NetError> {
+        self.inner.register(worker)
+    }
+
+    fn leave(&self, worker: usize) -> Result<(), NetError> {
+        self.inner.leave(worker)
+    }
+
+    fn heartbeat(&self, worker: usize) -> Result<(), NetError> {
+        self.inner.heartbeat(worker)
+    }
+
+    fn pool(&self) -> &BufferPool {
+        self.inner.pool()
     }
 }
 
@@ -174,6 +308,35 @@ mod tests {
         assert_eq!(v, vec![1]);
         assert!(backend.bytes_pushed() > 0);
         backend.shutdown();
+    }
+
+    #[test]
+    fn rebased_client_joins_an_elastic_run_mid_stream() {
+        use crate::ElasticConfig;
+        let ps = ParamServer::start(
+            vec![vec![0.0]],
+            ServerConfig::new(1, 1.0).with_elastic(ElasticConfig::new(1)),
+        );
+        // Worker 0 trains solo for three rounds.
+        let c0 = ps.client();
+        for v in 1..=3u64 {
+            c0.push(0, 0, Compressed::Raw(vec![1.0])).unwrap();
+            c0.pull(0, v).unwrap();
+        }
+        // Worker 1 joins at global version 3; its local round counter
+        // starts at zero, so its pulls must be rebased — an un-rebased
+        // pull of version 1 would panic the server.
+        let raw = ps.client();
+        let base = ParamClient::register(&raw, 1).unwrap();
+        assert_eq!(base, vec![3]);
+        let c1 = RebasedClient::new(Box::new(raw), base);
+        c1.push(1, 0, Compressed::Raw(vec![1.0])).unwrap();
+        c0.push(0, 0, Compressed::Raw(vec![1.0])).unwrap();
+        // Local round 1 for the joiner is global round 4 for worker 0:
+        // both see the same aggregate (divisor 2 now).
+        assert_eq!(*c1.pull(0, 1).unwrap(), [-4.0]);
+        assert_eq!(*c0.pull(0, 4).unwrap(), [-4.0]);
+        ps.shutdown();
     }
 
     #[test]

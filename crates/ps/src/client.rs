@@ -8,6 +8,9 @@ use cdsgd_net::NetError;
 use crossbeam_channel::{bounded, Receiver, Sender};
 use std::sync::Arc;
 
+/// A snapshot reply: all weights plus the per-key versions.
+pub(crate) type Snapshot = (Vec<Vec<f32>>, Vec<u64>);
+
 /// An outstanding asynchronous pull: resolves to the requested weight
 /// snapshot once the server reaches the version. Uniform across the
 /// in-process client and the networked [`crate::net::RemoteClient`] —
@@ -21,6 +24,18 @@ impl PendingPull {
     /// deadline) if the server answered but the round failed.
     pub fn wait(&self) -> Result<Arc<[f32]>, NetError> {
         self.0.recv().map_err(|_| NetError::ServerGone)?
+    }
+
+    /// Non-blocking probe (event-loop support): `None` while the pull is
+    /// still in flight, `Some(..)` once it resolved — or once the server
+    /// died, surfacing [`NetError::ServerGone`] like [`PendingPull::wait`].
+    pub(crate) fn try_wait(&self) -> Option<Result<Arc<[f32]>, NetError>> {
+        use crossbeam_channel::TryRecvError;
+        match self.0.try_recv() {
+            Ok(r) => Some(r),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(NetError::ServerGone)),
+        }
     }
 }
 
@@ -93,11 +108,56 @@ impl PsClient {
 
     /// Snapshot all weights and per-key versions (diagnostics).
     pub fn snapshot(&self) -> Result<(Vec<Vec<f32>>, Vec<u64>), NetError> {
+        self.snapshot_async()?
+            .recv()
+            .map_err(|_| NetError::ServerGone)
+    }
+
+    /// Fire-and-forget snapshot request (event-loop support): the
+    /// receiver resolves once the server replies, and disconnects if the
+    /// server dies (or entered the failed state) first.
+    pub(crate) fn snapshot_async(&self) -> Result<Receiver<Snapshot>, NetError> {
         let (reply_tx, reply_rx) = bounded(1);
         self.tx
             .send(Msg::Snapshot { reply: reply_tx })
             .map_err(|_| NetError::ServerGone)?;
-        reply_rx.recv().map_err(|_| NetError::ServerGone)
+        Ok(reply_rx)
+    }
+
+    /// Register `worker` with the membership table, blocking for the
+    /// per-key version ack (see [`crate::ElasticConfig`]). On a
+    /// fixed-membership server this is just the version handshake.
+    pub fn register(&self, worker: usize) -> Result<Vec<u64>, NetError> {
+        self.join_async(worker)?
+            .recv()
+            .map_err(|_| NetError::ServerGone)
+    }
+
+    /// Fire-and-forget registration (event-loop support).
+    pub(crate) fn join_async(&self, worker: usize) -> Result<Receiver<Vec<u64>>, NetError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Msg::Join {
+                worker,
+                reply: reply_tx,
+            })
+            .map_err(|_| NetError::ServerGone)?;
+        Ok(reply_rx)
+    }
+
+    /// Graceful departure: `worker` stops gating round completion once
+    /// its queued pushes drain. No-op on a fixed-membership server.
+    pub fn leave(&self, worker: usize) -> Result<(), NetError> {
+        self.tx
+            .send(Msg::Leave { worker })
+            .map_err(|_| NetError::ServerGone)
+    }
+
+    /// Liveness signal for the heartbeat timeout (pushes also count).
+    pub fn heartbeat(&self, worker: usize) -> Result<(), NetError> {
+        self.tx
+            .send(Msg::Heartbeat { worker })
+            .map_err(|_| NetError::ServerGone)
     }
 
     /// Shared traffic counters.

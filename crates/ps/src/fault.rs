@@ -105,6 +105,21 @@ impl ParamClient for FaultyClient {
         self.inner.set_lr(lr)
     }
 
+    fn register(&self, worker: usize) -> Result<Vec<u64>, NetError> {
+        self.check_dead()?;
+        self.inner.register(worker)
+    }
+
+    fn leave(&self, worker: usize) -> Result<(), NetError> {
+        self.check_dead()?;
+        self.inner.leave(worker)
+    }
+
+    fn heartbeat(&self, worker: usize) -> Result<(), NetError> {
+        self.check_dead()?;
+        self.inner.heartbeat(worker)
+    }
+
     fn pool(&self) -> &BufferPool {
         self.inner.pool()
     }

@@ -49,13 +49,13 @@ mod sharded;
 mod stats;
 
 pub use allreduce::{ring_group, RingMember};
-pub use api::{InProcessBackend, ParamClient, PsBackend};
+pub use api::{InProcessBackend, ParamClient, PsBackend, RebasedClient};
 pub use cdsgd_net::NetError;
 pub use client::{PendingPull, PsClient};
 pub use fault::{FaultyClient, WorkerFault};
 pub use net::{NetCluster, PsNetServer, RemoteClient};
 pub use opt::{HeavyBall, Nesterov, PlainSgd, ServerOpt, ServerOptKind};
-pub use server::{ParamServer, ServerConfig};
+pub use server::{ElasticConfig, ParamServer, ServerConfig};
 pub use sharded::{partition_keys, reassemble_snapshots, ShardedClient, ShardedParamServer};
 pub use stats::TrafficStats;
 

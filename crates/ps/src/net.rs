@@ -9,15 +9,17 @@
 //! math. The per-worker FIFO the server's aggregation relies on is
 //! preserved because each worker's pushes travel one ordered connection.
 //!
-//! Threading per connection follows the classic reader/writer split: a
-//! reader thread decodes requests and dispatches them to the in-process
-//! [`PsClient`]; pull replies (which block until the requested version
-//! exists) are handed to a writer thread so a slow pull never stalls
-//! push processing on the same connection. Replies go out in request
-//! order (FIFO per connection): a pull for a not-yet-reached version
-//! delays later replies on that connection, which is harmless for the
-//! training workload — workers request versions in nondecreasing order
-//! and never gate a push on an outstanding reply.
+//! The server side multiplexes every connection onto a small fixed pool
+//! of I/O threads (readiness polling over non-blocking transports — see
+//! [`Transport::poll_recv_frame`] and friends) instead of spawning a
+//! reader/writer thread pair per connection, so one `psd` process
+//! sustains hundreds of workers with a constant thread count. Each
+//! connection keeps a per-connection read buffer and a FIFO of pending
+//! replies with a bounded outbound queue: replies go out in request
+//! order, and a pull for a not-yet-reached version delays later replies
+//! on *that connection only* — harmless for the training workload, where
+//! workers request versions in nondecreasing order and never gate a push
+//! on an outstanding reply.
 
 use crate::api::{ParamClient, PsBackend};
 use crate::client::{PendingPull, PsClient};
@@ -28,9 +30,10 @@ use crate::Key;
 use cdsgd_compress::{BufferPool, Compressed};
 use cdsgd_net::wire::{self, WireMsg, FRAME_PREFIX_BYTES};
 use cdsgd_net::{loopback_pair, NetConfig, NetError, TcpAcceptor, TcpTransport, Transport};
-use crossbeam_channel::{bounded, unbounded, Sender};
+use cdsgd_telemetry::Event;
+use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -38,6 +41,25 @@ use std::time::Duration;
 /// Poll interval for stoppable blocking reads. Short enough that
 /// shutdown feels instant, long enough to stay off the scheduler.
 const POLL: Duration = Duration::from_millis(200);
+
+/// Number of I/O threads a [`PsNetServer`] multiplexes its connections
+/// over — fixed, independent of how many workers connect.
+const IO_THREADS: usize = 2;
+
+/// Per-connection bound on queued outbound bytes: while a connection's
+/// transport holds at least this much unflushed output, the event loop
+/// stops popping further replies for it (backpressure) until the socket
+/// drains.
+const MAX_CONN_WBUF: usize = 1 << 20;
+
+/// Frames read from one connection per event-loop visit, so a firehose
+/// connection cannot starve its neighbours on the same I/O thread.
+const READ_BURST: usize = 32;
+
+/// Event-loop sleep when a full pass over all connections moved no
+/// bytes. Short enough to keep added latency in the noise, long enough
+/// to keep an idle server off the scheduler.
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
 
 fn spawn_err(e: std::io::Error) -> NetError {
     NetError::Io(format!("spawn connection thread: {e}"))
@@ -47,17 +69,26 @@ fn spawn_err(e: std::io::Error) -> NetError {
 // server side
 // ---------------------------------------------------------------------------
 
-/// Work queued from a connection's reader thread to its writer thread.
-enum Outgoing {
-    PullReply {
+/// A reply owed to a connection, queued in request order. Only the front
+/// of a connection's queue is ever polled, so replies can never reorder.
+enum Reply {
+    Pull {
         key: u32,
         min_version: u64,
         pending: PendingPull,
     },
-    SnapshotReply {
-        weights: Vec<Vec<f32>>,
-        versions: Vec<u64>,
-    },
+    Snapshot(Receiver<(Vec<Vec<f32>>, Vec<u64>)>),
+    Register(Receiver<Vec<u64>>),
+}
+
+/// Per-connection state owned by one I/O thread: the non-blocking
+/// transport, a reusable read buffer, and the FIFO of replies owed.
+struct Conn {
+    t: Box<dyn Transport>,
+    rbuf: Vec<u8>,
+    replies: VecDeque<Reply>,
+    /// Transport connection id, tagged onto frame events.
+    id: u64,
 }
 
 /// One parameter-server shard served over transports: wraps an ordinary
@@ -65,14 +96,21 @@ enum Outgoing {
 /// of attached connections ([`PsNetServer::attach`]) or a whole TCP
 /// listener ([`PsNetServer::listen`]). This is the engine of the `psd`
 /// server binary and of [`NetCluster`]'s local deployments.
+///
+/// All connections are multiplexed over a fixed pool of
+/// [`PsNetServer::io_threads`] event-loop threads — per-connection cost
+/// is a buffer, not a thread pair.
 pub struct PsNetServer {
     ps: Mutex<Option<ParamServer>>,
-    client: PsClient,
     stats: Arc<TrafficStats>,
     failure: Arc<Mutex<Option<NetError>>>,
     stop: Arc<AtomicBool>,
     shutdown_signal: Arc<(Mutex<bool>, Condvar)>,
     threads: Mutex<Vec<JoinHandle<()>>>,
+    /// New connections are handed to I/O threads round-robin.
+    conn_txs: Vec<Sender<Conn>>,
+    next_io: AtomicUsize,
+    rejected: Arc<AtomicU64>,
 }
 
 impl PsNetServer {
@@ -91,137 +129,60 @@ impl PsNetServer {
         telemetry: cdsgd_telemetry::Telemetry,
     ) -> Arc<Self> {
         let ps = ParamServer::start_traced(init, cfg, telemetry);
+        let client = ps.client();
+        let stats = ps.stats_arc();
+        let stop = Arc::new(AtomicBool::new(false));
+        let signal = Arc::new((Mutex::new(false), Condvar::new()));
+        let mut threads = Vec::new();
+        let mut conn_txs = Vec::new();
+        for i in 0..IO_THREADS {
+            let (tx, rx) = unbounded::<Conn>();
+            conn_txs.push(tx);
+            let client = client.clone();
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let signal = Arc::clone(&signal);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("psd-io-{i}"))
+                    .spawn(move || io_loop(rx, client, stats, stop, signal))
+                    .expect("spawn I/O thread"),
+            );
+        }
         Arc::new(Self {
-            client: ps.client(),
-            stats: ps.stats_arc(),
+            stats,
             failure: ps.failure_arc(),
             ps: Mutex::new(Some(ps)),
-            stop: Arc::new(AtomicBool::new(false)),
-            shutdown_signal: Arc::new((Mutex::new(false), Condvar::new())),
-            threads: Mutex::new(Vec::new()),
+            stop,
+            shutdown_signal: signal,
+            threads: Mutex::new(threads),
+            conn_txs,
+            next_io: AtomicUsize::new(0),
+            rejected: Arc::new(AtomicU64::new(0)),
         })
     }
 
-    /// Serve one established connection (reader + writer thread pair).
+    /// Serve one established connection: switch it to non-blocking mode
+    /// and hand it to an I/O thread (round-robin).
     pub fn attach(&self, transport: Box<dyn Transport>) -> Result<(), NetError> {
-        let mut reader_t = transport;
-        reader_t.set_recv_timeout(Some(POLL))?;
-        let mut writer_t = reader_t.try_clone()?;
-        let peer = reader_t.peer();
-        let conn = reader_t.conn_id();
-
-        let client = self.client.clone();
-        let stats = Arc::clone(&self.stats);
-        let stop = Arc::clone(&self.stop);
-        let signal = Arc::clone(&self.shutdown_signal);
-        let (out_tx, out_rx) = unbounded::<Outgoing>();
-
-        let reader = std::thread::Builder::new()
-            .name(format!("psd-read-{peer}"))
-            .spawn(move || {
-                let mut buf = Vec::new();
-                loop {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    match reader_t.recv_frame(&mut buf) {
-                        Ok(()) => {}
-                        Err(NetError::Timeout) => continue,
-                        Err(_) => break,
-                    }
-                    stats.record_received(conn, FRAME_PREFIX_BYTES + buf.len());
-                    let msg = match wire::decode_msg(&buf) {
-                        Ok(m) => m,
-                        Err(_) => break,
-                    };
-                    match msg {
-                        WireMsg::Push {
-                            worker,
-                            key,
-                            payload,
-                        } => {
-                            if client.push(worker as usize, key as usize, payload).is_err() {
-                                break;
-                            }
-                        }
-                        WireMsg::Pull { key, min_version } => {
-                            let Ok(pending) = client.pull_async(key as usize, min_version) else {
-                                break;
-                            };
-                            if out_tx
-                                .send(Outgoing::PullReply {
-                                    key,
-                                    min_version,
-                                    pending,
-                                })
-                                .is_err()
-                            {
-                                break;
-                            }
-                        }
-                        WireMsg::SetLr { lr } => {
-                            if client.set_lr(lr).is_err() {
-                                break;
-                            }
-                        }
-                        WireMsg::Snapshot => {
-                            let Ok((weights, versions)) = client.snapshot() else {
-                                break;
-                            };
-                            if out_tx
-                                .send(Outgoing::SnapshotReply { weights, versions })
-                                .is_err()
-                            {
-                                break;
-                            }
-                        }
-                        WireMsg::Shutdown => {
-                            let (flag, cv) = &*signal;
-                            *flag.lock().unwrap() = true;
-                            cv.notify_all();
-                            break;
-                        }
-                        // Server-to-client messages arriving at the server
-                        // are a protocol violation; drop the connection.
-                        WireMsg::PullReply { .. } | WireMsg::SnapshotReply { .. } => break,
-                    }
-                }
-                // Dropping out_tx lets the writer drain its queue and exit.
-            })
-            .map_err(spawn_err)?;
-
-        let wstats = Arc::clone(&self.stats);
-        let writer = std::thread::Builder::new()
-            .name(format!("psd-write-{peer}"))
-            .spawn(move || {
-                let mut buf = Vec::new();
-                while let Ok(out) = out_rx.recv() {
-                    match out {
-                        Outgoing::PullReply {
-                            key,
-                            min_version,
-                            pending,
-                        } => {
-                            let Ok(w) = pending.wait() else { break };
-                            wire::encode_pull_reply_into(key, min_version, &w, &mut buf);
-                        }
-                        Outgoing::SnapshotReply { weights, versions } => {
-                            wire::encode_snapshot_reply_into(&weights, &versions, &mut buf);
-                        }
-                    }
-                    if writer_t.send_frame(&buf).is_err() {
-                        break;
-                    }
-                    wstats.record_sent(conn, FRAME_PREFIX_BYTES + buf.len());
-                }
-            })
-            .map_err(spawn_err)?;
-
-        self.threads.lock().unwrap().extend([reader, writer]);
-        Ok(())
+        let mut t = transport;
+        t.set_nonblocking(true)?;
+        let conn = Conn {
+            id: t.conn_id(),
+            t,
+            rbuf: Vec::new(),
+            replies: VecDeque::new(),
+        };
+        let i = self.next_io.fetch_add(1, Ordering::Relaxed) % self.conn_txs.len();
+        self.conn_txs[i]
+            .send(conn)
+            .map_err(|_| NetError::ServerGone)
     }
 
-    /// Accept connections from `acceptor` until shutdown.
+    /// Accept connections from `acceptor` until shutdown. A connection
+    /// that fails to attach is counted ([`PsNetServer::rejected_connections`])
+    /// and reported as a [`Event::ConnRejected`] instead of silently
+    /// dropped — and does not tear down the acceptor.
     pub fn listen(self: &Arc<Self>, acceptor: TcpAcceptor) {
         let me = Arc::clone(self);
         let handle = std::thread::Builder::new()
@@ -232,16 +193,43 @@ impl PsNetServer {
                 }
                 match acceptor.accept(POLL) {
                     Ok(t) => {
-                        if me.attach(Box::new(t)).is_err() {
-                            break;
+                        if let Err(e) = me.attach(Box::new(t)) {
+                            me.reject(&e);
                         }
                     }
                     Err(NetError::Timeout) => continue,
-                    Err(_) => break,
+                    Err(e) => {
+                        // The listener itself is broken; report once and
+                        // stop accepting (unless this is just shutdown).
+                        if !me.stop.load(Ordering::Relaxed) {
+                            me.reject(&e);
+                        }
+                        break;
+                    }
                 }
             })
             .expect("spawn accept thread");
         self.threads.lock().unwrap().push(handle);
+    }
+
+    /// Count and report one failed/rejected connection attempt.
+    fn reject(&self, err: &NetError) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.stats.telemetry().emit(|| Event::ConnRejected {
+            reason: err.to_string(),
+        });
+    }
+
+    /// Number of I/O threads multiplexing this server's connections —
+    /// fixed at startup, independent of how many workers attach.
+    pub fn io_threads(&self) -> usize {
+        self.conn_txs.len()
+    }
+
+    /// Connection attempts that failed to attach (see
+    /// [`PsNetServer::listen`]).
+    pub fn rejected_connections(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
     }
 
     /// The failure that ended aggregation (the inner server's round
@@ -305,6 +293,163 @@ impl Drop for PsNetServer {
     }
 }
 
+/// One I/O thread: adopt connections from `rx`, then loop over all of
+/// them — read ready frames, dispatch to the in-process client, pop
+/// resolved replies (FIFO, bounded outbound queue), flush. Sleeps only
+/// when a full pass moved nothing.
+fn io_loop(
+    rx: Receiver<Conn>,
+    client: PsClient,
+    stats: Arc<TrafficStats>,
+    stop: Arc<AtomicBool>,
+    signal: Arc<(Mutex<bool>, Condvar)>,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut wbuf = Vec::new();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        while let Ok(c) = rx.try_recv() {
+            conns.push(c);
+        }
+        if conns.is_empty() {
+            // Nothing to poll: park until a connection arrives (bounded,
+            // so the stop flag stays responsive).
+            match rx.recv_timeout(POLL) {
+                Ok(c) => conns.push(c),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let mut progress = false;
+        let mut i = 0;
+        while i < conns.len() {
+            match service_conn(&mut conns[i], &client, &stats, &signal, &mut wbuf) {
+                Ok(p) => {
+                    progress |= p;
+                    i += 1;
+                }
+                // Dead connection (peer hung up, protocol violation, or
+                // server gone): drop it; its transport closes on drop.
+                Err(_) => {
+                    conns.swap_remove(i);
+                }
+            }
+        }
+        if !progress {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+/// One event-loop visit to one connection. `Ok(true)` if any frame moved
+/// in either direction; `Err` retires the connection.
+fn service_conn(
+    c: &mut Conn,
+    client: &PsClient,
+    stats: &TrafficStats,
+    signal: &(Mutex<bool>, Condvar),
+    wbuf: &mut Vec<u8>,
+) -> Result<bool, NetError> {
+    let mut progress = false;
+    // Inbound: drain up to READ_BURST ready frames.
+    for _ in 0..READ_BURST {
+        if !c.t.poll_recv_frame(&mut c.rbuf)? {
+            break;
+        }
+        progress = true;
+        stats.record_received(c.id, FRAME_PREFIX_BYTES + c.rbuf.len());
+        match wire::decode_msg(&c.rbuf)? {
+            WireMsg::Push {
+                worker,
+                key,
+                payload,
+            } => client.push(worker as usize, key as usize, payload)?,
+            WireMsg::Pull { key, min_version } => {
+                let pending = client.pull_async(key as usize, min_version)?;
+                c.replies.push_back(Reply::Pull {
+                    key,
+                    min_version,
+                    pending,
+                });
+            }
+            WireMsg::SetLr { lr } => client.set_lr(lr)?,
+            WireMsg::Snapshot => c
+                .replies
+                .push_back(Reply::Snapshot(client.snapshot_async()?)),
+            WireMsg::Register { worker } => c
+                .replies
+                .push_back(Reply::Register(client.join_async(worker as usize)?)),
+            WireMsg::Heartbeat { worker } => client.heartbeat(worker as usize)?,
+            WireMsg::Leave { worker } => client.leave(worker as usize)?,
+            WireMsg::Shutdown => {
+                let (flag, cv) = signal;
+                *flag.lock().unwrap() = true;
+                cv.notify_all();
+                return Err(NetError::ServerGone);
+            }
+            // Server-to-client messages arriving at the server are a
+            // protocol violation; drop the connection.
+            WireMsg::PullReply { .. }
+            | WireMsg::SnapshotReply { .. }
+            | WireMsg::RegisterAck { .. } => {
+                return Err(NetError::Io("unexpected server-to-client frame".into()))
+            }
+        }
+    }
+    // Outbound: pop resolved replies in request order while the
+    // transport's queued output stays under the per-connection bound.
+    while c.t.pending_out_bytes() < MAX_CONN_WBUF {
+        let ready = match c.replies.front() {
+            None => break,
+            Some(Reply::Pull {
+                key,
+                min_version,
+                pending,
+            }) => match pending.try_wait() {
+                None => break,
+                // A typed failure (round deadline, shutdown) kills the
+                // connection; the remote client surfaces ServerGone,
+                // same as the old writer-thread behaviour.
+                Some(Err(e)) => return Err(e),
+                Some(Ok(w)) => {
+                    wire::encode_pull_reply_into(*key, *min_version, &w, wbuf);
+                    true
+                }
+            },
+            Some(Reply::Snapshot(rx)) => match rx.try_recv() {
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return Err(NetError::ServerGone),
+                Ok((w, v)) => {
+                    wire::encode_snapshot_reply_into(&w, &v, wbuf);
+                    true
+                }
+            },
+            Some(Reply::Register(rx)) => match rx.try_recv() {
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return Err(NetError::ServerGone),
+                Ok(versions) => {
+                    wire::encode_register_ack_into(&versions, wbuf);
+                    true
+                }
+            },
+        };
+        if ready {
+            c.replies.pop_front();
+            c.t.poll_send_frame(wbuf)?;
+            stats.record_sent(c.id, FRAME_PREFIX_BYTES + wbuf.len());
+            progress = true;
+        }
+    }
+    // Move queued output toward the socket without blocking.
+    if c.t.pending_out_bytes() > 0 {
+        c.t.poll_flush()?;
+        progress = true;
+    }
+    Ok(progress)
+}
+
 // ---------------------------------------------------------------------------
 // client side
 // ---------------------------------------------------------------------------
@@ -324,6 +469,8 @@ struct Pending {
     /// Outstanding pulls in request order, matched by `(key, version)`.
     pulls: VecDeque<PendingPullEntry>,
     snapshot: Option<Sender<SnapshotReply>>,
+    /// Outstanding membership registration, resolved by `RegisterAck`.
+    register: Option<Sender<Vec<u64>>>,
 }
 
 /// A [`ParamClient`] talking to one remote shard over a transport.
@@ -402,6 +549,12 @@ impl RemoteClient {
                                 let _ = tx.send((weights, versions));
                             }
                         }
+                        Ok(WireMsg::RegisterAck { versions }) => {
+                            let tx = pending2.lock().unwrap().register.take();
+                            if let Some(tx) = tx {
+                                let _ = tx.send(versions);
+                            }
+                        }
                         // Anything else from the server is a protocol
                         // violation; treat as a dead connection.
                         _ => break,
@@ -412,6 +565,7 @@ impl RemoteClient {
                 let mut p = pending2.lock().unwrap();
                 p.pulls.clear();
                 p.snapshot = None;
+                p.register = None;
             })
             .map_err(spawn_err)?;
 
@@ -493,6 +647,31 @@ impl ParamClient for RemoteClient {
 
     fn set_lr(&self, lr: f32) -> Result<(), NetError> {
         self.send(&WireMsg::SetLr { lr }).map(|_| ())
+    }
+
+    fn register(&self, worker: usize) -> Result<Vec<u64>, NetError> {
+        let (tx, rx) = bounded(1);
+        self.pending.lock().unwrap().register = Some(tx);
+        self.send(&WireMsg::Register {
+            worker: worker as u32,
+        })?;
+        rx.recv().map_err(|_| NetError::ServerGone)
+    }
+
+    /// Rides the same ordered stream as this client's pushes, so a leave
+    /// can never overtake an in-flight push.
+    fn leave(&self, worker: usize) -> Result<(), NetError> {
+        self.send(&WireMsg::Leave {
+            worker: worker as u32,
+        })
+        .map(|_| ())
+    }
+
+    fn heartbeat(&self, worker: usize) -> Result<(), NetError> {
+        self.send(&WireMsg::Heartbeat {
+            worker: worker as u32,
+        })
+        .map(|_| ())
     }
 
     fn pool(&self) -> &BufferPool {
@@ -905,6 +1084,48 @@ mod tests {
         let waiter = std::thread::spawn(move || s2.wait_for_shutdown());
         c.shutdown_server().unwrap();
         waiter.join().unwrap().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn membership_round_trips_over_loopback() {
+        use crate::ElasticConfig;
+        let server = PsNetServer::start(
+            init(1),
+            ServerConfig::new(1, 1.0).with_elastic(ElasticConfig::new(1)),
+        );
+        let c = loopback_client(&server);
+        c.push(0, 0, Compressed::Raw(vec![2.0; 3])).unwrap();
+        assert_eq!(*c.pull(0, 1).unwrap(), [-2.0; 3]);
+        // A second worker joins over its own connection; the ack carries
+        // the per-key versions its first pulls must target.
+        let c1 = loopback_client(&server);
+        assert_eq!(c1.register(1).unwrap(), vec![1]);
+        c.push(0, 0, Compressed::Raw(vec![2.0; 3])).unwrap();
+        c1.push(1, 0, Compressed::Raw(vec![4.0; 3])).unwrap();
+        assert_eq!(*c1.pull(0, 2).unwrap(), [-5.0; 3]);
+        // Graceful leave travels the leaver's own push stream; the
+        // remaining worker then completes rounds alone.
+        c1.heartbeat(1).unwrap();
+        c1.leave(1).unwrap();
+        c.push(0, 0, Compressed::Raw(vec![2.0; 3])).unwrap();
+        assert_eq!(*c.pull(0, 3).unwrap(), [-7.0; 3]);
+        assert_eq!(server.rejected_connections(), 0);
+        drop(c1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn io_thread_pool_is_fixed_size() {
+        let server = PsNetServer::start(init(1), ServerConfig::new(1, 1.0));
+        let n = server.io_threads();
+        // Many connections, still the same pool.
+        let clients: Vec<_> = (0..8).map(|_| loopback_client(&server)).collect();
+        for c in &clients {
+            assert_eq!(*c.pull(0, 0).unwrap(), [0.0; 3]);
+        }
+        assert_eq!(server.io_threads(), n);
+        drop(clients);
         server.shutdown();
     }
 

@@ -15,10 +15,55 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Dynamic-membership configuration (extension): when set on a
+/// [`ServerConfig`], the worker set is no longer frozen at
+/// `num_workers` — workers may register (`Join`) and depart (`Leave`, or
+/// a heartbeat timeout) mid-training, and each aggregate round's quorum
+/// is the *current* set of active workers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ElasticConfig {
+    /// Fewest active workers the server keeps serving with; a departure
+    /// that would drop the active set below this fails the server with
+    /// [`NetError::WorkerLost`] instead of silently training on too few
+    /// replicas.
+    pub min_quorum: usize,
+    /// Declare an active worker departed when it has neither pushed nor
+    /// heartbeated for this long. `None` disables liveness tracking
+    /// (departures are graceful `Leave`s only) — the right setting for
+    /// deterministic in-process runs.
+    pub heartbeat_timeout: Option<Duration>,
+}
+
+impl ElasticConfig {
+    /// Elastic membership with graceful departures only (no liveness
+    /// timeout).
+    ///
+    /// # Panics
+    /// Panics if `min_quorum == 0` — an empty quorum would let rounds
+    /// "complete" with no contributors.
+    pub fn new(min_quorum: usize) -> Self {
+        assert!(min_quorum >= 1, "min_quorum must be at least 1");
+        Self {
+            min_quorum,
+            heartbeat_timeout: None,
+        }
+    }
+
+    /// Also force out workers silent (no push, no heartbeat) past
+    /// `timeout`.
+    pub fn with_heartbeat_timeout(mut self, timeout: Duration) -> Self {
+        self.heartbeat_timeout = Some(timeout);
+        self
+    }
+}
+
 /// Server configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
-    /// Number of workers whose pushes are aggregated per round.
+    /// Number of workers whose pushes are aggregated per round. With
+    /// [`ServerConfig::elastic`] set this is only the *initial*
+    /// membership (workers `0..num_workers` start active); otherwise it
+    /// is the fixed quorum of every round.
     pub num_workers: usize,
     /// Global learning rate η in `W ← W − η/N · Σ grads`.
     pub global_lr: f32,
@@ -46,6 +91,10 @@ pub struct ServerConfig {
     /// ahead, so a partial round is normal for up to one iteration time;
     /// set the deadline comfortably above the slowest expected iteration.
     pub round_deadline: Option<Duration>,
+    /// Dynamic worker membership (see [`ElasticConfig`]). `None` (the
+    /// default) keeps the historical fixed-membership behaviour
+    /// bit-for-bit: every round aggregates exactly `num_workers` pushes.
+    pub elastic: Option<ElasticConfig>,
 }
 
 impl ServerConfig {
@@ -58,6 +107,7 @@ impl ServerConfig {
             opt: ServerOptKind::PlainSgd,
             delay_per_byte: 0.0,
             round_deadline: None,
+            elastic: None,
         }
     }
 
@@ -93,6 +143,12 @@ impl ServerConfig {
         self.round_deadline = Some(deadline);
         self
     }
+
+    /// Enable dynamic worker membership (see [`ElasticConfig`]).
+    pub fn with_elastic(mut self, elastic: ElasticConfig) -> Self {
+        self.elastic = Some(elastic);
+        self
+    }
 }
 
 pub(crate) enum Msg {
@@ -111,11 +167,103 @@ pub(crate) enum Msg {
     Snapshot {
         reply: Sender<(Vec<Vec<f32>>, Vec<u64>)>,
     },
+    /// Elastic membership: admit `worker` into the active set and reply
+    /// with the per-key versions at admission (the versions the joiner's
+    /// first pulls must target). On a fixed-membership server this is
+    /// just the version handshake — the membership table is untouched.
+    Join {
+        worker: usize,
+        reply: Sender<Vec<u64>>,
+    },
+    /// Elastic membership: `worker` departs gracefully. Its queued
+    /// pushes still feed the rounds they were computed for; once
+    /// drained it is gone and the quorum shrinks.
+    Leave {
+        worker: usize,
+    },
+    /// Elastic membership: liveness signal (pushes also count).
+    Heartbeat {
+        worker: usize,
+    },
     Shutdown,
 }
 
 /// A parked pull: the version it waits for and where to send the reply.
 type WaitingPull = (u64, Sender<Result<Arc<[f32]>, NetError>>);
+
+/// Membership state machine: `Register → Active → Draining → Gone`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum MemberState {
+    /// Gates round completion; its pushes are aggregated.
+    Active,
+    /// Departed, but queued pushes still feed the rounds they were
+    /// computed for. No longer gates completion.
+    Draining,
+    /// Fully drained (or never joined). Slot may be re-admitted.
+    Gone,
+}
+
+/// The server-side membership table. Indexed by worker id; grows on
+/// `Join` of an unseen id, never shrinks (a departed worker's slot stays
+/// `Gone` so ids remain stable).
+struct Members {
+    state: Vec<MemberState>,
+    /// Last push or heartbeat per slot, for the liveness timeout.
+    last_seen: Vec<Instant>,
+}
+
+impl Members {
+    fn new(n: usize) -> Self {
+        Self {
+            state: vec![MemberState::Active; n],
+            last_seen: vec![Instant::now(); n],
+        }
+    }
+
+    fn active(&self) -> usize {
+        self.state
+            .iter()
+            .filter(|s| **s == MemberState::Active)
+            .count()
+    }
+
+    fn any_active(&self) -> bool {
+        self.state.contains(&MemberState::Active)
+    }
+
+    fn is_active(&self, w: usize) -> bool {
+        w < self.state.len() && self.state[w] == MemberState::Active
+    }
+
+    /// Admit (or re-admit) `w` into the active set, growing the table if
+    /// the id is new.
+    fn admit(&mut self, w: usize) {
+        if w >= self.state.len() {
+            self.state.resize(w + 1, MemberState::Gone);
+            self.last_seen.resize(w + 1, Instant::now());
+        }
+        self.state[w] = MemberState::Active;
+        self.last_seen[w] = Instant::now();
+    }
+
+    /// First active worker silent past `timeout`, if any.
+    fn timed_out(&self, timeout: Duration) -> Option<usize> {
+        self.state.iter().enumerate().find_map(|(w, s)| {
+            (*s == MemberState::Active && self.last_seen[w].elapsed() > timeout).then_some(w)
+        })
+    }
+
+    /// Retire every draining worker whose queues are empty on all keys.
+    fn sweep(&mut self, keys: &[KeyState]) {
+        for w in 0..self.state.len() {
+            if self.state[w] == MemberState::Draining
+                && keys.iter().all(|k| k.pending[w].is_empty())
+            {
+                self.state[w] = MemberState::Gone;
+            }
+        }
+    }
+}
 
 struct KeyState {
     /// Current weight snapshot. Immutable once built: every pull of this
@@ -324,6 +472,11 @@ fn server_loop(
             }
         })
         .collect();
+    // Membership table. Without `cfg.elastic` it is frozen at
+    // construction (workers 0..num_workers active forever), so every
+    // round aggregates exactly `num_workers` pushes — the historical
+    // behaviour, bit-for-bit.
+    let mut members = Members::new(cfg.num_workers);
     // Once a round deadline fires, aggregation is over: `failed` holds the
     // verdict, every queued or future pull is answered with it, and pushes
     // are discarded. The loop keeps draining messages (so clients get
@@ -331,9 +484,15 @@ fn server_loop(
     let mut failed: Option<NetError> = None;
 
     loop {
-        // With a round deadline armed, wake periodically so a missing push
-        // is noticed even when no message ever arrives again.
-        let msg = match cfg.round_deadline {
+        // With a round deadline or heartbeat timeout armed, wake
+        // periodically so a missing push or a silent worker is noticed
+        // even when no message ever arrives again.
+        let heartbeat = cfg.elastic.and_then(|e| e.heartbeat_timeout);
+        let tick_source = match (cfg.round_deadline, heartbeat) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let msg = match tick_source {
             Some(deadline) if failed.is_none() => {
                 let tick =
                     (deadline / 4).clamp(Duration::from_millis(5), Duration::from_millis(100));
@@ -365,60 +524,89 @@ fn server_loop(
                     payload.recycle(&pool);
                     continue;
                 }
+                if cfg.elastic.is_some() {
+                    // A push from a worker the server no longer knows
+                    // (e.g. racing its own forced departure) is dropped
+                    // rather than panicking the server thread.
+                    if worker >= members.state.len() || members.state[worker] == MemberState::Gone {
+                        payload.recycle(&pool);
+                        continue;
+                    }
+                    // Pushes also count as liveness.
+                    members.last_seen[worker] = Instant::now();
+                } else {
+                    assert!(worker < cfg.num_workers, "worker id out of range");
+                }
                 let ks = &mut keys[key];
-                assert!(worker < cfg.num_workers, "worker id out of range");
                 assert_eq!(payload.len(), ks.weights.len(), "gradient length mismatch");
                 ks.pending[worker].push_back(payload);
-                // Apply every round for which all workers have a push.
-                while ks.pending.iter().all(|q| !q.is_empty()) {
-                    ks.acc.fill(0.0);
-                    for q in &mut ks.pending {
-                        let p = q.pop_front().expect("checked non-empty");
-                        decompress_add(&p, &mut ks.acc);
-                        // Payload storage goes back to the shared pool so
-                        // the next compress_into can reuse it.
-                        p.recycle(&pool);
+                pump_key(key, ks, &members, &cfg, &stats, &pool);
+                members.sweep(&keys);
+            }
+            Some(Msg::Join { worker, reply }) => {
+                if failed.is_some() {
+                    // Dropping `reply` fails the registration.
+                    continue;
+                }
+                if cfg.elastic.is_some() {
+                    members.admit(worker);
+                    for ks in &mut keys {
+                        ks.pending
+                            .resize_with(members.state.len(), Default::default);
                     }
-                    apply_update(ks, &cfg, &stats);
-                    ks.version += 1;
-                    let version = ks.version;
+                    let active = members.active();
                     stats
                         .telemetry()
-                        .emit(|| Event::RoundComplete { key, version });
-                    // Release any pulls now satisfied.
-                    let mut rest = Vec::new();
-                    let mut ready = Vec::new();
-                    for w in ks.waiting.drain(..) {
-                        if w.0 <= version {
-                            ready.push(w.1);
-                        } else {
-                            rest.push(w);
-                        }
-                    }
-                    ks.waiting = rest;
-                    for reply in ready {
-                        let frame = pull_reply_frame_bytes(ks.weights.len());
-                        stats.record_pull(frame);
-                        net_delay(cfg.delay_per_byte, frame);
-                        let _ = reply.send(Ok(Arc::clone(&ks.weights)));
-                    }
+                        .emit(|| Event::WorkerJoined { worker, active });
                 }
-                // Start (or clear) the partial-round clock for this key.
-                // The lifecycle event fires only on the empty→partial
-                // transition, once per round, not per straggling push.
-                let partial = ks.pending.iter().any(|q| !q.is_empty());
-                if partial {
-                    if ks.partial_since.is_none() {
-                        ks.partial_since = Some(Instant::now());
-                        let round = ks.version;
-                        stats
-                            .telemetry()
-                            .emit(|| Event::RoundPartial { key, round });
+                // Ack the per-key versions at admission: no round can
+                // complete without the joiner from here on, so these are
+                // exactly the versions its first pulls must target.
+                let versions = keys.iter().map(|k| k.version).collect();
+                let _ = reply.send(versions);
+            }
+            Some(Msg::Leave { worker }) if failed.is_none() && members.is_active(worker) => {
+                if let Some(e) = cfg.elastic {
+                    members.state[worker] = MemberState::Draining;
+                    let active = members.active();
+                    stats.telemetry().emit(|| Event::WorkerLeft {
+                        worker,
+                        active,
+                        graceful: true,
+                    });
+                    // A *partial* membership below the quorum fails
+                    // the run; a full graceful drain to zero is a
+                    // valid end state — the server idles, ready for
+                    // new joins or a controller's shutdown. (A pool
+                    // of min_quorum q can only reach zero gracefully
+                    // when q == 1, stepping 1 → 0.)
+                    if active > 0 && active < e.min_quorum {
+                        let round = min_version(&keys);
+                        fail_now(
+                            &mut keys,
+                            &failure,
+                            &mut failed,
+                            NetError::WorkerLost { id: worker, round },
+                        );
+                    } else {
+                        // The leaver no longer gates round
+                        // completion: pump every key.
+                        for (key, ks) in keys.iter_mut().enumerate() {
+                            pump_key(key, ks, &members, &cfg, &stats, &pool);
+                        }
+                        members.sweep(&keys);
                     }
-                } else {
-                    ks.partial_since = None;
                 }
             }
+            Some(Msg::Heartbeat { worker })
+                if cfg.elastic.is_some() && worker < members.state.len() =>
+            {
+                members.last_seen[worker] = Instant::now();
+            }
+            // Leave/Heartbeat from an unknown or inactive worker, or
+            // after the run already failed: ignored (the guards above
+            // filtered them out).
+            Some(Msg::Leave { .. }) | Some(Msg::Heartbeat { .. }) => {}
             Some(Msg::Pull {
                 key,
                 min_version,
@@ -462,7 +650,7 @@ fn server_loop(
         }
         if failed.is_none() {
             if let Some(deadline) = cfg.round_deadline {
-                if let Some((key, err)) = check_round_deadline(&keys, deadline) {
+                if let Some((key, err)) = check_round_deadline(&keys, &members, deadline) {
                     if let NetError::WorkerLost { id, round } = err {
                         stats.telemetry().emit(|| Event::RoundExpired {
                             key,
@@ -470,27 +658,157 @@ fn server_loop(
                             victim: id,
                         });
                     }
-                    *failure.lock().expect("failure cell poisoned") = Some(err.clone());
-                    // Waiting pulls would otherwise block forever on a
-                    // round that can no longer complete.
-                    for ks in &mut keys {
-                        for (_, reply) in ks.waiting.drain(..) {
-                            let _ = reply.send(Err(err.clone()));
+                    fail_now(&mut keys, &failure, &mut failed, err);
+                }
+            }
+        }
+        // Liveness sweep: force out active workers silent past the
+        // heartbeat timeout (an ungraceful departure — same drain
+        // semantics as `Leave`, but flagged in telemetry).
+        if failed.is_none() {
+            if let Some(e) = cfg.elastic {
+                if let Some(timeout) = e.heartbeat_timeout {
+                    while let Some(w) = members.timed_out(timeout) {
+                        if members.active().saturating_sub(1) < e.min_quorum {
+                            let round = min_version(&keys);
+                            fail_now(
+                                &mut keys,
+                                &failure,
+                                &mut failed,
+                                NetError::WorkerLost { id: w, round },
+                            );
+                            break;
                         }
+                        members.state[w] = MemberState::Draining;
+                        let active = members.active();
+                        stats.telemetry().emit(|| Event::WorkerLeft {
+                            worker: w,
+                            active,
+                            graceful: false,
+                        });
+                        for (key, ks) in keys.iter_mut().enumerate() {
+                            pump_key(key, ks, &members, &cfg, &stats, &pool);
+                        }
+                        members.sweep(&keys);
                     }
-                    failed = Some(err);
                 }
             }
         }
     }
 }
 
+/// Complete every round this key can: a round fires when all *active*
+/// workers have a queued push, and aggregates one push from every worker
+/// with a non-empty queue (active and draining alike, in worker-id order
+/// — fixed iteration order keeps f32 summation bit-deterministic). The
+/// update divides by the actual contributor count. With fixed membership
+/// every worker is always active, so this is exactly the historical
+/// `while all non-empty` loop with divisor `num_workers`.
+fn pump_key(
+    key: Key,
+    ks: &mut KeyState,
+    members: &Members,
+    cfg: &ServerConfig,
+    stats: &TrafficStats,
+    pool: &BufferPool,
+) {
+    loop {
+        let complete = members.any_active()
+            && members
+                .state
+                .iter()
+                .zip(&ks.pending)
+                .all(|(s, q)| *s != MemberState::Active || !q.is_empty());
+        if !complete {
+            break;
+        }
+        ks.acc.fill(0.0);
+        let mut contributors = 0usize;
+        for q in &mut ks.pending {
+            if let Some(p) = q.pop_front() {
+                decompress_add(&p, &mut ks.acc);
+                // Payload storage goes back to the shared pool so the
+                // next compress_into can reuse it.
+                p.recycle(pool);
+                contributors += 1;
+            }
+        }
+        apply_update(ks, cfg, contributors, stats);
+        ks.version += 1;
+        let version = ks.version;
+        stats
+            .telemetry()
+            .emit(|| Event::RoundComplete { key, version });
+        // Release any pulls now satisfied.
+        let mut rest = Vec::new();
+        let mut ready = Vec::new();
+        for w in ks.waiting.drain(..) {
+            if w.0 <= version {
+                ready.push(w.1);
+            } else {
+                rest.push(w);
+            }
+        }
+        ks.waiting = rest;
+        for reply in ready {
+            let frame = pull_reply_frame_bytes(ks.weights.len());
+            stats.record_pull(frame);
+            net_delay(cfg.delay_per_byte, frame);
+            let _ = reply.send(Ok(Arc::clone(&ks.weights)));
+        }
+    }
+    // Start (or clear) the partial-round clock for this key. The
+    // lifecycle event fires only on the empty→partial transition, once
+    // per round, not per straggling push.
+    let partial = ks.pending.iter().any(|q| !q.is_empty());
+    if partial {
+        if ks.partial_since.is_none() {
+            ks.partial_since = Some(Instant::now());
+            let round = ks.version;
+            stats
+                .telemetry()
+                .emit(|| Event::RoundPartial { key, round });
+        }
+    } else {
+        ks.partial_since = None;
+    }
+}
+
+/// Lowest completed version across keys — the round a failure is
+/// attributed to.
+fn min_version(keys: &[KeyState]) -> u64 {
+    keys.iter().map(|k| k.version).min().unwrap_or(0)
+}
+
+/// Enter the failed state: publish the verdict, fail every parked pull
+/// (they would otherwise block forever on rounds that can no longer
+/// complete), and remember it so future messages fail fast.
+fn fail_now(
+    keys: &mut [KeyState],
+    failure: &Mutex<Option<NetError>>,
+    failed: &mut Option<NetError>,
+    err: NetError,
+) {
+    *failure.lock().expect("failure cell poisoned") = Some(err.clone());
+    for ks in keys.iter_mut() {
+        for (_, reply) in ks.waiting.drain(..) {
+            let _ = reply.send(Err(err.clone()));
+        }
+    }
+    *failed = Some(err);
+}
+
 /// If any key's round has been partial past `deadline`, name the victim:
-/// the lowest-id worker whose push for that round never arrived. The
+/// the lowest-id *active* worker whose push for that round never arrived
+/// (draining and gone workers legitimately have empty queues). The
 /// unfinishable round is `version` (rounds are 0-indexed; `version`
 /// counts completed ones). Returns the offending key alongside the error
 /// so the caller can attribute the expiry in telemetry.
-fn check_round_deadline(keys: &[KeyState], deadline: Duration) -> Option<(Key, NetError)> {
+fn check_round_deadline(
+    keys: &[KeyState],
+    members: &Members,
+    deadline: Duration,
+) -> Option<(Key, NetError)> {
     for (key, ks) in keys.iter().enumerate() {
         let since = match ks.partial_since {
             Some(t) => t,
@@ -499,11 +817,17 @@ fn check_round_deadline(keys: &[KeyState], deadline: Duration) -> Option<(Key, N
         if since.elapsed() < deadline {
             continue;
         }
-        let id = ks
+        let id = match ks
             .pending
             .iter()
-            .position(|q| q.is_empty())
-            .expect("partial round implies a missing push");
+            .enumerate()
+            .position(|(w, q)| members.is_active(w) && q.is_empty())
+        {
+            Some(id) => id,
+            // Every active worker has pushed; the round completes on the
+            // next pump, so there is nothing to expire.
+            None => continue,
+        };
         return Some((
             key,
             NetError::WorkerLost {
@@ -525,14 +849,16 @@ fn net_delay(delay_per_byte: f64, bytes: usize) {
 }
 
 /// `W ← W − η/N · opt(acc)`, eq. 10 generalized over the key's
-/// [`ServerOpt`] (plain SGD for the paper's rule).
+/// [`ServerOpt`] (plain SGD for the paper's rule), with `N` the number
+/// of workers whose pushes fed this round (`contributors`). Fixed
+/// membership makes that always `cfg.num_workers`.
 ///
 /// The optimizer builds the new version as a fresh `Arc<[f32]>` snapshot
 /// (the one copy per round, counted in [`TrafficStats::bytes_copied`])
 /// which rotates the old snapshot into `prev_weights` — pulls of either
 /// version are then served by reference-count bumps alone.
-fn apply_update(ks: &mut KeyState, cfg: &ServerConfig, stats: &TrafficStats) {
-    let step = cfg.global_lr / cfg.num_workers as f32;
+fn apply_update(ks: &mut KeyState, cfg: &ServerConfig, contributors: usize, stats: &TrafficStats) {
+    let step = cfg.global_lr / contributors as f32;
     let new = ks.opt.apply(&ks.weights, &ks.acc, step);
     stats.record_copy(4 * new.len());
     ks.prev_weights = std::mem::replace(&mut ks.weights, new);
@@ -765,6 +1091,145 @@ mod tests {
             round: 0,
             victim: 1,
         }));
+        ps.shutdown();
+    }
+
+    #[test]
+    fn elastic_join_acks_versions_and_resizes_quorum() {
+        // Start with one worker; after one round, worker 1 joins. The ack
+        // carries the versions its first pulls must target, and the next
+        // round waits for (and divides by) both workers.
+        let ps = ParamServer::start(
+            vec![vec![0.0]],
+            ServerConfig::new(1, 1.0).with_elastic(ElasticConfig::new(1)),
+        );
+        let c = ps.client();
+        c.push(0, 0, Compressed::Raw(vec![2.0])).unwrap();
+        assert_eq!(*c.pull(0, 1).unwrap(), [-2.0]);
+        assert_eq!(c.register(1).unwrap(), vec![1]);
+        c.push(0, 0, Compressed::Raw(vec![2.0])).unwrap();
+        // Worker 0 alone no longer completes a round.
+        assert_eq!(*c.pull(0, 1).unwrap(), [-2.0]);
+        c.push(1, 0, Compressed::Raw(vec![4.0])).unwrap();
+        // W = -2 - 1.0/2 * (2+4) = -5.
+        assert_eq!(*c.pull(0, 2).unwrap(), [-5.0]);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn graceful_leave_shrinks_quorum_and_drains_queued_pushes() {
+        let ps = ParamServer::start(
+            vec![vec![0.0]],
+            ServerConfig::new(2, 1.0).with_elastic(ElasticConfig::new(1)),
+        );
+        let c = ps.client();
+        // Worker 1 pushes its last round, then leaves; worker 0's push
+        // arrives after the leave. The round still aggregates both
+        // (divisor 2), because the leaver's queued push feeds the round
+        // it was computed for.
+        c.push(1, 0, Compressed::Raw(vec![4.0])).unwrap();
+        c.leave(1).unwrap();
+        c.push(0, 0, Compressed::Raw(vec![2.0])).unwrap();
+        assert_eq!(*c.pull(0, 1).unwrap(), [-3.0]);
+        // From here on worker 0 alone completes rounds, divisor 1.
+        c.push(0, 0, Compressed::Raw(vec![2.0])).unwrap();
+        assert_eq!(*c.pull(0, 2).unwrap(), [-5.0]);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn graceful_drain_to_zero_idles_and_accepts_rejoin() {
+        let ps = ParamServer::start(
+            vec![vec![0.0]],
+            ServerConfig::new(1, 1.0).with_elastic(ElasticConfig::new(1)),
+        );
+        let c = ps.client();
+        c.push(0, 0, Compressed::Raw(vec![2.0])).unwrap();
+        assert_eq!(*c.pull(0, 1).unwrap(), [-2.0]);
+        // The last worker leaving is a complete drain, not a failure:
+        // the server idles with the aggregated weights intact.
+        c.leave(0).unwrap();
+        let (w, v) = c.snapshot().unwrap();
+        assert_eq!((w[0].as_slice(), v[0]), ([-2.0].as_slice(), 1));
+        assert_eq!(ps.failure(), None);
+        // Scale back up from zero: a rejoin resumes training solo.
+        assert_eq!(c.register(0).unwrap(), vec![1]);
+        c.push(0, 0, Compressed::Raw(vec![2.0])).unwrap();
+        assert_eq!(*c.pull(0, 2).unwrap(), [-4.0]);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn leave_below_min_quorum_fails_the_server() {
+        let ps = ParamServer::start(
+            vec![vec![0.0]],
+            ServerConfig::new(2, 1.0).with_elastic(ElasticConfig::new(2)),
+        );
+        let c = ps.client();
+        c.leave(1).unwrap();
+        // The failure cell is written by the server thread; poll briefly.
+        let t = Instant::now();
+        while ps.failure().is_none() && t.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(ps.failure(), Some(NetError::WorkerLost { id: 1, round: 0 }));
+        assert!(c.pull(0, 1).is_err());
+        ps.shutdown();
+    }
+
+    #[test]
+    fn heartbeat_timeout_forces_out_a_silent_worker() {
+        use cdsgd_telemetry::MemorySink;
+        let mem = Arc::new(MemorySink::new());
+        let ps = ParamServer::start_traced(
+            vec![vec![0.0]],
+            ServerConfig::new(2, 1.0).with_elastic(
+                ElasticConfig::new(1).with_heartbeat_timeout(Duration::from_millis(50)),
+            ),
+            Telemetry::new(mem.clone()),
+        );
+        let c = ps.client();
+        // Worker 0 stays live via heartbeats while worker 1 goes silent;
+        // once it's forced out, worker 0 alone completes rounds.
+        let alive = {
+            let c = c.clone();
+            std::thread::spawn(move || {
+                for _ in 0..20 {
+                    let _ = c.heartbeat(0);
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            })
+        };
+        c.push(0, 0, Compressed::Raw(vec![2.0])).unwrap();
+        assert_eq!(*c.pull(0, 1).unwrap(), [-2.0]);
+        alive.join().unwrap();
+        assert!(
+            mem.events().contains(&Event::WorkerLeft {
+                worker: 1,
+                active: 1,
+                graceful: false,
+            }),
+            "forced departure must be reported: {:?}",
+            mem.events()
+        );
+        assert_eq!(ps.failure(), None, "quorum still satisfied");
+        ps.shutdown();
+    }
+
+    #[test]
+    fn fixed_membership_ignores_membership_messages() {
+        // Without `elastic`, leave/heartbeat are inert and register is
+        // just a version handshake — aggregation still waits for all
+        // `num_workers` pushes.
+        let ps = ParamServer::start(vec![vec![0.0]], ServerConfig::new(2, 1.0));
+        let c = ps.client();
+        c.leave(1).unwrap();
+        c.heartbeat(0).unwrap();
+        assert_eq!(c.register(5).unwrap(), vec![0]);
+        c.push(0, 0, Compressed::Raw(vec![2.0])).unwrap();
+        assert_eq!(*c.pull(0, 0).unwrap(), [0.0], "still waiting for worker 1");
+        c.push(1, 0, Compressed::Raw(vec![4.0])).unwrap();
+        assert_eq!(*c.pull(0, 1).unwrap(), [-3.0]);
         ps.shutdown();
     }
 

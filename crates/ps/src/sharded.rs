@@ -181,6 +181,34 @@ impl<C: ParamClient> ParamClient for ShardedClient<C> {
         Ok(())
     }
 
+    /// Register with every shard and interleave the per-shard version
+    /// acks back into global key order (inverse of the round-robin key
+    /// partition, same as [`reassemble_snapshots`]).
+    fn register(&self, worker: usize) -> Result<Vec<u64>, NetError> {
+        let per: Vec<Vec<u64>> = self
+            .clients
+            .iter()
+            .map(|c| c.register(worker))
+            .collect::<Result<_, _>>()?;
+        let s = per.len();
+        let num_keys: usize = per.iter().map(|v| v.len()).sum();
+        Ok((0..num_keys).map(|k| per[k % s][k / s]).collect())
+    }
+
+    fn leave(&self, worker: usize) -> Result<(), NetError> {
+        for c in &self.clients {
+            c.leave(worker)?;
+        }
+        Ok(())
+    }
+
+    fn heartbeat(&self, worker: usize) -> Result<(), NetError> {
+        for c in &self.clients {
+            c.heartbeat(worker)?;
+        }
+        Ok(())
+    }
+
     fn pool(&self) -> &BufferPool {
         &self.pool
     }

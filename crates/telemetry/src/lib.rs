@@ -111,6 +111,20 @@ pub enum Event {
     },
     /// Supervision declared worker `id` lost in round `round`.
     WorkerLost { id: usize, round: u64 },
+    /// Elastic membership: `worker` registered (or re-registered) with
+    /// the server; `active` is the quorum size after admission.
+    WorkerJoined { worker: usize, active: usize },
+    /// Elastic membership: `worker` departed — `graceful` when it sent a
+    /// Leave, false when a heartbeat timeout forced it out. `active` is
+    /// the quorum size after the departure.
+    WorkerLeft {
+        worker: usize,
+        active: usize,
+        graceful: bool,
+    },
+    /// The server's accept/attach path rejected or failed a connection
+    /// attempt instead of serving it.
+    ConnRejected { reason: String },
     /// The training run aborted in `epoch` at `round` with `error`.
     Abort {
         epoch: usize,
@@ -464,6 +478,20 @@ impl Sink for Console {
             Event::WorkerLost { id, round } => {
                 self.status(format_args!("worker {id} lost in round {round}"))
             }
+            Event::WorkerJoined { worker, active } => {
+                self.status(format_args!("worker {worker} joined; {active} active"))
+            }
+            Event::WorkerLeft {
+                worker,
+                active,
+                graceful,
+            } => self.status(format_args!(
+                "worker {worker} left{}; {active} active",
+                if *graceful { "" } else { " (heartbeat timeout)" }
+            )),
+            Event::ConnRejected { reason } => {
+                self.status(format_args!("connection rejected: {reason}"))
+            }
             Event::Abort {
                 epoch,
                 round,
@@ -566,6 +594,23 @@ mod tests {
                 victim: 1,
             },
             Event::WorkerLost { id: 1, round: 9 },
+            Event::WorkerJoined {
+                worker: 3,
+                active: 4,
+            },
+            Event::WorkerLeft {
+                worker: 3,
+                active: 3,
+                graceful: true,
+            },
+            Event::WorkerLeft {
+                worker: 1,
+                active: 2,
+                graceful: false,
+            },
+            Event::ConnRejected {
+                reason: "handshake failed".into(),
+            },
             Event::Abort {
                 epoch: 2,
                 round: 9,

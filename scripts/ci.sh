@@ -33,6 +33,18 @@ run_tests cargo test -q --workspace
 echo "==> cargo test --test net_equivalence --test net_processes --test chaos"
 run_tests cargo test -q --test net_equivalence --test net_processes --test chaos
 
+# Explicit gate on the elastic control plane: the dynamic-membership
+# state machine (join acks, quorum resize, heartbeat eviction, drain to
+# zero), the mid-run joiner's pull rebase, scripted departures through
+# the trainer, and the 128-connection soak against one psd process with
+# its bounded-RSS assertion.
+echo "==> cargo test --test soak + membership suites"
+run_tests cargo test -q --test soak
+run_tests cargo test -q -p cdsgd-ps -- quorum elastic_join heartbeat_timeout \
+    graceful rebased fixed_membership
+run_tests cargo test -q -p cd-sgd depart
+run_tests cargo test -q parse_elastic
+
 # Explicit gate on the update-strategy layer: every algorithm variant must
 # reproduce the final-weight hashes captured before the UpdateStrategy
 # refactor, on both the in-process and loopback backends. A hash change

@@ -11,7 +11,17 @@
 //!                [--trace trace.jsonl]
 //! cdsgd simulate --model resnet50 --gpu v100 --batch 32 [--k 5] [--gbps 56]
 //! cdsgd codecs   [--n 1000000]
+//! cdsgd orchestrate [--epochs 6] [--depart-epoch 3] [--join-delay-ms 300] \
+//!                [--algo ssgd] [--samples 960] [--batch 16] [--lr 0.2] [--seed 5]
 //! ```
+//!
+//! `orchestrate` is the elastic-membership demo: it spawns a local
+//! cluster as real OS processes — one `psd` shard in elastic mode plus
+//! workers 0 and 1 — then scales *up* mid-run (worker 2 registers late
+//! and rebases onto the acked versions) and *down* (worker 1 departs
+//! gracefully at `--depart-epoch`). Training must complete green through
+//! both membership changes; the controller then snapshots and shuts the
+//! shard down. Exit status 0 is the proof.
 
 use cd_sgd::checkpoint::{save_history, Checkpoint};
 use cd_sgd::{TrainConfig, Trainer};
@@ -29,7 +39,7 @@ type ModelBuilder = Box<dyn Fn(&mut SmallRng64) -> Sequential + Send + Sync>;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cdsgd <train|simulate|codecs> [options]\n\
+        "usage: cdsgd <train|simulate|codecs|orchestrate> [options]\n\
          run `cdsgd train --help-options` style flags are documented in the binary's doc comment"
     );
     std::process::exit(2)
@@ -40,8 +50,157 @@ fn main() {
         Some("train") => cmd_train(),
         Some("simulate") => cmd_simulate(),
         Some("codecs") => cmd_codecs(),
+        Some("orchestrate") => cmd_orchestrate(),
         _ => usage(),
     }
+}
+
+/// Spawn a local elastic cluster (`psd` + workers as OS processes),
+/// scale the worker pool up and down mid-run, and exit 0 only if every
+/// process finishes green. See the binary doc comment for the scenario.
+fn cmd_orchestrate() {
+    match orchestrate_run() {
+        Ok(summary) => println!("{summary}"),
+        Err(e) => {
+            eprintln!("orchestrate: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Kills whatever is still running if orchestration fails mid-way (the
+/// error path drops this before the process exits).
+struct Reap(Vec<std::process::Child>);
+
+impl Drop for Reap {
+    fn drop(&mut self) {
+        for c in &mut self.0 {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+fn orchestrate_run() -> Result<String, String> {
+    use cdsgd_ps::PsBackend as _;
+    use std::io::{BufRead, BufReader};
+    use std::process::{Child, Command, Stdio};
+
+    const MODEL: &str = "mlp:8,32,4";
+    let epochs: usize = arg_or("epochs", 6);
+    let depart_epoch: usize = arg_or("depart-epoch", (epochs / 2).max(1));
+    let samples: usize = arg_or("samples", 960);
+    let batch: usize = arg_or("batch", 16);
+    let seed: u64 = arg_or("seed", 5);
+    let lr: f32 = arg_or("lr", 0.2);
+    let join_delay_ms: u64 = arg_or("join-delay-ms", 100);
+    let algo = arg("algo").unwrap_or_else(|| "ssgd".into());
+    if depart_epoch == 0 || depart_epoch >= epochs {
+        eprintln!("--depart-epoch must be in 1..--epochs (got {depart_epoch} of {epochs})");
+        std::process::exit(2);
+    }
+
+    let bin_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(std::path::Path::to_path_buf))
+        .ok_or("cannot locate the directory holding this binary")?;
+    let psd_bin = bin_dir.join("psd");
+    let worker_bin = bin_dir.join("worker");
+    if !psd_bin.exists() || !worker_bin.exists() {
+        return Err(format!(
+            "orchestrate spawns the psd and worker binaries next to cdsgd \
+             ({}): build them first with `cargo build --bins`",
+            bin_dir.display()
+        ));
+    }
+
+    let mut reap = Reap(Vec::new());
+
+    // One shard in elastic mode: workers 0 and 1 form the initial set,
+    // min-quorum 1 lets the pool drain gracefully to zero at the end.
+    let mut psd = Command::new(&psd_bin)
+        .args(["--shard", "0", "--num-shards", "1", "--workers", "2"])
+        .args(["--min-quorum", "1"])
+        .args(["--lr", &lr.to_string(), "--port", "0"])
+        .args(["--model", MODEL, "--seed", &seed.to_string()])
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawn psd: {e}"))?;
+    let mut psd_out = BufReader::new(psd.stdout.take().expect("psd stdout is piped"));
+    reap.0.push(psd);
+    let mut line = String::new();
+    psd_out
+        .read_line(&mut line)
+        .map_err(|e| format!("read LISTENING line: {e}"))?;
+    let addr = line
+        .trim()
+        .strip_prefix("LISTENING ")
+        .ok_or_else(|| format!("unexpected psd output: {line:?}"))?
+        .to_string();
+    println!("orchestrate: psd listening on {addr} (elastic, min-quorum 1)");
+
+    let spawn_worker = |id: usize, extra: &[&str]| -> Result<Child, String> {
+        Command::new(&worker_bin)
+            .args(["--id", &id.to_string(), "--workers", "3"])
+            .args(["--servers", &addr, "--algo", &algo])
+            .args(["--dataset", "blobs", "--samples", &samples.to_string()])
+            .args([
+                "--batch",
+                &batch.to_string(),
+                "--epochs",
+                &epochs.to_string(),
+            ])
+            .args(["--lr", &lr.to_string(), "--model", MODEL])
+            .args(["--seed", &seed.to_string()])
+            .args(extra)
+            .spawn()
+            .map_err(|e| format!("spawn worker {id}: {e}"))
+    };
+
+    // Initial pool: worker 0 runs the whole way (and says goodbye at the
+    // end); worker 1 departs gracefully mid-run — the scale-down.
+    reap.0.push(spawn_worker(0, &["--register"])?);
+    reap.0.push(spawn_worker(
+        1,
+        &["--depart-epoch", &depart_epoch.to_string()],
+    )?);
+    println!("orchestrate: workers 0 and 1 training; 1 departs at epoch {depart_epoch}");
+
+    // The scale-up: worker 2 was never in the server's initial set; it
+    // registers mid-run and rebases its pulls onto the acked versions.
+    std::thread::sleep(std::time::Duration::from_millis(join_delay_ms));
+    reap.0.push(spawn_worker(2, &["--register"])?);
+    println!("orchestrate: worker 2 joining mid-run");
+
+    for id in 0..3 {
+        let status = reap.0[id + 1]
+            .wait()
+            .map_err(|e| format!("wait worker {id}: {e}"))?;
+        if !status.success() {
+            return Err(format!("worker {id} exited with {status}"));
+        }
+    }
+    println!("orchestrate: all workers finished and left the membership");
+
+    // Controller epilogue: snapshot the drained (zero-active) shard,
+    // then shut it down over the wire.
+    let num_keys = cd_sgd_repro::deploy::initial_weights(MODEL, seed).len();
+    let addrs = [addr];
+    let cluster = cdsgd_ps::NetCluster::connect(&addrs, num_keys, cdsgd_net::NetConfig::default())
+        .map_err(|e| format!("controller connect failed: {e}"))?;
+    let (_weights, versions) = cluster
+        .snapshot()
+        .map_err(|e| format!("snapshot failed: {e}"))?;
+    Box::new(cluster).shutdown();
+    let status = reap.0[0].wait().map_err(|e| format!("wait psd: {e}"))?;
+    if !status.success() {
+        return Err(format!("psd exited with {status}"));
+    }
+    reap.0.clear();
+    Ok(format!(
+        "ORCHESTRATE OK: scaled 2 -> 3 -> 2 -> 0 workers; server finished at round {}",
+        versions.iter().copied().min().unwrap_or(0)
+    ))
 }
 
 fn cmd_train() {

@@ -8,6 +8,7 @@
 //! ```text
 //! psd --shard 0 --num-shards 2 --workers 2 --lr 0.2 \
 //!     [--momentum 0.9 [--nesterov]] \
+//!     [--min-quorum 1] [--heartbeat-ms 500] \
 //!     --model mlp:8,32,4 --seed 5 --port 0 \
 //!     [--trace trace.jsonl] [--stats]
 //! ```
@@ -29,12 +30,21 @@
 //! round, and the process exits nonzero instead of hanging. Pick N well
 //! above the slowest expected iteration — delayed algorithms (OD-SGD,
 //! CD-SGD) legitimately leave rounds partial while a round is in flight.
+//!
+//! `--min-quorum <n>` / `--heartbeat-ms <ms>` switch the shard into
+//! *elastic membership*: workers may register, leave, and be evicted
+//! after a silent heartbeat interval, with each round's quorum re-sized
+//! to the current active set (`--workers` is then only the initial set).
+//! Without either flag membership is fixed and runs stay bit-identical
+//! to earlier releases.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use cd_sgd::{Console, Telemetry};
-use cd_sgd_repro::deploy::{arg, arg_or, flag, initial_weights, parse_server_opt, trace_telemetry};
+use cd_sgd_repro::deploy::{
+    arg, arg_or, flag, initial_weights, parse_elastic, parse_server_opt, trace_telemetry,
+};
 use cdsgd_net::{NetConfig, TcpAcceptor};
 use cdsgd_ps::{partition_keys, PsNetServer, ServerConfig};
 
@@ -71,6 +81,14 @@ fn main() {
     let mut cfg = ServerConfig::new(workers, lr).with_optimizer(opt);
     if round_deadline_ms > 0 {
         cfg = cfg.with_round_deadline(Duration::from_millis(round_deadline_ms));
+    }
+    match parse_elastic(&argv) {
+        Ok(Some(elastic)) => cfg = cfg.with_elastic(elastic),
+        Ok(None) => {}
+        Err(e) => {
+            console.error(e);
+            std::process::exit(2)
+        }
     }
 
     // Supervision verdicts (expired rounds) render on stderr through

@@ -30,6 +30,14 @@
 //! replica die silently at aggregate round N (its connections stay open
 //! but it stops pushing) — fault injection for exercising the servers'
 //! `--round-deadline-ms` supervision.
+//!
+//! Against an elastic server (`psd --min-quorum`/`--heartbeat-ms`):
+//! `--register` announces this replica to every shard before training
+//! (required when it was not in the server's initial `--workers` set,
+//! e.g. a mid-run scale-up) and sends a graceful `Leave` once training
+//! finishes, so stragglers keep completing rounds without it.
+//! `--depart-epoch N` instead leaves mid-run, at the start of epoch N
+//! (a scale-down; requires `--id` ≥ 1).
 
 use std::sync::Arc;
 
@@ -39,7 +47,7 @@ use cd_sgd_repro::deploy::{
     trace_telemetry, AlgoDefaults,
 };
 use cdsgd_net::NetConfig;
-use cdsgd_ps::{FaultyClient, NetCluster, ParamClient, PsBackend};
+use cdsgd_ps::{FaultyClient, NetCluster, ParamClient, PsBackend, RebasedClient};
 
 fn main() {
     let console = Console::new();
@@ -62,6 +70,15 @@ fn main() {
     let lr: f32 = arg_or("lr", 0.1);
     let model = arg("model").unwrap_or_else(|| "mlp:8,32,4".to_string());
     let shutdown = flag("shutdown");
+    let register = flag("register");
+    let depart_epoch: Option<usize> = arg("depart-epoch").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            console.error(format_args!(
+                "--depart-epoch must be an epoch number, got {v:?}"
+            ));
+            std::process::exit(2)
+        })
+    });
     let chaos_kill_round: Option<u64> = arg("chaos-kill-round").map(|v| {
         v.parse().unwrap_or_else(|_| {
             console.error(format_args!(
@@ -100,12 +117,15 @@ fn main() {
 
     let (train, test) = build_dataset(&dataset, samples, seed);
     let num_keys = initial_weights(&model, seed).len();
-    let cfg = TrainConfig::new(algo, workers)
+    let mut cfg = TrainConfig::new(algo, workers)
         .with_lr(lr)
         .with_batch_size(batch)
         .with_epochs(epochs)
         .with_seed(seed)
         .with_telemetry(telemetry.clone());
+    if let Some(epoch) = depart_epoch {
+        cfg = cfg.with_departure(id, epoch);
+    }
 
     console.status(format_args!(
         "worker {id}/{workers}: {} train samples, {num_keys} keys over {} shards",
@@ -115,6 +135,35 @@ fn main() {
     let cluster = NetCluster::connect_traced(&servers, num_keys, NetConfig::default(), telemetry)
         .expect("connect to servers");
     let client = cluster.client().expect("open shard connections");
+    // `--register`: keep a shared handle so the goodbye after training
+    // rides the same ordered connections the pushes used (the server
+    // then sees every push of the final round before the Leave).
+    let (client, membership): (Box<dyn ParamClient>, Option<Arc<dyn ParamClient>>) = if register {
+        let shared: Arc<dyn ParamClient> = Arc::from(client);
+        (Box::new(Arc::clone(&shared)), Some(shared))
+    } else {
+        (client, None)
+    };
+    let client: Box<dyn ParamClient> = if let Some(shared) = &membership {
+        let versions = shared.register(id).unwrap_or_else(|e| {
+            console.error(format_args!("worker {id}: registration failed: {e}"));
+            std::process::exit(1);
+        });
+        console.status(format_args!(
+            "worker {id}: registered with {} shards at round {}",
+            servers.len(),
+            versions.iter().copied().min().unwrap_or(0)
+        ));
+        // A mid-run joiner counts rounds from zero while the server is
+        // already at the acked versions: rebase every pull onto them.
+        if versions.iter().any(|&v| v > 0) {
+            Box::new(RebasedClient::new(client, versions))
+        } else {
+            client
+        }
+    } else {
+        client
+    };
     let client: Box<dyn ParamClient> = match chaos_kill_round {
         Some(round) => {
             console.status(format_args!(
@@ -148,6 +197,16 @@ fn main() {
         "worker {id}: finished {} epochs",
         report.len()
     ));
+    // A scripted departure already said goodbye from inside the run.
+    if depart_epoch.is_none() {
+        if let Some(shared) = &membership {
+            if let Err(e) = shared.leave(id) {
+                console.error(format_args!("worker {id}: leave failed: {e}"));
+                std::process::exit(1);
+            }
+            console.status(format_args!("worker {id}: left the membership"));
+        }
+    }
 
     if shutdown {
         Box::new(cluster).shutdown();

@@ -133,6 +133,33 @@ pub fn parse_algorithm(args: &[String], defaults: &AlgoDefaults) -> Result<Algor
     Ok(algo)
 }
 
+/// Parse elastic-membership flags into a [`cdsgd_ps::ElasticConfig`]:
+/// `--min-quorum <n>` (fewest active workers the server keeps serving
+/// with) and `--heartbeat-ms <ms>` (evict a worker silent that long).
+/// Either flag alone enables elastic membership; neither present means
+/// fixed membership (`Ok(None)`), keeping default runs bit-identical.
+/// `Err` carries a usage message for stderr; callers exit 2 on it.
+pub fn parse_elastic(args: &[String]) -> Result<Option<cdsgd_ps::ElasticConfig>, String> {
+    let has_quorum = lookup(args, "min-quorum").is_some();
+    let has_heartbeat = lookup(args, "heartbeat-ms").is_some();
+    if !has_quorum && !has_heartbeat {
+        return Ok(None);
+    }
+    let min_quorum: usize = lookup_or(args, "min-quorum", 1)?;
+    if min_quorum == 0 {
+        return Err("--min-quorum must be at least 1".into());
+    }
+    let mut elastic = cdsgd_ps::ElasticConfig::new(min_quorum);
+    if has_heartbeat {
+        let ms: u64 = lookup_or(args, "heartbeat-ms", 0)?;
+        if ms == 0 {
+            return Err("--heartbeat-ms must be a positive number of milliseconds".into());
+        }
+        elastic = elastic.with_heartbeat_timeout(std::time::Duration::from_millis(ms));
+    }
+    Ok(Some(elastic))
+}
+
 /// Parse the server-side optimizer from `--momentum <μ>` and the
 /// `--nesterov` switch in `args`: no momentum means plain SGD (the
 /// paper's eq. 10), a positive momentum selects heavy-ball, and
@@ -295,6 +322,43 @@ mod tests {
         ] {
             let err = parse_algorithm(&argv(args), &DEFAULTS)
                 .expect_err(&format!("args should fail: {args}"));
+            assert!(!err.is_empty());
+        }
+    }
+
+    #[test]
+    fn parse_elastic_maps_flags() {
+        use cdsgd_ps::ElasticConfig;
+        use std::time::Duration;
+        // No membership flags: fixed membership, bit-identical default.
+        assert_eq!(parse_elastic(&argv("")).unwrap(), None);
+        assert_eq!(parse_elastic(&argv("--workers 4 --lr 0.1")).unwrap(), None);
+        // Either flag alone enables elastic membership.
+        assert_eq!(
+            parse_elastic(&argv("--min-quorum 2")).unwrap(),
+            Some(ElasticConfig::new(2))
+        );
+        assert_eq!(
+            parse_elastic(&argv("--heartbeat-ms 250")).unwrap(),
+            Some(ElasticConfig::new(1).with_heartbeat_timeout(Duration::from_millis(250)))
+        );
+        assert_eq!(
+            parse_elastic(&argv("--min-quorum 3 --heartbeat-ms 1000")).unwrap(),
+            Some(ElasticConfig::new(3).with_heartbeat_timeout(Duration::from_secs(1)))
+        );
+    }
+
+    #[test]
+    fn parse_elastic_rejects_bad_values_without_panicking() {
+        for args in [
+            "--min-quorum 0",
+            "--min-quorum two",
+            "--min-quorum -1",
+            "--heartbeat-ms 0",
+            "--heartbeat-ms fast",
+            "--min-quorum 1 --heartbeat-ms -5",
+        ] {
+            let err = parse_elastic(&argv(args)).expect_err(&format!("args should fail: {args}"));
             assert!(!err.is_empty());
         }
     }

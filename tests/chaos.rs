@@ -14,8 +14,8 @@ use cd_sgd_repro::deploy;
 use cdsgd_compress::{BufferPool, Compressed};
 use cdsgd_net::{FaultPlan, FaultyTransport, NetConfig, NetError, TcpAcceptor, TcpTransport};
 use cdsgd_ps::{
-    partition_keys, InProcessBackend, NetCluster, ParamClient, ParamServer, PsBackend, PsNetServer,
-    RemoteClient, ServerConfig, TrafficStats,
+    partition_keys, ElasticConfig, InProcessBackend, NetCluster, ParamClient, ParamServer,
+    PsBackend, PsNetServer, RemoteClient, ServerConfig, TrafficStats,
 };
 
 /// The acceptance bound: a killed worker must surface as a typed error
@@ -182,6 +182,136 @@ fn fault_free_run_with_deadlines_is_bit_identical() {
         h.final_weights, plain.final_weights,
         "deadlines perturbed training"
     );
+}
+
+#[test]
+fn membership_churn_scripted_departure_completes_tcp_training() {
+    // Elastic-membership chaos: worker 1 gracefully leaves at the start
+    // of epoch 1 and the survivor must finish the remaining epochs over
+    // real TCP — the server re-sizes its round quorum instead of
+    // waiting forever on the departed worker's pushes.
+    let trainer = chaos_trainer(Algorithm::SSgd, 3, |cfg| cfg.with_departure(1, 1));
+    let start = Instant::now();
+    let history = trainer
+        .try_run_with(|init, cfg| {
+            Ok(Box::new(NetCluster::start_tcp_local(
+                init,
+                cfg,
+                2,
+                NetConfig::default(),
+            )?))
+        })
+        .expect("run with a scripted departure must complete");
+    assert!(start.elapsed() < BUDGET, "churn run stalled");
+    assert!(history.aborted.is_none(), "graceful leave is not a fault");
+    assert_eq!(history.epochs.len(), 3, "survivor must finish every epoch");
+}
+
+#[test]
+fn membership_join_push_leave_cycles_keep_the_server_alive() {
+    // Repeated join/leave churn against one elastic TCP server: a
+    // transient worker registers, contributes to one round, and leaves
+    // — ten times over — while a permanent worker keeps pushing. No
+    // cycle may fail the server, and every round must aggregate both
+    // contributions.
+    const KEY_LEN: usize = 8;
+    let cfg = ServerConfig::new(1, 1.0).with_elastic(ElasticConfig::new(1));
+    let server = PsNetServer::start(vec![vec![0.0; KEY_LEN]], cfg);
+    let (acceptor, addr) = TcpAcceptor::bind(("127.0.0.1", 0), NetConfig::default()).unwrap();
+    server.listen(acceptor);
+
+    let stats = Arc::new(TrafficStats::new());
+    let net = NetConfig::default();
+    let connect = || {
+        RemoteClient::new(
+            Box::new(TcpTransport::connect(addr, &net).unwrap()),
+            Arc::clone(&stats),
+            BufferPool::new(),
+        )
+        .unwrap()
+    };
+    let permanent = connect();
+
+    let start = Instant::now();
+    for cycle in 0..10u64 {
+        let transient = connect();
+        let acked = transient.register(1).expect("register transient worker");
+        assert_eq!(acked, vec![cycle], "join must ack the exact round");
+        permanent
+            .push(0, 0, Compressed::Raw(vec![1.0; KEY_LEN]))
+            .unwrap();
+        transient
+            .push(1, 0, Compressed::Raw(vec![1.0; KEY_LEN]))
+            .unwrap();
+        // Both gradients land in this round: Σ = 2, two contributors,
+        // lr 1.0 → step −1.0 per cycle.
+        let w = permanent.pull(0, cycle + 1).expect("round completes");
+        assert_eq!(w[0], -((cycle + 1) as f32), "round missed a contribution");
+        transient.leave(1).expect("graceful leave");
+        drop(transient);
+        assert!(start.elapsed() < BUDGET, "churn cycle {cycle} stalled");
+    }
+
+    assert!(
+        server.failure().is_none(),
+        "join/leave churn must not fail the server: {:?}",
+        server.failure()
+    );
+    drop(permanent);
+    server.shutdown();
+}
+
+#[test]
+fn tcp_leave_below_quorum_fails_the_server_with_typed_error() {
+    // The failure side of elastic membership, over the wire: with
+    // min_quorum 2, a worker's Leave strands the survivor below quorum
+    // and the server must fail fast with the typed WorkerLost — naming
+    // the leaver — instead of letting the survivor block on a pull that
+    // can never complete.
+    const KEY_LEN: usize = 8;
+    let cfg = ServerConfig::new(2, 1.0).with_elastic(ElasticConfig::new(2));
+    let server = PsNetServer::start(vec![vec![0.0; KEY_LEN]], cfg);
+    let (acceptor, addr) = TcpAcceptor::bind(("127.0.0.1", 0), NetConfig::default()).unwrap();
+    server.listen(acceptor);
+
+    let stats = Arc::new(TrafficStats::new());
+    let net = NetConfig::default();
+    let survivor = RemoteClient::new(
+        Box::new(TcpTransport::connect(addr, &net).unwrap()),
+        Arc::clone(&stats),
+        BufferPool::new(),
+    )
+    .unwrap();
+    let leaver = RemoteClient::new(
+        Box::new(TcpTransport::connect(addr, &net).unwrap()),
+        Arc::clone(&stats),
+        BufferPool::new(),
+    )
+    .unwrap();
+
+    let start = Instant::now();
+    survivor
+        .push(0, 0, Compressed::Raw(vec![1.0; KEY_LEN]))
+        .unwrap();
+    leaver
+        .leave(1)
+        .expect("the leave frame itself is delivered");
+
+    let failure = loop {
+        if let Some(e) = server.failure() {
+            break e;
+        }
+        assert!(start.elapsed() < BUDGET, "below-quorum leave never failed");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(
+        matches!(failure, NetError::WorkerLost { id: 1, .. }),
+        "expected WorkerLost for the leaver, got {failure:?}"
+    );
+    assert_eq!(server.wait_for_shutdown().unwrap_err(), failure);
+    drop(survivor);
+    drop(leaver);
+    server.shutdown();
 }
 
 #[test]
