@@ -87,6 +87,19 @@ pub trait GradientCompressor: Send {
         }
         self.wire_bytes(n) as f64 / (4 * n) as f64
     }
+
+    /// Snapshot the codec's error-feedback state for a durable checkpoint:
+    /// one `(key, residual)` entry per parameter tensor, sorted by key.
+    /// Stateless codecs return the default empty vec.
+    fn export_state(&self) -> Vec<(usize, Vec<f32>)> {
+        Vec::new()
+    }
+
+    /// Restore state captured by [`GradientCompressor::export_state`].
+    /// No-op for stateless codecs.
+    fn import_state(&mut self, entries: &[(usize, Vec<f32>)]) {
+        let _ = entries;
+    }
 }
 
 /// Identity "codec": sends raw f32 gradients. Used for S-SGD/OD-SGD and

@@ -81,6 +81,14 @@ impl GradientCompressor for OneBitQuantizer {
     fn wire_bytes(&self, n: usize) -> usize {
         4 + 4 + n.div_ceil(8)
     }
+
+    fn export_state(&self) -> Vec<(usize, Vec<f32>)> {
+        self.residuals.export_state()
+    }
+
+    fn import_state(&mut self, entries: &[(usize, Vec<f32>)]) {
+        self.residuals.import_state(entries);
+    }
 }
 
 #[cfg(test)]

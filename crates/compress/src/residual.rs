@@ -57,6 +57,19 @@ impl ResidualStore {
     pub fn num_keys(&self) -> usize {
         self.buffers.len()
     }
+
+    /// Snapshot every residual buffer, sorted by key so the output is
+    /// deterministic (the recovery subsystem hashes checkpoint bytes).
+    pub fn export_state(&self) -> Vec<(usize, Vec<f32>)> {
+        let mut entries: Vec<_> = self.buffers.iter().map(|(&k, v)| (k, v.clone())).collect();
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        entries
+    }
+
+    /// Replace all residual state with a previously exported snapshot.
+    pub fn import_state(&mut self, entries: &[(usize, Vec<f32>)]) {
+        self.buffers = entries.iter().cloned().collect();
+    }
 }
 
 #[cfg(test)]
@@ -79,6 +92,23 @@ mod tests {
         let mut s = ResidualStore::new();
         s.get_mut(0, 4);
         s.get_mut(0, 5);
+    }
+
+    #[test]
+    fn state_round_trips_through_export() {
+        let mut s = ResidualStore::new();
+        s.get_mut(2, 2).copy_from_slice(&[0.5, -0.25]);
+        s.get_mut(0, 1)[0] = 1.5;
+        let exported = s.export_state();
+        // Sorted by key regardless of insertion order.
+        assert_eq!(exported[0].0, 0);
+        assert_eq!(exported[1].0, 2);
+        let mut restored = ResidualStore::new();
+        restored.get_mut(0, 1)[0] = 9.0; // stale state is replaced wholesale
+        restored.import_state(&exported);
+        assert_eq!(restored.get(0).unwrap(), &[1.5]);
+        assert_eq!(restored.get(2).unwrap(), &[0.5, -0.25]);
+        assert_eq!(restored.num_keys(), 2);
     }
 
     #[test]

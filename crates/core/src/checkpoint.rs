@@ -7,7 +7,74 @@
 use crate::metrics::TrainingHistory;
 use cdsgd_nn::Sequential;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::path::Path;
+
+/// Why a checkpoint could not be written or read. Replaces the old
+/// `.expect("checkpoint serializes")` panic: callers decide whether a
+/// failed save aborts the run or just logs and continues.
+#[derive(Debug)]
+pub enum SaveError {
+    /// The envelope could not be serialized (e.g. a non-finite float
+    /// under a strict JSON writer).
+    Serialize(serde_json::Error),
+    /// The filesystem rejected the write.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SaveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SaveError::Serialize(e) => write!(f, "checkpoint failed to serialize: {e}"),
+            SaveError::Io(e) => write!(f, "checkpoint write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SaveError {}
+
+impl From<std::io::Error> for SaveError {
+    fn from(e: std::io::Error) -> Self {
+        SaveError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for SaveError {
+    fn from(e: serde_json::Error) -> Self {
+        SaveError::Serialize(e)
+    }
+}
+
+/// Write `bytes` to `path` durably: a sibling temp file is written,
+/// fsynced, then renamed over `path`, so a crash mid-write can never
+/// leave a torn file under the final name.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+    })?;
+    let tmp = path.with_file_name(format!(
+        ".{}.tmp-{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e);
+    }
+    // Make the rename itself durable where the platform allows it.
+    if let Some(dir) = dir {
+        if let Ok(d) = std::fs::File::open(dir) {
+            d.sync_all().ok();
+        }
+    }
+    Ok(())
+}
 
 /// On-disk weight envelope.
 #[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
@@ -38,10 +105,12 @@ impl Checkpoint {
         Self::new(algo, model.export_params())
     }
 
-    /// Write as JSON.
-    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        let json = serde_json::to_string(self).expect("checkpoint serializes");
-        std::fs::write(path, json)
+    /// Write as JSON, atomically (temp file + fsync + rename), so a crash
+    /// mid-save never corrupts an existing checkpoint under `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SaveError> {
+        let json = serde_json::to_string(self)?;
+        write_atomic(path.as_ref(), json.as_bytes())?;
+        Ok(())
     }
 
     /// Read and validate the format tag.
@@ -67,10 +136,12 @@ impl Checkpoint {
     }
 }
 
-/// Export a run history as JSON (for plotting scripts).
-pub fn save_history(history: &TrainingHistory, path: impl AsRef<Path>) -> std::io::Result<()> {
-    let json = serde_json::to_string_pretty(history).expect("history serializes");
-    std::fs::write(path, json)
+/// Export a run history as JSON (for plotting scripts), with the same
+/// atomic-write discipline as [`Checkpoint::save`].
+pub fn save_history(history: &TrainingHistory, path: impl AsRef<Path>) -> Result<(), SaveError> {
+    let json = serde_json::to_string_pretty(history)?;
+    write_atomic(path.as_ref(), json.as_bytes())?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -100,6 +171,39 @@ mod tests {
         loaded.apply_to(&mut other);
         assert_eq!(other.export_params(), model.export_params());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_files() {
+        let dir = tmp("atomicdir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.json");
+        let ckpt = Checkpoint::new("S-SGD", vec![vec![1.0, 2.0]]);
+        ckpt.save(&path).unwrap();
+        // Overwriting an existing checkpoint goes through the same
+        // temp+rename path and must not leave droppings behind.
+        ckpt.save(&path).unwrap();
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            entries,
+            vec!["w.json".to_string()],
+            "stray files: {entries:?}"
+        );
+        assert_eq!(Checkpoint::load(&path).unwrap(), ckpt);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_into_missing_directory_is_a_typed_error_not_a_panic() {
+        let ckpt = Checkpoint::new("S-SGD", vec![vec![1.0]]);
+        let err = ckpt
+            .save(tmp("no_such_dir").join("w.json"))
+            .expect_err("directory does not exist");
+        assert!(matches!(err, SaveError::Io(_)), "{err}");
+        assert!(!err.to_string().is_empty());
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! Algorithm and training-run configuration.
 
+use crate::supervise::RestartPolicy;
 use cdsgd_compress::{
     AdaptiveTwoBit, GradientCompressor, OneBitQuantizer, QsgdQuantizer, TopKSparsifier,
     TwoBitQuantizer,
 };
 use cdsgd_ps::{ServerOptKind, WorkerFault};
 use cdsgd_telemetry::Telemetry;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// A structurally invalid algorithm or training configuration, detected
@@ -316,6 +318,26 @@ pub struct TrainConfig {
     /// [`TrainConfig::profile`] is on) emits typed events into it.
     /// Disabled by default, in which case no event is even constructed.
     pub telemetry: Telemetry,
+    /// Hot worker replacement (DESIGN.md §14): when a worker dies mid-run
+    /// and the budget grants a restart, the supervisor respawns a
+    /// replacement resuming from the start of the epoch the victim never
+    /// finished, instead of aborting with `WorkerLost`. The default
+    /// policy (zero restarts) keeps every loss fatal — recovery is
+    /// strictly opt-in.
+    pub restart: RestartPolicy,
+    /// First epoch index this run executes (default 0). A resuming
+    /// worker sets this to the number of epochs already completed: data
+    /// shuffles for the skipped epochs are replayed to fast-forward the
+    /// RNG, and the strategy re-bases on the server's weights at round
+    /// `start_epoch * iters_per_epoch` before the first batch.
+    pub start_epoch: usize,
+    /// Directory for per-worker durable snapshots ([`crate::recover`]).
+    /// `None` (the default) writes nothing.
+    pub worker_ckpt_dir: Option<PathBuf>,
+    /// Write a worker checkpoint every this many *epochs* (worker state
+    /// is only consistent at epoch boundaries). Ignored without
+    /// [`TrainConfig::worker_ckpt_dir`].
+    pub worker_ckpt_every: usize,
 }
 
 impl TrainConfig {
@@ -354,6 +376,10 @@ impl TrainConfig {
             server_opt: ServerOptKind::PlainSgd,
             departures: Vec::new(),
             telemetry: Telemetry::disabled(),
+            restart: RestartPolicy::default(),
+            start_epoch: 0,
+            worker_ckpt_dir: None,
+            worker_ckpt_every: 1,
         })
     }
 
@@ -472,6 +498,40 @@ impl TrainConfig {
     /// [`TrainConfig::telemetry`]).
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Allow hot worker replacement under this policy (see
+    /// [`TrainConfig::restart`]).
+    pub fn with_restart_policy(mut self, policy: RestartPolicy) -> Self {
+        self.restart = policy;
+        self
+    }
+
+    /// Resume at `epoch` instead of 0 (see [`TrainConfig::start_epoch`]).
+    ///
+    /// # Panics
+    /// Panics if `epoch >= epochs` — a resume past the end is a caller
+    /// bug, not a no-op run.
+    pub fn with_start_epoch(mut self, epoch: usize) -> Self {
+        assert!(
+            epoch < self.epochs,
+            "start epoch {epoch} must precede the final epoch {}",
+            self.epochs
+        );
+        self.start_epoch = epoch;
+        self
+    }
+
+    /// Write per-worker durable snapshots into `dir` every `every`
+    /// epochs (see [`TrainConfig::worker_ckpt_dir`]).
+    ///
+    /// # Panics
+    /// Panics if `every == 0`.
+    pub fn with_worker_checkpoints(mut self, dir: impl Into<PathBuf>, every: usize) -> Self {
+        assert!(every > 0, "checkpoint interval must be at least 1");
+        self.worker_ckpt_dir = Some(dir.into());
+        self.worker_ckpt_every = every;
         self
     }
 }

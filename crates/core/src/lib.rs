@@ -39,6 +39,7 @@ pub mod convergence;
 pub mod lr;
 pub mod metrics;
 pub mod profile;
+pub mod recover;
 mod strategy;
 pub mod supervise;
 pub mod trainer;
@@ -49,8 +50,10 @@ pub use cdsgd_telemetry as telemetry;
 pub use cdsgd_telemetry::{
     AggregateSink, Console, Event, JsonlSink, MemorySink, NullSink, Sink, Telemetry,
 };
+pub use checkpoint::SaveError;
 pub use config::{Algorithm, Codec, ConfigError, TrainConfig};
 pub use lr::LrSchedule;
 pub use metrics::{AbortRecord, EpochMetrics, TrainingHistory};
-pub use supervise::PoisonBarrier;
+pub use recover::WorkerCheckpoint;
+pub use supervise::{PoisonBarrier, RestartBudget, RestartPolicy};
 pub use trainer::{run_standalone_worker, TrainFailure, Trainer};

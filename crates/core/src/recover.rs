@@ -1,0 +1,320 @@
+//! Worker-side durable snapshots: the trainer half of the recovery
+//! subsystem (DESIGN.md §14).
+//!
+//! The parameter server persists the *shared* state (shard weights and
+//! optimizer buffers — see `cdsgd_ps::recover`); what it cannot see is
+//! each worker's *private* algorithm state: error-feedback residuals,
+//! delay-compensation buffers, the local model replica. A
+//! [`WorkerCheckpoint`] captures that private state at an epoch boundary
+//! so a restarted worker resumes bit-identically instead of silently
+//! dropping in-flight gradient mass.
+//!
+//! The format mirrors the server's shard checkpoints: versioned binary
+//! layout, trailing FNV-1a checksum, atomic temp-file + fsync + rename
+//! writes. Worker and server checkpoints use distinct magic tags
+//! (`CDWK` vs `CDCK`) and file extensions so a misdirected
+//! `--checkpoint-dir` fails loudly instead of misreading bytes.
+
+use cdsgd_net::wire::{put_f32, put_u32, put_u64, Cursor};
+use cdsgd_ps::recover::{fnv1a64, CheckpointError};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of every worker checkpoint file.
+const MAGIC: &[u8; 4] = b"CDWK";
+
+/// Format version tag; [`WorkerCheckpoint::decode`] rejects unknown
+/// versions instead of misreading them.
+const FORMAT_VERSION: u32 = 1;
+
+/// One worker's private training state, captured at an epoch boundary
+/// (all pushes of the epoch settled, no pulls in flight).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerCheckpoint {
+    /// Which worker this snapshot belongs to.
+    pub worker: usize,
+    /// Cohort size that wrote this snapshot (resume must match it: data
+    /// sharding and round arithmetic both depend on it).
+    pub num_workers: usize,
+    /// Epochs fully completed when the snapshot was taken; resume starts
+    /// at this epoch index.
+    pub epoch: usize,
+    /// Aggregate rounds completed (`epoch * iters_per_epoch`), recorded
+    /// for cross-checking against the server's checkpoint round.
+    pub round: u64,
+    /// The local model replica's parameters, one vector per key.
+    pub model: Vec<Vec<f32>>,
+    /// Opaque strategy state from `UpdateStrategy::export_state` —
+    /// error-feedback velocities, compressor residuals, Local SGD
+    /// accumulators. The slot layout is private to the strategy (e.g.
+    /// EF-SGD stores two vectors per key); empty vectors mean "no state
+    /// for this slot".
+    pub strategy: Vec<Vec<f32>>,
+}
+
+/// Canonical file name of a worker checkpoint.
+pub fn worker_file_name(worker: usize, epoch: usize) -> String {
+    format!("worker{worker:04}-epoch{epoch:012}.wkpt")
+}
+
+/// Inverse of [`worker_file_name`]: `Some((worker, epoch))` if `name` is
+/// a worker checkpoint file name.
+fn parse_file_name(name: &str) -> Option<(usize, usize)> {
+    let rest = name.strip_prefix("worker")?.strip_suffix(".wkpt")?;
+    let (worker, epoch) = rest.split_once("-epoch")?;
+    Some((worker.parse().ok()?, epoch.parse().ok()?))
+}
+
+impl WorkerCheckpoint {
+    /// Serialize to the versioned binary layout: magic, format version,
+    /// worker, num_workers, epoch, round, then the model vectors and the
+    /// strategy vectors as two length-prefixed lists, and a trailing
+    /// FNV-1a checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        put_u32(&mut buf, FORMAT_VERSION);
+        put_u32(&mut buf, self.worker as u32);
+        put_u32(&mut buf, self.num_workers as u32);
+        put_u64(&mut buf, self.epoch as u64);
+        put_u64(&mut buf, self.round);
+        for list in [&self.model, &self.strategy] {
+            put_u32(&mut buf, list.len() as u32);
+            for v in list {
+                put_u32(&mut buf, v.len() as u32);
+                for &x in v {
+                    put_f32(&mut buf, x);
+                }
+            }
+        }
+        let sum = fnv1a64(&buf);
+        put_u64(&mut buf, sum);
+        buf
+    }
+
+    /// Decode and validate a worker checkpoint file body.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() < MAGIC.len() + 8 {
+            return Err(CheckpointError::Corrupt(format!(
+                "{} bytes is too short for a worker checkpoint",
+                bytes.len()
+            )));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().unwrap());
+        let actual = fnv1a64(body);
+        if stored != actual {
+            return Err(CheckpointError::Corrupt(format!(
+                "checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+            )));
+        }
+        let corrupt = |e: cdsgd_net::NetError| CheckpointError::Corrupt(e.to_string());
+        let mut cur = Cursor::new(body);
+        if cur.take(4).map_err(corrupt)? != MAGIC {
+            return Err(CheckpointError::Corrupt(
+                "bad magic (not a worker checkpoint)".into(),
+            ));
+        }
+        let format = cur.u32().map_err(corrupt)?;
+        if format != FORMAT_VERSION {
+            return Err(CheckpointError::Corrupt(format!(
+                "unknown format version {format} (this build reads {FORMAT_VERSION})"
+            )));
+        }
+        let worker = cur.u32().map_err(corrupt)? as usize;
+        let num_workers = cur.u32().map_err(corrupt)? as usize;
+        let epoch = cur.u64().map_err(corrupt)? as usize;
+        let round = cur.u64().map_err(corrupt)?;
+        let mut lists = [Vec::new(), Vec::new()];
+        for list in &mut lists {
+            let n = cur.u32().map_err(corrupt)? as usize;
+            list.reserve(n);
+            for _ in 0..n {
+                let len = cur.u32().map_err(corrupt)? as usize;
+                list.push(cur.f32s(len).map_err(corrupt)?);
+            }
+        }
+        let [model, strategy] = lists;
+        if cur.remaining() != 0 {
+            return Err(CheckpointError::Corrupt(format!(
+                "{} trailing bytes after worker checkpoint body",
+                cur.remaining()
+            )));
+        }
+        Ok(Self {
+            worker,
+            num_workers,
+            epoch,
+            round,
+            model,
+            strategy,
+        })
+    }
+
+    /// Write this checkpoint into `dir` atomically (temp sibling, then
+    /// fsync, then rename), so a crash mid-write leaves the previous
+    /// epoch's file intact, never a torn one. Returns the final path.
+    pub fn save_atomic(&self, dir: &Path) -> Result<PathBuf, CheckpointError> {
+        std::fs::create_dir_all(dir)?;
+        let name = worker_file_name(self.worker, self.epoch);
+        let final_path = dir.join(&name);
+        let tmp_path = dir.join(format!(".{}.tmp-{}", name, std::process::id()));
+        let bytes = self.encode();
+        let mut f = std::fs::File::create(&tmp_path)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        drop(f);
+        if let Err(e) = std::fs::rename(&tmp_path, &final_path) {
+            std::fs::remove_file(&tmp_path).ok();
+            return Err(e.into());
+        }
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(final_path)
+    }
+}
+
+/// Load and validate the checkpoint for `worker` at `epoch` from `dir`:
+/// the decoded header must agree with the file name and the caller's
+/// cohort size, otherwise the snapshot belongs to a different run shape
+/// and is rejected.
+pub fn load_worker(
+    dir: &Path,
+    worker: usize,
+    num_workers: usize,
+    epoch: usize,
+) -> Result<WorkerCheckpoint, CheckpointError> {
+    let path = dir.join(worker_file_name(worker, epoch));
+    let bytes = std::fs::read(&path)?;
+    let ckpt = WorkerCheckpoint::decode(&bytes)?;
+    if ckpt.worker != worker || ckpt.epoch != epoch {
+        return Err(CheckpointError::Corrupt(format!(
+            "{} claims worker {} epoch {} in its header",
+            path.display(),
+            ckpt.worker,
+            ckpt.epoch
+        )));
+    }
+    if ckpt.num_workers != num_workers {
+        return Err(CheckpointError::Corrupt(format!(
+            "{} was written by a {}-worker run, expected {}",
+            path.display(),
+            ckpt.num_workers,
+            num_workers
+        )));
+    }
+    Ok(ckpt)
+}
+
+/// The latest epoch for which `worker` has a checkpoint file in `dir`,
+/// or `Ok(None)` when the directory does not exist or holds none.
+pub fn latest_epoch_for(dir: &Path, worker: usize) -> Result<Option<usize>, CheckpointError> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut latest = None;
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some((w, epoch)) = parse_file_name(name) else {
+            continue;
+        };
+        if w == worker && latest.is_none_or(|e| epoch > e) {
+            latest = Some(epoch);
+        }
+    }
+    Ok(latest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cdsgd-wkpt-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample(worker: usize, epoch: usize) -> WorkerCheckpoint {
+        WorkerCheckpoint {
+            worker,
+            num_workers: 4,
+            epoch,
+            round: (epoch as u64) * 6,
+            model: vec![vec![1.0, -2.5], vec![3.25]],
+            // Deliberately a different slot count than `model`: the
+            // strategy layout is opaque to the codec.
+            strategy: vec![vec![0.125], vec![], vec![-7.0]],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let c = sample(2, 5);
+        assert_eq!(WorkerCheckpoint::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn corruption_and_wrong_magic_are_rejected() {
+        let mut bytes = sample(0, 1).encode();
+        bytes[18] ^= 1;
+        assert!(matches!(
+            WorkerCheckpoint::decode(&bytes),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        // A *server* shard checkpoint must not decode as a worker one,
+        // even though both carry valid checksums.
+        let shard = cdsgd_ps::ShardCheckpoint {
+            shard: 0,
+            num_shards: 1,
+            round: 6,
+            weights: vec![vec![1.0]],
+            opt_state: vec![vec![]],
+        };
+        assert!(matches!(
+            WorkerCheckpoint::decode(&shard.encode()),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn save_load_and_latest_epoch() {
+        let dir = tmp_dir("save-load");
+        sample(1, 2).save_atomic(&dir).unwrap();
+        sample(1, 4).save_atomic(&dir).unwrap();
+        sample(0, 9).save_atomic(&dir).unwrap();
+        assert_eq!(load_worker(&dir, 1, 4, 4).unwrap(), sample(1, 4));
+        assert_eq!(latest_epoch_for(&dir, 1).unwrap(), Some(4));
+        assert_eq!(latest_epoch_for(&dir, 0).unwrap(), Some(9));
+        assert_eq!(latest_epoch_for(&dir, 3).unwrap(), None);
+        // No stray temp files survive the renames.
+        assert!(std::fs::read_dir(&dir).unwrap().all(|e| !e
+            .unwrap()
+            .file_name()
+            .to_string_lossy()
+            .starts_with('.')));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cohort_size_skew_is_rejected() {
+        let dir = tmp_dir("skew");
+        sample(1, 2).save_atomic(&dir).unwrap();
+        assert!(matches!(
+            load_worker(&dir, 1, 8, 2),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_means_no_checkpoint_not_an_error() {
+        let dir = tmp_dir("absent");
+        assert_eq!(latest_epoch_for(&dir, 0).unwrap(), None);
+    }
+}

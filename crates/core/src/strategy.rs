@@ -120,6 +120,61 @@ pub(crate) trait UpdateStrategy: Send {
     fn finish(&mut self) -> Result<(), NetError> {
         Ok(())
     }
+
+    /// Snapshot the strategy's private state for a worker checkpoint
+    /// (DESIGN.md §14): error-feedback residuals, momentum velocities,
+    /// local-step accumulators. Only valid at an epoch boundary, after
+    /// [`UpdateStrategy::settle`]. The slot layout is private to each
+    /// strategy; the default (stateless strategies) is empty.
+    fn export_state(&self) -> Vec<Vec<f32>> {
+        Vec::new()
+    }
+
+    /// Restore state captured by [`UpdateStrategy::export_state`].
+    /// Called once, before the first batch of a resumed run.
+    fn import_state(&mut self, state: &[Vec<f32>]) {
+        let _ = state;
+    }
+
+    /// Re-establish the strategy's server attachment for a run resuming
+    /// at aggregate round `round` (an epoch boundary): pull the globals
+    /// at that version into `base`, reconstruct any deferred-pull
+    /// bookkeeping, and — when `has_model` is false (no worker
+    /// checkpoint) — seed `model` from the pulled globals. With a worker
+    /// checkpoint the model keeps its restored (possibly locally-updated)
+    /// weights, which is what bit-identical resume requires for the
+    /// delayed and local-step strategies.
+    fn resume(
+        &mut self,
+        model: &mut Sequential,
+        round: u64,
+        has_model: bool,
+    ) -> Result<(), NetError> {
+        let _ = (model, round, has_model);
+        Ok(())
+    }
+}
+
+/// Sparse residual entries (`(key, buffer)` pairs) → one dense vector
+/// per key, the worker-checkpoint slot layout.
+fn residuals_to_dense(entries: Vec<(usize, Vec<f32>)>, num_keys: usize) -> Vec<Vec<f32>> {
+    let mut dense = vec![Vec::new(); num_keys];
+    for (k, v) in entries {
+        if k < num_keys {
+            dense[k] = v;
+        }
+    }
+    dense
+}
+
+/// Inverse of [`residuals_to_dense`]: empty slots mean "no buffer yet".
+fn dense_to_residuals(dense: &[Vec<f32>]) -> Vec<(usize, Vec<f32>)> {
+    dense
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(k, v)| (k, v.clone()))
+        .collect()
 }
 
 /// The parameter-server attachment shared by every PS-based strategy:
@@ -208,6 +263,14 @@ impl PsLink {
             .map(|k| self.client.pull_async(k, version))
             .collect()
     }
+
+    /// Blocking pull of every key at `version` into `base`, outside the
+    /// per-iteration profiling protocol (the resume path runs before the
+    /// first batch, so there is no round to charge the wait to).
+    fn pull_version(&mut self, version: u64) -> Result<(), NetError> {
+        self.base = self.client.pull_all(self.num_keys, version)?;
+        Ok(())
+    }
 }
 
 /// S-SGD: raw gradients, blocking push/pull every iteration.
@@ -247,6 +310,19 @@ impl UpdateStrategy for SSgdStrategy {
 
     fn eval_base(&self) -> Option<&[Arc<[f32]>]> {
         Some(&self.link.base)
+    }
+
+    fn resume(
+        &mut self,
+        model: &mut Sequential,
+        round: u64,
+        _has_model: bool,
+    ) -> Result<(), NetError> {
+        // Blocking strategies hold model == base at every round boundary,
+        // so re-pulling the globals reconstructs the whole state.
+        self.link.pull_version(round)?;
+        model.import_params_from(&self.link.base);
+        Ok(())
     }
 }
 
@@ -289,6 +365,25 @@ impl UpdateStrategy for BitSgdStrategy {
 
     fn eval_base(&self) -> Option<&[Arc<[f32]>]> {
         Some(&self.link.base)
+    }
+
+    fn export_state(&self) -> Vec<Vec<f32>> {
+        residuals_to_dense(self.quantizer.export_state(), self.link.num_keys)
+    }
+
+    fn import_state(&mut self, state: &[Vec<f32>]) {
+        self.quantizer.import_state(&dense_to_residuals(state));
+    }
+
+    fn resume(
+        &mut self,
+        model: &mut Sequential,
+        round: u64,
+        _has_model: bool,
+    ) -> Result<(), NetError> {
+        self.link.pull_version(round)?;
+        model.import_params_from(&self.link.base);
+        Ok(())
     }
 }
 
@@ -472,6 +567,46 @@ impl UpdateStrategy for DelayedStrategy {
         }
         Ok(())
     }
+
+    fn export_state(&self) -> Vec<Vec<f32>> {
+        match &self.compressor {
+            Some((_, codec)) => residuals_to_dense(codec.export_state(), self.link.num_keys),
+            None => Vec::new(),
+        }
+    }
+
+    fn import_state(&mut self, state: &[Vec<f32>]) {
+        if let Some((_, codec)) = &mut self.compressor {
+            codec.import_state(&dense_to_residuals(state));
+        }
+    }
+
+    fn resume(
+        &mut self,
+        model: &mut Sequential,
+        round: u64,
+        has_model: bool,
+    ) -> Result<(), NetError> {
+        // The state a checkpoint-boundary kill interrupted: in the formal
+        // phase past warm-up, the epoch-end settle had already received
+        // W_round (the deferred pull fired by round-1's communicate), so
+        // a bit-identical resume re-materializes it as `settled`; the
+        // model holds the one-step-ahead local weights W^loc_round, which
+        // only a worker checkpoint can supply (`has_model`). At or before
+        // the warm-up boundary the protocol is still blocking S-SGD:
+        // `base` is the pulled globals and nothing is deferred.
+        self.link.pull_version(round)?;
+        if !has_model {
+            // Without a worker checkpoint the local replica restarts from
+            // the globals — the warm-up-exact state; in the formal phase
+            // an approximation that costs one local-update term.
+            model.import_params_from(&self.link.base);
+        }
+        if self.formal(round) && round > self.warmup {
+            self.settled = Some(self.link.base.clone());
+        }
+        Ok(())
+    }
 }
 
 /// Local SGD: H purely local steps, then the accumulated gradients are
@@ -550,6 +685,37 @@ impl UpdateStrategy for LocalSgdStrategy {
 
     fn eval_base(&self) -> Option<&[Arc<[f32]>]> {
         Some(&self.link.base)
+    }
+
+    fn export_state(&self) -> Vec<Vec<f32>> {
+        // The accumulator carries gradient mass across the epoch boundary
+        // whenever `iters_per_epoch` is not a multiple of `sync_period`.
+        self.acc.clone()
+    }
+
+    fn import_state(&mut self, state: &[Vec<f32>]) {
+        if !state.is_empty() {
+            self.acc = state.to_vec();
+        }
+    }
+
+    fn resume(
+        &mut self,
+        model: &mut Sequential,
+        round: u64,
+        has_model: bool,
+    ) -> Result<(), NetError> {
+        // The server round counter advances once per completed sync
+        // period, not once per iteration.
+        self.syncs = round / self.sync_period;
+        self.link.pull_version(self.syncs)?;
+        if !has_model {
+            // Local steps since the last sync are only in the worker
+            // checkpoint; without one the replica restarts from the last
+            // synced aggregate.
+            model.import_params_from(&self.link.base);
+        }
+        Ok(())
     }
 }
 
@@ -668,6 +834,45 @@ impl UpdateStrategy for EfSgdStrategy {
 
     fn eval_base(&self) -> Option<&[Arc<[f32]>]> {
         Some(&self.link.base)
+    }
+
+    fn export_state(&self) -> Vec<Vec<f32>> {
+        // Two vectors per key: the momentum velocity, then the 1-bit
+        // quantizer's error-feedback residual.
+        if self.velocity.is_empty() {
+            return Vec::new();
+        }
+        let mut state = self.velocity.clone();
+        state.extend(residuals_to_dense(
+            self.quantizer.export_state(),
+            self.link.num_keys,
+        ));
+        state
+    }
+
+    fn import_state(&mut self, state: &[Vec<f32>]) {
+        if state.is_empty() {
+            return;
+        }
+        assert_eq!(
+            state.len(),
+            2 * self.link.num_keys,
+            "EF-SGD state is two vectors per key"
+        );
+        let (velocity, residuals) = state.split_at(self.link.num_keys);
+        self.velocity = velocity.to_vec();
+        self.quantizer.import_state(&dense_to_residuals(residuals));
+    }
+
+    fn resume(
+        &mut self,
+        model: &mut Sequential,
+        round: u64,
+        _has_model: bool,
+    ) -> Result<(), NetError> {
+        self.link.pull_version(round)?;
+        model.import_params_from(&self.link.base);
+        Ok(())
     }
 }
 

@@ -2,6 +2,90 @@
 
 use cdsgd_ps::NetError;
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Restart budget for hot worker replacement (DESIGN.md §14): when a
+/// worker is lost mid-run, the supervisor consults this policy before
+/// admitting a replacement instead of aborting with
+/// [`NetError::WorkerLost`].
+///
+/// The policy is a simple token bucket with exponential backoff:
+/// `max_restarts` replacements total (across all workers), and the i-th
+/// grant asks the caller to wait `backoff * 2^(i-1)` before respawning so
+/// a crash-looping worker cannot spin the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Total replacement grants before the run aborts. 0 restores the
+    /// pre-recovery behavior: every loss is fatal.
+    pub max_restarts: u32,
+    /// Base delay before the first respawn; doubles per grant.
+    pub backoff: Duration,
+}
+
+impl Default for RestartPolicy {
+    /// No restarts — worker loss aborts the run, exactly as before the
+    /// recovery subsystem existed. Recovery is strictly opt-in.
+    fn default() -> Self {
+        Self {
+            max_restarts: 0,
+            backoff: Duration::from_millis(0),
+        }
+    }
+}
+
+impl RestartPolicy {
+    /// A policy granting `max_restarts` replacements with `backoff` base
+    /// delay.
+    pub fn new(max_restarts: u32, backoff: Duration) -> Self {
+        Self {
+            max_restarts,
+            backoff,
+        }
+    }
+
+    /// Fresh mutable budget tracking grants against this policy.
+    pub fn budget(&self) -> RestartBudget {
+        RestartBudget {
+            policy: *self,
+            used: 0,
+        }
+    }
+}
+
+/// Mutable restart state: how many grants a run has consumed.
+#[derive(Debug, Clone)]
+pub struct RestartBudget {
+    policy: RestartPolicy,
+    used: u32,
+}
+
+impl RestartBudget {
+    /// Ask to replace a lost worker. `Some(delay)` grants the restart —
+    /// the caller should sleep `delay` before respawning; `None` means the
+    /// budget is exhausted and the loss is fatal.
+    pub fn grant(&mut self) -> Option<Duration> {
+        if self.used >= self.policy.max_restarts {
+            return None;
+        }
+        // 1st grant waits `backoff`, 2nd `2*backoff`, 3rd `4*backoff`, ...
+        let delay = self
+            .policy
+            .backoff
+            .saturating_mul(1u32 << self.used.min(20));
+        self.used += 1;
+        Some(delay)
+    }
+
+    /// Grants consumed so far.
+    pub fn used(&self) -> u32 {
+        self.used
+    }
+
+    /// Grants remaining before worker loss becomes fatal.
+    pub fn remaining(&self) -> u32 {
+        self.policy.max_restarts - self.used
+    }
+}
 
 /// A reusable N-party barrier that can be *poisoned*: once any party
 /// calls [`PoisonBarrier::poison`], every waiter — current and future —
@@ -112,6 +196,34 @@ mod tests {
     use super::*;
     use std::sync::Arc;
     use std::time::Duration;
+
+    #[test]
+    fn default_restart_policy_refuses_all_restarts() {
+        let mut budget = RestartPolicy::default().budget();
+        assert_eq!(budget.grant(), None);
+        assert_eq!(budget.used(), 0);
+        assert_eq!(budget.remaining(), 0);
+    }
+
+    #[test]
+    fn restart_budget_backs_off_exponentially_then_exhausts() {
+        let policy = RestartPolicy::new(3, Duration::from_millis(10));
+        let mut budget = policy.budget();
+        assert_eq!(budget.grant(), Some(Duration::from_millis(10)));
+        assert_eq!(budget.grant(), Some(Duration::from_millis(20)));
+        assert_eq!(budget.grant(), Some(Duration::from_millis(40)));
+        assert_eq!(budget.grant(), None, "budget of 3 exhausted");
+        assert_eq!(budget.used(), 3);
+        assert_eq!(budget.remaining(), 0);
+    }
+
+    #[test]
+    fn zero_backoff_grants_immediately() {
+        let mut budget = RestartPolicy::new(2, Duration::ZERO).budget();
+        assert_eq!(budget.grant(), Some(Duration::ZERO));
+        assert_eq!(budget.grant(), Some(Duration::ZERO));
+        assert_eq!(budget.grant(), None);
+    }
 
     #[test]
     fn single_party_barrier_is_a_no_op() {

@@ -4,7 +4,7 @@
 use crate::config::TrainConfig;
 use crate::metrics::{AbortRecord, EpochMetrics, TrainingHistory};
 use crate::profile::Profiler;
-use crate::supervise::PoisonBarrier;
+use crate::supervise::{PoisonBarrier, RestartBudget};
 use crate::worker::{run_worker, EpochReport, WorkerArgs};
 use cdsgd_data::Dataset;
 use cdsgd_nn::Sequential;
@@ -14,7 +14,7 @@ use cdsgd_ps::{
 };
 use cdsgd_telemetry::{Event, Telemetry};
 use cdsgd_tensor::SmallRng64;
-use crossbeam::channel::{Receiver, RecvTimeoutError};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -264,6 +264,31 @@ impl Trainer {
                     .expect("spawn worker"),
             ));
         }
+        // Hot worker replacement (DESIGN.md §14): when the policy grants
+        // restarts, keep everything needed to rebuild a lost worker's
+        // thread mid-run. The replacement resumes at the first epoch the
+        // victim never finished — bit-identical when the loss was
+        // epoch-aligned (the victim pushed exactly its completed epochs'
+        // rounds), because the replacement continues the same per-worker
+        // push queue at the same positions.
+        let mut respawner = (self.cfg.restart.max_restarts > 0).then(|| {
+            assert!(
+                !use_ring,
+                "hot worker replacement needs a parameter server; \
+                 the all-reduce ring is fixed-membership"
+            );
+            Respawner {
+                cfg: &self.cfg,
+                builder: &self.builder,
+                train: &self.train,
+                test: &self.test,
+                barrier: &barrier,
+                report: report_tx.clone(),
+                profiler: &profiler,
+                ipe,
+                budget: self.cfg.restart.budget(),
+            }
+        });
         drop(report_tx);
 
         let mut epoch_start = Instant::now();
@@ -314,6 +339,7 @@ impl Trainer {
                     &report_rx,
                     ps.as_ref(),
                     &mut handles,
+                    &mut respawner,
                     &reported,
                     &departed,
                     epoch_start,
@@ -378,6 +404,7 @@ impl Trainer {
         // Release workers from the final barrier so they can exit. They
         // still drain their last outstanding pulls, which needs a live
         // server — join before shutting the backend down.
+        drop(respawner);
         barrier.wait().expect("only the supervisor poisons");
         for w in 0..n {
             // Departed workers may already have been reaped by the
@@ -422,13 +449,16 @@ impl Trainer {
     /// Wait for the next epoch report, supervising the worker threads:
     /// returns `Err` with a typed [`NetError`] if a worker has died
     /// (error exit or panic), the backend reports a failed round, or the
-    /// epoch deadline passes with workers still silent.
+    /// epoch deadline passes with workers still silent. When a restart
+    /// policy is armed (`respawner` is `Some`), a lost worker is replaced
+    /// in place and supervision continues instead of failing the run.
     #[allow(clippy::too_many_arguments)]
     fn await_report(
         &self,
         report_rx: &Receiver<EpochReport>,
         ps: &dyn PsBackend,
         handles: &mut [Option<JoinHandle<Result<(), NetError>>>],
+        respawner: &mut Option<Respawner<'_>>,
         reported: &[bool],
         departed: &[bool],
         epoch_start: Instant,
@@ -470,6 +500,30 @@ impl Trainer {
                         id: w,
                         round: first_round(epoch, ipe),
                     });
+                    // Hot replacement: a restart policy turns the loss
+                    // into a recoverable event. The replacement resumes
+                    // at the first epoch the victim never finished —
+                    // this epoch if its report is still missing, the
+                    // next one if it died after reporting.
+                    if let Some(r) = respawner.as_mut() {
+                        let resume_epoch = if reported[w] { epoch + 1 } else { epoch };
+                        if resume_epoch < self.cfg.epochs {
+                            if let Some(handle) = r.respawn(ps, w, resume_epoch) {
+                                if let NetError::WorkerLost { id, round } = &e {
+                                    let (id, round) = (*id, *round);
+                                    self.cfg.telemetry.emit(|| Event::WorkerLost { id, round });
+                                }
+                                eprintln!(
+                                    "supervisor: worker {w} lost during epoch {epoch}; \
+                                     replacement resumes at epoch {resume_epoch} \
+                                     ({} restarts left)",
+                                    r.budget.remaining()
+                                );
+                                *slot = Some(handle);
+                                continue;
+                            }
+                        }
+                    }
                     return Err(e);
                 }
             }
@@ -494,6 +548,76 @@ impl Trainer {
                 }
             }
         }
+    }
+}
+
+/// Everything the supervisor needs to rebuild a lost worker's thread
+/// mid-run, plus the [`RestartBudget`] governing how many times and how
+/// fast. Constructed only when [`crate::supervise::RestartPolicy`] grants
+/// restarts, so default runs keep the exact report-channel disconnect
+/// semantics (the extra `Sender` clone would otherwise mask them).
+struct Respawner<'a> {
+    cfg: &'a TrainConfig,
+    builder: &'a Arc<ModelBuilder>,
+    train: &'a Dataset,
+    test: &'a Option<Dataset>,
+    barrier: &'a Arc<PoisonBarrier>,
+    report: Sender<EpochReport>,
+    profiler: &'a Option<Profiler>,
+    ipe: usize,
+    budget: RestartBudget,
+}
+
+impl Respawner<'_> {
+    /// Try to replace lost worker `w`, resuming at `start_epoch`. Sleeps
+    /// the budget's backoff before spawning. `None` when the budget is
+    /// exhausted or the backend refuses a fresh connection — the caller
+    /// then fails the run exactly as it would without a policy.
+    ///
+    /// The replacement rebuilds the model from the run's seed, resumes
+    /// via [`TrainConfig::start_epoch`] (worker checkpoints, when
+    /// configured, restore its private state; otherwise it re-bases on
+    /// the server's globals), and never re-arms a scripted fault.
+    fn respawn(
+        &mut self,
+        ps: &dyn PsBackend,
+        w: usize,
+        start_epoch: usize,
+    ) -> Option<JoinHandle<Result<(), NetError>>> {
+        let delay = self.budget.grant()?;
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        let client = match ps.client() {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("supervisor: cannot reconnect replacement for worker {w}: {e}");
+                return None;
+            }
+        };
+        let mut wrng = SmallRng64::new(self.cfg.seed);
+        let model = (self.builder)(&mut wrng);
+        let mut cfg = self.cfg.clone();
+        cfg.start_epoch = start_epoch;
+        cfg.fault = None;
+        let n = cfg.num_workers;
+        let args = WorkerArgs {
+            id: w,
+            cfg,
+            model,
+            shard: self.train.shard(w, n),
+            test: if w == 0 { self.test.clone() } else { None },
+            client,
+            ring: None,
+            iters_per_epoch: self.ipe,
+            barrier: Arc::clone(self.barrier),
+            report: self.report.clone(),
+            profiler: self.profiler.as_ref().map(|p| p.worker(w)),
+        };
+        std::thread::Builder::new()
+            .name(format!("worker-{w}r{}", self.budget.used()))
+            .spawn(move || run_worker(args))
+            .ok()
     }
 }
 

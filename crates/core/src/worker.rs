@@ -94,7 +94,43 @@ pub(crate) fn run_worker(mut a: WorkerArgs) -> Result<(), NetError> {
     let mut grads: Vec<Vec<f32>> = Vec::new();
     let mut saved: Vec<Vec<f32>> = Vec::new();
 
-    for epoch in 0..a.cfg.epochs {
+    // ---- resume (DESIGN.md §14): skip the completed epochs ----
+    let start_epoch = a.cfg.start_epoch.min(a.cfg.epochs);
+    if start_epoch > 0 {
+        // Replay the completed epochs' shuffles so the RNG stream — and
+        // therefore every remaining batch order — matches an
+        // uninterrupted run bit for bit. (Augmentation draws from the
+        // same RNG per batch; bit-identical resume therefore also
+        // requires `augment` off, which the equivalence tests pin.)
+        for _ in 0..start_epoch {
+            let mut replay = a.shard.clone();
+            replay.shuffle(&mut rng);
+        }
+        round = (start_epoch * a.iters_per_epoch) as u64;
+        let mut has_model = false;
+        if let Some(dir) = &a.cfg.worker_ckpt_dir {
+            match crate::recover::load_worker(dir, a.id, a.cfg.num_workers, start_epoch) {
+                Ok(ckpt) if ckpt.round == round => {
+                    a.model.import_params(&ckpt.model);
+                    strategy.import_state(&ckpt.strategy);
+                    has_model = true;
+                }
+                Ok(ckpt) => eprintln!(
+                    "worker {}: checkpoint for epoch {start_epoch} was taken at round {} \
+                     but this run resumes at round {round}; ignoring it",
+                    a.id, ckpt.round
+                ),
+                Err(e) => eprintln!(
+                    "worker {}: no usable checkpoint for epoch {start_epoch} ({e}); \
+                     resuming from the server's globals alone",
+                    a.id
+                ),
+            }
+        }
+        strategy.resume(&mut a.model, round, has_model)?;
+    }
+
+    for epoch in start_epoch..a.cfg.epochs {
         if Some(epoch) == depart {
             // Graceful departure at the start of this epoch: drain any
             // in-flight pulls, say goodbye (the server moves us to
@@ -163,6 +199,29 @@ pub(crate) fn run_worker(mut a: WorkerArgs) -> Result<(), NetError> {
             profiler: a.profiler.as_ref(),
         };
         strategy.settle(&ctx)?;
+
+        // ---- durable snapshot: worker state is consistent here ----
+        // (all pushes settled, no pulls in flight). A failed write warns
+        // and continues: losing a checkpoint must not kill training.
+        if let Some(dir) = &a.cfg.worker_ckpt_dir {
+            if (epoch + 1).is_multiple_of(a.cfg.worker_ckpt_every) {
+                let ckpt = crate::recover::WorkerCheckpoint {
+                    worker: a.id,
+                    num_workers: a.cfg.num_workers,
+                    epoch: epoch + 1,
+                    round,
+                    model: a.model.export_params(),
+                    strategy: strategy.export_state(),
+                };
+                if let Err(e) = ckpt.save_atomic(dir) {
+                    eprintln!(
+                        "worker {}: checkpoint for epoch {} failed: {e}",
+                        a.id,
+                        epoch + 1
+                    );
+                }
+            }
+        }
 
         // ---- epoch end: evaluate global weights (worker 0 only) ----
         let test_acc = match (a.test.as_ref(), strategy.eval_base()) {

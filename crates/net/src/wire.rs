@@ -61,6 +61,8 @@ const OP_REGISTER: u8 = 7;
 const OP_REGISTER_ACK: u8 = 8;
 const OP_HEARTBEAT: u8 = 9;
 const OP_LEAVE: u8 = 10;
+const OP_CHECKPOINT: u8 = 11;
+const OP_CHECKPOINT_ACK: u8 = 12;
 
 /// A decoded parameter-server message.
 ///
@@ -113,6 +115,15 @@ pub enum WireMsg {
     /// drains any queued pushes from it and shrinks the quorum instead
     /// of declaring the worker lost.
     Leave { worker: u32 },
+    /// Control → server: write a durable checkpoint of the current shard
+    /// state now (requires the server to have been started with a
+    /// checkpoint directory). Answered by [`WireMsg::CheckpointAck`].
+    Checkpoint,
+    /// Server → control: answer to [`WireMsg::Checkpoint`]. `round` is
+    /// the uniform key version the snapshot captured, or `None` if the
+    /// server could not write one (no checkpoint directory, skewed key
+    /// versions, or an I/O failure — details go to the server's stderr).
+    CheckpointAck { round: Option<u64> },
 }
 
 /// Exact wire size of a push frame carrying a payload of
@@ -133,34 +144,43 @@ pub fn pull_reply_frame_bytes(n: usize) -> usize {
 // ---------------------------------------------------------------------------
 // little-endian primitives
 // ---------------------------------------------------------------------------
+//
+// Public: the durable-checkpoint codecs in `cdsgd-ps` and `cd-sgd` reuse
+// these so checkpoint files and wire frames share one byte convention.
 
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
+/// Append a little-endian `u32` to `buf`.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
+/// Append a little-endian `u64` to `buf`.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_f32(buf: &mut Vec<u8>, v: f32) {
+/// Append a little-endian `f32` to `buf`.
+pub fn put_f32(buf: &mut Vec<u8>, v: f32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-struct Cursor<'a> {
+/// A bounds-checked little-endian reader over a byte slice. Every read
+/// returns [`NetError::Decode`] on underrun instead of panicking, so
+/// corrupted frames (and corrupted checkpoint files) surface as errors.
+pub struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    pub fn new(bytes: &'a [u8]) -> Self {
         Self { bytes, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    pub fn remaining(&self) -> usize {
         self.bytes.len() - self.pos
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
         if self.remaining() < n {
             return Err(NetError::Decode(format!(
                 "truncated: need {n} bytes, have {}",
@@ -172,23 +192,23 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, NetError> {
+    pub fn u8(&mut self) -> Result<u8, NetError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, NetError> {
+    pub fn u32(&mut self) -> Result<u32, NetError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64, NetError> {
+    pub fn u64(&mut self) -> Result<u64, NetError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn f32(&mut self) -> Result<f32, NetError> {
+    pub fn f32(&mut self) -> Result<f32, NetError> {
         Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, NetError> {
+    pub fn f32s(&mut self, n: usize) -> Result<Vec<f32>, NetError> {
         let raw = self.take(4 * n)?;
         Ok(raw
             .chunks_exact(4)
@@ -535,6 +555,26 @@ pub fn encode_leave_into(worker: u32, buf: &mut Vec<u8>) {
     put_u32(buf, worker);
 }
 
+/// Encode a checkpoint request body into `buf` (cleared first).
+pub fn encode_checkpoint_into(buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.push(OP_CHECKPOINT);
+}
+
+/// Encode a checkpoint-ack body into `buf` (cleared first). Layout: a
+/// success byte, then the captured round (present only on success).
+pub fn encode_checkpoint_ack_into(round: Option<u64>, buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.push(OP_CHECKPOINT_ACK);
+    match round {
+        Some(r) => {
+            buf.push(1);
+            put_u64(buf, r);
+        }
+        None => buf.push(0),
+    }
+}
+
 /// Encode any [`WireMsg`] into `buf` (cleared first). The per-message
 /// `encode_*_into` helpers are the zero-copy hot paths; this exists for
 /// symmetry with [`decode_msg`] and for tests.
@@ -561,6 +601,8 @@ pub fn encode_msg_into(msg: &WireMsg, buf: &mut Vec<u8>) {
         WireMsg::RegisterAck { versions } => encode_register_ack_into(versions, buf),
         WireMsg::Heartbeat { worker } => encode_heartbeat_into(*worker, buf),
         WireMsg::Leave { worker } => encode_leave_into(*worker, buf),
+        WireMsg::Checkpoint => encode_checkpoint_into(buf),
+        WireMsg::CheckpointAck { round } => encode_checkpoint_ack_into(*round, buf),
     }
 }
 
@@ -624,6 +666,20 @@ pub fn decode_msg(bytes: &[u8]) -> Result<WireMsg, NetError> {
         }
         OP_HEARTBEAT => WireMsg::Heartbeat { worker: cur.u32()? },
         OP_LEAVE => WireMsg::Leave { worker: cur.u32()? },
+        OP_CHECKPOINT => WireMsg::Checkpoint,
+        OP_CHECKPOINT_ACK => {
+            let ok = cur.u8()?;
+            let round = match ok {
+                0 => None,
+                1 => Some(cur.u64()?),
+                b => {
+                    return Err(NetError::Decode(format!(
+                        "checkpoint ack success byte must be 0 or 1, got {b}"
+                    )))
+                }
+            };
+            WireMsg::CheckpointAck { round }
+        }
         o => return Err(NetError::Decode(format!("unknown opcode {o}"))),
     };
     if cur.remaining() != 0 {
@@ -774,6 +830,9 @@ mod tests {
             WireMsg::RegisterAck { versions: vec![] },
             WireMsg::Heartbeat { worker: 5 },
             WireMsg::Leave { worker: 2 },
+            WireMsg::Checkpoint,
+            WireMsg::CheckpointAck { round: Some(24) },
+            WireMsg::CheckpointAck { round: None },
         ];
         let mut buf = Vec::new();
         for m in msgs {

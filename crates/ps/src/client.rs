@@ -153,6 +153,25 @@ impl PsClient {
             .map_err(|_| NetError::ServerGone)
     }
 
+    /// Ask the server to write a durable shard checkpoint of its current
+    /// state (recovery subsystem). Returns the captured round, or `None`
+    /// if the server refused (no checkpoint directory configured, a
+    /// round mid-flight, or the write failed — see its stderr).
+    pub fn checkpoint_now(&self) -> Result<Option<u64>, NetError> {
+        self.checkpoint_async()?
+            .recv()
+            .map_err(|_| NetError::ServerGone)
+    }
+
+    /// Fire-and-forget checkpoint request (event-loop support).
+    pub(crate) fn checkpoint_async(&self) -> Result<Receiver<Option<u64>>, NetError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Msg::Checkpoint { reply: reply_tx })
+            .map_err(|_| NetError::ServerGone)?;
+        Ok(reply_rx)
+    }
+
     /// Liveness signal for the heartbeat timeout (pushes also count).
     pub fn heartbeat(&self, worker: usize) -> Result<(), NetError> {
         self.tx

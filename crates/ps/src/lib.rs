@@ -44,6 +44,7 @@ mod client;
 mod fault;
 pub mod net;
 pub mod opt;
+pub mod recover;
 mod server;
 mod sharded;
 mod stats;
@@ -55,6 +56,7 @@ pub use client::{PendingPull, PsClient};
 pub use fault::{FaultyClient, WorkerFault};
 pub use net::{NetCluster, PsNetServer, RemoteClient};
 pub use opt::{HeavyBall, Nesterov, PlainSgd, ServerOpt, ServerOptKind};
+pub use recover::{CheckpointError, CheckpointPolicy, Durability, RestoredState, ShardCheckpoint};
 pub use server::{ElasticConfig, ParamServer, ServerConfig};
 pub use sharded::{partition_keys, reassemble_snapshots, ShardedClient, ShardedParamServer};
 pub use stats::TrafficStats;

@@ -23,6 +23,7 @@
 
 use crate::api::{ParamClient, PsBackend};
 use crate::client::{PendingPull, PsClient};
+use crate::recover::Durability;
 use crate::server::{ParamServer, ServerConfig};
 use crate::sharded::{partition_keys, reassemble_snapshots, ShardedClient};
 use crate::stats::TrafficStats;
@@ -79,6 +80,7 @@ enum Reply {
     },
     Snapshot(Receiver<(Vec<Vec<f32>>, Vec<u64>)>),
     Register(Receiver<Vec<u64>>),
+    Checkpoint(Receiver<Option<u64>>),
 }
 
 /// Per-connection state owned by one I/O thread: the non-blocking
@@ -128,7 +130,20 @@ impl PsNetServer {
         cfg: ServerConfig,
         telemetry: cdsgd_telemetry::Telemetry,
     ) -> Arc<Self> {
-        let ps = ParamServer::start_traced(init, cfg, telemetry);
+        Self::start_durable(init, cfg, telemetry, Durability::default())
+    }
+
+    /// [`PsNetServer::start_traced`] with the recovery subsystem wired
+    /// in: optionally restore the inner server from a shard checkpoint
+    /// and/or write new checkpoints (see [`crate::recover`]). This is
+    /// the engine of `psd --checkpoint-dir/--checkpoint-every/--resume`.
+    pub fn start_durable(
+        init: Vec<Vec<f32>>,
+        cfg: ServerConfig,
+        telemetry: cdsgd_telemetry::Telemetry,
+        durability: Durability,
+    ) -> Arc<Self> {
+        let ps = ParamServer::start_durable(init, cfg, telemetry, durability);
         let client = ps.client();
         let stats = ps.stats_arc();
         let stop = Arc::new(AtomicBool::new(false));
@@ -383,6 +398,9 @@ fn service_conn(
                 .push_back(Reply::Register(client.join_async(worker as usize)?)),
             WireMsg::Heartbeat { worker } => client.heartbeat(worker as usize)?,
             WireMsg::Leave { worker } => client.leave(worker as usize)?,
+            WireMsg::Checkpoint => c
+                .replies
+                .push_back(Reply::Checkpoint(client.checkpoint_async()?)),
             WireMsg::Shutdown => {
                 let (flag, cv) = signal;
                 *flag.lock().unwrap() = true;
@@ -393,7 +411,8 @@ fn service_conn(
             // protocol violation; drop the connection.
             WireMsg::PullReply { .. }
             | WireMsg::SnapshotReply { .. }
-            | WireMsg::RegisterAck { .. } => {
+            | WireMsg::RegisterAck { .. }
+            | WireMsg::CheckpointAck { .. } => {
                 return Err(NetError::Io("unexpected server-to-client frame".into()))
             }
         }
@@ -434,6 +453,14 @@ fn service_conn(
                     true
                 }
             },
+            Some(Reply::Checkpoint(rx)) => match rx.try_recv() {
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return Err(NetError::ServerGone),
+                Ok(round) => {
+                    wire::encode_checkpoint_ack_into(round, wbuf);
+                    true
+                }
+            },
         };
         if ready {
             c.replies.pop_front();
@@ -471,6 +498,8 @@ struct Pending {
     snapshot: Option<Sender<SnapshotReply>>,
     /// Outstanding membership registration, resolved by `RegisterAck`.
     register: Option<Sender<Vec<u64>>>,
+    /// Outstanding checkpoint request, resolved by `CheckpointAck`.
+    checkpoint: Option<Sender<Option<u64>>>,
 }
 
 /// A [`ParamClient`] talking to one remote shard over a transport.
@@ -555,6 +584,12 @@ impl RemoteClient {
                                 let _ = tx.send(versions);
                             }
                         }
+                        Ok(WireMsg::CheckpointAck { round }) => {
+                            let tx = pending2.lock().unwrap().checkpoint.take();
+                            if let Some(tx) = tx {
+                                let _ = tx.send(round);
+                            }
+                        }
                         // Anything else from the server is a protocol
                         // violation; treat as a dead connection.
                         _ => break,
@@ -566,6 +601,7 @@ impl RemoteClient {
                 p.pulls.clear();
                 p.snapshot = None;
                 p.register = None;
+                p.checkpoint = None;
             })
             .map_err(spawn_err)?;
 
@@ -600,6 +636,16 @@ impl RemoteClient {
         let (tx, rx) = bounded(1);
         self.pending.lock().unwrap().snapshot = Some(tx);
         self.send(&WireMsg::Snapshot)?;
+        rx.recv().map_err(|_| NetError::ServerGone)
+    }
+
+    /// Ask this shard to write a durable checkpoint of its current state
+    /// ([`WireMsg::Checkpoint`]). Returns the captured round, or `None`
+    /// if the shard refused (see [`PsClient::checkpoint_now`]).
+    pub fn checkpoint_now(&self) -> Result<Option<u64>, NetError> {
+        let (tx, rx) = bounded(1);
+        self.pending.lock().unwrap().checkpoint = Some(tx);
+        self.send(&WireMsg::Checkpoint)?;
         rx.recv().map_err(|_| NetError::ServerGone)
     }
 
@@ -1112,6 +1158,41 @@ mod tests {
         assert_eq!(*c.pull(0, 3).unwrap(), [-7.0; 3]);
         assert_eq!(server.rejected_connections(), 0);
         drop(c1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn on_demand_checkpoint_round_trips_over_loopback() {
+        use crate::recover::{self, CheckpointPolicy};
+        let dir = std::env::temp_dir().join(format!("cdsgd-net-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = PsNetServer::start_durable(
+            init(2),
+            ServerConfig::new(1, 1.0),
+            cdsgd_telemetry::Telemetry::disabled(),
+            Durability {
+                restore: None,
+                checkpoint: Some(CheckpointPolicy::new(&dir, None, 0, 1)),
+            },
+        );
+        let c = loopback_client(&server);
+        for k in 0..2 {
+            c.push(0, k, Compressed::Raw(vec![1.0; 3])).unwrap();
+            c.pull(k, 1).unwrap();
+        }
+        assert_eq!(c.checkpoint_now().unwrap(), Some(1));
+        let ckpt = recover::load_latest(&dir, 0, 1).unwrap().unwrap();
+        assert_eq!(ckpt.round, 1);
+        assert_eq!(ckpt.weights.len(), 2);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_without_a_directory_is_refused_over_the_wire() {
+        let server = PsNetServer::start(init(1), ServerConfig::new(1, 1.0));
+        let c = loopback_client(&server);
+        assert_eq!(c.checkpoint_now().unwrap(), None);
         server.shutdown();
     }
 

@@ -3,6 +3,7 @@
 
 use crate::client::PsClient;
 use crate::opt::{ServerOpt, ServerOptKind};
+use crate::recover::{CheckpointTracker, Durability, ShardCheckpoint};
 use crate::sharded::ShardedParamServer;
 use crate::stats::TrafficStats;
 use crate::Key;
@@ -185,6 +186,13 @@ pub(crate) enum Msg {
     Heartbeat {
         worker: usize,
     },
+    /// Recovery: write a durable shard checkpoint of the current state
+    /// now. Replies with the captured round, or `None` if the server has
+    /// no checkpoint directory, the key versions are skewed (a round is
+    /// mid-flight), or the write failed.
+    Checkpoint {
+        reply: Sender<Option<u64>>,
+    },
     Shutdown,
 }
 
@@ -335,6 +343,30 @@ impl ParamServer {
         pool: BufferPool,
         telemetry: Telemetry,
     ) -> Self {
+        Self::start_durable_with_pool(init, cfg, pool, telemetry, Durability::default())
+    }
+
+    /// Like [`ParamServer::start_traced`], additionally participating in
+    /// the recovery subsystem: optionally restoring state from a shard
+    /// checkpoint and/or writing new checkpoints at round boundaries
+    /// (see [`crate::recover`]). With a default [`Durability`] this is
+    /// exactly [`ParamServer::start_traced`].
+    pub fn start_durable(
+        init: Vec<Vec<f32>>,
+        cfg: ServerConfig,
+        telemetry: Telemetry,
+        durability: Durability,
+    ) -> Self {
+        Self::start_durable_with_pool(init, cfg, BufferPool::new(), telemetry, durability)
+    }
+
+    pub(crate) fn start_durable_with_pool(
+        init: Vec<Vec<f32>>,
+        cfg: ServerConfig,
+        pool: BufferPool,
+        telemetry: Telemetry,
+        durability: Durability,
+    ) -> Self {
         let (tx, rx) = unbounded();
         let stats = Arc::new(TrafficStats::with_telemetry(telemetry));
         let failure = Arc::new(Mutex::new(None));
@@ -343,7 +375,7 @@ impl ParamServer {
         let pool2 = pool.clone();
         let handle = std::thread::Builder::new()
             .name("param-server".into())
-            .spawn(move || server_loop(init, cfg, rx, stats2, pool2, failure2))
+            .spawn(move || server_loop(init, cfg, rx, stats2, pool2, failure2, durability))
             .expect("spawn server thread");
         Self {
             tx,
@@ -454,10 +486,35 @@ fn server_loop(
     stats: Arc<TrafficStats>,
     pool: BufferPool,
     failure: Arc<Mutex<Option<NetError>>>,
+    durability: Durability,
 ) {
+    // A restore replaces the initial weights, versions, and optimizer
+    // state wholesale: the server picks up exactly where the checkpoint
+    // captured it (key count and shapes must match the model).
+    let restore = durability.restore;
+    if let Some(r) = &restore {
+        assert_eq!(r.weights.len(), init.len(), "restored key count mismatch");
+        for (k, (res, ini)) in r.weights.iter().zip(&init).enumerate() {
+            assert_eq!(res.len(), ini.len(), "restored length mismatch on key {k}");
+        }
+    }
+    let start_round = restore.as_ref().map_or(0, |r| r.round);
+    let restored: Vec<Option<(Vec<f32>, Vec<f32>)>> = match restore {
+        Some(r) => r.weights.into_iter().zip(r.opt_state).map(Some).collect(),
+        None => vec![None; init.len()],
+    };
     let mut keys: Vec<KeyState> = init
         .into_iter()
-        .map(|weights| {
+        .zip(restored)
+        .map(|(weights, restored)| {
+            let mut opt = cfg.opt.build();
+            let weights = match restored {
+                Some((w, o)) => {
+                    opt.import_state(&o);
+                    w
+                }
+                None => weights,
+            };
             let len = weights.len();
             let weights: Arc<[f32]> = weights.into();
             KeyState {
@@ -465,13 +522,14 @@ fn server_loop(
                 weights,
                 acc: vec![0.0; len],
                 pending: vec![std::collections::VecDeque::new(); cfg.num_workers],
-                version: 0,
-                opt: cfg.opt.build(),
+                version: start_round,
+                opt,
                 waiting: Vec::new(),
                 partial_since: None,
             }
         })
         .collect();
+    let mut ckpt = CheckpointTracker::new(durability.checkpoint, keys.len(), start_round);
     // Membership table. Without `cfg.elastic` it is frozen at
     // construction (workers 0..num_workers active forever), so every
     // round aggregates exactly `num_workers` pushes — the historical
@@ -540,7 +598,7 @@ fn server_loop(
                 let ks = &mut keys[key];
                 assert_eq!(payload.len(), ks.weights.len(), "gradient length mismatch");
                 ks.pending[worker].push_back(payload);
-                pump_key(key, ks, &members, &cfg, &stats, &pool);
+                pump_key(key, ks, &members, &cfg, &stats, &pool, &mut ckpt);
                 members.sweep(&keys);
             }
             Some(Msg::Join { worker, reply }) => {
@@ -592,7 +650,7 @@ fn server_loop(
                         // The leaver no longer gates round
                         // completion: pump every key.
                         for (key, ks) in keys.iter_mut().enumerate() {
-                            pump_key(key, ks, &members, &cfg, &stats, &pool);
+                            pump_key(key, ks, &members, &cfg, &stats, &pool, &mut ckpt);
                         }
                         members.sweep(&keys);
                     }
@@ -645,6 +703,36 @@ fn server_loop(
                 let v = keys.iter().map(|k| k.version).collect();
                 let _ = reply.send((w, v));
             }
+            Some(Msg::Checkpoint { reply }) => {
+                let round = min_version(&keys);
+                let result = match ckpt.policy() {
+                    None => {
+                        eprintln!("checkpoint: refused: server has no checkpoint directory");
+                        None
+                    }
+                    Some(_) if keys.iter().any(|k| k.version != round) => {
+                        eprintln!("checkpoint: refused: key versions are skewed (round in flight)");
+                        None
+                    }
+                    Some(p) => {
+                        let snap = ShardCheckpoint {
+                            shard: p.shard,
+                            num_shards: p.num_shards,
+                            round,
+                            weights: keys.iter().map(|k| k.weights.to_vec()).collect(),
+                            opt_state: keys.iter().map(|k| k.opt.export_state()).collect(),
+                        };
+                        match snap.save_atomic(&p.dir) {
+                            Ok(_) => Some(round),
+                            Err(e) => {
+                                eprintln!("checkpoint: on-demand write failed: {e}");
+                                None
+                            }
+                        }
+                    }
+                };
+                let _ = reply.send(result);
+            }
             Some(Msg::Shutdown) => break,
             None => {}
         }
@@ -687,7 +775,7 @@ fn server_loop(
                             graceful: false,
                         });
                         for (key, ks) in keys.iter_mut().enumerate() {
-                            pump_key(key, ks, &members, &cfg, &stats, &pool);
+                            pump_key(key, ks, &members, &cfg, &stats, &pool, &mut ckpt);
                         }
                         members.sweep(&keys);
                     }
@@ -704,6 +792,7 @@ fn server_loop(
 /// update divides by the actual contributor count. With fixed membership
 /// every worker is always active, so this is exactly the historical
 /// `while all non-empty` loop with divisor `num_workers`.
+#[allow(clippy::too_many_arguments)]
 fn pump_key(
     key: Key,
     ks: &mut KeyState,
@@ -711,6 +800,7 @@ fn pump_key(
     cfg: &ServerConfig,
     stats: &TrafficStats,
     pool: &BufferPool,
+    ckpt: &mut CheckpointTracker,
 ) {
     loop {
         let complete = members.any_active()
@@ -735,6 +825,10 @@ fn pump_key(
         }
         apply_update(ks, cfg, contributors, stats);
         ks.version += 1;
+        // Scheduled checkpoints capture each key the instant it crosses
+        // the boundary round (versions advance one at a time, so every
+        // boundary is observed); the file is written once all keys have.
+        ckpt.observe(key, ks.version, &ks.weights, ks.opt.as_ref());
         let version = ks.version;
         stats
             .telemetry()
@@ -1231,6 +1325,106 @@ mod tests {
         c.push(1, 0, Compressed::Raw(vec![4.0])).unwrap();
         assert_eq!(*c.pull(0, 1).unwrap(), [-3.0]);
         ps.shutdown();
+    }
+
+    #[test]
+    fn scheduled_checkpoint_resume_continues_bit_identically() {
+        use crate::recover::{self, CheckpointPolicy};
+        let dir = std::env::temp_dir().join(format!("cdsgd-srv-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Uninterrupted reference: 4 rounds with momentum (so optimizer
+        // state matters).
+        let cfg = ServerConfig::new(1, 0.5).with_momentum(0.9);
+        let reference = {
+            let ps = ParamServer::start(vec![vec![0.0, 1.0]], cfg);
+            let c = ps.client();
+            for _ in 0..4 {
+                c.push(0, 0, Compressed::Raw(vec![1.0, -1.0])).unwrap();
+            }
+            let w = c.pull(0, 4).unwrap().to_vec();
+            ps.shutdown();
+            w
+        };
+
+        // Checkpointed run: 2 rounds, snapshot at the every=2 boundary.
+        {
+            let durability = Durability {
+                restore: None,
+                checkpoint: Some(CheckpointPolicy::new(&dir, Some(2), 0, 1)),
+            };
+            let ps = ParamServer::start_durable(
+                vec![vec![0.0, 1.0]],
+                cfg,
+                Telemetry::disabled(),
+                durability,
+            );
+            let c = ps.client();
+            for _ in 0..2 {
+                c.push(0, 0, Compressed::Raw(vec![1.0, -1.0])).unwrap();
+            }
+            c.pull(0, 2).unwrap();
+            ps.shutdown();
+        }
+        assert_eq!(recover::latest_complete_round(&dir, 1).unwrap(), Some(2));
+
+        // Resume from the checkpoint (momentum restored) and run the
+        // remaining 2 rounds: bit-identical to the uninterrupted run.
+        let restored = recover::load_latest(&dir, 0, 1).unwrap().unwrap();
+        let durability = Durability {
+            restore: Some(restored.into_restored()),
+            checkpoint: None,
+        };
+        let ps = ParamServer::start_durable(
+            vec![vec![0.0, 1.0]],
+            cfg,
+            Telemetry::disabled(),
+            durability,
+        );
+        let c = ps.client();
+        for _ in 0..2 {
+            c.push(0, 0, Compressed::Raw(vec![1.0, -1.0])).unwrap();
+        }
+        assert_eq!(*c.pull(0, 4).unwrap(), *reference);
+        ps.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn on_demand_checkpoint_requires_a_directory() {
+        let ps = ParamServer::start(vec![vec![0.0]], ServerConfig::new(1, 1.0));
+        let c = ps.client();
+        assert_eq!(c.checkpoint_now().unwrap(), None);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn on_demand_checkpoint_captures_the_quiesced_round() {
+        use crate::recover::{self, CheckpointPolicy};
+        let dir = std::env::temp_dir().join(format!("cdsgd-srv-odc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let durability = Durability {
+            restore: None,
+            // On-demand only: no interval.
+            checkpoint: Some(CheckpointPolicy::new(&dir, None, 0, 1)),
+        };
+        let ps = ParamServer::start_durable(
+            vec![vec![0.0], vec![0.0]],
+            ServerConfig::new(1, 1.0),
+            Telemetry::disabled(),
+            durability,
+        );
+        let c = ps.client();
+        c.push(0, 0, Compressed::Raw(vec![2.0])).unwrap();
+        c.push(0, 1, Compressed::Raw(vec![4.0])).unwrap();
+        c.pull(0, 1).unwrap();
+        c.pull(1, 1).unwrap();
+        assert_eq!(c.checkpoint_now().unwrap(), Some(1));
+        let ckpt = recover::load_latest(&dir, 0, 1).unwrap().unwrap();
+        assert_eq!(ckpt.round, 1);
+        assert_eq!(ckpt.weights, vec![vec![-2.0], vec![-4.0]]);
+        ps.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

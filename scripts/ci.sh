@@ -33,6 +33,15 @@ run_tests cargo test -q --workspace
 echo "==> cargo test --test net_equivalence --test net_processes --test chaos"
 run_tests cargo test -q --test net_equivalence --test net_processes --test chaos
 
+# Explicit gate on the fault-recovery subsystem (DESIGN.md §14): SIGKILL
+# at a checkpoint boundary + `psd --resume` must be bit-identical to the
+# uninterrupted run, torn cross-shard checkpoint sets must never be
+# resumed, and the durable-snapshot codecs must round-trip.
+echo "==> cargo test --test recovery + checkpoint suites"
+run_tests cargo test -q --test recovery
+run_tests cargo test -q -p cdsgd-ps recover
+run_tests cargo test -q -p cd-sgd -- recover checkpoint supervise
+
 # Explicit gate on the elastic control plane: the dynamic-membership
 # state machine (join acks, quorum resize, heartbeat eviction, drain to
 # zero), the mid-run joiner's pull rebase, scripted departures through

@@ -7,12 +7,14 @@
 //!                [--dc-lambda 0] [--sync-period 4] [--ef-momentum 0.9] \
 //!                [--lr 0.1] [--momentum 0 [--nesterov]] \
 //!                [--batch 32] [--samples 4000] [--seed 42] \
+//!                [--max-restarts 0] [--restart-backoff-ms 250] \
 //!                [--save ckpt.json] [--history hist.json] [--profile] \
 //!                [--trace trace.jsonl]
 //! cdsgd simulate --model resnet50 --gpu v100 --batch 32 [--k 5] [--gbps 56]
 //! cdsgd codecs   [--n 1000000]
 //! cdsgd orchestrate [--epochs 6] [--depart-epoch 3] [--join-delay-ms 300] \
-//!                [--algo ssgd] [--samples 960] [--batch 16] [--lr 0.2] [--seed 5]
+//!                [--algo ssgd] [--samples 960] [--batch 16] [--lr 0.2] [--seed 5] \
+//!                [--max-restarts 1 [--kill-round 12] [--restart-backoff-ms 250]]
 //! ```
 //!
 //! `orchestrate` is the elastic-membership demo: it spawns a local
@@ -22,9 +24,17 @@
 //! gracefully at `--depart-epoch`). Training must complete green through
 //! both membership changes; the controller then snapshots and shuts the
 //! shard down. Exit status 0 is the proof.
+//!
+//! With `--max-restarts N` the demo adds the fault-recovery scenario
+//! (DESIGN.md §14): the late joiner is spawned with a scripted silent
+//! death at `--kill-round`, the shard's heartbeat timeout evicts it, and
+//! the controller — governed by the same [`cd_sgd::RestartPolicy`] the
+//! in-process trainer uses — re-admits a replacement via the
+//! register/rebase path instead of aborting. Everyone else emits
+//! heartbeats so the eviction sweep only removes the dead replica.
 
 use cd_sgd::checkpoint::{save_history, Checkpoint};
-use cd_sgd::{TrainConfig, Trainer};
+use cd_sgd::{RestartPolicy, TrainConfig, Trainer};
 use cd_sgd_repro::deploy::{
     arg, arg_or, flag, parse_algorithm, parse_server_opt, trace_telemetry, AlgoDefaults,
 };
@@ -95,6 +105,9 @@ fn orchestrate_run() -> Result<String, String> {
     let lr: f32 = arg_or("lr", 0.2);
     let join_delay_ms: u64 = arg_or("join-delay-ms", 100);
     let algo = arg("algo").unwrap_or_else(|| "ssgd".into());
+    let max_restarts: u32 = arg_or("max-restarts", 0);
+    let restart_backoff_ms: u64 = arg_or("restart-backoff-ms", 250);
+    let kill_round: u64 = arg_or("kill-round", 12);
     if depart_epoch == 0 || depart_epoch >= epochs {
         eprintln!("--depart-epoch must be in 1..--epochs (got {depart_epoch} of {epochs})");
         std::process::exit(2);
@@ -118,11 +131,19 @@ fn orchestrate_run() -> Result<String, String> {
 
     // One shard in elastic mode: workers 0 and 1 form the initial set,
     // min-quorum 1 lets the pool drain gracefully to zero at the end.
-    let mut psd = Command::new(&psd_bin)
+    // With restarts armed the shard also needs a heartbeat timeout, so
+    // the scripted silent death below is *evicted* (quorum re-sized)
+    // rather than stalling every in-flight round forever.
+    let mut psd_cmd = Command::new(&psd_bin);
+    psd_cmd
         .args(["--shard", "0", "--num-shards", "1", "--workers", "2"])
         .args(["--min-quorum", "1"])
         .args(["--lr", &lr.to_string(), "--port", "0"])
-        .args(["--model", MODEL, "--seed", &seed.to_string()])
+        .args(["--model", MODEL, "--seed", &seed.to_string()]);
+    if max_restarts > 0 {
+        psd_cmd.args(["--heartbeat-ms", "1500"]);
+    }
+    let mut psd = psd_cmd
         .stdout(Stdio::piped())
         .spawn()
         .map_err(|e| format!("spawn psd: {e}"))?;
@@ -157,28 +178,83 @@ fn orchestrate_run() -> Result<String, String> {
             .map_err(|e| format!("spawn worker {id}: {e}"))
     };
 
+    // When restarts are armed, every healthy replica emits heartbeats so
+    // the server's eviction sweep removes only the replica that actually
+    // dies (a healthy worker blocked on a stalled round goes push-silent
+    // too, and pushes are its only other liveness signal).
+    let hb: &[&str] = if max_restarts > 0 {
+        &["--heartbeat-ms", "100"]
+    } else {
+        &[]
+    };
+
     // Initial pool: worker 0 runs the whole way (and says goodbye at the
     // end); worker 1 departs gracefully mid-run — the scale-down.
-    reap.0.push(spawn_worker(0, &["--register"])?);
+    reap.0
+        .push(spawn_worker(0, &[&["--register"], hb].concat())?);
     reap.0.push(spawn_worker(
         1,
-        &["--depart-epoch", &depart_epoch.to_string()],
+        &[&["--depart-epoch", &depart_epoch.to_string()], hb].concat(),
     )?);
     println!("orchestrate: workers 0 and 1 training; 1 departs at epoch {depart_epoch}");
 
     // The scale-up: worker 2 was never in the server's initial set; it
     // registers mid-run and rebases its pulls onto the acked versions.
+    // With restarts armed it is also the chaos victim: a scripted silent
+    // death at --kill-round, for the recovery scenario below.
     std::thread::sleep(std::time::Duration::from_millis(join_delay_ms));
-    reap.0.push(spawn_worker(2, &["--register"])?);
+    let kill = kill_round.to_string();
+    let victim_extra: Vec<&str> = if max_restarts > 0 {
+        [&["--register", "--chaos-kill-round", &kill], hb].concat()
+    } else {
+        vec!["--register"]
+    };
+    reap.0.push(spawn_worker(2, &victim_extra)?);
     println!("orchestrate: worker 2 joining mid-run");
 
-    for id in 0..3 {
+    for id in 0..2 {
         let status = reap.0[id + 1]
             .wait()
             .map_err(|e| format!("wait worker {id}: {e}"))?;
         if !status.success() {
             return Err(format!("worker {id} exited with {status}"));
         }
+    }
+
+    // Supervise the (possibly chaos-stricken) worker 2 under the same
+    // restart policy the in-process trainer uses: a nonzero exit spends
+    // one grant, waits the backoff, and re-admits a replacement through
+    // the register/rebase path — until the budget is exhausted.
+    let mut budget = RestartPolicy::new(
+        max_restarts,
+        std::time::Duration::from_millis(restart_backoff_ms),
+    )
+    .budget();
+    let mut restarts = 0u32;
+    loop {
+        let status = reap
+            .0
+            .last_mut()
+            .expect("worker 2 was spawned")
+            .wait()
+            .map_err(|e| format!("wait worker 2: {e}"))?;
+        if status.success() {
+            break;
+        }
+        let Some(delay) = budget.grant() else {
+            return Err(format!(
+                "worker 2 exited with {status} and the restart budget is exhausted"
+            ));
+        };
+        restarts += 1;
+        println!(
+            "orchestrate: worker 2 lost ({status}); re-admitting a replacement in {delay:?} \
+             ({} restarts left)",
+            budget.remaining()
+        );
+        std::thread::sleep(delay);
+        reap.0
+            .push(spawn_worker(2, &[&["--register"], hb].concat())?);
     }
     println!("orchestrate: all workers finished and left the membership");
 
@@ -198,7 +274,8 @@ fn orchestrate_run() -> Result<String, String> {
     }
     reap.0.clear();
     Ok(format!(
-        "ORCHESTRATE OK: scaled 2 -> 3 -> 2 -> 0 workers; server finished at round {}",
+        "ORCHESTRATE OK: scaled 2 -> 3 -> 2 -> 0 workers, {restarts} replacement(s); \
+         server finished at round {}",
         versions.iter().copied().min().unwrap_or(0)
     ))
 }
@@ -259,6 +336,17 @@ fn cmd_train() {
         .with_server_opt(server_opt);
     if flag("profile") {
         cfg = cfg.with_profiling(true);
+    }
+    // `--max-restarts N` arms hot worker replacement (DESIGN.md §14):
+    // a lost worker is respawned in place, resuming at the first epoch
+    // it never finished, instead of aborting the run.
+    let max_restarts: u32 = arg_or("max-restarts", 0);
+    if max_restarts > 0 {
+        let backoff_ms: u64 = arg_or("restart-backoff-ms", 250);
+        cfg = cfg.with_restart_policy(RestartPolicy::new(
+            max_restarts,
+            std::time::Duration::from_millis(backoff_ms),
+        ));
     }
     // `--trace <path>` streams the whole telemetry event model — op
     // spans (with --profile), epoch rollups, server round lifecycle —

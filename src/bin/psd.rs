@@ -9,6 +9,7 @@
 //! psd --shard 0 --num-shards 2 --workers 2 --lr 0.2 \
 //!     [--momentum 0.9 [--nesterov]] \
 //!     [--min-quorum 1] [--heartbeat-ms 500] \
+//!     [--checkpoint-dir ck [--checkpoint-every 16] [--resume]] \
 //!     --model mlp:8,32,4 --seed 5 --port 0 \
 //!     [--trace trace.jsonl] [--stats]
 //! ```
@@ -37,15 +38,28 @@
 //! to the current active set (`--workers` is then only the initial set).
 //! Without either flag membership is fixed and runs stay bit-identical
 //! to earlier releases.
+//!
+//! `--checkpoint-dir <dir>` arms the fault-recovery subsystem
+//! (DESIGN.md §14): with `--checkpoint-every <rounds>` the shard writes
+//! an atomic durable snapshot of its weights and optimizer state each
+//! time every key crosses a round boundary that is a multiple of the
+//! interval; without it, snapshots happen only on demand (the
+//! `Checkpoint` wire message). `--resume` restarts the shard from the
+//! latest *complete* checkpoint set in the directory — a round missing
+//! any shard's file is ignored, so resume never mixes versions — or
+//! from the initial weights when none exists. Resume notes go to
+//! stderr; `LISTENING` stays the first stdout line.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use cd_sgd::{Console, Telemetry};
 use cd_sgd_repro::deploy::{
-    arg, arg_or, flag, initial_weights, parse_elastic, parse_server_opt, trace_telemetry,
+    arg, arg_or, flag, initial_weights, parse_elastic, parse_recovery, parse_server_opt,
+    trace_telemetry,
 };
 use cdsgd_net::{NetConfig, TcpAcceptor};
+use cdsgd_ps::recover::{load_latest, CheckpointPolicy, Durability};
 use cdsgd_ps::{partition_keys, PsNetServer, ServerConfig};
 
 fn main() {
@@ -91,13 +105,51 @@ fn main() {
         }
     }
 
+    // Fault recovery (DESIGN.md §14): optionally restore from the
+    // latest complete checkpoint set and/or arm scheduled snapshots.
+    let recovery = parse_recovery(&argv).unwrap_or_else(|e| {
+        console.error(e);
+        std::process::exit(2)
+    });
+    let mut durability = Durability::default();
+    if let Some(dir) = &recovery.dir {
+        if recovery.resume {
+            match load_latest(dir, shard, num_shards) {
+                Ok(Some(ckpt)) => {
+                    console.status(format_args!(
+                        "psd shard {shard}: resuming from checkpoint at round {}",
+                        ckpt.round
+                    ));
+                    durability.restore = Some(ckpt.into_restored());
+                }
+                Ok(None) => console.status(format_args!(
+                    "psd shard {shard}: no complete checkpoint set in {}; starting fresh",
+                    dir.display()
+                )),
+                Err(e) => {
+                    console.error(format_args!(
+                        "psd shard {shard}: cannot resume from {}: {e}",
+                        dir.display()
+                    ));
+                    std::process::exit(1);
+                }
+            }
+        }
+        durability.checkpoint = Some(CheckpointPolicy::new(
+            dir.clone(),
+            recovery.every,
+            shard,
+            num_shards,
+        ));
+    }
+
     // Supervision verdicts (expired rounds) render on stderr through
     // the console sink; `--trace` adds the full JSONL event stream.
     // The trace handle stays separate so it can be flushed before the
     // final contract line.
     let trace = trace_telemetry();
     let telemetry = Telemetry::new(Arc::new(Console::new())).and(&trace);
-    let server = PsNetServer::start_traced(shard_init, cfg, telemetry);
+    let server = PsNetServer::start_durable(shard_init, cfg, telemetry, durability);
     let (acceptor, addr) =
         TcpAcceptor::bind(("127.0.0.1", port), NetConfig::default()).expect("bind TCP listener");
 

@@ -37,9 +37,22 @@
 //! e.g. a mid-run scale-up) and sends a graceful `Leave` once training
 //! finishes, so stragglers keep completing rounds without it.
 //! `--depart-epoch N` instead leaves mid-run, at the start of epoch N
-//! (a scale-down; requires `--id` ≥ 1).
+//! (a scale-down; requires `--id` ≥ 1). `--heartbeat-ms N` emits a
+//! liveness heartbeat to every shard each N milliseconds from a
+//! background thread, so a server-side heartbeat timeout evicts only
+//! replicas that actually died — pick an interval well below the
+//! server's `--heartbeat-ms` eviction window.
+//!
+//! Fault recovery (DESIGN.md §14): `--checkpoint-dir <dir>` writes this
+//! replica's private state (local model and the algorithm's residual or
+//! accumulation buffers) after each epoch — every
+//! `--checkpoint-every <epochs>` epochs — and `--start-epoch N` resumes
+//! from epoch N, restoring that state when a matching checkpoint exists
+//! and re-basing on the server's globals otherwise.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use cd_sgd::{run_standalone_worker, Console, Telemetry, TrainConfig, WorkerFault};
 use cd_sgd_repro::deploy::{
@@ -71,6 +84,20 @@ fn main() {
     let model = arg("model").unwrap_or_else(|| "mlp:8,32,4".to_string());
     let shutdown = flag("shutdown");
     let register = flag("register");
+    let heartbeat_ms: u64 = arg_or("heartbeat-ms", 0);
+    let start_epoch: usize = arg_or("start-epoch", 0);
+    let ckpt_dir = arg("checkpoint-dir");
+    let ckpt_every: usize = arg_or("checkpoint-every", 1);
+    if start_epoch >= epochs {
+        console.error(format_args!(
+            "--start-epoch {start_epoch} must be below --epochs {epochs}"
+        ));
+        std::process::exit(2);
+    }
+    if ckpt_every == 0 {
+        console.error("--checkpoint-every must be at least 1 epoch");
+        std::process::exit(2);
+    }
     let depart_epoch: Option<usize> = arg("depart-epoch").map(|v| {
         v.parse().unwrap_or_else(|_| {
             console.error(format_args!(
@@ -126,6 +153,12 @@ fn main() {
     if let Some(epoch) = depart_epoch {
         cfg = cfg.with_departure(id, epoch);
     }
+    if start_epoch > 0 {
+        cfg = cfg.with_start_epoch(start_epoch);
+    }
+    if let Some(dir) = &ckpt_dir {
+        cfg = cfg.with_worker_checkpoints(dir, ckpt_every);
+    }
 
     console.status(format_args!(
         "worker {id}/{workers}: {} train samples, {num_keys} keys over {} shards",
@@ -135,16 +168,19 @@ fn main() {
     let cluster = NetCluster::connect_traced(&servers, num_keys, NetConfig::default(), telemetry)
         .expect("connect to servers");
     let client = cluster.client().expect("open shard connections");
-    // `--register`: keep a shared handle so the goodbye after training
-    // rides the same ordered connections the pushes used (the server
-    // then sees every push of the final round before the Leave).
-    let (client, membership): (Box<dyn ParamClient>, Option<Arc<dyn ParamClient>>) = if register {
-        let shared: Arc<dyn ParamClient> = Arc::from(client);
-        (Box::new(Arc::clone(&shared)), Some(shared))
-    } else {
-        (client, None)
-    };
-    let client: Box<dyn ParamClient> = if let Some(shared) = &membership {
+    // `--register` / `--heartbeat-ms`: keep a shared handle so the
+    // goodbye after training and the background heartbeats ride the
+    // same ordered connections the pushes use (the server then sees
+    // every push of the final round before the Leave).
+    let (client, membership): (Box<dyn ParamClient>, Option<Arc<dyn ParamClient>>) =
+        if register || heartbeat_ms > 0 {
+            let shared: Arc<dyn ParamClient> = Arc::from(client);
+            (Box::new(Arc::clone(&shared)), Some(shared))
+        } else {
+            (client, None)
+        };
+    let client: Box<dyn ParamClient> = if register {
+        let shared = membership.as_ref().expect("register keeps a shared handle");
         let versions = shared.register(id).unwrap_or_else(|e| {
             console.error(format_args!("worker {id}: registration failed: {e}"));
             std::process::exit(1);
@@ -164,6 +200,32 @@ fn main() {
     } else {
         client
     };
+    // Liveness emission for the servers' heartbeat-timeout eviction
+    // sweep: a background thread, so a worker blocked in a long local
+    // computation (or a slow pull) still proves it is alive. Sending is
+    // mutex-serialised with the training pushes inside the client.
+    let hb_stop = Arc::new(AtomicBool::new(false));
+    let hb_thread = (heartbeat_ms > 0).then(|| {
+        let shared = Arc::clone(
+            membership
+                .as_ref()
+                .expect("heartbeat keeps a shared handle"),
+        );
+        let stop = Arc::clone(&hb_stop);
+        std::thread::Builder::new()
+            .name("heartbeat".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    // A failed send means the connection is gone; the
+                    // training thread will surface the real error.
+                    if shared.heartbeat(id).is_err() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(heartbeat_ms));
+                }
+            })
+            .expect("spawn heartbeat thread")
+    });
     let client: Box<dyn ParamClient> = match chaos_kill_round {
         Some(round) => {
             console.status(format_args!(
@@ -197,8 +259,12 @@ fn main() {
         "worker {id}: finished {} epochs",
         report.len()
     ));
+    if let Some(t) = hb_thread {
+        hb_stop.store(true, Ordering::Relaxed);
+        let _ = t.join();
+    }
     // A scripted departure already said goodbye from inside the run.
-    if depart_epoch.is_none() {
+    if register && depart_epoch.is_none() {
         if let Some(shared) = &membership {
             if let Err(e) = shared.leave(id) {
                 console.error(format_args!("worker {id}: leave failed: {e}"));

@@ -160,6 +160,43 @@ pub fn parse_elastic(args: &[String]) -> Result<Option<cdsgd_ps::ElasticConfig>,
     Ok(Some(elastic))
 }
 
+/// Recovery flags shared by the server-shard front ends:
+/// `--checkpoint-dir <dir>` names the durable snapshot directory,
+/// `--checkpoint-every <rounds>` schedules writes at round boundaries
+/// (without it the shard only snapshots on demand), and `--resume` asks
+/// the shard to restart from the latest complete checkpoint set.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryFlags {
+    /// `--checkpoint-dir`, when present.
+    pub dir: Option<std::path::PathBuf>,
+    /// `--checkpoint-every`, when present (validated positive).
+    pub every: Option<u64>,
+    /// `--resume` switch.
+    pub resume: bool,
+}
+
+/// Parse [`RecoveryFlags`] out of `args`. Both `--checkpoint-every` and
+/// `--resume` need `--checkpoint-dir` to mean anything, so either
+/// without it is an error rather than a silently inert flag.
+pub fn parse_recovery(args: &[String]) -> Result<RecoveryFlags, String> {
+    let dir = lookup(args, "checkpoint-dir").map(std::path::PathBuf::from);
+    let every: Option<u64> = match lookup(args, "checkpoint-every") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("invalid value for --checkpoint-every: {v}"))?,
+        ),
+    };
+    let resume = args.iter().any(|a| a == "--resume");
+    if every == Some(0) {
+        return Err("--checkpoint-every must be at least 1 round".into());
+    }
+    if dir.is_none() && (every.is_some() || resume) {
+        return Err("--checkpoint-every and --resume need --checkpoint-dir".into());
+    }
+    Ok(RecoveryFlags { dir, every, resume })
+}
+
 /// Parse the server-side optimizer from `--momentum <μ>` and the
 /// `--nesterov` switch in `args`: no momentum means plain SGD (the
 /// paper's eq. 10), a positive momentum selects heavy-ball, and
@@ -359,6 +396,45 @@ mod tests {
             "--min-quorum 1 --heartbeat-ms -5",
         ] {
             let err = parse_elastic(&argv(args)).expect_err(&format!("args should fail: {args}"));
+            assert!(!err.is_empty());
+        }
+    }
+
+    #[test]
+    fn parse_recovery_maps_flags() {
+        use std::path::PathBuf;
+        // No flags: recovery stays off, the bit-identical default.
+        assert_eq!(parse_recovery(&argv("")).unwrap(), RecoveryFlags::default());
+        assert_eq!(
+            parse_recovery(&argv("--checkpoint-dir /tmp/ck")).unwrap(),
+            RecoveryFlags {
+                dir: Some(PathBuf::from("/tmp/ck")),
+                every: None,
+                resume: false,
+            }
+        );
+        assert_eq!(
+            parse_recovery(&argv(
+                "--checkpoint-dir /tmp/ck --checkpoint-every 8 --resume"
+            ))
+            .unwrap(),
+            RecoveryFlags {
+                dir: Some(PathBuf::from("/tmp/ck")),
+                every: Some(8),
+                resume: true,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_recovery_rejects_bad_values_without_panicking() {
+        for args in [
+            "--checkpoint-dir /tmp/ck --checkpoint-every 0",
+            "--checkpoint-dir /tmp/ck --checkpoint-every often",
+            "--checkpoint-every 4",
+            "--resume",
+        ] {
+            let err = parse_recovery(&argv(args)).expect_err(&format!("args should fail: {args}"));
             assert!(!err.is_empty());
         }
     }

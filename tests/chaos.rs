@@ -9,7 +9,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cd_sgd::{Algorithm, TrainConfig, Trainer, WorkerFault};
+use cd_sgd::{Algorithm, RestartPolicy, TrainConfig, Trainer, WorkerFault};
 use cd_sgd_repro::deploy;
 use cdsgd_compress::{BufferPool, Compressed};
 use cdsgd_net::{FaultPlan, FaultyTransport, NetConfig, NetError, TcpAcceptor, TcpTransport};
@@ -140,6 +140,80 @@ fn killed_worker_preserves_completed_epochs_in_history() {
     assert_eq!(failure.history.epochs.len(), 1, "epoch 0 completed");
     let aborted = failure.history.aborted.expect("abort recorded");
     assert_eq!(aborted.epoch, 1, "died during epoch 1");
+}
+
+#[test]
+fn replaced_worker_completes_the_run_bit_identically() {
+    // Hot replacement (DESIGN.md §14): worker 1 dies exactly at the
+    // epoch-1 boundary — having pushed every round of epoch 0 and
+    // nothing of epoch 1 — and the restart policy respawns it resuming
+    // at epoch 1. The replacement continues the same per-worker push
+    // queue at the same positions, so the run must not merely complete:
+    // it must be bit-identical to the fault-free run.
+    let fault_free = chaos_trainer(Algorithm::SSgd, 3, |cfg| cfg).run();
+    let ipe = chaos_trainer(Algorithm::SSgd, 3, |cfg| cfg).iters_per_epoch() as u64;
+    let trainer = chaos_trainer(Algorithm::SSgd, 3, |cfg| {
+        cfg.with_fault(1, WorkerFault::KillAtRound { round: ipe })
+            .with_restart_policy(RestartPolicy::new(1, Duration::from_millis(10)))
+    });
+    let start = Instant::now();
+    let history = trainer
+        .try_run_with(in_process)
+        .expect("the replacement must absorb the loss");
+    assert!(start.elapsed() < BUDGET, "replacement run stalled");
+    assert!(
+        history.aborted.is_none(),
+        "a granted restart is not an abort"
+    );
+    assert_eq!(history.epochs.len(), 3, "every epoch must complete");
+    assert_eq!(
+        history.final_weights, fault_free.final_weights,
+        "epoch-aligned replacement must be bit-identical"
+    );
+}
+
+#[test]
+fn replaced_worker_restores_strategy_state_from_checkpoint() {
+    // The stateful-algorithm variant: EF-SGD's worker-private velocity
+    // and error-feedback residuals do not live on the server, so a
+    // bit-identical replacement needs the worker checkpoint written at
+    // the epoch boundary. With `with_worker_checkpoints` the respawned
+    // worker reloads model + strategy blobs and the run stays exact.
+    let dir = std::env::temp_dir().join(format!("cdsgd_wkpt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let fault_free = chaos_trainer(Algorithm::ef_sgd(0.9), 3, |cfg| cfg).run();
+    let ipe = chaos_trainer(Algorithm::ef_sgd(0.9), 3, |cfg| cfg).iters_per_epoch() as u64;
+    let trainer = chaos_trainer(Algorithm::ef_sgd(0.9), 3, |cfg| {
+        cfg.with_fault(1, WorkerFault::KillAtRound { round: ipe })
+            .with_restart_policy(RestartPolicy::new(1, Duration::from_millis(10)))
+            .with_worker_checkpoints(&dir, 1)
+    });
+    let history = trainer
+        .try_run_with(in_process)
+        .expect("the replacement must absorb the loss");
+    assert!(history.aborted.is_none());
+    assert_eq!(
+        history.final_weights, fault_free.final_weights,
+        "checkpointed EF-SGD replacement must be bit-identical"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restart_policy_does_not_perturb_fault_free_runs() {
+    // Arming the policy without a fault must leave training untouched:
+    // the Respawner only changes behaviour when a worker actually dies.
+    let plain = chaos_trainer(Algorithm::cd_sgd(0.05, 0.05, 2, 3), 2, |cfg| cfg).run();
+    let armed = chaos_trainer(Algorithm::cd_sgd(0.05, 0.05, 2, 3), 2, |cfg| {
+        cfg.with_restart_policy(RestartPolicy::new(2, Duration::from_millis(10)))
+    })
+    .try_run_with(in_process)
+    .expect("fault-free armed run succeeds");
+    assert!(armed.aborted.is_none());
+    assert_eq!(
+        armed.final_weights, plain.final_weights,
+        "an unused restart policy perturbed training"
+    );
 }
 
 #[test]
@@ -312,6 +386,138 @@ fn tcp_leave_below_quorum_fails_the_server_with_typed_error() {
     drop(survivor);
     drop(leaver);
     server.shutdown();
+}
+
+#[test]
+fn tcp_process_kill_and_replace_completes_within_tolerance() {
+    // The full kill-and-replace scenario across real OS processes: an
+    // elastic `psd` shard with a heartbeat eviction window, worker 0
+    // healthy (emitting heartbeats), worker 1 scripted to die silently
+    // mid-run. The server must evict the corpse instead of stalling,
+    // and a replacement re-admitted through the register/rebase path
+    // must finish training — no `WorkerLost` abort anywhere — with a
+    // final model whose quality is within tolerance of the fault-free
+    // run (the elastic path trades bit-identity for availability).
+    use std::io::{BufRead, BufReader};
+    use std::process::{Command, Stdio};
+
+    const MODEL: &str = "mlp:8,32,4";
+    const SEED: u64 = 5;
+    const EPOCHS: usize = 3;
+
+    // Fault-free reference: the same configuration in-process.
+    let (train, test) = deploy::build_dataset("blobs", 480, SEED);
+    let reference = Trainer::new(
+        TrainConfig::new(Algorithm::SSgd, 2)
+            .with_lr(0.2)
+            .with_batch_size(16)
+            .with_epochs(EPOCHS)
+            .with_seed(SEED),
+        |rng| deploy::build_model(MODEL, rng),
+        train.clone(),
+        Some(test.clone()),
+    )
+    .run();
+    let reference_acc = accuracy_of(&reference.final_weights, &test);
+
+    struct Reap(Vec<std::process::Child>);
+    impl Drop for Reap {
+        fn drop(&mut self) {
+            for c in &mut self.0 {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+        }
+    }
+    let mut reap = Reap(Vec::new());
+
+    // One elastic shard: eviction window well above the workers'
+    // heartbeat interval, min-quorum 1 so the pool may drain.
+    let mut psd = Command::new(env!("CARGO_BIN_EXE_psd"))
+        .args(["--shard", "0", "--num-shards", "1", "--workers", "2"])
+        .args(["--min-quorum", "1", "--heartbeat-ms", "1200"])
+        .args(["--lr", "0.2", "--port", "0"])
+        .args(["--model", MODEL, "--seed", &SEED.to_string()])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn psd");
+    let mut psd_out = BufReader::new(psd.stdout.take().expect("psd stdout piped"));
+    reap.0.push(psd);
+    let mut line = String::new();
+    psd_out.read_line(&mut line).expect("read LISTENING line");
+    let addr = line
+        .trim()
+        .strip_prefix("LISTENING ")
+        .unwrap_or_else(|| panic!("unexpected psd output: {line:?}"))
+        .to_string();
+
+    let spawn_worker = |id: usize, extra: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_worker"))
+            .args(["--id", &id.to_string(), "--workers", "2"])
+            .args(["--servers", &addr, "--algo", "ssgd"])
+            .args(["--dataset", "blobs", "--samples", "480", "--batch", "16"])
+            .args(["--epochs", &EPOCHS.to_string(), "--lr", "0.2"])
+            .args(["--model", MODEL, "--seed", &SEED.to_string()])
+            .args(["--heartbeat-ms", "50"])
+            .args(extra)
+            .spawn()
+            .expect("spawn worker")
+    };
+
+    // Worker 0 registers so its end-of-run Leave shrinks the quorum;
+    // worker 1 is the victim, dying silently mid-run.
+    reap.0.push(spawn_worker(0, &["--register"]));
+    reap.0.push(spawn_worker(1, &["--chaos-kill-round", "12"]));
+
+    let start = Instant::now();
+    let victim_status = reap.0[2].wait().expect("wait victim");
+    assert!(
+        !victim_status.success(),
+        "the scripted death must exit nonzero"
+    );
+    // Re-admit a replacement for the evicted id through register/rebase.
+    reap.0.push(spawn_worker(1, &["--register"]));
+
+    for idx in [1, 3] {
+        let status = reap.0[idx].wait().expect("wait worker");
+        assert!(status.success(), "process {idx} exited with {status}");
+        assert!(start.elapsed() < BUDGET, "kill-and-replace run stalled");
+    }
+
+    // Controller epilogue: snapshot the drained shard, shut it down, and
+    // compare model quality against the fault-free reference.
+    let num_keys = deploy::initial_weights(MODEL, SEED).len();
+    let addrs = [addr];
+    let cluster =
+        NetCluster::connect(&addrs, num_keys, NetConfig::default()).expect("controller connect");
+    let (weights, _versions) = cluster.snapshot().expect("snapshot");
+    Box::new(cluster).shutdown();
+    let psd_status = reap.0[0].wait().expect("wait psd");
+    assert!(psd_status.success(), "psd exited with {psd_status}");
+    reap.0.clear();
+
+    let chaos_acc = accuracy_of(&weights, &test);
+    assert!(
+        (chaos_acc - reference_acc).abs() <= 0.25,
+        "kill-and-replace accuracy {chaos_acc} strays too far from fault-free {reference_acc}"
+    );
+}
+
+/// Test-set accuracy of a weight snapshot, for tolerance comparisons.
+fn accuracy_of(weights: &[Vec<f32>], test: &cdsgd_data::Dataset) -> f32 {
+    use cdsgd_nn::{Layer, Mode, SoftmaxCrossEntropy};
+    let mut rng = cdsgd_tensor::SmallRng64::new(1);
+    let mut model = deploy::build_model("mlp:8,32,4", &mut rng);
+    model.import_params(weights);
+    let loss_fn = SoftmaxCrossEntropy;
+    let mut correct = 0.0f64;
+    let mut total = 0usize;
+    for batch in test.batches(64) {
+        let logits = model.forward(&batch.x, Mode::Eval);
+        correct += loss_fn.accuracy(&logits, &batch.y) as f64 * batch.y.len() as f64;
+        total += batch.y.len();
+    }
+    (correct / total.max(1) as f64) as f32
 }
 
 #[test]
