@@ -39,6 +39,23 @@ pub enum NetError {
         /// First round that can no longer complete.
         round: u64,
     },
+    /// A cross-shard membership operation did not complete cleanly on
+    /// every shard. For a two-phase `register`, the join was already
+    /// rolled back on the shards that had admitted the worker before
+    /// this error returned; for a best-effort `leave`, every shard was
+    /// still attempted.
+    Membership {
+        /// The operation that failed: `"register"` or `"leave"`.
+        op: &'static str,
+        /// Shard indices that failed, in shard order.
+        shards: Vec<usize>,
+        /// The last underlying per-shard failure.
+        last: Box<NetError>,
+    },
+    /// A `Register` was issued on a connection that already has one
+    /// outstanding: the single reply slot would silently drop the first
+    /// caller's ack, so the second request is rejected instead.
+    RegisterPending,
 }
 
 impl fmt::Display for NetError {
@@ -59,6 +76,15 @@ impl fmt::Display for NetError {
             NetError::ServerGone => write!(f, "parameter server is gone"),
             NetError::WorkerLost { id, round } => {
                 write!(f, "worker {id} lost; round {round} cannot complete")
+            }
+            NetError::Membership { op, shards, last } => {
+                write!(f, "membership {op} failed on shard(s) {shards:?}: {last}")
+            }
+            NetError::RegisterPending => {
+                write!(
+                    f,
+                    "a registration is already outstanding on this connection"
+                )
             }
         }
     }
@@ -107,6 +133,23 @@ mod tests {
         let e = NetError::WorkerLost { id: 3, round: 17 };
         let s = e.to_string();
         assert!(s.contains('3') && s.contains("17"), "{s}");
+    }
+
+    #[test]
+    fn membership_display_names_op_shards_and_cause() {
+        let e = NetError::Membership {
+            op: "register",
+            shards: vec![1, 3],
+            last: Box::new(NetError::Closed),
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("register") && s.contains('1') && s.contains('3') && s.contains("closed"),
+            "{s}"
+        );
+        assert!(NetError::RegisterPending
+            .to_string()
+            .contains("outstanding"));
     }
 
     #[test]

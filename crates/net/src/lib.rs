@@ -24,7 +24,8 @@ pub mod wire;
 pub use error::NetError;
 pub use fault::{FaultPlan, FaultyTransport};
 pub use transport::{
-    loopback_pair, LoopbackTransport, NetConfig, TcpAcceptor, TcpTransport, Transport,
+    loopback_pair, LoopbackTransport, NetConfig, ReconnectConfig, TcpAcceptor, TcpTransport,
+    Transport, RECONNECT_BACKOFF_CAP,
 };
 pub use wire::{
     decode_compressed, decode_msg, encode_compressed_into, encode_msg_into, pull_reply_frame_bytes,

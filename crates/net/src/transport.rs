@@ -63,6 +63,45 @@ impl Default for NetConfig {
     }
 }
 
+/// Ceiling on any single reconnect backoff sleep, mirroring the connect
+/// backoff cap.
+pub const RECONNECT_BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// Client-side auto-reconnect policy: how a worker survives a transient
+/// link drop to a parameter-server shard (redial every shard, re-register,
+/// replay unaggregated pushes — see `cdsgd-ps`). Never armed by default;
+/// a config with `retries == 0` disables reconnection entirely and the
+/// fault-free code paths are untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconnectConfig {
+    /// Redial attempts per link drop before the failure becomes fatal.
+    pub retries: u32,
+    /// Base of the exponential redial backoff: attempt `i` (0-based)
+    /// sleeps `backoff << i`, capped at [`RECONNECT_BACKOFF_CAP`].
+    pub backoff: Duration,
+}
+
+impl Default for ReconnectConfig {
+    fn default() -> Self {
+        Self {
+            retries: 5,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl ReconnectConfig {
+    /// The bounded-exponential sleep before redial attempt `attempt`
+    /// (0-based): `backoff · 2^attempt`, capped at
+    /// [`RECONNECT_BACKOFF_CAP`].
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let exp = self
+            .backoff
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX));
+        exp.min(RECONNECT_BACKOFF_CAP)
+    }
+}
+
 /// A bidirectional, connection-oriented frame transport.
 ///
 /// Implementations are `Send` so one endpoint can be driven from a
@@ -665,6 +704,20 @@ mod tests {
             io_timeout: Some(Duration::from_millis(500)),
             nodelay: true,
         }
+    }
+
+    #[test]
+    fn reconnect_backoff_doubles_and_caps() {
+        let rc = ReconnectConfig {
+            retries: 8,
+            backoff: Duration::from_millis(50),
+        };
+        assert_eq!(rc.backoff_for(0), Duration::from_millis(50));
+        assert_eq!(rc.backoff_for(1), Duration::from_millis(100));
+        assert_eq!(rc.backoff_for(3), Duration::from_millis(400));
+        assert_eq!(rc.backoff_for(6), RECONNECT_BACKOFF_CAP);
+        // Shift overflow saturates instead of wrapping.
+        assert_eq!(rc.backoff_for(40), RECONNECT_BACKOFF_CAP);
     }
 
     #[test]

@@ -60,11 +60,26 @@ impl PsClient {
     /// Push a gradient payload for `key` on behalf of `worker`.
     /// Non-blocking: aggregation happens on the server thread.
     pub fn push(&self, worker: usize, key: Key, payload: Compressed) -> Result<(), NetError> {
+        self.push_from(0, worker, key, payload)
+    }
+
+    /// [`PsClient::push`] attributed to a transport connection, so an
+    /// elastic server can fence stragglers from a connection the
+    /// worker's latest registration superseded (0 = in-process, never
+    /// fenced against).
+    pub(crate) fn push_from(
+        &self,
+        conn: u64,
+        worker: usize,
+        key: Key,
+        payload: Compressed,
+    ) -> Result<(), NetError> {
         self.tx
             .send(Msg::Push {
                 worker,
                 key,
                 payload,
+                conn,
             })
             .map_err(|_| NetError::ServerGone)
     }
@@ -135,10 +150,22 @@ impl PsClient {
 
     /// Fire-and-forget registration (event-loop support).
     pub(crate) fn join_async(&self, worker: usize) -> Result<Receiver<Vec<u64>>, NetError> {
+        self.join_async_from(0, worker)
+    }
+
+    /// [`PsClient::join_async`] attributed to a transport connection:
+    /// on an elastic server the registering connection becomes the
+    /// worker's owner for push fencing (0 = in-process, fences nothing).
+    pub(crate) fn join_async_from(
+        &self,
+        conn: u64,
+        worker: usize,
+    ) -> Result<Receiver<Vec<u64>>, NetError> {
         let (reply_tx, reply_rx) = bounded(1);
         self.tx
             .send(Msg::Join {
                 worker,
+                conn,
                 reply: reply_tx,
             })
             .map_err(|_| NetError::ServerGone)?;

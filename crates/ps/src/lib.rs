@@ -54,7 +54,7 @@ pub use api::{InProcessBackend, ParamClient, PsBackend, RebasedClient};
 pub use cdsgd_net::NetError;
 pub use client::{PendingPull, PsClient};
 pub use fault::{FaultyClient, WorkerFault};
-pub use net::{NetCluster, PsNetServer, RemoteClient};
+pub use net::{NetCluster, PsNetServer, ReconnectingClient, RemoteClient};
 pub use opt::{HeavyBall, Nesterov, PlainSgd, ServerOpt, ServerOptKind};
 pub use recover::{CheckpointError, CheckpointPolicy, Durability, RestoredState, ShardCheckpoint};
 pub use server::{ElasticConfig, ParamServer, ServerConfig};

@@ -30,7 +30,10 @@ use crate::stats::TrafficStats;
 use crate::Key;
 use cdsgd_compress::{BufferPool, Compressed};
 use cdsgd_net::wire::{self, WireMsg, FRAME_PREFIX_BYTES};
-use cdsgd_net::{loopback_pair, NetConfig, NetError, TcpAcceptor, TcpTransport, Transport};
+use cdsgd_net::{
+    loopback_pair, FaultPlan, FaultyTransport, NetConfig, NetError, ReconnectConfig, TcpAcceptor,
+    TcpTransport, Transport,
+};
 use cdsgd_telemetry::Event;
 use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::collections::VecDeque;
@@ -380,7 +383,7 @@ fn service_conn(
                 worker,
                 key,
                 payload,
-            } => client.push(worker as usize, key as usize, payload)?,
+            } => client.push_from(c.id, worker as usize, key as usize, payload)?,
             WireMsg::Pull { key, min_version } => {
                 let pending = client.pull_async(key as usize, min_version)?;
                 c.replies.push_back(Reply::Pull {
@@ -393,9 +396,9 @@ fn service_conn(
             WireMsg::Snapshot => c
                 .replies
                 .push_back(Reply::Snapshot(client.snapshot_async()?)),
-            WireMsg::Register { worker } => c
-                .replies
-                .push_back(Reply::Register(client.join_async(worker as usize)?)),
+            WireMsg::Register { worker } => c.replies.push_back(Reply::Register(
+                client.join_async_from(c.id, worker as usize)?,
+            )),
             WireMsg::Heartbeat { worker } => client.heartbeat(worker as usize)?,
             WireMsg::Leave { worker } => client.leave(worker as usize)?,
             WireMsg::Checkpoint => c
@@ -631,21 +634,46 @@ impl RemoteClient {
         Ok(n)
     }
 
-    /// Fetch all weights + versions from this shard.
+    /// Fetch all weights + versions from this shard. Like
+    /// [`RemoteClient::register`], a concurrent second request is
+    /// rejected instead of silently dropping the first caller's slot.
     pub fn snapshot(&self) -> Result<(Vec<Vec<f32>>, Vec<u64>), NetError> {
         let (tx, rx) = bounded(1);
-        self.pending.lock().unwrap().snapshot = Some(tx);
-        self.send(&WireMsg::Snapshot)?;
+        {
+            let mut p = self.pending.lock().unwrap();
+            if p.snapshot.is_some() {
+                return Err(NetError::Io(
+                    "a snapshot request is already outstanding on this connection".into(),
+                ));
+            }
+            p.snapshot = Some(tx);
+        }
+        if let Err(e) = self.send(&WireMsg::Snapshot) {
+            self.pending.lock().unwrap().snapshot = None;
+            return Err(e);
+        }
         rx.recv().map_err(|_| NetError::ServerGone)
     }
 
     /// Ask this shard to write a durable checkpoint of its current state
     /// ([`WireMsg::Checkpoint`]). Returns the captured round, or `None`
-    /// if the shard refused (see [`PsClient::checkpoint_now`]).
+    /// if the shard refused (see [`PsClient::checkpoint_now`]). Subject
+    /// to the same single-outstanding-request guard as `snapshot`.
     pub fn checkpoint_now(&self) -> Result<Option<u64>, NetError> {
         let (tx, rx) = bounded(1);
-        self.pending.lock().unwrap().checkpoint = Some(tx);
-        self.send(&WireMsg::Checkpoint)?;
+        {
+            let mut p = self.pending.lock().unwrap();
+            if p.checkpoint.is_some() {
+                return Err(NetError::Io(
+                    "a checkpoint request is already outstanding on this connection".into(),
+                ));
+            }
+            p.checkpoint = Some(tx);
+        }
+        if let Err(e) = self.send(&WireMsg::Checkpoint) {
+            self.pending.lock().unwrap().checkpoint = None;
+            return Err(e);
+        }
         rx.recv().map_err(|_| NetError::ServerGone)
     }
 
@@ -695,12 +723,27 @@ impl ParamClient for RemoteClient {
         self.send(&WireMsg::SetLr { lr }).map(|_| ())
     }
 
+    /// Register over this connection. A second register while one is
+    /// outstanding is rejected with [`NetError::RegisterPending`]: the
+    /// single reply slot would otherwise silently drop the first
+    /// caller's sender, leaving it to starve and misdeliver the ack.
     fn register(&self, worker: usize) -> Result<Vec<u64>, NetError> {
         let (tx, rx) = bounded(1);
-        self.pending.lock().unwrap().register = Some(tx);
-        self.send(&WireMsg::Register {
+        {
+            let mut p = self.pending.lock().unwrap();
+            if p.register.is_some() {
+                return Err(NetError::RegisterPending);
+            }
+            p.register = Some(tx);
+        }
+        if let Err(e) = self.send(&WireMsg::Register {
             worker: worker as u32,
-        })?;
+        }) {
+            // Nothing went out, so no ack can arrive: reclaim the slot
+            // (still ours — concurrent registers were rejected above).
+            self.pending.lock().unwrap().register = None;
+            return Err(e);
+        }
         rx.recv().map_err(|_| NetError::ServerGone)
     }
 
@@ -735,15 +778,558 @@ impl Drop for RemoteClient {
 }
 
 // ---------------------------------------------------------------------------
+// reconnect layer
+// ---------------------------------------------------------------------------
+
+/// Per-key bound on the reconnect replay buffer. Workers lag the server
+/// by at most one round (two for the deferred pulls of CD-SGD), so the
+/// unconfirmed suffix stays tiny; the bound only guards against a
+/// pathological run that pushes a key it never pulls.
+const REPLAY_DEPTH: usize = 8;
+
+/// One pull owned by the reconnect supervisor: the caller-requested
+/// global version, the (possibly clamped) version actually on the wire,
+/// the in-flight inner pull, and the channel the caller waits on.
+struct OutstandingPull {
+    key: Key,
+    version: u64,
+    issued: u64,
+    /// Session epoch the pull was issued under: a failure from an older
+    /// epoch must not trigger a redundant reconnect of the newer one.
+    epoch: u64,
+    pending: PendingPull,
+    out: Sender<Result<Arc<[f32]>, NetError>>,
+}
+
+enum PullCmd {
+    Pull {
+        key: Key,
+        version: u64,
+        out: Sender<Result<Arc<[f32]>, NetError>>,
+    },
+}
+
+/// The mutable half of a [`ReconnectingClient`]: the live connections
+/// plus the bookkeeping that makes a reconnect exactly-once.
+struct Session {
+    /// Bumped on every successful (or terminally failed) reconnect, so
+    /// concurrent failure observers of the *same* dead session trigger
+    /// one redial, not one each.
+    epoch: u64,
+    inner: ShardedClient<RemoteClient>,
+    /// Global per-key versions at the caller's registration (zeros for a
+    /// worker in the server's initial set): local round `r` of key `k`
+    /// is global version `base[k] + r`. Fixed for the client's lifetime —
+    /// replay guarantees reconnects never shift the mapping.
+    base: Vec<u64>,
+    /// Per-key count of pushes sent — the local round cursor.
+    pushed: Vec<u64>,
+    /// Per-key unconfirmed pushes as `(local_round, payload)`: kept
+    /// until a pull (or a re-register ack) proves the round aggregated,
+    /// replayed after a reconnect.
+    replay: Vec<VecDeque<(u64, Compressed)>>,
+    /// The most recent register ack (global versions), used to clamp
+    /// re-issued pulls the server can no longer serve exactly.
+    acked: Option<Vec<u64>>,
+    /// Terminal failure once the retry budget is exhausted; every
+    /// subsequent operation returns it.
+    failed: Option<NetError>,
+}
+
+/// Redial every shard, re-register, prune + replay unconfirmed pushes.
+/// Caller holds the session lock. `observed_epoch` is the epoch the
+/// caller saw the failure under: if the session has moved on since,
+/// another thread already reconnected and this call is a no-op.
+#[allow(clippy::too_many_arguments)]
+fn reconnect_session(
+    s: &mut Session,
+    dialer: &ShardDialer,
+    pool: &BufferPool,
+    worker: usize,
+    rc: &ReconnectConfig,
+    observed_epoch: u64,
+    reconnects: &AtomicU64,
+) -> Result<(), NetError> {
+    if let Some(e) = &s.failed {
+        return Err(e.clone());
+    }
+    if s.epoch != observed_epoch {
+        return Ok(());
+    }
+    let mut last = NetError::ServerGone;
+    for attempt in 0..rc.retries {
+        std::thread::sleep(rc.backoff_for(attempt));
+        let fresh = match dialer.dial(pool) {
+            Ok(clients) => ShardedClient::from_clients(clients, pool.clone()),
+            Err(e) => {
+                last = e;
+                continue;
+            }
+        };
+        // Re-register: re-admits the worker on every shard (the server
+        // clears the slot's stale queued pushes at admission) and acks
+        // the current global versions. Transactional, so a partial
+        // failure rolls itself back before we retry.
+        let acked = match fresh.register(worker) {
+            Ok(v) => v,
+            Err(e) => {
+                last = e;
+                continue;
+            }
+        };
+        // Prune: local rounds at or below the acked version were
+        // aggregated before the drop and must not be re-sent.
+        for (k, q) in s.replay.iter_mut().enumerate() {
+            let done = acked[k].saturating_sub(s.base[k]);
+            while q.front().is_some_and(|(r, _)| *r <= done) {
+                let (_, payload) = q.pop_front().expect("front checked");
+                payload.recycle(pool);
+            }
+        }
+        // Replay the unconsumed suffix in round order per key. The
+        // payloads stay buffered (re-cloned) in case this session drops
+        // too.
+        let mut replay_err = None;
+        'replay: for (k, q) in s.replay.iter().enumerate() {
+            for (_, payload) in q {
+                if let Err(e) = fresh.push(worker, k, payload.clone()) {
+                    replay_err = Some(e);
+                    break 'replay;
+                }
+            }
+        }
+        if let Some(e) = replay_err {
+            last = e;
+            continue;
+        }
+        s.inner = fresh;
+        s.acked = Some(acked);
+        s.epoch += 1;
+        reconnects.fetch_add(1, Ordering::Relaxed);
+        return Ok(());
+    }
+    s.failed = Some(last.clone());
+    s.epoch += 1;
+    Err(last)
+}
+
+/// A [`ParamClient`] that survives transient link drops: any send
+/// failure (or an outstanding pull resolving [`NetError::ServerGone`])
+/// triggers a bounded-backoff redial of every shard, a re-`Register`,
+/// and an exactly-once replay of the pushes the completed rounds did not
+/// consume; outstanding pulls are re-issued on the fresh connections by
+/// a supervisor thread. Requires an elastic server (re-registration is
+/// what clears the server-side queues); see DESIGN.md §13. Never built
+/// unless reconnect flags are set, so fault-free runs are untouched.
+pub struct ReconnectingClient {
+    dialer: ShardDialer,
+    worker: usize,
+    rc: ReconnectConfig,
+    pool: BufferPool,
+    session: Arc<Mutex<Session>>,
+    cmd_tx: Sender<PullCmd>,
+    supervisor: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    reconnects: Arc<AtomicU64>,
+}
+
+impl ReconnectingClient {
+    pub(crate) fn new(
+        dialer: ShardDialer,
+        worker: usize,
+        num_keys: usize,
+        rc: ReconnectConfig,
+    ) -> Result<Self, NetError> {
+        let pool = BufferPool::new();
+        let inner = ShardedClient::from_clients(dialer.dial(&pool)?, pool.clone());
+        let session = Arc::new(Mutex::new(Session {
+            epoch: 0,
+            inner,
+            base: vec![0; num_keys],
+            pushed: vec![0; num_keys],
+            replay: vec![VecDeque::new(); num_keys],
+            acked: None,
+            failed: None,
+        }));
+        let (cmd_tx, cmd_rx) = unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+        let reconnects = Arc::new(AtomicU64::new(0));
+        let supervisor = spawn_supervisor(
+            Arc::clone(&session),
+            dialer.clone(),
+            pool.clone(),
+            worker,
+            rc.clone(),
+            cmd_rx,
+            Arc::clone(&stop),
+            Arc::clone(&reconnects),
+        )?;
+        Ok(Self {
+            dialer,
+            worker,
+            rc,
+            pool,
+            session,
+            cmd_tx,
+            supervisor: Some(supervisor),
+            stop,
+            reconnects,
+        })
+    }
+
+    /// How many times this client successfully reconnected (diagnostics
+    /// and test hooks).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    fn reconnect_locked(&self, s: &mut Session, observed_epoch: u64) -> Result<(), NetError> {
+        reconnect_session(
+            s,
+            &self.dialer,
+            &self.pool,
+            self.worker,
+            &self.rc,
+            observed_epoch,
+            &self.reconnects,
+        )
+    }
+}
+
+/// Issue one pull on the current session, reconnecting as needed; on
+/// success the in-flight pull joins `outstanding`, on terminal failure
+/// the caller's channel gets the error.
+#[allow(clippy::too_many_arguments)]
+fn issue_pull(
+    session: &Mutex<Session>,
+    dialer: &ShardDialer,
+    pool: &BufferPool,
+    worker: usize,
+    rc: &ReconnectConfig,
+    reconnects: &AtomicU64,
+    key: Key,
+    version: u64,
+    out: Sender<Result<Arc<[f32]>, NetError>>,
+    outstanding: &mut Vec<OutstandingPull>,
+) {
+    loop {
+        let mut s = session.lock().unwrap();
+        if let Some(e) = &s.failed {
+            let _ = out.send(Err(e.clone()));
+            return;
+        }
+        // Clamp a pull the server can no longer serve exactly (only
+        // reachable through CD-SGD's one-round-deep deferred pulls when
+        // the drop ate the reply): `version - 1` is the oldest the
+        // server keeps, and anything older would trip its staleness
+        // panic.
+        let issued = match &s.acked {
+            Some(a) if version + 1 < a[key] => a[key] - 1,
+            _ => version,
+        };
+        match s.inner.pull_async(key, issued) {
+            Ok(pending) => {
+                outstanding.push(OutstandingPull {
+                    key,
+                    version,
+                    issued,
+                    epoch: s.epoch,
+                    pending,
+                    out,
+                });
+                return;
+            }
+            Err(_) => {
+                let epoch = s.epoch;
+                if reconnect_session(&mut s, dialer, pool, worker, rc, epoch, reconnects).is_err() {
+                    let e = s.failed.clone().unwrap_or(NetError::ServerGone);
+                    let _ = out.send(Err(e));
+                    return;
+                }
+                // Retry on the fresh session.
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_supervisor(
+    session: Arc<Mutex<Session>>,
+    dialer: ShardDialer,
+    pool: BufferPool,
+    worker: usize,
+    rc: ReconnectConfig,
+    cmd_rx: Receiver<PullCmd>,
+    stop: Arc<AtomicBool>,
+    reconnects: Arc<AtomicU64>,
+) -> Result<JoinHandle<()>, NetError> {
+    std::thread::Builder::new()
+        .name("ps-reconnect".into())
+        .spawn(move || {
+            let mut outstanding: Vec<OutstandingPull> = Vec::new();
+            loop {
+                if stop.load(Ordering::Relaxed) {
+                    // Dropping `outstanding` drops the out-senders, so
+                    // any remaining waiters resolve ServerGone.
+                    break;
+                }
+                // Adopt queued pull requests; park briefly when idle.
+                loop {
+                    let cmd = if outstanding.is_empty() {
+                        match cmd_rx.recv_timeout(POLL) {
+                            Ok(c) => Some(c),
+                            Err(RecvTimeoutError::Timeout) => None,
+                            Err(RecvTimeoutError::Disconnected) => return,
+                        }
+                    } else {
+                        match cmd_rx.try_recv() {
+                            Ok(c) => Some(c),
+                            Err(TryRecvError::Empty) => None,
+                            Err(TryRecvError::Disconnected) => return,
+                        }
+                    };
+                    match cmd {
+                        Some(PullCmd::Pull { key, version, out }) => issue_pull(
+                            &session,
+                            &dialer,
+                            &pool,
+                            worker,
+                            &rc,
+                            &reconnects,
+                            key,
+                            version,
+                            out,
+                            &mut outstanding,
+                        ),
+                        None => break,
+                    }
+                }
+                // Poll the in-flight pulls.
+                let mut progress = false;
+                let mut i = 0;
+                while i < outstanding.len() {
+                    match outstanding[i].pending.try_wait() {
+                        None => i += 1,
+                        Some(Ok(weights)) => {
+                            let o = outstanding.swap_remove(i);
+                            {
+                                // Round `issued` completed, so every
+                                // local round at or below it was
+                                // aggregated: confirm (drop) those
+                                // replay entries.
+                                let mut s = session.lock().unwrap();
+                                let done = o.issued.saturating_sub(s.base[o.key]);
+                                while s.replay[o.key].front().is_some_and(|(r, _)| *r <= done) {
+                                    let (_, payload) =
+                                        s.replay[o.key].pop_front().expect("front checked");
+                                    payload.recycle(&pool);
+                                }
+                            }
+                            let _ = o.out.send(Ok(weights));
+                            progress = true;
+                        }
+                        Some(Err(_)) => {
+                            // The connection died under this pull:
+                            // reconnect (a no-op if a newer epoch
+                            // already did) and re-issue it verbatim.
+                            let o = outstanding.swap_remove(i);
+                            {
+                                let mut s = session.lock().unwrap();
+                                let _ = reconnect_session(
+                                    &mut s,
+                                    &dialer,
+                                    &pool,
+                                    worker,
+                                    &rc,
+                                    o.epoch,
+                                    &reconnects,
+                                );
+                            }
+                            issue_pull(
+                                &session,
+                                &dialer,
+                                &pool,
+                                worker,
+                                &rc,
+                                &reconnects,
+                                o.key,
+                                o.version,
+                                o.out,
+                                &mut outstanding,
+                            );
+                            progress = true;
+                        }
+                    }
+                }
+                if !progress && !outstanding.is_empty() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        })
+        .map_err(spawn_err)
+}
+
+impl ParamClient for ReconnectingClient {
+    fn push(&self, worker: usize, key: Key, payload: Compressed) -> Result<(), NetError> {
+        let mut s = self.session.lock().unwrap();
+        if let Some(e) = &s.failed {
+            return Err(e.clone());
+        }
+        s.pushed[key] += 1;
+        let round = s.pushed[key];
+        s.replay[key].push_back((round, payload.clone()));
+        if s.replay[key].len() > REPLAY_DEPTH {
+            // Keep the buffer bounded for keys that are pushed but never
+            // pulled; under the normal ≤2-round lag this never trips.
+            let (_, stale) = s.replay[key].pop_front().expect("len checked");
+            stale.recycle(&self.pool);
+        }
+        match s.inner.push(worker, key, payload) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                // The replay buffer holds this push; a successful
+                // reconnect has already re-sent it.
+                let epoch = s.epoch;
+                self.reconnect_locked(&mut s, epoch)
+            }
+        }
+    }
+
+    fn pull_async(&self, key: Key, min_version: u64) -> Result<PendingPull, NetError> {
+        let (tx, rx) = bounded(1);
+        self.cmd_tx
+            .send(PullCmd::Pull {
+                key,
+                version: min_version,
+                out: tx,
+            })
+            .map_err(|_| NetError::ServerGone)?;
+        Ok(PendingPull(rx))
+    }
+
+    fn set_lr(&self, lr: f32) -> Result<(), NetError> {
+        self.session.lock().unwrap().inner.set_lr(lr)
+    }
+
+    /// Registers on the current connections (retrying through a
+    /// reconnect) and fixes the local→global version mapping to the
+    /// ack. Must precede the first push, which the worker binary's flow
+    /// guarantees.
+    fn register(&self, worker: usize) -> Result<Vec<u64>, NetError> {
+        debug_assert_eq!(worker, self.worker, "one reconnecting client per worker");
+        let mut s = self.session.lock().unwrap();
+        if let Some(e) = &s.failed {
+            return Err(e.clone());
+        }
+        let acked = match s.inner.register(worker) {
+            Ok(a) => a,
+            Err(_) => {
+                let epoch = s.epoch;
+                self.reconnect_locked(&mut s, epoch)?;
+                s.acked.clone().expect("reconnect stores the ack")
+            }
+        };
+        s.base = acked.clone();
+        s.acked = Some(acked.clone());
+        Ok(acked)
+    }
+
+    fn leave(&self, worker: usize) -> Result<(), NetError> {
+        let mut s = self.session.lock().unwrap();
+        if let Some(e) = &s.failed {
+            return Err(e.clone());
+        }
+        match s.inner.leave(worker) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                let epoch = s.epoch;
+                self.reconnect_locked(&mut s, epoch)?;
+                s.inner.leave(worker)
+            }
+        }
+    }
+
+    /// Best-effort: a failed heartbeat means the link is down, and the
+    /// push or pull that discovers that triggers the reconnect — the
+    /// heartbeat thread must not die (or redial) over it.
+    fn heartbeat(&self, worker: usize) -> Result<(), NetError> {
+        let s = self.session.lock().unwrap();
+        if let Some(e) = &s.failed {
+            return Err(e.clone());
+        }
+        let _ = s.inner.heartbeat(worker);
+        Ok(())
+    }
+
+    fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+}
+
+impl Drop for ReconnectingClient {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.supervisor.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // deployment
 // ---------------------------------------------------------------------------
 
 /// How [`NetCluster`] reaches one shard.
+#[derive(Clone)]
 enum ShardConn {
     /// In-memory loopback to a server in this process.
     Loopback(Arc<PsNetServer>),
     /// TCP to `addr` (same process, another process, another host).
     Tcp(String),
+}
+
+/// Everything needed to (re)dial every shard of a cluster — the piece
+/// of [`NetCluster`] a [`ReconnectingClient`] carries so it can rebuild
+/// its connections after a link drop without holding the cluster.
+#[derive(Clone)]
+pub(crate) struct ShardDialer {
+    conns: Vec<ShardConn>,
+    net: NetConfig,
+    stats: Arc<TrafficStats>,
+    /// One-shot fault plan: armed by [`NetCluster::arm_chaos`], consumed
+    /// by the *next* dial so the redial after an injected drop gets
+    /// clean transports.
+    chaos: Arc<Mutex<Option<FaultPlan>>>,
+}
+
+impl ShardDialer {
+    fn open(&self, conn: &ShardConn) -> Result<Box<dyn Transport>, NetError> {
+        match conn {
+            ShardConn::Loopback(server) => {
+                let (client_end, server_end) = loopback_pair();
+                server.attach(Box::new(server_end))?;
+                Ok(Box::new(client_end))
+            }
+            ShardConn::Tcp(addr) => Ok(Box::new(TcpTransport::connect(addr.as_str(), &self.net)?)),
+        }
+    }
+
+    /// Fresh connections to every shard, in shard order. When a chaos
+    /// plan is armed, this dial takes it and wraps every transport in a
+    /// [`FaultyTransport`] sharing that plan's counters.
+    fn dial(&self, pool: &BufferPool) -> Result<Vec<RemoteClient>, NetError> {
+        let plan = self.chaos.lock().unwrap().take();
+        self.conns
+            .iter()
+            .map(|c| {
+                let mut t = self.open(c)?;
+                if let Some(plan) = &plan {
+                    t = Box::new(FaultyTransport::new(t, plan.clone()));
+                }
+                RemoteClient::new(t, Arc::clone(&self.stats), pool.clone())
+            })
+            .collect()
+    }
 }
 
 /// A sharded parameter-server deployment behind real transports: the
@@ -760,6 +1346,9 @@ pub struct NetCluster {
     net: NetConfig,
     stats: Arc<TrafficStats>,
     control: Vec<RemoteClient>,
+    /// Fault plan for the next worker client dialed (tests / chaos
+    /// flags); control clients never see it.
+    chaos: Arc<Mutex<Option<FaultPlan>>>,
 }
 
 impl NetCluster {
@@ -881,6 +1470,7 @@ impl NetCluster {
             net,
             stats: Arc::new(TrafficStats::with_telemetry(telemetry)),
             control: Vec::new(),
+            chaos: Arc::new(Mutex::new(None)),
         };
         let pool = BufferPool::new();
         cluster.control = cluster
@@ -923,6 +1513,37 @@ impl NetCluster {
     pub fn shared_stats(&self) -> Arc<TrafficStats> {
         Arc::clone(&self.stats)
     }
+
+    fn dialer(&self) -> ShardDialer {
+        ShardDialer {
+            conns: self.conns.clone(),
+            net: self.net.clone(),
+            stats: Arc::clone(&self.stats),
+            chaos: Arc::clone(&self.chaos),
+        }
+    }
+
+    /// Arm a one-shot [`FaultPlan`] for the *next* worker client dialed
+    /// from this cluster (via [`PsBackend::client`] or
+    /// [`NetCluster::reconnecting_client`]): every transport of that
+    /// dial is wrapped in a [`FaultyTransport`] sharing the plan's
+    /// counters. Subsequent dials — including the reconnect redial after
+    /// the injected drop — get clean transports unless re-armed.
+    pub fn arm_chaos(&self, plan: FaultPlan) {
+        *self.chaos.lock().unwrap() = Some(plan);
+    }
+
+    /// A worker client that survives transient link drops: see
+    /// [`ReconnectingClient`]. Requires the shards to be elastic
+    /// (`--min-quorum` / [`ElasticConfig`](crate::ElasticConfig)),
+    /// since recovery re-registers.
+    pub fn reconnecting_client(
+        &self,
+        worker: usize,
+        rc: ReconnectConfig,
+    ) -> Result<ReconnectingClient, NetError> {
+        ReconnectingClient::new(self.dialer(), worker, self.num_keys, rc)
+    }
 }
 
 impl PsBackend for NetCluster {
@@ -931,11 +1552,7 @@ impl PsBackend for NetCluster {
     /// ordered push stream), mirroring a real deployment.
     fn client(&self) -> Result<Box<dyn ParamClient>, NetError> {
         let pool = BufferPool::new();
-        let clients = self
-            .conns
-            .iter()
-            .map(|c| self.open_client(c, pool.clone()))
-            .collect::<Result<Vec<_>, _>>()?;
+        let clients = self.dialer().dial(&pool)?;
         Ok(Box::new(ShardedClient::from_clients(clients, pool)))
     }
 
@@ -1162,6 +1779,39 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_register_is_rejected_not_silently_dropped() {
+        // A peer that never answers keeps the first register parked in
+        // the reply slot while the second one arrives.
+        let (a, quiet_peer) = loopback_pair();
+        let c = Arc::new(
+            RemoteClient::new(
+                Box::new(a),
+                Arc::new(TrafficStats::new()),
+                BufferPool::new(),
+            )
+            .unwrap(),
+        );
+        let c2 = Arc::clone(&c);
+        let first = std::thread::spawn(move || c2.register(1));
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while c.pending.lock().unwrap().register.is_none() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "first register never claimed the reply slot"
+            );
+            std::thread::yield_now();
+        }
+        // The overlapping register is rejected with the typed error;
+        // the first caller's slot is untouched.
+        assert_eq!(c.register(2), Err(NetError::RegisterPending));
+        assert!(c.pending.lock().unwrap().register.is_some());
+        // Closing the peer wakes the reader, which clears the slot and
+        // resolves the first caller with ServerGone instead of hanging.
+        drop(quiet_peer);
+        assert_eq!(first.join().unwrap(), Err(NetError::ServerGone));
+    }
+
+    #[test]
     fn on_demand_checkpoint_round_trips_over_loopback() {
         use crate::recover::{self, CheckpointPolicy};
         let dir = std::env::temp_dir().join(format!("cdsgd-net-ckpt-{}", std::process::id()));
@@ -1207,6 +1857,123 @@ mod tests {
         }
         assert_eq!(server.io_threads(), n);
         drop(clients);
+        server.shutdown();
+    }
+
+    /// One worker, two shards, `rounds` synchronous rounds; asserts the
+    /// pulled weights match the closed form `init(k) - round` so any
+    /// double-applied (or lost) replay shows up immediately.
+    fn run_rounds(c: &dyn ParamClient, rounds: u64) {
+        c.register(0).unwrap();
+        for r in 1..=rounds {
+            for k in 0..2 {
+                c.push(0, k, Compressed::Raw(vec![1.0; 3])).unwrap();
+            }
+            for k in 0..2 {
+                let w = c.pull_async(k, r).unwrap().wait().unwrap();
+                assert_eq!(*w, [k as f32 - r as f32; 3], "key {k} round {r}");
+            }
+        }
+    }
+
+    fn elastic_cluster() -> NetCluster {
+        use crate::ElasticConfig;
+        NetCluster::start_loopback(
+            init(2),
+            ServerConfig::new(1, 1.0).with_elastic(ElasticConfig::new(1)),
+            2,
+        )
+        .unwrap()
+    }
+
+    fn fast_rc() -> cdsgd_net::ReconnectConfig {
+        cdsgd_net::ReconnectConfig {
+            retries: 5,
+            backoff: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn reconnecting_client_is_transparent_without_faults() {
+        let reference = {
+            let cluster = elastic_cluster();
+            let c = cluster.client().unwrap();
+            run_rounds(c.as_ref(), 3);
+            drop(c);
+            let snap = PsBackend::snapshot(&cluster).unwrap();
+            Box::new(cluster).shutdown();
+            snap
+        };
+        let cluster = elastic_cluster();
+        let c = cluster.reconnecting_client(0, fast_rc()).unwrap();
+        run_rounds(&c, 3);
+        assert_eq!(c.reconnects(), 0);
+        drop(c);
+        assert_eq!(PsBackend::snapshot(&cluster).unwrap(), reference);
+        Box::new(cluster).shutdown();
+    }
+
+    /// An injected link drop mid-run (every shard's transport dies after
+    /// a send budget) reconnects, replays, and finishes with the exact
+    /// weights of a fault-free run — the tentpole's exactly-once claim.
+    fn drop_and_reconnect_is_bit_exact(kill_after_sends: u64) {
+        let reference = {
+            let cluster = elastic_cluster();
+            let c = cluster.client().unwrap();
+            run_rounds(c.as_ref(), 4);
+            drop(c);
+            let snap = PsBackend::snapshot(&cluster).unwrap();
+            Box::new(cluster).shutdown();
+            snap
+        };
+        let cluster = elastic_cluster();
+        cluster.arm_chaos(cdsgd_net::FaultPlan::new().kill_after_sends(kill_after_sends));
+        let c = cluster.reconnecting_client(0, fast_rc()).unwrap();
+        run_rounds(&c, 4);
+        assert!(c.reconnects() >= 1, "the armed drop never fired");
+        drop(c);
+        assert_eq!(PsBackend::snapshot(&cluster).unwrap(), reference);
+        Box::new(cluster).shutdown();
+    }
+
+    #[test]
+    fn link_drop_on_push_reconnects_bit_exact() {
+        // Per shard: register(1), then push+pull per round — the 5th
+        // send is round 3's push, which fails and replays.
+        drop_and_reconnect_is_bit_exact(5);
+    }
+
+    #[test]
+    fn link_drop_on_pull_reconnects_bit_exact() {
+        // The 4th send is round 2's pull: the supervisor thread hits the
+        // failure, reconnects, and re-issues the pull itself.
+        drop_and_reconnect_is_bit_exact(4);
+    }
+
+    #[test]
+    fn push_from_superseded_connection_is_fenced() {
+        use crate::ElasticConfig;
+        let server = PsNetServer::start(
+            init(1),
+            ServerConfig::new(1, 1.0).with_elastic(ElasticConfig::new(1)),
+        );
+        let c_old = loopback_client(&server);
+        assert_eq!(c_old.register(0).unwrap(), vec![0]);
+        c_old.push(0, 0, Compressed::Raw(vec![1.0; 3])).unwrap();
+        assert_eq!(*c_old.pull(0, 1).unwrap(), [-1.0; 3]);
+        // A re-registration over a fresh connection supersedes the old
+        // one; the straggler push it then emits must not aggregate.
+        let c_new = loopback_client(&server);
+        assert_eq!(c_new.register(0).unwrap(), vec![1]);
+        c_old.push(0, 0, Compressed::Raw(vec![100.0; 3])).unwrap();
+        c_new.push(0, 0, Compressed::Raw(vec![1.0; 3])).unwrap();
+        // Same-connection FIFO: this pull reaches the server after the
+        // straggler, so its resolution proves the straggler was seen
+        // (and dropped) before the snapshot below.
+        assert_eq!(*c_old.pull(0, 2).unwrap(), [-2.0; 3]);
+        let (w, v) = c_new.snapshot().unwrap();
+        assert_eq!(v, vec![2]);
+        assert_eq!(w[0], vec![-2.0; 3]);
         server.shutdown();
     }
 

@@ -157,6 +157,11 @@ pub(crate) enum Msg {
         worker: usize,
         key: Key,
         payload: Compressed,
+        /// Transport connection the push arrived on (0 = in-process).
+        /// On an elastic server, pushes from a connection superseded by
+        /// a later registration of the same worker are dropped — see
+        /// the fencing note on `Members::owner`.
+        conn: u64,
     },
     Pull {
         key: Key,
@@ -174,6 +179,10 @@ pub(crate) enum Msg {
     /// just the version handshake — the membership table is untouched.
     Join {
         worker: usize,
+        /// Transport connection the registration arrived on (0 =
+        /// in-process); becomes the worker's owning connection for push
+        /// fencing on an elastic server.
+        conn: u64,
         reply: Sender<Vec<u64>>,
     },
     /// Elastic membership: `worker` departs gracefully. Its queued
@@ -218,6 +227,15 @@ struct Members {
     state: Vec<MemberState>,
     /// Last push or heartbeat per slot, for the liveness timeout.
     last_seen: Vec<Instant>,
+    /// Per slot, the transport connection (`Transport::conn_id`) of the
+    /// worker's most recent registration; 0 = never registered over the
+    /// wire, accept pushes from anywhere. A registration *fences* the
+    /// slot: a push for this worker from any other connection is a
+    /// straggler from a superseded session (a link the reconnect layer
+    /// abandoned, or a replaced worker's last gasp) whose unconsumed
+    /// rounds the owner replays itself — aggregating the straggler too
+    /// would double-count it.
+    owner: Vec<u64>,
 }
 
 impl Members {
@@ -225,6 +243,7 @@ impl Members {
         Self {
             state: vec![MemberState::Active; n],
             last_seen: vec![Instant::now(); n],
+            owner: vec![0; n],
         }
     }
 
@@ -245,13 +264,21 @@ impl Members {
 
     /// Admit (or re-admit) `w` into the active set, growing the table if
     /// the id is new.
-    fn admit(&mut self, w: usize) {
+    fn admit(&mut self, w: usize, conn: u64) {
         if w >= self.state.len() {
             self.state.resize(w + 1, MemberState::Gone);
             self.last_seen.resize(w + 1, Instant::now());
+            self.owner.resize(w + 1, 0);
         }
         self.state[w] = MemberState::Active;
         self.last_seen[w] = Instant::now();
+        self.owner[w] = conn;
+    }
+
+    /// Would a push for `w` arriving on `conn` come from a connection
+    /// superseded by a later registration?
+    fn fenced(&self, w: usize, conn: u64) -> bool {
+        self.owner[w] != 0 && self.owner[w] != conn
     }
 
     /// First active worker silent past `timeout`, if any.
@@ -570,6 +597,7 @@ fn server_loop(
                 worker,
                 key,
                 payload,
+                conn,
             }) => {
                 // Traffic is charged at the full encoded frame size (the
                 // same bytes `cdsgd-net` puts on a socket: length prefix +
@@ -590,6 +618,14 @@ fn server_loop(
                         payload.recycle(&pool);
                         continue;
                     }
+                    // A straggler from a connection this worker's latest
+                    // registration superseded: the new session replays
+                    // whatever the completed rounds did not consume, so
+                    // aggregating this copy too would double-count it.
+                    if members.fenced(worker, conn) {
+                        payload.recycle(&pool);
+                        continue;
+                    }
                     // Pushes also count as liveness.
                     members.last_seen[worker] = Instant::now();
                 } else {
@@ -601,16 +637,30 @@ fn server_loop(
                 pump_key(key, ks, &members, &cfg, &stats, &pool, &mut ckpt);
                 members.sweep(&keys);
             }
-            Some(Msg::Join { worker, reply }) => {
+            Some(Msg::Join {
+                worker,
+                conn,
+                reply,
+            }) => {
                 if failed.is_some() {
                     // Dropping `reply` fails the registration.
                     continue;
                 }
                 if cfg.elastic.is_some() {
-                    members.admit(worker);
+                    members.admit(worker, conn);
                     for ks in &mut keys {
                         ks.pending
                             .resize_with(members.state.len(), Default::default);
+                        // Admission clears the slot's queued pushes — a
+                        // no-op for fresh joiners (empty queues), but
+                        // load-bearing for re-admissions: a reconnecting
+                        // worker replays every push the completed rounds
+                        // did not consume, and a replacement must not
+                        // inherit a dead predecessor's leftovers. Either
+                        // way, stale queued pushes would double-count.
+                        for stale in ks.pending[worker].drain(..) {
+                            stale.recycle(&pool);
+                        }
                     }
                     let active = members.active();
                     stats
@@ -656,8 +706,11 @@ fn server_loop(
                     }
                 }
             }
+            // Only an *Active* slot's liveness is refreshed: a heartbeat
+            // that trails a Leave (or arrives for an evicted/unknown id)
+            // must not touch a Draining or Gone slot — the goodbye wins.
             Some(Msg::Heartbeat { worker })
-                if cfg.elastic.is_some() && worker < members.state.len() =>
+                if cfg.elastic.is_some() && members.is_active(worker) =>
             {
                 members.last_seen[worker] = Instant::now();
             }

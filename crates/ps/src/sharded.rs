@@ -181,25 +181,59 @@ impl<C: ParamClient> ParamClient for ShardedClient<C> {
         Ok(())
     }
 
-    /// Register with every shard and interleave the per-shard version
-    /// acks back into global key order (inverse of the round-robin key
-    /// partition, same as [`reassemble_snapshots`]).
+    /// Two-phase join: tentatively register with every shard in shard
+    /// order, then interleave the per-shard version acks back into
+    /// global key order (inverse of the round-robin key partition, same
+    /// as [`reassemble_snapshots`]). If any shard fails, the join is
+    /// rolled back with a best-effort [`ParamClient::leave`] on exactly
+    /// the shards already joined, so no shard ever counts a member the
+    /// others don't. The rollback cannot trip a shard's below-quorum
+    /// failure: a tentatively-admitted worker has queued no pushes, so
+    /// its leave restores the pre-join active count, which was a valid
+    /// quorum (or zero) before this call started.
     fn register(&self, worker: usize) -> Result<Vec<u64>, NetError> {
-        let per: Vec<Vec<u64>> = self
-            .clients
-            .iter()
-            .map(|c| c.register(worker))
-            .collect::<Result<_, _>>()?;
+        let mut per: Vec<Vec<u64>> = Vec::with_capacity(self.clients.len());
+        for (shard, c) in self.clients.iter().enumerate() {
+            match c.register(worker) {
+                Ok(versions) => per.push(versions),
+                Err(e) => {
+                    for joined in &self.clients[..shard] {
+                        let _ = joined.leave(worker);
+                    }
+                    return Err(NetError::Membership {
+                        op: "register",
+                        shards: vec![shard],
+                        last: Box::new(e),
+                    });
+                }
+            }
+        }
         let s = per.len();
         let num_keys: usize = per.iter().map(|v| v.len()).sum();
         Ok((0..num_keys).map(|k| per[k % s][k / s]).collect())
     }
 
+    /// Best-effort departure from *every* shard: a failed leave on shard
+    /// `k` no longer skips shards `k+1..` (which would block their
+    /// rounds on a departed member until heartbeat eviction). Per-shard
+    /// failures are aggregated into one [`NetError::Membership`].
     fn leave(&self, worker: usize) -> Result<(), NetError> {
-        for c in &self.clients {
-            c.leave(worker)?;
+        let mut failed = Vec::new();
+        let mut last = None;
+        for (shard, c) in self.clients.iter().enumerate() {
+            if let Err(e) = c.leave(worker) {
+                failed.push(shard);
+                last = Some(e);
+            }
         }
-        Ok(())
+        match last {
+            None => Ok(()),
+            Some(e) => Err(NetError::Membership {
+                op: "leave",
+                shards: failed,
+                last: Box::new(e),
+            }),
+        }
     }
 
     fn heartbeat(&self, worker: usize) -> Result<(), NetError> {
@@ -309,6 +343,117 @@ mod tests {
         assert_eq!(w[2], vec![1.0, 1.0]);
         assert_eq!(w[3], vec![3.0, 3.0]);
         ps.shutdown();
+    }
+
+    /// A scripted per-shard client: records membership calls and fails
+    /// register/leave on demand, so the router's transaction logic is
+    /// testable without servers.
+    struct ScriptedShard {
+        fail_register: bool,
+        fail_leave: bool,
+        registers: std::sync::Mutex<Vec<usize>>,
+        leaves: std::sync::Mutex<Vec<usize>>,
+        pool: BufferPool,
+    }
+
+    impl ScriptedShard {
+        fn new(fail_register: bool, fail_leave: bool) -> Self {
+            Self {
+                fail_register,
+                fail_leave,
+                registers: std::sync::Mutex::new(Vec::new()),
+                leaves: std::sync::Mutex::new(Vec::new()),
+                pool: BufferPool::new(),
+            }
+        }
+    }
+
+    impl ParamClient for ScriptedShard {
+        fn push(&self, _: usize, _: Key, _: Compressed) -> Result<(), NetError> {
+            unimplemented!("membership tests never push")
+        }
+        fn pull_async(&self, _: Key, _: u64) -> Result<PendingPull, NetError> {
+            unimplemented!("membership tests never pull")
+        }
+        fn set_lr(&self, _: f32) -> Result<(), NetError> {
+            Ok(())
+        }
+        fn register(&self, worker: usize) -> Result<Vec<u64>, NetError> {
+            if self.fail_register {
+                return Err(NetError::Closed);
+            }
+            self.registers.lock().unwrap().push(worker);
+            Ok(vec![7])
+        }
+        fn leave(&self, worker: usize) -> Result<(), NetError> {
+            self.leaves.lock().unwrap().push(worker);
+            if self.fail_leave {
+                return Err(NetError::ServerGone);
+            }
+            Ok(())
+        }
+        fn pool(&self) -> &BufferPool {
+            &self.pool
+        }
+    }
+
+    #[test]
+    fn partial_register_rolls_back_joined_shards() {
+        let shards = vec![
+            ScriptedShard::new(false, false),
+            ScriptedShard::new(true, false),
+            ScriptedShard::new(false, false),
+        ];
+        let c = ShardedClient::from_clients(shards, BufferPool::new());
+        let err = c.register(4).unwrap_err();
+        assert_eq!(
+            err,
+            NetError::Membership {
+                op: "register",
+                shards: vec![1],
+                last: Box::new(NetError::Closed),
+            }
+        );
+        // Shard 0 was joined, then rolled back; shard 2 was never
+        // reached — not by register, not by the rollback.
+        assert_eq!(*c.clients[0].registers.lock().unwrap(), [4]);
+        assert_eq!(*c.clients[0].leaves.lock().unwrap(), [4]);
+        assert!(c.clients[2].registers.lock().unwrap().is_empty());
+        assert!(c.clients[2].leaves.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn register_success_interleaves_acks() {
+        let shards = vec![
+            ScriptedShard::new(false, false),
+            ScriptedShard::new(false, false),
+        ];
+        let c = ShardedClient::from_clients(shards, BufferPool::new());
+        assert_eq!(c.register(2).unwrap(), vec![7, 7]);
+        assert_eq!(*c.clients[1].registers.lock().unwrap(), [2]);
+    }
+
+    #[test]
+    fn leave_is_best_effort_and_aggregates_failures() {
+        let shards = vec![
+            ScriptedShard::new(false, true),
+            ScriptedShard::new(false, false),
+            ScriptedShard::new(false, true),
+        ];
+        let c = ShardedClient::from_clients(shards, BufferPool::new());
+        let err = c.leave(3).unwrap_err();
+        assert_eq!(
+            err,
+            NetError::Membership {
+                op: "leave",
+                shards: vec![0, 2],
+                last: Box::new(NetError::ServerGone),
+            }
+        );
+        // Every shard saw the goodbye despite shard 0 failing first.
+        for shard in &c.clients {
+            assert_eq!(*shard.leaves.lock().unwrap(), [3]);
+        }
     }
 
     #[test]

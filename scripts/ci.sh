@@ -45,14 +45,27 @@ run_tests cargo test -q -p cd-sgd -- recover checkpoint supervise
 # Explicit gate on the elastic control plane: the dynamic-membership
 # state machine (join acks, quorum resize, heartbeat eviction, drain to
 # zero), the mid-run joiner's pull rebase, scripted departures through
-# the trainer, and the 128-connection soak against one psd process with
-# its bounded-RSS assertion.
+# the trainer, the 128-connection soak against one psd process with
+# its bounded-RSS assertion, and the repeated-link-drop reconnect soak.
 echo "==> cargo test --test soak + membership suites"
 run_tests cargo test -q --test soak
 run_tests cargo test -q -p cdsgd-ps -- quorum elastic_join heartbeat_timeout \
     graceful rebased fixed_membership
 run_tests cargo test -q -p cd-sgd depart
 run_tests cargo test -q parse_elastic
+
+# Explicit gate on the partial-failure cluster (DESIGN.md §13): the
+# transactional cross-shard join must roll back when one shard's link
+# dies, the worker-side reconnect must absorb scripted TCP drops —
+# bit-exactly in-process and within tolerance across real psd/worker
+# processes — and fault-free runs with no --reconnect-* flags must
+# take the exact old code paths.
+echo "==> cargo test reconnect + rollback suites"
+run_tests cargo test -q -p cdsgd-ps -- reconnect register_rolls_back \
+    partial_register fenced
+run_tests cargo test -q --test chaos -- rolls_back link_drop \
+    trailing_heartbeat
+run_tests cargo test -q parse_reconnect
 
 # Explicit gate on the update-strategy layer: every algorithm variant must
 # reproduce the final-weight hashes captured before the UpdateStrategy

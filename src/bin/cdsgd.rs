@@ -14,7 +14,8 @@
 //! cdsgd codecs   [--n 1000000]
 //! cdsgd orchestrate [--epochs 6] [--depart-epoch 3] [--join-delay-ms 300] \
 //!                [--algo ssgd] [--samples 960] [--batch 16] [--lr 0.2] [--seed 5] \
-//!                [--max-restarts 1 [--kill-round 12] [--restart-backoff-ms 250]]
+//!                [--max-restarts 1 [--kill-round 12] [--restart-backoff-ms 250]] \
+//!                [--reconnect-retries 5 [--reconnect-backoff-ms 50]]
 //! ```
 //!
 //! `orchestrate` is the elastic-membership demo: it spawns a local
@@ -32,6 +33,11 @@
 //! in-process trainer uses — re-admits a replacement via the
 //! register/rebase path instead of aborting. Everyone else emits
 //! heartbeats so the eviction sweep only removes the dead replica.
+//!
+//! `--reconnect-retries` / `--reconnect-backoff-ms` are forwarded to
+//! every spawned worker, arming worker-side auto-reconnect (DESIGN.md
+//! §13): a worker whose shard connection drops mid-run redials,
+//! re-registers, and replays instead of exiting nonzero.
 
 use cd_sgd::checkpoint::{save_history, Checkpoint};
 use cd_sgd::{RestartPolicy, TrainConfig, Trainer};
@@ -112,6 +118,20 @@ fn orchestrate_run() -> Result<String, String> {
         eprintln!("--depart-epoch must be in 1..--epochs (got {depart_epoch} of {epochs})");
         std::process::exit(2);
     }
+    // Worker-side auto-reconnect, validated here and forwarded verbatim
+    // to every spawned worker (the servers this demo spawns are elastic,
+    // which reconnection requires).
+    let argv: Vec<String> = std::env::args().collect();
+    let reconnect_args: Vec<String> =
+        match cd_sgd_repro::deploy::parse_reconnect(&argv).map_err(|e| e.to_string())? {
+            None => Vec::new(),
+            Some(rc) => vec![
+                "--reconnect-retries".into(),
+                rc.retries.to_string(),
+                "--reconnect-backoff-ms".into(),
+                (rc.backoff.as_millis() as u64).to_string(),
+            ],
+        };
 
     let bin_dir = std::env::current_exe()
         .ok()
@@ -173,6 +193,7 @@ fn orchestrate_run() -> Result<String, String> {
             ])
             .args(["--lr", &lr.to_string(), "--model", MODEL])
             .args(["--seed", &seed.to_string()])
+            .args(&reconnect_args)
             .args(extra)
             .spawn()
             .map_err(|e| format!("spawn worker {id}: {e}"))

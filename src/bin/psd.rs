@@ -55,8 +55,8 @@ use std::time::Duration;
 
 use cd_sgd::{Console, Telemetry};
 use cd_sgd_repro::deploy::{
-    arg, arg_or, flag, initial_weights, parse_elastic, parse_recovery, parse_server_opt,
-    trace_telemetry,
+    arg, arg_or, flag, initial_weights, parse_elastic, parse_reconnect, parse_recovery,
+    parse_server_opt, trace_telemetry,
 };
 use cdsgd_net::{NetConfig, TcpAcceptor};
 use cdsgd_ps::recover::{load_latest, CheckpointPolicy, Durability};
@@ -103,6 +103,14 @@ fn main() {
             console.error(e);
             std::process::exit(2)
         }
+    }
+    // Launchers often share one flag template across every process of a
+    // run, so the worker-side `--reconnect-*` flags are accepted and
+    // validated here too — but a server shard has nothing to redial;
+    // they only change behaviour in `worker`.
+    if let Err(e) = parse_reconnect(&argv) {
+        console.error(e);
+        std::process::exit(2)
     }
 
     // Fault recovery (DESIGN.md §14): optionally restore from the

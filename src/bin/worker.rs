@@ -43,6 +43,18 @@
 //! replicas that actually died — pick an interval well below the
 //! server's `--heartbeat-ms` eviction window.
 //!
+//! `--reconnect-retries N` / `--reconnect-backoff-ms M` (DESIGN.md §13)
+//! arm worker-side auto-reconnect: when a shard connection drops
+//! mid-run, the worker redials every shard with bounded exponential
+//! backoff, re-registers, replays the pushes the completed rounds did
+//! not consume (exactly once), and re-issues its outstanding pulls —
+//! the run then finishes as if the drop never happened. Requires
+//! elastic servers (`psd --min-quorum`); with neither flag the
+//! reconnect machinery is never built and the run takes the exact
+//! legacy code paths. `--chaos-drop-sends N` injects the matching
+//! fault: every shard connection of this replica's training client dies
+//! after N sent frames.
+//!
 //! Fault recovery (DESIGN.md §14): `--checkpoint-dir <dir>` writes this
 //! replica's private state (local model and the algorithm's residual or
 //! accumulation buffers) after each epoch — every
@@ -57,9 +69,9 @@ use std::time::Duration;
 use cd_sgd::{run_standalone_worker, Console, Telemetry, TrainConfig, WorkerFault};
 use cd_sgd_repro::deploy::{
     arg, arg_or, build_dataset, build_model, flag, initial_weights, parse_algorithm,
-    trace_telemetry, AlgoDefaults,
+    parse_reconnect, trace_telemetry, AlgoDefaults,
 };
-use cdsgd_net::NetConfig;
+use cdsgd_net::{FaultPlan, NetConfig};
 use cdsgd_ps::{FaultyClient, NetCluster, ParamClient, PsBackend, RebasedClient};
 
 fn main() {
@@ -114,6 +126,14 @@ fn main() {
             std::process::exit(2)
         })
     });
+    let chaos_drop_sends: Option<u64> = arg("chaos-drop-sends").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            console.error(format_args!(
+                "--chaos-drop-sends must be a frame count, got {v:?}"
+            ));
+            std::process::exit(2)
+        })
+    });
 
     let argv: Vec<String> = std::env::args().collect();
     let defaults = AlgoDefaults {
@@ -133,6 +153,10 @@ fn main() {
         );
         std::process::exit(2);
     }
+    let reconnect = parse_reconnect(&argv).unwrap_or_else(|e| {
+        console.error(e);
+        std::process::exit(2)
+    });
 
     // Status and epoch rollups render on stderr through the console
     // sink; `--trace` adds the JSONL event stream alongside it. The
@@ -167,7 +191,23 @@ fn main() {
     ));
     let cluster = NetCluster::connect_traced(&servers, num_keys, NetConfig::default(), telemetry)
         .expect("connect to servers");
-    let client = cluster.client().expect("open shard connections");
+    if let Some(n) = chaos_drop_sends {
+        console.status(format_args!(
+            "worker {id}: chaos — every shard connection dies after {n} sent frames"
+        ));
+        cluster.arm_chaos(FaultPlan::new().kill_after_sends(n));
+    }
+    // With reconnect armed the training client survives link drops by
+    // redialing + re-registering + replaying (DESIGN.md §13); without
+    // the flags this is the exact legacy single-dial client.
+    let client: Box<dyn ParamClient> = match &reconnect {
+        Some(rc) => Box::new(
+            cluster
+                .reconnecting_client(id, rc.clone())
+                .expect("open shard connections"),
+        ),
+        None => cluster.client().expect("open shard connections"),
+    };
     // `--register` / `--heartbeat-ms`: keep a shared handle so the
     // goodbye after training and the background heartbeats ride the
     // same ordered connections the pushes use (the server then sees

@@ -160,6 +160,39 @@ pub fn parse_elastic(args: &[String]) -> Result<Option<cdsgd_ps::ElasticConfig>,
     Ok(Some(elastic))
 }
 
+/// Parse worker auto-reconnect flags into a
+/// [`cdsgd_net::ReconnectConfig`]: `--reconnect-retries <n>` (redial
+/// attempts per link drop) and `--reconnect-backoff-ms <ms>` (base of
+/// the exponential backoff between attempts, doubled per attempt and
+/// capped at [`cdsgd_net::RECONNECT_BACKOFF_CAP`]). Either flag alone
+/// arms reconnection; neither present means the machinery is never
+/// built (`Ok(None)`), keeping default runs bit-identical. `Err`
+/// carries a usage message for stderr; callers exit 2 on it.
+pub fn parse_reconnect(args: &[String]) -> Result<Option<cdsgd_net::ReconnectConfig>, String> {
+    let has_retries = lookup(args, "reconnect-retries").is_some();
+    let has_backoff = lookup(args, "reconnect-backoff-ms").is_some();
+    if !has_retries && !has_backoff {
+        return Ok(None);
+    }
+    let defaults = cdsgd_net::ReconnectConfig::default();
+    let retries: u32 = lookup_or(args, "reconnect-retries", defaults.retries)?;
+    if retries == 0 {
+        return Err("--reconnect-retries must be at least 1".into());
+    }
+    let ms: u64 = lookup_or(
+        args,
+        "reconnect-backoff-ms",
+        defaults.backoff.as_millis() as u64,
+    )?;
+    if ms == 0 {
+        return Err("--reconnect-backoff-ms must be a positive number of milliseconds".into());
+    }
+    Ok(Some(cdsgd_net::ReconnectConfig {
+        retries,
+        backoff: std::time::Duration::from_millis(ms),
+    }))
+}
+
 /// Recovery flags shared by the server-shard front ends:
 /// `--checkpoint-dir <dir>` names the durable snapshot directory,
 /// `--checkpoint-every <rounds>` schedules writes at round boundaries
@@ -396,6 +429,56 @@ mod tests {
             "--min-quorum 1 --heartbeat-ms -5",
         ] {
             let err = parse_elastic(&argv(args)).expect_err(&format!("args should fail: {args}"));
+            assert!(!err.is_empty());
+        }
+    }
+
+    #[test]
+    fn parse_reconnect_maps_flags() {
+        use cdsgd_net::ReconnectConfig;
+        use std::time::Duration;
+        // No reconnect flags: the machinery is never built — the
+        // bit-identical default.
+        assert_eq!(parse_reconnect(&argv("")).unwrap(), None);
+        assert_eq!(
+            parse_reconnect(&argv("--workers 4 --min-quorum 1")).unwrap(),
+            None
+        );
+        // Either flag alone arms reconnection, the other defaulting.
+        assert_eq!(
+            parse_reconnect(&argv("--reconnect-retries 3")).unwrap(),
+            Some(ReconnectConfig {
+                retries: 3,
+                ..ReconnectConfig::default()
+            })
+        );
+        assert_eq!(
+            parse_reconnect(&argv("--reconnect-backoff-ms 20")).unwrap(),
+            Some(ReconnectConfig {
+                backoff: Duration::from_millis(20),
+                ..ReconnectConfig::default()
+            })
+        );
+        assert_eq!(
+            parse_reconnect(&argv("--reconnect-retries 7 --reconnect-backoff-ms 100")).unwrap(),
+            Some(ReconnectConfig {
+                retries: 7,
+                backoff: Duration::from_millis(100),
+            })
+        );
+    }
+
+    #[test]
+    fn parse_reconnect_rejects_bad_values_without_panicking() {
+        for args in [
+            "--reconnect-retries 0",
+            "--reconnect-retries many",
+            "--reconnect-retries -2",
+            "--reconnect-backoff-ms 0",
+            "--reconnect-backoff-ms slow",
+            "--reconnect-retries 3 --reconnect-backoff-ms -1",
+        ] {
+            let err = parse_reconnect(&argv(args)).expect_err(&format!("args should fail: {args}"));
             assert!(!err.is_empty());
         }
     }

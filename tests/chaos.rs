@@ -12,10 +12,13 @@ use std::time::{Duration, Instant};
 use cd_sgd::{Algorithm, RestartPolicy, TrainConfig, Trainer, WorkerFault};
 use cd_sgd_repro::deploy;
 use cdsgd_compress::{BufferPool, Compressed};
-use cdsgd_net::{FaultPlan, FaultyTransport, NetConfig, NetError, TcpAcceptor, TcpTransport};
+use cdsgd_net::{
+    loopback_pair, FaultPlan, FaultyTransport, NetConfig, NetError, ReconnectConfig, TcpAcceptor,
+    TcpTransport,
+};
 use cdsgd_ps::{
     partition_keys, ElasticConfig, InProcessBackend, NetCluster, ParamClient, ParamServer,
-    PsBackend, PsNetServer, RemoteClient, ServerConfig, TrafficStats,
+    PsBackend, PsNetServer, RemoteClient, ServerConfig, ShardedClient, TrafficStats,
 };
 
 /// The acceptance bound: a killed worker must surface as a typed error
@@ -579,5 +582,334 @@ fn tcp_connection_drop_trips_the_server_round_deadline() {
     assert_eq!(server.wait_for_shutdown().unwrap_err(), failure);
     drop(healthy);
     drop(silent);
+    server.shutdown();
+}
+
+#[test]
+fn partial_shard_failure_rolls_back_cross_shard_join() {
+    // Transactional cross-shard join (DESIGN.md §13): worker 1 joins a
+    // two-shard cluster but shard 1's link dies before the Register
+    // frame leaves the machine. The two-phase register must admit on
+    // shard 0, fail on shard 1, roll the shard-0 admission back — and
+    // the surviving member must keep completing rounds on *both*
+    // shards. Without the rollback, shard 0 would wait forever on the
+    // phantom joiner's pushes.
+    const KEY_LEN: usize = 4;
+    let cfg = ServerConfig::new(1, 1.0).with_elastic(ElasticConfig::new(1));
+    let shards = [
+        PsNetServer::start(vec![vec![0.0; KEY_LEN]], cfg),
+        PsNetServer::start(vec![vec![0.0; KEY_LEN]], cfg),
+    ];
+    let stats = Arc::new(TrafficStats::new());
+    let clean = |shard: usize| {
+        let (a, b) = loopback_pair();
+        shards[shard].attach(Box::new(b)).unwrap();
+        RemoteClient::new(Box::new(a), Arc::clone(&stats), BufferPool::new()).unwrap()
+    };
+    let dead = |shard: usize| {
+        let (a, b) = loopback_pair();
+        shards[shard].attach(Box::new(b)).unwrap();
+        RemoteClient::new(
+            Box::new(FaultyTransport::new(
+                Box::new(a),
+                FaultPlan::new().kill_after_sends(0),
+            )),
+            Arc::clone(&stats),
+            BufferPool::new(),
+        )
+        .unwrap()
+    };
+
+    let joiner = ShardedClient::from_clients(vec![clean(0), dead(1)], BufferPool::new());
+    match joiner
+        .register(1)
+        .expect_err("the cross-shard join must fail")
+    {
+        NetError::Membership { op, shards, .. } => {
+            assert_eq!(op, "register");
+            assert_eq!(shards, vec![1], "shard 1's dead link is the culprit");
+        }
+        other => panic!("expected a typed Membership error, got {other:?}"),
+    }
+
+    // Rollback proof: worker 0 — the initial member — alone completes a
+    // round touching both shards. Guarded by a timeout so a botched
+    // rollback shows up as a named failure, not a hung test.
+    let w0 = ShardedClient::from_clients(vec![clean(0), clean(1)], BufferPool::new());
+    let (tx, rx) = std::sync::mpsc::channel();
+    let round = std::thread::spawn(move || {
+        for key in 0..2 {
+            w0.push(0, key, Compressed::Raw(vec![1.0; KEY_LEN]))
+                .unwrap();
+        }
+        let pulls: Vec<_> = (0..2)
+            .map(|key| w0.pull(key, 1).expect("round completes"))
+            .collect();
+        tx.send(pulls).unwrap();
+    });
+    let pulls = rx
+        .recv_timeout(BUDGET)
+        .expect("round stalled: the aborted join left a shard counting the phantom member");
+    round.join().unwrap();
+    for w in pulls {
+        assert_eq!(&*w, &[-1.0f32; KEY_LEN][..], "round missed the survivor");
+    }
+    for s in &shards {
+        assert!(s.failure().is_none(), "rollback must not fail any shard");
+        s.shutdown();
+    }
+}
+
+#[test]
+fn tcp_link_drop_reconnects_and_stays_bit_exact() {
+    // The worker-side reconnect path over real sockets: both shard
+    // links die mid-run (silently — the server is never notified), the
+    // reconnecting client redials, re-registers, replays exactly the
+    // unaggregated pushes, and rebases its in-flight pulls. The run
+    // must finish with *bit-identical* server state to the fault-free
+    // run, because replay is exactly-once and the round structure is
+    // preserved.
+    const KEY_LEN: usize = 4;
+    const ROUNDS: u64 = 4;
+    fn run(chaos: Option<FaultPlan>) -> (Vec<Vec<f32>>, Vec<u64>, u64) {
+        let init = vec![vec![0.0; KEY_LEN], vec![1.0; KEY_LEN]];
+        let cfg = ServerConfig::new(1, 1.0).with_elastic(ElasticConfig::new(1));
+        let cluster = NetCluster::start_tcp_local(init.clone(), cfg, 2, NetConfig::default())
+            .expect("start cluster");
+        if let Some(plan) = chaos {
+            cluster.arm_chaos(plan);
+        }
+        let rc = ReconnectConfig {
+            retries: 5,
+            backoff: Duration::from_millis(10),
+        };
+        let client = cluster
+            .reconnecting_client(0, rc)
+            .expect("open connections");
+        client.register(0).expect("register");
+        for round in 1..=ROUNDS {
+            for key in 0..2 {
+                client
+                    .push(0, key, Compressed::Raw(vec![1.0; KEY_LEN]))
+                    .expect("push survives the link drop");
+            }
+            for (key, w0) in init.iter().enumerate() {
+                let w = client
+                    .pull_async(key, round)
+                    .expect("pull")
+                    .wait()
+                    .expect("pull survives the link drop");
+                assert_eq!(&*w, &[w0[0] - round as f32; KEY_LEN][..]);
+            }
+        }
+        let reconnects = client.reconnects();
+        drop(client);
+        let (weights, versions) = cluster.snapshot().expect("snapshot");
+        Box::new(cluster).shutdown();
+        (weights, versions, reconnects)
+    }
+
+    let guarded = |chaos: Option<FaultPlan>| {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let t = std::thread::spawn(move || {
+            tx.send(run(chaos)).ok();
+        });
+        let out = rx.recv_timeout(BUDGET).expect("reconnect run stalled");
+        t.join().unwrap();
+        out
+    };
+
+    let (w_ref, v_ref, n_ref) = guarded(None);
+    assert_eq!(n_ref, 0, "a fault-free run must never redial");
+    let (w, v, n) = guarded(Some(FaultPlan::new().kill_after_sends(5)));
+    assert!(n >= 1, "the armed link drop never fired");
+    assert_eq!(v, v_ref, "reconnect must not skip or repeat rounds");
+    assert_eq!(w, w_ref, "reconnect must be bit-exact, not merely close");
+}
+
+#[test]
+fn tcp_process_link_drop_reconnects_within_tolerance() {
+    // The tentpole scenario end-to-end across real OS processes: an
+    // elastic `psd` shard, two real `worker` binaries, and worker 1's
+    // TCP link scripted to die silently mid-run. With `--reconnect-*`
+    // armed the worker must absorb the drop — redial, re-register,
+    // replay — and *both* workers must exit 0, with the final model
+    // within tolerance of the fault-free run. No replacement process is
+    // ever spawned: the same worker recovers its own link.
+    use std::io::{BufRead, BufReader};
+    use std::process::{Command, Stdio};
+
+    const MODEL: &str = "mlp:8,32,4";
+    const SEED: u64 = 5;
+    const EPOCHS: usize = 3;
+
+    let (train, test) = deploy::build_dataset("blobs", 480, SEED);
+    let reference = Trainer::new(
+        TrainConfig::new(Algorithm::SSgd, 2)
+            .with_lr(0.2)
+            .with_batch_size(16)
+            .with_epochs(EPOCHS)
+            .with_seed(SEED),
+        |rng| deploy::build_model(MODEL, rng),
+        train.clone(),
+        Some(test.clone()),
+    )
+    .run();
+    let reference_acc = accuracy_of(&reference.final_weights, &test);
+
+    struct Reap(Vec<std::process::Child>);
+    impl Drop for Reap {
+        fn drop(&mut self) {
+            for c in &mut self.0 {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+        }
+    }
+    let mut reap = Reap(Vec::new());
+
+    // No heartbeat eviction window: the dropped link is recovered by
+    // the worker itself, and nothing must race to evict it meanwhile.
+    let mut psd = Command::new(env!("CARGO_BIN_EXE_psd"))
+        .args(["--shard", "0", "--num-shards", "1", "--workers", "2"])
+        .args(["--min-quorum", "1"])
+        .args(["--lr", "0.2", "--port", "0"])
+        .args(["--model", MODEL, "--seed", &SEED.to_string()])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn psd");
+    let mut psd_out = BufReader::new(psd.stdout.take().expect("psd stdout piped"));
+    reap.0.push(psd);
+    let mut line = String::new();
+    psd_out.read_line(&mut line).expect("read LISTENING line");
+    let addr = line
+        .trim()
+        .strip_prefix("LISTENING ")
+        .unwrap_or_else(|| panic!("unexpected psd output: {line:?}"))
+        .to_string();
+
+    let spawn_worker = |id: usize, extra: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_worker"))
+            .args(["--id", &id.to_string(), "--workers", "2"])
+            .args(["--servers", &addr, "--algo", "ssgd"])
+            .args(["--dataset", "blobs", "--samples", "480", "--batch", "16"])
+            .args(["--epochs", &EPOCHS.to_string(), "--lr", "0.2"])
+            .args(["--model", MODEL, "--seed", &SEED.to_string()])
+            .args(["--register"])
+            .args(extra)
+            .spawn()
+            .expect("spawn worker")
+    };
+
+    // Worker 1's link drops after 40 frames (~round 5 of 45); five
+    // retries at 50 ms backoff must absorb it.
+    reap.0.push(spawn_worker(0, &[]));
+    reap.0.push(spawn_worker(
+        1,
+        &[
+            "--chaos-drop-sends",
+            "40",
+            "--reconnect-retries",
+            "5",
+            "--reconnect-backoff-ms",
+            "50",
+        ],
+    ));
+
+    let start = Instant::now();
+    for idx in [1, 2] {
+        let status = reap.0[idx].wait().expect("wait worker");
+        assert!(
+            status.success(),
+            "worker process {idx} exited with {status}: the reconnect did not absorb the drop"
+        );
+        assert!(start.elapsed() < BUDGET, "link-drop run stalled");
+    }
+
+    let num_keys = deploy::initial_weights(MODEL, SEED).len();
+    let addrs = [addr];
+    let cluster =
+        NetCluster::connect(&addrs, num_keys, NetConfig::default()).expect("controller connect");
+    let (weights, _versions) = cluster.snapshot().expect("snapshot");
+    Box::new(cluster).shutdown();
+    let psd_status = reap.0[0].wait().expect("wait psd");
+    assert!(psd_status.success(), "psd exited with {psd_status}");
+    reap.0.clear();
+
+    let chaos_acc = accuracy_of(&weights, &test);
+    assert!(
+        (chaos_acc - reference_acc).abs() <= 0.25,
+        "link-drop accuracy {chaos_acc} strays too far from fault-free {reference_acc}"
+    );
+}
+
+#[test]
+fn trailing_heartbeat_after_leave_does_not_resurrect_the_worker() {
+    // The goodbye wins: a heartbeat frame that lands *after* the same
+    // worker's Leave (same connection, FIFO order) must not touch the
+    // departed slot — the survivor's rounds keep completing without
+    // the leaver, the server stays healthy, and the slot remains
+    // re-admittable through a fresh register.
+    const KEY_LEN: usize = 8;
+    let cfg = ServerConfig::new(1, 1.0).with_elastic(ElasticConfig::new(1));
+    let server = PsNetServer::start(vec![vec![0.0; KEY_LEN]], cfg);
+    let (acceptor, addr) = TcpAcceptor::bind(("127.0.0.1", 0), NetConfig::default()).unwrap();
+    server.listen(acceptor);
+
+    let stats = Arc::new(TrafficStats::new());
+    let net = NetConfig::default();
+    let connect = || {
+        RemoteClient::new(
+            Box::new(TcpTransport::connect(addr, &net).unwrap()),
+            Arc::clone(&stats),
+            BufferPool::new(),
+        )
+        .unwrap()
+    };
+    let permanent = connect();
+    let transient = connect();
+
+    let start = Instant::now();
+    assert_eq!(transient.register(1).expect("join"), vec![0]);
+    permanent
+        .push(0, 0, Compressed::Raw(vec![1.0; KEY_LEN]))
+        .unwrap();
+    transient
+        .push(1, 0, Compressed::Raw(vec![1.0; KEY_LEN]))
+        .unwrap();
+    assert_eq!(permanent.pull(0, 1).expect("joint round")[0], -1.0);
+
+    transient.leave(1).expect("graceful leave");
+    transient
+        .heartbeat(1)
+        .expect("a trailing heartbeat frame is still deliverable");
+    drop(transient);
+
+    // The survivor alone completes the next round: the trailing
+    // heartbeat did not re-admit worker 1 into the quorum.
+    permanent
+        .push(0, 0, Compressed::Raw(vec![1.0; KEY_LEN]))
+        .unwrap();
+    assert_eq!(permanent.pull(0, 2).expect("solo round")[0], -2.0);
+    assert!(
+        server.failure().is_none(),
+        "heartbeat-after-leave must not fail the server: {:?}",
+        server.failure()
+    );
+
+    // And the slot is cleanly re-admittable afterwards.
+    let replacement = connect();
+    assert_eq!(replacement.register(1).expect("re-join"), vec![2]);
+    permanent
+        .push(0, 0, Compressed::Raw(vec![1.0; KEY_LEN]))
+        .unwrap();
+    replacement
+        .push(1, 0, Compressed::Raw(vec![1.0; KEY_LEN]))
+        .unwrap();
+    assert_eq!(permanent.pull(0, 3).expect("rejoined round")[0], -3.0);
+    assert!(start.elapsed() < BUDGET, "heartbeat-after-leave stalled");
+
+    drop(permanent);
+    drop(replacement);
     server.shutdown();
 }

@@ -198,3 +198,95 @@ fn io_thread_pool_stays_fixed_as_connections_attach() {
     assert_eq!(server.rejected_connections(), 0);
     server.shutdown();
 }
+
+#[test]
+fn reconnecting_worker_survives_repeated_link_drops_exactly() {
+    // Endurance for the reconnect path: one worker rides out *three*
+    // scripted link drops in a single 40-round run — every session is
+    // torn down mid-stream, redialed, re-registered, and its
+    // unaggregated pushes replayed. The final server state must be
+    // exact: any lost or double-counted replay shows up as a wrong
+    // weight or a skipped round.
+    use std::time::Duration;
+
+    use cdsgd_net::{FaultPlan, ReconnectConfig};
+    use cdsgd_ps::{ElasticConfig, ParamClient};
+
+    const KEY_LEN: usize = 8;
+    const ROUNDS: u64 = 40;
+    const DROPS: u64 = 3;
+    const SOAK_BUDGET: Duration = Duration::from_secs(60);
+
+    fn run() -> (Vec<Vec<f32>>, Vec<u64>, u64) {
+        let init = vec![vec![0.0; KEY_LEN], vec![1.0; KEY_LEN]];
+        let cfg = cdsgd_ps::ServerConfig::new(1, 1.0).with_elastic(ElasticConfig::new(1));
+        let cluster = NetCluster::start_tcp_local(init.clone(), cfg, 2, NetConfig::default())
+            .expect("start cluster");
+        // Each armed plan is consumed by exactly one dial, so keeping
+        // one plan armed ahead of the next redial chains the drops:
+        // the initial dial and the first two redials all get dying
+        // links; the last redial finds nothing armed and runs clean.
+        let drop_plan = || FaultPlan::new().kill_after_sends(20);
+        cluster.arm_chaos(drop_plan());
+        let rc = ReconnectConfig {
+            retries: 5,
+            backoff: Duration::from_millis(10),
+        };
+        let client = cluster
+            .reconnecting_client(0, rc)
+            .expect("open connections");
+        cluster.arm_chaos(drop_plan());
+        let mut armed = 2u64;
+
+        client.register(0).expect("register");
+        for round in 1..=ROUNDS {
+            for key in 0..2 {
+                client
+                    .push(0, key, Compressed::Raw(vec![1.0; KEY_LEN]))
+                    .expect("push survives every drop");
+            }
+            for (key, w0) in init.iter().enumerate() {
+                let w = client
+                    .pull_async(key, round)
+                    .expect("pull")
+                    .wait()
+                    .expect("pull survives every drop");
+                assert_eq!(&*w, &[w0[0] - round as f32; KEY_LEN][..]);
+            }
+            // A redial consumed the armed plan: arm the next one until
+            // the drop quota is reached.
+            if client.reconnects() >= armed - 1 && armed < DROPS {
+                cluster.arm_chaos(drop_plan());
+                armed += 1;
+            }
+        }
+        let reconnects = client.reconnects();
+        drop(client);
+        let (weights, versions) = cluster.snapshot().expect("snapshot");
+        Box::new(cluster).shutdown();
+        (weights, versions, reconnects)
+    }
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    let t = thread::spawn(move || {
+        tx.send(run()).ok();
+    });
+    let (weights, versions, reconnects) = rx
+        .recv_timeout(SOAK_BUDGET)
+        .expect("repeated-drop soak stalled");
+    t.join().unwrap();
+
+    assert_eq!(
+        reconnects, DROPS,
+        "every armed drop must fire and be recovered exactly once"
+    );
+    assert_eq!(versions, vec![ROUNDS; 2], "no round skipped or repeated");
+    assert_eq!(
+        weights,
+        vec![
+            vec![0.0 - ROUNDS as f32; KEY_LEN],
+            vec![1.0 - ROUNDS as f32; KEY_LEN]
+        ],
+        "replay must be exactly-once: drift here means a lost or doubled push"
+    );
+}
