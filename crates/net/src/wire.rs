@@ -63,6 +63,7 @@ const OP_HEARTBEAT: u8 = 9;
 const OP_LEAVE: u8 = 10;
 const OP_CHECKPOINT: u8 = 11;
 const OP_CHECKPOINT_ACK: u8 = 12;
+const OP_CANCEL_JOIN: u8 = 13;
 
 /// A decoded parameter-server message.
 ///
@@ -115,6 +116,14 @@ pub enum WireMsg {
     /// drains any queued pushes from it and shrinks the quorum instead
     /// of declaring the worker lost.
     Leave { worker: u32 },
+    /// Worker → server: roll back this connection's own tentative
+    /// registration of `worker` — a two-phase cross-shard join revoking
+    /// the shards it admitted after a later shard failed. Unlike
+    /// [`WireMsg::Leave`], the server honours it only when this exact
+    /// connection's registration *promoted* the worker into the active
+    /// set, so a rollback trailing a reconnect's re-registration cannot
+    /// demote an established member.
+    CancelJoin { worker: u32 },
     /// Control → server: write a durable checkpoint of the current shard
     /// state now (requires the server to have been started with a
     /// checkpoint directory). Answered by [`WireMsg::CheckpointAck`].
@@ -555,6 +564,13 @@ pub fn encode_leave_into(worker: u32, buf: &mut Vec<u8>) {
     put_u32(buf, worker);
 }
 
+/// Encode a cancel-join body into `buf` (cleared first).
+pub fn encode_cancel_join_into(worker: u32, buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.push(OP_CANCEL_JOIN);
+    put_u32(buf, worker);
+}
+
 /// Encode a checkpoint request body into `buf` (cleared first).
 pub fn encode_checkpoint_into(buf: &mut Vec<u8>) {
     buf.clear();
@@ -601,6 +617,7 @@ pub fn encode_msg_into(msg: &WireMsg, buf: &mut Vec<u8>) {
         WireMsg::RegisterAck { versions } => encode_register_ack_into(versions, buf),
         WireMsg::Heartbeat { worker } => encode_heartbeat_into(*worker, buf),
         WireMsg::Leave { worker } => encode_leave_into(*worker, buf),
+        WireMsg::CancelJoin { worker } => encode_cancel_join_into(*worker, buf),
         WireMsg::Checkpoint => encode_checkpoint_into(buf),
         WireMsg::CheckpointAck { round } => encode_checkpoint_ack_into(*round, buf),
     }
@@ -666,6 +683,7 @@ pub fn decode_msg(bytes: &[u8]) -> Result<WireMsg, NetError> {
         }
         OP_HEARTBEAT => WireMsg::Heartbeat { worker: cur.u32()? },
         OP_LEAVE => WireMsg::Leave { worker: cur.u32()? },
+        OP_CANCEL_JOIN => WireMsg::CancelJoin { worker: cur.u32()? },
         OP_CHECKPOINT => WireMsg::Checkpoint,
         OP_CHECKPOINT_ACK => {
             let ok = cur.u8()?;
@@ -830,6 +848,7 @@ mod tests {
             WireMsg::RegisterAck { versions: vec![] },
             WireMsg::Heartbeat { worker: 5 },
             WireMsg::Leave { worker: 2 },
+            WireMsg::CancelJoin { worker: 9 },
             WireMsg::Checkpoint,
             WireMsg::CheckpointAck { round: Some(24) },
             WireMsg::CheckpointAck { round: None },

@@ -61,6 +61,20 @@ pub trait ParamClient: Send + Sync {
         Ok(())
     }
 
+    /// Elastic membership: roll back this client's own tentative
+    /// registration of `worker` — the two-phase cross-shard join
+    /// ([`crate::ShardedClient::register`]) revoking the shards it
+    /// admitted after a later shard failed. Unlike
+    /// [`ParamClient::leave`], the server honours the cancel only when
+    /// this connection's registration *promoted* the worker into the
+    /// active set, so a rollback that trails a re-registration of an
+    /// established member (a reconnect refresh) cannot demote it.
+    /// Default no-op: without a membership table there is nothing to
+    /// roll back.
+    fn cancel_join(&self, _worker: usize) -> Result<(), NetError> {
+        Ok(())
+    }
+
     /// Elastic membership: liveness signal (pushes also count). Default
     /// no-op.
     fn heartbeat(&self, _worker: usize) -> Result<(), NetError> {
@@ -95,6 +109,10 @@ impl ParamClient for PsClient {
 
     fn leave(&self, worker: usize) -> Result<(), NetError> {
         PsClient::leave(self, worker)
+    }
+
+    fn cancel_join(&self, worker: usize) -> Result<(), NetError> {
+        PsClient::cancel_join(self, worker)
     }
 
     fn heartbeat(&self, worker: usize) -> Result<(), NetError> {
@@ -140,6 +158,10 @@ impl ParamClient for Arc<dyn ParamClient> {
 
     fn leave(&self, worker: usize) -> Result<(), NetError> {
         (**self).leave(worker)
+    }
+
+    fn cancel_join(&self, worker: usize) -> Result<(), NetError> {
+        (**self).cancel_join(worker)
     }
 
     fn heartbeat(&self, worker: usize) -> Result<(), NetError> {
@@ -194,6 +216,10 @@ impl ParamClient for RebasedClient {
 
     fn leave(&self, worker: usize) -> Result<(), NetError> {
         self.inner.leave(worker)
+    }
+
+    fn cancel_join(&self, worker: usize) -> Result<(), NetError> {
+        self.inner.cancel_join(worker)
     }
 
     fn heartbeat(&self, worker: usize) -> Result<(), NetError> {

@@ -180,6 +180,24 @@ impl PsClient {
             .map_err(|_| NetError::ServerGone)
     }
 
+    /// Roll back a tentative registration of `worker`: the two-phase
+    /// cross-shard join revoking a shard it admitted after a later shard
+    /// failed. The server honours the cancel only from the connection
+    /// whose registration *promoted* the worker into the active set, so
+    /// a rollback that trails a reconnect's re-registration is a no-op
+    /// (unlike [`PsClient::leave`], which demotes unconditionally).
+    pub fn cancel_join(&self, worker: usize) -> Result<(), NetError> {
+        self.cancel_join_from(0, worker)
+    }
+
+    /// [`PsClient::cancel_join`] attributed to a transport connection
+    /// (0 = in-process).
+    pub(crate) fn cancel_join_from(&self, conn: u64, worker: usize) -> Result<(), NetError> {
+        self.tx
+            .send(Msg::CancelJoin { worker, conn })
+            .map_err(|_| NetError::ServerGone)
+    }
+
     /// Ask the server to write a durable shard checkpoint of its current
     /// state (recovery subsystem). Returns the captured round, or `None`
     /// if the server refused (no checkpoint directory configured, a

@@ -115,6 +115,11 @@ impl ParamClient for FaultyClient {
         self.inner.leave(worker)
     }
 
+    fn cancel_join(&self, worker: usize) -> Result<(), NetError> {
+        self.check_dead()?;
+        self.inner.cancel_join(worker)
+    }
+
     fn heartbeat(&self, worker: usize) -> Result<(), NetError> {
         self.check_dead()?;
         self.inner.heartbeat(worker)

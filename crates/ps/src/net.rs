@@ -401,6 +401,7 @@ fn service_conn(
             )),
             WireMsg::Heartbeat { worker } => client.heartbeat(worker as usize)?,
             WireMsg::Leave { worker } => client.leave(worker as usize)?,
+            WireMsg::CancelJoin { worker } => client.cancel_join_from(c.id, worker as usize)?,
             WireMsg::Checkpoint => c
                 .replies
                 .push_back(Reply::Checkpoint(client.checkpoint_async()?)),
@@ -756,6 +757,15 @@ impl ParamClient for RemoteClient {
         .map(|_| ())
     }
 
+    /// Rides the same ordered stream as this connection's register, so
+    /// the cancel can never overtake the registration it revokes.
+    fn cancel_join(&self, worker: usize) -> Result<(), NetError> {
+        self.send(&WireMsg::CancelJoin {
+            worker: worker as u32,
+        })
+        .map(|_| ())
+    }
+
     fn heartbeat(&self, worker: usize) -> Result<(), NetError> {
         self.send(&WireMsg::Heartbeat {
             worker: worker as u32,
@@ -836,31 +846,54 @@ struct Session {
     failed: Option<NetError>,
 }
 
-/// Redial every shard, re-register, prune + replay unconfirmed pushes.
-/// Caller holds the session lock. `observed_epoch` is the epoch the
-/// caller saw the failure under: if the session has moved on since,
-/// another thread already reconnected and this call is a no-op.
-#[allow(clippy::too_many_arguments)]
-fn reconnect_session(
-    s: &mut Session,
-    dialer: &ShardDialer,
-    pool: &BufferPool,
+/// The shared core of a [`ReconnectingClient`]: the session under its
+/// own lock, plus everything a redial needs. Held in an `Arc` by the
+/// client handle and its supervisor thread.
+struct ReconnectCtx {
+    /// The mutable session state. Never held across a backoff sleep or
+    /// a dial — pushes and heartbeats must stay responsive while a
+    /// redial is in flight, or a starved heartbeat could trip the
+    /// server's liveness eviction before the reconnect lands.
+    session: Mutex<Session>,
+    /// Serializes redials. With the session lock released during the
+    /// dial, two unserialized observers of the same dead epoch would
+    /// race fresh registrations: the loser's discarded connection would
+    /// end up the server-side push-fence owner, silently dropping the
+    /// winner's pushes. The epoch is only ever advanced while holding
+    /// this lock, so a staleness check taken under it cannot be raced.
+    redial: Mutex<()>,
+    dialer: ShardDialer,
+    pool: BufferPool,
     worker: usize,
-    rc: &ReconnectConfig,
-    observed_epoch: u64,
-    reconnects: &AtomicU64,
-) -> Result<(), NetError> {
-    if let Some(e) = &s.failed {
-        return Err(e.clone());
-    }
-    if s.epoch != observed_epoch {
-        return Ok(());
+    rc: ReconnectConfig,
+    reconnects: AtomicU64,
+}
+
+/// Redial every shard, re-register, prune + replay unconfirmed pushes.
+/// `observed_epoch` is the epoch the caller saw the failure under: if
+/// the session has moved on since, another thread already reconnected
+/// and this call is a no-op. Callers must NOT hold the session lock —
+/// the backoff schedule (up to `retries × RECONNECT_BACKOFF_CAP`) runs
+/// outside it, and only the final prune/replay/install reacquires it.
+fn reconnect_session(ctx: &ReconnectCtx, observed_epoch: u64) -> Result<(), NetError> {
+    let _redial = ctx.redial.lock().unwrap();
+    {
+        let s = ctx.session.lock().unwrap();
+        if let Some(e) = &s.failed {
+            return Err(e.clone());
+        }
+        if s.epoch != observed_epoch {
+            return Ok(());
+        }
     }
     let mut last = NetError::ServerGone;
-    for attempt in 0..rc.retries {
-        std::thread::sleep(rc.backoff_for(attempt));
-        let fresh = match dialer.dial(pool) {
-            Ok(clients) => ShardedClient::from_clients(clients, pool.clone()),
+    for attempt in 0..ctx.rc.retries {
+        // Session lock released across the slow parts: heartbeats keep
+        // flowing (best-effort, on the dead link) and pushes keep
+        // buffering into the replay queue meanwhile.
+        std::thread::sleep(ctx.rc.backoff_for(attempt));
+        let fresh = match ctx.dialer.dial(&ctx.pool) {
+            Ok(clients) => ShardedClient::from_clients(clients, ctx.pool.clone()),
             Err(e) => {
                 last = e;
                 continue;
@@ -869,21 +902,29 @@ fn reconnect_session(
         // Re-register: re-admits the worker on every shard (the server
         // clears the slot's stale queued pushes at admission) and acks
         // the current global versions. Transactional, so a partial
-        // failure rolls itself back before we retry.
-        let acked = match fresh.register(worker) {
+        // failure rolls itself back (a `CancelJoin`, which cannot demote
+        // the still-active member) before we retry.
+        let acked = match fresh.register(ctx.worker) {
             Ok(v) => v,
             Err(e) => {
                 last = e;
                 continue;
             }
         };
+        // Prune, replay and install under one continuous session-lock
+        // hold: a concurrently-buffered push is either already in
+        // `replay` here (and is re-sent below) or buffered after the
+        // install (and goes out on the fresh session directly) — never
+        // lost between sessions.
+        let mut guard = ctx.session.lock().unwrap();
+        let s = &mut *guard;
         // Prune: local rounds at or below the acked version were
         // aggregated before the drop and must not be re-sent.
         for (k, q) in s.replay.iter_mut().enumerate() {
             let done = acked[k].saturating_sub(s.base[k]);
             while q.front().is_some_and(|(r, _)| *r <= done) {
                 let (_, payload) = q.pop_front().expect("front checked");
-                payload.recycle(pool);
+                payload.recycle(&ctx.pool);
             }
         }
         // Replay the unconsumed suffix in round order per key. The
@@ -892,7 +933,7 @@ fn reconnect_session(
         let mut replay_err = None;
         'replay: for (k, q) in s.replay.iter().enumerate() {
             for (_, payload) in q {
-                if let Err(e) = fresh.push(worker, k, payload.clone()) {
+                if let Err(e) = fresh.push(ctx.worker, k, payload.clone()) {
                     replay_err = Some(e);
                     break 'replay;
                 }
@@ -905,9 +946,10 @@ fn reconnect_session(
         s.inner = fresh;
         s.acked = Some(acked);
         s.epoch += 1;
-        reconnects.fetch_add(1, Ordering::Relaxed);
+        ctx.reconnects.fetch_add(1, Ordering::Relaxed);
         return Ok(());
     }
+    let mut s = ctx.session.lock().unwrap();
     s.failed = Some(last.clone());
     s.epoch += 1;
     Err(last)
@@ -922,15 +964,10 @@ fn reconnect_session(
 /// what clears the server-side queues); see DESIGN.md §13. Never built
 /// unless reconnect flags are set, so fault-free runs are untouched.
 pub struct ReconnectingClient {
-    dialer: ShardDialer,
-    worker: usize,
-    rc: ReconnectConfig,
-    pool: BufferPool,
-    session: Arc<Mutex<Session>>,
+    ctx: Arc<ReconnectCtx>,
     cmd_tx: Sender<PullCmd>,
     supervisor: Option<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
-    reconnects: Arc<AtomicU64>,
 }
 
 impl ReconnectingClient {
@@ -942,126 +979,102 @@ impl ReconnectingClient {
     ) -> Result<Self, NetError> {
         let pool = BufferPool::new();
         let inner = ShardedClient::from_clients(dialer.dial(&pool)?, pool.clone());
-        let session = Arc::new(Mutex::new(Session {
-            epoch: 0,
-            inner,
-            base: vec![0; num_keys],
-            pushed: vec![0; num_keys],
-            replay: vec![VecDeque::new(); num_keys],
-            acked: None,
-            failed: None,
-        }));
-        let (cmd_tx, cmd_rx) = unbounded();
-        let stop = Arc::new(AtomicBool::new(false));
-        let reconnects = Arc::new(AtomicU64::new(0));
-        let supervisor = spawn_supervisor(
-            Arc::clone(&session),
-            dialer.clone(),
-            pool.clone(),
-            worker,
-            rc.clone(),
-            cmd_rx,
-            Arc::clone(&stop),
-            Arc::clone(&reconnects),
-        )?;
-        Ok(Self {
+        let ctx = Arc::new(ReconnectCtx {
+            session: Mutex::new(Session {
+                epoch: 0,
+                inner,
+                base: vec![0; num_keys],
+                pushed: vec![0; num_keys],
+                replay: vec![VecDeque::new(); num_keys],
+                acked: None,
+                failed: None,
+            }),
+            redial: Mutex::new(()),
             dialer,
+            pool,
             worker,
             rc,
-            pool,
-            session,
+            reconnects: AtomicU64::new(0),
+        });
+        let (cmd_tx, cmd_rx) = unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+        let supervisor = spawn_supervisor(Arc::clone(&ctx), cmd_rx, Arc::clone(&stop))?;
+        Ok(Self {
+            ctx,
             cmd_tx,
             supervisor: Some(supervisor),
             stop,
-            reconnects,
         })
     }
 
     /// How many times this client successfully reconnected (diagnostics
     /// and test hooks).
     pub fn reconnects(&self) -> u64 {
-        self.reconnects.load(Ordering::Relaxed)
-    }
-
-    fn reconnect_locked(&self, s: &mut Session, observed_epoch: u64) -> Result<(), NetError> {
-        reconnect_session(
-            s,
-            &self.dialer,
-            &self.pool,
-            self.worker,
-            &self.rc,
-            observed_epoch,
-            &self.reconnects,
-        )
+        self.ctx.reconnects.load(Ordering::Relaxed)
     }
 }
 
 /// Issue one pull on the current session, reconnecting as needed; on
 /// success the in-flight pull joins `outstanding`, on terminal failure
 /// the caller's channel gets the error.
-#[allow(clippy::too_many_arguments)]
 fn issue_pull(
-    session: &Mutex<Session>,
-    dialer: &ShardDialer,
-    pool: &BufferPool,
-    worker: usize,
-    rc: &ReconnectConfig,
-    reconnects: &AtomicU64,
+    ctx: &ReconnectCtx,
     key: Key,
     version: u64,
     out: Sender<Result<Arc<[f32]>, NetError>>,
     outstanding: &mut Vec<OutstandingPull>,
 ) {
     loop {
-        let mut s = session.lock().unwrap();
-        if let Some(e) = &s.failed {
-            let _ = out.send(Err(e.clone()));
-            return;
-        }
-        // Clamp a pull the server can no longer serve exactly (only
-        // reachable through CD-SGD's one-round-deep deferred pulls when
-        // the drop ate the reply): `version - 1` is the oldest the
-        // server keeps, and anything older would trip its staleness
-        // panic.
-        let issued = match &s.acked {
-            Some(a) if version + 1 < a[key] => a[key] - 1,
-            _ => version,
-        };
-        match s.inner.pull_async(key, issued) {
-            Ok(pending) => {
-                outstanding.push(OutstandingPull {
-                    key,
-                    version,
-                    issued,
-                    epoch: s.epoch,
-                    pending,
-                    out,
-                });
+        let epoch = {
+            let s = ctx.session.lock().unwrap();
+            if let Some(e) = &s.failed {
+                let _ = out.send(Err(e.clone()));
                 return;
             }
-            Err(_) => {
-                let epoch = s.epoch;
-                if reconnect_session(&mut s, dialer, pool, worker, rc, epoch, reconnects).is_err() {
-                    let e = s.failed.clone().unwrap_or(NetError::ServerGone);
-                    let _ = out.send(Err(e));
+            // Clamp a pull the server can no longer serve exactly (only
+            // reachable through CD-SGD's one-round-deep deferred pulls
+            // when the drop ate the reply): `version - 1` is the oldest
+            // the server keeps, and anything older would trip its
+            // staleness panic.
+            let issued = match &s.acked {
+                Some(a) if version + 1 < a[key] => a[key] - 1,
+                _ => version,
+            };
+            match s.inner.pull_async(key, issued) {
+                Ok(pending) => {
+                    outstanding.push(OutstandingPull {
+                        key,
+                        version,
+                        issued,
+                        epoch: s.epoch,
+                        pending,
+                        out,
+                    });
                     return;
                 }
-                // Retry on the fresh session.
+                Err(_) => s.epoch,
             }
+        };
+        // Redial with the session lock released (see `reconnect_session`).
+        if reconnect_session(ctx, epoch).is_err() {
+            let e = ctx
+                .session
+                .lock()
+                .unwrap()
+                .failed
+                .clone()
+                .unwrap_or(NetError::ServerGone);
+            let _ = out.send(Err(e));
+            return;
         }
+        // Retry on the fresh session.
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn spawn_supervisor(
-    session: Arc<Mutex<Session>>,
-    dialer: ShardDialer,
-    pool: BufferPool,
-    worker: usize,
-    rc: ReconnectConfig,
+    ctx: Arc<ReconnectCtx>,
     cmd_rx: Receiver<PullCmd>,
     stop: Arc<AtomicBool>,
-    reconnects: Arc<AtomicU64>,
 ) -> Result<JoinHandle<()>, NetError> {
     std::thread::Builder::new()
         .name("ps-reconnect".into())
@@ -1089,18 +1102,9 @@ fn spawn_supervisor(
                         }
                     };
                     match cmd {
-                        Some(PullCmd::Pull { key, version, out }) => issue_pull(
-                            &session,
-                            &dialer,
-                            &pool,
-                            worker,
-                            &rc,
-                            &reconnects,
-                            key,
-                            version,
-                            out,
-                            &mut outstanding,
-                        ),
+                        Some(PullCmd::Pull { key, version, out }) => {
+                            issue_pull(&ctx, key, version, out, &mut outstanding)
+                        }
                         None => break,
                     }
                 }
@@ -1117,12 +1121,12 @@ fn spawn_supervisor(
                                 // local round at or below it was
                                 // aggregated: confirm (drop) those
                                 // replay entries.
-                                let mut s = session.lock().unwrap();
+                                let mut s = ctx.session.lock().unwrap();
                                 let done = o.issued.saturating_sub(s.base[o.key]);
                                 while s.replay[o.key].front().is_some_and(|(r, _)| *r <= done) {
                                     let (_, payload) =
                                         s.replay[o.key].pop_front().expect("front checked");
-                                    payload.recycle(&pool);
+                                    payload.recycle(&ctx.pool);
                                 }
                             }
                             let _ = o.out.send(Ok(weights));
@@ -1133,30 +1137,8 @@ fn spawn_supervisor(
                             // reconnect (a no-op if a newer epoch
                             // already did) and re-issue it verbatim.
                             let o = outstanding.swap_remove(i);
-                            {
-                                let mut s = session.lock().unwrap();
-                                let _ = reconnect_session(
-                                    &mut s,
-                                    &dialer,
-                                    &pool,
-                                    worker,
-                                    &rc,
-                                    o.epoch,
-                                    &reconnects,
-                                );
-                            }
-                            issue_pull(
-                                &session,
-                                &dialer,
-                                &pool,
-                                worker,
-                                &rc,
-                                &reconnects,
-                                o.key,
-                                o.version,
-                                o.out,
-                                &mut outstanding,
-                            );
+                            let _ = reconnect_session(&ctx, o.epoch);
+                            issue_pull(&ctx, o.key, o.version, o.out, &mut outstanding);
                             progress = true;
                         }
                     }
@@ -1171,28 +1153,30 @@ fn spawn_supervisor(
 
 impl ParamClient for ReconnectingClient {
     fn push(&self, worker: usize, key: Key, payload: Compressed) -> Result<(), NetError> {
-        let mut s = self.session.lock().unwrap();
-        if let Some(e) = &s.failed {
-            return Err(e.clone());
-        }
-        s.pushed[key] += 1;
-        let round = s.pushed[key];
-        s.replay[key].push_back((round, payload.clone()));
-        if s.replay[key].len() > REPLAY_DEPTH {
-            // Keep the buffer bounded for keys that are pushed but never
-            // pulled; under the normal ≤2-round lag this never trips.
-            let (_, stale) = s.replay[key].pop_front().expect("len checked");
-            stale.recycle(&self.pool);
-        }
-        match s.inner.push(worker, key, payload) {
-            Ok(()) => Ok(()),
-            Err(_) => {
-                // The replay buffer holds this push; a successful
-                // reconnect has already re-sent it.
-                let epoch = s.epoch;
-                self.reconnect_locked(&mut s, epoch)
+        let epoch = {
+            let mut s = self.ctx.session.lock().unwrap();
+            if let Some(e) = &s.failed {
+                return Err(e.clone());
             }
-        }
+            s.pushed[key] += 1;
+            let round = s.pushed[key];
+            s.replay[key].push_back((round, payload.clone()));
+            if s.replay[key].len() > REPLAY_DEPTH {
+                // Keep the buffer bounded for keys that are pushed but
+                // never pulled; under the normal ≤2-round lag this never
+                // trips.
+                let (_, stale) = s.replay[key].pop_front().expect("len checked");
+                stale.recycle(&self.ctx.pool);
+            }
+            match s.inner.push(worker, key, payload) {
+                Ok(()) => return Ok(()),
+                Err(_) => s.epoch,
+            }
+        };
+        // The replay buffer holds this push: it was buffered under the
+        // session lock, strictly before any install, so whichever redial
+        // installs the next session replays it.
+        reconnect_session(&self.ctx, epoch)
     }
 
     fn pull_async(&self, key: Key, min_version: u64) -> Result<PendingPull, NetError> {
@@ -1208,7 +1192,7 @@ impl ParamClient for ReconnectingClient {
     }
 
     fn set_lr(&self, lr: f32) -> Result<(), NetError> {
-        self.session.lock().unwrap().inner.set_lr(lr)
+        self.ctx.session.lock().unwrap().inner.set_lr(lr)
     }
 
     /// Registers on the current connections (retrying through a
@@ -1216,44 +1200,65 @@ impl ParamClient for ReconnectingClient {
     /// ack. Must precede the first push, which the worker binary's flow
     /// guarantees.
     fn register(&self, worker: usize) -> Result<Vec<u64>, NetError> {
-        debug_assert_eq!(worker, self.worker, "one reconnecting client per worker");
-        let mut s = self.session.lock().unwrap();
-        if let Some(e) = &s.failed {
-            return Err(e.clone());
-        }
-        let acked = match s.inner.register(worker) {
-            Ok(a) => a,
-            Err(_) => {
-                let epoch = s.epoch;
-                self.reconnect_locked(&mut s, epoch)?;
-                s.acked.clone().expect("reconnect stores the ack")
+        debug_assert_eq!(
+            worker, self.ctx.worker,
+            "one reconnecting client per worker"
+        );
+        let epoch = {
+            let mut s = self.ctx.session.lock().unwrap();
+            if let Some(e) = &s.failed {
+                return Err(e.clone());
+            }
+            match s.inner.register(worker) {
+                Ok(acked) => {
+                    s.base = acked.clone();
+                    s.acked = Some(acked.clone());
+                    return Ok(acked);
+                }
+                Err(_) => s.epoch,
             }
         };
+        reconnect_session(&self.ctx, epoch)?;
+        let mut s = self.ctx.session.lock().unwrap();
+        let acked = s.acked.clone().expect("reconnect stores the ack");
         s.base = acked.clone();
-        s.acked = Some(acked.clone());
         Ok(acked)
     }
 
     fn leave(&self, worker: usize) -> Result<(), NetError> {
-        let mut s = self.session.lock().unwrap();
+        let epoch = {
+            let s = self.ctx.session.lock().unwrap();
+            if let Some(e) = &s.failed {
+                return Err(e.clone());
+            }
+            match s.inner.leave(worker) {
+                Ok(()) => return Ok(()),
+                Err(_) => s.epoch,
+            }
+        };
+        reconnect_session(&self.ctx, epoch)?;
+        self.ctx.session.lock().unwrap().inner.leave(worker)
+    }
+
+    /// Forwarded to the current session without a redial on failure: a
+    /// cancel is only honoured from the connections whose registration
+    /// it rolls back, so re-sending it on a fresh session would be a
+    /// server-side no-op anyway.
+    fn cancel_join(&self, worker: usize) -> Result<(), NetError> {
+        let s = self.ctx.session.lock().unwrap();
         if let Some(e) = &s.failed {
             return Err(e.clone());
         }
-        match s.inner.leave(worker) {
-            Ok(()) => Ok(()),
-            Err(_) => {
-                let epoch = s.epoch;
-                self.reconnect_locked(&mut s, epoch)?;
-                s.inner.leave(worker)
-            }
-        }
+        s.inner.cancel_join(worker)
     }
 
     /// Best-effort: a failed heartbeat means the link is down, and the
     /// push or pull that discovers that triggers the reconnect — the
-    /// heartbeat thread must not die (or redial) over it.
+    /// heartbeat thread must not die (or redial) over it. Takes only a
+    /// brief session-lock hold, so heartbeats stay responsive even while
+    /// a redial sleeps through its backoff schedule.
     fn heartbeat(&self, worker: usize) -> Result<(), NetError> {
-        let s = self.session.lock().unwrap();
+        let s = self.ctx.session.lock().unwrap();
         if let Some(e) = &s.failed {
             return Err(e.clone());
         }
@@ -1262,7 +1267,7 @@ impl ParamClient for ReconnectingClient {
     }
 
     fn pool(&self) -> &BufferPool {
-        &self.pool
+        &self.ctx.pool
     }
 }
 
@@ -1860,20 +1865,30 @@ mod tests {
         server.shutdown();
     }
 
-    /// One worker, two shards, `rounds` synchronous rounds; asserts the
-    /// pulled weights match the closed form `init(k) - round` so any
-    /// double-applied (or lost) replay shows up immediately.
-    fn run_rounds(c: &dyn ParamClient, rounds: u64) {
-        c.register(0).unwrap();
+    /// `rounds` synchronous rounds as `worker` over two shards; asserts
+    /// the pulled weights match the closed form `init(k) - round` so any
+    /// double-applied (or lost) replay shows up immediately. The form
+    /// holds for any worker count as long as every worker pushes 1.0:
+    /// the divisor-N aggregate of N unit gradients steps exactly 1.0.
+    fn run_rounds_as(c: &dyn ParamClient, worker: usize, rounds: u64) {
+        c.register(worker).unwrap();
         for r in 1..=rounds {
             for k in 0..2 {
-                c.push(0, k, Compressed::Raw(vec![1.0; 3])).unwrap();
+                c.push(worker, k, Compressed::Raw(vec![1.0; 3])).unwrap();
             }
             for k in 0..2 {
                 let w = c.pull_async(k, r).unwrap().wait().unwrap();
-                assert_eq!(*w, [k as f32 - r as f32; 3], "key {k} round {r}");
+                assert_eq!(
+                    *w,
+                    [k as f32 - r as f32; 3],
+                    "worker {worker} key {k} round {r}"
+                );
             }
         }
+    }
+
+    fn run_rounds(c: &dyn ParamClient, rounds: u64) {
+        run_rounds_as(c, 0, rounds)
     }
 
     fn elastic_cluster() -> NetCluster {
@@ -1975,6 +1990,140 @@ mod tests {
         assert_eq!(v, vec![2]);
         assert_eq!(w[0], vec![-2.0; 3]);
         server.shutdown();
+    }
+
+    #[test]
+    fn rollback_after_reregistration_does_not_demote_the_member() {
+        use crate::ElasticConfig;
+        let server = PsNetServer::start(
+            init(1),
+            ServerConfig::new(2, 1.0).with_elastic(ElasticConfig::new(2)),
+        );
+        let c0 = loopback_client(&server);
+        assert_eq!(c0.register(0).unwrap(), vec![0]);
+        let c1 = loopback_client(&server);
+        assert_eq!(c1.register(1).unwrap(), vec![0]);
+        // Worker 0 reconnects: a fresh connection re-registers it, then
+        // the two-phase join rolls back (as if a later shard failed).
+        // The cancel must be a no-op — with a `leave`-based rollback
+        // this demoted the still-active member and tripped the
+        // min_quorum=2 terminal failure.
+        let c0b = loopback_client(&server);
+        assert_eq!(c0b.register(0).unwrap(), vec![0]);
+        c0b.cancel_join(0).unwrap();
+        // Both members still gate and feed rounds; the shard is healthy.
+        c0b.push(0, 0, Compressed::Raw(vec![2.0; 3])).unwrap();
+        c1.push(1, 0, Compressed::Raw(vec![4.0; 3])).unwrap();
+        assert_eq!(*c1.pull(0, 1).unwrap(), [-3.0; 3]);
+        assert_eq!(server.failure(), None);
+        server.shutdown();
+    }
+
+    #[test]
+    fn canceled_tentative_join_stops_gating_rounds() {
+        use crate::ElasticConfig;
+        let server = PsNetServer::start(
+            init(1),
+            ServerConfig::new(1, 1.0).with_elastic(ElasticConfig::new(1)),
+        );
+        let c = loopback_client(&server);
+        assert_eq!(c.register(0).unwrap(), vec![0]);
+        // Worker 5 joins tentatively, then its two-phase register rolls
+        // back (a later shard refused). The cancel lands even though the
+        // register's ack made it through — without it, the phantom
+        // member would gate every round until heartbeat eviction.
+        let joiner = loopback_client(&server);
+        assert_eq!(joiner.register(5).unwrap(), vec![0]);
+        joiner.cancel_join(5).unwrap();
+        // Worker 0 alone completes the round (the pull blocks until the
+        // server has processed the cancel, then the key pumps).
+        c.push(0, 0, Compressed::Raw(vec![2.0; 3])).unwrap();
+        assert_eq!(*c.pull(0, 1).unwrap(), [-2.0; 3]);
+        assert_eq!(server.failure(), None);
+        server.shutdown();
+    }
+
+    #[test]
+    fn reconnect_backoff_does_not_block_heartbeats() {
+        let cluster = elastic_cluster();
+        cluster.arm_chaos(cdsgd_net::FaultPlan::new().kill_after_sends(1));
+        let rc = cdsgd_net::ReconnectConfig {
+            retries: 3,
+            backoff: Duration::from_millis(400),
+        };
+        let c = Arc::new(cluster.reconnecting_client(0, rc).unwrap());
+        // The register is each shard's one allowed send; the first push
+        // trips the kill and starts a redial whose first backoff sleeps
+        // 400 ms.
+        ParamClient::register(c.as_ref(), 0).unwrap();
+        let c2 = Arc::clone(&c);
+        let pusher = std::thread::spawn(move || c2.push(0, 0, Compressed::Raw(vec![1.0; 3])));
+        // While the redial sleeps, heartbeats must keep returning
+        // promptly: the session lock is not held across the backoff.
+        let t0 = std::time::Instant::now();
+        let mut worst = Duration::ZERO;
+        while c.reconnects() == 0 && t0.elapsed() < Duration::from_secs(10) {
+            let t = std::time::Instant::now();
+            c.heartbeat(0).unwrap();
+            worst = worst.max(t.elapsed());
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(c.reconnects() >= 1, "the armed drop never fired");
+        pusher.join().unwrap().unwrap();
+        assert!(
+            worst < Duration::from_millis(200),
+            "heartbeat stalled {worst:?} behind the redial backoff"
+        );
+        // The push was replayed on the fresh session: the round
+        // completes with the exact fault-free weights.
+        assert_eq!(*c.pull_async(0, 1).unwrap().wait().unwrap(), [-1.0; 3]);
+        drop(c);
+        Box::new(cluster).shutdown();
+    }
+
+    /// Worker 0's link drops mid-run while worker 1 stays up, under
+    /// min_quorum = 2: the reconnect's re-register must not demote
+    /// either member (a terminal below-quorum failure), and the replay
+    /// must keep the weights bit-exact with a fault-free run. The
+    /// review's quorum-≥2 gap: the other chaos tests are all 1-worker.
+    #[test]
+    fn link_drop_with_two_workers_and_quorum_two_is_bit_exact() {
+        use crate::ElasticConfig;
+        let two_worker_cluster = || {
+            NetCluster::start_loopback(
+                init(2),
+                ServerConfig::new(2, 1.0).with_elastic(ElasticConfig::new(2)),
+                2,
+            )
+            .unwrap()
+        };
+        let reference = {
+            let cluster = two_worker_cluster();
+            let c0 = cluster.client().unwrap();
+            let c1 = cluster.client().unwrap();
+            std::thread::scope(|s| {
+                s.spawn(|| run_rounds_as(c0.as_ref(), 0, 4));
+                s.spawn(|| run_rounds_as(c1.as_ref(), 1, 4));
+            });
+            drop((c0, c1));
+            let snap = PsBackend::snapshot(&cluster).unwrap();
+            Box::new(cluster).shutdown();
+            snap
+        };
+        let cluster = two_worker_cluster();
+        // Worker 1 dials first so the armed one-shot drop is consumed
+        // by worker 0's reconnecting client.
+        let c1 = cluster.client().unwrap();
+        cluster.arm_chaos(cdsgd_net::FaultPlan::new().kill_after_sends(5));
+        let c0 = cluster.reconnecting_client(0, fast_rc()).unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| run_rounds_as(&c0, 0, 4));
+            s.spawn(|| run_rounds_as(c1.as_ref(), 1, 4));
+        });
+        assert!(c0.reconnects() >= 1, "the armed drop never fired");
+        drop((c0, c1));
+        assert_eq!(PsBackend::snapshot(&cluster).unwrap(), reference);
+        Box::new(cluster).shutdown();
     }
 
     #[test]

@@ -191,6 +191,18 @@ pub(crate) enum Msg {
     Leave {
         worker: usize,
     },
+    /// Elastic membership: roll back a tentative registration — the
+    /// two-phase cross-shard join revoking a shard it admitted after a
+    /// later shard failed. Honoured only when `conn` is the connection
+    /// whose registration *promoted* the slot into the active set (see
+    /// `Members::joined_by`): a cancel that trails a re-registration of
+    /// an existing member is a no-op, so a rollback can never shrink the
+    /// quorum below its pre-join size.
+    CancelJoin {
+        worker: usize,
+        /// Transport connection the cancel arrived on (0 = in-process).
+        conn: u64,
+    },
     /// Elastic membership: liveness signal (pushes also count).
     Heartbeat {
         worker: usize,
@@ -234,9 +246,24 @@ struct Members {
     /// straggler from a superseded session (a link the reconnect layer
     /// abandoned, or a replaced worker's last gasp) whose unconsumed
     /// rounds the owner replays itself — aggregating the straggler too
-    /// would double-count it.
+    /// would double-count it. The in-process sentinel (conn 0) is never
+    /// fenced on the push side either: it marks trusted same-process
+    /// callers, not a supersedable wire session.
     owner: Vec<u64>,
+    /// Per slot, the connection whose registration *promoted* it into
+    /// the active set ([`NEVER_JOINED`] for the construction-time worker
+    /// set). A join rollback (`Msg::CancelJoin`) is honoured only from
+    /// this connection: it exactly undoes a tentative admission, while a
+    /// cancel trailing a mere re-registration (a reconnect refreshing an
+    /// already-active member) matches the *original* promoter and is
+    /// therefore a no-op.
+    joined_by: Vec<u64>,
 }
+
+/// Sentinel for `Members::joined_by`: the slot has been active since
+/// construction (the initial worker set), so no registration promoted it
+/// and no rollback may demote it.
+const NEVER_JOINED: u64 = u64::MAX;
 
 impl Members {
     fn new(n: usize) -> Self {
@@ -244,6 +271,7 @@ impl Members {
             state: vec![MemberState::Active; n],
             last_seen: vec![Instant::now(); n],
             owner: vec![0; n],
+            joined_by: vec![NEVER_JOINED; n],
         }
     }
 
@@ -269,6 +297,13 @@ impl Members {
             self.state.resize(w + 1, MemberState::Gone);
             self.last_seen.resize(w + 1, Instant::now());
             self.owner.resize(w + 1, 0);
+            self.joined_by.resize(w + 1, NEVER_JOINED);
+        }
+        // Record the promoter only when this registration actually grew
+        // the active set; a re-registration of an already-active member
+        // keeps the original promoter, so its rollback is a no-op.
+        if self.state[w] != MemberState::Active {
+            self.joined_by[w] = conn;
         }
         self.state[w] = MemberState::Active;
         self.last_seen[w] = Instant::now();
@@ -276,9 +311,10 @@ impl Members {
     }
 
     /// Would a push for `w` arriving on `conn` come from a connection
-    /// superseded by a later registration?
+    /// superseded by a later registration? The in-process sentinel
+    /// (`conn == 0`) is never fenced — see the note on `owner`.
     fn fenced(&self, w: usize, conn: u64) -> bool {
-        self.owner[w] != 0 && self.owner[w] != conn
+        conn != 0 && self.owner[w] != 0 && self.owner[w] != conn
     }
 
     /// First active worker silent past `timeout`, if any.
@@ -675,35 +711,45 @@ fn server_loop(
             }
             Some(Msg::Leave { worker }) if failed.is_none() && members.is_active(worker) => {
                 if let Some(e) = cfg.elastic {
-                    members.state[worker] = MemberState::Draining;
-                    let active = members.active();
-                    stats.telemetry().emit(|| Event::WorkerLeft {
+                    demote_member(
                         worker,
-                        active,
-                        graceful: true,
-                    });
-                    // A *partial* membership below the quorum fails
-                    // the run; a full graceful drain to zero is a
-                    // valid end state — the server idles, ready for
-                    // new joins or a controller's shutdown. (A pool
-                    // of min_quorum q can only reach zero gracefully
-                    // when q == 1, stepping 1 → 0.)
-                    if active > 0 && active < e.min_quorum {
-                        let round = min_version(&keys);
-                        fail_now(
-                            &mut keys,
-                            &failure,
-                            &mut failed,
-                            NetError::WorkerLost { id: worker, round },
-                        );
-                    } else {
-                        // The leaver no longer gates round
-                        // completion: pump every key.
-                        for (key, ks) in keys.iter_mut().enumerate() {
-                            pump_key(key, ks, &members, &cfg, &stats, &pool, &mut ckpt);
-                        }
-                        members.sweep(&keys);
-                    }
+                        e,
+                        &mut keys,
+                        &mut members,
+                        &cfg,
+                        &stats,
+                        &pool,
+                        &mut ckpt,
+                        &failure,
+                        &mut failed,
+                    );
+                }
+            }
+            // A two-phase join rollback: the registering client revokes
+            // its own tentative admission. The `joined_by` fence makes
+            // this exact — only the connection whose registration
+            // *promoted* the slot may demote it, so a cancel that trails
+            // a re-registration of an established member (a reconnect
+            // refresh) falls through to the ignore arm below and cannot
+            // shrink the quorum past its pre-join size.
+            Some(Msg::CancelJoin { worker, conn })
+                if failed.is_none()
+                    && members.is_active(worker)
+                    && members.joined_by[worker] == conn =>
+            {
+                if let Some(e) = cfg.elastic {
+                    demote_member(
+                        worker,
+                        e,
+                        &mut keys,
+                        &mut members,
+                        &cfg,
+                        &stats,
+                        &pool,
+                        &mut ckpt,
+                        &failure,
+                        &mut failed,
+                    );
                 }
             }
             // Only an *Active* slot's liveness is refreshed: a heartbeat
@@ -714,10 +760,13 @@ fn server_loop(
             {
                 members.last_seen[worker] = Instant::now();
             }
-            // Leave/Heartbeat from an unknown or inactive worker, or
-            // after the run already failed: ignored (the guards above
-            // filtered them out).
-            Some(Msg::Leave { .. }) | Some(Msg::Heartbeat { .. }) => {}
+            // Leave/CancelJoin/Heartbeat from an unknown or inactive
+            // worker, a cancel from a connection that didn't promote the
+            // slot, or anything after the run already failed: ignored
+            // (the guards above filtered them out).
+            Some(Msg::Leave { .. })
+            | Some(Msg::CancelJoin { .. })
+            | Some(Msg::Heartbeat { .. }) => {}
             Some(Msg::Pull {
                 key,
                 min_version,
@@ -835,6 +884,50 @@ fn server_loop(
                 }
             }
         }
+    }
+}
+
+/// Demote an active `worker` to `Draining` — the shared tail of a
+/// graceful `Leave` and a join rollback's `CancelJoin`. A *partial*
+/// membership below the quorum fails the run; a full graceful drain to
+/// zero is a valid end state — the server idles, ready for new joins or
+/// a controller's shutdown. (A pool of min_quorum q can only reach zero
+/// gracefully when q == 1, stepping 1 → 0.)
+#[allow(clippy::too_many_arguments)]
+fn demote_member(
+    worker: usize,
+    e: ElasticConfig,
+    keys: &mut [KeyState],
+    members: &mut Members,
+    cfg: &ServerConfig,
+    stats: &TrafficStats,
+    pool: &BufferPool,
+    ckpt: &mut CheckpointTracker,
+    failure: &Mutex<Option<NetError>>,
+    failed: &mut Option<NetError>,
+) {
+    members.state[worker] = MemberState::Draining;
+    let active = members.active();
+    stats.telemetry().emit(|| Event::WorkerLeft {
+        worker,
+        active,
+        graceful: true,
+    });
+    if active > 0 && active < e.min_quorum {
+        let round = min_version(keys);
+        fail_now(
+            keys,
+            failure,
+            failed,
+            NetError::WorkerLost { id: worker, round },
+        );
+    } else {
+        // The departed worker no longer gates round completion: pump
+        // every key.
+        for (key, ks) in keys.iter_mut().enumerate() {
+            pump_key(key, ks, members, cfg, stats, pool, ckpt);
+        }
+        members.sweep(keys);
     }
 }
 
@@ -1302,6 +1395,75 @@ mod tests {
         // Scale back up from zero: a rejoin resumes training solo.
         assert_eq!(c.register(0).unwrap(), vec![1]);
         c.push(0, 0, Compressed::Raw(vec![2.0])).unwrap();
+        assert_eq!(*c.pull(0, 2).unwrap(), [-4.0]);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn cancel_join_rolls_back_a_tentative_join() {
+        let ps = ParamServer::start(
+            vec![vec![0.0]],
+            ServerConfig::new(1, 1.0).with_elastic(ElasticConfig::new(1)),
+        );
+        let c = ps.client();
+        // Worker 1 is tentatively admitted, then the two-phase register
+        // rolls it back: worker 0 alone completes rounds again, and no
+        // phantom member stalls the shard until heartbeat eviction.
+        assert_eq!(c.register(1).unwrap(), vec![0]);
+        c.cancel_join(1).unwrap();
+        c.push(0, 0, Compressed::Raw(vec![2.0])).unwrap();
+        assert_eq!(*c.pull(0, 1).unwrap(), [-2.0]);
+        assert_eq!(ps.failure(), None);
+        // The slot is reusable: a later real join gates the next round.
+        assert_eq!(c.register(1).unwrap(), vec![1]);
+        c.push(0, 0, Compressed::Raw(vec![2.0])).unwrap();
+        c.push(1, 0, Compressed::Raw(vec![4.0])).unwrap();
+        // W = -2 - 1.0/2 * (2+4) = -5.
+        assert_eq!(*c.pull(0, 2).unwrap(), [-5.0]);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn cancel_join_after_a_reregistration_is_a_noop() {
+        // min_quorum 2 pins the regression this fixes: a rollback that
+        // trails a re-registration of an established member must not
+        // demote it — with a `leave`-based rollback, a transient partial
+        // register failure became a permanent below-quorum one.
+        let ps = ParamServer::start(
+            vec![vec![0.0]],
+            ServerConfig::new(2, 1.0).with_elastic(ElasticConfig::new(2)),
+        );
+        let c = ps.client();
+        // Worker 1 is in the initial set: registering it again is a
+        // refresh, not a promotion, so the cancel finds no tentative
+        // join to undo.
+        assert_eq!(c.register(1).unwrap(), vec![0]);
+        c.cancel_join(1).unwrap();
+        // Both members still gate and feed rounds; the server is healthy.
+        c.push(0, 0, Compressed::Raw(vec![2.0])).unwrap();
+        c.push(1, 0, Compressed::Raw(vec![4.0])).unwrap();
+        assert_eq!(*c.pull(0, 1).unwrap(), [-3.0]);
+        assert_eq!(ps.failure(), None);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn in_process_push_is_not_fenced_by_a_wire_registration() {
+        let ps = ParamServer::start(
+            vec![vec![0.0]],
+            ServerConfig::new(1, 1.0).with_elastic(ElasticConfig::new(1)),
+        );
+        let c = ps.client();
+        // Worker 0 registers over a transport connection (id 7), which
+        // fences pushes from *other wire connections*…
+        assert_eq!(c.join_async_from(7, 0).unwrap().recv().unwrap(), vec![0]);
+        // …but never the in-process sentinel: conn 0 marks a trusted
+        // same-process caller, not a supersedable wire session.
+        c.push(0, 0, Compressed::Raw(vec![2.0])).unwrap();
+        assert_eq!(*c.pull(0, 1).unwrap(), [-2.0]);
+        // A straggler from a superseded wire connection is still dropped.
+        c.push_from(3, 0, 0, Compressed::Raw(vec![100.0])).unwrap();
+        c.push_from(7, 0, 0, Compressed::Raw(vec![2.0])).unwrap();
         assert_eq!(*c.pull(0, 2).unwrap(), [-4.0]);
         ps.shutdown();
     }

@@ -185,20 +185,24 @@ impl<C: ParamClient> ParamClient for ShardedClient<C> {
     /// order, then interleave the per-shard version acks back into
     /// global key order (inverse of the round-robin key partition, same
     /// as [`reassemble_snapshots`]). If any shard fails, the join is
-    /// rolled back with a best-effort [`ParamClient::leave`] on exactly
-    /// the shards already joined, so no shard ever counts a member the
-    /// others don't. The rollback cannot trip a shard's below-quorum
-    /// failure: a tentatively-admitted worker has queued no pushes, so
-    /// its leave restores the pre-join active count, which was a valid
-    /// quorum (or zero) before this call started.
+    /// rolled back with a best-effort [`ParamClient::cancel_join`] on
+    /// the shards already joined *and* the failing shard itself (whose
+    /// register may have landed even though its ack was lost), so no
+    /// shard is left counting a member the others don't. The rollback
+    /// is exact, not merely best-effort-safe: each server demotes the
+    /// worker only if *this* registration promoted it into the active
+    /// set, so canceling a re-registration of an established member
+    /// (the reconnect layer reuses this register) is a no-op and the
+    /// active count can never drop below its pre-join value — which was
+    /// a valid quorum (or zero) before this call started.
     fn register(&self, worker: usize) -> Result<Vec<u64>, NetError> {
         let mut per: Vec<Vec<u64>> = Vec::with_capacity(self.clients.len());
         for (shard, c) in self.clients.iter().enumerate() {
             match c.register(worker) {
                 Ok(versions) => per.push(versions),
                 Err(e) => {
-                    for joined in &self.clients[..shard] {
-                        let _ = joined.leave(worker);
+                    for joined in &self.clients[..=shard] {
+                        let _ = joined.cancel_join(worker);
                     }
                     return Err(NetError::Membership {
                         op: "register",
@@ -230,6 +234,29 @@ impl<C: ParamClient> ParamClient for ShardedClient<C> {
             None => Ok(()),
             Some(e) => Err(NetError::Membership {
                 op: "leave",
+                shards: failed,
+                last: Box::new(e),
+            }),
+        }
+    }
+
+    /// Best-effort join rollback on *every* shard, aggregating failures
+    /// like [`ShardedClient::leave`]. Safe to spray across shards that
+    /// never admitted the worker: each server's `joined_by` fence makes
+    /// the cancel a no-op there.
+    fn cancel_join(&self, worker: usize) -> Result<(), NetError> {
+        let mut failed = Vec::new();
+        let mut last = None;
+        for (shard, c) in self.clients.iter().enumerate() {
+            if let Err(e) = c.cancel_join(worker) {
+                failed.push(shard);
+                last = Some(e);
+            }
+        }
+        match last {
+            None => Ok(()),
+            Some(e) => Err(NetError::Membership {
+                op: "cancel_join",
                 shards: failed,
                 last: Box::new(e),
             }),
@@ -353,6 +380,7 @@ mod tests {
         fail_leave: bool,
         registers: std::sync::Mutex<Vec<usize>>,
         leaves: std::sync::Mutex<Vec<usize>>,
+        cancels: std::sync::Mutex<Vec<usize>>,
         pool: BufferPool,
     }
 
@@ -363,6 +391,7 @@ mod tests {
                 fail_leave,
                 registers: std::sync::Mutex::new(Vec::new()),
                 leaves: std::sync::Mutex::new(Vec::new()),
+                cancels: std::sync::Mutex::new(Vec::new()),
                 pool: BufferPool::new(),
             }
         }
@@ -392,6 +421,10 @@ mod tests {
             }
             Ok(())
         }
+        fn cancel_join(&self, worker: usize) -> Result<(), NetError> {
+            self.cancels.lock().unwrap().push(worker);
+            Ok(())
+        }
         fn pool(&self) -> &BufferPool {
             &self.pool
         }
@@ -414,11 +447,17 @@ mod tests {
                 last: Box::new(NetError::Closed),
             }
         );
-        // Shard 0 was joined, then rolled back; shard 2 was never
-        // reached — not by register, not by the rollback.
+        // Shard 0 was joined, then rolled back with a cancel — never a
+        // `leave`, which would demote the worker even when the register
+        // was a re-registration of an established member. The failing
+        // shard 1 is canceled too (its register may have landed with the
+        // ack lost); shard 2 was never reached by register or rollback.
         assert_eq!(*c.clients[0].registers.lock().unwrap(), [4]);
-        assert_eq!(*c.clients[0].leaves.lock().unwrap(), [4]);
+        assert_eq!(*c.clients[0].cancels.lock().unwrap(), [4]);
+        assert!(c.clients[0].leaves.lock().unwrap().is_empty());
+        assert_eq!(*c.clients[1].cancels.lock().unwrap(), [4]);
         assert!(c.clients[2].registers.lock().unwrap().is_empty());
+        assert!(c.clients[2].cancels.lock().unwrap().is_empty());
         assert!(c.clients[2].leaves.lock().unwrap().is_empty());
     }
 
