@@ -6,6 +6,7 @@ use cdsgd_compress::{
     decompress, GradientCompressor, NoCompression, OneBitQuantizer, QsgdQuantizer,
     TernGradQuantizer, TopKSparsifier, TwoBitQuantizer,
 };
+use cdsgd_tensor::kernel;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const SIZES: [usize; 2] = [65_536, 1_048_576];
@@ -62,5 +63,70 @@ fn bench_decode(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_encode, bench_decode);
+/// The codec's primitive kernels on both paths: the dispatched entry is
+/// whatever backend `kernel::backend()` selected, the `scalar/...` entry
+/// calls the public reference implementation directly (no dispatch, no
+/// child process).
+fn bench_kernel_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec_kernels");
+    for &n in &SIZES {
+        let grad = gradient(n);
+        let symbols: Vec<u8> = (0..n).map(|i| (i % 3) as u8).collect();
+        let mut packed = vec![0u8; n.div_ceil(4)];
+        let mut syms = vec![0u8; n];
+        let mut res = vec![0.0f32; n];
+        let backend = kernel::backend().name();
+        g.throughput(Throughput::Bytes((4 * n) as u64));
+        g.bench_with_input(
+            BenchmarkId::new(format!("pack_2bit/{backend}"), n),
+            &symbols,
+            |b, s| {
+                let mut out = vec![0u8; n.div_ceil(4)];
+                b.iter(|| kernel::pack_2bit(s, &mut out));
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("pack_2bit/scalar", n), &symbols, |b, s| {
+            let mut out = vec![0u8; n.div_ceil(4)];
+            b.iter(|| kernel::scalar::pack_2bit(s, &mut out));
+        });
+        kernel::pack_2bit(&symbols, &mut packed);
+        g.bench_with_input(
+            BenchmarkId::new(format!("unpack_2bit/{backend}"), n),
+            &packed,
+            |b, p| {
+                let mut out = vec![0u8; n];
+                b.iter(|| kernel::unpack_2bit(p, &mut out));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("unpack_2bit/scalar", n),
+            &packed,
+            |b, p| {
+                let mut out = vec![0u8; n];
+                b.iter(|| kernel::scalar::unpack_2bit(p, &mut out));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new(format!("residual_scan/{backend}"), n),
+            &grad,
+            |b, grad| {
+                b.iter(|| kernel::threshold_scan_residual(grad, 0.5, &mut syms, &mut res));
+            },
+        );
+        let mut syms2 = vec![0u8; n];
+        let mut res2 = vec![0.0f32; n];
+        g.bench_with_input(
+            BenchmarkId::new("residual_scan/scalar", n),
+            &grad,
+            |b, grad| {
+                b.iter(|| {
+                    kernel::scalar::threshold_scan_residual(grad, 0.5, &mut syms2, &mut res2)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_kernel_paths);
 criterion_main!(benches);

@@ -14,6 +14,7 @@ use crate::packing::{pack_2bit, pack_2bit_into};
 use crate::pool::BufferPool;
 use crate::residual::ResidualStore;
 use crate::GradientCompressor;
+use cdsgd_tensor::kernel;
 
 /// 2-bit quantizer whose threshold tracks the gradient scale:
 /// `α = scale · mean(|grad + residual|)`, floored to a tiny epsilon so
@@ -61,7 +62,7 @@ impl AdaptiveTwoBit {
         if corrected.is_empty() {
             return 1e-8;
         }
-        let mean_abs = corrected.iter().map(|x| x.abs()).sum::<f32>() / corrected.len() as f32;
+        let mean_abs = kernel::reduce_abs_sum(corrected) / corrected.len() as f32;
         (scale * mean_abs).max(1e-8)
     }
 
@@ -71,28 +72,12 @@ impl AdaptiveTwoBit {
     fn encode_symbols(&mut self, key: usize, grad: &[f32]) -> f32 {
         let res = self.residuals.get_mut(key, grad.len());
         self.corrected.clear();
-        self.corrected
-            .extend(grad.iter().zip(res.iter()).map(|(&g, &r)| g + r));
+        self.corrected.resize(grad.len(), 0.0);
+        kernel::add_into(&mut self.corrected, grad, res);
         let thr = Self::threshold_for(&self.corrected, self.scale);
         self.symbols.clear();
         self.symbols.resize(grad.len(), 0);
-        for ((s, &x), r) in self
-            .symbols
-            .iter_mut()
-            .zip(&self.corrected)
-            .zip(res.iter_mut())
-        {
-            let q = if x >= thr {
-                *s = 1;
-                thr
-            } else if x <= -thr {
-                *s = 2;
-                -thr
-            } else {
-                0.0
-            };
-            *r = x - q;
-        }
+        kernel::threshold_scan_store(&self.corrected, thr, &mut self.symbols, res);
         thr
     }
 }

@@ -1,7 +1,7 @@
 //! The [`Compressed`] wire payload and its decoders.
 
-use crate::packing::{unpack_1bit, unpack_2bit};
 use crate::pool::BufferPool;
+use cdsgd_tensor::kernel;
 
 /// A compressed gradient as it would travel over the network.
 ///
@@ -139,38 +139,12 @@ pub fn decompress(c: &Compressed, out: &mut [f32]) {
 pub fn decompress_add(c: &Compressed, out: &mut [f32]) {
     assert_eq!(out.len(), c.len(), "decode buffer length mismatch");
     match c {
-        Compressed::Raw(v) => {
-            for (o, &x) in out.iter_mut().zip(v) {
-                *o += x;
-            }
-        }
+        Compressed::Raw(v) => kernel::add_assign(out, v),
         Compressed::TwoBit {
-            threshold,
-            packed,
-            len,
-        } => {
-            for (o, s) in out.iter_mut().zip(unpack_2bit(packed, *len)) {
-                match s {
-                    1 => *o += threshold,
-                    2 => *o -= threshold,
-                    _ => {}
-                }
-            }
-        }
-        Compressed::OneBit { scale, signs, len } => {
-            for (o, b) in out.iter_mut().zip(unpack_1bit(signs, *len)) {
-                *o += if b { *scale } else { -*scale };
-            }
-        }
-        Compressed::Tern { scale, packed, len } => {
-            for (o, s) in out.iter_mut().zip(unpack_2bit(packed, *len)) {
-                match s {
-                    1 => *o += scale,
-                    2 => *o -= scale,
-                    _ => {}
-                }
-            }
-        }
+            threshold, packed, ..
+        } => kernel::unpack_2bit_add(packed, *threshold, out),
+        Compressed::OneBit { scale, signs, .. } => kernel::unpack_1bit_add(signs, *scale, out),
+        Compressed::Tern { scale, packed, .. } => kernel::unpack_2bit_add(packed, *scale, out),
         Compressed::Qsgd {
             norm,
             levels,
@@ -190,6 +164,15 @@ pub fn decompress_add(c: &Compressed, out: &mut [f32]) {
             }
         }
     }
+}
+
+/// [`decompress_add`] wrapped in one [`cdsgd_telemetry::Op::Decompress`]
+/// span on `spans` — the codec-layer "dequant" interval the server's
+/// aggregation loop records when tracing is on.
+pub fn decompress_add_traced(c: &Compressed, out: &mut [f32], spans: &dyn crate::CodecSpans) {
+    let t = spans.now();
+    decompress_add(c, out);
+    spans.record(cdsgd_telemetry::Op::Decompress, t);
 }
 
 #[cfg(test)]

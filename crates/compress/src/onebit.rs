@@ -7,6 +7,7 @@ use crate::packing::{pack_1bit, pack_1bit_into};
 use crate::pool::BufferPool;
 use crate::residual::ResidualStore;
 use crate::GradientCompressor;
+use cdsgd_tensor::kernel;
 
 /// 1-bit quantizer: each element of `grad + residual` is transmitted as its
 /// sign, scaled by the mean absolute value of the (residual-corrected)
@@ -36,19 +37,16 @@ impl OneBitQuantizer {
     fn encode_bits(&mut self, key: usize, grad: &[f32]) -> f32 {
         let res = self.residuals.get_mut(key, grad.len());
         self.corrected.clear();
-        self.corrected
-            .extend(grad.iter().zip(res.iter()).map(|(&g, &r)| g + r));
+        self.corrected.resize(grad.len(), 0.0);
+        kernel::add_into(&mut self.corrected, grad, res);
         let scale = if self.corrected.is_empty() {
             0.0
         } else {
-            self.corrected.iter().map(|x| x.abs()).sum::<f32>() / self.corrected.len() as f32
+            kernel::reduce_abs_sum(&self.corrected) / self.corrected.len() as f32
         };
         self.bits.clear();
-        self.bits.extend(self.corrected.iter().map(|&x| x >= 0.0));
-        for ((r, &x), &b) in res.iter_mut().zip(&self.corrected).zip(&self.bits) {
-            let q = if b { scale } else { -scale };
-            *r = x - q;
-        }
+        self.bits.resize(grad.len(), false);
+        kernel::sign_residual(&self.corrected, scale, &mut self.bits, res);
         scale
     }
 }

@@ -2,7 +2,11 @@
 //!
 //! MXNet's 2-bit compressor packs 16 quantized values per `u32`; packing
 //! four 2-bit symbols per byte is the same wire density with simpler
-//! endianness semantics.
+//! endianness semantics. The actual pack/unpack loops are the SIMD
+//! kernels in [`cdsgd_tensor::kernel`]; this module keeps the
+//! `Vec`-allocating wire API.
+
+use cdsgd_tensor::kernel;
 
 /// A 2-bit symbol: `0` = zero, `1` = +threshold, `2` = -threshold.
 /// Symbol `3` is reserved/unused (matches MXNet which also leaves one code
@@ -22,10 +26,7 @@ pub fn pack_2bit(symbols: &[Sym2]) -> Vec<u8> {
 pub fn pack_2bit_into(symbols: &[Sym2], out: &mut Vec<u8>) {
     out.clear();
     out.resize(symbols.len().div_ceil(4), 0);
-    for (i, &s) in symbols.iter().enumerate() {
-        debug_assert!(s < 4, "2-bit symbol out of range");
-        out[i / 4] |= (s & 0b11) << (2 * (i % 4));
-    }
+    kernel::pack_2bit(symbols, out);
 }
 
 /// Unpack `n` 2-bit symbols from a byte stream produced by [`pack_2bit`].
@@ -38,9 +39,9 @@ pub fn unpack_2bit(bytes: &[u8], n: usize) -> Vec<Sym2> {
         "byte stream too short: {} bytes for {n} symbols",
         bytes.len()
     );
-    (0..n)
-        .map(|i| (bytes[i / 4] >> (2 * (i % 4))) & 0b11)
-        .collect()
+    let mut out = vec![0u8; n];
+    kernel::unpack_2bit(bytes, &mut out);
+    out
 }
 
 /// Pack a slice of booleans into bytes, 8 per byte, little-end first.
@@ -54,11 +55,7 @@ pub fn pack_1bit(bits: &[bool]) -> Vec<u8> {
 pub fn pack_1bit_into(bits: &[bool], out: &mut Vec<u8>) {
     out.clear();
     out.resize(bits.len().div_ceil(8), 0);
-    for (i, &b) in bits.iter().enumerate() {
-        if b {
-            out[i / 8] |= 1 << (i % 8);
-        }
-    }
+    kernel::pack_1bit(bits, out);
 }
 
 /// Unpack `n` booleans from a byte stream produced by [`pack_1bit`].
@@ -71,7 +68,9 @@ pub fn unpack_1bit(bytes: &[u8], n: usize) -> Vec<bool> {
         "byte stream too short: {} bytes for {n} bits",
         bytes.len()
     );
-    (0..n).map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1).collect()
+    let mut out = vec![false; n];
+    kernel::unpack_1bit(bytes, &mut out);
+    out
 }
 
 #[cfg(test)]

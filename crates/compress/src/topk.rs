@@ -6,6 +6,7 @@ use crate::compressed::Compressed;
 use crate::pool::BufferPool;
 use crate::residual::ResidualStore;
 use crate::GradientCompressor;
+use cdsgd_tensor::kernel;
 
 /// Top-k sparsifier: transmits only the `ratio` fraction of elements with
 /// the largest `|grad + residual|`; everything else accumulates in the
@@ -85,21 +86,18 @@ impl TopKSparsifier {
         // velocity (residual) buffer is the momentum-updated u.
         if self.momentum > 0.0 {
             let u = self.momenta.get_mut(key, grad.len());
-            let m = self.momentum;
-            for (ui, &gi) in u.iter_mut().zip(grad) {
-                *ui = m * *ui + gi;
-            }
+            kernel::decay_add(u, self.momentum, grad);
             self.u_now.clear();
             self.u_now.extend_from_slice(u);
             let v = self.residuals.get_mut(key, grad.len());
             self.corrected.clear();
-            self.corrected
-                .extend(v.iter().zip(&self.u_now).map(|(&vi, &ui)| vi + ui));
+            self.corrected.resize(grad.len(), 0.0);
+            kernel::add_into(&mut self.corrected, v, &self.u_now);
         } else {
             let res = self.residuals.get_mut(key, grad.len());
             self.corrected.clear();
-            self.corrected
-                .extend(grad.iter().zip(res.iter()).map(|(&g, &r)| g + r));
+            self.corrected.resize(grad.len(), 0.0);
+            kernel::add_into(&mut self.corrected, grad, res);
         }
 
         // Select the k largest-magnitude indices. select_nth keeps this

@@ -6,6 +6,7 @@ use crate::packing::{pack_2bit, pack_2bit_into};
 use crate::pool::BufferPool;
 use crate::residual::ResidualStore;
 use crate::GradientCompressor;
+use cdsgd_tensor::kernel;
 
 /// 2-bit threshold quantizer (MXNet 1.4 `gc_type="2bit"` semantics).
 ///
@@ -72,27 +73,9 @@ impl TwoBitQuantizer {
         self.symbols.resize(grad.len(), 0);
         if self.use_residual {
             let res = self.residuals.get_mut(key, grad.len());
-            for ((s, &g), r) in self.symbols.iter_mut().zip(grad).zip(res.iter_mut()) {
-                let x = g + *r;
-                let q = if x >= thr {
-                    *s = 1;
-                    thr
-                } else if x <= -thr {
-                    *s = 2;
-                    -thr
-                } else {
-                    0.0
-                };
-                *r = x - q;
-            }
+            kernel::threshold_scan_residual(grad, thr, &mut self.symbols, res);
         } else {
-            for (s, &g) in self.symbols.iter_mut().zip(grad) {
-                if g >= thr {
-                    *s = 1;
-                } else if g <= -thr {
-                    *s = 2;
-                }
-            }
+            kernel::threshold_scan_plain(grad, thr, &mut self.symbols);
         }
     }
 }

@@ -25,7 +25,7 @@
 use crate::config::{Algorithm, TrainConfig};
 use crate::profile::{OpKind, WorkerProfile};
 use cdsgd_compress::{
-    BufferPool, Compressed, GradientCompressor, OneBitQuantizer, TwoBitQuantizer,
+    BufferPool, CodecSpans, Compressed, GradientCompressor, OneBitQuantizer, TwoBitQuantizer,
 };
 use cdsgd_nn::Sequential;
 use cdsgd_ps::{NetError, ParamClient, PendingPull, RingMember};
@@ -59,6 +59,25 @@ impl StepCtx<'_> {
         if let (Some(p), Some(t)) = (self.profiler, start) {
             p.record(op, round, t);
         }
+    }
+}
+
+/// [`CodecSpans`] adapter over a worker's profiling handle: the codec's
+/// own quant intervals land in the same per-worker buffer as the
+/// loop-level ops, attributed to `round` — one span per key, timed at
+/// the codec boundary instead of around the whole staging loop.
+struct ProfiledCodec<'a> {
+    profile: &'a WorkerProfile,
+    round: u64,
+}
+
+impl CodecSpans for ProfiledCodec<'_> {
+    fn now(&self) -> f64 {
+        self.profile.now()
+    }
+
+    fn record(&self, op: OpKind, start_s: f64) {
+        self.profile.record(op, self.round, start_s);
     }
 }
 
@@ -215,23 +234,36 @@ impl PsLink {
         }));
     }
 
-    /// Stage one compressed payload per key, recording the encode as one
-    /// [`OpKind::Compress`] interval.
+    /// Stage one compressed payload per key. With profiling on, the
+    /// codec itself records one [`OpKind::Compress`] interval per key
+    /// (via [`ProfiledCodec`]), so encode time is attributed at the
+    /// codec boundary rather than around the staging loop.
     fn stage_compressed(
         &mut self,
         compressor: &mut dyn GradientCompressor,
         grads: &[Vec<f32>],
         ctx: &StepCtx,
     ) {
-        let t = ctx.now();
         self.staged.clear();
-        self.staged.extend(
-            grads
-                .iter()
-                .enumerate()
-                .map(|(key, g)| compressor.compress_into(key, g, &self.pool)),
-        );
-        ctx.record(OpKind::Compress, ctx.round, t);
+        if let Some(profile) = ctx.profiler {
+            let spans = ProfiledCodec {
+                profile,
+                round: ctx.round,
+            };
+            self.staged.extend(
+                grads
+                    .iter()
+                    .enumerate()
+                    .map(|(key, g)| compressor.compress_into_traced(key, g, &self.pool, &spans)),
+            );
+        } else {
+            self.staged.extend(
+                grads
+                    .iter()
+                    .enumerate()
+                    .map(|(key, g)| compressor.compress_into(key, g, &self.pool)),
+            );
+        }
     }
 
     /// Push the staged payloads, key by key.

@@ -1,12 +1,14 @@
 //! Pointwise activation layers: ReLU, Sigmoid, Tanh.
 
 use crate::layer::{Layer, Mode};
+use cdsgd_tensor::kernel;
 use cdsgd_tensor::Tensor;
 
 /// Rectified linear unit: `max(0, x)`.
 #[derive(Debug, Default)]
 pub struct Relu {
-    mask: Vec<bool>,
+    /// 1.0 where the forward input was strictly positive, else 0.0.
+    mask: Vec<f32>,
 }
 
 impl Relu {
@@ -18,7 +20,11 @@ impl Relu {
 
 impl Layer for Relu {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
-        self.mask = x.data().iter().map(|&v| v > 0.0).collect();
+        self.mask = x
+            .data()
+            .iter()
+            .map(|&v| if v > 0.0 { 1.0 } else { 0.0 })
+            .collect();
         x.map(|v| v.max(0.0))
     }
 
@@ -28,13 +34,17 @@ impl Layer for Relu {
             self.mask.len(),
             "backward without matching forward"
         );
-        let data = dy
-            .data()
-            .iter()
-            .zip(&self.mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
-        Tensor::from_vec(dy.shape().to_vec(), data)
+        let mut out = Tensor::zeros(dy.shape());
+        // Branch (not `g * m`): the gated-off lanes must be literal 0.0,
+        // never `-0.0` or NaN from the incoming gradient.
+        kernel::zip_into(out.data_mut(), dy.data(), &self.mask, |g, m| {
+            if m != 0.0 {
+                g
+            } else {
+                0.0
+            }
+        });
+        out
     }
 
     fn name(&self) -> &'static str {
@@ -68,13 +78,11 @@ impl Layer for Sigmoid {
             self.out.len(),
             "backward without matching forward"
         );
-        let data = dy
-            .data()
-            .iter()
-            .zip(&self.out)
-            .map(|(&g, &y)| g * y * (1.0 - y))
-            .collect();
-        Tensor::from_vec(dy.shape().to_vec(), data)
+        let mut out = Tensor::zeros(dy.shape());
+        kernel::zip_into(out.data_mut(), dy.data(), &self.out, |g, y| {
+            g * y * (1.0 - y)
+        });
+        out
     }
 
     fn name(&self) -> &'static str {
@@ -108,13 +116,11 @@ impl Layer for Tanh {
             self.out.len(),
             "backward without matching forward"
         );
-        let data = dy
-            .data()
-            .iter()
-            .zip(&self.out)
-            .map(|(&g, &y)| g * (1.0 - y * y))
-            .collect();
-        Tensor::from_vec(dy.shape().to_vec(), data)
+        let mut out = Tensor::zeros(dy.shape());
+        kernel::zip_into(out.data_mut(), dy.data(), &self.out, |g, y| {
+            g * (1.0 - y * y)
+        });
+        out
     }
 
     fn name(&self) -> &'static str {

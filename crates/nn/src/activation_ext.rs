@@ -3,6 +3,7 @@
 //! conv nets use ReLU) for downstream users.
 
 use crate::layer::{Layer, Mode};
+use cdsgd_tensor::kernel;
 use cdsgd_tensor::Tensor;
 
 /// Leaky rectified linear unit: `x` for `x > 0`, `αx` otherwise.
@@ -37,13 +38,15 @@ impl Layer for LeakyRelu {
             "backward without matching forward"
         );
         let a = self.alpha;
-        let data = dy
-            .data()
-            .iter()
-            .zip(&self.input)
-            .map(|(&g, &x)| if x > 0.0 { g } else { a * g })
-            .collect();
-        Tensor::from_vec(dy.shape().to_vec(), data)
+        let mut out = Tensor::zeros(dy.shape());
+        kernel::zip_into(out.data_mut(), dy.data(), &self.input, |g, x| {
+            if x > 0.0 {
+                g
+            } else {
+                a * g
+            }
+        });
+        out
     }
 
     fn name(&self) -> &'static str {
@@ -83,13 +86,15 @@ impl Layer for Elu {
             "backward without matching forward"
         );
         let a = self.alpha;
-        let data = dy
-            .data()
-            .iter()
-            .zip(&self.input)
-            .map(|(&g, &x)| if x > 0.0 { g } else { g * a * x.exp() })
-            .collect();
-        Tensor::from_vec(dy.shape().to_vec(), data)
+        let mut out = Tensor::zeros(dy.shape());
+        kernel::zip_into(out.data_mut(), dy.data(), &self.input, |g, x| {
+            if x > 0.0 {
+                g
+            } else {
+                g * a * x.exp()
+            }
+        });
+        out
     }
 
     fn name(&self) -> &'static str {
@@ -129,17 +134,13 @@ impl Layer for Gelu {
             "backward without matching forward"
         );
         const C: f32 = 0.797_884_6;
-        let data = dy
-            .data()
-            .iter()
-            .zip(&self.input)
-            .map(|(&g, &x)| {
-                let t = (C * (x + 0.044715 * x * x * x)).tanh();
-                let dt = (1.0 - t * t) * C * (1.0 + 3.0 * 0.044715 * x * x);
-                g * (0.5 * (1.0 + t) + 0.5 * x * dt)
-            })
-            .collect();
-        Tensor::from_vec(dy.shape().to_vec(), data)
+        let mut out = Tensor::zeros(dy.shape());
+        kernel::zip_into(out.data_mut(), dy.data(), &self.input, |g, x| {
+            let t = (C * (x + 0.044715 * x * x * x)).tanh();
+            let dt = (1.0 - t * t) * C * (1.0 + 3.0 * 0.044715 * x * x);
+            g * (0.5 * (1.0 + t) + 0.5 * x * dt)
+        });
+        out
     }
 
     fn name(&self) -> &'static str {
@@ -173,13 +174,11 @@ impl Layer for Softplus {
             self.input.len(),
             "backward without matching forward"
         );
-        let data = dy
-            .data()
-            .iter()
-            .zip(&self.input)
-            .map(|(&g, &x)| g / (1.0 + (-x).exp()))
-            .collect();
-        Tensor::from_vec(dy.shape().to_vec(), data)
+        let mut out = Tensor::zeros(dy.shape());
+        kernel::zip_into(out.data_mut(), dy.data(), &self.input, |g, x| {
+            g / (1.0 + (-x).exp())
+        });
+        out
     }
 
     fn name(&self) -> &'static str {

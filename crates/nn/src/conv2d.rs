@@ -1,6 +1,7 @@
 //! 2-D convolution layer (im2col formulation).
 
 use crate::layer::{Layer, Mode, Param};
+use cdsgd_tensor::kernel;
 use cdsgd_tensor::{col2im, he_std, im2col, Conv2dGeom, SmallRng64, Tensor};
 
 /// 2-D convolution over NCHW input.
@@ -84,9 +85,7 @@ impl Layer for Conv2d {
             // Add bias per output channel.
             for oc in 0..self.out_c {
                 let b = self.bias.value.data()[oc];
-                for v in &mut dst[oc * out_plane..(oc + 1) * out_plane] {
-                    *v += b;
-                }
+                kernel::add_scalar(&mut dst[oc * out_plane..(oc + 1) * out_plane], b);
             }
             cols.push(col);
         }
@@ -111,11 +110,10 @@ impl Layer for Conv2d {
             );
             // dW += dy_s · colᵀ
             self.weight.grad.add_assign(&dy_s.matmul_nt(col));
-            // db += Σ_spatial dy
+            // db += Σ_spatial dy (sequential, order-pinned)
             for oc in 0..self.out_c {
-                self.bias.grad.data_mut()[oc] += dy_s.data()[oc * out_plane..(oc + 1) * out_plane]
-                    .iter()
-                    .sum::<f32>();
+                self.bias.grad.data_mut()[oc] +=
+                    kernel::reduce_sum(&dy_s.data()[oc * out_plane..(oc + 1) * out_plane]);
             }
             // dcol = Wᵀ · dy_s, scattered back through col2im.
             let dcol = self.weight.value.matmul_tn(&dy_s);

@@ -7,6 +7,7 @@
 //! plug in behind the same trait so adding another server-side rule never
 //! touches the aggregation loop.
 
+use cdsgd_tensor::kernel;
 use std::sync::Arc;
 
 /// The per-key server update rule. One instance per key (state such as a
@@ -41,11 +42,9 @@ pub struct PlainSgd;
 
 impl ServerOpt for PlainSgd {
     fn apply(&mut self, weights: &[f32], acc: &[f32], step: f32) -> Arc<[f32]> {
-        weights
-            .iter()
-            .zip(acc.iter())
-            .map(|(&w, &g)| w - step * g)
-            .collect()
+        let mut next = vec![0.0; weights.len()];
+        kernel::sgd_step(&mut next, weights, acc, step);
+        next.into()
     }
 
     fn name(&self) -> &'static str {
@@ -76,14 +75,10 @@ impl ServerOpt for HeavyBall {
         if self.velocity.len() != weights.len() {
             self.velocity = vec![0.0; weights.len()];
         }
-        for (v, &g) in self.velocity.iter_mut().zip(acc.iter()) {
-            *v = self.momentum * *v + g;
-        }
-        weights
-            .iter()
-            .zip(self.velocity.iter())
-            .map(|(&w, &v)| w - step * v)
-            .collect()
+        kernel::decay_add(&mut self.velocity, self.momentum, acc);
+        let mut next = vec![0.0; weights.len()];
+        kernel::sgd_step(&mut next, weights, &self.velocity, step);
+        next.into()
     }
 
     fn name(&self) -> &'static str {
@@ -124,14 +119,10 @@ impl ServerOpt for Nesterov {
         if self.velocity.len() != weights.len() {
             self.velocity = vec![0.0; weights.len()];
         }
-        for (v, &g) in self.velocity.iter_mut().zip(acc.iter()) {
-            *v = self.momentum * *v + g;
-        }
-        weights
-            .iter()
-            .zip(acc.iter().zip(self.velocity.iter()))
-            .map(|(&w, (&g, &v))| w - step * (g + self.momentum * v))
-            .collect()
+        kernel::decay_add(&mut self.velocity, self.momentum, acc);
+        let mut next = vec![0.0; weights.len()];
+        kernel::nesterov_step(&mut next, weights, acc, &self.velocity, step, self.momentum);
+        next.into()
     }
 
     fn name(&self) -> &'static str {

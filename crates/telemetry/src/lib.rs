@@ -47,6 +47,10 @@ pub enum Op {
     Backward,
     /// Gradient quantization/encoding (the paper's "quant").
     Compress,
+    /// Gradient dequantization/decoding (the server-side "dequant" —
+    /// the decode half of the codec). Emitted on the server's own span
+    /// lane, whose `worker` index is one past the last real worker.
+    Decompress,
     /// The local update of eq. 11 (CD-SGD's delay-hiding step).
     LocalUpdate,
     /// Blocking on a parameter pull (the paper's "pull wait" — the cost
@@ -62,6 +66,7 @@ impl Op {
             Op::Forward => "FP",
             Op::Backward => "BP",
             Op::Compress => "quant",
+            Op::Decompress => "dequant",
             Op::LocalUpdate => "local_update",
             Op::PullWait => "pull_wait",
         }
@@ -669,6 +674,7 @@ mod tests {
         assert_eq!(Op::Forward.name(), "FP");
         assert_eq!(Op::Backward.name(), "BP");
         assert_eq!(Op::Compress.name(), "quant");
+        assert_eq!(Op::Decompress.name(), "dequant");
         assert_eq!(Op::LocalUpdate.name(), "local_update");
         assert_eq!(Op::PullWait.name(), "pull_wait");
     }

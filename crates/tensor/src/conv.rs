@@ -6,6 +6,7 @@
 //! `W[F, C·KH·KW] · col = out[F, OH·OW]`. `col2im` is its adjoint and is
 //! used to push gradients back to the input image.
 
+use crate::kernel;
 use crate::tensor::Tensor;
 
 /// Geometry of a conv2d application: input/kernel/stride/padding sizes and
@@ -84,6 +85,19 @@ pub fn im2col(img: &[f32], g: &Conv2dGeom) -> Tensor {
                         continue; // zero padding — row already zeroed
                     }
                     let src_row = &img_c[ii as usize * g.w..(ii as usize + 1) * g.w];
+                    if g.stride == 1 {
+                        // jj = oj + (kj - pad): the valid oj range maps to a
+                        // contiguous span of the source row — one memcpy.
+                        let d = kj as isize - g.pad as isize;
+                        let lo = (-d).max(0) as usize;
+                        let hi = (g.w as isize - d).clamp(lo as isize, ow as isize) as usize;
+                        if lo < hi {
+                            let s = (lo as isize + d) as usize;
+                            out_row[oi * ow + lo..oi * ow + hi]
+                                .copy_from_slice(&src_row[s..s + (hi - lo)]);
+                        }
+                        continue;
+                    }
                     for oj in 0..ow {
                         let jj = (oj * g.stride + kj) as isize - g.pad as isize;
                         if jj < 0 || jj >= g.w as isize {
@@ -124,6 +138,21 @@ pub fn col2im(col: &Tensor, g: &Conv2dGeom, img: &mut [f32]) {
                         continue;
                     }
                     let dst_row = &mut img_c[ii as usize * g.w..(ii as usize + 1) * g.w];
+                    if g.stride == 1 {
+                        // Adjoint of the im2col fast path: contiguous
+                        // accumulate through the vectorized kernel.
+                        let d = kj as isize - g.pad as isize;
+                        let lo = (-d).max(0) as usize;
+                        let hi = (g.w as isize - d).clamp(lo as isize, ow as isize) as usize;
+                        if lo < hi {
+                            let s = (lo as isize + d) as usize;
+                            kernel::add_assign(
+                                &mut dst_row[s..s + (hi - lo)],
+                                &col_row[oi * ow + lo..oi * ow + hi],
+                            );
+                        }
+                        continue;
+                    }
                     for oj in 0..ow {
                         let jj = (oj * g.stride + kj) as isize - g.pad as isize;
                         if jj < 0 || jj >= g.w as isize {

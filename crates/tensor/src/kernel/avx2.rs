@@ -1,0 +1,856 @@
+//! Hand-written AVX2 implementations of the kernel primitives.
+//!
+//! Every function here is constrained by the bit-identity contract in the
+//! [`super`] module docs: it must produce exactly the bytes the matching
+//! [`super::scalar`] function produces, for every input including
+//! `±0.0`, `NaN`, and `±inf`. The techniques that make that possible:
+//!
+//! * **No FMA.** `_mm256_fmadd_ps` rounds once where `mul` + `add`
+//!   rounds twice; we always use the two-instruction form because the
+//!   scalar reference does.
+//! * **Vectorize across independent outputs only.** Elementwise kernels
+//!   and the ikj-order GEMMs touch 8 unrelated output elements per
+//!   vector op, so per-element operation order is unchanged.
+//! * **The transpose trick for GEMM-NT.** A dot product is a true
+//!   reduction, so instead of reassociating one dot we compute 8 output
+//!   columns at once: 8×8 register transpose of a B tile, then a
+//!   broadcast-multiply per `p`. Each lane accumulates its column in
+//!   strictly sequential `p` order — the same order as one scalar dot.
+//! * **Preserved zero-skips.** The GEMM `av == 0.0` skip and the 2-bit
+//!   decoder's "no write for code 0" are kept (via branch or blend):
+//!   `c + 0.0` is not a bitwise no-op when `c` is `-0.0`.
+//! * **Ordered-quiet compares.** `_CMP_GE_OQ`/`_CMP_LE_OQ` return false
+//!   for NaN, matching scalar `>=`/`<=`; `_mm256_max_ps(x, acc)` keeps
+//!   `acc` when `x` is NaN, matching `f32::max`'s NaN-skipping fold.
+//!
+//! # Safety
+//! Every function is `unsafe` and requires the caller to have verified
+//! AVX2 support (the dispatcher in [`super`] does, once, through a
+//! `OnceLock`). Slice length preconditions are `debug_assert`ed to
+//! mirror the scalar reference.
+#![cfg(target_arch = "x86_64")]
+
+use std::arch::x86_64::*;
+use std::ops::Range;
+
+/// 8-lane block count helper: the largest multiple of `w` ≤ `n`.
+#[inline(always)]
+fn blocks(n: usize, w: usize) -> usize {
+    n - n % w
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise
+// ---------------------------------------------------------------------------
+
+/// `y[i] += alpha * x[i]` (AVX2).
+#[target_feature(enable = "avx2")]
+pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    let n8 = blocks(y.len(), 8);
+    let va = _mm256_set1_ps(alpha);
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let mut i = 0;
+    while i < n8 {
+        let vy = _mm256_loadu_ps(yp.add(i));
+        let vx = _mm256_loadu_ps(xp.add(i));
+        _mm256_storeu_ps(yp.add(i), _mm256_add_ps(vy, _mm256_mul_ps(va, vx)));
+        i += 8;
+    }
+    for i in n8..y.len() {
+        y[i] += alpha * x[i];
+    }
+}
+
+/// `y[i] *= s` (AVX2).
+#[target_feature(enable = "avx2")]
+pub unsafe fn scale(y: &mut [f32], s: f32) {
+    let n8 = blocks(y.len(), 8);
+    let vs = _mm256_set1_ps(s);
+    let yp = y.as_mut_ptr();
+    let mut i = 0;
+    while i < n8 {
+        _mm256_storeu_ps(yp.add(i), _mm256_mul_ps(_mm256_loadu_ps(yp.add(i)), vs));
+        i += 8;
+    }
+    for v in &mut y[n8..] {
+        *v *= s;
+    }
+}
+
+/// `y[i] += x[i]` (AVX2).
+#[target_feature(enable = "avx2")]
+pub unsafe fn add_assign(y: &mut [f32], x: &[f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    let n8 = blocks(y.len(), 8);
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let mut i = 0;
+    while i < n8 {
+        let s = _mm256_add_ps(_mm256_loadu_ps(yp.add(i)), _mm256_loadu_ps(xp.add(i)));
+        _mm256_storeu_ps(yp.add(i), s);
+        i += 8;
+    }
+    for i in n8..y.len() {
+        y[i] += x[i];
+    }
+}
+
+/// `y[i] += b` (AVX2).
+#[target_feature(enable = "avx2")]
+pub unsafe fn add_scalar(y: &mut [f32], b: f32) {
+    let n8 = blocks(y.len(), 8);
+    let vb = _mm256_set1_ps(b);
+    let yp = y.as_mut_ptr();
+    let mut i = 0;
+    while i < n8 {
+        _mm256_storeu_ps(yp.add(i), _mm256_add_ps(_mm256_loadu_ps(yp.add(i)), vb));
+        i += 8;
+    }
+    for v in &mut y[n8..] {
+        *v += b;
+    }
+}
+
+/// `out[i] = a[i] + b[i]` (AVX2).
+#[target_feature(enable = "avx2")]
+pub unsafe fn add_into(out: &mut [f32], a: &[f32], b: &[f32]) {
+    debug_assert_eq!(out.len(), a.len());
+    debug_assert_eq!(out.len(), b.len());
+    let n8 = blocks(out.len(), 8);
+    let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+    let mut i = 0;
+    while i < n8 {
+        let s = _mm256_add_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)));
+        _mm256_storeu_ps(op.add(i), s);
+        i += 8;
+    }
+    for i in n8..out.len() {
+        out[i] = a[i] + b[i];
+    }
+}
+
+/// `out[i] = a[i] + alpha * b[i]` (AVX2).
+#[target_feature(enable = "avx2")]
+pub unsafe fn scale_add(out: &mut [f32], a: &[f32], alpha: f32, b: &[f32]) {
+    debug_assert_eq!(out.len(), a.len());
+    debug_assert_eq!(out.len(), b.len());
+    let n8 = blocks(out.len(), 8);
+    let va = _mm256_set1_ps(alpha);
+    let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+    let mut i = 0;
+    while i < n8 {
+        let s = _mm256_add_ps(
+            _mm256_loadu_ps(ap.add(i)),
+            _mm256_mul_ps(va, _mm256_loadu_ps(bp.add(i))),
+        );
+        _mm256_storeu_ps(op.add(i), s);
+        i += 8;
+    }
+    for i in n8..out.len() {
+        out[i] = a[i] + alpha * b[i];
+    }
+}
+
+/// `out[i] = w[i] - step * g[i]` (AVX2).
+#[target_feature(enable = "avx2")]
+pub unsafe fn sgd_step(out: &mut [f32], w: &[f32], g: &[f32], step: f32) {
+    debug_assert_eq!(out.len(), w.len());
+    debug_assert_eq!(out.len(), g.len());
+    let n8 = blocks(out.len(), 8);
+    let vs = _mm256_set1_ps(step);
+    let (wp, gp, op) = (w.as_ptr(), g.as_ptr(), out.as_mut_ptr());
+    let mut i = 0;
+    while i < n8 {
+        let d = _mm256_sub_ps(
+            _mm256_loadu_ps(wp.add(i)),
+            _mm256_mul_ps(vs, _mm256_loadu_ps(gp.add(i))),
+        );
+        _mm256_storeu_ps(op.add(i), d);
+        i += 8;
+    }
+    for i in n8..out.len() {
+        out[i] = w[i] - step * g[i];
+    }
+}
+
+/// `v[i] = mu * v[i] + g[i]` (AVX2).
+#[target_feature(enable = "avx2")]
+pub unsafe fn decay_add(v: &mut [f32], mu: f32, g: &[f32]) {
+    debug_assert_eq!(v.len(), g.len());
+    let n8 = blocks(v.len(), 8);
+    let vm = _mm256_set1_ps(mu);
+    let (vp, gp) = (v.as_mut_ptr(), g.as_ptr());
+    let mut i = 0;
+    while i < n8 {
+        let s = _mm256_add_ps(
+            _mm256_mul_ps(vm, _mm256_loadu_ps(vp.add(i))),
+            _mm256_loadu_ps(gp.add(i)),
+        );
+        _mm256_storeu_ps(vp.add(i), s);
+        i += 8;
+    }
+    for i in n8..v.len() {
+        v[i] = mu * v[i] + g[i];
+    }
+}
+
+/// `out[i] = w[i] - step * (g[i] + mu * v[i])` (AVX2).
+#[target_feature(enable = "avx2")]
+pub unsafe fn nesterov_step(out: &mut [f32], w: &[f32], g: &[f32], v: &[f32], step: f32, mu: f32) {
+    debug_assert_eq!(out.len(), w.len());
+    debug_assert_eq!(out.len(), g.len());
+    debug_assert_eq!(out.len(), v.len());
+    let n8 = blocks(out.len(), 8);
+    let vs = _mm256_set1_ps(step);
+    let vm = _mm256_set1_ps(mu);
+    let (wp, gp, vp, op) = (w.as_ptr(), g.as_ptr(), v.as_ptr(), out.as_mut_ptr());
+    let mut i = 0;
+    while i < n8 {
+        let look = _mm256_add_ps(
+            _mm256_loadu_ps(gp.add(i)),
+            _mm256_mul_ps(vm, _mm256_loadu_ps(vp.add(i))),
+        );
+        let d = _mm256_sub_ps(_mm256_loadu_ps(wp.add(i)), _mm256_mul_ps(vs, look));
+        _mm256_storeu_ps(op.add(i), d);
+        i += 8;
+    }
+    for i in n8..out.len() {
+        out[i] = w[i] - step * (g[i] + mu * v[i]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+/// Striped-order dot product (AVX2) — bit-identical to
+/// [`super::scalar::dot`] by construction: one vector accumulator is
+/// exactly the scalar reference's 8 stripe accumulators, combined with
+/// the same pairwise tree, then the same sequential tail.
+#[target_feature(enable = "avx2")]
+pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n8 = blocks(a.len(), 8);
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut vacc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i < n8 {
+        let prod = _mm256_mul_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)));
+        vacc = _mm256_add_ps(vacc, prod);
+        i += 8;
+    }
+    let mut lanes = [0.0f32; 8];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), vacc);
+    let mut acc = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    for i in n8..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+/// `max(|x[i]|)` (AVX2). Order-independent once `abs` has collapsed
+/// `-0.0` to `+0.0`, and `_mm256_max_ps(v, acc)` drops NaN lanes just
+/// like the scalar `f32::max` fold, so the result is bit-identical to
+/// [`super::scalar::reduce_max_abs`].
+#[target_feature(enable = "avx2")]
+pub unsafe fn reduce_max_abs(x: &[f32]) -> f32 {
+    let n8 = blocks(x.len(), 8);
+    let absmask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFF_FFFF));
+    let xp = x.as_ptr();
+    let mut vm = _mm256_setzero_ps();
+    let mut i = 0;
+    while i < n8 {
+        let va = _mm256_and_ps(_mm256_loadu_ps(xp.add(i)), absmask);
+        // Operand order matters: max_ps returns the *second* operand
+        // when the first is NaN, so a NaN in `va` keeps the running max.
+        vm = _mm256_max_ps(va, vm);
+        i += 8;
+    }
+    let mut lanes = [0.0f32; 8];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), vm);
+    let mut m = lanes.iter().fold(0.0f32, |m, &v| m.max(v));
+    for &v in &x[n8..] {
+        m = m.max(v.abs());
+    }
+    m
+}
+
+// ---------------------------------------------------------------------------
+// GEMM microkernels
+// ---------------------------------------------------------------------------
+
+/// `C[rows, n] += A[rows, k] · B[k, n]` (AVX2, ikj order).
+///
+/// Register blocking: 32 output columns (4 ymm) are held in registers
+/// across the whole `p` loop, so each C element is loaded/stored once
+/// per block instead of once per `p`. Each 32-column B panel is packed
+/// into a contiguous scratch buffer once per panel — the stride-`n` walk
+/// through B happens once instead of once per output row, and the hot
+/// loop reads sequential, L2-resident memory even when B itself spills
+/// cache. Per element the adds still happen in increasing `p` order with
+/// the `av == 0.0` skip intact, so the result is bit-identical to the
+/// scalar ikj loop.
+#[target_feature(enable = "avx2")]
+pub unsafe fn gemm_block(
+    a: &[f32],
+    b: &[f32],
+    rows: Range<usize>,
+    c_chunk: &mut [f32],
+    k: usize,
+    n: usize,
+) {
+    let bp = b.as_ptr();
+    let mut panel = vec![0.0f32; k * 32];
+    let mut j = 0usize;
+    while j + 32 <= n {
+        for p in 0..k {
+            let src = bp.add(p * n + j);
+            let dst = panel.as_mut_ptr().add(p * 32);
+            _mm256_storeu_ps(dst, _mm256_loadu_ps(src));
+            _mm256_storeu_ps(dst.add(8), _mm256_loadu_ps(src.add(8)));
+            _mm256_storeu_ps(dst.add(16), _mm256_loadu_ps(src.add(16)));
+            _mm256_storeu_ps(dst.add(24), _mm256_loadu_ps(src.add(24)));
+        }
+        let pp = panel.as_ptr();
+        for (ri, i) in rows.clone().enumerate() {
+            let a_row = &a[i * k..(i + 1) * k];
+            let cp = c_chunk.as_mut_ptr().add(ri * n + j);
+            let mut c0 = _mm256_loadu_ps(cp);
+            let mut c1 = _mm256_loadu_ps(cp.add(8));
+            let mut c2 = _mm256_loadu_ps(cp.add(16));
+            let mut c3 = _mm256_loadu_ps(cp.add(24));
+            for (p, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let va = _mm256_set1_ps(av);
+                let br = pp.add(p * 32);
+                c0 = _mm256_add_ps(c0, _mm256_mul_ps(va, _mm256_loadu_ps(br)));
+                c1 = _mm256_add_ps(c1, _mm256_mul_ps(va, _mm256_loadu_ps(br.add(8))));
+                c2 = _mm256_add_ps(c2, _mm256_mul_ps(va, _mm256_loadu_ps(br.add(16))));
+                c3 = _mm256_add_ps(c3, _mm256_mul_ps(va, _mm256_loadu_ps(br.add(24))));
+            }
+            _mm256_storeu_ps(cp, c0);
+            _mm256_storeu_ps(cp.add(8), c1);
+            _mm256_storeu_ps(cp.add(16), c2);
+            _mm256_storeu_ps(cp.add(24), c3);
+        }
+        j += 32;
+    }
+    if j >= n {
+        return;
+    }
+    for (ri, i) in rows.enumerate() {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c_chunk[ri * n..(ri + 1) * n];
+        let cp = c_row.as_mut_ptr();
+        let mut jj = j;
+        while jj + 8 <= n {
+            let mut c0 = _mm256_loadu_ps(cp.add(jj));
+            for (p, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let va = _mm256_set1_ps(av);
+                c0 = _mm256_add_ps(c0, _mm256_mul_ps(va, _mm256_loadu_ps(bp.add(p * n + jj))));
+            }
+            _mm256_storeu_ps(cp.add(jj), c0);
+            jj += 8;
+        }
+        if jj < n {
+            for (p, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for jx in jj..n {
+                    c_row[jx] += av * b_row[jx];
+                }
+            }
+        }
+    }
+}
+
+/// `C[rows, n] += A[k, m]ᵀ · B[k, n]` (AVX2): the same column-blocked
+/// broadcast kernel as [`gemm_block`] with strided A reads.
+#[target_feature(enable = "avx2")]
+pub unsafe fn gemm_tn_block(
+    a: &[f32],
+    b: &[f32],
+    rows: Range<usize>,
+    c_chunk: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    // Transpose the A band once (one stride-`m` pass) so the hot loops
+    // read contiguous rows, then run the identical panel-packed kernel
+    // as [`gemm_block`].
+    let band: Vec<usize> = rows.collect();
+    let mut a_t = vec![0.0f32; band.len() * k];
+    for (ri, &i) in band.iter().enumerate() {
+        for p in 0..k {
+            a_t[ri * k + p] = a[p * m + i];
+        }
+    }
+    gemm_block(&a_t, b, 0..band.len(), c_chunk, k, n);
+}
+
+/// Transpose an 8×8 f32 tile held in registers: output `q` holds input
+/// row elements at position `q` across lanes (`out[q]` lane `u` = `r[u]`
+/// lane `q`).
+#[target_feature(enable = "avx2")]
+unsafe fn transpose8(r: [__m256; 8]) -> [__m256; 8] {
+    let t0 = _mm256_unpacklo_ps(r[0], r[1]);
+    let t1 = _mm256_unpackhi_ps(r[0], r[1]);
+    let t2 = _mm256_unpacklo_ps(r[2], r[3]);
+    let t3 = _mm256_unpackhi_ps(r[2], r[3]);
+    let t4 = _mm256_unpacklo_ps(r[4], r[5]);
+    let t5 = _mm256_unpackhi_ps(r[4], r[5]);
+    let t6 = _mm256_unpacklo_ps(r[6], r[7]);
+    let t7 = _mm256_unpackhi_ps(r[6], r[7]);
+    let u0 = _mm256_shuffle_ps::<0x44>(t0, t2);
+    let u1 = _mm256_shuffle_ps::<0xEE>(t0, t2);
+    let u2 = _mm256_shuffle_ps::<0x44>(t1, t3);
+    let u3 = _mm256_shuffle_ps::<0xEE>(t1, t3);
+    let u4 = _mm256_shuffle_ps::<0x44>(t4, t6);
+    let u5 = _mm256_shuffle_ps::<0xEE>(t4, t6);
+    let u6 = _mm256_shuffle_ps::<0x44>(t5, t7);
+    let u7 = _mm256_shuffle_ps::<0xEE>(t5, t7);
+    [
+        _mm256_permute2f128_ps::<0x20>(u0, u4),
+        _mm256_permute2f128_ps::<0x20>(u1, u5),
+        _mm256_permute2f128_ps::<0x20>(u2, u6),
+        _mm256_permute2f128_ps::<0x20>(u3, u7),
+        _mm256_permute2f128_ps::<0x31>(u0, u4),
+        _mm256_permute2f128_ps::<0x31>(u1, u5),
+        _mm256_permute2f128_ps::<0x31>(u2, u6),
+        _mm256_permute2f128_ps::<0x31>(u3, u7),
+    ]
+}
+
+/// `C[rows, n] += A[rows, k] · B[n, k]ᵀ` (AVX2).
+///
+/// Each output element is a dot product — a true reduction — so naive
+/// lane-striping would reassociate it. Instead we compute 8 output
+/// columns at once: load an 8×8 tile of B, transpose it in registers,
+/// and broadcast `a[p]` across lanes. Lane `u` then accumulates column
+/// `j+u` in strictly increasing `p` order, which is exactly the scalar
+/// sequential dot — bit-identical, including the `0.0` start and the
+/// `c += acc` finish.
+#[target_feature(enable = "avx2")]
+pub unsafe fn gemm_nt_block(
+    a: &[f32],
+    b: &[f32],
+    rows: Range<usize>,
+    c_chunk: &mut [f32],
+    k: usize,
+    n: usize,
+) {
+    for (ri, i) in rows.enumerate() {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c_chunk[ri * n..(ri + 1) * n];
+        let bp = b.as_ptr();
+        let mut j = 0usize;
+        while j + 8 <= n {
+            let mut acc = _mm256_setzero_ps();
+            let mut p = 0usize;
+            while p + 8 <= k {
+                let tile = transpose8([
+                    _mm256_loadu_ps(bp.add(j * k + p)),
+                    _mm256_loadu_ps(bp.add((j + 1) * k + p)),
+                    _mm256_loadu_ps(bp.add((j + 2) * k + p)),
+                    _mm256_loadu_ps(bp.add((j + 3) * k + p)),
+                    _mm256_loadu_ps(bp.add((j + 4) * k + p)),
+                    _mm256_loadu_ps(bp.add((j + 5) * k + p)),
+                    _mm256_loadu_ps(bp.add((j + 6) * k + p)),
+                    _mm256_loadu_ps(bp.add((j + 7) * k + p)),
+                ]);
+                for (q, &t) in tile.iter().enumerate() {
+                    let va = _mm256_set1_ps(a_row[p + q]);
+                    acc = _mm256_add_ps(acc, _mm256_mul_ps(va, t));
+                }
+                p += 8;
+            }
+            while p < k {
+                // Strided column gather for the p-tail; still one
+                // sequential add per lane.
+                let bv = _mm256_setr_ps(
+                    b[j * k + p],
+                    b[(j + 1) * k + p],
+                    b[(j + 2) * k + p],
+                    b[(j + 3) * k + p],
+                    b[(j + 4) * k + p],
+                    b[(j + 5) * k + p],
+                    b[(j + 6) * k + p],
+                    b[(j + 7) * k + p],
+                );
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(a_row[p]), bv));
+                p += 1;
+            }
+            let cptr = c_row.as_mut_ptr().add(j);
+            _mm256_storeu_ps(cptr, _mm256_add_ps(_mm256_loadu_ps(cptr), acc));
+            j += 8;
+        }
+        for jj in j..n {
+            let b_row = &b[jj * k..(jj + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            c_row[jj] += acc;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-packing
+// ---------------------------------------------------------------------------
+
+/// Pack 2-bit symbols four per byte (AVX2): 32 symbols per iteration.
+/// `maddubs` folds adjacent pairs as `s0 + 4·s1`, `madd` folds the i16
+/// pairs as `lo + 16·hi`, leaving one packed byte per i32 lane; a
+/// byte-shuffle then narrows 8 lanes to 8 bytes.
+#[target_feature(enable = "avx2")]
+pub unsafe fn pack_2bit(symbols: &[u8], out: &mut [u8]) {
+    debug_assert_eq!(out.len(), symbols.len().div_ceil(4));
+    let n32 = blocks(symbols.len(), 32);
+    let sp = symbols.as_ptr();
+    let pair_w = _mm256_set1_epi16(0x0401); // bytes [1, 4] per pair
+    let quad_w = _mm256_set1_epi32(0x0010_0001); // i16 [1, 16] per quad
+                                                 // Within each 128-bit lane, gather byte 0 of each dword to the front.
+    let narrow = _mm256_setr_epi8(
+        0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, //
+        0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+    );
+    let mut i = 0;
+    while i < n32 {
+        let v = _mm256_loadu_si256(sp.add(i) as *const __m256i);
+        let v = _mm256_and_si256(v, _mm256_set1_epi8(0b11)); // match scalar `s & 0b11`
+        let pairs = _mm256_maddubs_epi16(v, pair_w);
+        let quads = _mm256_madd_epi16(pairs, quad_w);
+        let packed = _mm256_shuffle_epi8(quads, narrow);
+        let lo = _mm_cvtsi128_si32(_mm256_castsi256_si128(packed)) as u32;
+        let hi = _mm_cvtsi128_si32(_mm256_extracti128_si256::<1>(packed)) as u32;
+        out[i / 4..i / 4 + 4].copy_from_slice(&lo.to_le_bytes());
+        out[i / 4 + 4..i / 4 + 8].copy_from_slice(&hi.to_le_bytes());
+        i += 32;
+    }
+    // Tail: delegate to the scalar bit loop over the remaining symbols.
+    let done_bytes = n32 / 4;
+    for b in &mut out[done_bytes..] {
+        *b = 0;
+    }
+    for (idx, &s) in symbols[n32..].iter().enumerate() {
+        let i = n32 + idx;
+        out[i / 4] |= (s & 0b11) << (2 * (i % 4));
+    }
+}
+
+/// Unpack 2-bit symbols (AVX2): 8 packed bytes → 32 symbol bytes per
+/// iteration. Each source byte is widened to a dword, replicated across
+/// its four bytes, then per-byte masked shifts extract the four codes.
+#[target_feature(enable = "avx2")]
+pub unsafe fn unpack_2bit(bytes: &[u8], out: &mut [u8]) {
+    debug_assert!(bytes.len() * 4 >= out.len());
+    let n32 = blocks(out.len(), 32);
+    let op = out.as_mut_ptr();
+    let rep_w = _mm256_set1_epi32(0x0101_0101);
+    let m0 = _mm256_set1_epi32(0x0000_0003);
+    let m1 = _mm256_set1_epi32(0x0000_0300);
+    let m2 = _mm256_set1_epi32(0x0003_0000);
+    let m3 = _mm256_set1_epi32(0x0300_0000);
+    let mut i = 0;
+    while i < n32 {
+        let src = _mm_loadl_epi64(bytes.as_ptr().add(i / 4) as *const __m128i);
+        let vd = _mm256_cvtepu8_epi32(src);
+        let rep = _mm256_mullo_epi32(vd, rep_w);
+        let s = _mm256_or_si256(
+            _mm256_or_si256(
+                _mm256_and_si256(rep, m0),
+                _mm256_and_si256(_mm256_srli_epi32::<2>(rep), m1),
+            ),
+            _mm256_or_si256(
+                _mm256_and_si256(_mm256_srli_epi32::<4>(rep), m2),
+                _mm256_and_si256(_mm256_srli_epi32::<6>(rep), m3),
+            ),
+        );
+        _mm256_storeu_si256(op.add(i) as *mut __m256i, s);
+        i += 32;
+    }
+    for (idx, o) in out[n32..].iter_mut().enumerate() {
+        let i = n32 + idx;
+        *o = (bytes[i / 4] >> (2 * (i % 4))) & 0b11;
+    }
+}
+
+/// Pack booleans eight per byte (AVX2): 32 bools → one `movemask` → 4
+/// output bytes per iteration.
+#[target_feature(enable = "avx2")]
+pub unsafe fn pack_1bit(bits: &[bool], out: &mut [u8]) {
+    debug_assert_eq!(out.len(), bits.len().div_ceil(8));
+    let n32 = blocks(bits.len(), 32);
+    let bp = bits.as_ptr() as *const u8;
+    let zero = _mm256_setzero_si256();
+    let mut i = 0;
+    while i < n32 {
+        let v = _mm256_loadu_si256(bp.add(i) as *const __m256i);
+        let m = _mm256_movemask_epi8(_mm256_cmpgt_epi8(v, zero)) as u32;
+        out[i / 8..i / 8 + 4].copy_from_slice(&m.to_le_bytes());
+        i += 32;
+    }
+    let done_bytes = n32 / 8;
+    for b in &mut out[done_bytes..] {
+        *b = 0;
+    }
+    for (idx, &bit) in bits[n32..].iter().enumerate() {
+        let i = n32 + idx;
+        if bit {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+}
+
+/// Unpack booleans (AVX2): 4 packed bytes → 32 bool bytes per
+/// iteration via byte replication + per-byte bit test.
+#[target_feature(enable = "avx2")]
+pub unsafe fn unpack_1bit(bytes: &[u8], out: &mut [bool]) {
+    debug_assert!(bytes.len() * 8 >= out.len());
+    let n32 = blocks(out.len(), 32);
+    let op = out.as_mut_ptr() as *mut u8;
+    // Replicate source byte j across output bytes 8j..8j+7. set1_epi32
+    // puts the same 4 source bytes in every 128-bit lane, so lane-local
+    // shuffle indices 0..3 reach all of them.
+    let spread = _mm256_setr_epi8(
+        0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, //
+        2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 3, 3,
+    );
+    let bitsel = _mm256_set1_epi64x(0x8040_2010_0804_0201u64 as i64);
+    let one = _mm256_set1_epi8(1);
+    let mut i = 0;
+    while i < n32 {
+        let w = u32::from_le_bytes([
+            bytes[i / 8],
+            bytes[i / 8 + 1],
+            bytes[i / 8 + 2],
+            bytes[i / 8 + 3],
+        ]);
+        let rep = _mm256_shuffle_epi8(_mm256_set1_epi32(w as i32), spread);
+        let hit = _mm256_cmpeq_epi8(_mm256_and_si256(rep, bitsel), bitsel);
+        _mm256_storeu_si256(op.add(i) as *mut __m256i, _mm256_and_si256(hit, one));
+        i += 32;
+    }
+    for (idx, o) in out[n32..].iter_mut().enumerate() {
+        let i = n32 + idx;
+        *o = (bytes[i / 8] >> (i % 8)) & 1 == 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantizer scans
+// ---------------------------------------------------------------------------
+
+/// Shared body of the 2-bit threshold scans: given the corrected vector
+/// `x`, emit `q`, store `x - q` through `res_out`, and write symbols
+/// from the two compare masks.
+#[target_feature(enable = "avx2")]
+unsafe fn threshold_core(
+    x: __m256,
+    vthr: __m256,
+    vnthr: __m256,
+    res_out: *mut f32,
+    symbols: &mut [u8],
+) {
+    let mpos = _mm256_cmp_ps::<_CMP_GE_OQ>(x, vthr);
+    let mneg = _mm256_cmp_ps::<_CMP_LE_OQ>(x, vnthr);
+    let q = _mm256_or_ps(_mm256_and_ps(mpos, vthr), _mm256_and_ps(mneg, vnthr));
+    _mm256_storeu_ps(res_out, _mm256_sub_ps(x, q));
+    let m1 = _mm256_movemask_ps(mpos) as u32;
+    let m2 = _mm256_movemask_ps(mneg) as u32;
+    for (l, s) in symbols.iter_mut().enumerate() {
+        *s = (((m1 >> l) & 1) | (((m2 >> l) & 1) << 1)) as u8;
+    }
+}
+
+/// [`super::scalar::threshold_scan_residual`] (AVX2).
+#[target_feature(enable = "avx2")]
+pub unsafe fn threshold_scan_residual(grad: &[f32], thr: f32, symbols: &mut [u8], res: &mut [f32]) {
+    debug_assert_eq!(grad.len(), symbols.len());
+    debug_assert_eq!(grad.len(), res.len());
+    let n8 = blocks(grad.len(), 8);
+    let vthr = _mm256_set1_ps(thr);
+    let vnthr = _mm256_set1_ps(-thr);
+    let (gp, rp) = (grad.as_ptr(), res.as_mut_ptr());
+    let mut i = 0;
+    while i < n8 {
+        let x = _mm256_add_ps(_mm256_loadu_ps(gp.add(i)), _mm256_loadu_ps(rp.add(i)));
+        threshold_core(x, vthr, vnthr, rp.add(i), &mut symbols[i..i + 8]);
+        i += 8;
+    }
+    if n8 < grad.len() {
+        super::scalar::threshold_scan_residual(
+            &grad[n8..],
+            thr,
+            &mut symbols[n8..],
+            &mut res[n8..],
+        );
+    }
+}
+
+/// [`super::scalar::threshold_scan_store`] (AVX2).
+#[target_feature(enable = "avx2")]
+pub unsafe fn threshold_scan_store(
+    corrected: &[f32],
+    thr: f32,
+    symbols: &mut [u8],
+    res: &mut [f32],
+) {
+    debug_assert_eq!(corrected.len(), symbols.len());
+    debug_assert_eq!(corrected.len(), res.len());
+    let n8 = blocks(corrected.len(), 8);
+    let vthr = _mm256_set1_ps(thr);
+    let vnthr = _mm256_set1_ps(-thr);
+    let (cp, rp) = (corrected.as_ptr(), res.as_mut_ptr());
+    let mut i = 0;
+    while i < n8 {
+        let x = _mm256_loadu_ps(cp.add(i));
+        threshold_core(x, vthr, vnthr, rp.add(i), &mut symbols[i..i + 8]);
+        i += 8;
+    }
+    if n8 < corrected.len() {
+        super::scalar::threshold_scan_store(
+            &corrected[n8..],
+            thr,
+            &mut symbols[n8..],
+            &mut res[n8..],
+        );
+    }
+}
+
+/// [`super::scalar::threshold_scan_plain`] (AVX2).
+#[target_feature(enable = "avx2")]
+pub unsafe fn threshold_scan_plain(grad: &[f32], thr: f32, symbols: &mut [u8]) {
+    debug_assert_eq!(grad.len(), symbols.len());
+    let n8 = blocks(grad.len(), 8);
+    let vthr = _mm256_set1_ps(thr);
+    let vnthr = _mm256_set1_ps(-thr);
+    let gp = grad.as_ptr();
+    let mut i = 0;
+    while i < n8 {
+        let x = _mm256_loadu_ps(gp.add(i));
+        let m1 = _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_GE_OQ>(x, vthr)) as u32;
+        let m2 = _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_LE_OQ>(x, vnthr)) as u32;
+        for (l, s) in symbols[i..i + 8].iter_mut().enumerate() {
+            *s = (((m1 >> l) & 1) | (((m2 >> l) & 1) << 1)) as u8;
+        }
+        i += 8;
+    }
+    if n8 < grad.len() {
+        super::scalar::threshold_scan_plain(&grad[n8..], thr, &mut symbols[n8..]);
+    }
+}
+
+/// [`super::scalar::sign_residual`] (AVX2).
+#[target_feature(enable = "avx2")]
+pub unsafe fn sign_residual(corrected: &[f32], scale: f32, bits: &mut [bool], res: &mut [f32]) {
+    debug_assert_eq!(corrected.len(), bits.len());
+    debug_assert_eq!(corrected.len(), res.len());
+    let n8 = blocks(corrected.len(), 8);
+    let vpos = _mm256_set1_ps(scale);
+    let vneg = _mm256_set1_ps(-scale);
+    let zero = _mm256_setzero_ps();
+    let (cp, rp) = (corrected.as_ptr(), res.as_mut_ptr());
+    let mut i = 0;
+    while i < n8 {
+        let x = _mm256_loadu_ps(cp.add(i));
+        let mpos = _mm256_cmp_ps::<_CMP_GE_OQ>(x, zero);
+        let q = _mm256_blendv_ps(vneg, vpos, mpos);
+        _mm256_storeu_ps(rp.add(i), _mm256_sub_ps(x, q));
+        let m = _mm256_movemask_ps(mpos) as u32;
+        for (l, bit) in bits[i..i + 8].iter_mut().enumerate() {
+            *bit = (m >> l) & 1 == 1;
+        }
+        i += 8;
+    }
+    if n8 < corrected.len() {
+        super::scalar::sign_residual(&corrected[n8..], scale, &mut bits[n8..], &mut res[n8..]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decode-accumulate
+// ---------------------------------------------------------------------------
+
+/// [`super::scalar::unpack_2bit_add`] (AVX2). The "no write for code 0"
+/// rule is kept with a blend: untouched lanes get their original
+/// accumulator bits back, never `acc + 0.0`.
+#[target_feature(enable = "avx2")]
+pub unsafe fn unpack_2bit_add(packed: &[u8], thr: f32, out: &mut [f32]) {
+    debug_assert!(packed.len() * 4 >= out.len());
+    let n8 = blocks(out.len(), 8);
+    let vthr = _mm256_set1_ps(thr);
+    let vnthr = _mm256_set1_ps(-thr);
+    let shifts = _mm256_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14);
+    let three = _mm256_set1_epi32(3);
+    let one = _mm256_set1_epi32(1);
+    let two = _mm256_set1_epi32(2);
+    let op = out.as_mut_ptr();
+    let mut i = 0;
+    while i < n8 {
+        let w = (packed[i / 4] as u32 | (packed[i / 4 + 1] as u32) << 8) as i32;
+        let codes = _mm256_and_si256(_mm256_srlv_epi32(_mm256_set1_epi32(w), shifts), three);
+        let mpos = _mm256_cmpeq_epi32(codes, one);
+        let mneg = _mm256_cmpeq_epi32(codes, two);
+        let addend = _mm256_or_ps(
+            _mm256_and_ps(_mm256_castsi256_ps(mpos), vthr),
+            _mm256_and_ps(_mm256_castsi256_ps(mneg), vnthr),
+        );
+        let touched = _mm256_castsi256_ps(_mm256_or_si256(mpos, mneg));
+        let cur = _mm256_loadu_ps(op.add(i));
+        let sum = _mm256_add_ps(cur, addend);
+        _mm256_storeu_ps(op.add(i), _mm256_blendv_ps(cur, sum, touched));
+        i += 8;
+    }
+    if n8 < out.len() {
+        // Scalar tail re-derives its own byte offsets from the absolute
+        // element index, so slicing `out` is enough.
+        for (idx, o) in out[n8..].iter_mut().enumerate() {
+            let i = n8 + idx;
+            match (packed[i / 4] >> (2 * (i % 4))) & 0b11 {
+                1 => *o += thr,
+                2 => *o -= thr,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// [`super::scalar::unpack_1bit_add`] (AVX2). Every lane is touched
+/// (`±scale`), matching the scalar decoder.
+#[target_feature(enable = "avx2")]
+pub unsafe fn unpack_1bit_add(signs: &[u8], scale: f32, out: &mut [f32]) {
+    debug_assert!(signs.len() * 8 >= out.len());
+    let n8 = blocks(out.len(), 8);
+    let vpos = _mm256_set1_ps(scale);
+    let vneg = _mm256_set1_ps(-scale);
+    let shifts = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    let one = _mm256_set1_epi32(1);
+    let op = out.as_mut_ptr();
+    let mut i = 0;
+    while i < n8 {
+        let b = _mm256_set1_epi32(signs[i / 8] as i32);
+        let hit = _mm256_cmpeq_epi32(_mm256_and_si256(_mm256_srlv_epi32(b, shifts), one), one);
+        let addend = _mm256_blendv_ps(vneg, vpos, _mm256_castsi256_ps(hit));
+        _mm256_storeu_ps(op.add(i), _mm256_add_ps(_mm256_loadu_ps(op.add(i)), addend));
+        i += 8;
+    }
+    for (idx, o) in out[n8..].iter_mut().enumerate() {
+        let i = n8 + idx;
+        *o += if (signs[i / 8] >> (i % 8)) & 1 == 1 {
+            scale
+        } else {
+            -scale
+        };
+    }
+}

@@ -1,0 +1,398 @@
+//! Scalar reference implementations of every kernel primitive.
+//!
+//! These are the *semantics* of the kernel layer: the dispatched SIMD
+//! paths in the private `avx2` sibling must reproduce each function here
+//! bit for bit
+//! (see the module docs of [`super`] for the contract, including the two
+//! reduction orders). The bodies are deliberately plain loops — they are
+//! what the pre-kernel code in `matmul.rs`/`ops.rs`/the compress crate
+//! executed, hoisted into one place so there is exactly one reference
+//! implementation of each primitive.
+//!
+//! The module is public so tests and benches can pin a path explicitly
+//! (bit-identity proptests compare these against the dispatched entry
+//! points; `cdsgd-bench` reports scalar-vs-SIMD for the same buffer).
+
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// Elementwise (BLAS-1 style)
+// ---------------------------------------------------------------------------
+
+/// `y[i] += alpha * x[i]`.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y[i] *= s`.
+pub fn scale(y: &mut [f32], s: f32) {
+    for v in y {
+        *v *= s;
+    }
+}
+
+/// `y[i] += x[i]`.
+pub fn add_assign(y: &mut [f32], x: &[f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += xi;
+    }
+}
+
+/// `y[i] += b` (row-bias broadcast add).
+pub fn add_scalar(y: &mut [f32], b: f32) {
+    for v in y {
+        *v += b;
+    }
+}
+
+/// `out[i] = a[i] + b[i]` (residual accumulate into a scratch buffer).
+pub fn add_into(out: &mut [f32], a: &[f32], b: &[f32]) {
+    debug_assert_eq!(out.len(), a.len());
+    debug_assert_eq!(out.len(), b.len());
+    for ((o, &av), &bv) in out.iter_mut().zip(a).zip(b) {
+        *o = av + bv;
+    }
+}
+
+/// `out[i] = a[i] + alpha * b[i]` (out-of-place axpy).
+pub fn scale_add(out: &mut [f32], a: &[f32], alpha: f32, b: &[f32]) {
+    debug_assert_eq!(out.len(), a.len());
+    debug_assert_eq!(out.len(), b.len());
+    for ((o, &av), &bv) in out.iter_mut().zip(a).zip(b) {
+        *o = av + alpha * bv;
+    }
+}
+
+/// `out[i] = w[i] - step * g[i]` — the server's plain-SGD update (paper
+/// eq. 10) and the second half of heavy-ball. Kept as its own primitive
+/// (rather than `scale_add` with `-step`) so the expression tree matches
+/// the historical loop exactly even for NaN payload propagation.
+pub fn sgd_step(out: &mut [f32], w: &[f32], g: &[f32], step: f32) {
+    debug_assert_eq!(out.len(), w.len());
+    debug_assert_eq!(out.len(), g.len());
+    for ((o, &wv), &gv) in out.iter_mut().zip(w).zip(g) {
+        *o = wv - step * gv;
+    }
+}
+
+/// `v[i] = mu * v[i] + g[i]` — momentum/velocity decay-accumulate
+/// (heavy-ball, Nesterov, and DGC momentum correction all use it).
+pub fn decay_add(v: &mut [f32], mu: f32, g: &[f32]) {
+    debug_assert_eq!(v.len(), g.len());
+    for (vi, &gi) in v.iter_mut().zip(g) {
+        *vi = mu * *vi + gi;
+    }
+}
+
+/// `out[i] = w[i] - step * (g[i] + mu * v[i])` — the Nesterov look-ahead
+/// step, fused so no scratch buffer is needed.
+pub fn nesterov_step(out: &mut [f32], w: &[f32], g: &[f32], v: &[f32], step: f32, mu: f32) {
+    debug_assert_eq!(out.len(), w.len());
+    debug_assert_eq!(out.len(), g.len());
+    debug_assert_eq!(out.len(), v.len());
+    for (((o, &wv), &gv), &vv) in out.iter_mut().zip(w).zip(g).zip(v) {
+        *o = wv - step * (gv + mu * vv);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+/// Sequential left-to-right sum. **Order-pinned**: consumers on the
+/// weight-hash path (softmax denominators, bias gradients, 1-bit scale)
+/// rely on this exact association, so no backend reorders it.
+pub fn reduce_sum(x: &[f32]) -> f32 {
+    x.iter().sum()
+}
+
+/// Sequential sum of `|x[i]|` (1-bit scale, adaptive threshold).
+/// Order-pinned like [`reduce_sum`].
+pub fn reduce_abs_sum(x: &[f32]) -> f32 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Sequential sum of squares (L2 norms). Order-pinned.
+pub fn reduce_sq_sum(x: &[f32]) -> f32 {
+    x.iter().map(|&v| v * v).sum()
+}
+
+/// Sequential `f32::max` fold from `NEG_INFINITY` (softmax row max).
+/// NaN elements are skipped (`f32::max` semantics).
+pub fn reduce_max(x: &[f32]) -> f32 {
+    x.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v))
+}
+
+/// `max(|x[i]|)` over the slice, `0.0` when empty; NaN elements are
+/// skipped. Unlike the sums this reduction is order-independent (all
+/// inputs are non-negative after `abs`), so the SIMD path can and does
+/// reproduce it bit-exactly.
+pub fn reduce_max_abs(x: &[f32]) -> f32 {
+    x.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+}
+
+/// Dot product in **striped order** (the kernel layer's documented
+/// reduction order for `dot`): eight interleaved partial sums over the
+/// 8-aligned prefix, combined pairwise, then a sequential tail. This is
+/// the natural AVX2 accumulation shape; the scalar reference implements
+/// the same order so both paths agree bitwise. See the module docs of
+/// [`super`] for why `dot` is *not* sequential-order.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; 8];
+    let mut chunks_a = a.chunks_exact(8);
+    let mut chunks_b = b.chunks_exact(8);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        for l in 0..8 {
+            lanes[l] += ca[l] * cb[l];
+        }
+    }
+    let mut acc = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    for (&av, &bv) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        acc += av * bv;
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// GEMM row-block microkernels
+// ---------------------------------------------------------------------------
+// All three operate on a block of output rows (`rows`) whose storage is
+// `c_chunk` (so the rayon splitter can hand out disjoint row bands). The
+// accumulation order per output element is strictly increasing `p`, and
+// `a` elements equal to 0.0 skip their contribution entirely — both are
+// load-bearing for bit-identity (skipping avoids `-0.0 + 0.0` flips on
+// ReLU-sparse activations).
+
+/// `C[rows, n] += A[rows, k] · B[k, n]` (ikj order).
+pub fn gemm_block(
+    a: &[f32],
+    b: &[f32],
+    rows: Range<usize>,
+    c_chunk: &mut [f32],
+    k: usize,
+    n: usize,
+) {
+    for (ri, i) in rows.enumerate() {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c_chunk[ri * n..(ri + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `C[rows, n] += A[rows, k] · B[n, k]ᵀ` (sequential dot per output).
+pub fn gemm_nt_block(
+    a: &[f32],
+    b: &[f32],
+    rows: Range<usize>,
+    c_chunk: &mut [f32],
+    k: usize,
+    n: usize,
+) {
+    for (ri, i) in rows.enumerate() {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c_chunk[ri * n..(ri + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *cv += acc;
+        }
+    }
+}
+
+/// `C[rows, n] += A[k, m]ᵀ · B[k, n]` (strided A reads, ikj order).
+pub fn gemm_tn_block(
+    a: &[f32],
+    b: &[f32],
+    rows: Range<usize>,
+    c_chunk: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for (ri, i) in rows.enumerate() {
+        let c_row = &mut c_chunk[ri * n..(ri + 1) * n];
+        for p in 0..k {
+            let av = a[p * m + i];
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-packing
+// ---------------------------------------------------------------------------
+
+/// Pack 2-bit symbols (values 0..=3) four per byte, little-end first
+/// (symbol `i` at bits `2*(i%4)`). `out.len()` must be
+/// `symbols.len().div_ceil(4)`; it is overwritten.
+pub fn pack_2bit(symbols: &[u8], out: &mut [u8]) {
+    debug_assert_eq!(out.len(), symbols.len().div_ceil(4));
+    out.fill(0);
+    for (i, &s) in symbols.iter().enumerate() {
+        debug_assert!(s < 4, "2-bit symbol out of range");
+        out[i / 4] |= (s & 0b11) << (2 * (i % 4));
+    }
+}
+
+/// Unpack `out.len()` 2-bit symbols from `bytes` (inverse of
+/// [`pack_2bit`]).
+pub fn unpack_2bit(bytes: &[u8], out: &mut [u8]) {
+    debug_assert!(bytes.len() * 4 >= out.len());
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = (bytes[i / 4] >> (2 * (i % 4))) & 0b11;
+    }
+}
+
+/// Pack booleans eight per byte, little-end first. `out.len()` must be
+/// `bits.len().div_ceil(8)`; it is overwritten.
+pub fn pack_1bit(bits: &[bool], out: &mut [u8]) {
+    debug_assert_eq!(out.len(), bits.len().div_ceil(8));
+    out.fill(0);
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+}
+
+/// Unpack `out.len()` booleans from `bytes` (inverse of [`pack_1bit`]).
+pub fn unpack_1bit(bytes: &[u8], out: &mut [bool]) {
+    debug_assert!(bytes.len() * 8 >= out.len());
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = (bytes[i / 8] >> (i % 8)) & 1 == 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantizer scans
+// ---------------------------------------------------------------------------
+
+/// 2-bit threshold scan with fused residual update (MXNet `2bit`
+/// semantics): for `x = grad[i] + res[i]`, emit symbol 1 and quantum
+/// `+thr` when `x >= thr`, symbol 2 and `-thr` when `x <= -thr`, else
+/// symbol 0 and quantum `0.0`; store `res[i] = x - q`. NaN inputs fail
+/// both comparisons and fall through to symbol 0.
+pub fn threshold_scan_residual(grad: &[f32], thr: f32, symbols: &mut [u8], res: &mut [f32]) {
+    debug_assert_eq!(grad.len(), symbols.len());
+    debug_assert_eq!(grad.len(), res.len());
+    for ((s, &g), r) in symbols.iter_mut().zip(grad).zip(res.iter_mut()) {
+        let x = g + *r;
+        let q = if x >= thr {
+            *s = 1;
+            thr
+        } else if x <= -thr {
+            *s = 2;
+            -thr
+        } else {
+            *s = 0;
+            0.0
+        };
+        *r = x - q;
+    }
+}
+
+/// [`threshold_scan_residual`] for a pre-corrected input: scans `x =
+/// corrected[i]` directly and writes the remainder into `res` (used by
+/// the adaptive codec, whose threshold depends on `corrected` as a
+/// whole).
+pub fn threshold_scan_store(corrected: &[f32], thr: f32, symbols: &mut [u8], res: &mut [f32]) {
+    debug_assert_eq!(corrected.len(), symbols.len());
+    debug_assert_eq!(corrected.len(), res.len());
+    for ((s, &x), r) in symbols.iter_mut().zip(corrected).zip(res.iter_mut()) {
+        let q = if x >= thr {
+            *s = 1;
+            thr
+        } else if x <= -thr {
+            *s = 2;
+            -thr
+        } else {
+            *s = 0;
+            0.0
+        };
+        *r = x - q;
+    }
+}
+
+/// Residual-free 2-bit threshold scan (the error-feedback ablation):
+/// symbols only, no state update.
+pub fn threshold_scan_plain(grad: &[f32], thr: f32, symbols: &mut [u8]) {
+    debug_assert_eq!(grad.len(), symbols.len());
+    for (s, &g) in symbols.iter_mut().zip(grad) {
+        *s = if g >= thr {
+            1
+        } else if g <= -thr {
+            2
+        } else {
+            0
+        };
+    }
+}
+
+/// 1-bit sign scan with residual update: `bits[i] = x >= 0.0` (NaN →
+/// `false`), quantum `±scale`, `res[i] = x - q`.
+pub fn sign_residual(corrected: &[f32], scale: f32, bits: &mut [bool], res: &mut [f32]) {
+    debug_assert_eq!(corrected.len(), bits.len());
+    debug_assert_eq!(corrected.len(), res.len());
+    for ((bi, &x), r) in bits.iter_mut().zip(corrected).zip(res.iter_mut()) {
+        let b = x >= 0.0;
+        *bi = b;
+        let q = if b { scale } else { -scale };
+        *r = x - q;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decode-accumulate (server aggregation hot loop)
+// ---------------------------------------------------------------------------
+
+/// Decode 2-bit symbols straight into an accumulator: `out[i] += thr`
+/// for code 1, `out[i] -= thr` for code 2, **no write at all** for code
+/// 0 (adding `0.0` would flip `-0.0` accumulator slots). `out.len()`
+/// elements are decoded from `packed`.
+pub fn unpack_2bit_add(packed: &[u8], thr: f32, out: &mut [f32]) {
+    debug_assert!(packed.len() * 4 >= out.len());
+    for (i, o) in out.iter_mut().enumerate() {
+        match (packed[i / 4] >> (2 * (i % 4))) & 0b11 {
+            1 => *o += thr,
+            2 => *o -= thr,
+            _ => {}
+        }
+    }
+}
+
+/// Decode 1-bit signs straight into an accumulator: `out[i] += scale`
+/// for a set bit, `out[i] -= scale` otherwise (every element is
+/// touched, matching the historical decoder).
+pub fn unpack_1bit_add(signs: &[u8], scale: f32, out: &mut [f32]) {
+    debug_assert!(signs.len() * 8 >= out.len());
+    for (i, o) in out.iter_mut().enumerate() {
+        *o += if (signs[i / 8] >> (i % 8)) & 1 == 1 {
+            scale
+        } else {
+            -scale
+        };
+    }
+}

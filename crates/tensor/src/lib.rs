@@ -23,6 +23,7 @@
 //! ```
 
 mod conv;
+pub mod kernel;
 mod matmul;
 mod ops;
 mod reduce;

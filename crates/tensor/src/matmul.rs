@@ -1,8 +1,9 @@
-//! Matrix multiplication kernels.
+//! Matrix multiplication entry points.
 //!
-//! A single inner kernel (`gemm_block`) computes `C += A·B` over row blocks;
-//! the public entry points parallelize over blocks of output rows with rayon
-//! when the problem is large enough to amortize fork/join overhead.
+//! The actual microkernels (register-blocked AVX2 + scalar reference,
+//! rayon row-block tiling) live in [`crate::kernel`]; this module keeps
+//! the shape-checked `Tensor` methods and the raw-slice `gemm*` API
+//! other crates already use.
 //!
 //! Three layout variants cover everything the NN backward passes need
 //! without materializing transposes:
@@ -10,15 +11,8 @@
 //! * `matmul_nt` — `A[m,k] · B[n,k]ᵀ`  (e.g. `dX = dY · Wᵀ`)
 //! * `matmul_tn` — `A[k,m]ᵀ · B[k,n]`  (e.g. `dW = Xᵀ · dY`)
 
+use crate::kernel;
 use crate::tensor::Tensor;
-use rayon::prelude::*;
-
-/// Below this many multiply-adds we stay single-threaded: rayon's fork/join
-/// overhead would dominate (measured on small LeNet-sized layers).
-const PAR_THRESHOLD_FLOPS: usize = 64 * 1024;
-
-/// Row-block height for the parallel split.
-const ROW_BLOCK: usize = 32;
 
 impl Tensor {
     /// `self[m,k] · other[k,n] -> [m,n]`.
@@ -32,7 +26,7 @@ impl Tensor {
         let (k2, n) = (other.shape()[0], other.shape()[1]);
         assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
         let mut out = Tensor::zeros(&[m, n]);
-        gemm(self.data(), other.data(), out.data_mut(), m, k, n);
+        kernel::gemm(self.data(), other.data(), out.data_mut(), m, k, n);
         out
     }
 
@@ -45,7 +39,7 @@ impl Tensor {
         let (n, k2) = (other.shape()[0], other.shape()[1]);
         assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
         let mut out = Tensor::zeros(&[m, n]);
-        gemm_nt(self.data(), other.data(), out.data_mut(), m, k, n);
+        kernel::gemm_nt(self.data(), other.data(), out.data_mut(), m, k, n);
         out
     }
 
@@ -58,107 +52,15 @@ impl Tensor {
         let (k2, n) = (other.shape()[0], other.shape()[1]);
         assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
         let mut out = Tensor::zeros(&[m, n]);
-        gemm_tn(self.data(), other.data(), out.data_mut(), m, k, n);
+        kernel::gemm_tn(self.data(), other.data(), out.data_mut(), m, k, n);
         out
     }
 }
 
-/// `C[m,n] += A[m,k] · B[k,n]` over raw slices.
-pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    let run = |rows: std::ops::Range<usize>, c_chunk: &mut [f32]| {
-        for (ri, i) in rows.enumerate() {
-            let a_row = &a[i * k..(i + 1) * k];
-            let c_row = &mut c_chunk[ri * n..(ri + 1) * n];
-            // ikj order: stream through B rows, accumulate into C row.
-            for (p, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let b_row = &b[p * n..(p + 1) * n];
-                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += av * bv;
-                }
-            }
-        }
-    };
-    parallel_rows(c, m, n, k, run);
-}
-
-/// `C[m,n] += A[m,k] · B[n,k]ᵀ` over raw slices.
-pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), n * k);
-    debug_assert_eq!(c.len(), m * n);
-    let run = |rows: std::ops::Range<usize>, c_chunk: &mut [f32]| {
-        for (ri, i) in rows.enumerate() {
-            let a_row = &a[i * k..(i + 1) * k];
-            let c_row = &mut c_chunk[ri * n..(ri + 1) * n];
-            for (j, cv) in c_row.iter_mut().enumerate() {
-                let b_row = &b[j * k..(j + 1) * k];
-                // Dot product of two contiguous rows — vectorizes well.
-                let mut acc = 0.0f32;
-                for (&av, &bv) in a_row.iter().zip(b_row) {
-                    acc += av * bv;
-                }
-                *cv += acc;
-            }
-        }
-    };
-    parallel_rows(c, m, n, k, run);
-}
-
-/// `C[m,n] += A[k,m]ᵀ · B[k,n]` over raw slices.
-pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), k * m);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    let run = |rows: std::ops::Range<usize>, c_chunk: &mut [f32]| {
-        for (ri, i) in rows.enumerate() {
-            let c_row = &mut c_chunk[ri * n..(ri + 1) * n];
-            for p in 0..k {
-                let av = a[p * m + i];
-                if av == 0.0 {
-                    continue;
-                }
-                let b_row = &b[p * n..(p + 1) * n];
-                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += av * bv;
-                }
-            }
-        }
-    };
-    parallel_rows(c, m, n, k, run);
-}
-
-/// Split the output matrix into row blocks and run `body` on each, in
-/// parallel when the total work justifies it.
-fn parallel_rows(
-    c: &mut [f32],
-    m: usize,
-    n: usize,
-    k: usize,
-    body: impl Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
-) {
-    if m * n * k < PAR_THRESHOLD_FLOPS || m < 2 {
-        body(0..m, c);
-        return;
-    }
-    c.par_chunks_mut(ROW_BLOCK * n)
-        .enumerate()
-        .for_each(|(blk, chunk)| {
-            let start = blk * ROW_BLOCK;
-            let rows = chunk.len() / n;
-            body(start..start + rows, chunk);
-        });
-}
-
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::rng::SmallRng64;
+    use crate::tensor::Tensor;
 
     fn naive(a: &Tensor, b: &Tensor) -> Tensor {
         let (m, k) = (a.shape()[0], a.shape()[1]);
@@ -239,7 +141,8 @@ mod tests {
 
     #[test]
     fn large_parallel_path_matches_naive() {
-        // Big enough to cross PAR_THRESHOLD_FLOPS and exercise rayon.
+        // Big enough to cross the kernel's parallel threshold and
+        // exercise the rayon row-block split.
         let mut rng = SmallRng64::new(5);
         let a = Tensor::randn(&[128, 96], 1.0, &mut rng);
         let b = Tensor::randn(&[96, 80], 1.0, &mut rng);

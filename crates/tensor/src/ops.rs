@@ -2,13 +2,19 @@
 //!
 //! All binary ops require identical shapes (the NN layers never need
 //! general broadcasting; row-wise bias addition is provided explicitly).
+//! The loops themselves live in [`crate::kernel`] — this module only
+//! adapts them to the `Tensor` API.
 
+use crate::kernel;
 use crate::tensor::Tensor;
 
 impl Tensor {
     /// Elementwise sum: `self + other` (allocates).
     pub fn add(&self, other: &Tensor) -> Tensor {
-        self.zip_map(other, |a, b| a + b)
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in binary op");
+        let mut out = Tensor::zeros(self.shape());
+        kernel::add_into(out.data_mut(), self.data(), other.data());
+        out
     }
 
     /// Elementwise difference: `self - other` (allocates).
@@ -22,30 +28,23 @@ impl Tensor {
     }
 
     /// Elementwise map (allocates).
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_vec(
-            self.shape().to_vec(),
-            self.data().iter().map(|&x| f(x)).collect(),
-        )
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = Tensor::zeros(self.shape());
+        kernel::map_into(out.data_mut(), self.data(), f);
+        out
     }
 
     /// In-place elementwise map.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in self.data_mut() {
-            *x = f(*x);
-        }
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        kernel::map_inplace(self.data_mut(), f);
     }
 
     /// Elementwise zip-map with shape check (allocates).
-    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in binary op");
-        let data = self
-            .data()
-            .iter()
-            .zip(other.data().iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
-        Tensor::from_vec(self.shape().to_vec(), data)
+        let mut out = Tensor::zeros(self.shape());
+        kernel::zip_into(out.data_mut(), self.data(), other.data(), f);
+        out
     }
 
     /// Scale by a scalar (allocates).
@@ -57,19 +56,20 @@ impl Tensor {
     /// workhorse of every SGD weight update in the reproduction.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in axpy");
-        axpy_slice(alpha, other.data(), self.data_mut());
+        kernel::axpy(alpha, other.data(), self.data_mut());
     }
 
     /// In-place `self += other`.
+    ///
+    /// Kept as `axpy(1.0, ..)` — not the kernel's plain `+=` — so the
+    /// historical `y += 1.0 * x` bit behavior is preserved exactly.
     pub fn add_assign(&mut self, other: &Tensor) {
         self.axpy(1.0, other);
     }
 
     /// In-place scale.
     pub fn scale_inplace(&mut self, s: f32) {
-        for x in self.data_mut() {
-            *x *= s;
-        }
+        kernel::scale(self.data_mut(), s);
     }
 
     /// Set all elements to zero, keeping the allocation.
@@ -77,9 +77,9 @@ impl Tensor {
         self.data_mut().fill(0.0);
     }
 
-    /// Sum of all elements.
+    /// Sum of all elements (sequential, order-pinned).
     pub fn sum(&self) -> f32 {
-        self.data().iter().sum()
+        kernel::reduce_sum(self.data())
     }
 
     /// Mean of all elements (0 for empty tensors).
@@ -91,9 +91,9 @@ impl Tensor {
         }
     }
 
-    /// Squared L2 norm.
+    /// Squared L2 norm (sequential, order-pinned).
     pub fn sq_norm(&self) -> f32 {
-        self.data().iter().map(|&x| x * x).sum()
+        kernel::reduce_sq_sum(self.data())
     }
 
     /// L2 norm.
@@ -103,7 +103,7 @@ impl Tensor {
 
     /// Maximum absolute element (0 for empty tensors).
     pub fn max_abs(&self) -> f32 {
-        self.data().iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+        kernel::reduce_max_abs(self.data())
     }
 
     /// Add a bias row-vector to every row of a 2-D tensor, in place.
@@ -115,19 +115,8 @@ impl Tensor {
         assert_eq!(bias.len(), cols, "bias length must equal column count");
         let b = bias.data();
         for row in self.data_mut().chunks_exact_mut(cols) {
-            for (x, &bv) in row.iter_mut().zip(b) {
-                *x += bv;
-            }
+            kernel::add_assign(row, b);
         }
-    }
-}
-
-/// `y += alpha * x` over raw slices.
-#[inline]
-pub fn axpy_slice(alpha: f32, x: &[f32], y: &mut [f32]) {
-    debug_assert_eq!(x.len(), y.len());
-    for (yi, &xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
     }
 }
 

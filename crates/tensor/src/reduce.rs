@@ -1,5 +1,6 @@
 //! Reductions and row-wise helpers used by losses and metrics.
 
+use crate::kernel;
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -31,9 +32,7 @@ impl Tensor {
         let cols = self.shape()[1];
         let mut out = vec![0.0f32; cols];
         for row in self.data().chunks_exact(cols) {
-            for (o, &v) in out.iter_mut().zip(row) {
-                *o += v;
-            }
+            kernel::add_assign(&mut out, row);
         }
         Tensor::from_vec(vec![cols], out)
     }
@@ -44,16 +43,15 @@ impl Tensor {
         let cols = self.shape()[1];
         let mut out = self.data().to_vec();
         for row in out.chunks_exact_mut(cols) {
-            let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            let max = kernel::reduce_max(row);
+            // exp and running sum stay fused: splitting them would keep
+            // the same result but walk the row twice.
             let mut sum = 0.0f32;
             for v in row.iter_mut() {
                 *v = (*v - max).exp();
                 sum += *v;
             }
-            let inv = 1.0 / sum;
-            for v in row.iter_mut() {
-                *v *= inv;
-            }
+            kernel::scale(row, 1.0 / sum);
         }
         Tensor::from_vec(self.shape().to_vec(), out)
     }

@@ -25,6 +25,20 @@ cargo build --release
 echo "==> cargo test -q --workspace"
 run_tests cargo test -q --workspace
 
+# The whole suite again pinned to the scalar reference kernels
+# (DESIGN.md §15). The SIMD backend is bit-identical by contract, so
+# every test must pass under either backend; running both catches a
+# kernel that drifts from its scalar twin anywhere the proptests'
+# input distribution misses.
+echo "==> CDSGD_FORCE_SCALAR=1 cargo test -q --workspace"
+run_tests env CDSGD_FORCE_SCALAR=1 cargo test -q --workspace
+
+# The release build once more with the host's full ISA enabled — the
+# configuration benchmark numbers are quoted from — to catch
+# target-feature-dependent compile errors the portable build skips.
+echo "==> RUSTFLAGS='-C target-cpu=native' cargo build --release"
+RUSTFLAGS="-C target-cpu=native" CARGO_TARGET_DIR=target/native cargo build --release
+
 # Explicit gate on the network subsystem: loopback/TCP equivalence, the
 # multi-process (psd + worker over localhost TCP) smoke test, and the
 # worker-failure chaos suite. All are part of the workspace run above;

@@ -1,0 +1,100 @@
+//! End-to-end backend parity: one full CD-SGD training run must land on
+//! bit-identical final weights whether the kernel layer dispatches to
+//! the native SIMD backend or is pinned to the scalar reference with
+//! `CDSGD_FORCE_SCALAR=1`.
+//!
+//! The backend choice is cached process-wide (a `OnceLock` read once at
+//! first kernel call), so the scalar run happens in a child process: the
+//! test re-executes its own binary with the override set and compares
+//! the hash the child prints against the parent's native-run hash.
+
+use cd_sgd::{Algorithm, TrainConfig, Trainer, TrainingHistory};
+use cd_sgd_repro::deploy;
+use cdsgd_tensor::kernel;
+use std::process::Command;
+
+const CHILD_ENV: &str = "CDSGD_PARITY_CHILD";
+
+/// FNV-1a over the little-endian bit patterns of all final weights, in
+/// key order — same digest as `tests/strategy_equivalence.rs`.
+fn weight_hash(h: &TrainingHistory) -> u64 {
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    for key in &h.final_weights {
+        for w in key {
+            for b in w.to_bits().to_le_bytes() {
+                acc ^= b as u64;
+                acc = acc.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+    }
+    acc
+}
+
+/// A short CD-SGD run that exercises every kernel family: GEMM (dense
+/// layers), 2-bit threshold scan + packing (the codec), residual
+/// accumulate, and the server's `sgd_step` apply path.
+fn run_once() -> u64 {
+    let (train, test) = deploy::build_dataset("blobs", 480, 5);
+    let cfg = TrainConfig::new(Algorithm::cd_sgd(0.05, 0.05, 2, 3), 2)
+        .with_lr(0.2)
+        .with_batch_size(16)
+        .with_epochs(2)
+        .with_seed(5);
+    let h = Trainer::new(
+        cfg,
+        |rng| deploy::build_model("mlp:8,32,4", rng),
+        train,
+        Some(test),
+    )
+    .run();
+    weight_hash(&h)
+}
+
+#[test]
+fn native_and_forced_scalar_runs_produce_identical_weights() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        // Child mode: forced-scalar run, report the hash on stdout.
+        assert_eq!(
+            kernel::backend().name(),
+            "scalar",
+            "child must run on the scalar reference backend"
+        );
+        println!("PARITY_HASH {:#018x}", run_once());
+        return;
+    }
+
+    let native = run_once();
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = Command::new(exe)
+        .args([
+            "--exact",
+            "native_and_forced_scalar_runs_produce_identical_weights",
+            "--nocapture",
+        ])
+        .env(CHILD_ENV, "1")
+        .env("CDSGD_FORCE_SCALAR", "1")
+        .output()
+        .expect("spawn forced-scalar child");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "forced-scalar child failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // libtest may interleave its progress line with ours, so locate the
+    // marker anywhere in the stream rather than at line starts.
+    let scalar = stdout
+        .split("PARITY_HASH ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|h| u64::from_str_radix(h.trim_start_matches("0x"), 16).ok())
+        .unwrap_or_else(|| panic!("no PARITY_HASH marker in child output:\n{stdout}"));
+
+    assert_eq!(
+        native,
+        scalar,
+        "final weights diverged between the {} backend and the scalar reference",
+        kernel::backend().name()
+    );
+}
