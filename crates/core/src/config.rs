@@ -21,6 +21,9 @@ pub enum ConfigError {
     ZeroCorrectionPeriod,
     /// `EfSgd` momentum outside `[0, 1)`: the velocity would diverge.
     InvalidMomentum(f32),
+    /// `EcqSgd` error-decay β outside `[0, 1]`: the accumulated
+    /// quantization error would grow without bound.
+    InvalidErrorDecay(f32),
     /// A training run needs at least one worker.
     NoWorkers,
 }
@@ -32,6 +35,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroCorrectionPeriod => write!(f, "k must be at least 1"),
             ConfigError::InvalidMomentum(m) => {
                 write!(f, "momentum must be in [0, 1), got {m}")
+            }
+            ConfigError::InvalidErrorDecay(b) => {
+                write!(f, "error decay beta must be in [0, 1], got {b}")
             }
             ConfigError::NoWorkers => write!(f, "need at least one worker"),
         }
@@ -157,6 +163,23 @@ pub enum Algorithm {
     /// no parameter server; every round the workers mean-reduce their raw
     /// gradients through the ring and apply the update locally.
     ArSgd,
+    /// Error-compensated 2-bit quantized SGD after Wu et al., "Error
+    /// Compensated Quantized SGD and its Applications to Large-scale
+    /// Distributed Optimization" (ECQ-SGD) — an extension leaf. Each
+    /// worker pushes a 2-bit threshold quantization of the *corrected*
+    /// gradient `c = g + α·e`, then decays the carried error
+    /// `e ← β·(c − decode(q(c)))`. With `α = β = 1` this degenerates to
+    /// plain error feedback (and is bit-identical to [`Algorithm::BitSgd`]
+    /// at the same threshold); `α, β < 1` damp the accumulated error so
+    /// stale compensation cannot destabilize the run.
+    EcqSgd {
+        /// Quantization threshold of the 2-bit codec.
+        threshold: f32,
+        /// Compensation gain α on the carried error.
+        alpha: f32,
+        /// Error decay β ∈ [0, 1] applied when the error is re-absorbed.
+        beta: f32,
+    },
     /// Blockwise momentum SGD with error feedback, after Zheng et al.,
     /// "Communication-Efficient Distributed Blockwise Momentum SGD with
     /// Error-Feedback" (dist-EF-blockSGD) — the first extension variant
@@ -210,6 +233,22 @@ impl Algorithm {
         algo
     }
 
+    /// Convenience constructor for error-compensated quantized SGD
+    /// (extension).
+    ///
+    /// # Panics
+    /// Panics if `beta` is outside `[0, 1]`; use [`Algorithm::validate`]
+    /// for a typed error.
+    pub fn ecq_sgd(threshold: f32, alpha: f32, beta: f32) -> Self {
+        let algo = Algorithm::EcqSgd {
+            threshold,
+            alpha,
+            beta,
+        };
+        algo.validate().unwrap_or_else(|e| panic!("{e}"));
+        algo
+    }
+
     /// Display name as used in the paper's figures.
     pub fn name(&self) -> String {
         match self {
@@ -219,6 +258,7 @@ impl Algorithm {
             Algorithm::CdSgd { k, .. } => format!("CD-SGD(k={k})"),
             Algorithm::LocalSgd { sync_period, .. } => format!("LocalSGD(H={sync_period})"),
             Algorithm::ArSgd => "AR-SGD".into(),
+            Algorithm::EcqSgd { alpha, beta, .. } => format!("ECQ-SGD(a={alpha},b={beta})"),
             Algorithm::EfSgd { momentum } => format!("EF-blockSGD(m={momentum})"),
         }
     }
@@ -232,7 +272,10 @@ impl Algorithm {
     pub fn uses_compression(&self) -> bool {
         matches!(
             self,
-            Algorithm::BitSgd { .. } | Algorithm::CdSgd { .. } | Algorithm::EfSgd { .. }
+            Algorithm::BitSgd { .. }
+                | Algorithm::CdSgd { .. }
+                | Algorithm::EcqSgd { .. }
+                | Algorithm::EfSgd { .. }
         )
     }
 
@@ -252,7 +295,53 @@ impl Algorithm {
             Algorithm::EfSgd { momentum } if !(0.0..1.0).contains(momentum) => {
                 Err(ConfigError::InvalidMomentum(*momentum))
             }
+            Algorithm::EcqSgd { beta, .. } if !(0.0..=1.0).contains(beta) => {
+                Err(ConfigError::InvalidErrorDecay(*beta))
+            }
             _ => Ok(()),
+        }
+    }
+}
+
+/// Which communication topology carries a server-less (ring all-reduce
+/// family) run's collective exchanges. Ignored by parameter-server
+/// algorithms, which always talk to the PS regardless of this field.
+///
+/// All three synchronous topologies produce *bit-identical* weights:
+/// the reduction order is pinned per chunk (see `cdsgd_ps::collective`),
+/// so switching topology is purely a performance/deployment decision.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Topology {
+    /// Default: the in-process ring (or the parameter server, for PS
+    /// algorithms) — whatever the trainer would have built before
+    /// topologies existed.
+    #[default]
+    Ps,
+    /// Bandwidth-optimal ring all-reduce: each member sends
+    /// `2·(N−1)/N` of the vector per round.
+    Ring,
+    /// Binary-tree reduce + broadcast: `O(log N)` latency hops at the
+    /// cost of `(N−1)×` vector ingest at the root. Wins for small
+    /// vectors on high-latency links (see DESIGN.md §16).
+    Tree,
+    /// Decentralized compressed training (Tang et al.): no global
+    /// reduction at all — each worker exchanges codec-compressed model
+    /// differences with its two ring neighbors and gossip-averages.
+    /// Approximate (not bit-identical to the synchronous topologies).
+    Decentralized {
+        /// Codec compressing the exchanged model differences.
+        codec: Codec,
+    },
+}
+
+impl Topology {
+    /// Short name for run labels and bench output.
+    pub fn name(&self) -> String {
+        match self {
+            Topology::Ps => "ps".into(),
+            Topology::Ring => "ring".into(),
+            Topology::Tree => "tree".into(),
+            Topology::Decentralized { codec } => format!("decentralized/{}", codec.name()),
         }
     }
 }
@@ -338,6 +427,9 @@ pub struct TrainConfig {
     /// is only consistent at epoch boundaries). Ignored without
     /// [`TrainConfig::worker_ckpt_dir`].
     pub worker_ckpt_every: usize,
+    /// Collective topology for server-less algorithms (see [`Topology`]).
+    /// Ignored (must stay [`Topology::Ps`]) for PS algorithms.
+    pub topology: Topology,
 }
 
 impl TrainConfig {
@@ -380,6 +472,7 @@ impl TrainConfig {
             start_epoch: 0,
             worker_ckpt_dir: None,
             worker_ckpt_every: 1,
+            topology: Topology::Ps,
         })
     }
 
@@ -532,6 +625,25 @@ impl TrainConfig {
         assert!(every > 0, "checkpoint interval must be at least 1");
         self.worker_ckpt_dir = Some(dir.into());
         self.worker_ckpt_every = every;
+        self
+    }
+
+    /// Choose the collective topology for a server-less run (see
+    /// [`Topology`]).
+    ///
+    /// # Panics
+    /// Panics when a non-default topology is paired with a
+    /// parameter-server algorithm: PS algorithms route every exchange
+    /// through the server, so a collective topology would silently be
+    /// dead configuration.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        assert!(
+            topology == Topology::Ps || self.algo.uses_ring(),
+            "topology {} requires a server-less algorithm (arsgd); {} uses the parameter server",
+            topology.name(),
+            self.algo.name()
+        );
+        self.topology = topology;
         self
     }
 }
@@ -756,8 +868,74 @@ mod tests {
             Algorithm::SSgd,
             Algorithm::cd_sgd(0.1, 0.5, 2, 3),
             Algorithm::ef_sgd(0.9),
+            Algorithm::ecq_sgd(0.5, 1.0, 1.0),
         ] {
             assert!(!a.uses_ring());
         }
+    }
+
+    #[test]
+    fn ecq_sgd_classification_and_validation() {
+        let a = Algorithm::ecq_sgd(0.5, 0.9, 0.8);
+        assert!(a.uses_compression());
+        assert!(!a.is_delayed());
+        assert_eq!(a.name(), "ECQ-SGD(a=0.9,b=0.8)");
+        let err = Algorithm::EcqSgd {
+            threshold: 0.5,
+            alpha: 1.0,
+            beta: 1.5,
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(err, ConfigError::InvalidErrorDecay(1.5));
+        assert_eq!(
+            err.to_string(),
+            "error decay beta must be in [0, 1], got 1.5"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "error decay beta must be in [0, 1]")]
+    fn ecq_beta_out_of_range_rejected() {
+        Algorithm::ecq_sgd(0.5, 1.0, -0.1);
+    }
+
+    #[test]
+    fn topology_defaults_to_ps_and_chains_for_arsgd() {
+        let cfg = TrainConfig::new(Algorithm::SSgd, 2);
+        assert_eq!(cfg.topology, Topology::Ps);
+        for topo in [
+            Topology::Ring,
+            Topology::Tree,
+            Topology::Decentralized {
+                codec: Codec::TwoBit { threshold: 0.5 },
+            },
+        ] {
+            let cfg = TrainConfig::new(Algorithm::ArSgd, 3).with_topology(topo.clone());
+            assert_eq!(cfg.topology, topo);
+        }
+        // Ps is always allowed (explicit no-op).
+        let cfg = TrainConfig::new(Algorithm::SSgd, 2).with_topology(Topology::Ps);
+        assert_eq!(cfg.topology, Topology::Ps);
+    }
+
+    #[test]
+    fn topology_names() {
+        assert_eq!(Topology::Ps.name(), "ps");
+        assert_eq!(Topology::Ring.name(), "ring");
+        assert_eq!(Topology::Tree.name(), "tree");
+        assert_eq!(
+            Topology::Decentralized {
+                codec: Codec::TwoBit { threshold: 0.5 }
+            }
+            .name(),
+            "decentralized/2bit"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a server-less algorithm")]
+    fn collective_topology_rejected_for_ps_algorithms() {
+        TrainConfig::new(Algorithm::SSgd, 2).with_topology(Topology::Ring);
     }
 }

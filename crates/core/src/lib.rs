@@ -51,9 +51,9 @@ pub use cdsgd_telemetry::{
     AggregateSink, Console, Event, JsonlSink, MemorySink, NullSink, Sink, Telemetry,
 };
 pub use checkpoint::SaveError;
-pub use config::{Algorithm, Codec, ConfigError, TrainConfig};
+pub use config::{Algorithm, Codec, ConfigError, Topology, TrainConfig};
 pub use lr::LrSchedule;
 pub use metrics::{AbortRecord, EpochMetrics, TrainingHistory};
 pub use recover::WorkerCheckpoint;
 pub use supervise::{PoisonBarrier, RestartBudget, RestartPolicy};
-pub use trainer::{run_standalone_worker, TrainFailure, Trainer};
+pub use trainer::{run_standalone_collective, run_standalone_worker, TrainFailure, Trainer};

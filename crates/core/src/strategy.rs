@@ -22,13 +22,15 @@
 //! `tests/strategy_equivalence.rs` pins the final-weight hashes captured
 //! from the old code for every variant on two backends.
 
-use crate::config::{Algorithm, TrainConfig};
+use crate::config::{Algorithm, Topology, TrainConfig};
 use crate::profile::{OpKind, WorkerProfile};
 use cdsgd_compress::{
-    BufferPool, CodecSpans, Compressed, GradientCompressor, OneBitQuantizer, TwoBitQuantizer,
+    decompress_add, pack_2bit_into, BufferPool, CodecSpans, Compressed, GradientCompressor,
+    OneBitQuantizer, TwoBitQuantizer,
 };
+use cdsgd_net::{decode_compressed, encode_compressed_into};
 use cdsgd_nn::Sequential;
-use cdsgd_ps::{NetError, ParamClient, PendingPull, RingMember};
+use cdsgd_ps::{Collective, NetError, ParamClient, PendingPull};
 use std::sync::Arc;
 
 /// Per-iteration context handed to every strategy phase: identity,
@@ -752,10 +754,13 @@ impl UpdateStrategy for LocalSgdStrategy {
 }
 
 /// AR-SGD: no parameter server; every round the workers mean-reduce raw
-/// gradients through the ring and apply the update locally. The model
-/// *is* the global state.
+/// gradients through the collective and apply the update locally. The
+/// model *is* the global state. Which topology carries the reduction
+/// (in-memory ring, wire ring, tree) is invisible here: every
+/// [`Collective`] honors the same pinned reduction order, so the bits
+/// are identical.
 struct ArSgdStrategy {
-    ring: RingMember,
+    ring: Box<dyn Collective>,
     /// Reduce buffers (allreduce is in-place), reused every round.
     mean: Vec<Vec<f32>>,
 }
@@ -782,7 +787,7 @@ impl UpdateStrategy for ArSgdStrategy {
     fn communicate(&mut self, ctx: &StepCtx) -> Result<(), NetError> {
         let t = ctx.now();
         for m in self.mean.iter_mut() {
-            self.ring.allreduce_mean(m);
+            self.ring.allreduce_mean(m)?;
         }
         ctx.record(OpKind::PullWait, ctx.round, t);
         Ok(())
@@ -807,6 +812,281 @@ impl UpdateStrategy for ArSgdStrategy {
 
     fn final_weights(&self, model: &mut Sequential) -> Option<Vec<Vec<f32>>> {
         Some(model.export_params())
+    }
+}
+
+/// Decentralized compressed training after Tang et al. ("Communication
+/// Compression for Decentralized Training", DCD-PSGD, simplified): no
+/// server and no global reduction at all. Each worker keeps *replicas*
+/// of its two ring neighbors' models (and of its own, as the neighbors
+/// see it), advanced only by the codec-compressed model differences
+/// everyone exchanges — so all three replicas of any worker agree
+/// bit-for-bit across the ring. One iteration:
+///
+/// 1. local step `x ← x − lr·g`,
+/// 2. compress `x − x̂_self`, advance `x̂_self` by the *decoded* diff
+///    (exactly what the neighbors will apply), send the payload both
+///    ways around the ring,
+/// 3. decode the neighbors' diffs into `x̂_prev` / `x̂_next` and adopt
+///    the gossip average `x ← (x̂_prev + x̂_self + x̂_next) / 3`.
+///
+/// Convergence is approximate (the compression error decays through the
+/// gossip averaging rather than cancelling exactly), which is why
+/// `tests/topology_equivalence.rs` pins a tolerance against the PS
+/// baseline instead of bits.
+struct DecentralizedStrategy {
+    ring: Box<dyn Collective>,
+    compressor: Box<dyn GradientCompressor>,
+    pool: BufferPool,
+    /// Replica of this worker's model as the neighbors see it.
+    hat_self: Vec<Vec<f32>>,
+    /// Replicas of the ring-previous / ring-next neighbors' models.
+    hat_prev: Vec<Vec<f32>>,
+    hat_next: Vec<Vec<f32>>,
+    /// Serialized outbound diffs (u32-length-prefixed per key) and the
+    /// inbound payloads from both neighbors. Reused every round.
+    payload: Vec<u8>,
+    from_prev: Vec<u8>,
+    from_next: Vec<u8>,
+    // Scratch reused every round.
+    params: Vec<Vec<f32>>,
+    diff: Vec<f32>,
+}
+
+impl DecentralizedStrategy {
+    fn new(ring: Box<dyn Collective>, codec: &crate::config::Codec, init: &[Arc<[f32]>]) -> Self {
+        let hat: Vec<Vec<f32>> = init.iter().map(|p| p.to_vec()).collect();
+        Self {
+            ring,
+            compressor: codec.build(),
+            pool: BufferPool::new(),
+            hat_self: hat.clone(),
+            hat_prev: hat.clone(),
+            hat_next: hat,
+            payload: Vec::new(),
+            from_prev: Vec::new(),
+            from_next: Vec::new(),
+            params: Vec::new(),
+            diff: Vec::new(),
+        }
+    }
+
+    /// Decode one neighbor's length-prefixed diff payload into its
+    /// replica, key by key.
+    fn apply_diffs(buf: &[u8], pool: &BufferPool, hats: &mut [Vec<f32>]) -> Result<(), NetError> {
+        let mut rest = buf;
+        let mut key = 0usize;
+        while !rest.is_empty() {
+            if rest.len() < 4 || key >= hats.len() {
+                return Err(NetError::Decode(
+                    "malformed decentralized diff payload".into(),
+                ));
+            }
+            let n = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+            if rest.len() < 4 + n {
+                return Err(NetError::Decode(
+                    "truncated decentralized diff payload".into(),
+                ));
+            }
+            let (chunk, tail) = rest[4..].split_at(n);
+            let c = decode_compressed(chunk)?;
+            decompress_add(&c, &mut hats[key]);
+            c.recycle(pool);
+            key += 1;
+            rest = tail;
+        }
+        if key != hats.len() {
+            return Err(NetError::Decode(format!(
+                "decentralized diff payload held {key} keys, expected {}",
+                hats.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl UpdateStrategy for DecentralizedStrategy {
+    fn name(&self) -> &'static str {
+        "decentralized"
+    }
+
+    fn prepare_push(
+        &mut self,
+        model: &mut Sequential,
+        grads: &[Vec<f32>],
+        ctx: &StepCtx,
+    ) -> Result<(), NetError> {
+        // Local step first (the lr schedule is worker-side: no server).
+        let lr = current_lr(ctx.cfg, ctx.round, ctx.iters_per_epoch);
+        let t = ctx.now();
+        model.axpy_params(-lr, grads);
+        ctx.record(OpKind::LocalUpdate, ctx.round, t);
+
+        // Compress the model movement since the last exchange and
+        // advance our own replica by exactly the decoded diff — the
+        // same value both neighbors will apply to their copy of us.
+        model.export_params_into(&mut self.params);
+        self.payload.clear();
+        for (key, p) in self.params.iter().enumerate() {
+            self.diff.clear();
+            self.diff
+                .extend(p.iter().zip(&self.hat_self[key]).map(|(&x, &h)| x - h));
+            let c = self.compressor.compress_into(key, &self.diff, &self.pool);
+            decompress_add(&c, &mut self.hat_self[key]);
+            let at = self.payload.len();
+            self.payload.extend_from_slice(&[0u8; 4]);
+            encode_compressed_into(&c, &mut self.payload);
+            let n = (self.payload.len() - at - 4) as u32;
+            self.payload[at..at + 4].copy_from_slice(&n.to_le_bytes());
+            c.recycle(&self.pool);
+        }
+        Ok(())
+    }
+
+    fn communicate(&mut self, ctx: &StepCtx) -> Result<(), NetError> {
+        let t = ctx.now();
+        self.ring
+            .neighbor_exchange(&self.payload, &mut self.from_prev, &mut self.from_next)?;
+        ctx.record(OpKind::PullWait, ctx.round, t);
+        Ok(())
+    }
+
+    fn adopt(
+        &mut self,
+        model: &mut Sequential,
+        _grads: &[Vec<f32>],
+        ctx: &StepCtx,
+    ) -> Result<(), NetError> {
+        Self::apply_diffs(&self.from_prev, &self.pool, &mut self.hat_prev)?;
+        Self::apply_diffs(&self.from_next, &self.pool, &mut self.hat_next)?;
+        // Gossip average with uniform weights over the ring neighborhood.
+        let t = ctx.now();
+        for (p, (hs, (hp, hn))) in self.params.iter_mut().zip(
+            self.hat_self
+                .iter()
+                .zip(self.hat_prev.iter().zip(&self.hat_next)),
+        ) {
+            for (x, (&s, (&a, &b))) in p.iter_mut().zip(hs.iter().zip(hp.iter().zip(hn))) {
+                *x = (a + s + b) / 3.0;
+            }
+        }
+        model.import_params(&self.params);
+        ctx.record(OpKind::LocalUpdate, ctx.round, t);
+        Ok(())
+    }
+
+    fn eval_base(&self) -> Option<&[Arc<[f32]>]> {
+        None
+    }
+
+    fn final_weights(&self, model: &mut Sequential) -> Option<Vec<Vec<f32>>> {
+        Some(model.export_params())
+    }
+}
+
+/// Error-compensated 2-bit quantized SGD (ECQ-SGD, Wu et al.): the
+/// blocking BIT-SGD protocol, but the carried quantization error is
+/// scaled by α on the way in (`c = g + α·e`) and decayed by β on the way
+/// out (`e ← β·(c − decode(q(c)))`). With `α = β = 1` the symbol stream
+/// and residuals are bit-identical to [`BitSgdStrategy`] at the same
+/// threshold (pinned by `tests/topology_equivalence.rs`); damping them
+/// bounds how much stale error a slow round can re-inject.
+struct EcqSgdStrategy {
+    link: PsLink,
+    threshold: f32,
+    alpha: f32,
+    beta: f32,
+    /// Per-key carried quantization error, lazily sized from the first
+    /// gradients.
+    err: Vec<Vec<f32>>,
+    // Scratch reused every round.
+    corrected: Vec<f32>,
+    symbols: Vec<u8>,
+}
+
+impl UpdateStrategy for EcqSgdStrategy {
+    fn name(&self) -> &'static str {
+        "ecqsgd"
+    }
+
+    fn prepare_push(
+        &mut self,
+        _model: &mut Sequential,
+        grads: &[Vec<f32>],
+        _ctx: &StepCtx,
+    ) -> Result<(), NetError> {
+        if self.err.is_empty() {
+            self.err = grads.iter().map(|g| vec![0.0f32; g.len()]).collect();
+        }
+        self.link.staged.clear();
+        let (thr, alpha, beta) = (self.threshold, self.alpha, self.beta);
+        for (g, e) in grads.iter().zip(self.err.iter_mut()) {
+            self.corrected.clear();
+            self.corrected
+                .extend(g.iter().zip(e.iter()).map(|(&gi, &ei)| gi + alpha * ei));
+            self.symbols.clear();
+            // Same comparison ladder as the 2-bit kernel scan, so the
+            // α = β = 1 case reproduces BIT-SGD's symbols exactly.
+            for (ei, &c) in e.iter_mut().zip(&self.corrected) {
+                let (sym, q) = if c >= thr {
+                    (1u8, thr)
+                } else if c <= -thr {
+                    (2u8, -thr)
+                } else {
+                    (0u8, 0.0)
+                };
+                self.symbols.push(sym);
+                *ei = beta * (c - q);
+            }
+            let mut packed = self.link.pool.take_bytes();
+            pack_2bit_into(&self.symbols, &mut packed);
+            self.link.staged.push(Compressed::TwoBit {
+                threshold: thr,
+                packed,
+                len: g.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn communicate(&mut self, ctx: &StepCtx) -> Result<(), NetError> {
+        self.link.push_staged(ctx.id)?;
+        self.link.pull_blocking(ctx.round + 1, ctx, ctx.round)
+    }
+
+    fn adopt(
+        &mut self,
+        model: &mut Sequential,
+        _grads: &[Vec<f32>],
+        _ctx: &StepCtx,
+    ) -> Result<(), NetError> {
+        model.import_params_from(&self.link.base);
+        Ok(())
+    }
+
+    fn eval_base(&self) -> Option<&[Arc<[f32]>]> {
+        Some(&self.link.base)
+    }
+
+    fn export_state(&self) -> Vec<Vec<f32>> {
+        self.err.clone()
+    }
+
+    fn import_state(&mut self, state: &[Vec<f32>]) {
+        if !state.is_empty() {
+            self.err = state.to_vec();
+        }
+    }
+
+    fn resume(
+        &mut self,
+        model: &mut Sequential,
+        round: u64,
+        _has_model: bool,
+    ) -> Result<(), NetError> {
+        self.link.pull_version(round)?;
+        model.import_params_from(&self.link.base);
+        Ok(())
     }
 }
 
@@ -909,16 +1189,22 @@ impl UpdateStrategy for EfSgdStrategy {
 }
 
 /// Resolve the algorithm to its strategy — the single construction-time
-/// dispatch on [`Algorithm`]. `ring` must be `Some` exactly when
-/// [`Algorithm::uses_ring`] says so (the trainer guarantees it); `init`
-/// is the shared initial weights every replica starts from.
+/// dispatch on [`Algorithm`]. `collective` must be `Some` exactly when
+/// [`Algorithm::uses_ring`] says so (the trainer guarantees it); the
+/// topology then picks between the synchronous all-reduce family and the
+/// decentralized gossip leaf. `init` is the shared initial weights every
+/// replica starts from.
 pub(crate) fn build_strategy(
     algo: &Algorithm,
+    topology: &Topology,
     client: Box<dyn ParamClient>,
-    ring: Option<RingMember>,
+    collective: Option<Box<dyn Collective>>,
     init: Vec<Arc<[f32]>>,
 ) -> Box<dyn UpdateStrategy> {
-    if let Some(ring) = ring {
+    if let Some(ring) = collective {
+        if let Topology::Decentralized { codec } = topology {
+            return Box::new(DecentralizedStrategy::new(ring, codec, &init));
+        }
         return Box::new(ArSgdStrategy {
             ring,
             mean: Vec::new(),
@@ -926,7 +1212,7 @@ pub(crate) fn build_strategy(
     }
     let link = PsLink::new(client, init);
     match algo {
-        Algorithm::ArSgd => unreachable!("AR-SGD requires a ring member"),
+        Algorithm::ArSgd => unreachable!("AR-SGD requires a collective"),
         Algorithm::SSgd => Box::new(SSgdStrategy { link }),
         Algorithm::BitSgd { threshold } => Box::new(BitSgdStrategy {
             link,
@@ -975,6 +1261,19 @@ pub(crate) fn build_strategy(
             momentum: *momentum,
             velocity: Vec::new(),
             quantizer: OneBitQuantizer::new(),
+        }),
+        Algorithm::EcqSgd {
+            threshold,
+            alpha,
+            beta,
+        } => Box::new(EcqSgdStrategy {
+            link,
+            threshold: *threshold,
+            alpha: *alpha,
+            beta: *beta,
+            err: Vec::new(),
+            corrected: Vec::new(),
+            symbols: Vec::new(),
         }),
     }
 }
@@ -1037,9 +1336,10 @@ mod tests {
                 "localsgd",
             ),
             (Algorithm::ef_sgd(0.9), "efsgd"),
+            (Algorithm::ecq_sgd(0.5, 1.0, 1.0), "ecqsgd"),
         ] {
             with_client(|client| {
-                let s = build_strategy(&algo, client, None, init.clone());
+                let s = build_strategy(&algo, &Topology::Ps, client, None, init.clone());
                 assert_eq!(s.name(), name);
                 assert!(s.eval_base().is_some(), "{name} adopts a server base");
             });
@@ -1052,12 +1352,37 @@ mod tests {
         with_client(|client| {
             let s = build_strategy(
                 &Algorithm::ArSgd,
+                &Topology::Ps,
                 client,
-                members.into_iter().next(),
+                members
+                    .into_iter()
+                    .next()
+                    .map(|m| Box::new(m) as Box<dyn Collective>),
                 vec![Arc::from(vec![0.0f32; 4])],
             );
             assert_eq!(s.name(), "arsgd");
             assert!(s.eval_base().is_none(), "ring mode evaluates the model");
+        });
+    }
+
+    #[test]
+    fn decentralized_topology_wins_resolution() {
+        let (members, _stats) = cdsgd_ps::allreduce::ring_group(1);
+        with_client(|client| {
+            let s = build_strategy(
+                &Algorithm::ArSgd,
+                &Topology::Decentralized {
+                    codec: crate::config::Codec::TwoBit { threshold: 0.5 },
+                },
+                client,
+                members
+                    .into_iter()
+                    .next()
+                    .map(|m| Box::new(m) as Box<dyn Collective>),
+                vec![Arc::from(vec![0.0f32; 4])],
+            );
+            assert_eq!(s.name(), "decentralized");
+            assert!(s.eval_base().is_none(), "gossip mode evaluates the model");
         });
     }
 

@@ -1,7 +1,7 @@
 //! The trainer: spawns the parameter server and N worker threads, runs
 //! the full training, and aggregates metrics.
 
-use crate::config::TrainConfig;
+use crate::config::{Topology, TrainConfig};
 use crate::metrics::{AbortRecord, EpochMetrics, TrainingHistory};
 use crate::profile::Profiler;
 use crate::supervise::{PoisonBarrier, RestartBudget};
@@ -9,8 +9,9 @@ use crate::worker::{run_worker, EpochReport, WorkerArgs};
 use cdsgd_data::Dataset;
 use cdsgd_nn::Sequential;
 use cdsgd_ps::{
-    allreduce::ring_group, ElasticConfig, FaultyClient, InProcessBackend, NetError, ParamClient,
-    ParamServer, PsBackend, ServerConfig,
+    build_ring_group, build_tree_group, Collective, CollectiveGroup, ElasticConfig, FaultyClient,
+    InProcessBackend, NetError, NullClient, ParamClient, ParamServer, PsBackend, ServerConfig,
+    TrafficStats, WireMode,
 };
 use cdsgd_telemetry::{Event, Telemetry};
 use cdsgd_tensor::SmallRng64;
@@ -195,13 +196,31 @@ impl Trainer {
             Ok(ps) => ps,
             Err(e) => return Err(fail(history, e, 0, 0, &self.cfg.telemetry)),
         };
+        // Server-less algorithms get one collective handle per worker.
+        // A backend that *owns* the collectives (AllReduceBackend /
+        // DecentralizedBackend over loopback or TCP) surrenders them
+        // here; otherwise the trainer builds the group itself on the
+        // topology the config names.
         let use_ring = self.cfg.algo.uses_ring();
-        let (mut ring_members, ring_stats) = if use_ring {
-            let (members, stats) = ring_group(n);
-            (
-                members.into_iter().map(Some).collect::<Vec<_>>(),
-                Some(stats),
-            )
+        type Members = Vec<Option<Box<dyn Collective>>>;
+        let (mut ring_members, ring_stats): (Members, Option<Arc<TrafficStats>>) = if use_ring {
+            let group: Result<CollectiveGroup, NetError> = match ps.take_collectives(n) {
+                Some(g) => Ok(g),
+                None => match self.cfg.topology {
+                    Topology::Tree => build_tree_group(n, WireMode::Loopback),
+                    _ => build_ring_group(n, WireMode::Memory),
+                },
+            };
+            let group = match group {
+                Ok(g) => g,
+                Err(e) => {
+                    // No workers running yet; just close the backend.
+                    ps.shutdown();
+                    return Err(fail(history, e, 0, 0, &self.cfg.telemetry));
+                }
+            };
+            let stats = Arc::clone(&group.stats);
+            (group.members.into_iter().map(Some).collect(), Some(stats))
         } else {
             (Vec::new(), None)
         };
@@ -247,7 +266,7 @@ impl Trainer {
                 shard: self.train.shard(w, n),
                 test: if w == 0 { self.test.clone() } else { None },
                 client,
-                ring: if use_ring {
+                collective: if use_ring {
                     ring_members[w].take()
                 } else {
                     None
@@ -608,7 +627,7 @@ impl Respawner<'_> {
             shard: self.train.shard(w, n),
             test: if w == 0 { self.test.clone() } else { None },
             client,
-            ring: None,
+            collective: None,
             iters_per_epoch: self.ipe,
             barrier: Arc::clone(self.barrier),
             report: self.report.clone(),
@@ -722,6 +741,54 @@ pub fn run_standalone_worker(
     test: Option<Dataset>,
     client: Box<dyn ParamClient>,
 ) -> Result<Vec<(f32, Option<f32>)>, NetError> {
+    run_standalone(cfg, id, builder, train, test, client, None)
+}
+
+/// Run one worker as its own OS process as a member of a *server-less*
+/// collective deployment (`worker --topology ring|tree|decentralized`):
+/// no parameter server exists, so the worker's only communication is the
+/// `collective` handle — typically a [`cdsgd_ps::WireRing`] or
+/// [`cdsgd_ps::WireTree`] connected to the peer workers over TCP.
+/// Everything else (sharding, iteration counts, model init, update
+/// sequence) matches [`run_standalone_worker`], so a multi-process ring
+/// all-reduce run reaches bit-identical weights to the in-process one.
+///
+/// # Panics
+/// Panics unless [`crate::Algorithm::uses_ring`] holds — a PS algorithm
+/// handed a collective would train against the erroring [`NullClient`].
+pub fn run_standalone_collective(
+    cfg: TrainConfig,
+    id: usize,
+    builder: impl Fn(&mut SmallRng64) -> Sequential,
+    train: &Dataset,
+    test: Option<Dataset>,
+    collective: Box<dyn Collective>,
+) -> Result<Vec<(f32, Option<f32>)>, NetError> {
+    assert!(
+        cfg.algo.uses_ring(),
+        "{} is a parameter-server algorithm; a collective topology needs arsgd",
+        cfg.algo.name()
+    );
+    run_standalone(
+        cfg,
+        id,
+        builder,
+        train,
+        test,
+        Box::new(NullClient::new()),
+        Some(collective),
+    )
+}
+
+fn run_standalone(
+    cfg: TrainConfig,
+    id: usize,
+    builder: impl Fn(&mut SmallRng64) -> Sequential,
+    train: &Dataset,
+    test: Option<Dataset>,
+    client: Box<dyn ParamClient>,
+    collective: Option<Box<dyn Collective>>,
+) -> Result<Vec<(f32, Option<f32>)>, NetError> {
     let n = cfg.num_workers;
     assert!(id < n, "worker id {id} out of range for {n} workers");
     cfg.algo.validate().unwrap_or_else(|e| panic!("{e}"));
@@ -774,7 +841,7 @@ pub fn run_standalone_worker(
         cfg,
         model,
         client,
-        ring: None,
+        collective,
         iters_per_epoch: ipe,
         // No trainer thread to rendezvous with: a 1-party barrier makes
         // every `wait` a no-op.
@@ -825,6 +892,7 @@ mod tests {
             Algorithm::OdSgd { local_lr: 0.05 },
             Algorithm::BitSgd { threshold: 0.05 },
             Algorithm::cd_sgd(0.05, 0.05, 2, 10),
+            Algorithm::ecq_sgd(0.05, 0.9, 0.9),
         ] {
             let name = algo.name();
             let h = blob_trainer(algo, 2, 8).run();

@@ -13,7 +13,7 @@ use crate::strategy::{build_strategy, StepCtx};
 use crate::supervise::PoisonBarrier;
 use cdsgd_data::{augment, Batch, Dataset};
 use cdsgd_nn::{Layer, Mode, Sequential, SoftmaxCrossEntropy};
-use cdsgd_ps::{NetError, ParamClient, RingMember};
+use cdsgd_ps::{Collective, NetError, ParamClient};
 use cdsgd_tensor::SmallRng64;
 use crossbeam::channel::Sender;
 use std::sync::Arc;
@@ -45,9 +45,11 @@ pub(crate) struct WorkerArgs {
     /// Connection to the parameter server — in-process, loopback, or TCP;
     /// the worker is agnostic.
     pub client: Box<dyn ParamClient>,
-    /// Ring handle for the all-reduce algorithm (AR-SGD); `None` for the
-    /// PS-based algorithms.
-    pub ring: Option<RingMember>,
+    /// Collective handle for the server-less algorithms (AR-SGD and the
+    /// decentralized topology); `None` for the PS-based algorithms. Which
+    /// topology (in-memory ring, wire ring, tree) is the trainer's /
+    /// deployment's choice — the worker is agnostic.
+    pub collective: Option<Box<dyn Collective>>,
     pub iters_per_epoch: usize,
     /// Epoch rendezvous with the trainer; poisoned by the supervisor when
     /// another worker is lost, so `wait` is fallible.
@@ -88,7 +90,7 @@ pub(crate) fn run_worker(mut a: WorkerArgs) -> Result<(), NetError> {
         }
         None => (a.client, None),
     };
-    let mut strategy = build_strategy(&a.cfg.algo, client, a.ring, init);
+    let mut strategy = build_strategy(&a.cfg.algo, &a.cfg.topology, client, a.collective, init);
     let mut round: u64 = 0;
     // Per-iteration gradient scratch, allocated once and reused.
     let mut grads: Vec<Vec<f32>> = Vec::new();

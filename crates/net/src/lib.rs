@@ -35,3 +35,10 @@ pub use wire::{
 pub use wire::{
     encode_heartbeat_into, encode_leave_into, encode_register_ack_into, encode_register_into,
 };
+
+pub use wire::{
+    collective_frame_bytes, decode_collective, encode_collective_bytes_into,
+    encode_collective_into, CollectiveFrame, COLLECTIVE_EXCHANGE, COLLECTIVE_GATHER,
+    COLLECTIVE_HEADER_BYTES, COLLECTIVE_HELLO, COLLECTIVE_SCATTER, COLLECTIVE_TREE_DOWN,
+    COLLECTIVE_TREE_UP, TAG_COLLECTIVE_FRAME,
+};

@@ -151,6 +151,170 @@ pub fn pull_reply_frame_bytes(n: usize) -> usize {
 }
 
 // ---------------------------------------------------------------------------
+// Collective chunk frames
+// ---------------------------------------------------------------------------
+//
+// Collective links (ring / tree all-reduce, decentralized neighbor
+// exchange — see `cdsgd_ps::collective`) carry their own frame family,
+// deliberately disjoint from the parameter-server opcodes above: a
+// peer-to-peer link accidentally wired into a PS port fails decoding
+// immediately instead of mis-parsing. The body is
+// `[tag][phase][index u32][count u32][payload]` where `index` is a
+// chunk index, a source rank, or a hello rank depending on `phase`,
+// and `count` is the f32 element count for chunk phases (payload is
+// `4·count` little-endian f32s) or the raw byte length for
+// [`COLLECTIVE_EXCHANGE`] payloads.
+
+/// Leading tag byte of every collective frame. Chosen outside the
+/// PS opcode range so cross-wired connections fail fast.
+pub const TAG_COLLECTIVE_FRAME: u8 = 0xC5;
+
+/// Handshake: `index` carries the sender's rank, no payload. The first
+/// frame on every collective link, so accepters can label inbound
+/// connections by peer rank regardless of accept order.
+pub const COLLECTIVE_HELLO: u8 = 0;
+/// Ring scatter-reduce step: `index` is the chunk index, payload f32s.
+pub const COLLECTIVE_SCATTER: u8 = 1;
+/// Ring all-gather step: `index` is the chunk index, payload f32s.
+pub const COLLECTIVE_GATHER: u8 = 2;
+/// Decentralized neighbor exchange: payload is an opaque byte blob
+/// (typically an encoded [`Compressed`] stream), `count` its length.
+pub const COLLECTIVE_EXCHANGE: u8 = 3;
+/// Tree reduce, leaf/inner → root direction: `index` is the *source
+/// rank* of the forwarded vector, payload f32s.
+pub const COLLECTIVE_TREE_UP: u8 = 4;
+/// Tree broadcast, root → leaves direction: `index` is the chunk index
+/// (or 0 for a full-vector broadcast), payload f32s.
+pub const COLLECTIVE_TREE_DOWN: u8 = 5;
+
+/// Fixed header bytes of a collective frame body (tag + phase + index +
+/// count), before the payload.
+pub const COLLECTIVE_HEADER_BYTES: usize = 10;
+
+/// Exact on-the-wire size of a collective chunk frame carrying `n` f32
+/// elements: length prefix + header + payload.
+pub fn collective_frame_bytes(n: usize) -> usize {
+    FRAME_PREFIX_BYTES + COLLECTIVE_HEADER_BYTES + 4 * n
+}
+
+/// Append a collective f32-chunk frame body (`phase` one of the chunk
+/// phases) to `buf` (not cleared).
+pub fn encode_collective_into(phase: u8, index: u32, values: &[f32], buf: &mut Vec<u8>) {
+    buf.push(TAG_COLLECTIVE_FRAME);
+    buf.push(phase);
+    put_u32(buf, index);
+    put_u32(buf, values.len() as u32);
+    for &v in values {
+        put_f32(buf, v);
+    }
+}
+
+/// Append a [`COLLECTIVE_EXCHANGE`] (or [`COLLECTIVE_HELLO`]) frame body
+/// carrying an opaque byte payload to `buf` (not cleared).
+pub fn encode_collective_bytes_into(phase: u8, index: u32, payload: &[u8], buf: &mut Vec<u8>) {
+    buf.push(TAG_COLLECTIVE_FRAME);
+    buf.push(phase);
+    put_u32(buf, index);
+    put_u32(buf, payload.len() as u32);
+    buf.extend_from_slice(payload);
+}
+
+/// A decoded view over one collective frame body. The payload stays
+/// borrowed so chunk receives can fold straight into the caller's
+/// buffers without an intermediate allocation.
+pub struct CollectiveFrame<'a> {
+    pub phase: u8,
+    pub index: u32,
+    payload: &'a [u8],
+    /// Element count for chunk phases, byte count for exchange/hello.
+    count: usize,
+}
+
+impl<'a> CollectiveFrame<'a> {
+    /// Number of f32 elements in a chunk-phase payload.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The raw payload bytes (exchange phases).
+    pub fn bytes(&self) -> &'a [u8] {
+        self.payload
+    }
+
+    /// Decode the f32 payload into `out`, overwriting it. Errors if the
+    /// frame is not a chunk phase of exactly `out.len()` elements.
+    pub fn read_f32_into(&self, out: &mut [f32]) -> Result<(), NetError> {
+        if self.payload.len() != 4 * self.count {
+            return Err(NetError::Decode(format!(
+                "collective chunk of {} elems carries {} payload bytes",
+                self.count,
+                self.payload.len()
+            )));
+        }
+        if out.len() != self.count {
+            return Err(NetError::Decode(format!(
+                "collective chunk of {} elems, expected {}",
+                self.count,
+                out.len()
+            )));
+        }
+        for (o, raw) in out.iter_mut().zip(self.payload.chunks_exact(4)) {
+            *o = f32::from_le_bytes(raw.try_into().unwrap());
+        }
+        Ok(())
+    }
+
+    /// Decode the f32 payload appended onto `out`.
+    pub fn read_f32_append(&self, out: &mut Vec<f32>) -> Result<(), NetError> {
+        let start = out.len();
+        out.resize(start + self.count, 0.0);
+        self.read_f32_into(&mut out[start..])
+    }
+}
+
+/// Decode one collective frame body. Exchange/hello payloads are
+/// validated against their byte count; chunk payloads against their
+/// element count.
+pub fn decode_collective(bytes: &[u8]) -> Result<CollectiveFrame<'_>, NetError> {
+    let mut cur = Cursor::new(bytes);
+    let tag = cur.u8()?;
+    if tag != TAG_COLLECTIVE_FRAME {
+        return Err(NetError::Decode(format!(
+            "not a collective frame (tag {tag:#04x}, want {TAG_COLLECTIVE_FRAME:#04x})"
+        )));
+    }
+    let phase = cur.u8()?;
+    if phase > COLLECTIVE_TREE_DOWN {
+        return Err(NetError::Decode(format!(
+            "unknown collective phase {phase}"
+        )));
+    }
+    let index = cur.u32()?;
+    let count = cur.u32()? as usize;
+    let payload = cur.take(cur.remaining())?;
+    let expect = match phase {
+        COLLECTIVE_HELLO | COLLECTIVE_EXCHANGE => count,
+        _ => 4 * count,
+    };
+    if payload.len() != expect {
+        return Err(NetError::Decode(format!(
+            "collective phase {phase} count {count} expects {expect} payload bytes, have {}",
+            payload.len()
+        )));
+    }
+    Ok(CollectiveFrame {
+        phase,
+        index,
+        payload,
+        count,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // little-endian primitives
 // ---------------------------------------------------------------------------
 //
@@ -888,5 +1052,61 @@ mod tests {
         encode_pull_into(1, 2, &mut buf);
         buf.push(0);
         assert!(matches!(decode_msg(&buf), Err(NetError::Decode(_))));
+    }
+
+    #[test]
+    fn collective_chunk_round_trips_exactly() {
+        let values = [1.5f32, -0.25, f32::MIN_POSITIVE, 3.0e8];
+        let mut buf = Vec::new();
+        encode_collective_into(COLLECTIVE_SCATTER, 7, &values, &mut buf);
+        assert_eq!(
+            buf.len() + FRAME_PREFIX_BYTES,
+            collective_frame_bytes(values.len())
+        );
+        let frame = decode_collective(&buf).unwrap();
+        assert_eq!(frame.phase, COLLECTIVE_SCATTER);
+        assert_eq!(frame.index, 7);
+        assert_eq!(frame.len(), 4);
+        let mut out = [0.0f32; 4];
+        frame.read_f32_into(&mut out).unwrap();
+        // Bit-exact round trip: the wire must never perturb f32 chunks,
+        // or cross-backend bit-identity (DESIGN.md §16) breaks.
+        for (a, b) in out.iter().zip(&values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn collective_exchange_carries_opaque_bytes() {
+        let payload = [9u8, 8, 7, 6, 5];
+        let mut buf = Vec::new();
+        encode_collective_bytes_into(COLLECTIVE_EXCHANGE, 2, &payload, &mut buf);
+        let frame = decode_collective(&buf).unwrap();
+        assert_eq!(frame.phase, COLLECTIVE_EXCHANGE);
+        assert_eq!(frame.index, 2);
+        assert_eq!(frame.bytes(), &payload);
+    }
+
+    #[test]
+    fn collective_decode_rejects_corruption() {
+        // Wrong leading tag: a PS frame body must not parse.
+        let mut buf = Vec::new();
+        encode_pull_into(1, 2, &mut buf);
+        assert!(decode_collective(&buf).is_err());
+        // Truncated payload.
+        let mut buf = Vec::new();
+        encode_collective_into(COLLECTIVE_GATHER, 0, &[1.0, 2.0], &mut buf);
+        buf.pop();
+        assert!(decode_collective(&buf).is_err());
+        // Unknown phase.
+        let mut buf = Vec::new();
+        encode_collective_bytes_into(99, 0, &[], &mut buf);
+        assert!(decode_collective(&buf).is_err());
+        // Chunk length mismatch at read time.
+        let mut buf = Vec::new();
+        encode_collective_into(COLLECTIVE_SCATTER, 0, &[1.0, 2.0], &mut buf);
+        let frame = decode_collective(&buf).unwrap();
+        let mut out = [0.0f32; 3];
+        assert!(frame.read_f32_into(&mut out).is_err());
     }
 }

@@ -7,9 +7,41 @@
 //! (each rank ends up owning one fully-reduced chunk) followed by `N−1`
 //! all-gather steps. Every member sends `2·(N−1)/N` of the vector —
 //! the bandwidth-optimal collective.
+//!
+//! # Reduction-order contract
+//!
+//! Like `kernel::dot`'s striped-order contract, the summation order is
+//! **pinned** so results are bit-identical across ranks *and* across
+//! backends (this in-memory ring, the loopback/TCP wire ring, and the
+//! tree — see [`crate::collective`]):
+//!
+//! * chunk `c` (boundaries from [`chunk_range`]) accumulates in ring
+//!   order starting at rank `c`: `((x_c + x_{c+1}) + x_{c+2}) + …
+//!   + x_{c+N−1}` (ranks mod `N`, one `+` per scatter step);
+//! * the all-gather phase copies the reduced chunks verbatim, so every
+//!   rank ends with the same bits;
+//! * the mean divides by `N` elementwise, after the gather.
+//!
+//! Each scatter step folds with `kernel::add_assign`, whose SIMD and
+//! scalar twins are elementwise (no reassociation), so the contract
+//! holds under `CDSGD_FORCE_SCALAR=0/1` alike. [`ring_ordered_sum`] is
+//! the executable statement of the contract; tests pin the collective
+//! against it bit-for-bit.
+//!
+//! # Buffers and channels
+//!
+//! Each member owns a [`BufferPool`]; every chunk it sends is taken from
+//! its own pool and every chunk it receives is returned to its own pool
+//! after folding, so per-step take/put stays balanced and a steady-state
+//! all-reduce allocates nothing (pinned by the `topologies` bench).
+//! Channels are bounded to one in-flight frame: members alternate
+//! send→receive in lock step, so capacity 1 can never deadlock, and a
+//! runaway member blocks instead of queueing unbounded garbage.
 
 use crate::stats::TrafficStats;
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use cdsgd_compress::BufferPool;
+use cdsgd_tensor::kernel;
+use crossbeam_channel::{bounded, Receiver, Sender};
 use std::sync::Arc;
 
 /// One participant's handle in a ring all-reduce group. All members of a
@@ -20,6 +52,13 @@ pub struct RingMember {
     n: usize,
     tx_next: Sender<Vec<f32>>,
     rx_prev: Receiver<Vec<f32>>,
+    /// Byte lanes for neighbor exchange: one per ring direction, so a
+    /// member can gossip with both neighbors in the same step.
+    bytes_tx_next: Sender<Vec<u8>>,
+    bytes_rx_prev: Receiver<Vec<u8>>,
+    bytes_tx_prev: Sender<Vec<u8>>,
+    bytes_rx_next: Receiver<Vec<u8>>,
+    pool: BufferPool,
     stats: Arc<TrafficStats>,
 }
 
@@ -30,25 +69,47 @@ pub struct RingMember {
 pub fn ring_group(n: usize) -> (Vec<RingMember>, Arc<TrafficStats>) {
     assert!(n > 0, "a ring needs at least one member");
     let stats = Arc::new(TrafficStats::new());
-    // Channel i carries messages from rank i to rank (i+1) % n.
+    // Channel i carries messages from rank i to rank (i+1) % n; the
+    // byte lanes add the reverse direction (rank i to rank (i-1) % n).
+    // Capacity 1: members send at most one frame before receiving.
     let mut txs = Vec::with_capacity(n);
     let mut rxs = Vec::with_capacity(n);
+    let mut btxs = Vec::with_capacity(n);
+    let mut brxs = Vec::with_capacity(n);
+    let mut btxs_rev = Vec::with_capacity(n);
+    let mut brxs_rev = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = bounded(1);
         txs.push(tx);
         rxs.push(rx);
+        let (tx, rx) = bounded(1);
+        btxs.push(tx);
+        brxs.push(rx);
+        let (tx, rx) = bounded(1);
+        btxs_rev.push(tx);
+        brxs_rev.push(rx);
     }
     // Member `rank` sends on channel `rank` and receives on channel
-    // `(rank + n - 1) % n`.
+    // `(rank + n - 1) % n`; reverse lanes mirror that.
     let mut members: Vec<RingMember> = Vec::with_capacity(n);
     let mut rxs: Vec<Option<Receiver<Vec<f32>>>> = rxs.into_iter().map(Some).collect();
-    for (rank, tx_next) in txs.into_iter().enumerate() {
-        let rx_prev = rxs[(rank + n - 1) % n].take().expect("each rx used once");
+    let mut brxs: Vec<Option<Receiver<Vec<u8>>>> = brxs.into_iter().map(Some).collect();
+    let mut brxs_rev: Vec<Option<Receiver<Vec<u8>>>> = brxs_rev.into_iter().map(Some).collect();
+    let mut btxs_rev: Vec<Option<Sender<Vec<u8>>>> = btxs_rev.into_iter().map(Some).collect();
+    for (rank, (tx_next, bytes_tx_next)) in txs.into_iter().zip(btxs).enumerate() {
+        let prev = (rank + n - 1) % n;
         members.push(RingMember {
             rank,
             n,
             tx_next,
-            rx_prev,
+            rx_prev: rxs[prev].take().expect("each rx used once"),
+            bytes_tx_next,
+            bytes_rx_prev: brxs[prev].take().expect("each rx used once"),
+            // Reverse lane `rank` carries rank → prev; member `rank`
+            // sends on lane `rank` and receives on lane `(rank+1) % n`.
+            bytes_tx_prev: btxs_rev[rank].take().expect("each tx used once"),
+            bytes_rx_next: brxs_rev[(rank + 1) % n].take().expect("each rx used once"),
+            pool: BufferPool::new(),
             stats: Arc::clone(&stats),
         });
     }
@@ -56,10 +117,31 @@ pub fn ring_group(n: usize) -> (Vec<RingMember>, Arc<TrafficStats>) {
 }
 
 /// Chunk boundaries: `n` near-equal contiguous ranges over `len`.
-fn chunk_range(len: usize, n: usize, i: usize) -> std::ops::Range<usize> {
+/// Part of the reduction-order contract — all backends must chunk
+/// identically or their step payloads (and bits) diverge.
+pub fn chunk_range(len: usize, n: usize, i: usize) -> std::ops::Range<usize> {
     let start = i * len / n;
     let end = (i + 1) * len / n;
     start..end
+}
+
+/// The executable reduction-order contract: the sum every backend must
+/// produce, computed serially. Chunk `c` folds inputs in ring order
+/// starting at rank `c`; the result is the full summed vector (no mean).
+pub fn ring_ordered_sum(inputs: &[Vec<f32>]) -> Vec<f32> {
+    let n = inputs.len();
+    assert!(n > 0);
+    let len = inputs[0].len();
+    let mut out = vec![0.0f32; len];
+    for c in 0..n {
+        let range = chunk_range(len, n, c);
+        out[range.clone()].copy_from_slice(&inputs[c][range.clone()]);
+        for j in 1..n {
+            let src = &inputs[(c + j) % n][range.clone()];
+            kernel::add_assign(&mut out[range.clone()], src);
+        }
+    }
+    out
 }
 
 impl RingMember {
@@ -73,9 +155,70 @@ impl RingMember {
         self.n
     }
 
+    /// The member's chunk-buffer pool — exposed so benches can pin the
+    /// zero-allocation steady state via hit/miss counters.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Phase 1: scatter-reduce. In step `s`, send chunk `(rank − s)` and
+    /// fold the received chunk `(rank − s − 1)` into our buffer. After
+    /// `N−1` steps this member's chunk `(rank + 1) % N` holds the full
+    /// ring-ordered sum.
+    ///
+    /// # Panics
+    /// Panics if members disagree on the vector length (detected as a
+    /// chunk-size mismatch) or a peer disconnected.
+    pub fn reduce_scatter(&self, data: &mut [f32]) {
+        if self.n == 1 {
+            return;
+        }
+        let len = data.len();
+        let n = self.n;
+        for s in 0..n - 1 {
+            let send_idx = (self.rank + n - s) % n;
+            let recv_idx = (self.rank + n - s - 1) % n;
+            let mut chunk = self.pool.take_f32();
+            chunk.extend_from_slice(&data[chunk_range(len, n, send_idx)]);
+            self.stats.record_push(4 * chunk.len());
+            self.tx_next.send(chunk).expect("ring peer disconnected");
+            let incoming = self.rx_prev.recv().expect("ring peer disconnected");
+            let dst = &mut data[chunk_range(len, n, recv_idx)];
+            assert_eq!(incoming.len(), dst.len(), "ring members disagree on length");
+            kernel::add_assign(dst, &incoming);
+            self.pool.put_f32(incoming);
+        }
+    }
+
+    /// Phase 2: all-gather. In step `s`, send the fully-reduced chunk
+    /// `(rank + 1 − s)` and overwrite with the received chunk
+    /// `(rank − s)`. Copies bytes verbatim — no arithmetic — so all
+    /// ranks end bit-identical.
+    pub fn all_gather(&self, data: &mut [f32]) {
+        if self.n == 1 {
+            return;
+        }
+        let len = data.len();
+        let n = self.n;
+        for s in 0..n - 1 {
+            let send_idx = (self.rank + 1 + n - s) % n;
+            let recv_idx = (self.rank + n - s) % n;
+            let mut chunk = self.pool.take_f32();
+            chunk.extend_from_slice(&data[chunk_range(len, n, send_idx)]);
+            self.stats.record_push(4 * chunk.len());
+            self.tx_next.send(chunk).expect("ring peer disconnected");
+            let incoming = self.rx_prev.recv().expect("ring peer disconnected");
+            let dst = &mut data[chunk_range(len, n, recv_idx)];
+            assert_eq!(incoming.len(), dst.len(), "ring members disagree on length");
+            dst.copy_from_slice(&incoming);
+            self.pool.put_f32(incoming);
+        }
+    }
+
     /// In-place mean all-reduce over the group. Every member must call
     /// this with a same-length buffer; on return each buffer holds the
-    /// elementwise mean.
+    /// elementwise mean, bit-identical across ranks (see the module
+    /// docs for the pinned reduction order).
     ///
     /// # Panics
     /// Panics if members disagree on the vector length (detected as a
@@ -84,42 +227,49 @@ impl RingMember {
         if self.n == 1 {
             return; // nothing to reduce
         }
-        let len = data.len();
-        let n = self.n;
+        self.reduce_scatter(data);
+        self.all_gather(data);
+        kernel::scale(data, 1.0 / self.n as f32);
+        self.stats.record_collective(self.rank, self.n, {
+            let len = data.len() as u64;
+            2 * (self.n as u64 - 1) * (4 * len) / self.n as u64
+        });
+    }
 
-        // Phase 1: scatter-reduce. In step s, send chunk (rank − s) and
-        // fold the received chunk (rank − s − 1) into our buffer.
-        for s in 0..n - 1 {
-            let send_idx = (self.rank + n - s) % n;
-            let recv_idx = (self.rank + n - s - 1) % n;
-            let chunk = data[chunk_range(len, n, send_idx)].to_vec();
-            self.stats.record_push(4 * chunk.len());
-            self.tx_next.send(chunk).expect("ring peer disconnected");
-            let incoming = self.rx_prev.recv().expect("ring peer disconnected");
-            let dst = &mut data[chunk_range(len, n, recv_idx)];
-            assert_eq!(incoming.len(), dst.len(), "ring members disagree on length");
-            for (d, x) in dst.iter_mut().zip(&incoming) {
-                *d += x;
-            }
+    /// Exchange an opaque byte payload with both ring neighbors: `send`
+    /// goes to ranks `rank ± 1`; `from_prev`/`from_next` are overwritten
+    /// with their payloads. With `N == 1` both outputs are copies of
+    /// `send` (self-gossip).
+    pub fn neighbor_exchange(&self, send: &[u8], from_prev: &mut Vec<u8>, from_next: &mut Vec<u8>) {
+        from_prev.clear();
+        from_next.clear();
+        if self.n == 1 {
+            from_prev.extend_from_slice(send);
+            from_next.extend_from_slice(send);
+            return;
         }
-        // Phase 2: all-gather. In step s, send the fully-reduced chunk
-        // (rank + 1 − s) and overwrite with the received chunk (rank − s).
-        for s in 0..n - 1 {
-            let send_idx = (self.rank + 1 + n - s) % n;
-            let recv_idx = (self.rank + n - s) % n;
-            let chunk = data[chunk_range(len, n, send_idx)].to_vec();
-            self.stats.record_push(4 * chunk.len());
-            self.tx_next.send(chunk).expect("ring peer disconnected");
-            let incoming = self.rx_prev.recv().expect("ring peer disconnected");
-            let dst = &mut data[chunk_range(len, n, recv_idx)];
-            assert_eq!(incoming.len(), dst.len(), "ring members disagree on length");
-            dst.copy_from_slice(&incoming);
-        }
-        // Mean.
-        let inv = 1.0 / n as f32;
-        for d in data.iter_mut() {
-            *d *= inv;
-        }
+        let mut fwd = self.pool.take_bytes();
+        fwd.extend_from_slice(send);
+        let mut bwd = self.pool.take_bytes();
+        bwd.extend_from_slice(send);
+        self.stats.record_push(send.len());
+        self.stats.record_push(send.len());
+        // Both sends complete before either receive: each capacity-1
+        // lane holds at most the one frame this step produces.
+        self.bytes_tx_next
+            .send(fwd)
+            .expect("ring peer disconnected");
+        self.bytes_tx_prev
+            .send(bwd)
+            .expect("ring peer disconnected");
+        let a = self.bytes_rx_prev.recv().expect("ring peer disconnected");
+        from_prev.extend_from_slice(&a);
+        self.pool.put_bytes(a);
+        let b = self.bytes_rx_next.recv().expect("ring peer disconnected");
+        from_next.extend_from_slice(&b);
+        self.pool.put_bytes(b);
+        self.stats
+            .record_collective(self.rank, self.n, 2 * send.len() as u64);
     }
 }
 
@@ -185,6 +335,52 @@ mod tests {
     }
 
     #[test]
+    fn results_match_the_order_contract_bit_for_bit() {
+        // Adversarial magnitudes so any reassociation changes the bits.
+        for n in [2usize, 3, 5] {
+            for len in [6usize, 17, 64] {
+                let inputs: Vec<Vec<f32>> = (0..n)
+                    .map(|r| {
+                        (0..len)
+                            .map(|i| {
+                                let sign = if (r + i) % 2 == 0 { 1.0 } else { -1.0 };
+                                sign * (1.0 + r as f32 * 1e-3) * (10.0f32).powi((i % 7) as i32 - 3)
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let mut expect = ring_ordered_sum(&inputs);
+                kernel::scale(&mut expect, 1.0 / n as f32);
+                let (out, _) = run_ring(inputs);
+                for (rank, o) in out.iter().enumerate() {
+                    for (i, (a, b)) in o.iter().zip(&expect).enumerate() {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "n={n} len={len} rank={rank} i={i}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_ranks_end_bit_identical() {
+        let n = 4;
+        let len = 33;
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|r| (0..len).map(|i| ((r * 37 + i * 13) as f32).sin()).collect())
+            .collect();
+        let (out, _) = run_ring(inputs);
+        for o in &out[1..] {
+            for (a, b) in o.iter().zip(&out[0]) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn traffic_is_bandwidth_optimal() {
         // Each member sends 2(n−1)/n of the vector per all-reduce.
         let n = 4usize;
@@ -193,6 +389,31 @@ mod tests {
         let (_, bytes) = run_ring(inputs);
         let expect = (n as u64) * 2 * (n as u64 - 1) * (4 * len as u64) / n as u64;
         assert_eq!(bytes, expect, "total ring traffic");
+    }
+
+    #[test]
+    fn repeated_allreduce_reuses_pooled_chunks() {
+        // After a warm-up all-reduce, every take_f32 must be a pool hit:
+        // the zero-allocation-per-step contract the bench also pins.
+        let n = 3;
+        let (members, _) = ring_group(n);
+        std::thread::scope(|s| {
+            for m in members {
+                s.spawn(move || {
+                    let mut v = vec![1.0f32; 48];
+                    m.allreduce_mean(&mut v); // warm-up: pools fill
+                    let misses = m.pool().misses();
+                    for _ in 0..5 {
+                        m.allreduce_mean(&mut v);
+                    }
+                    assert_eq!(
+                        m.pool().misses(),
+                        misses,
+                        "steady-state all-reduce allocated fresh chunk buffers"
+                    );
+                });
+            }
+        });
     }
 
     #[test]
@@ -206,5 +427,40 @@ mod tests {
     fn zero_length_vectors_are_fine() {
         let (out, _) = run_ring(vec![vec![], vec![]]);
         assert!(out[0].is_empty());
+    }
+
+    #[test]
+    fn neighbor_exchange_delivers_both_directions() {
+        let n = 3;
+        let (members, _) = ring_group(n);
+        let got: Vec<(Vec<u8>, Vec<u8>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = members
+                .into_iter()
+                .map(|m| {
+                    s.spawn(move || {
+                        let send = vec![m.rank() as u8; 4];
+                        let mut prev = Vec::new();
+                        let mut next = Vec::new();
+                        m.neighbor_exchange(&send, &mut prev, &mut next);
+                        (prev, next)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (rank, (prev, next)) in got.iter().enumerate() {
+            assert_eq!(prev, &vec![((rank + n - 1) % n) as u8; 4]);
+            assert_eq!(next, &vec![((rank + 1) % n) as u8; 4]);
+        }
+    }
+
+    #[test]
+    fn neighbor_exchange_single_member_self_gossips() {
+        let (members, _) = ring_group(1);
+        let mut prev = Vec::new();
+        let mut next = Vec::new();
+        members[0].neighbor_exchange(&[7, 7], &mut prev, &mut next);
+        assert_eq!(prev, vec![7, 7]);
+        assert_eq!(next, vec![7, 7]);
     }
 }

@@ -262,6 +262,17 @@ pub trait PsBackend {
         None
     }
 
+    /// Surrender the per-worker collective handles of a server-less
+    /// deployment (exactly once; `n` must match the group size). Server
+    /// backends return `None` and the trainer builds its own in-process
+    /// group when the algorithm asks for one — see
+    /// [`crate::collective::AllReduceBackend`] /
+    /// [`crate::collective::DecentralizedBackend`] for backends that
+    /// answer here.
+    fn take_collectives(&self, _n: usize) -> Option<crate::collective::CollectiveGroup> {
+        None
+    }
+
     /// Stop the deployment (threads joined; remote shards told to exit).
     fn shutdown(self: Box<Self>);
 }

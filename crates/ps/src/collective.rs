@@ -1,0 +1,1386 @@
+//! Topology-agnostic collectives: one [`Collective`] trait over the
+//! in-memory ring ([`crate::allreduce::RingMember`]), a ring all-reduce
+//! running on real [`Transport`] links ([`WireRing`], loopback or TCP),
+//! and an order-pinned tree reduce-broadcast ([`WireTree`]) — plus the
+//! [`PsBackend`] adapters ([`AllReduceBackend`], [`DecentralizedBackend`])
+//! that let `Trainer::run_with` drive server-less topologies with the
+//! same update strategies it uses against a parameter server.
+//!
+//! # Bit-identity across backends
+//!
+//! All three implementations honor the reduction-order contract pinned in
+//! [`crate::allreduce`]: chunk `c` sums in ring order starting at rank
+//! `c`, gathers copy bytes verbatim, and the mean divides elementwise
+//! after the sum. Wire frames carry little-endian f32 (exact round trip),
+//! so an all-reduce over TCP produces the same bits as the in-memory
+//! ring. The tree gathers *raw per-rank vectors* to the root — not
+//! subtree partial sums, which would reassociate the fold — and the root
+//! applies the same ring-ordered sum before broadcasting, trading the
+//! ring's bandwidth optimality for `O(log N)` latency hops (the
+//! `cdsgd-simtime` allreduce cost model quantifies the crossover).
+//!
+//! # Frames and telemetry
+//!
+//! Wire collectives speak the `cdsgd-net` collective frame family
+//! (`[tag][phase][index][count][payload]`, length-prefixed like every
+//! other frame). Every frame is recorded as a conn-tagged
+//! [`cdsgd_telemetry::Event::FrameSent`]/`FrameReceived` pair through the
+//! group's shared [`TrafficStats`], so sent and received byte totals
+//! balance exactly, and payload bytes are recorded through the same
+//! `Push` accounting the in-memory ring uses — which is what lets tests
+//! prove the `2·(N−1)/N` bandwidth-optimality claim on real TCP runs.
+
+use crate::allreduce::{chunk_range, ring_group, RingMember};
+use crate::api::{ParamClient, PsBackend};
+use crate::client::PendingPull;
+use crate::stats::TrafficStats;
+use crate::Key;
+use cdsgd_compress::{BufferPool, Compressed};
+use cdsgd_net::{
+    decode_collective, encode_collective_bytes_into, encode_collective_into, loopback_pair,
+    NetConfig, NetError, TcpAcceptor, TcpTransport, Transport, COLLECTIVE_EXCHANGE,
+    COLLECTIVE_GATHER, COLLECTIVE_HELLO, COLLECTIVE_SCATTER, COLLECTIVE_TREE_DOWN,
+    COLLECTIVE_TREE_UP, FRAME_PREFIX_BYTES,
+};
+use cdsgd_tensor::kernel;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a member waits for a peer's frame (or accept) before the
+/// collective fails with [`NetError::Timeout`] instead of hanging.
+const STEP_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One member's handle on a synchronization group. All members must call
+/// the same operation concurrently (from their own threads/processes);
+/// calls block until the collective completes.
+///
+/// Operations and their contracts:
+/// * [`Collective::reduce_scatter`] — after the call, the member's owned
+///   chunk (`(rank + 1) % world`, boundaries from [`chunk_range`]) holds
+///   the ring-ordered sum of all members' data. Implementations may
+///   reduce *more* than the owned chunk (the tree reduces everything).
+/// * [`Collective::all_gather`] — each member contributes its owned
+///   chunk; afterwards every member holds the full vector, bit-identical.
+/// * [`Collective::allreduce_mean`] — elementwise mean, bit-identical
+///   across ranks and implementations (the reduction-order contract).
+/// * [`Collective::neighbor_exchange`] — ring-topology gossip: send an
+///   opaque byte payload to both ring neighbors, receive theirs.
+pub trait Collective: Send {
+    /// This member's rank in `[0, world)`.
+    fn rank(&self) -> usize;
+
+    /// Group size.
+    fn world(&self) -> usize;
+
+    /// Scatter-reduce: the member's owned chunk ends fully reduced.
+    fn reduce_scatter(&mut self, data: &mut [f32]) -> Result<(), NetError>;
+
+    /// All-gather of the owned chunks: every member ends with the full
+    /// vector.
+    fn all_gather(&mut self, data: &mut [f32]) -> Result<(), NetError>;
+
+    /// In-place mean all-reduce; bit-identical across ranks/backends.
+    fn allreduce_mean(&mut self, data: &mut [f32]) -> Result<(), NetError> {
+        self.reduce_scatter(data)?;
+        self.all_gather(data)?;
+        kernel::scale(data, 1.0 / self.world() as f32);
+        Ok(())
+    }
+
+    /// Exchange `send` with both ring neighbors; `from_prev`/`from_next`
+    /// are overwritten with the payloads of ranks `rank ∓ 1`. Only ring
+    /// topologies support this; others return an error.
+    fn neighbor_exchange(
+        &mut self,
+        send: &[u8],
+        from_prev: &mut Vec<u8>,
+        from_next: &mut Vec<u8>,
+    ) -> Result<(), NetError> {
+        let _ = (send, from_prev, from_next);
+        Err(NetError::Io(
+            "neighbor exchange requires a ring topology".into(),
+        ))
+    }
+}
+
+impl Collective for RingMember {
+    fn rank(&self) -> usize {
+        RingMember::rank(self)
+    }
+
+    fn world(&self) -> usize {
+        self.group_size()
+    }
+
+    fn reduce_scatter(&mut self, data: &mut [f32]) -> Result<(), NetError> {
+        RingMember::reduce_scatter(self, data);
+        Ok(())
+    }
+
+    fn all_gather(&mut self, data: &mut [f32]) -> Result<(), NetError> {
+        RingMember::all_gather(self, data);
+        Ok(())
+    }
+
+    fn allreduce_mean(&mut self, data: &mut [f32]) -> Result<(), NetError> {
+        RingMember::allreduce_mean(self, data);
+        Ok(())
+    }
+
+    fn neighbor_exchange(
+        &mut self,
+        send: &[u8],
+        from_prev: &mut Vec<u8>,
+        from_next: &mut Vec<u8>,
+    ) -> Result<(), NetError> {
+        RingMember::neighbor_exchange(self, send, from_prev, from_next);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shared wire-link plumbing
+// ---------------------------------------------------------------------------
+
+/// Send `frame` on `link` and record the conn-tagged frame bytes.
+fn send_recorded(
+    link: &mut dyn Transport,
+    frame: &[u8],
+    stats: &TrafficStats,
+) -> Result<(), NetError> {
+    stats.record_sent(link.conn_id(), FRAME_PREFIX_BYTES + frame.len());
+    link.send_frame(frame)
+}
+
+/// Receive one frame from `link` into `out` and record it.
+fn recv_recorded(
+    link: &mut dyn Transport,
+    out: &mut Vec<u8>,
+    stats: &TrafficStats,
+) -> Result<(), NetError> {
+    link.recv_frame(out)?;
+    stats.record_received(link.conn_id(), FRAME_PREFIX_BYTES + out.len());
+    Ok(())
+}
+
+/// One link's part in a collective step: optionally a frame to write and
+/// optionally a buffer expecting one inbound frame. Each transport
+/// appears in at most one descriptor per step.
+struct LinkIo<'a> {
+    link: &'a mut dyn Transport,
+    send: Option<&'a [u8]>,
+    recv: Option<&'a mut Vec<u8>>,
+}
+
+/// One full-duplex step: write every pending frame and read one frame
+/// into every expecting buffer, without requiring any global
+/// send/receive ordering across the group. In blocking mode (loopback:
+/// queue-backed sends never block) this is sequential send-then-receive.
+/// In non-blocking mode (TCP) the sends are queued and both directions
+/// are pumped together, so a full socket buffer on the send side can
+/// never deadlock against a peer doing the same.
+fn duplex_step(
+    stats: &TrafficStats,
+    nonblocking: bool,
+    links: &mut [LinkIo<'_>],
+) -> Result<(), NetError> {
+    if !nonblocking {
+        for l in links.iter_mut() {
+            if let Some(frame) = l.send {
+                send_recorded(l.link, frame, stats)?;
+            }
+        }
+        for l in links.iter_mut() {
+            if let Some(out) = l.recv.as_deref_mut() {
+                recv_recorded(l.link, out, stats)?;
+            }
+        }
+        return Ok(());
+    }
+    for l in links.iter_mut() {
+        if let Some(frame) = l.send {
+            stats.record_sent(l.link.conn_id(), FRAME_PREFIX_BYTES + frame.len());
+            l.link.poll_send_frame(frame)?;
+        }
+    }
+    let deadline = Instant::now() + STEP_TIMEOUT;
+    let mut flushed: Vec<bool> = links.iter().map(|l| l.send.is_none()).collect();
+    let mut got: Vec<bool> = links.iter().map(|l| l.recv.is_none()).collect();
+    loop {
+        let mut done = true;
+        for (i, l) in links.iter_mut().enumerate() {
+            if !flushed[i] {
+                flushed[i] = l.link.poll_flush()?;
+                done &= flushed[i];
+            }
+            if !got[i] {
+                let out = l.recv.as_deref_mut().expect("recv buffer present");
+                got[i] = l.link.poll_recv_frame(out)?;
+                if got[i] {
+                    stats.record_received(l.link.conn_id(), FRAME_PREFIX_BYTES + out.len());
+                }
+                done &= got[i];
+            }
+        }
+        if done {
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            return Err(NetError::Timeout);
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// First frame on every collective link: announce the sender's rank so
+/// accepters can label inbound connections regardless of accept order.
+fn send_hello(link: &mut dyn Transport, rank: usize, stats: &TrafficStats) -> Result<(), NetError> {
+    let mut buf = Vec::with_capacity(16);
+    encode_collective_bytes_into(COLLECTIVE_HELLO, rank as u32, &[], &mut buf);
+    send_recorded(link, &buf, stats)
+}
+
+fn recv_hello(link: &mut dyn Transport, stats: &TrafficStats) -> Result<usize, NetError> {
+    let mut buf = Vec::with_capacity(16);
+    recv_recorded(link, &mut buf, stats)?;
+    let frame = decode_collective(&buf)?;
+    if frame.phase != COLLECTIVE_HELLO {
+        return Err(NetError::Decode(format!(
+            "expected collective hello, got phase {}",
+            frame.phase
+        )));
+    }
+    Ok(frame.index as usize)
+}
+
+/// Decode a received chunk frame, validating phase and chunk index.
+fn expect_chunk<'a>(
+    buf: &'a [u8],
+    phase: u8,
+    index: usize,
+) -> Result<cdsgd_net::CollectiveFrame<'a>, NetError> {
+    let frame = decode_collective(buf)?;
+    if frame.phase != phase || frame.index != index as u32 {
+        return Err(NetError::Decode(format!(
+            "collective step mismatch: got phase {} index {}, want phase {phase} index {index} \
+             (members out of lock step?)",
+            frame.phase, frame.index
+        )));
+    }
+    Ok(frame)
+}
+
+// ---------------------------------------------------------------------------
+// ring all-reduce over Transport
+// ---------------------------------------------------------------------------
+
+/// A ring member whose neighbor links are real [`Transport`]s: the same
+/// two-phase, order-pinned ring as [`RingMember`], but each chunk travels
+/// as a length-prefixed collective frame over loopback queues or TCP
+/// sockets. Both links are bidirectional, so the same member also
+/// supports [`Collective::neighbor_exchange`] for decentralized training.
+pub struct WireRing {
+    rank: usize,
+    n: usize,
+    /// Link to rank `(rank + 1) % n`; all-reduce chunks go out here.
+    next: Box<dyn Transport>,
+    /// Link to rank `(rank − 1) % n`; all-reduce chunks come in here.
+    prev: Box<dyn Transport>,
+    nonblocking: bool,
+    stats: Arc<TrafficStats>,
+    frame: Vec<u8>,
+    frame2: Vec<u8>,
+    rbuf: Vec<u8>,
+    rbuf2: Vec<u8>,
+    scratch: Vec<f32>,
+}
+
+impl WireRing {
+    fn new(
+        rank: usize,
+        n: usize,
+        next: Box<dyn Transport>,
+        prev: Box<dyn Transport>,
+        nonblocking: bool,
+        stats: Arc<TrafficStats>,
+    ) -> Self {
+        Self {
+            rank,
+            n,
+            next,
+            prev,
+            nonblocking,
+            stats,
+            frame: Vec::new(),
+            frame2: Vec::new(),
+            rbuf: Vec::new(),
+            rbuf2: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Build an `n`-member ring over in-process loopback transports.
+    pub fn loopback(n: usize) -> (Vec<WireRing>, Arc<TrafficStats>) {
+        assert!(n > 0, "a ring needs at least one member");
+        let stats = Arc::new(TrafficStats::new());
+        // Pair i connects rank i (side a, its `next`) to rank (i+1) % n
+        // (side b, its `prev`).
+        let mut sides: Vec<(Option<_>, Option<_>)> = (0..n)
+            .map(|_| {
+                let (a, b) = loopback_pair();
+                (Some(a), Some(b))
+            })
+            .collect();
+        let members = (0..n)
+            .map(|rank| {
+                let next = sides[rank].0.take().expect("side used once");
+                let prev = sides[(rank + n - 1) % n].1.take().expect("side used once");
+                let mut m = WireRing::new(
+                    rank,
+                    n,
+                    Box::new(next),
+                    Box::new(prev),
+                    false,
+                    Arc::clone(&stats),
+                );
+                m.next
+                    .set_recv_timeout(Some(STEP_TIMEOUT))
+                    .expect("loopback timeout");
+                m.prev
+                    .set_recv_timeout(Some(STEP_TIMEOUT))
+                    .expect("loopback timeout");
+                m
+            })
+            .collect();
+        (members, stats)
+    }
+
+    /// Build an `n`-member ring over localhost TCP, all endpoints in this
+    /// process (the trainer's threaded deployment). Each member dials its
+    /// successor and accepts its predecessor, with a rank handshake on
+    /// every link.
+    pub fn tcp(n: usize) -> Result<(Vec<WireRing>, Arc<TrafficStats>), NetError> {
+        assert!(n > 0, "a ring needs at least one member");
+        let stats = Arc::new(TrafficStats::new());
+        let cfg = NetConfig::default();
+        let mut acceptors = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (acc, addr) = TcpAcceptor::bind("127.0.0.1:0", cfg.clone())?;
+            acceptors.push(acc);
+            addrs.push(addr);
+        }
+        // Dial every successor first: TCP connects complete against the
+        // listener backlog, so no accept has to run concurrently, and the
+        // tiny hello frames fit in socket buffers unread.
+        let mut nexts = Vec::with_capacity(n);
+        for rank in 0..n {
+            let mut t = TcpTransport::connect(addrs[(rank + 1) % n], &cfg)?;
+            send_hello(&mut t, rank, &stats)?;
+            nexts.push(Some(t));
+        }
+        let mut members = Vec::with_capacity(n);
+        for (rank, next) in nexts.iter_mut().enumerate() {
+            let mut prev = acceptors[rank].accept(STEP_TIMEOUT)?;
+            let hello = recv_hello(&mut prev, &stats)?;
+            let want = (rank + n - 1) % n;
+            if hello != want {
+                return Err(NetError::Decode(format!(
+                    "ring wiring error: rank {rank} accepted a link from rank {hello}, want {want}"
+                )));
+            }
+            let mut m = WireRing::new(
+                rank,
+                n,
+                Box::new(next.take().expect("dialed once")),
+                Box::new(prev),
+                true,
+                Arc::clone(&stats),
+            );
+            m.next.set_nonblocking(true)?;
+            m.prev.set_nonblocking(true)?;
+            members.push(m);
+        }
+        Ok((members, stats))
+    }
+
+    /// Join a multi-process ring as `rank`: bind `peers[rank]`, dial the
+    /// successor `peers[(rank + 1) % n]`, accept the predecessor, and
+    /// handshake ranks. Every process must list the same `peers` in the
+    /// same order.
+    pub fn connect(
+        rank: usize,
+        peers: &[String],
+        cfg: &NetConfig,
+        stats: Arc<TrafficStats>,
+    ) -> Result<WireRing, NetError> {
+        let n = peers.len();
+        assert!(rank < n, "rank {rank} outside peer list of {n}");
+        if n == 1 {
+            // Degenerate single-member ring: all collectives early-return.
+            let (a, b) = loopback_pair();
+            return Ok(WireRing::new(
+                rank,
+                n,
+                Box::new(a),
+                Box::new(b),
+                false,
+                stats,
+            ));
+        }
+        let (acceptor, _) = TcpAcceptor::bind(peers[rank].as_str(), cfg.clone())?;
+        let mut next = TcpTransport::connect(peers[(rank + 1) % n].as_str(), cfg)?;
+        send_hello(&mut next, rank, &stats)?;
+        let mut prev = acceptor.accept(STEP_TIMEOUT)?;
+        let hello = recv_hello(&mut prev, &stats)?;
+        let want = (rank + n - 1) % n;
+        if hello != want {
+            return Err(NetError::Decode(format!(
+                "ring wiring error: rank {rank} accepted a link from rank {hello}, want {want}"
+            )));
+        }
+        let mut m = WireRing::new(rank, n, Box::new(next), Box::new(prev), true, stats);
+        m.next.set_nonblocking(true)?;
+        m.prev.set_nonblocking(true)?;
+        Ok(m)
+    }
+}
+
+impl Collective for WireRing {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world(&self) -> usize {
+        self.n
+    }
+
+    fn reduce_scatter(&mut self, data: &mut [f32]) -> Result<(), NetError> {
+        if self.n == 1 {
+            return Ok(());
+        }
+        let (len, n) = (data.len(), self.n);
+        for s in 0..n - 1 {
+            let send_idx = (self.rank + n - s) % n;
+            let recv_idx = (self.rank + n - s - 1) % n;
+            let src = &data[chunk_range(len, n, send_idx)];
+            self.frame.clear();
+            encode_collective_into(COLLECTIVE_SCATTER, send_idx as u32, src, &mut self.frame);
+            self.stats.record_push(4 * src.len());
+            duplex_step(
+                &self.stats,
+                self.nonblocking,
+                &mut [
+                    LinkIo {
+                        link: self.next.as_mut(),
+                        send: Some(&self.frame),
+                        recv: None,
+                    },
+                    LinkIo {
+                        link: self.prev.as_mut(),
+                        send: None,
+                        recv: Some(&mut self.rbuf),
+                    },
+                ],
+            )?;
+            let frame = expect_chunk(&self.rbuf, COLLECTIVE_SCATTER, recv_idx)?;
+            let dst = &mut data[chunk_range(len, n, recv_idx)];
+            self.scratch.clear();
+            self.scratch.resize(dst.len(), 0.0);
+            frame.read_f32_into(&mut self.scratch)?;
+            kernel::add_assign(dst, &self.scratch);
+        }
+        Ok(())
+    }
+
+    fn all_gather(&mut self, data: &mut [f32]) -> Result<(), NetError> {
+        if self.n == 1 {
+            return Ok(());
+        }
+        let (len, n) = (data.len(), self.n);
+        for s in 0..n - 1 {
+            let send_idx = (self.rank + 1 + n - s) % n;
+            let recv_idx = (self.rank + n - s) % n;
+            let src = &data[chunk_range(len, n, send_idx)];
+            self.frame.clear();
+            encode_collective_into(COLLECTIVE_GATHER, send_idx as u32, src, &mut self.frame);
+            self.stats.record_push(4 * src.len());
+            duplex_step(
+                &self.stats,
+                self.nonblocking,
+                &mut [
+                    LinkIo {
+                        link: self.next.as_mut(),
+                        send: Some(&self.frame),
+                        recv: None,
+                    },
+                    LinkIo {
+                        link: self.prev.as_mut(),
+                        send: None,
+                        recv: Some(&mut self.rbuf),
+                    },
+                ],
+            )?;
+            let frame = expect_chunk(&self.rbuf, COLLECTIVE_GATHER, recv_idx)?;
+            // Gather copies bytes verbatim: decode straight into place.
+            frame.read_f32_into(&mut data[chunk_range(len, n, recv_idx)])?;
+        }
+        Ok(())
+    }
+
+    fn allreduce_mean(&mut self, data: &mut [f32]) -> Result<(), NetError> {
+        if self.n == 1 {
+            return Ok(());
+        }
+        self.reduce_scatter(data)?;
+        self.all_gather(data)?;
+        kernel::scale(data, 1.0 / self.n as f32);
+        self.stats.record_collective(self.rank, self.n, {
+            let len = data.len() as u64;
+            2 * (self.n as u64 - 1) * (4 * len) / self.n as u64
+        });
+        Ok(())
+    }
+
+    fn neighbor_exchange(
+        &mut self,
+        send: &[u8],
+        from_prev: &mut Vec<u8>,
+        from_next: &mut Vec<u8>,
+    ) -> Result<(), NetError> {
+        from_prev.clear();
+        from_next.clear();
+        if self.n == 1 {
+            from_prev.extend_from_slice(send);
+            from_next.extend_from_slice(send);
+            return Ok(());
+        }
+        self.frame.clear();
+        encode_collective_bytes_into(COLLECTIVE_EXCHANGE, self.rank as u32, send, &mut self.frame);
+        self.frame2.clear();
+        self.frame2.extend_from_slice(&self.frame);
+        self.stats.record_push(send.len());
+        self.stats.record_push(send.len());
+        // Both links are bidirectional: send to the successor on `next`
+        // and to the predecessor back along `prev`, then collect both.
+        duplex_step(
+            &self.stats,
+            self.nonblocking,
+            &mut [
+                LinkIo {
+                    link: self.next.as_mut(),
+                    send: Some(&self.frame),
+                    recv: Some(&mut self.rbuf2),
+                },
+                LinkIo {
+                    link: self.prev.as_mut(),
+                    send: Some(&self.frame2),
+                    recv: Some(&mut self.rbuf),
+                },
+            ],
+        )?;
+        let prev_rank = (self.rank + self.n - 1) % self.n;
+        let next_rank = (self.rank + 1) % self.n;
+        let f = expect_chunk(&self.rbuf, COLLECTIVE_EXCHANGE, prev_rank)?;
+        from_prev.extend_from_slice(f.bytes());
+        let f = expect_chunk(&self.rbuf2, COLLECTIVE_EXCHANGE, next_rank)?;
+        from_next.extend_from_slice(f.bytes());
+        self.stats
+            .record_collective(self.rank, self.n, 2 * send.len() as u64);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// tree reduce-broadcast over Transport
+// ---------------------------------------------------------------------------
+
+/// A binary-heap-shaped tree collective (`parent(r) = (r−1)/2`, root 0)
+/// over [`Transport`] links. The reduce phase forwards *raw per-rank
+/// vectors* to the root, which applies the same ring-ordered sum as the
+/// ring backends — so results stay bit-identical — then broadcasts the
+/// sum back down. Compared to the ring this costs `(N−1)·L` ingest at
+/// the root but only `2·⌈log₂N⌉` latency hops, which wins for small
+/// vectors on high-latency links (see the `simtime` allreduce model).
+pub struct WireTree {
+    rank: usize,
+    n: usize,
+    /// Link toward `(rank − 1) / 2`; `None` at the root.
+    parent: Option<Box<dyn Transport>>,
+    /// Links to children `2·rank + 1` and `2·rank + 2` (when `< n`),
+    /// ordered by child rank.
+    children: Vec<Box<dyn Transport>>,
+    stats: Arc<TrafficStats>,
+    frame: Vec<u8>,
+    rbuf: Vec<u8>,
+    /// Root-only: the per-rank vectors of the current reduce.
+    gathered: Vec<Vec<f32>>,
+    scratch: Vec<f32>,
+}
+
+/// Ranks of `rank`'s children in an `n`-member heap tree.
+fn tree_children(rank: usize, n: usize) -> Vec<usize> {
+    [2 * rank + 1, 2 * rank + 2]
+        .into_iter()
+        .filter(|&c| c < n)
+        .collect()
+}
+
+/// Number of ranks in the subtree rooted at `rank`.
+fn subtree_size(rank: usize, n: usize) -> usize {
+    if rank >= n {
+        return 0;
+    }
+    1 + subtree_size(2 * rank + 1, n) + subtree_size(2 * rank + 2, n)
+}
+
+impl WireTree {
+    fn new(
+        rank: usize,
+        n: usize,
+        parent: Option<Box<dyn Transport>>,
+        children: Vec<Box<dyn Transport>>,
+        stats: Arc<TrafficStats>,
+    ) -> Self {
+        Self {
+            rank,
+            n,
+            parent,
+            children,
+            stats,
+            frame: Vec::new(),
+            rbuf: Vec::new(),
+            gathered: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Build an `n`-member tree over in-process loopback transports.
+    pub fn loopback(n: usize) -> (Vec<WireTree>, Arc<TrafficStats>) {
+        assert!(n > 0, "a tree needs at least one member");
+        let stats = Arc::new(TrafficStats::new());
+        // Edge r (for r in 1..n) connects rank r to its parent.
+        let mut up: Vec<Option<Box<dyn Transport>>> = (0..n).map(|_| None).collect();
+        let mut down: Vec<Vec<(usize, Box<dyn Transport>)>> = (0..n).map(|_| Vec::new()).collect();
+        for r in 1..n {
+            let (child_side, parent_side) = loopback_pair();
+            up[r] = Some(Box::new(child_side));
+            down[(r - 1) / 2].push((r, Box::new(parent_side)));
+        }
+        let members = (0..n)
+            .map(|rank| {
+                let mut kids = std::mem::take(&mut down[rank]);
+                kids.sort_by_key(|(r, _)| *r);
+                let mut m = WireTree::new(
+                    rank,
+                    n,
+                    up[rank].take(),
+                    kids.into_iter().map(|(_, t)| t).collect(),
+                    Arc::clone(&stats),
+                );
+                if let Some(p) = m.parent.as_mut() {
+                    p.set_recv_timeout(Some(STEP_TIMEOUT)).expect("timeout");
+                }
+                for c in m.children.iter_mut() {
+                    c.set_recv_timeout(Some(STEP_TIMEOUT)).expect("timeout");
+                }
+                m
+            })
+            .collect();
+        (members, stats)
+    }
+
+    /// Build an `n`-member tree over localhost TCP, all endpoints in this
+    /// process. Children dial parents; hellos label the links.
+    pub fn tcp(n: usize) -> Result<(Vec<WireTree>, Arc<TrafficStats>), NetError> {
+        assert!(n > 0, "a tree needs at least one member");
+        let stats = Arc::new(TrafficStats::new());
+        let cfg = NetConfig::default();
+        let mut acceptors = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (acc, addr) = TcpAcceptor::bind("127.0.0.1:0", cfg.clone())?;
+            acceptors.push(acc);
+            addrs.push(addr);
+        }
+        let mut parents: Vec<Option<Box<dyn Transport>>> = (0..n).map(|_| None).collect();
+        for r in 1..n {
+            let mut t = TcpTransport::connect(addrs[(r - 1) / 2], &cfg)?;
+            send_hello(&mut t, r, &stats)?;
+            parents[r] = Some(Box::new(t));
+        }
+        let mut members = Vec::with_capacity(n);
+        for (rank, parent) in parents.iter_mut().enumerate() {
+            let expected = tree_children(rank, n);
+            let mut kids: Vec<(usize, Box<dyn Transport>)> = Vec::with_capacity(expected.len());
+            for _ in &expected {
+                let mut link = acceptors[rank].accept(STEP_TIMEOUT)?;
+                let hello = recv_hello(&mut link, &stats)?;
+                if !expected.contains(&hello) {
+                    return Err(NetError::Decode(format!(
+                        "tree wiring error: rank {rank} accepted a link from rank {hello}, \
+                         want one of {expected:?}"
+                    )));
+                }
+                kids.push((hello, Box::new(link)));
+            }
+            kids.sort_by_key(|(r, _)| *r);
+            members.push(WireTree::new(
+                rank,
+                n,
+                parent.take(),
+                kids.into_iter().map(|(_, t)| t).collect(),
+                Arc::clone(&stats),
+            ));
+        }
+        Ok((members, stats))
+    }
+
+    /// Join a multi-process tree as `rank`: bind `peers[rank]`, dial the
+    /// parent, accept the children. Every process must list the same
+    /// `peers` in the same order.
+    pub fn connect(
+        rank: usize,
+        peers: &[String],
+        cfg: &NetConfig,
+        stats: Arc<TrafficStats>,
+    ) -> Result<WireTree, NetError> {
+        let n = peers.len();
+        assert!(rank < n, "rank {rank} outside peer list of {n}");
+        let expected = tree_children(rank, n);
+        let acceptor = if expected.is_empty() {
+            None
+        } else {
+            Some(TcpAcceptor::bind(peers[rank].as_str(), cfg.clone())?.0)
+        };
+        let parent = if rank == 0 {
+            None
+        } else {
+            let mut t = TcpTransport::connect(peers[(rank - 1) / 2].as_str(), cfg)?;
+            send_hello(&mut t, rank, &stats)?;
+            Some(Box::new(t) as Box<dyn Transport>)
+        };
+        let mut kids: Vec<(usize, Box<dyn Transport>)> = Vec::with_capacity(expected.len());
+        if let Some(acc) = &acceptor {
+            for _ in &expected {
+                let mut link = acc.accept(STEP_TIMEOUT)?;
+                let hello = recv_hello(&mut link, &stats)?;
+                if !expected.contains(&hello) {
+                    return Err(NetError::Decode(format!(
+                        "tree wiring error: rank {rank} accepted a link from rank {hello}, \
+                         want one of {expected:?}"
+                    )));
+                }
+                kids.push((hello, Box::new(link)));
+            }
+        }
+        kids.sort_by_key(|(r, _)| *r);
+        Ok(WireTree::new(
+            rank,
+            n,
+            parent,
+            kids.into_iter().map(|(_, t)| t).collect(),
+            Arc::clone(&stats),
+        ))
+    }
+
+    /// Tree sum: gather raw per-rank vectors to the root, apply the
+    /// ring-ordered fold there, broadcast the sum; on return every
+    /// member's `data` holds the full sum (no mean). Blocking I/O is
+    /// safe here: each phase's communication graph is a DAG.
+    fn tree_reduce(&mut self, data: &mut [f32]) -> Result<(), NetError> {
+        if self.n == 1 {
+            return Ok(());
+        }
+        let len = data.len();
+        // Up phase: forward every subtree vector (tagged by source rank).
+        if self.rank == 0 {
+            self.gathered.clear();
+            self.gathered.resize(self.n, Vec::new());
+        } else {
+            self.frame.clear();
+            encode_collective_into(COLLECTIVE_TREE_UP, self.rank as u32, data, &mut self.frame);
+            self.stats.record_push(4 * len);
+            let parent = self.parent.as_mut().expect("non-root has a parent");
+            send_recorded(parent.as_mut(), &self.frame, &self.stats)?;
+        }
+        for ci in 0..self.children.len() {
+            let child_rank = tree_children(self.rank, self.n)[ci];
+            for _ in 0..subtree_size(child_rank, self.n) {
+                recv_recorded(self.children[ci].as_mut(), &mut self.rbuf, &self.stats)?;
+                let frame = decode_collective(&self.rbuf)?;
+                if frame.phase != COLLECTIVE_TREE_UP {
+                    return Err(NetError::Decode(format!(
+                        "tree reduce expected an up frame, got phase {}",
+                        frame.phase
+                    )));
+                }
+                let src = frame.index as usize;
+                if self.rank == 0 {
+                    if src == 0 || src >= self.n {
+                        return Err(NetError::Decode(format!(
+                            "tree reduce saw source rank {src} of {}",
+                            self.n
+                        )));
+                    }
+                    let slot = &mut self.gathered[src];
+                    slot.clear();
+                    slot.resize(frame.len(), 0.0);
+                    frame.read_f32_into(slot)?;
+                } else {
+                    // Forward verbatim: re-sending the received body
+                    // keeps the payload bits untouched.
+                    self.stats.record_push(4 * frame.len());
+                    let parent = self.parent.as_mut().expect("non-root has a parent");
+                    send_recorded(parent.as_mut(), &self.rbuf, &self.stats)?;
+                }
+            }
+        }
+        // Root: ring-ordered fold (the reduction-order contract).
+        if self.rank == 0 {
+            self.scratch.clear();
+            self.scratch.extend_from_slice(data);
+            for src in 1..self.n {
+                if self.gathered[src].len() != len {
+                    return Err(NetError::Decode(format!(
+                        "tree members disagree on length: rank {src} sent {}, root has {len}",
+                        self.gathered[src].len()
+                    )));
+                }
+            }
+            for c in 0..self.n {
+                let range = chunk_range(len, self.n, c);
+                let first = (c) % self.n;
+                {
+                    let (dst, src): (&mut [f32], &[f32]) = if first == 0 {
+                        (&mut data[range.clone()], &self.scratch[range.clone()])
+                    } else {
+                        (
+                            &mut data[range.clone()],
+                            &self.gathered[first][range.clone()],
+                        )
+                    };
+                    dst.copy_from_slice(src);
+                }
+                for j in 1..self.n {
+                    let src_rank = (c + j) % self.n;
+                    let src: &[f32] = if src_rank == 0 {
+                        &self.scratch[range.clone()]
+                    } else {
+                        &self.gathered[src_rank][range.clone()]
+                    };
+                    kernel::add_assign(&mut data[range.clone()], src);
+                }
+            }
+        }
+        // Down phase: broadcast the sum along the tree.
+        if self.rank == 0 {
+            self.frame.clear();
+            encode_collective_into(COLLECTIVE_TREE_DOWN, 0, data, &mut self.frame);
+            for ci in 0..self.children.len() {
+                self.stats.record_push(4 * len);
+                send_recorded(self.children[ci].as_mut(), &self.frame, &self.stats)?;
+            }
+        } else {
+            let parent = self.parent.as_mut().expect("non-root has a parent");
+            recv_recorded(parent.as_mut(), &mut self.rbuf, &self.stats)?;
+            let frame = expect_chunk(&self.rbuf, COLLECTIVE_TREE_DOWN, 0)?;
+            frame.read_f32_into(data)?;
+            for ci in 0..self.children.len() {
+                self.stats.record_push(4 * len);
+                // Forward the received frame verbatim.
+                let buf = self.rbuf.clone();
+                send_recorded(self.children[ci].as_mut(), &buf, &self.stats)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Collective for WireTree {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world(&self) -> usize {
+        self.n
+    }
+
+    /// Tree reduce leaves *every* chunk fully reduced on every member —
+    /// a superset of the reduce-scatter contract.
+    fn reduce_scatter(&mut self, data: &mut [f32]) -> Result<(), NetError> {
+        self.tree_reduce(data)
+    }
+
+    /// Gather the owned chunks to the root, reassemble, broadcast.
+    fn all_gather(&mut self, data: &mut [f32]) -> Result<(), NetError> {
+        if self.n == 1 {
+            return Ok(());
+        }
+        let len = data.len();
+        let own_chunk = (self.rank + 1) % self.n;
+        if self.rank == 0 {
+            self.gathered.clear();
+            self.gathered.resize(self.n, Vec::new());
+        } else {
+            let src = &data[chunk_range(len, self.n, own_chunk)];
+            self.frame.clear();
+            encode_collective_into(COLLECTIVE_TREE_UP, own_chunk as u32, src, &mut self.frame);
+            self.stats.record_push(4 * src.len());
+            let parent = self.parent.as_mut().expect("non-root has a parent");
+            send_recorded(parent.as_mut(), &self.frame, &self.stats)?;
+        }
+        for ci in 0..self.children.len() {
+            let child_rank = tree_children(self.rank, self.n)[ci];
+            for _ in 0..subtree_size(child_rank, self.n) {
+                recv_recorded(self.children[ci].as_mut(), &mut self.rbuf, &self.stats)?;
+                let frame = decode_collective(&self.rbuf)?;
+                if frame.phase != COLLECTIVE_TREE_UP {
+                    return Err(NetError::Decode(format!(
+                        "tree gather expected an up frame, got phase {}",
+                        frame.phase
+                    )));
+                }
+                if self.rank == 0 {
+                    let chunk = frame.index as usize;
+                    if chunk >= self.n {
+                        return Err(NetError::Decode(format!(
+                            "tree gather saw chunk {chunk} of {}",
+                            self.n
+                        )));
+                    }
+                    frame.read_f32_into(&mut data[chunk_range(len, self.n, chunk)])?;
+                } else {
+                    self.stats.record_push(4 * frame.len());
+                    let parent = self.parent.as_mut().expect("non-root has a parent");
+                    send_recorded(parent.as_mut(), &self.rbuf, &self.stats)?;
+                }
+            }
+        }
+        // Root's own chunk was already in place; broadcast the assembly.
+        if self.rank == 0 {
+            self.frame.clear();
+            encode_collective_into(COLLECTIVE_TREE_DOWN, 0, data, &mut self.frame);
+            for ci in 0..self.children.len() {
+                self.stats.record_push(4 * len);
+                send_recorded(self.children[ci].as_mut(), &self.frame, &self.stats)?;
+            }
+        } else {
+            let parent = self.parent.as_mut().expect("non-root has a parent");
+            recv_recorded(parent.as_mut(), &mut self.rbuf, &self.stats)?;
+            let frame = expect_chunk(&self.rbuf, COLLECTIVE_TREE_DOWN, 0)?;
+            frame.read_f32_into(data)?;
+            for ci in 0..self.children.len() {
+                self.stats.record_push(4 * len);
+                let buf = self.rbuf.clone();
+                send_recorded(self.children[ci].as_mut(), &buf, &self.stats)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn allreduce_mean(&mut self, data: &mut [f32]) -> Result<(), NetError> {
+        if self.n == 1 {
+            return Ok(());
+        }
+        self.tree_reduce(data)?;
+        // Same elementwise scale as the ring backends, applied locally
+        // to the identical sum bits — so the mean is identical too.
+        kernel::scale(data, 1.0 / self.n as f32);
+        self.stats
+            .record_collective(self.rank, self.n, 4 * data.len() as u64);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PsBackend adapters
+// ---------------------------------------------------------------------------
+
+/// The per-worker collective handles of a server-less deployment, plus
+/// the shared traffic counters the trainer reports from.
+pub struct CollectiveGroup {
+    pub members: Vec<Box<dyn Collective>>,
+    pub stats: Arc<TrafficStats>,
+}
+
+/// Which substrate a collective group runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireMode {
+    /// Crossbeam channels inside the process (ring only).
+    Memory,
+    /// Loopback [`Transport`] queues — real frames, no sockets.
+    Loopback,
+    /// Localhost TCP sockets.
+    Tcp,
+}
+
+/// Build an `n`-member ring group on `mode`.
+pub fn build_ring_group(n: usize, mode: WireMode) -> Result<CollectiveGroup, NetError> {
+    Ok(match mode {
+        WireMode::Memory => {
+            let (members, stats) = ring_group(n);
+            CollectiveGroup {
+                members: members
+                    .into_iter()
+                    .map(|m| Box::new(m) as Box<dyn Collective>)
+                    .collect(),
+                stats,
+            }
+        }
+        WireMode::Loopback => {
+            let (members, stats) = WireRing::loopback(n);
+            CollectiveGroup {
+                members: members
+                    .into_iter()
+                    .map(|m| Box::new(m) as Box<dyn Collective>)
+                    .collect(),
+                stats,
+            }
+        }
+        WireMode::Tcp => {
+            let (members, stats) = WireRing::tcp(n)?;
+            CollectiveGroup {
+                members: members
+                    .into_iter()
+                    .map(|m| Box::new(m) as Box<dyn Collective>)
+                    .collect(),
+                stats,
+            }
+        }
+    })
+}
+
+/// Build an `n`-member tree group on `mode` ([`WireMode::Memory`] falls
+/// back to loopback — the tree always runs on transports).
+pub fn build_tree_group(n: usize, mode: WireMode) -> Result<CollectiveGroup, NetError> {
+    let (members, stats) = match mode {
+        WireMode::Memory | WireMode::Loopback => WireTree::loopback(n),
+        WireMode::Tcp => WireTree::tcp(n)?,
+    };
+    Ok(CollectiveGroup {
+        members: members
+            .into_iter()
+            .map(|m| Box::new(m) as Box<dyn Collective>)
+            .collect(),
+        stats,
+    })
+}
+
+/// A [`ParamClient`] for server-less topologies: workers synchronize
+/// through their [`Collective`] and must never touch the (nonexistent)
+/// parameter server, so every data-plane call errors loudly instead of
+/// silently doing nothing.
+pub struct NullClient {
+    pool: BufferPool,
+}
+
+impl NullClient {
+    pub fn new() -> Self {
+        Self {
+            pool: BufferPool::new(),
+        }
+    }
+}
+
+impl Default for NullClient {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn no_server<T>() -> Result<T, NetError> {
+    Err(NetError::Io(
+        "server-less topology: this run synchronizes through a collective, \
+         there is no parameter server to talk to"
+            .into(),
+    ))
+}
+
+impl ParamClient for NullClient {
+    fn push(&self, _worker: usize, _key: Key, _payload: Compressed) -> Result<(), NetError> {
+        no_server()
+    }
+
+    fn pull_async(&self, _key: Key, _min_version: u64) -> Result<PendingPull, NetError> {
+        no_server()
+    }
+
+    fn set_lr(&self, _lr: f32) -> Result<(), NetError> {
+        // Server-less runs apply the learning-rate schedule worker-side;
+        // accepting the broadcast keeps the trainer's epoch loop uniform.
+        Ok(())
+    }
+
+    fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+}
+
+/// Shared plumbing of the server-less backends: a lazily-surrendered
+/// [`CollectiveGroup`] plus its stats.
+struct CollectiveCore {
+    group: Mutex<Option<CollectiveGroup>>,
+    stats: Arc<TrafficStats>,
+}
+
+impl CollectiveCore {
+    fn new(group: CollectiveGroup) -> Self {
+        let stats = Arc::clone(&group.stats);
+        Self {
+            group: Mutex::new(Some(group)),
+            stats,
+        }
+    }
+
+    fn take(&self, n: usize) -> Option<CollectiveGroup> {
+        let g = self.group.lock().unwrap().take()?;
+        assert_eq!(
+            g.members.len(),
+            n,
+            "collective backend built for {} members, trainer wants {n}",
+            g.members.len()
+        );
+        Some(g)
+    }
+}
+
+macro_rules! collective_backend_impl {
+    () => {
+        fn client(&self) -> Result<Box<dyn ParamClient>, NetError> {
+            Ok(Box::new(NullClient::new()))
+        }
+
+        fn set_lr(&self, _lr: f32) -> Result<(), NetError> {
+            Ok(())
+        }
+
+        fn snapshot(&self) -> Result<(Vec<Vec<f32>>, Vec<u64>), NetError> {
+            no_server()
+        }
+
+        fn bytes_pushed(&self) -> u64 {
+            self.core.stats.bytes_pushed()
+        }
+
+        fn bytes_pulled(&self) -> u64 {
+            self.core.stats.bytes_pulled()
+        }
+
+        fn take_collectives(&self, n: usize) -> Option<CollectiveGroup> {
+            self.core.take(n)
+        }
+
+        fn shutdown(self: Box<Self>) {}
+    };
+}
+
+/// A server-less [`PsBackend`]: workers synchronize with a ring or tree
+/// all-reduce instead of pushing to a parameter server. `client()` hands
+/// out [`NullClient`]s; the trainer obtains the per-worker collectives
+/// through [`PsBackend::take_collectives`].
+pub struct AllReduceBackend {
+    core: CollectiveCore,
+}
+
+impl AllReduceBackend {
+    /// A ring all-reduce deployment for `n` workers on `mode`.
+    pub fn ring(n: usize, mode: WireMode) -> Result<Self, NetError> {
+        Ok(Self {
+            core: CollectiveCore::new(build_ring_group(n, mode)?),
+        })
+    }
+
+    /// A tree reduce-broadcast deployment for `n` workers on `mode`.
+    pub fn tree(n: usize, mode: WireMode) -> Result<Self, NetError> {
+        Ok(Self {
+            core: CollectiveCore::new(build_tree_group(n, mode)?),
+        })
+    }
+
+    /// The group's traffic counters (live even after the members are
+    /// taken by the trainer).
+    pub fn stats(&self) -> Arc<TrafficStats> {
+        Arc::clone(&self.core.stats)
+    }
+}
+
+impl PsBackend for AllReduceBackend {
+    collective_backend_impl!();
+}
+
+/// A server-less [`PsBackend`] for decentralized compressed training
+/// (Tang et al.): workers gossip codec-compressed model differences with
+/// their ring neighbors via [`Collective::neighbor_exchange`]. Always a
+/// ring — neighbor exchange has no tree analogue.
+pub struct DecentralizedBackend {
+    core: CollectiveCore,
+}
+
+impl DecentralizedBackend {
+    /// A decentralized ring for `n` workers on `mode`.
+    pub fn ring(n: usize, mode: WireMode) -> Result<Self, NetError> {
+        Ok(Self {
+            core: CollectiveCore::new(build_ring_group(n, mode)?),
+        })
+    }
+
+    pub fn stats(&self) -> Arc<TrafficStats> {
+        Arc::clone(&self.core.stats)
+    }
+}
+
+impl PsBackend for DecentralizedBackend {
+    collective_backend_impl!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allreduce::ring_ordered_sum;
+
+    fn run_group(group: CollectiveGroup, inputs: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = group
+                .members
+                .into_iter()
+                .zip(inputs)
+                .map(|(mut m, mut v)| {
+                    s.spawn(move || {
+                        m.allreduce_mean(&mut v).expect("collective failed");
+                        v
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    fn adversarial_inputs(n: usize, len: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|r| {
+                (0..len)
+                    .map(|i| {
+                        let sign = if (r + i) % 2 == 0 { 1.0 } else { -1.0 };
+                        sign * (1.0 + r as f32 * 1e-3) * (10.0f32).powi((i % 7) as i32 - 3)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn reference_mean(inputs: &[Vec<f32>]) -> Vec<f32> {
+        let mut expect = ring_ordered_sum(inputs);
+        kernel::scale(&mut expect, 1.0 / inputs.len() as f32);
+        expect
+    }
+
+    #[test]
+    fn every_backend_matches_the_order_contract_bit_for_bit() {
+        for n in [2usize, 3, 4, 5] {
+            for len in [8usize, 33, 130] {
+                let inputs = adversarial_inputs(n, len);
+                let expect = reference_mean(&inputs);
+                for (label, group) in [
+                    (
+                        "memory ring",
+                        build_ring_group(n, WireMode::Memory).unwrap(),
+                    ),
+                    (
+                        "loopback ring",
+                        build_ring_group(n, WireMode::Loopback).unwrap(),
+                    ),
+                    ("tcp ring", build_ring_group(n, WireMode::Tcp).unwrap()),
+                    (
+                        "loopback tree",
+                        build_tree_group(n, WireMode::Loopback).unwrap(),
+                    ),
+                    ("tcp tree", build_tree_group(n, WireMode::Tcp).unwrap()),
+                ] {
+                    let out = run_group(group, inputs.clone());
+                    for (rank, o) in out.iter().enumerate() {
+                        for (i, (a, b)) in o.iter().zip(&expect).enumerate() {
+                            assert_eq!(
+                                a.to_bits(),
+                                b.to_bits(),
+                                "{label}: n={n} len={len} rank={rank} i={i}: {a} vs {b}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wire_ring_traffic_is_bandwidth_optimal_and_balanced() {
+        let n = 4usize;
+        let len = 1024usize;
+        let rounds = 3usize;
+        let (members, stats) = WireRing::tcp(n).unwrap();
+        std::thread::scope(|s| {
+            for mut m in members {
+                s.spawn(move || {
+                    let mut v = vec![1.0f32; len];
+                    for _ in 0..rounds {
+                        m.allreduce_mean(&mut v).unwrap();
+                    }
+                });
+            }
+        });
+        // Message layer: every member pays 2(n−1)/n of the vector per
+        // round, exactly.
+        let expect = (rounds * n * 2 * (n - 1) * (4 * len) / n) as u64;
+        assert_eq!(stats.bytes_pushed(), expect);
+        // Frame layer: every frame sent was received — byte accounting
+        // balances exactly (hello frames included).
+        assert!(stats.bytes_sent() > expect);
+        assert_eq!(stats.bytes_sent(), stats.bytes_received());
+    }
+
+    #[test]
+    fn wire_ring_neighbor_exchange_works_over_tcp() {
+        let n = 4usize;
+        let (members, stats) = WireRing::tcp(n).unwrap();
+        let got: Vec<(usize, Vec<u8>, Vec<u8>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = members
+                .into_iter()
+                .map(|mut m| {
+                    s.spawn(move || {
+                        let send = vec![m.rank() as u8; 8];
+                        let mut prev = Vec::new();
+                        let mut next = Vec::new();
+                        m.neighbor_exchange(&send, &mut prev, &mut next).unwrap();
+                        (Collective::rank(&m), prev, next)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (rank, prev, next) in got {
+            assert_eq!(prev, vec![((rank + n - 1) % n) as u8; 8]);
+            assert_eq!(next, vec![((rank + 1) % n) as u8; 8]);
+        }
+        assert_eq!(stats.bytes_sent(), stats.bytes_received());
+    }
+
+    #[test]
+    fn backends_surrender_their_group_once() {
+        let backend = AllReduceBackend::ring(3, WireMode::Memory).unwrap();
+        let g = backend.take_collectives(3).expect("first take");
+        assert_eq!(g.members.len(), 3);
+        assert!(backend.take_collectives(3).is_none(), "second take");
+        let c = backend.client().unwrap();
+        assert!(c.push(0, 0, Compressed::Raw(vec![1.0])).is_err());
+        assert!(c.set_lr(0.1).is_ok());
+        Box::new(backend).shutdown();
+    }
+
+    #[test]
+    fn null_client_pool_is_usable() {
+        let c = NullClient::new();
+        let buf = c.pool().take_f32();
+        c.pool().put_f32(buf);
+        assert!(ParamClient::pull(&c, 0, 0).is_err());
+    }
+}

@@ -41,6 +41,7 @@
 pub mod allreduce;
 mod api;
 mod client;
+pub mod collective;
 mod fault;
 pub mod net;
 pub mod opt;
@@ -49,10 +50,14 @@ mod server;
 mod sharded;
 mod stats;
 
-pub use allreduce::{ring_group, RingMember};
+pub use allreduce::{chunk_range, ring_group, ring_ordered_sum, RingMember};
 pub use api::{InProcessBackend, ParamClient, PsBackend, RebasedClient};
 pub use cdsgd_net::NetError;
 pub use client::{PendingPull, PsClient};
+pub use collective::{
+    build_ring_group, build_tree_group, AllReduceBackend, Collective, CollectiveGroup,
+    DecentralizedBackend, NullClient, WireMode, WireRing, WireTree,
+};
 pub use fault::{FaultyClient, WorkerFault};
 pub use net::{NetCluster, PsNetServer, ReconnectingClient, RemoteClient};
 pub use opt::{HeavyBall, Nesterov, PlainSgd, ServerOpt, ServerOptKind};

@@ -81,6 +81,14 @@ impl TrafficStats {
         });
     }
 
+    pub(crate) fn record_collective(&self, rank: usize, world: usize, payload_bytes: u64) {
+        self.tel.emit(|| Event::CollectiveDone {
+            rank,
+            world,
+            payload_bytes,
+        });
+    }
+
     /// Total bytes pushed worker→server (compressed size on the wire).
     pub fn bytes_pushed(&self) -> u64 {
         self.agg.bytes_pushed()

@@ -101,6 +101,16 @@ pub enum Event {
     FrameSent { conn: u64, bytes: u64 },
     /// A transport frame of `bytes` bytes arrived on connection `conn`.
     FrameReceived { conn: u64, bytes: u64 },
+    /// One collective operation (an all-reduce or a neighbor exchange)
+    /// completed: `rank` of `world` sent `payload_bytes` of payload
+    /// (message layer, frame headers excluded) during the operation.
+    /// The per-frame traffic behind it is visible as conn-tagged
+    /// [`Event::FrameSent`]/[`Event::FrameReceived`] pairs.
+    CollectiveDone {
+        rank: usize,
+        world: usize,
+        payload_bytes: u64,
+    },
     /// Round `round` of `key` received its first push and is now waiting
     /// on the remaining workers (emitted once per round, on the
     /// empty→partial transition).
@@ -591,6 +601,11 @@ mod tests {
             Event::SnapshotCopy { bytes: 64 },
             Event::FrameSent { conn: 7, bytes: 21 },
             Event::FrameReceived { conn: 7, bytes: 33 },
+            Event::CollectiveDone {
+                rank: 2,
+                world: 4,
+                payload_bytes: 3072,
+            },
             Event::RoundPartial { key: 1, round: 4 },
             Event::RoundComplete { key: 1, version: 5 },
             Event::RoundExpired {

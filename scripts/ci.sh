@@ -81,6 +81,18 @@ run_tests cargo test -q --test chaos -- rolls_back link_drop \
     trailing_heartbeat
 run_tests cargo test -q parse_reconnect
 
+# Explicit gate on the collective layer (DESIGN.md §16): allreduce must
+# be bit-identical across the in-memory ring, loopback/TCP wire rings,
+# and the tree — the pinned reduction-order contract — the TCP ring's
+# telemetry byte accounting must land exactly on 2(N−1)/N of the vector
+# per member per round, decentralized compressed gossip must stay within
+# tolerance of the PS baseline at the matched codec, and ECQ-SGD must
+# degenerate to BIT-SGD bit-for-bit at α = β = 1.
+echo "==> cargo test --test topology_equivalence + collective suites"
+run_tests cargo test -q --test topology_equivalence
+run_tests cargo test -q -p cdsgd-ps -- collective allreduce
+run_tests cargo test -q parse_topology
+
 # Explicit gate on the update-strategy layer: every algorithm variant must
 # reproduce the final-weight hashes captured before the UpdateStrategy
 # refactor, on both the in-process and loopback backends. A hash change

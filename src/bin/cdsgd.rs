@@ -1,10 +1,12 @@
 //! `cdsgd` — command-line front end for the CD-SGD reproduction.
 //!
 //! ```text
-//! cdsgd train    --algo <ssgd|odsgd|bitsgd|cdsgd|localsgd|arsgd|efsgd> \
+//! cdsgd train    --algo <ssgd|odsgd|bitsgd|cdsgd|localsgd|arsgd|efsgd|ecqsgd> \
 //!                --dataset mnist --workers 4 --epochs 5 \
+//!                [--topology ps|ring|tree|decentralized [--codec 2bit]] \
 //!                [--k 2] [--threshold 0.5] [--local-lr 0.1] [--warmup N] \
 //!                [--dc-lambda 0] [--sync-period 4] [--ef-momentum 0.9] \
+//!                [--ecq-alpha 1] [--ecq-beta 1] \
 //!                [--lr 0.1] [--momentum 0 [--nesterov]] \
 //!                [--batch 32] [--samples 4000] [--seed 42] \
 //!                [--max-restarts 0] [--restart-backoff-ms 250] \
@@ -40,9 +42,10 @@
 //! re-registers, and replays instead of exiting nonzero.
 
 use cd_sgd::checkpoint::{save_history, Checkpoint};
-use cd_sgd::{RestartPolicy, TrainConfig, Trainer};
+use cd_sgd::{RestartPolicy, Topology, TrainConfig, Trainer};
 use cd_sgd_repro::deploy::{
-    arg, arg_or, flag, parse_algorithm, parse_server_opt, trace_telemetry, AlgoDefaults,
+    arg, arg_or, flag, parse_algorithm, parse_server_opt, parse_topology, trace_telemetry,
+    AlgoDefaults,
 };
 use cd_sgd_repro::simtime::pipeline::{AlgoKind, PipelineSim};
 use cd_sgd_repro::simtime::{zoo, ClusterSpec, ModelSpec};
@@ -348,13 +351,26 @@ fn cmd_train() {
         eprintln!("{e}");
         std::process::exit(2)
     });
+    let topology = parse_topology(&argv, &defaults).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2)
+    });
+    if topology != Topology::Ps && !algo.uses_ring() {
+        eprintln!(
+            "--topology {} is server-less and requires --algo arsgd (got {})",
+            topology.name(),
+            algo.name()
+        );
+        std::process::exit(2);
+    }
 
     let mut cfg = TrainConfig::new(algo, workers)
         .with_lr(lr)
         .with_batch_size(batch)
         .with_epochs(epochs)
         .with_seed(seed)
-        .with_server_opt(server_opt);
+        .with_server_opt(server_opt)
+        .with_topology(topology);
     if flag("profile") {
         cfg = cfg.with_profiling(true);
     }

@@ -14,6 +14,22 @@
 //!        [--trace trace.jsonl]
 //! ```
 //!
+//! Server-less deployment: `--topology ring|tree|decentralized` (with
+//! `--algo arsgd`) skips the parameter server entirely. Every replica
+//! lists the same `--peers addr0,addr1,...` (its own slot is
+//! `--id`), the processes wire themselves into a TCP ring or binary
+//! tree, and each round synchronizes by chunked allreduce — or, for
+//! `decentralized`, by codec-compressed neighbor gossip
+//! (`--codec 2bit|1bit|topk|qsgd`). `--servers` and the PS-only flags
+//! (register/heartbeat/reconnect/chaos/depart) are rejected in this
+//! mode.
+//!
+//! ```text
+//! worker --id 0 --workers 4 --topology ring \
+//!        --peers 127.0.0.1:4200,127.0.0.1:4201,127.0.0.1:4202,127.0.0.1:4203 \
+//!        --algo arsgd --dataset blobs --model mlp:8,32,4 --seed 5
+//! ```
+//!
 //! Output contract: **stdout** carries only the machine-parseable
 //! `DONE worker <id>` line that process harnesses wait on; everything
 //! human-facing (epoch progress, lifecycle status, errors) goes to
@@ -66,26 +82,27 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use cd_sgd::{run_standalone_worker, Console, Telemetry, TrainConfig, WorkerFault};
+use cd_sgd::{
+    run_standalone_collective, run_standalone_worker, Console, Telemetry, Topology, TrainConfig,
+    WorkerFault,
+};
 use cd_sgd_repro::deploy::{
     arg, arg_or, build_dataset, build_model, flag, initial_weights, parse_algorithm,
-    parse_reconnect, trace_telemetry, AlgoDefaults,
+    parse_reconnect, parse_topology, trace_telemetry, AlgoDefaults,
 };
 use cdsgd_net::{FaultPlan, NetConfig};
-use cdsgd_ps::{FaultyClient, NetCluster, ParamClient, PsBackend, RebasedClient};
+use cdsgd_ps::{
+    Collective, FaultyClient, NetCluster, ParamClient, PsBackend, RebasedClient, TrafficStats,
+    WireRing, WireTree,
+};
 
 fn main() {
     let console = Console::new();
     let id: usize = arg_or("id", 0);
     let workers: usize = arg_or("workers", 1);
     let servers: Vec<String> = arg("servers")
-        .unwrap_or_else(|| {
-            console.error("missing --servers addr[,addr...]");
-            std::process::exit(2)
-        })
-        .split(',')
-        .map(str::to_string)
-        .collect();
+        .map(|s| s.split(',').map(str::to_string).collect())
+        .unwrap_or_default();
 
     let dataset = arg("dataset").unwrap_or_else(|| "blobs".to_string());
     let samples: usize = arg_or("samples", 480);
@@ -146,10 +163,23 @@ fn main() {
         console.error(e);
         std::process::exit(2)
     });
-    if algo.uses_ring() {
+    let topology = parse_topology(&argv, &defaults).unwrap_or_else(|e| {
+        console.error(e);
+        std::process::exit(2)
+    });
+    let collective_mode = topology != Topology::Ps;
+    if collective_mode && !algo.uses_ring() {
+        console.error(format_args!(
+            "--topology {} is server-less and requires --algo arsgd (got {})",
+            topology.name(),
+            algo.name()
+        ));
+        std::process::exit(2);
+    }
+    if algo.uses_ring() && !collective_mode {
         console.error(
-            "arsgd needs a worker ring, which the multi-process deployment does not build; \
-             use `cdsgd train --algo arsgd`",
+            "arsgd needs a worker collective; pass --topology ring|tree|decentralized \
+             with --peers addr0,addr1,... (or use `cdsgd train --algo arsgd`)",
         );
         std::process::exit(2);
     }
@@ -184,6 +214,111 @@ fn main() {
         cfg = cfg.with_worker_checkpoints(dir, ckpt_every);
     }
 
+    // ---- server-less collective deployment (--topology ring|tree|decentralized) ----
+    // No parameter server exists: every replica binds its own --peers slot,
+    // wires up the ring/tree over TCP, and synchronizes through allreduce
+    // (or compressed neighbor gossip). The PS-only machinery — registration,
+    // heartbeats, reconnect, chaos — has no server to talk to, so those
+    // flags are rejected rather than silently ignored.
+    if collective_mode {
+        for (present, name) in [
+            (!servers.is_empty(), "--servers"),
+            (register, "--register"),
+            (heartbeat_ms > 0, "--heartbeat-ms"),
+            (shutdown, "--shutdown"),
+            (
+                reconnect.is_some(),
+                "--reconnect-retries/--reconnect-backoff-ms",
+            ),
+            (chaos_kill_round.is_some(), "--chaos-kill-round"),
+            (chaos_drop_sends.is_some(), "--chaos-drop-sends"),
+            (depart_epoch.is_some(), "--depart-epoch"),
+        ] {
+            if present {
+                console.error(format_args!(
+                    "{name} talks to a parameter server; --topology {} runs without one",
+                    topology.name()
+                ));
+                std::process::exit(2);
+            }
+        }
+        let peers: Vec<String> = arg("peers")
+            .unwrap_or_else(|| {
+                console.error(format_args!(
+                    "--topology {} needs --peers addr0,addr1,... (one per worker, \
+                     every process listing the same addresses in the same order)",
+                    topology.name()
+                ));
+                std::process::exit(2)
+            })
+            .split(',')
+            .map(str::to_string)
+            .collect();
+        if peers.len() != workers || id >= workers {
+            console.error(format_args!(
+                "--peers lists {} addresses but --workers is {workers} (--id {id} \
+                 must index into the peer list)",
+                peers.len()
+            ));
+            std::process::exit(2);
+        }
+        cfg = cfg.with_topology(topology.clone());
+        console.status(format_args!(
+            "worker {id}/{workers}: {} train samples, topology {}, binding {}",
+            train.len(),
+            topology.name(),
+            peers[id]
+        ));
+        // The collective's byte counters fold into the same trace stream
+        // the PS path uses, so `--trace` shows per-frame wire accounting
+        // for collective runs too.
+        let stats = Arc::new(TrafficStats::with_telemetry(telemetry));
+        let collective: Box<dyn Collective> = match &topology {
+            Topology::Tree => Box::new(
+                WireTree::connect(id, &peers, &NetConfig::default(), Arc::clone(&stats))
+                    .unwrap_or_else(|e| {
+                        console.error(format_args!("worker {id}: tree wiring failed: {e}"));
+                        std::process::exit(1)
+                    }),
+            ),
+            _ => Box::new(
+                WireRing::connect(id, &peers, &NetConfig::default(), Arc::clone(&stats))
+                    .unwrap_or_else(|e| {
+                        console.error(format_args!("worker {id}: ring wiring failed: {e}"));
+                        std::process::exit(1)
+                    }),
+            ),
+        };
+        let spec = model.clone();
+        let report = match run_standalone_collective(
+            cfg,
+            id,
+            move |rng| build_model(&spec, rng),
+            &train,
+            Some(test),
+            collective,
+        ) {
+            Ok(report) => report,
+            Err(e) => {
+                console.error(format_args!("worker {id}: training failed: {e}"));
+                std::process::exit(1);
+            }
+        };
+        console.status(format_args!(
+            "worker {id}: finished {} epochs; {} B sent / {} B received on the wire",
+            report.len(),
+            stats.bytes_sent(),
+            stats.bytes_received()
+        ));
+        trace.flush();
+        console.contract(format_args!("DONE worker {id}"));
+        return;
+    }
+
+    if servers.is_empty() {
+        console.error("missing --servers addr[,addr...]");
+        std::process::exit(2);
+    }
     console.status(format_args!(
         "worker {id}/{workers}: {} train samples, {num_keys} keys over {} shards",
         train.len(),

@@ -7,7 +7,7 @@
 //! specs in one place makes that agreement structural: every process
 //! (and the integration tests) calls these helpers with the same flags.
 
-use cd_sgd::{Algorithm, JsonlSink, ServerOptKind, Telemetry};
+use cd_sgd::{Algorithm, JsonlSink, ServerOptKind, Telemetry, Topology};
 use cdsgd_data::{synth, toy, Dataset};
 use cdsgd_nn::{models, Sequential};
 use cdsgd_tensor::SmallRng64;
@@ -122,15 +122,60 @@ pub fn parse_algorithm(args: &[String], defaults: &AlgoDefaults) -> Result<Algor
         "efsgd" => Algorithm::EfSgd {
             momentum: lookup_or(args, "ef-momentum", 0.9)?,
         },
+        "ecqsgd" => Algorithm::EcqSgd {
+            threshold,
+            alpha: lookup_or(args, "ecq-alpha", 1.0)?,
+            beta: lookup_or(args, "ecq-beta", 1.0)?,
+        },
         other => {
             return Err(format!(
-                "unknown algorithm {other} (ssgd|odsgd|bitsgd|cdsgd|localsgd|arsgd|efsgd)"
+                "unknown algorithm {other} (ssgd|odsgd|bitsgd|cdsgd|localsgd|arsgd|efsgd|ecqsgd)"
             ))
         }
     };
     algo.validate()
         .map_err(|e| format!("invalid --algo {name}: {e}"))?;
     Ok(algo)
+}
+
+/// Parse `--topology <ps|ring|tree|decentralized>` into a
+/// [`cd_sgd::Topology`]. The decentralized mode also consumes `--codec
+/// <2bit|1bit|topk|qsgd>` (default 2bit) and its knobs (`--threshold`,
+/// `--topk-ratio`, `--qsgd-levels`) for the model-difference compressor.
+/// Absent flag means [`Topology::Ps`] — the pre-topology default, byte
+/// identical to older deployments. `Err` carries a usage message for
+/// stderr; callers exit 2 on it.
+pub fn parse_topology(args: &[String], defaults: &AlgoDefaults) -> Result<Topology, String> {
+    let Some(name) = lookup(args, "topology") else {
+        return Ok(Topology::Ps);
+    };
+    Ok(match name {
+        "ps" => Topology::Ps,
+        "ring" => Topology::Ring,
+        "tree" => Topology::Tree,
+        "decentralized" => {
+            let codec = match lookup(args, "codec").unwrap_or("2bit") {
+                "2bit" => cd_sgd::Codec::TwoBit {
+                    threshold: lookup_or(args, "threshold", defaults.threshold)?,
+                },
+                "1bit" => cd_sgd::Codec::OneBit,
+                "topk" => cd_sgd::Codec::TopK {
+                    ratio: lookup_or(args, "topk-ratio", 0.01)?,
+                },
+                "qsgd" => cd_sgd::Codec::Qsgd {
+                    levels: lookup_or(args, "qsgd-levels", 4)?,
+                    seed: lookup_or(args, "qsgd-seed", 7)?,
+                },
+                other => return Err(format!("unknown codec {other} (2bit|1bit|topk|qsgd)")),
+            };
+            Topology::Decentralized { codec }
+        }
+        other => {
+            return Err(format!(
+                "unknown topology {other} (ps|ring|tree|decentralized)"
+            ))
+        }
+    })
 }
 
 /// Parse elastic-membership flags into a [`cdsgd_ps::ElasticConfig`]:
@@ -366,6 +411,11 @@ mod tests {
             ("--algo arsgd", Algorithm::ArSgd),
             ("--algo efsgd", Algorithm::ef_sgd(0.9)),
             ("--algo efsgd --ef-momentum 0.5", Algorithm::ef_sgd(0.5)),
+            ("--algo ecqsgd", Algorithm::ecq_sgd(0.05, 1.0, 1.0)),
+            (
+                "--algo ecqsgd --threshold 0.5 --ecq-alpha 0.9 --ecq-beta 0.8",
+                Algorithm::ecq_sgd(0.5, 0.9, 0.8),
+            ),
         ] {
             assert_eq!(
                 parse_algorithm(&argv(args), &DEFAULTS).unwrap(),
@@ -388,9 +438,66 @@ mod tests {
             "--algo cdsgd --k 0",
             "--algo localsgd --sync-period 0",
             "--algo efsgd --ef-momentum 1.5",
+            "--algo ecqsgd --ecq-beta 1.5",
             "--algo ssgd --local-lr fast",
         ] {
             let err = parse_algorithm(&argv(args), &DEFAULTS)
+                .expect_err(&format!("args should fail: {args}"));
+            assert!(!err.is_empty());
+        }
+    }
+
+    #[test]
+    fn parse_topology_covers_every_variant() {
+        use cd_sgd::Codec;
+        for (args, expected) in [
+            ("", Topology::Ps),
+            ("--topology ps", Topology::Ps),
+            ("--topology ring", Topology::Ring),
+            ("--topology tree", Topology::Tree),
+            (
+                "--topology decentralized",
+                Topology::Decentralized {
+                    codec: Codec::TwoBit { threshold: 0.05 },
+                },
+            ),
+            (
+                "--topology decentralized --codec 2bit --threshold 0.5",
+                Topology::Decentralized {
+                    codec: Codec::TwoBit { threshold: 0.5 },
+                },
+            ),
+            (
+                "--topology decentralized --codec 1bit",
+                Topology::Decentralized {
+                    codec: Codec::OneBit,
+                },
+            ),
+            (
+                "--topology decentralized --codec topk --topk-ratio 0.25",
+                Topology::Decentralized {
+                    codec: Codec::TopK { ratio: 0.25 },
+                },
+            ),
+            (
+                "--topology decentralized --codec qsgd --qsgd-levels 8",
+                Topology::Decentralized {
+                    codec: Codec::Qsgd { levels: 8, seed: 7 },
+                },
+            ),
+        ] {
+            assert_eq!(
+                parse_topology(&argv(args), &DEFAULTS).unwrap(),
+                expected,
+                "args: {args}"
+            );
+        }
+        for args in [
+            "--topology mesh",
+            "--topology decentralized --codec terngrad",
+            "--topology decentralized --codec topk --topk-ratio lots",
+        ] {
+            let err = parse_topology(&argv(args), &DEFAULTS)
                 .expect_err(&format!("args should fail: {args}"));
             assert!(!err.is_empty());
         }
